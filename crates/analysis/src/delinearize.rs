@@ -1,0 +1,241 @@
+//! Affine array delinearisation.
+//!
+//! Given a recovered access offset (a polynomial over induction variables
+//! and size parameters) and the trip counts of the enclosing loops, this
+//! module recovers the multi-dimensional access the linearised offset came
+//! from: `f*N + i` with loops `f in 0..N, i in 0..N` delinearises to a 2-D
+//! access `[f][i]` on an `N × N` array (O'Boyle & Knijnenburg [31],
+//! cited by the paper in §4.2.3).
+
+use crate::poly::Poly;
+use crate::symexec::{ArrayAccess, LoopInfo};
+
+/// A delinearised multi-dimensional access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredAccess {
+    /// The index variables, outermost dimension first, by canonical
+    /// induction-variable name.
+    pub indices: Vec<String>,
+    /// Extent polynomial of each dimension (the trip count of the
+    /// corresponding loop), parallel to `indices`.
+    pub extents: Vec<Poly>,
+    /// Whether the recovered nesting was verified to be exactly row-major
+    /// (`stride(dim k) == product of inner extents`). When `false`, the
+    /// index variables are still correct but strides were irregular
+    /// (e.g. `a[2*i]`).
+    pub exact: bool,
+}
+
+impl RecoveredAccess {
+    /// The predicted dimensionality: the number of index variables, i.e.
+    /// the quantity §4.2.3 feeds into the dimension list.
+    pub fn rank(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// Delinearises an access offset against its loop context.
+///
+/// Returns `None` when the offset was not tracked or is not affine in the
+/// induction variables (degree > 1 in any loop variable, or products of
+/// two loop variables).
+///
+/// ```
+/// use gtl_analysis::{delinearize, Poly};
+/// use gtl_analysis::symexec::LoopInfo;
+///
+/// // offset = f*N + i, loops f (trip N) then i (trip N).
+/// let off = Poly::var("f") * Poly::var("N") + Poly::var("i");
+/// let loops = vec![
+///     LoopInfo { var: "f".into(), trip_count: Some(Poly::var("N")) },
+///     LoopInfo { var: "i".into(), trip_count: Some(Poly::var("N")) },
+/// ];
+/// let rec = delinearize(&off, &loops).unwrap();
+/// assert_eq!(rec.indices, vec!["f".to_string(), "i".to_string()]);
+/// assert!(rec.exact);
+/// ```
+pub fn delinearize(offset: &Poly, loops: &[LoopInfo]) -> Option<RecoveredAccess> {
+    // Which induction variables does the offset use?
+    let loop_vars: Vec<&LoopInfo> = loops
+        .iter()
+        .filter(|l| offset.contains_var(&l.var))
+        .collect();
+
+    // Affinity check: degree ≤ 1 in each loop var and no monomial with two
+    // loop variables.
+    for l in &loop_vars {
+        if offset.degree_of(&l.var) > 1 {
+            return None;
+        }
+    }
+    for (m, _) in offset.terms() {
+        let n_loop_vars = loop_vars.iter().filter(|l| m.contains(&l.var)).count();
+        if n_loop_vars > 1 {
+            return None;
+        }
+    }
+
+    // Scalar access.
+    if loop_vars.is_empty() {
+        return Some(RecoveredAccess {
+            indices: Vec::new(),
+            extents: Vec::new(),
+            exact: true,
+        });
+    }
+
+    // Strides: the coefficient polynomial of each loop var.
+    let mut dims: Vec<(&LoopInfo, Poly)> = loop_vars
+        .iter()
+        .map(|l| (*l, offset.coefficient_of_var(&l.var)))
+        .collect();
+
+    // Order by stride: larger symbolic strides are outer dimensions. We
+    // sort by (total degree of the stride, constant magnitude) which
+    // orders `N*M > N > 1` and `4 > 2 > 1`.
+    dims.sort_by(|(_, s1), (_, s2)| {
+        let d1 = s1.degree();
+        let d2 = s2.degree();
+        d2.cmp(&d1).then_with(|| {
+            let c1 = s1.as_constant().unwrap_or(i64::MAX);
+            let c2 = s2.as_constant().unwrap_or(i64::MAX);
+            c2.cmp(&c1)
+        })
+    });
+
+    // Verify row-major nesting: innermost stride 1, and each outer stride
+    // equals the inner stride times the inner extent.
+    let mut exact = true;
+    let innermost_stride = &dims.last().expect("nonempty").1;
+    if innermost_stride.as_constant() != Some(1) {
+        exact = false;
+    }
+    for w in dims.windows(2) {
+        let (inner_loop, inner_stride) = (&w[1].0, &w[1].1);
+        let outer_stride = &w[0].1;
+        match &inner_loop.trip_count {
+            Some(extent) => {
+                let expected = inner_stride.clone() * extent.clone();
+                if *outer_stride != expected {
+                    exact = false;
+                }
+            }
+            None => exact = false,
+        }
+    }
+
+    let indices: Vec<String> = dims.iter().map(|(l, _)| l.var.clone()).collect();
+    let extents: Vec<Poly> = dims
+        .iter()
+        .map(|(l, _)| l.trip_count.clone().unwrap_or_else(Poly::zero))
+        .collect();
+    Some(RecoveredAccess {
+        indices,
+        extents,
+        exact,
+    })
+}
+
+/// Delinearises a recorded [`ArrayAccess`].
+pub fn delinearize_access(access: &ArrayAccess) -> Option<RecoveredAccess> {
+    delinearize(access.offset.as_ref()?, &access.loops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn li(var: &str, trip: Poly) -> LoopInfo {
+        LoopInfo {
+            var: var.into(),
+            trip_count: Some(trip),
+        }
+    }
+
+    #[test]
+    fn scalar_offset() {
+        let rec = delinearize(&Poly::constant(0), &[li("i", Poly::var("N"))]).unwrap();
+        assert_eq!(rec.rank(), 0);
+        assert!(rec.exact);
+    }
+
+    #[test]
+    fn vector_access() {
+        let rec =
+            delinearize(&Poly::var("i"), &[li("i", Poly::var("N"))]).unwrap();
+        assert_eq!(rec.indices, vec!["i".to_string()]);
+        assert_eq!(rec.extents, vec![Poly::var("N")]);
+        assert!(rec.exact);
+    }
+
+    #[test]
+    fn matrix_row_major() {
+        // offset = i*M + j with i in 0..N, j in 0..M.
+        let off = Poly::var("i") * Poly::var("M") + Poly::var("j");
+        let loops = [li("i", Poly::var("N")), li("j", Poly::var("M"))];
+        let rec = delinearize(&off, &loops).unwrap();
+        assert_eq!(rec.indices, vec!["i".to_string(), "j".to_string()]);
+        assert!(rec.exact);
+    }
+
+    #[test]
+    fn rank3_tensor() {
+        // offset = i*M*K + j*K + k.
+        let off = Poly::var("i") * Poly::var("M") * Poly::var("K")
+            + Poly::var("j") * Poly::var("K")
+            + Poly::var("k");
+        let loops = [
+            li("i", Poly::var("N")),
+            li("j", Poly::var("M")),
+            li("k", Poly::var("K")),
+        ];
+        let rec = delinearize(&off, &loops).unwrap();
+        assert_eq!(rec.rank(), 3);
+        assert!(rec.exact);
+        assert_eq!(
+            rec.indices,
+            vec!["i".to_string(), "j".to_string(), "k".to_string()]
+        );
+    }
+
+    #[test]
+    fn strided_access_inexact() {
+        // a[2*i]: one index var, but not a unit stride.
+        let off = Poly::var("i") * 2;
+        let rec = delinearize(&off, &[li("i", Poly::var("N"))]).unwrap();
+        assert_eq!(rec.rank(), 1);
+        assert!(!rec.exact);
+    }
+
+    #[test]
+    fn transposed_access_ordering() {
+        // offset = j*N + i with i outer, j inner: j is still the
+        // *major* (large-stride) dimension.
+        let off = Poly::var("j") * Poly::var("N") + Poly::var("i");
+        let loops = [li("i", Poly::var("N")), li("j", Poly::var("N"))];
+        let rec = delinearize(&off, &loops).unwrap();
+        assert_eq!(rec.indices, vec!["j".to_string(), "i".to_string()]);
+    }
+
+    #[test]
+    fn quadratic_rejected() {
+        let off = Poly::var("i") * Poly::var("i");
+        assert_eq!(delinearize(&off, &[li("i", Poly::var("N"))]), None);
+    }
+
+    #[test]
+    fn coupled_loop_vars_rejected() {
+        let off = Poly::var("i") * Poly::var("j");
+        let loops = [li("i", Poly::var("N")), li("j", Poly::var("N"))];
+        assert_eq!(delinearize(&off, &loops), None);
+    }
+
+    #[test]
+    fn unused_loop_ignored() {
+        // Offset only uses the inner variable; outer loop is irrelevant.
+        let off = Poly::var("j");
+        let loops = [li("i", Poly::var("N")), li("j", Poly::var("M"))];
+        let rec = delinearize(&off, &loops).unwrap();
+        assert_eq!(rec.indices, vec!["j".to_string()]);
+    }
+}

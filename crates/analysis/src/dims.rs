@@ -1,0 +1,231 @@
+//! Dimensionality prediction and kernel facts for grammar refinement.
+//!
+//! §4.2.3 of the paper: *"We use static program analysis to examine the
+//! original program AST and predict the LHS dimension."* The left-hand
+//! side of the lifted expression is the kernel's output array; its
+//! dimensionality is the rank of the delinearised store access. When the
+//! output is never written through an indexing operation the paper
+//! predicts a scalar (dimension 0).
+//!
+//! This module also extracts the *kernel facts* used elsewhere: which
+//! parameter is the output, per-parameter predicted ranks (used by the
+//! C2TACO baseline's heuristics), and the constant pool.
+
+use gtl_cfront::{CType, Function};
+
+use crate::delinearize::delinearize_access;
+use crate::symexec::{summarize_kernel, KernelSummary};
+
+/// Static facts about a kernel, derived by symbolic execution.
+#[derive(Debug, Clone)]
+pub struct KernelFacts {
+    /// The access summary the facts were derived from.
+    pub summary: KernelSummary,
+    /// Index of the inferred output parameter (the written array), if a
+    /// unique one exists.
+    pub output_param: Option<usize>,
+    /// Predicted rank of the output access (the paper's LHS dimension).
+    pub lhs_dim: Option<usize>,
+    /// Predicted rank for every pointer parameter (signature order),
+    /// `None` when the parameter is never accessed with a tracked offset.
+    pub param_ranks: Vec<(usize, Option<usize>)>,
+    /// Integer constants harvested from the kernel body.
+    pub constants: Vec<i64>,
+}
+
+impl KernelFacts {
+    /// Predicted rank for a specific parameter index.
+    pub fn rank_of(&self, param: usize) -> Option<usize> {
+        self.param_ranks
+            .iter()
+            .find(|(p, _)| *p == param)
+            .and_then(|(_, r)| *r)
+    }
+}
+
+/// The rank of an access: the number of index variables after
+/// delinearisation, or the number of distinct induction variables in the
+/// offset as a fallback.
+fn access_rank(access: &crate::symexec::ArrayAccess) -> Option<usize> {
+    if let Some(rec) = delinearize_access(access) {
+        return Some(rec.rank());
+    }
+    // Fallback: count induction variables mentioned by the offset.
+    let off = access.offset.as_ref()?;
+    Some(
+        access
+            .loops
+            .iter()
+            .filter(|l| off.contains_var(&l.var))
+            .count(),
+    )
+}
+
+/// Predicted rank of a parameter: the maximum rank over its tracked
+/// accesses.
+fn param_rank(summary: &KernelSummary, param: usize) -> Option<usize> {
+    summary
+        .accesses_of(param)
+        .filter_map(access_rank)
+        .max()
+}
+
+/// Infers the output parameter: the unique pointer parameter that is
+/// written. Returns `None` when zero or several parameters are written.
+pub fn infer_output_param(summary: &KernelSummary) -> Option<usize> {
+    let written = summary.written_params();
+    match written.as_slice() {
+        [single] => Some(*single),
+        _ => None,
+    }
+}
+
+/// Runs the full §4.2.3 static analysis over a kernel.
+///
+/// ```
+/// use gtl_analysis::analyze_kernel;
+/// use gtl_cfront::parse_c;
+///
+/// // Fig. 2: result is written once per outer iteration -> rank 1.
+/// let src = "void f(int N, int *A, int *x, int *out) {
+///     for (int i = 0; i < N; i++) {
+///         out[i] = 0;
+///         for (int j = 0; j < N; j++) out[i] += A[i*N + j] * x[j];
+///     }
+/// }";
+/// let facts = analyze_kernel(parse_c(src).unwrap().kernel());
+/// assert_eq!(facts.output_param, Some(3));
+/// assert_eq!(facts.lhs_dim, Some(1));
+/// assert_eq!(facts.rank_of(1), Some(2)); // A is a matrix
+/// ```
+pub fn analyze_kernel(func: &Function) -> KernelFacts {
+    let summary = summarize_kernel(func);
+    let output_param = infer_output_param(&summary);
+    let lhs_dim = output_param.and_then(|p| {
+        let writes: Vec<_> = summary
+            .accesses_of(p)
+            .filter(|a| a.is_write)
+            .collect();
+        if writes.is_empty() {
+            return None;
+        }
+        // Maximum rank over the write accesses; untracked offsets yield
+        // None and are skipped (prediction is best-effort).
+        let ranks: Vec<usize> = writes.iter().filter_map(|a| access_rank(a)).collect();
+        ranks.into_iter().max()
+    });
+    let param_ranks = func
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p.ty, CType::Ptr(_)))
+        .map(|(i, _)| (i, param_rank(&summary, i)))
+        .collect();
+    KernelFacts {
+        summary,
+        output_param,
+        lhs_dim,
+        param_ranks,
+        constants: func.int_constants(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_cfront::parse_c;
+
+    fn facts(src: &str) -> KernelFacts {
+        analyze_kernel(parse_c(src).unwrap().kernel())
+    }
+
+    #[test]
+    fn figure2_lhs_is_rank1() {
+        let f = facts(
+            r#"
+void function(int N, int *Mat1, int *Mat2, int *Result) {
+    int *p_m1;
+    int *p_m2;
+    int *p_t;
+    int i, f;
+    p_m1 = Mat1;
+    p_t = Result;
+    for (f = 0; f < N; f++) {
+        *p_t = 0;
+        p_m2 = &Mat2[0];
+        for (i = 0; i < N; i++)
+            *p_t += *p_m1++ * *p_m2++;
+        p_t++;
+    }
+}
+"#,
+        );
+        assert_eq!(f.output_param, Some(3));
+        assert_eq!(f.lhs_dim, Some(1), "Result is written per outer iteration");
+        assert_eq!(f.rank_of(1), Some(2), "Mat1 walks f*N + i: rank 2");
+        assert_eq!(f.rank_of(2), Some(1), "Mat2 walks i: rank 1");
+    }
+
+    #[test]
+    fn scalar_output() {
+        let f = facts(
+            "void dot(int n, int *a, int *b, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++) *out += a[i] * b[i];
+            }",
+        );
+        assert_eq!(f.output_param, Some(3));
+        assert_eq!(f.lhs_dim, Some(0));
+    }
+
+    #[test]
+    fn matrix_output() {
+        let f = facts(
+            "void add(int n, int m, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        out[i*m + j] = a[i*m + j] + b[i*m + j];
+            }",
+        );
+        assert_eq!(f.lhs_dim, Some(2));
+        assert_eq!(f.rank_of(2), Some(2));
+    }
+
+    #[test]
+    fn rank3_output() {
+        let f = facts(
+            "void t3(int n, int m, int k, int *a, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        for (int l = 0; l < k; l++)
+                            out[i*m*k + j*k + l] = a[i*m*k + j*k + l] * 2;
+            }",
+        );
+        assert_eq!(f.lhs_dim, Some(3));
+    }
+
+    #[test]
+    fn constants_extracted() {
+        let f = facts("void f(int *a) { a[0] = 5 * a[1] + 7; }");
+        assert!(f.constants.contains(&5));
+        assert!(f.constants.contains(&7));
+    }
+
+    #[test]
+    fn multiple_written_params_gives_no_output() {
+        let f = facts(
+            "void f(int n, int *a, int *b) {
+                for (int i = 0; i < n; i++) { a[i] = 1; b[i] = 2; }
+            }",
+        );
+        assert_eq!(f.output_param, None);
+    }
+
+    #[test]
+    fn unread_kernel_rank_none() {
+        let f = facts("void f(int n, int *a, int *out) { out[0] = 3; }");
+        // `a` is never accessed.
+        assert_eq!(f.rank_of(1), None);
+        assert_eq!(f.lhs_dim, Some(0));
+    }
+}

@@ -1,0 +1,42 @@
+//! Static analysis of legacy C kernels for guided tensor lifting.
+//!
+//! Implements the paper's §4.2.3 program analyses from scratch:
+//!
+//! - [`poly`] — multivariate integer polynomials, the abstract domain for
+//!   offsets and induction values;
+//! - [`symexec`] — symbolic execution with loop summarisation, performing
+//!   *array recovery* (pointer walks back to indexed accesses, Franke &
+//!   O'Boyle [12]);
+//! - [`delinearize`] — affine *array delinearisation* recovering
+//!   multi-dimensional accesses from linearised offsets (O'Boyle &
+//!   Knijnenburg [31]);
+//! - [`dims`] — LHS dimensionality prediction and per-parameter rank
+//!   facts, consumed by grammar refinement and by the C2TACO baseline's
+//!   heuristics.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_analysis::analyze_kernel;
+//! use gtl_cfront::parse_c;
+//!
+//! let src = "void scale(int n, int *x, int *out) {
+//!     for (int i = 0; i < n; i++) out[i] = 2 * x[i];
+//! }";
+//! let facts = analyze_kernel(parse_c(src).unwrap().kernel());
+//! assert_eq!(facts.lhs_dim, Some(1));
+//! assert_eq!(facts.constants, vec![0, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delinearize;
+pub mod dims;
+pub mod poly;
+pub mod symexec;
+
+pub use delinearize::{delinearize, delinearize_access, RecoveredAccess};
+pub use dims::{analyze_kernel, infer_output_param, KernelFacts};
+pub use poly::{Monomial, Poly};
+pub use symexec::{summarize_kernel, ArrayAccess, KernelSummary, LoopInfo, SymVal};

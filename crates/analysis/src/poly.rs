@@ -1,0 +1,416 @@
+//! Multivariate polynomials with integer coefficients.
+//!
+//! The symbolic executor models pointer offsets and integer scalars as
+//! polynomials over the kernel's parameters (`N`, `M`, …) and the loop
+//! induction variables — exactly the class of expressions produced by
+//! linearised multi-dimensional indexing like `A[i*N + j]` or by the
+//! pointer-walking idiom of the paper's Figure 2 (offset `f*N + i`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A monomial: a product of variables with positive powers. The empty
+/// monomial is the constant `1`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial(BTreeMap<String, u32>);
+
+impl Monomial {
+    /// The constant monomial `1`.
+    pub fn one() -> Monomial {
+        Monomial::default()
+    }
+
+    /// The monomial consisting of a single variable.
+    pub fn var(name: &str) -> Monomial {
+        let mut m = BTreeMap::new();
+        m.insert(name.to_string(), 1);
+        Monomial(m)
+    }
+
+    /// The product of two monomials.
+    pub fn product(&self, other: &Monomial) -> Monomial {
+        let mut m = self.0.clone();
+        for (v, p) in &other.0 {
+            *m.entry(v.clone()).or_insert(0) += p;
+        }
+        Monomial(m)
+    }
+
+    /// Whether the monomial mentions `var`.
+    pub fn contains(&self, var: &str) -> bool {
+        self.0.contains_key(var)
+    }
+
+    /// The power of `var` in this monomial.
+    pub fn degree_of(&self, var: &str) -> u32 {
+        self.0.get(var).copied().unwrap_or(0)
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+
+    /// The variables of the monomial.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.0.keys().map(String::as_str)
+    }
+
+    /// Removes one power of `var`, returning the quotient monomial.
+    /// Returns `None` if `var` does not divide the monomial.
+    pub fn divide_by_var(&self, var: &str) -> Option<Monomial> {
+        let mut m = self.0.clone();
+        match m.get_mut(var) {
+            Some(p) if *p > 1 => {
+                *p -= 1;
+            }
+            Some(_) => {
+                m.remove(var);
+            }
+            None => return None,
+        }
+        Some(Monomial(m))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (n, (v, p)) in self.0.iter().enumerate() {
+            if n > 0 {
+                write!(f, "*")?;
+            }
+            write!(f, "{v}")?;
+            if *p > 1 {
+                write!(f, "^{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A multivariate polynomial with `i64` coefficients.
+///
+/// ```
+/// use gtl_analysis::Poly;
+///
+/// // f*N + i, the Fig. 2 pointer offset.
+/// let p = Poly::var("f") * Poly::var("N") + Poly::var("i");
+/// assert!(p.contains_var("f"));
+/// assert_eq!(p.coefficient_of_var("f"), Poly::var("N"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Poly(BTreeMap<Monomial, i64>);
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: i64) -> Poly {
+        let mut m = BTreeMap::new();
+        if c != 0 {
+            m.insert(Monomial::one(), c);
+        }
+        Poly(m)
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(name: &str) -> Poly {
+        let mut m = BTreeMap::new();
+        m.insert(Monomial::var(name), 1);
+        Poly(m)
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// If the polynomial is a constant, returns it.
+    pub fn as_constant(&self) -> Option<i64> {
+        match self.0.len() {
+            0 => Some(0),
+            1 => self.0.get(&Monomial::one()).copied(),
+            _ => None,
+        }
+    }
+
+    /// If the polynomial is exactly one variable (coefficient 1), returns
+    /// its name.
+    pub fn as_single_var(&self) -> Option<&str> {
+        if self.0.len() != 1 {
+            return None;
+        }
+        let (m, &c) = self.0.iter().next().expect("len checked");
+        if c != 1 || m.degree() != 1 {
+            return None;
+        }
+        m.vars().next()
+    }
+
+    /// Whether any monomial mentions `var`.
+    pub fn contains_var(&self, var: &str) -> bool {
+        self.0.keys().any(|m| m.contains(var))
+    }
+
+    /// All variables mentioned, deduplicated and sorted.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for m in self.0.keys() {
+            for v in m.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The terms of the polynomial.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, i64)> {
+        self.0.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Maximum degree of `var` across monomials.
+    pub fn degree_of(&self, var: &str) -> u32 {
+        self.0.keys().map(|m| m.degree_of(var)).max().unwrap_or(0)
+    }
+
+    /// Total degree of the polynomial.
+    pub fn degree(&self) -> u32 {
+        self.0.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// The polynomial coefficient of `var` treating the polynomial as
+    /// *linear* in `var`: for `p = c(rest) * var + d(rest)` returns `c`.
+    ///
+    /// Monomials where `var` has power > 1 contribute `var^(p-1)` terms,
+    /// so the caller should check [`Poly::degree_of`] first when linearity
+    /// matters.
+    pub fn coefficient_of_var(&self, var: &str) -> Poly {
+        let mut out = BTreeMap::new();
+        for (m, &c) in &self.0 {
+            if let Some(q) = m.divide_by_var(var) {
+                *out.entry(q).or_insert(0) += c;
+            }
+        }
+        let mut p = Poly(out);
+        p.normalize();
+        p
+    }
+
+    /// The terms not involving `var` (the affine remainder).
+    pub fn remainder_without(&self, var: &str) -> Poly {
+        let mut out = BTreeMap::new();
+        for (m, &c) in &self.0 {
+            if !m.contains(var) {
+                out.insert(m.clone(), c);
+            }
+        }
+        Poly(out)
+    }
+
+    /// Substitutes `var := replacement` and returns the result.
+    pub fn substitute(&self, var: &str, replacement: &Poly) -> Poly {
+        let mut acc = Poly::zero();
+        for (m, &c) in &self.0 {
+            let power = m.degree_of(var);
+            // Remove var from the monomial entirely.
+            let mut rest = m.clone();
+            for _ in 0..power {
+                rest = rest
+                    .divide_by_var(var)
+                    .expect("degree_of said var divides");
+            }
+            let mut term = Poly(BTreeMap::from([(rest, c)]));
+            for _ in 0..power {
+                term = term * replacement.clone();
+            }
+            acc = acc + term;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial at an integer assignment; missing
+    /// variables default to 0.
+    pub fn evaluate(&self, assignment: &BTreeMap<String, i64>) -> i64 {
+        let mut total: i64 = 0;
+        for (m, &c) in &self.0 {
+            let mut term = c;
+            for v in m.vars() {
+                let val = assignment.get(v).copied().unwrap_or(0);
+                for _ in 0..m.degree_of(v) {
+                    term = term.saturating_mul(val);
+                }
+            }
+            total = total.saturating_add(term);
+        }
+        total
+    }
+
+    fn normalize(&mut self) {
+        self.0.retain(|_, c| *c != 0);
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        let mut out = self.0;
+        for (m, c) in rhs.0 {
+            *out.entry(m).or_insert(0) += c;
+        }
+        let mut p = Poly(out);
+        p.normalize();
+        p
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        Poly(self.0.into_iter().map(|(m, c)| (m, -c)).collect())
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        let mut out: BTreeMap<Monomial, i64> = BTreeMap::new();
+        for (m1, c1) in &self.0 {
+            for (m2, c2) in &rhs.0 {
+                *out.entry(m1.product(m2)).or_insert(0) += c1 * c2;
+            }
+        }
+        let mut p = Poly(out);
+        p.normalize();
+        p
+    }
+}
+
+impl Mul<i64> for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: i64) -> Poly {
+        self * Poly::constant(rhs)
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        for (n, (m, c)) in self.0.iter().enumerate() {
+            let c = *c;
+            if n == 0 {
+                if c < 0 {
+                    write!(f, "-")?;
+                }
+            } else if c < 0 {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            let mag = c.unsigned_abs();
+            if m.degree() == 0 {
+                write!(f, "{mag}")?;
+            } else if mag == 1 {
+                write!(f, "{m}")?;
+            } else {
+                write!(f, "{mag}*{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_identity() {
+        let p = Poly::var("i") + Poly::constant(3);
+        assert!(!p.is_zero());
+        assert_eq!(p.as_constant(), None);
+        assert_eq!(Poly::constant(0), Poly::zero());
+        assert_eq!((p.clone() - p).as_constant(), Some(0));
+    }
+
+    #[test]
+    fn figure2_offset_algebra() {
+        // offset = f*N + i
+        let off = Poly::var("f") * Poly::var("N") + Poly::var("i");
+        assert_eq!(off.coefficient_of_var("f"), Poly::var("N"));
+        assert_eq!(off.coefficient_of_var("i"), Poly::constant(1));
+        assert_eq!(off.remainder_without("f"), Poly::var("i"));
+        assert_eq!(off.degree_of("f"), 1);
+        assert_eq!(off.vars(), vec!["N", "f", "i"]);
+    }
+
+    #[test]
+    fn multiplication_distributes() {
+        let a = Poly::var("x") + Poly::constant(1);
+        let b = Poly::var("x") - Poly::constant(1);
+        let prod = a * b;
+        // x^2 - 1
+        assert_eq!(prod.degree_of("x"), 2);
+        assert_eq!(prod.remainder_without("x"), Poly::constant(-1));
+    }
+
+    #[test]
+    fn substitution() {
+        let p = Poly::var("i") * Poly::var("N") + Poly::var("i");
+        let s = p.substitute("i", &Poly::constant(2));
+        assert_eq!(s, Poly::var("N") * 2 + Poly::constant(2));
+    }
+
+    #[test]
+    fn substitution_with_power() {
+        let p = Poly::var("x") * Poly::var("x"); // x^2
+        let s = p.substitute("x", &(Poly::var("y") + Poly::constant(1)));
+        // (y+1)^2 = y^2 + 2y + 1
+        assert_eq!(s.degree_of("y"), 2);
+        assert_eq!(s.remainder_without("y"), Poly::constant(1));
+    }
+
+    #[test]
+    fn evaluate() {
+        let p = Poly::var("f") * Poly::var("N") + Poly::var("i");
+        let mut asg = BTreeMap::new();
+        asg.insert("f".to_string(), 2);
+        asg.insert("N".to_string(), 5);
+        asg.insert("i".to_string(), 3);
+        assert_eq!(p.evaluate(&asg), 13);
+    }
+
+    #[test]
+    fn as_single_var() {
+        assert_eq!(Poly::var("k").as_single_var(), Some("k"));
+        assert_eq!((Poly::var("k") * 2).as_single_var(), None);
+        assert_eq!(Poly::constant(5).as_single_var(), None);
+        assert_eq!((Poly::var("k") * Poly::var("k")).as_single_var(), None);
+    }
+
+    #[test]
+    fn display() {
+        let p = Poly::var("f") * Poly::var("N") + Poly::var("i") - Poly::constant(2);
+        assert_eq!(p.to_string(), "-2 + N*f + i");
+        assert_eq!(Poly::zero().to_string(), "0");
+        assert_eq!((-Poly::var("x")).to_string(), "-x");
+    }
+}

@@ -1,0 +1,1100 @@
+//! Symbolic execution of C kernels for array-access recovery.
+//!
+//! This module implements the paper's §4.2.3 static analyses in one pass:
+//!
+//! - **array recovery** (Franke & O'Boyle): pointer-walking idioms like
+//!   `*p_m1++` are turned back into indexed array accesses by tracking
+//!   each pointer's offset as a polynomial over parameters and loop
+//!   induction variables;
+//! - **loop-nest summarisation**: `for` loops matching the induction
+//!   pattern `for (v = e0; v < bound; v++)` are summarised — locals whose
+//!   per-iteration delta is loop-invariant become affine functions of the
+//!   iteration variable, so a pointer bumped once per inner iteration
+//!   accumulates `N` per outer iteration (the Fig. 2 pattern, recovering
+//!   offset `f*N + i`);
+//! - **access recording**: every array read and write is recorded with its
+//!   offset polynomial and the enclosing loop context, ready for
+//!   delinearisation.
+//!
+//! The analysis is a *prediction* device (it shapes the synthesis grammar);
+//! when a kernel falls outside the supported patterns it degrades to
+//! `Unknown` offsets rather than failing, and the downstream pipeline
+//! simply gets weaker guidance.
+
+use std::collections::HashMap;
+
+use gtl_cfront::{AssignOp, CBinOp, CExpr, CType, Function, Stmt, UnOp};
+
+use crate::poly::Poly;
+
+/// A symbolic runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymVal {
+    /// An integer-valued quantity, as a polynomial over parameters and
+    /// induction variables.
+    Num(Poly),
+    /// A pointer into the `param`-th function parameter, displaced by
+    /// `offset` elements.
+    Ptr {
+        /// Index of the pointer parameter this pointer derives from.
+        param: usize,
+        /// Element offset polynomial.
+        offset: Poly,
+    },
+    /// Anything the analysis cannot track (array contents, data-dependent
+    /// values…).
+    Unknown,
+}
+
+/// One loop of the enclosing context of an access, outermost first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    /// The canonical induction-variable name used in offset polynomials.
+    pub var: String,
+    /// Trip count as a polynomial, when the loop matched the induction
+    /// pattern (`None` for `while`/irregular loops).
+    pub trip_count: Option<Poly>,
+}
+
+/// A recovered array access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayAccess {
+    /// Index of the accessed pointer parameter.
+    pub param: usize,
+    /// The offset polynomial; `None` when it could not be tracked.
+    pub offset: Option<Poly>,
+    /// Whether this access writes the element.
+    pub is_write: bool,
+    /// The enclosing loops at the point of access, outermost first.
+    pub loops: Vec<LoopInfo>,
+}
+
+/// The result of symbolically executing a kernel.
+#[derive(Debug, Clone, Default)]
+pub struct KernelSummary {
+    /// Every recovered access, in execution-discovery order.
+    pub accesses: Vec<ArrayAccess>,
+}
+
+impl KernelSummary {
+    /// Indices of pointer parameters that are written.
+    pub fn written_params(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for a in &self.accesses {
+            if a.is_write && !out.contains(&a.param) {
+                out.push(a.param);
+            }
+        }
+        out
+    }
+
+    /// Indices of pointer parameters that are read.
+    pub fn read_params(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for a in &self.accesses {
+            if !a.is_write && !out.contains(&a.param) {
+                out.push(a.param);
+            }
+        }
+        out
+    }
+
+    /// All accesses touching `param`.
+    pub fn accesses_of(&self, param: usize) -> impl Iterator<Item = &ArrayAccess> {
+        self.accesses.iter().filter(move |a| a.param == param)
+    }
+}
+
+/// How a local behaves across one loop iteration (phase-A classification).
+#[derive(Debug, Clone, PartialEq)]
+enum LoopBehavior {
+    /// Value unchanged by the body.
+    Invariant,
+    /// Value increases by a loop-invariant polynomial each iteration.
+    Induction(Poly),
+    /// Value is overwritten each iteration with the same expression
+    /// (e.g. `p_m2 = &Mat2[0];` at the top of the body).
+    Reset(SymVal),
+    /// Untrackable.
+    Opaque,
+}
+
+struct SymExec {
+    env: Vec<HashMap<String, SymVal>>,
+    accesses: Vec<ArrayAccess>,
+    loops: Vec<LoopInfo>,
+    recording: bool,
+    fresh: u32,
+}
+
+impl SymExec {
+    fn lookup(&self, name: &str) -> SymVal {
+        for scope in self.env.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return v.clone();
+            }
+        }
+        SymVal::Unknown
+    }
+
+    fn assign(&mut self, name: &str, v: SymVal) {
+        for scope in self.env.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return;
+            }
+        }
+        // Assignment to an undeclared name: tolerate by declaring at the
+        // innermost scope (the analysis is best-effort).
+        self.declare(name, v);
+    }
+
+    fn declare(&mut self, name: &str, v: SymVal) {
+        self.env
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), v);
+    }
+
+    /// Snapshot of every binding (flattened, innermost wins).
+    fn flat_env(&self) -> HashMap<String, SymVal> {
+        let mut out = HashMap::new();
+        for scope in &self.env {
+            for (k, v) in scope {
+                out.insert(k.clone(), v.clone());
+            }
+        }
+        out
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}${}", self.fresh)
+    }
+
+    fn record(&mut self, param: usize, offset: Option<Poly>, is_write: bool) {
+        if !self.recording {
+            return;
+        }
+        self.accesses.push(ArrayAccess {
+            param,
+            offset,
+            is_write,
+            loops: self.loops.clone(),
+        });
+    }
+
+    fn eval(&mut self, e: &CExpr) -> SymVal {
+        match e {
+            CExpr::IntLit(v) => SymVal::Num(Poly::constant(*v)),
+            CExpr::FloatLit { .. } => SymVal::Unknown,
+            CExpr::Var(n) => self.lookup(n),
+            CExpr::Unary { op, expr } => match op {
+                UnOp::Neg => match self.eval(expr) {
+                    SymVal::Num(p) => SymVal::Num(-p),
+                    _ => SymVal::Unknown,
+                },
+                UnOp::Not => {
+                    self.eval(expr);
+                    SymVal::Unknown
+                }
+                UnOp::Deref => {
+                    let v = self.eval(expr);
+                    if let SymVal::Ptr { param, offset } = v {
+                        self.record(param, Some(offset), false);
+                    }
+                    SymVal::Unknown
+                }
+                UnOp::AddrOf => match expr.as_ref() {
+                    CExpr::Index { base, index } => {
+                        let b = self.eval(base);
+                        let i = self.eval(index);
+                        match (b, i) {
+                            (SymVal::Ptr { param, offset }, SymVal::Num(p)) => SymVal::Ptr {
+                                param,
+                                offset: offset + p,
+                            },
+                            _ => SymVal::Unknown,
+                        }
+                    }
+                    CExpr::Unary {
+                        op: UnOp::Deref,
+                        expr: inner,
+                    } => self.eval(inner),
+                    _ => SymVal::Unknown,
+                },
+            },
+            CExpr::PostInc(inner) => self.step_lvalue(inner, 1),
+            CExpr::PostDec(inner) => self.step_lvalue(inner, -1),
+            CExpr::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs);
+                let r = self.eval(rhs);
+                self.binop(*op, l, r)
+            }
+            CExpr::Index { base, index } => {
+                let b = self.eval(base);
+                let i = self.eval(index);
+                match (b, i) {
+                    (SymVal::Ptr { param, offset }, SymVal::Num(p)) => {
+                        self.record(param, Some(offset + p), false);
+                    }
+                    (SymVal::Ptr { param, .. }, _) => {
+                        self.record(param, None, false);
+                    }
+                    _ => {}
+                }
+                SymVal::Unknown
+            }
+            CExpr::Assign { op, lhs, rhs } => {
+                let rv = self.eval(rhs);
+                self.do_assign(*op, lhs, rv)
+            }
+            CExpr::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                self.eval(cond);
+                let t = self.eval(then_val);
+                let f = self.eval(else_val);
+                if t == f {
+                    t
+                } else {
+                    SymVal::Unknown
+                }
+            }
+            CExpr::Cast { expr, .. } => self.eval(expr),
+        }
+    }
+
+    fn binop(&mut self, op: CBinOp, l: SymVal, r: SymVal) -> SymVal {
+        use SymVal::{Num, Ptr, Unknown};
+        match (op, l, r) {
+            (CBinOp::Add, Num(a), Num(b)) => Num(a + b),
+            (CBinOp::Sub, Num(a), Num(b)) => Num(a - b),
+            (CBinOp::Mul, Num(a), Num(b)) => Num(a * b),
+            (CBinOp::Div, Num(a), Num(b)) => {
+                // Exact constant division only.
+                match (a.as_constant(), b.as_constant()) {
+                    (Some(x), Some(y)) if y != 0 && x % y == 0 => Num(Poly::constant(x / y)),
+                    _ => Unknown,
+                }
+            }
+            (CBinOp::Add, Ptr { param, offset }, Num(p))
+            | (CBinOp::Add, Num(p), Ptr { param, offset }) => Ptr {
+                param,
+                offset: offset + p,
+            },
+            (CBinOp::Sub, Ptr { param, offset }, Num(p)) => Ptr {
+                param,
+                offset: offset - p,
+            },
+            (
+                CBinOp::Sub,
+                Ptr {
+                    param: p1,
+                    offset: o1,
+                },
+                Ptr {
+                    param: p2,
+                    offset: o2,
+                },
+            ) if p1 == p2 => Num(o1 - o2),
+            _ => Unknown,
+        }
+    }
+
+    fn step_lvalue(&mut self, inner: &CExpr, delta: i64) -> SymVal {
+        if let CExpr::Var(n) = inner {
+            let old = self.lookup(n);
+            let new = match &old {
+                SymVal::Num(p) => SymVal::Num(p.clone() + Poly::constant(delta)),
+                SymVal::Ptr { param, offset } => SymVal::Ptr {
+                    param: *param,
+                    offset: offset.clone() + Poly::constant(delta),
+                },
+                SymVal::Unknown => SymVal::Unknown,
+            };
+            self.assign(n, new);
+            old
+        } else {
+            // e.g. a[i]++ — a read-modify-write of an array element.
+            self.lvalue_access(inner, true, true);
+            SymVal::Unknown
+        }
+    }
+
+    /// Resolves `e` as an lvalue, recording the access(es).
+    fn lvalue_access(&mut self, e: &CExpr, read: bool, write: bool) {
+        let target = match e {
+            CExpr::Index { base, index } => {
+                let b = self.eval(base);
+                let i = self.eval(index);
+                match (b, i) {
+                    (SymVal::Ptr { param, offset }, SymVal::Num(p)) => Some((param, Some(offset + p))),
+                    (SymVal::Ptr { param, .. }, _) => Some((param, None)),
+                    _ => None,
+                }
+            }
+            CExpr::Unary {
+                op: UnOp::Deref,
+                expr,
+            } => match self.eval(expr) {
+                SymVal::Ptr { param, offset } => Some((param, Some(offset))),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some((param, offset)) = target {
+            if read {
+                self.record(param, offset.clone(), false);
+            }
+            if write {
+                self.record(param, offset, true);
+            }
+        }
+    }
+
+    fn do_assign(&mut self, op: AssignOp, lhs: &CExpr, rv: SymVal) -> SymVal {
+        match lhs {
+            CExpr::Var(n) => {
+                let new = match op.arith() {
+                    None => rv,
+                    Some(a) => {
+                        let old = self.lookup(n);
+                        self.binop(a, old, rv)
+                    }
+                };
+                self.assign(n, new.clone());
+                new
+            }
+            _ => {
+                // Array element: compound assignment reads then writes.
+                let reads = op.arith().is_some();
+                self.lvalue_access(lhs, reads, true);
+                SymVal::Unknown
+            }
+        }
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.exec_stmt(s);
+        }
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, ty, init } => {
+                let v = match init {
+                    Some(e) => self.eval(e),
+                    None => match ty {
+                        CType::Num(_) => SymVal::Num(Poly::zero()),
+                        CType::Ptr(_) => SymVal::Unknown,
+                    },
+                };
+                self.declare(name, v);
+            }
+            Stmt::Expr(e) => {
+                self.eval(e);
+            }
+            Stmt::Multi(decls) => self.exec_stmts(decls),
+            Stmt::Block(b) => {
+                self.env.push(HashMap::new());
+                self.exec_stmts(b);
+                self.env.pop();
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.eval(cond);
+                let before = self.flat_env();
+                self.env.push(HashMap::new());
+                self.exec_stmts(then_body);
+                self.env.pop();
+                let after_then = self.flat_env();
+                // Roll back and run the else branch from the same state.
+                self.restore(&before);
+                self.env.push(HashMap::new());
+                self.exec_stmts(else_body);
+                self.env.pop();
+                let after_else = self.flat_env();
+                // Join: agreeing values survive, the rest become Unknown.
+                let joined: HashMap<String, SymVal> = after_then
+                    .iter()
+                    .map(|(k, v)| {
+                        let other = after_else.get(k);
+                        if other == Some(v) {
+                            (k.clone(), v.clone())
+                        } else {
+                            (k.clone(), SymVal::Unknown)
+                        }
+                    })
+                    .collect();
+                self.restore(&joined);
+            }
+            Stmt::While { cond, body } => {
+                self.eval(cond);
+                self.opaque_loop(body);
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.eval(e);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.env.push(HashMap::new());
+                if let Some(i) = init {
+                    self.exec_stmt(i);
+                }
+                match self.match_induction(cond.as_ref(), step.as_ref()) {
+                    Some((var, start, trip)) => self.induction_loop(&var, start, trip, body),
+                    None => {
+                        if let Some(c) = cond {
+                            self.eval(c);
+                        }
+                        self.opaque_loop(body);
+                    }
+                }
+                self.env.pop();
+            }
+        }
+    }
+
+    fn restore(&mut self, flat: &HashMap<String, SymVal>) {
+        for scope in self.env.iter_mut() {
+            for (k, v) in scope.iter_mut() {
+                if let Some(nv) = flat.get(k) {
+                    *v = nv.clone();
+                }
+            }
+        }
+    }
+
+    /// Matches `v < bound; v++` style headers. Returns the induction
+    /// variable, its start value and the trip-count polynomial.
+    fn match_induction(
+        &mut self,
+        cond: Option<&CExpr>,
+        step: Option<&CExpr>,
+    ) -> Option<(String, Poly, Poly)> {
+        let step = step?;
+        let var = match step {
+            CExpr::PostInc(inner) => match inner.as_ref() {
+                CExpr::Var(v) => v.clone(),
+                _ => return None,
+            },
+            CExpr::Assign {
+                op: AssignOp::AddAssign,
+                lhs,
+                rhs,
+            } => match (lhs.as_ref(), rhs.as_ref()) {
+                (CExpr::Var(v), CExpr::IntLit(1)) => v.clone(),
+                _ => return None,
+            },
+            CExpr::Assign {
+                op: AssignOp::Assign,
+                lhs,
+                rhs,
+            } => match (lhs.as_ref(), rhs.as_ref()) {
+                (
+                    CExpr::Var(v),
+                    CExpr::Binary {
+                        op: CBinOp::Add,
+                        lhs: a,
+                        rhs: b,
+                    },
+                ) => match (a.as_ref(), b.as_ref()) {
+                    (CExpr::Var(v2), CExpr::IntLit(1)) if v2 == v => v.clone(),
+                    (CExpr::IntLit(1), CExpr::Var(v2)) if v2 == v => v.clone(),
+                    _ => return None,
+                },
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let start = match self.lookup(&var) {
+            SymVal::Num(p) => p,
+            _ => return None,
+        };
+        let (lo, hi, inclusive) = match cond? {
+            CExpr::Binary { op, lhs, rhs } => match (op, lhs.as_ref(), rhs.as_ref()) {
+                (CBinOp::Lt, CExpr::Var(v), bound) if *v == var => (None, Some(bound), false),
+                (CBinOp::Le, CExpr::Var(v), bound) if *v == var => (None, Some(bound), true),
+                (CBinOp::Gt, bound, CExpr::Var(v)) if *v == var => (Some(bound), None, false),
+                (CBinOp::Ge, bound, CExpr::Var(v)) if *v == var => (Some(bound), None, true),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let bound_expr = hi.or(lo)?;
+        let bound = match self.eval(bound_expr) {
+            SymVal::Num(p) => p,
+            _ => return None,
+        };
+        let mut trip = bound - start.clone();
+        if inclusive {
+            trip = trip + Poly::constant(1);
+        }
+        Some((var, start, trip))
+    }
+
+    /// Summarises and then re-executes an induction loop (phases A and B).
+    fn induction_loop(&mut self, var: &str, start: Poly, trip: Poly, body: &[Stmt]) {
+        // The canonical name used inside offset polynomials: `t` counts
+        // iterations from zero, so v = start + t.
+        let iter = self.fresh_name(var);
+
+        // ---- Phase A: discover per-iteration behaviour. ----
+        let saved_env = self.env.clone();
+        let saved_recording = self.recording;
+        self.recording = false;
+
+        // Bind each local the body *modifies* to a fresh entry symbol;
+        // unmodified locals (and parameters) keep their concrete values so
+        // deltas come out in terms of real parameters.
+        let live = self.flat_env();
+        let mut modified = Vec::new();
+        collect_modified(body, &mut modified);
+        let mut entry_syms: HashMap<String, (String, SymVal)> = HashMap::new();
+        for name in &modified {
+            if name == var {
+                continue;
+            }
+            let Some(val) = live.get(name) else { continue };
+            let sym = self.fresh_name("$e");
+            let abstracted = match val {
+                SymVal::Num(_) => SymVal::Num(Poly::var(&sym)),
+                SymVal::Ptr { param, .. } => SymVal::Ptr {
+                    param: *param,
+                    offset: Poly::var(&sym),
+                },
+                SymVal::Unknown => SymVal::Unknown,
+            };
+            entry_syms.insert(name.clone(), (sym, val.clone()));
+            self.restore_one(name, abstracted);
+        }
+        self.restore_one(var, SymVal::Num(Poly::var(&iter)));
+
+        self.env.push(HashMap::new());
+        self.exec_stmts(body);
+        self.env.pop();
+        let after = self.flat_env();
+
+        // Classify each local.
+        let all_entry_names: Vec<String> =
+            entry_syms.values().map(|(s, _)| s.clone()).collect();
+        let mentions_entry_or_iter = |p: &Poly| {
+            p.contains_var(&iter) || all_entry_names.iter().any(|s| p.contains_var(s))
+        };
+        let classify = |name: &str| -> LoopBehavior {
+            let (sym, original) = &entry_syms[name];
+            let after_v = after.get(name).cloned().unwrap_or(SymVal::Unknown);
+            match (original, &after_v) {
+                (SymVal::Num(_), SymVal::Num(p)) => {
+                    let delta = p.clone() - Poly::var(sym);
+                    if !mentions_entry_or_iter(&delta) {
+                        if delta.is_zero() {
+                            LoopBehavior::Invariant
+                        } else {
+                            LoopBehavior::Induction(delta)
+                        }
+                    } else if !mentions_entry_or_iter(p) {
+                        LoopBehavior::Reset(SymVal::Num(p.clone()))
+                    } else {
+                        LoopBehavior::Opaque
+                    }
+                }
+                (
+                    SymVal::Ptr { param: p0, .. },
+                    SymVal::Ptr {
+                        param: p1,
+                        offset: o1,
+                    },
+                ) => {
+                    if p0 == p1 {
+                        let delta = o1.clone() - Poly::var(sym);
+                        if !mentions_entry_or_iter(&delta) {
+                            return if delta.is_zero() {
+                                LoopBehavior::Invariant
+                            } else {
+                                LoopBehavior::Induction(delta)
+                            };
+                        }
+                    }
+                    if !mentions_entry_or_iter(o1) {
+                        LoopBehavior::Reset(after_v.clone())
+                    } else {
+                        LoopBehavior::Opaque
+                    }
+                }
+                (_, SymVal::Unknown) => LoopBehavior::Opaque,
+                (_, SymVal::Num(p)) | (_, SymVal::Ptr { offset: p, .. }) => {
+                    if !mentions_entry_or_iter(p) {
+                        LoopBehavior::Reset(after_v.clone())
+                    } else {
+                        LoopBehavior::Opaque
+                    }
+                }
+            }
+        };
+        let behaviors: HashMap<String, LoopBehavior> = entry_syms
+            .keys()
+            .map(|name| (name.clone(), classify(name)))
+            .collect();
+
+        // The induction variable itself must not be modified by the body.
+        let var_ok = matches!(
+            after.get(var),
+            Some(SymVal::Num(p)) if p.as_single_var() == Some(iter.as_str())
+        );
+
+        self.env = saved_env;
+        self.recording = saved_recording;
+
+        if !var_ok {
+            self.opaque_loop(body);
+            return;
+        }
+
+        // ---- Phase B: execute once with affine iteration values. ----
+        for (name, behavior) in &behaviors {
+            let entry = live[name].clone();
+            let value = match behavior {
+                LoopBehavior::Invariant => entry,
+                LoopBehavior::Induction(delta) => {
+                    if delta.is_zero() {
+                        entry
+                    } else {
+                        add_offset(entry, Poly::var(&iter) * delta.clone())
+                    }
+                }
+                // Reads before the reset would be iteration-dependent;
+                // conservatively start opaque (the reset overwrites it).
+                LoopBehavior::Reset(_) => SymVal::Unknown,
+                LoopBehavior::Opaque => SymVal::Unknown,
+            };
+            self.restore_one(name, value);
+        }
+        self.restore_one(
+            var,
+            SymVal::Num(start.clone() + Poly::var(&iter)),
+        );
+        self.loops.push(LoopInfo {
+            var: iter.clone(),
+            trip_count: Some(trip.clone()),
+        });
+        self.env.push(HashMap::new());
+        self.exec_stmts(body);
+        self.env.pop();
+        self.loops.pop();
+
+        // ---- Post-loop state. ----
+        for (name, behavior) in &behaviors {
+            let entry = live[name].clone();
+            let value = match behavior {
+                LoopBehavior::Invariant => entry,
+                LoopBehavior::Induction(delta) => {
+                    if delta.is_zero() {
+                        entry
+                    } else {
+                        add_offset(entry, trip.clone() * delta.clone())
+                    }
+                }
+                // Valid when the loop runs at least once; a prediction
+                // heuristic may assume that.
+                LoopBehavior::Reset(v) => v.clone(),
+                LoopBehavior::Opaque => SymVal::Unknown,
+            };
+            self.restore_one(name, value);
+        }
+        self.restore_one(var, SymVal::Num(start + trip));
+    }
+
+    fn restore_one(&mut self, name: &str, v: SymVal) {
+        for scope in self.env.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return;
+            }
+        }
+        // Not found: bind at outermost scope so it stays visible.
+        self.env
+            .first_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), v);
+    }
+
+    /// Conservative treatment of loops we cannot summarise: run the body
+    /// once with every locally-modified variable unknown, inside an
+    /// unbounded loop context.
+    fn opaque_loop(&mut self, body: &[Stmt]) {
+        let mut modified = Vec::new();
+        collect_modified(body, &mut modified);
+        for name in &modified {
+            self.restore_one(name, SymVal::Unknown);
+        }
+        let iter = self.fresh_name("w");
+        self.loops.push(LoopInfo {
+            var: iter,
+            trip_count: None,
+        });
+        self.env.push(HashMap::new());
+        self.exec_stmts(body);
+        self.env.pop();
+        self.loops.pop();
+        for name in &modified {
+            self.restore_one(name, SymVal::Unknown);
+        }
+    }
+}
+
+fn add_offset(v: SymVal, extra: Poly) -> SymVal {
+    match v {
+        SymVal::Num(p) => SymVal::Num(p + extra),
+        SymVal::Ptr { param, offset } => SymVal::Ptr {
+            param,
+            offset: offset + extra,
+        },
+        SymVal::Unknown => SymVal::Unknown,
+    }
+}
+
+/// Syntactically collects names assigned anywhere in `stmts`.
+fn collect_modified(stmts: &[Stmt], out: &mut Vec<String>) {
+    fn expr(e: &CExpr, out: &mut Vec<String>) {
+        match e {
+            CExpr::Assign { lhs, rhs, .. } => {
+                if let CExpr::Var(n) = lhs.as_ref() {
+                    if !out.contains(n) {
+                        out.push(n.clone());
+                    }
+                }
+                expr(lhs, out);
+                expr(rhs, out);
+            }
+            CExpr::PostInc(i) | CExpr::PostDec(i) => {
+                if let CExpr::Var(n) = i.as_ref() {
+                    if !out.contains(n) {
+                        out.push(n.clone());
+                    }
+                }
+                expr(i, out);
+            }
+            CExpr::Unary { expr: i, .. } => expr(i, out),
+            CExpr::Binary { lhs, rhs, .. } => {
+                expr(lhs, out);
+                expr(rhs, out);
+            }
+            CExpr::Index { base, index } => {
+                expr(base, out);
+                expr(index, out);
+            }
+            CExpr::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                expr(cond, out);
+                expr(then_val, out);
+                expr(else_val, out);
+            }
+            CExpr::Cast { expr: i, .. } => expr(i, out),
+            CExpr::IntLit(_) | CExpr::FloatLit { .. } | CExpr::Var(_) => {}
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    expr(e, out);
+                }
+            }
+            Stmt::Expr(e) => expr(e, out),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    collect_modified(std::slice::from_ref(i), out);
+                }
+                if let Some(c) = cond {
+                    expr(c, out);
+                }
+                if let Some(st) = step {
+                    expr(st, out);
+                }
+                collect_modified(body, out);
+            }
+            Stmt::While { cond, body } => {
+                expr(cond, out);
+                collect_modified(body, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr(cond, out);
+                collect_modified(then_body, out);
+                collect_modified(else_body, out);
+            }
+            Stmt::Return(Some(e)) => expr(e, out),
+            Stmt::Return(None) => {}
+            Stmt::Block(b) | Stmt::Multi(b) => collect_modified(b, out),
+        }
+    }
+}
+
+/// Symbolically executes `func`, recovering every array access with its
+/// offset polynomial and loop context.
+///
+/// ```
+/// use gtl_analysis::summarize_kernel;
+/// use gtl_cfront::parse_c;
+///
+/// let src = "void f(int n, int *a, int *out) {
+///     for (int i = 0; i < n; i++) out[i] = a[i] * 2;
+/// }";
+/// let p = parse_c(src).unwrap();
+/// let summary = summarize_kernel(p.kernel());
+/// assert_eq!(summary.written_params(), vec![2]);
+/// assert_eq!(summary.read_params(), vec![1]);
+/// ```
+pub fn summarize_kernel(func: &Function) -> KernelSummary {
+    let mut exec = SymExec {
+        env: vec![HashMap::new()],
+        accesses: Vec::new(),
+        loops: Vec::new(),
+        recording: true,
+        fresh: 0,
+    };
+    let mut ptr_index = 0usize;
+    for (_i, param) in func.params.iter().enumerate() {
+        let v = match param.ty {
+            CType::Num(_) => SymVal::Num(Poly::var(&param.name)),
+            CType::Ptr(_) => {
+                let slot = ptr_index;
+                ptr_index += 1;
+                // Parameter indices count *all* params so they line up
+                // with the function signature; remember the pointer slot
+                // separately if needed. We use the signature index.
+                let _ = slot;
+                SymVal::Ptr {
+                    param: _i,
+                    offset: Poly::zero(),
+                }
+            }
+        };
+        exec.declare(&param.name, v);
+    }
+    exec.exec_stmts(&func.body);
+    KernelSummary {
+        accesses: exec.accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_cfront::parse_c;
+
+    const FIGURE2: &str = r#"
+void function(int N, int *Mat1, int *Mat2, int *Result) {
+    int *p_m1;
+    int *p_m2;
+    int *p_t;
+    int i, f;
+    p_m1 = Mat1;
+    p_t = Result;
+    for (f = 0; f < N; f++) {
+        *p_t = 0;
+        p_m2 = &Mat2[0];
+        for (i = 0; i < N; i++)
+            *p_t += *p_m1++ * *p_m2++;
+        p_t++;
+    }
+}
+"#;
+
+    fn offsets_of(summary: &KernelSummary, param: usize, write: bool) -> Vec<String> {
+        summary
+            .accesses
+            .iter()
+            .filter(|a| a.param == param && a.is_write == write)
+            .map(|a| {
+                a.offset
+                    .as_ref()
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "?".to_string())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure2_pointer_recovery() {
+        let p = parse_c(FIGURE2).unwrap();
+        let s = summarize_kernel(p.kernel());
+        // Result (param 3) is the only written array.
+        assert_eq!(s.written_params(), vec![3]);
+        // Mat1 (param 1) reads have offset f*N + i: two loop vars.
+        let m1_reads: Vec<&ArrayAccess> = s.accesses_of(1).collect();
+        assert!(!m1_reads.is_empty());
+        let off = m1_reads[0].offset.as_ref().expect("tracked offset");
+        // Offset polynomial mentions both induction variables.
+        let loop_vars: Vec<&str> = m1_reads[0]
+            .loops
+            .iter()
+            .map(|l| l.var.as_str())
+            .collect();
+        assert_eq!(loop_vars.len(), 2, "two enclosing loops");
+        assert!(loop_vars.iter().all(|v| off.contains_var(v)));
+        // Mat2 (param 2) reads depend only on the inner variable.
+        let m2_reads: Vec<&ArrayAccess> = s.accesses_of(2).collect();
+        let off2 = m2_reads[0].offset.as_ref().expect("tracked offset");
+        let inner = &m2_reads[0].loops[1].var;
+        let outer = &m2_reads[0].loops[0].var;
+        assert!(off2.contains_var(inner));
+        assert!(!off2.contains_var(outer));
+        // Result writes depend only on the outer variable.
+        let w = s
+            .accesses
+            .iter()
+            .filter(|a| a.param == 3 && a.is_write)
+            .collect::<Vec<_>>();
+        assert!(w
+            .iter()
+            .all(|a| a.offset.as_ref().is_some_and(|o| !o.contains_var(inner))));
+    }
+
+    #[test]
+    fn direct_indexing() {
+        let src = "void f(int n, int m, int *a, int *out) {
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < m; j++)
+                    out[i*m + j] = a[i*m + j] * 2;
+        }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        let writes = offsets_of(&s, 3, true);
+        assert_eq!(writes.len(), 1);
+        // Offset is i*m + j in canonical names.
+        let a = &s.accesses[0];
+        let vars: Vec<&str> = a.loops.iter().map(|l| l.var.as_str()).collect();
+        let off = s
+            .accesses
+            .iter()
+            .find(|x| x.param == 3)
+            .unwrap()
+            .offset
+            .as_ref()
+            .unwrap();
+        assert!(vars.iter().all(|v| off.contains_var(v)));
+    }
+
+    #[test]
+    fn scalar_output_write() {
+        let src = "void dot(int n, int *a, int *b, int *out) {
+            *out = 0;
+            for (int i = 0; i < n; i++) *out += a[i] * b[i];
+        }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        // All writes to out (param 3) have constant offset 0.
+        for a in s.accesses_of(3) {
+            if a.is_write {
+                assert_eq!(a.offset.as_ref().and_then(Poly::as_constant), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn trip_counts_recorded() {
+        let src = "void f(int n, int *a) { for (int i = 0; i < n; i++) a[i] = 0; }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        let acc = &s.accesses[0];
+        assert_eq!(acc.loops.len(), 1);
+        assert_eq!(acc.loops[0].trip_count, Some(Poly::var("n")));
+    }
+
+    #[test]
+    fn while_loop_is_opaque_but_recorded() {
+        let src = "void f(int n, int *a) {
+            int i = 0;
+            while (i < n) { a[i] = 1; i++; }
+        }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        // Access recorded, offset unknown (i is opaque inside while).
+        let acc = s.accesses.iter().find(|a| a.param == 1 && a.is_write);
+        assert!(acc.is_some());
+        assert_eq!(acc.unwrap().offset, None);
+        assert_eq!(acc.unwrap().loops.len(), 1);
+        assert_eq!(acc.unwrap().loops[0].trip_count, None);
+    }
+
+    #[test]
+    fn le_bound_trip_count() {
+        let src = "void f(int n, int *a) { for (int i = 0; i <= n; i++) a[i] = 0; }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        assert_eq!(
+            s.accesses[0].loops[0].trip_count,
+            Some(Poly::var("n") + Poly::constant(1))
+        );
+    }
+
+    #[test]
+    fn nonzero_start() {
+        let src = "void f(int n, int *a) { for (int i = 1; i < n; i++) a[i] = 0; }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        // Trip count n-1; offset of the write is 1 + t where t is the
+        // canonical iteration counter.
+        let acc = &s.accesses[0];
+        assert_eq!(
+            acc.loops[0].trip_count,
+            Some(Poly::var("n") - Poly::constant(1))
+        );
+        let off = acc.offset.as_ref().unwrap();
+        assert_eq!(off.remainder_without(&acc.loops[0].var), Poly::constant(1));
+    }
+
+    #[test]
+    fn if_join_makes_unknown() {
+        let src = "void f(int c, int n, int *a) {
+            int k = 0;
+            if (c > 0) { k = 1; } else { k = 2; }
+            a[k] = 5;
+        }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        let w = s.accesses.iter().find(|a| a.is_write).unwrap();
+        assert_eq!(w.offset, None, "joined value must be unknown");
+    }
+
+    #[test]
+    fn strided_pointer_walk() {
+        // p advances by 2 per iteration: offset 2*t.
+        let src = "void f(int n, int *a) {
+            int *p = a;
+            for (int i = 0; i < n; i++) { *p = 0; p = p + 2; }
+        }";
+        let p = parse_c(src).unwrap();
+        let s = summarize_kernel(p.kernel());
+        let w = s.accesses.iter().find(|a| a.is_write).unwrap();
+        let off = w.offset.as_ref().unwrap();
+        let iter = &w.loops[0].var;
+        assert_eq!(off.coefficient_of_var(iter), Poly::constant(2));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the polynomial abstract domain: ring axioms,
+//! substitution/evaluation coherence, and delinearisation consistency.
+
+use std::collections::BTreeMap;
+
+use gtl_analysis::symexec::LoopInfo;
+use gtl_analysis::{delinearize, Poly};
+use proptest::prelude::*;
+
+fn arb_poly() -> impl Strategy<Value = Poly> {
+    let term = (
+        prop::sample::select(vec!["x", "y", "N", "M"]),
+        0u32..3,
+        -5i64..5,
+    );
+    prop::collection::vec(term, 0..4).prop_map(|terms| {
+        let mut p = Poly::zero();
+        for (var, pow, coeff) in terms {
+            let mut t = Poly::constant(coeff);
+            for _ in 0..pow {
+                t = t * Poly::var(var);
+            }
+            p = p + t;
+        }
+        p
+    })
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in arb_poly(), b in arb_poly()) {
+        prop_assert_eq!(a.clone() + b.clone(), b + a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in arb_poly(), b in arb_poly()) {
+        prop_assert_eq!(a.clone() * b.clone(), b * a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        prop_assert_eq!(
+            a.clone() * (b.clone() + c.clone()),
+            a.clone() * b + a * c
+        );
+    }
+
+    #[test]
+    fn subtraction_cancels(a in arb_poly()) {
+        prop_assert!((a.clone() - a).is_zero());
+    }
+
+    #[test]
+    fn evaluation_is_a_ring_hom(
+        a in arb_poly(),
+        b in arb_poly(),
+        x in -5i64..5,
+        y in -5i64..5,
+    ) {
+        let mut asg = BTreeMap::new();
+        asg.insert("x".to_string(), x);
+        asg.insert("y".to_string(), y);
+        asg.insert("N".to_string(), 7);
+        asg.insert("M".to_string(), 3);
+        prop_assert_eq!(
+            (a.clone() + b.clone()).evaluate(&asg),
+            a.evaluate(&asg) + b.evaluate(&asg)
+        );
+        prop_assert_eq!(
+            (a.clone() * b.clone()).evaluate(&asg),
+            a.evaluate(&asg) * b.evaluate(&asg)
+        );
+    }
+
+    #[test]
+    fn substitution_agrees_with_evaluation(a in arb_poly(), v in -4i64..4) {
+        // Substituting x := v then evaluating equals evaluating with x = v.
+        let mut asg = BTreeMap::new();
+        asg.insert("y".to_string(), 2);
+        asg.insert("N".to_string(), 7);
+        asg.insert("M".to_string(), 3);
+        let substituted = a.substitute("x", &Poly::constant(v));
+        let direct = {
+            let mut asg2 = asg.clone();
+            asg2.insert("x".to_string(), v);
+            a.evaluate(&asg2)
+        };
+        prop_assert_eq!(substituted.evaluate(&asg), direct);
+    }
+}
+
+// Delinearisation inverts row-major linearisation for arbitrary
+// 2-D and 3-D nests.
+proptest! {
+    #[test]
+    fn delinearize_inverts_linearize_2d(_n in 2usize..6, _m in 2usize..6) {
+        let offset = Poly::var("i") * Poly::var("M") + Poly::var("j");
+        let loops = [
+            LoopInfo { var: "i".into(), trip_count: Some(Poly::var("N")) },
+            LoopInfo { var: "j".into(), trip_count: Some(Poly::var("M")) },
+        ];
+        let rec = delinearize(&offset, &loops).unwrap();
+        prop_assert_eq!(rec.indices, vec!["i".to_string(), "j".to_string()]);
+        prop_assert!(rec.exact);
+    }
+
+    #[test]
+    fn delinearize_constant_strides(s in 2i64..6) {
+        // a[s*i]: one index variable, inexact stride.
+        let offset = Poly::var("i") * s;
+        let loops = [LoopInfo { var: "i".into(), trip_count: Some(Poly::var("N")) }];
+        let rec = delinearize(&offset, &loops).unwrap();
+        prop_assert_eq!(rec.rank(), 1);
+        prop_assert!(!rec.exact);
+    }
+}

@@ -1,0 +1,410 @@
+//! The C2TACO baseline: bottom-up enumerative synthesis with (optional)
+//! program-analysis heuristics, validated by I/O testing only.
+//!
+//! C2TACO ([26], GPCE 2023) enumerates TACO programs shortest-first and
+//! checks them against input/output examples; its domain heuristics
+//! predict the number of tensors, their dimensionalities and the
+//! constants from static analysis of the C code. Unlike STAGG it performs
+//! no bounded verification — the paper notes its correctness is asserted
+//! "using only I/O testing" (§9.2) — and no LLM is involved.
+
+use std::time::Instant;
+
+use gtl::LiftQuery;
+use gtl_analysis::{analyze_kernel, delinearize_access};
+use gtl_search::SearchBudget;
+use gtl_taco::{canonical_tensor_name, Access, BinOp, Expr, TacoProgram};
+use gtl_template::{build_chain_expr, canonical_prefix, index_tuples};
+use gtl_validate::{generate_examples, validate_template, ExampleConfig, ValidationStats};
+
+use crate::common::BaselineReport;
+
+/// Configuration of the C2TACO baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct C2TacoConfig {
+    /// Enable the program-analysis heuristics (dimension/size/constant
+    /// prediction). Disabling gives the paper's `C2TACO.NoHeuristics`.
+    pub heuristics: bool,
+    /// Enumeration budget.
+    pub budget: SearchBudget,
+    /// Maximum operands per expression.
+    pub max_operands: usize,
+    /// Maximum tensor rank considered without heuristics.
+    pub max_dim: usize,
+    /// I/O example generation.
+    pub examples: ExampleConfig,
+}
+
+impl Default for C2TacoConfig {
+    fn default() -> Self {
+        C2TacoConfig {
+            heuristics: true,
+            budget: SearchBudget::default(),
+            max_operands: 4,
+            max_dim: 3,
+            examples: ExampleConfig::default(),
+        }
+    }
+}
+
+/// The statically-predicted operand inventory.
+#[derive(Debug, Clone)]
+struct OperandPrediction {
+    /// Ranks of the mandatory operands: one per distinct (read array,
+    /// offset pattern) pair — so a kernel reading `A[i*m+k]` and
+    /// `A[j*m+k]` predicts *two* rank-2 operands.
+    mandatory: Vec<usize>,
+    /// Number of scalar parameters that may optionally join as rank-0
+    /// operands.
+    optional_scalars: usize,
+    /// Predicted LHS rank.
+    lhs_rank: Option<usize>,
+}
+
+fn predict_operands(query: &LiftQuery) -> OperandPrediction {
+    let facts = analyze_kernel(&query.task.func);
+    let mut mandatory = Vec::new();
+    for (param, _) in &facts.param_ranks {
+        if Some(*param) == facts.output_param {
+            continue;
+        }
+        // Count distinct read-offset classes for this parameter.
+        let mut classes: Vec<String> = Vec::new();
+        let mut ranks: Vec<usize> = Vec::new();
+        for access in facts.summary.accesses_of(*param) {
+            if access.is_write {
+                continue;
+            }
+            let key = access
+                .offset
+                .as_ref()
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "?".to_string());
+            if !classes.contains(&key) {
+                classes.push(key);
+                let rank = delinearize_access(access)
+                    .map(|r| r.rank())
+                    .unwrap_or(0);
+                ranks.push(rank);
+            }
+        }
+        mandatory.extend(ranks);
+    }
+    let optional_scalars = query
+        .task
+        .params
+        .iter()
+        .filter(|p| {
+            matches!(
+                p.kind,
+                gtl_validate::TaskParamKind::ScalarIn { .. }
+                    | gtl_validate::TaskParamKind::Size(_)
+            )
+        })
+        .count()
+        .min(2);
+    OperandPrediction {
+        mandatory,
+        optional_scalars,
+        lhs_rank: facts.lhs_dim,
+    }
+}
+
+/// All distinct permutations of a dim multiset extended by `extra` zeros.
+fn dim_sequences_with_heuristics(pred: &OperandPrediction) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for extra in 0..=pred.optional_scalars {
+        let mut base = pred.mandatory.clone();
+        base.extend(std::iter::repeat_n(0usize, extra));
+        base.sort_unstable();
+        // Enumerate distinct permutations.
+        let mut perms = Vec::new();
+        permute_distinct(&base, &mut Vec::new(), &mut vec![false; base.len()], &mut perms);
+        out.extend(perms);
+    }
+    // Shortest first.
+    out.sort_by_key(Vec::len);
+    out.dedup();
+    out
+}
+
+fn permute_distinct(
+    items: &[usize],
+    current: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if current.len() == items.len() {
+        out.push(current.clone());
+        return;
+    }
+    let mut last: Option<usize> = None;
+    for i in 0..items.len() {
+        if used[i] || last == Some(items[i]) {
+            continue;
+        }
+        last = Some(items[i]);
+        used[i] = true;
+        current.push(items[i]);
+        permute_distinct(items, current, used, out);
+        current.pop();
+        used[i] = false;
+    }
+}
+
+/// All dim sequences of length `k` over `0..=max_dim` (no heuristics).
+fn dim_sequences_free(k: usize, max_dim: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for seq in &out {
+            for d in 0..=max_dim {
+                let mut s = seq.clone();
+                s.push(d);
+                next.push(s);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Lifts a query with C2TACO-style size-ordered enumeration.
+pub fn c2taco_lift(query: &LiftQuery, cfg: &C2TacoConfig) -> BaselineReport {
+    let started = Instant::now();
+    let examples = match generate_examples(&query.task, &cfg.examples) {
+        Ok(e) => e,
+        Err(_) => {
+            return BaselineReport {
+                label: query.label.clone(),
+                solution: None,
+                attempts: 0,
+                elapsed: started.elapsed(),
+            }
+        }
+    };
+    let pred = predict_operands(query);
+
+    // LHS options.
+    let lhs_ranks: Vec<usize> = if cfg.heuristics {
+        match pred.lhs_rank {
+            Some(r) => vec![r],
+            None => (0..=cfg.max_dim).collect(),
+        }
+    } else {
+        (0..=cfg.max_dim).collect()
+    };
+
+    let mut attempts = 0u64;
+    let mut stats = ValidationStats::default();
+    let over_budget = |attempts: u64, started: &Instant| {
+        attempts >= cfg.budget.max_attempts || started.elapsed() >= cfg.budget.time_limit
+    };
+
+    // Size-ordered enumeration: operand count k ascending.
+    for k in 1..=cfg.max_operands {
+        let sequences: Vec<Vec<usize>> = if cfg.heuristics {
+            dim_sequences_with_heuristics(&pred)
+                .into_iter()
+                .filter(|s| s.len() == k)
+                .collect()
+        } else {
+            dim_sequences_free(k, cfg.max_dim)
+        };
+        for seq in &sequences {
+            // Leaf options per operand: every index tuple for the
+            // operand's rank; rank-0 slots additionally admit a source
+            // constant (C2TACO's constant prediction). C2TACO admits
+            // repeated indices for matrices (diagonal accesses) but keeps
+            // tuples distinct beyond rank 2 to bound the space.
+            let leaf_options: Vec<Vec<LeafKind>> = seq
+                .iter()
+                .map(|&d| {
+                    let mut opts: Vec<LeafKind> = index_tuples(d, 4, d <= 2)
+                        .into_iter()
+                        .map(LeafKind::Tuple)
+                        .collect();
+                    if d == 0 && !query.task.constants.is_empty() {
+                        opts.push(LeafKind::Constant);
+                    }
+                    opts
+                })
+                .collect();
+            // Operator sequences (k-1 slots).
+            let op_seqs = op_sequences(k - 1);
+            for lhs_rank in &lhs_ranks {
+                let lhs = Access {
+                    tensor: canonical_tensor_name(0),
+                    indices: canonical_prefix(*lhs_rank),
+                };
+                let mut tuple_choice = vec![0usize; seq.len()];
+                'tuples: loop {
+                    // Build operand leaves b, c, d… with chosen options.
+                    let mut const_slots = 0u32;
+                    let leaves: Vec<Expr> = seq
+                        .iter()
+                        .enumerate()
+                        .map(|(n, _)| match &leaf_options[n][tuple_choice[n]] {
+                            LeafKind::Tuple(tuple) => Expr::Access(Access {
+                                tensor: canonical_tensor_name(n + 1),
+                                indices: tuple.clone(),
+                            }),
+                            LeafKind::Constant => {
+                                let slot = const_slots;
+                                const_slots += 1;
+                                Expr::ConstSym(slot)
+                            }
+                        })
+                        .collect();
+                    for ops in &op_seqs {
+                        if over_budget(attempts, &started) {
+                            return BaselineReport {
+                                label: query.label.clone(),
+                                solution: None,
+                                attempts,
+                                elapsed: started.elapsed(),
+                            };
+                        }
+                        let Some(rhs) = build_chain_expr(&leaves, ops) else {
+                            continue;
+                        };
+                        let template = TacoProgram::new(lhs.clone(), rhs);
+                        attempts += 1;
+                        // I/O validation only (no bounded verification).
+                        if let Some(solution) = validate_template(
+                            &template,
+                            &query.task,
+                            &examples,
+                            |_, _| true,
+                            &mut stats,
+                        ) {
+                            return BaselineReport {
+                                label: query.label.clone(),
+                                solution: Some(solution),
+                                attempts,
+                                elapsed: started.elapsed(),
+                            };
+                        }
+                    }
+                    // Advance the leaf odometer.
+                    let mut done = true;
+                    for pos in (0..tuple_choice.len()).rev() {
+                        tuple_choice[pos] += 1;
+                        if tuple_choice[pos] < leaf_options[pos].len() {
+                            done = false;
+                            break;
+                        }
+                        tuple_choice[pos] = 0;
+                    }
+                    if done {
+                        break 'tuples;
+                    }
+                }
+            }
+        }
+    }
+    BaselineReport {
+        label: query.label.clone(),
+        solution: None,
+        attempts,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// One operand-leaf option: an index tuple for the position's symbol, or
+/// a source constant (rank-0 slots only).
+#[derive(Debug, Clone)]
+enum LeafKind {
+    Tuple(Vec<gtl_taco::IndexVar>),
+    Constant,
+}
+
+fn op_sequences(slots: usize) -> Vec<Vec<BinOp>> {
+    let mut out: Vec<Vec<BinOp>> = vec![Vec::new()];
+    for _ in 0..slots {
+        let mut next = Vec::new();
+        for seq in &out {
+            for op in BinOp::ALL {
+                let mut s = seq.clone();
+                s.push(op);
+                next.push(s);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(name: &str) -> LiftQuery {
+        let b = gtl_benchsuite::by_name(name).unwrap();
+        LiftQuery {
+            label: b.name.to_string(),
+            source: b.source.to_string(),
+            task: b.lift_task(),
+            ground_truth: b.parse_ground_truth(),
+        }
+    }
+
+    #[test]
+    fn solves_dot_with_heuristics() {
+        let report = c2taco_lift(&query("blas_dot"), &C2TacoConfig::default());
+        assert!(report.solved());
+        assert_eq!(report.solution.unwrap().to_string(), "out = x(i) * y(i)");
+    }
+
+    #[test]
+    fn solves_gemv_both_modes() {
+        let with = c2taco_lift(&query("blas_gemv"), &C2TacoConfig::default());
+        assert!(with.solved(), "heuristics should solve Fig. 2");
+        let without = c2taco_lift(
+            &query("blas_gemv"),
+            &C2TacoConfig {
+                heuristics: false,
+                ..C2TacoConfig::default()
+            },
+        );
+        assert!(without.solved(), "no-heuristics eventually finds it");
+        assert!(
+            with.attempts <= without.attempts,
+            "heuristics prune the space: {} vs {}",
+            with.attempts,
+            without.attempts
+        );
+    }
+
+    #[test]
+    fn syrk_needs_two_rank2_operands() {
+        // The offset-class prediction must see A twice.
+        let q = query("blas_syrk");
+        let pred = predict_operands(&q);
+        assert_eq!(pred.mandatory, vec![2, 2]);
+    }
+
+    #[test]
+    fn cannot_reach_parenthesised_shapes() {
+        // (a + b) * c is not a precedence chain.
+        let report = c2taco_lift(
+            &query("art_paren_mul"),
+            &C2TacoConfig {
+                budget: SearchBudget {
+                    max_attempts: 3_000,
+                    ..SearchBudget::default()
+                },
+                ..C2TacoConfig::default()
+            },
+        );
+        assert!(!report.solved(), "chains cannot express balanced ASTs");
+    }
+
+    #[test]
+    fn axpy_uses_optional_scalar() {
+        let report = c2taco_lift(&query("blas_axpy"), &C2TacoConfig::default());
+        assert!(report.solved());
+        let s = report.solution.unwrap().to_string();
+        assert!(s.contains("alpha"), "solution uses the scalar: {s}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared types for the baseline lifters.
+
+use std::time::Duration;
+
+use gtl_taco::TacoProgram;
+
+/// The outcome of one baseline run, aligned with [`gtl::LiftReport`]'s
+/// reporting fields.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Query label.
+    pub label: String,
+    /// The solution, if found (verified for verifying baselines,
+    /// I/O-validated for C2TACO).
+    pub solution: Option<TacoProgram>,
+    /// Candidate programs/templates checked.
+    pub attempts: u64,
+    /// End-to-end wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl BaselineReport {
+    /// Whether the baseline solved the query.
+    pub fn solved(&self) -> bool {
+        self.solution.is_some()
+    }
+
+    /// End-to-end seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+}

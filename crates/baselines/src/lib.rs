@@ -1,0 +1,38 @@
+//! The baseline lifters the paper compares STAGG against (§8):
+//!
+//! - [`c2taco_lift`] — C2TACO's bottom-up enumerative synthesis with
+//!   optional program-analysis heuristics, I/O-validated only;
+//! - [`tenspiler_lift`] — Tenspiler-style verified lifting over a fixed
+//!   vector/matrix operation library;
+//! - [`llm_only_lift`] — the raw-LLM baseline: validate candidates
+//!   directly, no search.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl::LiftQuery;
+//! use gtl_baselines::{c2taco_lift, C2TacoConfig};
+//!
+//! let b = gtl_benchsuite::by_name("blas_dot").unwrap();
+//! let query = LiftQuery {
+//!     label: b.name.to_string(),
+//!     source: b.source.to_string(),
+//!     task: b.lift_task(),
+//!     ground_truth: b.parse_ground_truth(),
+//! };
+//! let report = c2taco_lift(&query, &C2TacoConfig::default());
+//! assert!(report.solved());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod c2taco;
+mod common;
+mod llm_only;
+mod tenspiler;
+
+pub use c2taco::{c2taco_lift, C2TacoConfig};
+pub use common::BaselineReport;
+pub use llm_only::{llm_only_lift, LlmOnlyConfig};
+pub use tenspiler::{tenspiler_lift, tenspiler_library, TenspilerConfig};

@@ -1,0 +1,137 @@
+//! The LLM-only baseline: validate the raw candidates, no search (§8).
+
+use std::time::Instant;
+
+use gtl::LiftQuery;
+use gtl_oracle::{Oracle, OracleQuery};
+use gtl_taco::{parse_program, preprocess_candidate};
+use gtl_template::templatize;
+use gtl_validate::{generate_examples, validate_template, ExampleConfig, ValidationStats};
+use gtl_verify::{verify_candidate, VerifyConfig};
+
+use crate::common::BaselineReport;
+
+/// Configuration of the LLM-only baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LlmOnlyConfig {
+    /// I/O example generation.
+    pub examples: ExampleConfig,
+    /// Bounded verification.
+    pub verify: VerifyConfig,
+}
+
+/// Lifts by checking the oracle's candidates directly, in response order,
+/// without grammar learning or enumeration. Each syntactically valid
+/// candidate is templatised and checked with the standard §6 validation +
+/// §7 verification; the first that passes wins.
+pub fn llm_only_lift(
+    oracle: &mut dyn Oracle,
+    query: &LiftQuery,
+    cfg: &LlmOnlyConfig,
+) -> BaselineReport {
+    let started = Instant::now();
+    let raw = oracle.candidates(&OracleQuery {
+        label: &query.label,
+        c_source: &query.source,
+        ground_truth: &query.ground_truth,
+    });
+    let examples = match generate_examples(&query.task, &cfg.examples) {
+        Ok(e) => e,
+        Err(_) => {
+            return BaselineReport {
+                label: query.label.clone(),
+                solution: None,
+                attempts: 0,
+                elapsed: started.elapsed(),
+            }
+        }
+    };
+    let mut attempts = 0u64;
+    let mut stats = ValidationStats::default();
+    for line in &raw {
+        let Some(pre) = preprocess_candidate(line) else {
+            continue;
+        };
+        let Ok(parsed) = parse_program(&pre) else {
+            continue;
+        };
+        let Ok(template) = templatize(&parsed) else {
+            continue;
+        };
+        attempts += 1;
+        if let Some(solution) = validate_template(
+            &template.program,
+            &query.task,
+            &examples,
+            |concrete, _| verify_candidate(&query.task, concrete, &cfg.verify).is_equivalent(),
+            &mut stats,
+        ) {
+            return BaselineReport {
+                label: query.label.clone(),
+                solution: Some(solution),
+                attempts,
+                elapsed: started.elapsed(),
+            };
+        }
+    }
+    BaselineReport {
+        label: query.label.clone(),
+        solution: None,
+        attempts,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_oracle::{ScriptedOracle, SyntheticOracle};
+
+    fn dot_query() -> LiftQuery {
+        let b = gtl_benchsuite::by_name("blas_dot").unwrap();
+        LiftQuery {
+            label: b.name.to_string(),
+            source: b.source.to_string(),
+            task: b.lift_task(),
+            ground_truth: b.parse_ground_truth(),
+        }
+    }
+
+    #[test]
+    fn solves_when_candidate_correct() {
+        let query = dot_query();
+        let mut oracle = ScriptedOracle::new().script(
+            "blas_dot",
+            &["wrong(i) = a(i,j)", "res = v1(i) * v2(i)"],
+        );
+        let report = llm_only_lift(&mut oracle, &query, &LlmOnlyConfig::default());
+        assert!(report.solved());
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.solution.unwrap().to_string(), "out = x(i) * y(i)");
+    }
+
+    #[test]
+    fn fails_without_correct_candidate() {
+        let query = dot_query();
+        let mut oracle =
+            ScriptedOracle::new().script("blas_dot", &["res(i) = v1(i) + v2(i)"]);
+        let report = llm_only_lift(&mut oracle, &query, &LlmOnlyConfig::default());
+        assert!(!report.solved());
+    }
+
+    #[test]
+    fn synthetic_oracle_simple_kernel() {
+        // A trivially simple kernel: the synthetic oracle almost surely
+        // emits an exact candidate.
+        let b = gtl_benchsuite::by_name("blas_copy").unwrap();
+        let query = LiftQuery {
+            label: b.name.to_string(),
+            source: b.source.to_string(),
+            task: b.lift_task(),
+            ground_truth: b.parse_ground_truth(),
+        };
+        let mut oracle = SyntheticOracle::default();
+        let report = llm_only_lift(&mut oracle, &query, &LlmOnlyConfig::default());
+        assert!(report.solved());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 11: success rates of the eight grammar
+//! configurations of STAGG on all 77 benchmarks.
+
+use gtl_bench::tables::success_bar;
+use gtl_bench::{run_method, Method};
+
+fn main() {
+    println!("\nFigure 11: grammar configurations on all 77 benchmarks\n");
+    for m in Method::grammar_config_lineup() {
+        let r = run_method(&m);
+        println!("{}", success_bar(&r, 40));
+    }
+}

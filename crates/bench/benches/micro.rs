@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the pipeline's hot components: TACO
+//! parsing, einsum evaluation, C interpretation, grammar learning and
+//! template search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gtl_cfront::{run_kernel, ArgValue};
+use gtl_oracle::{Oracle, OracleQuery, SyntheticOracle};
+use gtl_search::{top_down_search, CheckOutcome, PenaltyContext, PenaltySettings, SearchBudget};
+use gtl_taco::{evaluate, parse_program, TensorEnv};
+use gtl_tensor::{Rat, Shape, Tensor, TensorGen};
+
+fn bench_taco_parse(c: &mut Criterion) {
+    c.bench_function("taco_parse_gemm", |b| {
+        b.iter(|| parse_program(std::hint::black_box("C(i,j) = A(i,k) * B(k,j)")).unwrap())
+    });
+}
+
+fn bench_taco_eval(c: &mut Criterion) {
+    let p = parse_program("C(i,j) = A(i,k) * B(k,j)").unwrap();
+    let mut gen = TensorGen::from_label("micro");
+    let mut env = TensorEnv::new();
+    env.insert("A".into(), gen.int_tensor(Shape::new(vec![8, 8]), -5, 5));
+    env.insert("B".into(), gen.int_tensor(Shape::new(vec![8, 8]), -5, 5));
+    c.bench_function("taco_eval_gemm_8x8", |b| {
+        b.iter(|| evaluate(std::hint::black_box(&p), &env).unwrap())
+    });
+}
+
+fn bench_c_interp(c: &mut Criterion) {
+    let b = gtl_benchsuite::by_name("blas_gemv").unwrap();
+    let prog = b.parse_source().unwrap();
+    let n = 8usize;
+    let args = vec![
+        ArgValue::Scalar(Rat::from(n as i64)),
+        ArgValue::Array(vec![Rat::ONE; n * n]),
+        ArgValue::Array(vec![Rat::ONE; n]),
+        ArgValue::Array(vec![Rat::ZERO; n]),
+    ];
+    c.bench_function("c_interp_gemv_8", |bch| {
+        bch.iter(|| run_kernel(prog.kernel(), std::hint::black_box(args.clone())).unwrap())
+    });
+}
+
+fn bench_grammar_learning(c: &mut Criterion) {
+    let b = gtl_benchsuite::by_name("blas_gemv").unwrap();
+    let gt = b.parse_ground_truth();
+    let mut oracle = SyntheticOracle::default();
+    let raw = oracle.candidates(&OracleQuery {
+        label: b.name,
+        c_source: b.source,
+        ground_truth: &gt,
+    });
+    let templates: Vec<_> = raw
+        .iter()
+        .filter_map(|l| gtl_taco::preprocess_candidate(l))
+        .filter_map(|s| parse_program(&s).ok())
+        .filter_map(|p| gtl_template::templatize(&p).ok())
+        .collect();
+    c.bench_function("grammar_generate_and_learn", |bch| {
+        bch.iter(|| {
+            let mut g = gtl_template::generate_td_grammar(&gtl_template::TdSpec {
+                dim_list: vec![1, 2, 1],
+                n_indices: 3,
+                allow_repeated_index: false,
+                include_const: false,
+            });
+            gtl_template::learn_weights(&mut g, std::hint::black_box(&templates))
+        })
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let templates: Vec<_> = ["r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(i)"]
+        .iter()
+        .map(|s| gtl_template::templatize(&parse_program(s).unwrap()).unwrap())
+        .collect();
+    let mut grammar = gtl_template::generate_td_grammar(&gtl_template::TdSpec {
+        dim_list: vec![1, 2, 1],
+        n_indices: 2,
+        allow_repeated_index: false,
+        include_const: false,
+    });
+    gtl_template::learn_weights(&mut grammar, &templates);
+    let ctx = PenaltyContext {
+        dim_list: grammar.dim_list.clone(),
+        grammar_has_const: false,
+        live_ops: grammar.live_ops(),
+        settings: PenaltySettings::all(),
+    };
+    let want = parse_program("a(i) = b(j,i) * c(j)").unwrap();
+    c.bench_function("top_down_search_gemv", |bch| {
+        bch.iter(|| {
+            let mut checker = |t: &gtl_taco::TacoProgram| {
+                if *t == want {
+                    CheckOutcome::Verified(t.clone())
+                } else {
+                    CheckOutcome::Failed
+                }
+            };
+            top_down_search(
+                std::hint::black_box(&grammar),
+                &ctx,
+                SearchBudget::default(),
+                &mut checker,
+            )
+        })
+    });
+}
+
+fn bench_rat(c: &mut Criterion) {
+    let xs: Vec<Rat> = (1..=64).map(|n| Rat::new(n, n + 1)).collect();
+    c.bench_function("rat_sum_64", |b| {
+        b.iter(|| std::hint::black_box(&xs).iter().copied().sum::<Rat>())
+    });
+    let t = Tensor::from_ints(Shape::new(vec![16, 16]), &[1; 256]);
+    c.bench_function("tensor_index_sweep", |b| {
+        b.iter(|| {
+            let mut acc = Rat::ZERO;
+            for idx in t.shape().indices() {
+                acc += t[&idx[..]];
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_taco_parse,
+    bench_taco_eval,
+    bench_c_interp,
+    bench_grammar_learning,
+    bench_search,
+    bench_rat
+);
+criterion_main!(micro);

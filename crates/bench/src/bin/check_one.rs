@@ -1,0 +1,29 @@
+//! Validate + verify one template against one benchmark, verbosely.
+
+use gtl_bench::query_for;
+use gtl_taco::parse_program;
+use gtl_validate::*;
+use gtl_verify::{verify_candidate, VerifyConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).expect("usage: check_one <benchmark> <template>");
+    let tpl = std::env::args().nth(2).expect("template");
+    let b = gtl_benchsuite::by_name(&name).expect("unknown benchmark");
+    let query = query_for(&b);
+    let template = parse_program(&tpl).unwrap();
+    let examples = generate_examples(&query.task, &ExampleConfig::default()).unwrap();
+    let mut stats = ValidationStats::default();
+    let got = validate_template(
+        &template,
+        &query.task,
+        &examples,
+        |concrete, sub| {
+            let v = verify_candidate(&query.task, concrete, &VerifyConfig::default());
+            println!("  io-pass: {concrete} via {sub} -> verify {v:?}");
+            v.is_equivalent()
+        },
+        &mut stats,
+    );
+    println!("result: {got:?}");
+    println!("subs tried: {} io passes: {}", stats.substitutions_tried, stats.io_passes);
+}

@@ -1,0 +1,30 @@
+//! Run one method on one benchmark and print the outcome.
+
+use gtl::{Stagg, StaggConfig};
+use gtl_bench::query_for;
+use gtl_oracle::SyntheticOracle;
+
+fn main() {
+    let name = std::env::args().nth(1).expect("usage: lift_one <benchmark> [td|bu]");
+    let mode = std::env::args().nth(2).unwrap_or_else(|| "td".into());
+    let b = gtl_benchsuite::by_name(&name).expect("unknown benchmark");
+    let query = query_for(&b);
+    let config = match mode.as_str() {
+        "bu" => StaggConfig::bottom_up(),
+        _ => StaggConfig::top_down(),
+    };
+    let mut oracle = SyntheticOracle::default();
+    let report = Stagg::new(&mut oracle, config).lift(&query);
+    println!("benchmark:  {name}");
+    println!("ground:     {}", b.ground_truth);
+    println!("solved:     {}", report.solved());
+    if let Some(s) = &report.solution {
+        println!("solution:   {s}");
+        println!("template:   {}", report.template.unwrap());
+    }
+    println!("failure:    {:?}", report.failure);
+    println!("dims:       {:?}", report.dim_list);
+    println!("attempts:   {}", report.attempts);
+    println!("subs tried: {}", report.substitutions_tried);
+    println!("elapsed:    {:?}", report.elapsed);
+}

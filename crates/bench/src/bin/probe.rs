@@ -1,0 +1,40 @@
+//! Per-benchmark diagnostic probe: dump oracle candidates, templates and
+//! the predicted dimension list for one benchmark.
+
+use gtl_bench::query_for;
+use gtl_oracle::{Oracle, OracleQuery, SyntheticOracle};
+use gtl_taco::{parse_program, preprocess_candidate};
+use gtl_template::{predict_dimension_list, templatize};
+
+fn main() {
+    let name = std::env::args().nth(1).expect("usage: probe <benchmark>");
+    let b = gtl_benchsuite::by_name(&name).expect("unknown benchmark");
+    let query = query_for(&b);
+    let mut oracle = SyntheticOracle::default();
+    let raw = oracle.candidates(&OracleQuery {
+        label: &query.label,
+        c_source: &query.source,
+        ground_truth: &query.ground_truth,
+    });
+    println!("ground truth: {}", b.ground_truth);
+    for line in &raw {
+        let tpl = preprocess_candidate(line)
+            .and_then(|s| parse_program(&s).ok())
+            .and_then(|p| templatize(&p).ok());
+        match tpl {
+            Some(t) => println!("  {line:<45} -> {t} dims={:?}", t.dimension_list()),
+            None => println!("  {line:<45} -> (discarded)"),
+        }
+    }
+    let templates: Vec<_> = raw
+        .iter()
+        .filter_map(|l| preprocess_candidate(l))
+        .filter_map(|s| parse_program(&s).ok())
+        .filter_map(|p| templatize(&p).ok())
+        .collect();
+    println!("voted dims: {:?}", predict_dimension_list(&templates));
+    println!(
+        "n_indices: {}",
+        gtl_template::index_variable_count(&templates)
+    );
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the Guided Tensor Lifting reproduction.
+//!
+//! Provides the shared runner that evaluates any lifting method over the
+//! benchmark suite, plus table/figure formatting. The per-table and
+//! per-figure regeneration targets live under `benches/` (plain bench
+//! binaries) and print the same rows/series the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod runner;
+pub mod tables;
+
+pub use methods::{Method, MethodKind};
+pub use runner::{query_for, run_method, run_method_on, MethodResult, SuiteResult};

@@ -1,0 +1,143 @@
+//! Shared evaluation runner: applies one method to a set of benchmarks
+//! and aggregates the statistics the paper's tables report.
+
+use std::time::Duration;
+
+use gtl::LiftQuery;
+use gtl_benchsuite::Benchmark;
+
+use crate::methods::Method;
+
+/// Builds the pipeline query for a benchmark.
+pub fn query_for(b: &Benchmark) -> LiftQuery {
+    LiftQuery {
+        label: b.name.to_string(),
+        source: b.source.to_string(),
+        task: b.lift_task(),
+        ground_truth: b.parse_ground_truth(),
+    }
+}
+
+/// Result of one method on one benchmark.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Whether the method produced a (verified, for verifying methods)
+    /// solution.
+    pub solved: bool,
+    /// End-to-end seconds.
+    pub seconds: f64,
+    /// Templates sent to validation.
+    pub attempts: u64,
+}
+
+/// Aggregated results of one method over a benchmark set.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Method display name.
+    pub method: String,
+    /// Per-benchmark outcomes, in suite order.
+    pub results: Vec<MethodResult>,
+}
+
+impl SuiteResult {
+    /// Number solved.
+    pub fn solved(&self) -> usize {
+        self.results.iter().filter(|r| r.solved).count()
+    }
+
+    /// Percentage solved.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.solved() as f64 / self.results.len().max(1) as f64
+    }
+
+    /// Mean seconds over *solved* benchmarks (the paper's time columns).
+    pub fn mean_seconds_solved(&self) -> f64 {
+        let solved: Vec<&MethodResult> = self.results.iter().filter(|r| r.solved).collect();
+        if solved.is_empty() {
+            return 0.0;
+        }
+        solved.iter().map(|r| r.seconds).sum::<f64>() / solved.len() as f64
+    }
+
+    /// Mean attempts over solved benchmarks.
+    pub fn mean_attempts_solved(&self) -> f64 {
+        let solved: Vec<&MethodResult> = self.results.iter().filter(|r| r.solved).collect();
+        if solved.is_empty() {
+            return 0.0;
+        }
+        solved.iter().map(|r| r.attempts as f64).sum::<f64>() / solved.len() as f64
+    }
+
+    /// Whether a named benchmark was solved.
+    pub fn solved_benchmark(&self, name: &str) -> bool {
+        self.results.iter().any(|r| r.name == name && r.solved)
+    }
+
+    /// Restriction to the benchmarks solved by another method (the
+    /// "Solved by C2TACO" / "Solved by Tenspiler" columns of Table 1).
+    pub fn restricted_to(&self, other: &SuiteResult) -> SuiteResult {
+        SuiteResult {
+            method: self.method.clone(),
+            results: self
+                .results
+                .iter()
+                .filter(|r| other.solved_benchmark(&r.name))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Restriction to benchmarks satisfying a name predicate (e.g. the
+    /// real-world subset of a full-suite run).
+    pub fn filtered(&self, keep: impl Fn(&str) -> bool) -> SuiteResult {
+        SuiteResult {
+            method: self.method.clone(),
+            results: self
+                .results
+                .iter()
+                .filter(|r| keep(&r.name))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Sorted per-benchmark times of solved queries — the cactus-plot
+    /// series (Figs. 9 and 12).
+    pub fn cactus_series(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.solved)
+            .map(|r| r.seconds)
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times
+    }
+}
+
+/// Runs a method over a benchmark set.
+pub fn run_method_on(method: &Method, benchmarks: &[Benchmark]) -> SuiteResult {
+    let results = benchmarks
+        .iter()
+        .map(|b| {
+            let query = query_for(b);
+            method.run(&query)
+        })
+        .collect();
+    SuiteResult {
+        method: method.name(),
+        results,
+    }
+}
+
+/// Runs a method over the full 77-benchmark suite.
+pub fn run_method(method: &Method) -> SuiteResult {
+    run_method_on(method, &gtl_benchsuite::all_benchmarks())
+}
+
+/// Pretty seconds for table cells.
+pub fn fmt_seconds(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}

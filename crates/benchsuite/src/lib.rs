@@ -1,0 +1,146 @@
+//! The 77-benchmark lifting suite of the Guided Tensor Lifting
+//! reproduction.
+//!
+//! The paper evaluates on 77 queries: 67 real-world problems (61 from the
+//! literature — blas, darknet, UTDSP, DSPStone, mathfu, generic array
+//! code — plus 6 from C++ llama inference) and 10 artificial examples.
+//! This crate re-creates that suite: every benchmark is a legacy C kernel
+//! with logical shapes, a designated output parameter, and a ground-truth
+//! TACO program used by the synthetic oracle and by the suite's own
+//! consistency tests.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_benchsuite::{all_benchmarks, by_name};
+//!
+//! assert_eq!(all_benchmarks().len(), 77);
+//! let gemv = by_name("blas_gemv").unwrap();
+//! assert_eq!(gemv.ground_truth, "Result(i) = Mat1(i,j) * Mat2(j)");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod spec;
+pub mod suites;
+
+pub use spec::{Benchmark, Instance, InstanceError, ParamSpec, Suite};
+
+/// All 77 benchmarks: 67 real-world followed by the 10 artificial ones.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    let mut out = Vec::with_capacity(77);
+    out.extend(suites::blas::benchmarks());
+    out.extend(suites::darknet::benchmarks());
+    out.extend(suites::utdsp::benchmarks());
+    out.extend(suites::dspstone::benchmarks());
+    out.extend(suites::mathfu::benchmarks());
+    out.extend(suites::simple::benchmarks());
+    out.extend(suites::llama::benchmarks());
+    out.extend(suites::artificial::benchmarks());
+    out
+}
+
+/// The 67 real-world benchmarks (everything except the artificial suite).
+pub fn real_world_benchmarks() -> Vec<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite.is_real_world())
+        .collect()
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_taco::evaluate;
+    use gtl_tensor::TensorGen;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn exactly_77_benchmarks() {
+        assert_eq!(all_benchmarks().len(), 77);
+        assert_eq!(real_world_benchmarks().len(), 67);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len(), "duplicate benchmark names");
+    }
+
+    #[test]
+    fn all_sources_parse() {
+        for b in all_benchmarks() {
+            b.parse_source()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn all_ground_truths_parse() {
+        for b in all_benchmarks() {
+            let gt = b.parse_ground_truth();
+            // LHS must be the output parameter.
+            let (idx, _) = b.output_param();
+            let prog = b.parse_source().unwrap();
+            assert_eq!(
+                gt.lhs.tensor.as_str(),
+                prog.kernel().params[idx].name,
+                "{}: ground-truth LHS must name the output param",
+                b.name
+            );
+        }
+    }
+
+    /// The pivotal consistency check: for every benchmark, running the C
+    /// kernel must agree with evaluating the ground-truth TACO program —
+    /// on two different size bindings and three random draws each.
+    #[test]
+    fn c_and_taco_ground_truth_agree() {
+        for b in all_benchmarks() {
+            let syms = b.size_symbols();
+            let bindings: Vec<BTreeMap<&str, usize>> = vec![
+                b.default_sizes(),
+                syms.iter()
+                    .enumerate()
+                    .map(|(n, s)| (*s, [2usize, 3, 4, 2, 3][n % 5]))
+                    .collect(),
+            ];
+            let gt = b.parse_ground_truth();
+            for (round, sizes) in bindings.iter().enumerate() {
+                for draw in 0..3 {
+                    let mut gen =
+                        TensorGen::from_label(&format!("{}::{round}::{draw}", b.name));
+                    let inst = b
+                        .instantiate(sizes, &mut gen, -4, 4)
+                        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                    let c_out = b
+                        .run_reference(&inst)
+                        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                    let taco_out = evaluate(&gt, &inst.env)
+                        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                    assert_eq!(
+                        c_out, taco_out,
+                        "{}: C kernel disagrees with ground truth (sizes {sizes:?})",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        let count = |s: Suite| all_benchmarks().iter().filter(|b| b.suite == s).count();
+        assert_eq!(count(Suite::Llama), 6, "paper: 6 llama kernels");
+        assert_eq!(count(Suite::Artificial), 10, "paper: 10 artificial");
+    }
+}

@@ -1,0 +1,386 @@
+//! Benchmark specification and instantiation machinery.
+//!
+//! A [`Benchmark`] packages a legacy C kernel with the metadata the
+//! harness needs: the logical shape of every parameter, which parameter is
+//! the output, and the ground-truth TACO program (used by the synthetic
+//! oracle and by suite self-tests — the pipeline itself never looks at
+//! it).
+
+use std::collections::BTreeMap;
+
+use gtl_cfront::{parse_c, run_kernel, ArgValue, CProgram, RuntimeError};
+use gtl_taco::{parse_program, TacoProgram, TensorEnv};
+use gtl_tensor::{Rat, Shape, Tensor, TensorGen};
+
+/// The originating suite of a benchmark, mirroring the paper's benchmark
+/// provenance (61 literature kernels + 6 llama + 10 artificial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// BLAS-style dense linear algebra.
+    Blas,
+    /// Kernels from the darknet ML framework.
+    Darknet,
+    /// UTDSP digital signal processing kernels.
+    Utdsp,
+    /// DSPStone kernels.
+    Dspstone,
+    /// The mathfu vector-math library.
+    Mathfu,
+    /// Generic array-manipulation kernels.
+    SimpleArray,
+    /// The C++ llama inference code (6 kernels, as in the paper).
+    Llama,
+    /// The 10 artificial stress-test kernels.
+    Artificial,
+}
+
+impl Suite {
+    /// Whether the suite counts toward the 67 "real-world" benchmarks.
+    pub fn is_real_world(self) -> bool {
+        !matches!(self, Suite::Artificial)
+    }
+}
+
+/// Logical description of one kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamSpec {
+    /// An `int` scalar bound to a size symbol (an array extent).
+    Size(&'static str),
+    /// A scalar data input (rational). `nonzero` marks divisors.
+    ScalarIn {
+        /// Must the generated value be nonzero?
+        nonzero: bool,
+    },
+    /// An input array with the given extent symbols (row-major).
+    ArrayIn {
+        /// Extent symbols, outermost first.
+        dims: &'static [&'static str],
+        /// Must every element be nonzero (the array is a divisor)?
+        nonzero: bool,
+    },
+    /// The output array with the given extent symbols.
+    ArrayOut {
+        /// Extent symbols, outermost first.
+        dims: &'static [&'static str],
+    },
+}
+
+/// A benchmark: a C kernel plus the metadata needed to instantiate it.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Unique name, e.g. `blas_gemv`.
+    pub name: &'static str,
+    /// Provenance suite.
+    pub suite: Suite,
+    /// The legacy C source (one kernel function).
+    pub source: &'static str,
+    /// The ground-truth TACO program over parameter names.
+    pub ground_truth: &'static str,
+    /// Parameter descriptions, in signature order.
+    pub params: Vec<ParamSpec>,
+}
+
+/// An instantiation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// The benchmark's C source failed to parse (a suite bug).
+    BadSource(String),
+    /// A size symbol had no binding.
+    MissingSize(&'static str),
+    /// Running the kernel failed.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::BadSource(e) => write!(f, "bad benchmark source: {e}"),
+            InstanceError::MissingSize(s) => write!(f, "no binding for size symbol `{s}`"),
+            InstanceError::Runtime(e) => write!(f, "kernel execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A concrete instantiation of a benchmark: inputs generated, shapes
+/// resolved.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Arguments for the C interpreter, in signature order.
+    pub args: Vec<ArgValue>,
+    /// Input bindings for TACO evaluation: every array *input* as a shaped
+    /// tensor and every scalar parameter (sizes included) as a rank-0
+    /// tensor, keyed by parameter name.
+    pub env: TensorEnv,
+    /// Name of the output parameter.
+    pub output_name: String,
+    /// Index of the output parameter.
+    pub output_index: usize,
+    /// Logical shape of the output.
+    pub output_shape: Shape,
+}
+
+impl Benchmark {
+    /// Parses the C source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message; suite tests assert this never
+    /// happens for shipped benchmarks.
+    pub fn parse_source(&self) -> Result<CProgram, InstanceError> {
+        parse_c(self.source).map_err(|e| InstanceError::BadSource(e.to_string()))
+    }
+
+    /// Parses the ground-truth TACO program.
+    pub fn parse_ground_truth(&self) -> TacoProgram {
+        parse_program(self.ground_truth).expect("suite ground truth parses")
+    }
+
+    /// Index and spec of the output parameter.
+    pub fn output_param(&self) -> (usize, &'static [&'static str]) {
+        for (i, p) in self.params.iter().enumerate() {
+            if let ParamSpec::ArrayOut { dims } = p {
+                return (i, dims);
+            }
+        }
+        panic!("benchmark {} has no output parameter", self.name);
+    }
+
+    /// The size symbols this benchmark uses, in order of first appearance.
+    pub fn size_symbols(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for p in &self.params {
+            match p {
+                ParamSpec::Size(s) => {
+                    if !out.contains(s) {
+                        out.push(*s);
+                    }
+                }
+                ParamSpec::ArrayIn { dims, .. } | ParamSpec::ArrayOut { dims } => {
+                    for d in *dims {
+                        if !out.contains(d) {
+                            out.push(*d);
+                        }
+                    }
+                }
+                ParamSpec::ScalarIn { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Builds a concrete instance with the given size bindings, drawing
+    /// input data from `gen` (integers in `[lo, hi]`).
+    pub fn instantiate(
+        &self,
+        sizes: &BTreeMap<&str, usize>,
+        gen: &mut TensorGen,
+        lo: i64,
+        hi: i64,
+    ) -> Result<Instance, InstanceError> {
+        let prog = self.parse_source()?;
+        let func = prog.kernel();
+        assert_eq!(
+            func.params.len(),
+            self.params.len(),
+            "benchmark {}: param spec length mismatch",
+            self.name
+        );
+        let resolve = |sym: &'static str| -> Result<usize, InstanceError> {
+            sizes.get(sym).copied().ok_or(InstanceError::MissingSize(sym))
+        };
+        let mut args = Vec::new();
+        let mut env = TensorEnv::new();
+        let mut output = None;
+        for (i, (spec, param)) in self.params.iter().zip(&func.params).enumerate() {
+            match spec {
+                ParamSpec::Size(sym) => {
+                    let v = resolve(sym)? as i64;
+                    args.push(ArgValue::Scalar(Rat::from(v)));
+                    env.insert(param.name.clone(), Tensor::scalar(Rat::from(v)));
+                }
+                ParamSpec::ScalarIn { nonzero } => {
+                    let v = if *nonzero {
+                        gen.nonzero_int_in(lo, hi)
+                    } else {
+                        gen.int_in(lo, hi)
+                    };
+                    args.push(ArgValue::Scalar(v));
+                    env.insert(param.name.clone(), Tensor::scalar(v));
+                }
+                ParamSpec::ArrayIn { dims, nonzero } => {
+                    let extents = dims
+                        .iter()
+                        .map(|d| resolve(d))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let shape = Shape::new(extents);
+                    let t = if *nonzero {
+                        gen.nonzero_int_tensor(shape, lo, hi)
+                    } else {
+                        gen.int_tensor(shape, lo, hi)
+                    };
+                    args.push(ArgValue::Array(t.data().to_vec()));
+                    env.insert(param.name.clone(), t);
+                }
+                ParamSpec::ArrayOut { dims } => {
+                    let extents = dims
+                        .iter()
+                        .map(|d| resolve(d))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let shape = Shape::new(extents);
+                    args.push(ArgValue::Array(vec![Rat::ZERO; shape.len()]));
+                    output = Some((i, param.name.clone(), shape));
+                }
+            }
+        }
+        let (output_index, output_name, output_shape) =
+            output.unwrap_or_else(|| panic!("benchmark {} has no output parameter", self.name));
+        Ok(Instance {
+            args,
+            env,
+            output_name,
+            output_index,
+            output_shape,
+        })
+    }
+
+    /// Runs the C kernel on an instance, returning the output as a shaped
+    /// tensor.
+    pub fn run_reference(&self, instance: &Instance) -> Result<Tensor, InstanceError> {
+        let prog = self.parse_source()?;
+        let result =
+            run_kernel(prog.kernel(), instance.args.clone()).map_err(InstanceError::Runtime)?;
+        // Map the output parameter index to its array-slot index (array
+        // arguments only).
+        let array_slot = self
+            .params
+            .iter()
+            .take(instance.output_index)
+            .filter(|p| {
+                matches!(p, ParamSpec::ArrayIn { .. } | ParamSpec::ArrayOut { .. })
+            })
+            .count();
+        let data = result.arrays[array_slot].clone();
+        Tensor::from_data(instance.output_shape.clone(), data)
+            .map_err(|_| InstanceError::BadSource("output shape/data mismatch".to_string()))
+    }
+
+    /// A default size binding for this benchmark: distinct small extents
+    /// per symbol so transposition errors are observable.
+    pub fn default_sizes(&self) -> BTreeMap<&str, usize> {
+        // Distinct primes keep linearised offsets unambiguous.
+        const EXTENTS: [usize; 6] = [3, 4, 2, 5, 3, 4];
+        self.size_symbols()
+            .into_iter()
+            .enumerate()
+            .map(|(n, s)| (s, EXTENTS[n % EXTENTS.len()]))
+            .collect()
+    }
+}
+
+impl Benchmark {
+    /// Converts the benchmark into a [`gtl_validate::LiftTask`] for the
+    /// lifting pipeline: parses the kernel, translates the parameter
+    /// specs and harvests the constant pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark source does not parse (a suite bug caught
+    /// by the suite's own tests).
+    pub fn lift_task(&self) -> gtl_validate::LiftTask {
+        use gtl_validate::{TaskParam, TaskParamKind};
+        let prog = self
+            .parse_source()
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        let func = prog.kernel().clone();
+        let params = self
+            .params
+            .iter()
+            .zip(&func.params)
+            .map(|(spec, p)| TaskParam {
+                name: p.name.clone(),
+                kind: match spec {
+                    ParamSpec::Size(sym) => TaskParamKind::Size((*sym).to_string()),
+                    ParamSpec::ScalarIn { nonzero } => TaskParamKind::ScalarIn {
+                        nonzero: *nonzero,
+                    },
+                    ParamSpec::ArrayIn { dims, nonzero } => TaskParamKind::ArrayIn {
+                        dims: dims.iter().map(|d| (*d).to_string()).collect(),
+                        nonzero: *nonzero,
+                    },
+                    ParamSpec::ArrayOut { dims } => TaskParamKind::ArrayOut {
+                        dims: dims.iter().map(|d| (*d).to_string()).collect(),
+                    },
+                },
+            })
+            .collect();
+        let constants = func.int_constants();
+        gtl_validate::LiftTask {
+            func,
+            params,
+            output: self.output_param().0,
+            constants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot_benchmark() -> Benchmark {
+        Benchmark {
+            name: "test_dot",
+            suite: Suite::Blas,
+            source: "void dot(int n, int *a, int *b, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++) *out += a[i] * b[i];
+            }",
+            ground_truth: "out = a(i) * b(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::ArrayIn {
+                    dims: &["n"],
+                    nonzero: false,
+                },
+                ParamSpec::ArrayIn {
+                    dims: &["n"],
+                    nonzero: false,
+                },
+                ParamSpec::ArrayOut { dims: &[] },
+            ],
+        }
+    }
+
+    #[test]
+    fn instantiate_and_run() {
+        let b = dot_benchmark();
+        let sizes = b.default_sizes();
+        let mut gen = TensorGen::from_label("test");
+        let inst = b.instantiate(&sizes, &mut gen, -5, 5).unwrap();
+        assert_eq!(inst.output_shape, Shape::scalar());
+        assert_eq!(inst.env.len(), 3, "n, a, b are all bound");
+        let out = b.run_reference(&inst).unwrap();
+        // Compare against the ground truth evaluated with TACO semantics.
+        let gt = b.parse_ground_truth();
+        let expected = gtl_taco::evaluate(&gt, &inst.env).unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn size_symbols_deduplicated() {
+        let b = dot_benchmark();
+        assert_eq!(b.size_symbols(), vec!["n"]);
+    }
+
+    #[test]
+    fn missing_size_reported() {
+        let b = dot_benchmark();
+        let mut gen = TensorGen::from_label("test");
+        let err = b
+            .instantiate(&BTreeMap::new(), &mut gen, -5, 5)
+            .unwrap_err();
+        assert_eq!(err, InstanceError::MissingSize("n"));
+    }
+}

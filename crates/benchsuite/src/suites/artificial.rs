@@ -1,0 +1,192 @@
+//! The 10 artificial stress-test benchmarks (the paper evaluates 67
+//! real-world + 10 artificial = 77 queries).
+//!
+//! These exercise grammar corners deliberately: long operator chains,
+//! parenthesised/balanced ASTs (bottom-up-hostile), constants inside
+//! sub-expressions, three-matrix contractions and transposed outputs.
+
+use super::helpers::{arr, arr_nz, out, scalar};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 10 artificial benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "art_chain4",
+            suite: Suite::Artificial,
+            source: "void chain4(int n, int *a, int *b, int *c, int *d, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] + b[i] + c[i] + d[i];
+            }",
+            ground_truth: "out(i) = a(i) + b(i) + c(i) + d(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "art_mixed_chain",
+            suite: Suite::Artificial,
+            source: "void mixed(int n, int *a, int *b, int *c, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * b[i] + c[i];
+            }",
+            ground_truth: "out(i) = a(i) * b(i) + c(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        // Parenthesised: (a + b) * c — unreachable for the bottom-up
+        // tail grammar (RQ2).
+        Benchmark {
+            name: "art_paren_mul",
+            suite: Suite::Artificial,
+            source: "void pmul(int n, int *a, int *b, int *c, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = (a[i] + b[i]) * c[i];
+            }",
+            ground_truth: "out(i) = (a(i) + b(i)) * c(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        // Parenthesised with division: (a - b) / c.
+        Benchmark {
+            name: "art_paren_div",
+            suite: Suite::Artificial,
+            source: "void pdiv(int n, int *a, int *b, int *c, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = (a[i] - b[i]) / c[i];
+            }",
+            ground_truth: "out(i) = (a(i) - b(i)) / c(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr_nz(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "art_const_mul",
+            suite: Suite::Artificial,
+            source: "void cmul(int n, int *a, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * 5;
+            }",
+            ground_truth: "out(i) = a(i) * 5",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "art_scalar_div_sum",
+            suite: Suite::Artificial,
+            source: "void sdiv(int n, int *a, int *b, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    *out += a[i] / b[i];
+            }",
+            ground_truth: "out = a(i) / b(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr_nz(&["n"]),
+                out(&[]),
+            ],
+        },
+        // Balanced but precedence-respecting: a*b + c*d (bottom-up CAN
+        // express this as a chain).
+        Benchmark {
+            name: "art_two_products",
+            suite: Suite::Artificial,
+            source: "void twop(int n, int *a, int *b, int *c, int *d, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * b[i] + c[i] * d[i];
+            }",
+            ground_truth: "out(i) = a(i) * b(i) + c(i) * d(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        // Three-matrix chain product.
+        Benchmark {
+            name: "art_3mat_chain",
+            suite: Suite::Artificial,
+            source: "void chain3(int n, int m, int p, int q, int *A, int *B, int *C, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int l = 0; l < q; l++) {
+                        out[i*q + l] = 0;
+                        for (int j = 0; j < m; j++)
+                            for (int k = 0; k < p; k++)
+                                out[i*q + l] += A[i*m + j] * B[j*p + k] * C[k*q + l];
+                    }
+            }",
+            ground_truth: "out(i,l) = A(i,j) * B(j,k) * C(k,l)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                ParamSpec::Size("q"),
+                arr(&["n", "m"]),
+                arr(&["m", "p"]),
+                arr(&["p", "q"]),
+                out(&["n", "q"]),
+            ],
+        },
+        // Transposed output: out(j,i) = T(i,j,k) * v(k).
+        Benchmark {
+            name: "art_ttv_transposed",
+            suite: Suite::Artificial,
+            source: "void ttvt(int n, int m, int p, int *T, int *v, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++) {
+                        out[j*n + i] = 0;
+                        for (int k = 0; k < p; k++)
+                            out[j*n + i] += T[i*m*p + j*p + k] * v[k];
+                    }
+            }",
+            ground_truth: "out(j,i) = T(i,j,k) * v(k)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                arr(&["n", "m", "p"]),
+                arr(&["p"]),
+                out(&["m", "n"]),
+            ],
+        },
+        // Constant inside a parenthesised sub-expression: a * (b + t).
+        Benchmark {
+            name: "art_paren_scalar",
+            suite: Suite::Artificial,
+            source: "void pscal(int n, int t, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * (b[i] + t);
+            }",
+            ground_truth: "out(i) = a(i) * (b(i) + t)",
+            params: vec![
+                ParamSpec::Size("n"),
+                scalar(),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+    ]
+}

@@ -1,0 +1,189 @@
+//! BLAS-style dense linear algebra kernels (10 benchmarks).
+//!
+//! `blas_gemv` is the paper's running example (Fig. 2), verbatim: the
+//! pointer-walking row-times-vector product.
+
+use super::helpers::{arr, out};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 10 BLAS benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "blas_dot",
+            suite: Suite::Blas,
+            source: "void dot(int n, int *x, int *y, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    *out += x[i] * y[i];
+            }",
+            ground_truth: "out = x(i) * y(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&[])],
+        },
+        Benchmark {
+            name: "blas_axpy",
+            suite: Suite::Blas,
+            source: "void axpy(int n, int alpha, int *x, int *y, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = alpha * x[i] + y[i];
+            }",
+            ground_truth: "out(i) = alpha * x(i) + y(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::ScalarIn { nonzero: false },
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        // The paper's Figure 2, kept verbatim (pointer-walking GEMV).
+        Benchmark {
+            name: "blas_gemv",
+            suite: Suite::Blas,
+            source: "void function(int N, int *Mat1, int *Mat2, int *Result) {
+                int *p_m1;
+                int *p_m2;
+                int *p_t;
+                int i, f;
+                p_m1 = Mat1;
+                p_t = Result;
+                for (f = 0; f < N; f++) {
+                    *p_t = 0;
+                    p_m2 = &Mat2[0];
+                    for (i = 0; i < N; i++)
+                        *p_t += *p_m1++ * *p_m2++;
+                    p_t++;
+                }
+            }",
+            ground_truth: "Result(i) = Mat1(i,j) * Mat2(j)",
+            params: vec![
+                ParamSpec::Size("N"),
+                arr(&["N", "N"]),
+                arr(&["N"]),
+                out(&["N"]),
+            ],
+        },
+        Benchmark {
+            name: "blas_gemm",
+            suite: Suite::Blas,
+            source: "void gemm(int n, int m, int p, int *A, int *B, int *C) {
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < p; j++) {
+                        C[i*p + j] = 0;
+                        for (int k = 0; k < m; k++)
+                            C[i*p + j] += A[i*m + k] * B[k*p + j];
+                    }
+                }
+            }",
+            ground_truth: "C(i,j) = A(i,k) * B(k,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                arr(&["n", "m"]),
+                arr(&["m", "p"]),
+                out(&["n", "p"]),
+            ],
+        },
+        Benchmark {
+            name: "blas_ger",
+            suite: Suite::Blas,
+            source: "void ger(int n, int m, int *x, int *y, int *A) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        A[i*m + j] = x[i] * y[j];
+            }",
+            ground_truth: "A(i,j) = x(i) * y(j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n"]),
+                arr(&["m"]),
+                out(&["n", "m"]),
+            ],
+        },
+        Benchmark {
+            name: "blas_scal",
+            suite: Suite::Blas,
+            source: "void scal(int n, int alpha, int *x, int *out) {
+                int i;
+                for (i = 0; i < n; i++)
+                    out[i] = alpha * x[i];
+            }",
+            ground_truth: "out(i) = alpha * x(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::ScalarIn { nonzero: false },
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "blas_copy",
+            suite: Suite::Blas,
+            source: "void copy(int n, int *x, int *out) {
+                int *p = x;
+                int *q = out;
+                for (int i = 0; i < n; i++)
+                    *q++ = *p++;
+            }",
+            ground_truth: "out(i) = x(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "blas_gemv_t",
+            suite: Suite::Blas,
+            source: "void gemvt(int n, int m, int *A, int *x, int *y) {
+                for (int j = 0; j < m; j++) {
+                    y[j] = 0;
+                    for (int i = 0; i < n; i++)
+                        y[j] += A[i*m + j] * x[i];
+                }
+            }",
+            ground_truth: "y(i) = A(j,i) * x(j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                arr(&["n"]),
+                out(&["m"]),
+            ],
+        },
+        Benchmark {
+            name: "blas_syrk",
+            suite: Suite::Blas,
+            source: "void syrk(int n, int m, int *A, int *C) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < n; j++) {
+                        C[i*n + j] = 0;
+                        for (int k = 0; k < m; k++)
+                            C[i*n + j] += A[i*m + k] * A[j*m + k];
+                    }
+            }",
+            ground_truth: "C(i,j) = A(i,k) * A(j,k)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                out(&["n", "n"]),
+            ],
+        },
+        Benchmark {
+            name: "blas_dot_scaled",
+            suite: Suite::Blas,
+            source: "void sdot(int n, int alpha, int *x, int *y, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    *out += alpha * x[i] * y[i];
+            }",
+            ground_truth: "out = alpha * x(i) * y(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::ScalarIn { nonzero: false },
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&[]),
+            ],
+        },
+    ]
+}

@@ -1,0 +1,211 @@
+//! Kernels modelled on the darknet ML framework (12 benchmarks).
+//!
+//! darknet is one of the real-world codebases in the C2TACO suite the
+//! paper evaluates on; these kernels reproduce its characteristic shapes:
+//! bias/scale application across channels, array reductions, blended
+//! updates, and a batch-norm-style normalisation (`dn_normalize`, the
+//! hardest kernel in the suite).
+
+use super::helpers::{arr, arr_nz, out, scalar};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 12 darknet benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "dn_bias_add",
+            suite: Suite::Darknet,
+            source: "void add_bias(int c, int size, int *output, int *biases, int *result) {
+                for (int i = 0; i < c; i++)
+                    for (int j = 0; j < size; j++)
+                        result[i*size + j] = output[i*size + j] + biases[i];
+            }",
+            ground_truth: "result(i,j) = output(i,j) + biases(i)",
+            params: vec![
+                ParamSpec::Size("c"),
+                ParamSpec::Size("size"),
+                arr(&["c", "size"]),
+                arr(&["c"]),
+                out(&["c", "size"]),
+            ],
+        },
+        Benchmark {
+            name: "dn_scale_bias",
+            suite: Suite::Darknet,
+            source: "void scale_bias(int c, int size, int *output, int *scales, int *result) {
+                for (int i = 0; i < c; i++)
+                    for (int j = 0; j < size; j++)
+                        result[i*size + j] = output[i*size + j] * scales[i];
+            }",
+            ground_truth: "result(i,j) = output(i,j) * scales(i)",
+            params: vec![
+                ParamSpec::Size("c"),
+                ParamSpec::Size("size"),
+                arr(&["c", "size"]),
+                arr(&["c"]),
+                out(&["c", "size"]),
+            ],
+        },
+        Benchmark {
+            name: "dn_sum_array",
+            suite: Suite::Darknet,
+            source: "void sum_array(int *a, int n, int *out) {
+                int i;
+                int sum = 0;
+                for (i = 0; i < n; i++) sum += a[i];
+                *out = sum;
+            }",
+            ground_truth: "out = a(i)",
+            params: vec![arr(&["n"]), ParamSpec::Size("n"), out(&[])],
+        },
+        Benchmark {
+            name: "dn_mean_array",
+            suite: Suite::Darknet,
+            source: "void mean_array(int *a, int n, int *out) {
+                int i;
+                *out = 0;
+                for (i = 0; i < n; i++) *out += a[i];
+                *out = *out / n;
+            }",
+            ground_truth: "out = a(i) / n",
+            params: vec![arr(&["n"]), ParamSpec::Size("n"), out(&[])],
+        },
+        Benchmark {
+            name: "dn_mult_add_into",
+            suite: Suite::Darknet,
+            source: "void mult_add_into(int n, int *a, int *b, int *c, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * b[i] + c[i];
+            }",
+            ground_truth: "out(i) = a(i) * b(i) + c(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "dn_weighted_sum",
+            suite: Suite::Darknet,
+            source: "void weighted_sum(int n, int s, int t, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * s + b[i] * t;
+            }",
+            ground_truth: "out(i) = a(i) * s + b(i) * t",
+            params: vec![
+                ParamSpec::Size("n"),
+                scalar(),
+                scalar(),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "dn_copy2d",
+            suite: Suite::Darknet,
+            source: "void copy2d(int n, int m, int *src, int *dst) {
+                int *p = src;
+                int *q = dst;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        *q++ = *p++;
+            }",
+            ground_truth: "dst(i,j) = src(i,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                out(&["n", "m"]),
+            ],
+        },
+        Benchmark {
+            name: "dn_scale_array",
+            suite: Suite::Darknet,
+            source: "void scale_array(int *a, int n, int s, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * s;
+            }",
+            ground_truth: "out(i) = a(i) * s",
+            params: vec![
+                arr(&["n"]),
+                ParamSpec::Size("n"),
+                scalar(),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "dn_dot_error",
+            suite: Suite::Darknet,
+            source: "void dot_error(int n, int *pred, int *truth, int *out) {
+                int sum = 0;
+                for (int i = 0; i < n; i++)
+                    sum += pred[i] * truth[i];
+                *out = sum;
+            }",
+            ground_truth: "out = pred(i) * truth(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&[])],
+        },
+        Benchmark {
+            name: "dn_l2_partial",
+            suite: Suite::Darknet,
+            source: "void l2(int n, int *x, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    *out += x[i] * x[i];
+            }",
+            ground_truth: "out = x(i) * x(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), out(&[])],
+        },
+        Benchmark {
+            name: "dn_matmul",
+            suite: Suite::Darknet,
+            source: "void gemm_nn(int M, int N, int K, int *A, int *B, int *C) {
+                int i, j, k;
+                for (i = 0; i < M; i++) {
+                    for (j = 0; j < N; j++) {
+                        C[i*N + j] = 0;
+                    }
+                    for (k = 0; k < K; k++) {
+                        for (j = 0; j < N; j++) {
+                            C[i*N + j] += A[i*K + k] * B[k*N + j];
+                        }
+                    }
+                }
+            }",
+            ground_truth: "C(i,j) = A(i,k) * B(k,j)",
+            params: vec![
+                ParamSpec::Size("M"),
+                ParamSpec::Size("N"),
+                ParamSpec::Size("K"),
+                arr(&["M", "K"]),
+                arr(&["K", "N"]),
+                out(&["M", "N"]),
+            ],
+        },
+        // Batch-norm-style normalisation: the hardest real-world kernel —
+        // four tensors, three distinct operators and a parenthesised
+        // subtraction.
+        Benchmark {
+            name: "dn_normalize",
+            suite: Suite::Darknet,
+            source: "void normalize(int c, int size, int *x, int *mean, int *variance, int *scales, int *out) {
+                for (int i = 0; i < c; i++)
+                    for (int j = 0; j < size; j++)
+                        out[i*size + j] = (x[i*size + j] - mean[i]) / variance[i] * scales[i];
+            }",
+            ground_truth: "out(i,j) = (x(i,j) - mean(i)) / variance(i) * scales(i)",
+            params: vec![
+                ParamSpec::Size("c"),
+                ParamSpec::Size("size"),
+                arr(&["c", "size"]),
+                arr(&["c"]),
+                arr_nz(&["c"]),
+                arr(&["c"]),
+                out(&["c", "size"]),
+            ],
+        },
+    ]
+}

@@ -1,0 +1,120 @@
+//! DSPStone-style kernels (8 benchmarks).
+
+use super::helpers::{arr, arr_nz, out};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 8 DSPStone benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "ds_mat1x3",
+            suite: Suite::Dspstone,
+            source: "void mat1x3(int n, int *h, int *x, int *y) {
+                int *p = y;
+                for (int i = 0; i < n; i++) {
+                    *p = 0;
+                    for (int f = 0; f < n; f++)
+                        *p += h[i*n + f] * x[f];
+                    p++;
+                }
+            }",
+            ground_truth: "y(i) = h(i,j) * x(j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n", "n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "ds_dot",
+            suite: Suite::Dspstone,
+            source: "void ddot(int n, int *a, int *b, int *res) {
+                *res = 0;
+                for (int i = 0; i < n; i++)
+                    *res = *res + a[i] * b[i];
+            }",
+            ground_truth: "res = a(i) * b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&[])],
+        },
+        Benchmark {
+            name: "ds_vmul",
+            suite: Suite::Dspstone,
+            source: "void pin(int n, int *a, int *b, int *c) {
+                for (int i = 0; i < n; i++)
+                    c[i] = a[i] * b[i];
+            }",
+            ground_truth: "c(i) = a(i) * b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "ds_madd",
+            suite: Suite::Dspstone,
+            source: "void madd(int n, int m, int *A, int *B, int *C) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        C[i*m + j] = A[i*m + j] + B[i*m + j];
+            }",
+            ground_truth: "C(i,j) = A(i,j) + B(i,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                arr(&["n", "m"]),
+                out(&["n", "m"]),
+            ],
+        },
+        Benchmark {
+            name: "ds_msub",
+            suite: Suite::Dspstone,
+            source: "void msub(int n, int m, int *A, int *B, int *C) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        C[i*m + j] = A[i*m + j] - B[i*m + j];
+            }",
+            ground_truth: "C(i,j) = A(i,j) - B(i,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                arr(&["n", "m"]),
+                out(&["n", "m"]),
+            ],
+        },
+        Benchmark {
+            name: "ds_scale_const",
+            suite: Suite::Dspstone,
+            source: "void scale2(int n, int *x, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = x[i] * 2;
+            }",
+            ground_truth: "out(i) = x(i) * 2",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "ds_offset_const",
+            suite: Suite::Dspstone,
+            source: "void offset3(int n, int *x, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = x[i] + 3;
+            }",
+            ground_truth: "out(i) = x(i) + 3",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "ds_vdiv",
+            suite: Suite::Dspstone,
+            source: "void vdiv(int n, int *a, int *b, int *c) {
+                for (int i = 0; i < n; i++)
+                    c[i] = a[i] / b[i];
+            }",
+            ground_truth: "c(i) = a(i) / b(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr_nz(&["n"]),
+                out(&["n"]),
+            ],
+        },
+    ]
+}

@@ -1,0 +1,34 @@
+//! Tiny shared constructors for parameter specs.
+
+use crate::spec::ParamSpec;
+
+/// An input array parameter.
+pub(crate) fn arr(dims: &'static [&'static str]) -> ParamSpec {
+    ParamSpec::ArrayIn {
+        dims,
+        nonzero: false,
+    }
+}
+
+/// An input array parameter whose elements must be nonzero (divisor).
+pub(crate) fn arr_nz(dims: &'static [&'static str]) -> ParamSpec {
+    ParamSpec::ArrayIn {
+        dims,
+        nonzero: true,
+    }
+}
+
+/// The output array parameter.
+pub(crate) fn out(dims: &'static [&'static str]) -> ParamSpec {
+    ParamSpec::ArrayOut { dims }
+}
+
+/// A scalar data input.
+pub(crate) fn scalar() -> ParamSpec {
+    ParamSpec::ScalarIn { nonzero: false }
+}
+
+/// A scalar data input that must be nonzero (divisor).
+pub(crate) fn scalar_nz() -> ParamSpec {
+    ParamSpec::ScalarIn { nonzero: true }
+}

@@ -1,0 +1,119 @@
+//! Six kernels from C++-based llama inference code, mirroring the paper's
+//! §8 benchmark provenance ("6 from the C++ based inference code of
+//! Llama"). These are the linear-algebra cores of the transformer forward
+//! pass, in the llama2.c style.
+
+use super::helpers::{arr, out};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 6 llama benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        // The core of the forward pass: W (d,n) @ x (n,) -> xout (d,).
+        Benchmark {
+            name: "llama_matmul",
+            suite: Suite::Llama,
+            source: "void matmul(int *xout, int *x, int *w, int n, int d) {
+                for (int i = 0; i < d; i++) {
+                    int val = 0;
+                    for (int j = 0; j < n; j++)
+                        val += w[i*n + j] * x[j];
+                    xout[i] = val;
+                }
+            }",
+            ground_truth: "xout(i) = w(i,j) * x(j)",
+            params: vec![
+                ParamSpec::ArrayOut { dims: &["d"] },
+                arr(&["n"]),
+                arr(&["d", "n"]),
+                ParamSpec::Size("n"),
+                ParamSpec::Size("d"),
+            ],
+        },
+        // The sum-of-squares inside rmsnorm.
+        Benchmark {
+            name: "llama_rmsnorm_ss",
+            suite: Suite::Llama,
+            source: "void rmsnorm_ss(int *out, int *x, int size) {
+                int ss = 0;
+                for (int j = 0; j < size; j++)
+                    ss += x[j] * x[j];
+                *out = ss;
+            }",
+            ground_truth: "out = x(i) * x(i)",
+            params: vec![out(&[]), arr(&["size"]), ParamSpec::Size("size")],
+        },
+        // The residual connection x += xb, written out-of-place.
+        Benchmark {
+            name: "llama_residual",
+            suite: Suite::Llama,
+            source: "void residual(int dim, int *x, int *xb, int *out) {
+                for (int i = 0; i < dim; i++)
+                    out[i] = x[i] + xb[i];
+            }",
+            ground_truth: "out(i) = x(i) + xb(i)",
+            params: vec![
+                ParamSpec::Size("dim"),
+                arr(&["dim"]),
+                arr(&["dim"]),
+                out(&["dim"]),
+            ],
+        },
+        // SwiGLU elementwise gate: hb * hb2.
+        Benchmark {
+            name: "llama_hadamard",
+            suite: Suite::Llama,
+            source: "void swiglu_gate(int hidden_dim, int *hb, int *hb2, int *out) {
+                for (int i = 0; i < hidden_dim; i++)
+                    out[i] = hb[i] * hb2[i];
+            }",
+            ground_truth: "out(i) = hb(i) * hb2(i)",
+            params: vec![
+                ParamSpec::Size("hidden_dim"),
+                arr(&["hidden_dim"]),
+                arr(&["hidden_dim"]),
+                out(&["hidden_dim"]),
+            ],
+        },
+        // Attention-weighted sum of the value vectors:
+        // xb(i) = sum_t att(t) * v(t,i).
+        Benchmark {
+            name: "llama_att_weighted",
+            suite: Suite::Llama,
+            source: "void att_mix(int steps, int head_size, int *att, int *v, int *xb) {
+                for (int i = 0; i < head_size; i++)
+                    xb[i] = 0;
+                for (int t = 0; t < steps; t++) {
+                    for (int i = 0; i < head_size; i++)
+                        xb[i] += att[t] * v[t*head_size + i];
+                }
+            }",
+            ground_truth: "xb(i) = att(j) * v(j,i)",
+            params: vec![
+                ParamSpec::Size("steps"),
+                ParamSpec::Size("head_size"),
+                arr(&["steps"]),
+                arr(&["steps", "head_size"]),
+                out(&["head_size"]),
+            ],
+        },
+        // The q·k attention score for one (query, key) pair.
+        Benchmark {
+            name: "llama_qk_dot",
+            suite: Suite::Llama,
+            source: "void qk_score(int head_size, int *q, int *k, int *out) {
+                int score = 0;
+                for (int i = 0; i < head_size; i++)
+                    score += q[i] * k[i];
+                *out = score;
+            }",
+            ground_truth: "out = q(i) * k(i)",
+            params: vec![
+                ParamSpec::Size("head_size"),
+                arr(&["head_size"]),
+                arr(&["head_size"]),
+                out(&[]),
+            ],
+        },
+    ]
+}

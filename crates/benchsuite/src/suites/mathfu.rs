@@ -1,0 +1,119 @@
+//! mathfu-style vector math kernels (8 benchmarks).
+//!
+//! `mf_lerp` requires a parenthesised (balanced) AST — one of the shapes
+//! the paper's §8 RQ2 notes the bottom-up search cannot express.
+
+use super::helpers::{arr, arr_nz, out, scalar};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 8 mathfu benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "mf_vadd",
+            suite: Suite::Mathfu,
+            source: "void vadd(int n, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] + b[i];
+            }",
+            ground_truth: "out(i) = a(i) + b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "mf_vsub",
+            suite: Suite::Mathfu,
+            source: "void vsub(int n, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] - b[i];
+            }",
+            ground_truth: "out(i) = a(i) - b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "mf_vdiv",
+            suite: Suite::Mathfu,
+            source: "void vdiv(int n, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] / b[i];
+            }",
+            ground_truth: "out(i) = a(i) / b(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                arr(&["n"]),
+                arr_nz(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "mf_vmul",
+            suite: Suite::Mathfu,
+            source: "void vmul(int n, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] * b[i];
+            }",
+            ground_truth: "out(i) = a(i) * b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "mf_dot",
+            suite: Suite::Mathfu,
+            source: "void vdot(int n, int *a, int *b, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    *out += a[i] * b[i];
+            }",
+            ground_truth: "out = a(i) * b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&[])],
+        },
+        // Linear interpolation: needs the balanced AST
+        // a + (b - a) * t, unreachable for the bottom-up tail grammar.
+        Benchmark {
+            name: "mf_lerp",
+            suite: Suite::Mathfu,
+            source: "void lerp(int n, int t, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] + (b[i] - a[i]) * t;
+            }",
+            ground_truth: "out(i) = a(i) + (b(i) - a(i)) * t",
+            params: vec![
+                ParamSpec::Size("n"),
+                scalar(),
+                arr(&["n"]),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "mf_scale",
+            suite: Suite::Mathfu,
+            source: "void vscale(int n, int s, int *a, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = s * a[i];
+            }",
+            ground_truth: "out(i) = s * a(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                scalar(),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "mf_outer",
+            suite: Suite::Mathfu,
+            source: "void outer(int n, int m, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        out[i*m + j] = a[i] * b[j];
+            }",
+            ground_truth: "out(i,j) = a(i) * b(j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n"]),
+                arr(&["m"]),
+                out(&["n", "m"]),
+            ],
+        },
+    ]
+}

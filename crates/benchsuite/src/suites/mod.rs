@@ -1,0 +1,12 @@
+//! The benchmark suites: 67 real-world-style kernels plus 10 artificial
+//! ones, mirroring the paper's 77-query evaluation set.
+
+pub mod artificial;
+pub mod blas;
+pub mod darknet;
+pub mod dspstone;
+mod helpers;
+pub mod llama;
+pub mod mathfu;
+pub mod simple;
+pub mod utdsp;

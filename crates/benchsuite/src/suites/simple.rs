@@ -1,0 +1,258 @@
+//! Generic array-manipulation kernels (13 benchmarks), including the
+//! higher-order tensor contractions (TTV, TTM, MTTKRP) that stress
+//! multi-dimensional synthesis.
+
+use super::helpers::{arr, out, scalar_nz};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 13 simple-array benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "sa_sum2d",
+            suite: Suite::SimpleArray,
+            source: "void sum2d(int n, int m, int *A, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        *out += A[i*m + j];
+            }",
+            ground_truth: "out = A(i,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                out(&[]),
+            ],
+        },
+        Benchmark {
+            name: "sa_rowsum",
+            suite: Suite::SimpleArray,
+            source: "void rowsum(int n, int m, int *A, int *out) {
+                for (int i = 0; i < n; i++) {
+                    out[i] = 0;
+                    for (int j = 0; j < m; j++)
+                        out[i] += A[i*m + j];
+                }
+            }",
+            ground_truth: "out(i) = A(i,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_colsum",
+            suite: Suite::SimpleArray,
+            source: "void colsum(int n, int m, int *A, int *out) {
+                for (int j = 0; j < m; j++)
+                    out[j] = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        out[j] += A[i*m + j];
+            }",
+            ground_truth: "out(i) = A(j,i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                out(&["m"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_add_scalar",
+            suite: Suite::SimpleArray,
+            source: "void adds(int n, int s, int *a, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] + s;
+            }",
+            ground_truth: "out(i) = a(i) + s",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::ScalarIn { nonzero: false },
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_ttv",
+            suite: Suite::SimpleArray,
+            source: "void ttv(int n, int m, int p, int *T, int *v, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++) {
+                        out[i*m + j] = 0;
+                        for (int k = 0; k < p; k++)
+                            out[i*m + j] += T[i*m*p + j*p + k] * v[k];
+                    }
+            }",
+            ground_truth: "out(i,j) = T(i,j,k) * v(k)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                arr(&["n", "m", "p"]),
+                arr(&["p"]),
+                out(&["n", "m"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_ttm",
+            suite: Suite::SimpleArray,
+            source: "void ttm(int n, int m, int p, int q, int *T, int *M, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        for (int k = 0; k < p; k++) {
+                            out[i*m*p + j*p + k] = 0;
+                            for (int l = 0; l < q; l++)
+                                out[i*m*p + j*p + k] += T[i*m*q + j*q + l] * M[k*q + l];
+                        }
+            }",
+            ground_truth: "out(i,j,k) = T(i,j,l) * M(k,l)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                ParamSpec::Size("q"),
+                arr(&["n", "m", "q"]),
+                arr(&["p", "q"]),
+                out(&["n", "m", "p"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_mttkrp",
+            suite: Suite::SimpleArray,
+            source: "void mttkrp(int n, int m, int p, int q, int *B, int *C, int *D, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++) {
+                        out[i*m + j] = 0;
+                        for (int k = 0; k < p; k++)
+                            for (int l = 0; l < q; l++)
+                                out[i*m + j] += B[i*p*q + k*q + l] * C[k*m + j] * D[l*m + j];
+                    }
+            }",
+            ground_truth: "out(i,j) = B(i,k,l) * C(k,j) * D(l,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                ParamSpec::Size("q"),
+                arr(&["n", "p", "q"]),
+                arr(&["p", "m"]),
+                arr(&["q", "m"]),
+                out(&["n", "m"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_tadd3",
+            suite: Suite::SimpleArray,
+            source: "void tadd(int n, int m, int p, int *A, int *B, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        for (int k = 0; k < p; k++)
+                            out[i*m*p + j*p + k] = A[i*m*p + j*p + k] + B[i*m*p + j*p + k];
+            }",
+            ground_truth: "out(i,j,k) = A(i,j,k) + B(i,j,k)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                arr(&["n", "m", "p"]),
+                arr(&["n", "m", "p"]),
+                out(&["n", "m", "p"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_inner3",
+            suite: Suite::SimpleArray,
+            source: "void inner3(int n, int m, int p, int *A, int *B, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        for (int k = 0; k < p; k++)
+                            *out += A[i*m*p + j*p + k] * B[i*m*p + j*p + k];
+            }",
+            ground_truth: "out = A(i,j,k) * B(i,j,k)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                arr(&["n", "m", "p"]),
+                arr(&["n", "m", "p"]),
+                out(&[]),
+            ],
+        },
+        Benchmark {
+            name: "sa_trace",
+            suite: Suite::SimpleArray,
+            source: "void trace(int n, int *A, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    *out += A[i*n + i];
+            }",
+            ground_truth: "out = A(i,i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n", "n"]), out(&[])],
+        },
+        Benchmark {
+            name: "sa_scale_div",
+            suite: Suite::SimpleArray,
+            source: "void sdiv(int n, int d, int *a, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] / d;
+            }",
+            ground_truth: "out(i) = a(i) / d",
+            params: vec![
+                ParamSpec::Size("n"),
+                scalar_nz(),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_4d_add",
+            suite: Suite::SimpleArray,
+            source: "void add4(int n, int m, int p, int q, int *A, int *B, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++)
+                        for (int k = 0; k < p; k++)
+                            for (int l = 0; l < q; l++)
+                                out[i*m*p*q + j*p*q + k*q + l] =
+                                    A[i*m*p*q + j*p*q + k*q + l] + B[i*m*p*q + j*p*q + k*q + l];
+            }",
+            ground_truth: "out(i,j,k,l) = A(i,j,k,l) + B(i,j,k,l)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                ParamSpec::Size("q"),
+                arr(&["n", "m", "p", "q"]),
+                arr(&["n", "m", "p", "q"]),
+                out(&["n", "m", "p", "q"]),
+            ],
+        },
+        Benchmark {
+            name: "sa_4d_contract",
+            suite: Suite::SimpleArray,
+            source: "void contract4(int n, int m, int p, int q, int *A, int *B, int *out) {
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j < m; j++) {
+                        out[i*m + j] = 0;
+                        for (int k = 0; k < p; k++)
+                            for (int l = 0; l < q; l++)
+                                out[i*m + j] += A[i*m*p*q + j*p*q + k*q + l] * B[k*q + l];
+                    }
+            }",
+            ground_truth: "out(i,j) = A(i,j,k,l) * B(k,l)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                ParamSpec::Size("q"),
+                arr(&["n", "m", "p", "q"]),
+                arr(&["p", "q"]),
+                out(&["n", "m"]),
+            ],
+        },
+    ]
+}

@@ -1,0 +1,170 @@
+//! UTDSP-style digital signal processing kernels (10 benchmarks).
+//!
+//! UTDSP kernels are written in the pointer-heavy style typical of
+//! hand-optimised DSP code, exercising the array-recovery analysis.
+
+use super::helpers::{arr, out, scalar};
+use crate::spec::{Benchmark, ParamSpec, Suite};
+
+/// The 10 UTDSP benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "utdsp_mult_mm",
+            suite: Suite::Utdsp,
+            source: "void mult(int n, int m, int p, int *A, int *B, int *C) {
+                int *c_ptr = C;
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < p; j++) {
+                        int sum = 0;
+                        for (int k = 0; k < m; k++)
+                            sum += A[i*m + k] * B[k*p + j];
+                        *c_ptr++ = sum;
+                    }
+                }
+            }",
+            ground_truth: "C(i,j) = A(i,k) * B(k,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                arr(&["n", "m"]),
+                arr(&["m", "p"]),
+                out(&["n", "p"]),
+            ],
+        },
+        Benchmark {
+            name: "utdsp_mult_vv",
+            suite: Suite::Utdsp,
+            source: "void vmult(int n, int *a, int *b, int *out) {
+                int *pa = a;
+                int *pb = b;
+                int *po = out;
+                for (int i = 0; i < n; i++)
+                    *po++ = *pa++ * *pb++;
+            }",
+            ground_truth: "out(i) = a(i) * b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "utdsp_add_vv",
+            suite: Suite::Utdsp,
+            source: "void vadd(int n, int *a, int *b, int *out) {
+                int *pa = a;
+                int *pb = b;
+                int *po = out;
+                for (int i = 0; i < n; i++)
+                    *po++ = *pa++ + *pb++;
+            }",
+            ground_truth: "out(i) = a(i) + b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "utdsp_sub_vv",
+            suite: Suite::Utdsp,
+            source: "void vsub(int n, int *a, int *b, int *out) {
+                for (int i = 0; i < n; i++)
+                    out[i] = a[i] - b[i];
+            }",
+            ground_truth: "out(i) = a(i) - b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&["n"])],
+        },
+        Benchmark {
+            name: "utdsp_dot",
+            suite: Suite::Utdsp,
+            source: "void ddot(int n, int *a, int *b, int *out) {
+                int *pa = a;
+                int *pb = b;
+                int sum = 0;
+                for (int i = 0; i < n; i++)
+                    sum += *pa++ * *pb++;
+                *out = sum;
+            }",
+            ground_truth: "out = a(i) * b(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), arr(&["n"]), out(&[])],
+        },
+        Benchmark {
+            name: "utdsp_mat_trans_mult",
+            suite: Suite::Utdsp,
+            source: "void atb(int n, int m, int p, int *A, int *B, int *C) {
+                for (int i = 0; i < m; i++)
+                    for (int j = 0; j < p; j++) {
+                        C[i*p + j] = 0;
+                        for (int k = 0; k < n; k++)
+                            C[i*p + j] += A[k*m + i] * B[k*p + j];
+                    }
+            }",
+            ground_truth: "C(i,j) = A(k,i) * B(k,j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                ParamSpec::Size("p"),
+                arr(&["n", "m"]),
+                arr(&["n", "p"]),
+                out(&["m", "p"]),
+            ],
+        },
+        Benchmark {
+            name: "utdsp_scale",
+            suite: Suite::Utdsp,
+            source: "void vscale(int n, int gain, int *x, int *out) {
+                int *px = x;
+                int *po = out;
+                for (int i = 0; i < n; i++)
+                    *po++ = gain * *px++;
+            }",
+            ground_truth: "out(i) = gain * x(i)",
+            params: vec![
+                ParamSpec::Size("n"),
+                scalar(),
+                arr(&["n"]),
+                out(&["n"]),
+            ],
+        },
+        Benchmark {
+            name: "utdsp_vec_sum",
+            suite: Suite::Utdsp,
+            source: "void vsum(int n, int *x, int *out) {
+                int acc = 0;
+                int *p = x;
+                for (int i = 0; i < n; i++)
+                    acc += *p++;
+                *out = acc;
+            }",
+            ground_truth: "out = x(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), out(&[])],
+        },
+        Benchmark {
+            name: "utdsp_norm_sq",
+            suite: Suite::Utdsp,
+            source: "void normsq(int n, int *x, int *out) {
+                *out = 0;
+                for (int i = 0; i < n; i++)
+                    *out += x[i] * x[i];
+            }",
+            ground_truth: "out = x(i) * x(i)",
+            params: vec![ParamSpec::Size("n"), arr(&["n"]), out(&[])],
+        },
+        Benchmark {
+            name: "utdsp_mv",
+            suite: Suite::Utdsp,
+            source: "void mv(int n, int m, int *A, int *x, int *y) {
+                int *pa = A;
+                for (int i = 0; i < n; i++) {
+                    int sum = 0;
+                    for (int j = 0; j < m; j++)
+                        sum += *pa++ * x[j];
+                    y[i] = sum;
+                }
+            }",
+            ground_truth: "y(i) = A(i,j) * x(j)",
+            params: vec![
+                ParamSpec::Size("n"),
+                ParamSpec::Size("m"),
+                arr(&["n", "m"]),
+                arr(&["m"]),
+                out(&["n"]),
+            ],
+        },
+    ]
+}

@@ -1,0 +1,451 @@
+//! Abstract syntax for the C subset understood by the lifting pipeline.
+//!
+//! The subset covers the legacy tensor kernels the paper lifts: functions
+//! over scalar and pointer parameters, declarations, `for`/`while`/`if`,
+//! assignments (plain and compound), pointer arithmetic including
+//! post-increment idioms like `*p_t += *p_m1++ * *p_m2++;` (Fig. 2), and
+//! affine array indexing like `A[i*N + j]`.
+
+use std::fmt;
+
+/// A numeric element type. The interpreter gives all of these *rational*
+/// semantics, mirroring the paper's rational-datatype extension of CBMC
+/// (§7); the distinction is kept for parsing fidelity and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumType {
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+}
+
+impl fmt::Display for NumType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumType::Int => write!(f, "int"),
+            NumType::Float => write!(f, "float"),
+            NumType::Double => write!(f, "double"),
+        }
+    }
+}
+
+/// A C type in the subset: a number or a pointer to numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CType {
+    /// A scalar numeric type.
+    Num(NumType),
+    /// A pointer to a numeric element type.
+    Ptr(NumType),
+}
+
+impl CType {
+    /// Whether this is a pointer type.
+    pub fn is_pointer(self) -> bool {
+        matches!(self, CType::Ptr(_))
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Num(n) => write!(f, "{n}"),
+            CType::Ptr(n) => write!(f, "{n} *"),
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: CType,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Pointer dereference `*e`.
+    Deref,
+    /// Address-of `&e`.
+    AddrOf,
+    /// Logical not `!e`.
+    Not,
+}
+
+/// Binary operators (arithmetic, comparison, logical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integer modulo; operands must be integral at runtime)
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl CBinOp {
+    /// Whether the operator is one of the four arithmetic ones that can
+    /// appear in lifted TACO code.
+    pub fn is_arith(self) -> bool {
+        matches!(self, CBinOp::Add | CBinOp::Sub | CBinOp::Mul | CBinOp::Div)
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    AddAssign,
+    /// `-=`
+    SubAssign,
+    /// `*=`
+    MulAssign,
+    /// `/=`
+    DivAssign,
+}
+
+impl AssignOp {
+    /// The arithmetic operator a compound assignment applies, if any.
+    pub fn arith(self) -> Option<CBinOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::AddAssign => Some(CBinOp::Add),
+            AssignOp::SubAssign => Some(CBinOp::Sub),
+            AssignOp::MulAssign => Some(CBinOp::Mul),
+            AssignOp::DivAssign => Some(CBinOp::Div),
+        }
+    }
+}
+
+/// A C expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating literal, stored exactly as parsed (mantissa, power of ten)
+    /// so the rational interpreter loses nothing: `0.25` is `(25, 2)`.
+    FloatLit {
+        /// The digits with the decimal point removed.
+        mantissa: i64,
+        /// Number of digits after the decimal point.
+        frac_digits: u32,
+    },
+    /// A variable reference.
+    Var(String),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<CExpr>,
+    },
+    /// Post-increment `e++`.
+    PostInc(Box<CExpr>),
+    /// Post-decrement `e--`.
+    PostDec(Box<CExpr>),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: CBinOp,
+        /// Left operand.
+        lhs: Box<CExpr>,
+        /// Right operand.
+        rhs: Box<CExpr>,
+    },
+    /// Array indexing `base[index]`.
+    Index {
+        /// The indexed expression (array or pointer valued).
+        base: Box<CExpr>,
+        /// The index expression.
+        index: Box<CExpr>,
+    },
+    /// Assignment, usable in expression position as in C.
+    Assign {
+        /// The assignment operator.
+        op: AssignOp,
+        /// The assigned lvalue.
+        lhs: Box<CExpr>,
+        /// The value expression.
+        rhs: Box<CExpr>,
+    },
+    /// A ternary conditional `c ? t : e`.
+    Ternary {
+        /// Condition.
+        cond: Box<CExpr>,
+        /// Value if true.
+        then_val: Box<CExpr>,
+        /// Value if false.
+        else_val: Box<CExpr>,
+    },
+    /// A cast `(type) e`; a no-op under rational semantics.
+    Cast {
+        /// Target type.
+        ty: CType,
+        /// Operand.
+        expr: Box<CExpr>,
+    },
+}
+
+impl CExpr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: CBinOp, lhs: CExpr, rhs: CExpr) -> CExpr {
+        CExpr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> CExpr {
+        CExpr::Var(name.to_string())
+    }
+
+    /// Collects every integer literal in the expression (the constant pool
+    /// used to instantiate `Const` template symbols, §6).
+    pub fn collect_int_literals(&self, out: &mut Vec<i64>) {
+        match self {
+            CExpr::IntLit(v) => out.push(*v),
+            CExpr::FloatLit { .. } | CExpr::Var(_) => {}
+            CExpr::Unary { expr, .. } | CExpr::PostInc(expr) | CExpr::PostDec(expr) => {
+                expr.collect_int_literals(out)
+            }
+            CExpr::Binary { lhs, rhs, .. } => {
+                lhs.collect_int_literals(out);
+                rhs.collect_int_literals(out);
+            }
+            CExpr::Index { base, index } => {
+                base.collect_int_literals(out);
+                index.collect_int_literals(out);
+            }
+            CExpr::Assign { lhs, rhs, .. } => {
+                lhs.collect_int_literals(out);
+                rhs.collect_int_literals(out);
+            }
+            CExpr::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                cond.collect_int_literals(out);
+                then_val.collect_int_literals(out);
+                else_val.collect_int_literals(out);
+            }
+            CExpr::Cast { expr, .. } => expr.collect_int_literals(out),
+        }
+    }
+}
+
+/// A C statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A local declaration, possibly initialised.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Variable type.
+        ty: CType,
+        /// Optional initialiser.
+        init: Option<CExpr>,
+    },
+    /// An expression statement (assignments, increments…).
+    Expr(CExpr),
+    /// A `for` loop.
+    For {
+        /// Loop initialiser (a declaration or expression statement).
+        init: Option<Box<Stmt>>,
+        /// Loop condition; `None` means `for(;;)`.
+        cond: Option<CExpr>,
+        /// Loop step expression.
+        step: Option<CExpr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A `while` loop.
+    While {
+        /// Loop condition.
+        cond: CExpr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// An `if` statement.
+    If {
+        /// Condition.
+        cond: CExpr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (empty if absent).
+        else_body: Vec<Stmt>,
+    },
+    /// A `return`, with optional value.
+    Return(Option<CExpr>),
+    /// A braced block (introduces a scope).
+    Block(Vec<Stmt>),
+    /// Several declarations produced by one source statement
+    /// (`int i, f;`). Unlike [`Stmt::Block`], these execute in the
+    /// *enclosing* scope.
+    Multi(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type; `None` for `void`.
+    pub ret: Option<CType>,
+    /// Parameters, in order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Looks up a parameter index by name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name == name)
+    }
+
+    /// Collects every integer literal appearing in the body, deduplicated
+    /// and in order of first appearance. This is the constant pool the
+    /// validator draws from when instantiating `Const` symbols.
+    pub fn int_constants(&self) -> Vec<i64> {
+        let mut all = Vec::new();
+        collect_stmt_literals(&self.body, &mut all);
+        let mut uniq = Vec::new();
+        for v in all {
+            if !uniq.contains(&v) {
+                uniq.push(v);
+            }
+        }
+        uniq
+    }
+}
+
+fn collect_stmt_literals(stmts: &[Stmt], out: &mut Vec<i64>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    e.collect_int_literals(out);
+                }
+            }
+            Stmt::Expr(e) => e.collect_int_literals(out),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    collect_stmt_literals(std::slice::from_ref(i), out);
+                }
+                if let Some(c) = cond {
+                    c.collect_int_literals(out);
+                }
+                if let Some(st) = step {
+                    st.collect_int_literals(out);
+                }
+                collect_stmt_literals(body, out);
+            }
+            Stmt::While { cond, body } => {
+                cond.collect_int_literals(out);
+                collect_stmt_literals(body, out);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                cond.collect_int_literals(out);
+                collect_stmt_literals(then_body, out);
+                collect_stmt_literals(else_body, out);
+            }
+            Stmt::Return(Some(e)) => e.collect_int_literals(out),
+            Stmt::Return(None) => {}
+            Stmt::Block(b) | Stmt::Multi(b) => collect_stmt_literals(b, out),
+        }
+    }
+}
+
+/// A translation unit: one or more function definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CProgram {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+impl CProgram {
+    /// The first function in the unit (the kernel, by convention).
+    pub fn kernel(&self) -> &Function {
+        &self.functions[0]
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_collection_dedups() {
+        let f = Function {
+            name: "f".into(),
+            ret: None,
+            params: vec![],
+            body: vec![
+                Stmt::Expr(CExpr::binary(
+                    CBinOp::Add,
+                    CExpr::IntLit(2),
+                    CExpr::IntLit(3),
+                )),
+                Stmt::Expr(CExpr::IntLit(2)),
+            ],
+        };
+        assert_eq!(f.int_constants(), vec![2, 3]);
+    }
+
+    #[test]
+    fn assign_op_arith() {
+        assert_eq!(AssignOp::AddAssign.arith(), Some(CBinOp::Add));
+        assert_eq!(AssignOp::Assign.arith(), None);
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(CType::Ptr(NumType::Int).to_string(), "int *");
+        assert_eq!(CType::Num(NumType::Double).to_string(), "double");
+    }
+}

@@ -1,0 +1,835 @@
+//! An interpreter for the C subset with *rational* arithmetic semantics.
+//!
+//! The paper verifies equivalence over rational datatypes (its CBMC
+//! extension, §7); accordingly this interpreter evaluates all numeric
+//! expressions in exact rational arithmetic. Loop counters and indices are
+//! still required to be integers at the points where integrality matters
+//! (array subscripts, `%`).
+//!
+//! The interpreter executes a kernel [`Function`] against concrete
+//! arguments and returns the final contents of every array argument —
+//! which is how the pipeline obtains input/output examples (§6) and how
+//! the verifier runs the legacy side of a differential test (§7).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gtl_tensor::{Rat, RatError};
+
+use crate::ast::{CBinOp, CExpr, CType, Function, Stmt, UnOp};
+
+/// A runtime value: a rational number or a pointer into an array argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// A number.
+    Num(Rat),
+    /// A pointer: array argument slot + element offset.
+    Ptr {
+        /// Index into the machine's array table.
+        array: usize,
+        /// Element offset (may transiently go out of bounds; checked on
+        /// dereference).
+        offset: i64,
+    },
+}
+
+/// An argument passed to a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// A scalar argument (e.g. a size `N` or a coefficient).
+    Scalar(Rat),
+    /// An array argument; the interpreter copies it into writable storage.
+    Array(Vec<Rat>),
+}
+
+/// The outcome of running a kernel: final array contents (same order as
+/// the array arguments) and the function's return value, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Final contents of each array argument, in argument order.
+    pub arrays: Vec<Vec<Rat>>,
+    /// The value returned by a `return` statement, if executed.
+    pub ret: Option<Rat>,
+}
+
+/// A runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Use of a name with no binding.
+    UnboundVariable(String),
+    /// Array access out of bounds.
+    OutOfBounds {
+        /// The array slot.
+        array: usize,
+        /// The offending offset.
+        offset: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// A numeric operation was applied to a pointer (or vice versa).
+    TypeError(&'static str),
+    /// Arithmetic failure (division by zero / overflow).
+    Arithmetic(RatError),
+    /// `%` or an array subscript used a non-integer rational.
+    NonIntegral,
+    /// The step budget was exhausted (runaway loop).
+    FuelExhausted,
+    /// Wrong number or kinds of arguments for the kernel.
+    BadArguments(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnboundVariable(n) => write!(f, "unbound variable `{n}`"),
+            RuntimeError::OutOfBounds { array, offset, len } => {
+                write!(f, "array {array} access at {offset} out of bounds (len {len})")
+            }
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::Arithmetic(e) => write!(f, "arithmetic error: {e}"),
+            RuntimeError::NonIntegral => write!(f, "non-integer used where an integer is required"),
+            RuntimeError::FuelExhausted => write!(f, "step budget exhausted"),
+            RuntimeError::BadArguments(m) => write!(f, "bad arguments: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<RatError> for RuntimeError {
+    fn from(e: RatError) -> Self {
+        RuntimeError::Arithmetic(e)
+    }
+}
+
+/// Where an lvalue lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Place {
+    Local(String),
+    Elem { array: usize, offset: i64 },
+}
+
+/// Signals early function exit.
+enum Flow {
+    Normal,
+    Return(Option<Rat>),
+}
+
+/// Default execution step budget.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+
+struct Machine {
+    arrays: Vec<Vec<Rat>>,
+    locals: Vec<HashMap<String, Value>>,
+    fuel: u64,
+}
+
+impl Machine {
+    fn spend(&mut self, amount: u64) -> Result<(), RuntimeError> {
+        if self.fuel < amount {
+            return Err(RuntimeError::FuelExhausted);
+        }
+        self.fuel -= amount;
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Result<Value, RuntimeError> {
+        for scope in self.locals.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Ok(*v);
+            }
+        }
+        Err(RuntimeError::UnboundVariable(name.to_string()))
+    }
+
+    fn assign_var(&mut self, name: &str, v: Value) -> Result<(), RuntimeError> {
+        for scope in self.locals.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return Ok(());
+            }
+        }
+        Err(RuntimeError::UnboundVariable(name.to_string()))
+    }
+
+    fn declare(&mut self, name: &str, v: Value) {
+        self.locals
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), v);
+    }
+
+    fn read_elem(&self, array: usize, offset: i64) -> Result<Rat, RuntimeError> {
+        let arr = &self.arrays[array];
+        if offset < 0 || offset as usize >= arr.len() {
+            return Err(RuntimeError::OutOfBounds {
+                array,
+                offset,
+                len: arr.len(),
+            });
+        }
+        Ok(arr[offset as usize])
+    }
+
+    fn write_elem(&mut self, array: usize, offset: i64, v: Rat) -> Result<(), RuntimeError> {
+        let arr = &mut self.arrays[array];
+        if offset < 0 || offset as usize >= arr.len() {
+            return Err(RuntimeError::OutOfBounds {
+                array,
+                offset,
+                len: arr.len(),
+            });
+        }
+        arr[offset as usize] = v;
+        Ok(())
+    }
+
+    fn read_place(&self, p: &Place) -> Result<Value, RuntimeError> {
+        match p {
+            Place::Local(n) => self.lookup(n),
+            Place::Elem { array, offset } => Ok(Value::Num(self.read_elem(*array, *offset)?)),
+        }
+    }
+
+    fn write_place(&mut self, p: &Place, v: Value) -> Result<(), RuntimeError> {
+        match p {
+            Place::Local(n) => self.assign_var(n, v),
+            Place::Elem { array, offset } => match v {
+                Value::Num(r) => self.write_elem(*array, *offset, r),
+                Value::Ptr { .. } => Err(RuntimeError::TypeError(
+                    "cannot store a pointer into a numeric array",
+                )),
+            },
+        }
+    }
+
+    fn eval_place(&mut self, e: &CExpr) -> Result<Place, RuntimeError> {
+        match e {
+            CExpr::Var(n) => Ok(Place::Local(n.clone())),
+            CExpr::Index { base, index } => {
+                let b = self.eval(base)?;
+                let i = self.eval_int(index)?;
+                match b {
+                    Value::Ptr { array, offset } => Ok(Place::Elem {
+                        array,
+                        offset: offset + i,
+                    }),
+                    Value::Num(_) => Err(RuntimeError::TypeError("indexing a non-pointer")),
+                }
+            }
+            CExpr::Unary {
+                op: UnOp::Deref,
+                expr,
+            } => match self.eval(expr)? {
+                Value::Ptr { array, offset } => Ok(Place::Elem { array, offset }),
+                Value::Num(_) => Err(RuntimeError::TypeError("dereferencing a non-pointer")),
+            },
+            _ => Err(RuntimeError::TypeError("expression is not an lvalue")),
+        }
+    }
+
+    fn eval_int(&mut self, e: &CExpr) -> Result<i64, RuntimeError> {
+        match self.eval(e)? {
+            Value::Num(r) if r.is_integer() => {
+                i64::try_from(r.numer()).map_err(|_| RuntimeError::NonIntegral)
+            }
+            Value::Num(_) => Err(RuntimeError::NonIntegral),
+            Value::Ptr { .. } => Err(RuntimeError::TypeError("pointer used as integer")),
+        }
+    }
+
+    fn eval_num(&mut self, e: &CExpr) -> Result<Rat, RuntimeError> {
+        match self.eval(e)? {
+            Value::Num(r) => Ok(r),
+            Value::Ptr { .. } => Err(RuntimeError::TypeError("pointer used as number")),
+        }
+    }
+
+    fn truthy(&mut self, e: &CExpr) -> Result<bool, RuntimeError> {
+        Ok(!self.eval_num(e)?.is_zero())
+    }
+
+    fn eval(&mut self, e: &CExpr) -> Result<Value, RuntimeError> {
+        self.spend(1)?;
+        match e {
+            CExpr::IntLit(v) => Ok(Value::Num(Rat::from(*v))),
+            CExpr::FloatLit {
+                mantissa,
+                frac_digits,
+            } => {
+                let den = 10i128
+                    .checked_pow(*frac_digits)
+                    .ok_or(RuntimeError::Arithmetic(RatError::Overflow))?;
+                Ok(Value::Num(Rat::new(*mantissa as i128, den)))
+            }
+            CExpr::Var(n) => self.lookup(n),
+            CExpr::Unary { op, expr } => match op {
+                UnOp::Neg => Ok(Value::Num(-self.eval_num(expr)?)),
+                UnOp::Not => Ok(Value::Num(if self.eval_num(expr)?.is_zero() {
+                    Rat::ONE
+                } else {
+                    Rat::ZERO
+                })),
+                UnOp::Deref => {
+                    let p = self.eval_place(e)?;
+                    self.read_place(&p)
+                }
+                UnOp::AddrOf => {
+                    // &expr: expr must denote an array element; taking the
+                    // address of a scalar local has no place in the
+                    // array-argument memory model.
+                    match self.eval_place(expr)? {
+                        Place::Elem { array, offset } => Ok(Value::Ptr { array, offset }),
+                        Place::Local(_) => Err(RuntimeError::TypeError(
+                            "address-of a scalar local is not supported",
+                        )),
+                    }
+                }
+            },
+            CExpr::PostInc(inner) => self.post_step(inner, 1),
+            CExpr::PostDec(inner) => self.post_step(inner, -1),
+            CExpr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
+            CExpr::Index { .. } => {
+                let p = self.eval_place(e)?;
+                self.read_place(&p)
+            }
+            CExpr::Assign { op, lhs, rhs } => {
+                let place = self.eval_place(lhs)?;
+                let rv = self.eval(rhs)?;
+                let new = match op.arith() {
+                    None => rv,
+                    Some(a) => {
+                        let old = self.read_place(&place)?;
+                        self.apply_arith(a, old, rv)?
+                    }
+                };
+                self.write_place(&place, new)?;
+                Ok(new)
+            }
+            CExpr::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                if self.truthy(cond)? {
+                    self.eval(then_val)
+                } else {
+                    self.eval(else_val)
+                }
+            }
+            CExpr::Cast { expr, ty } => {
+                // Rational semantics: casts between numeric types are
+                // no-ops; casting to a pointer type is not supported.
+                if ty.is_pointer() {
+                    return Err(RuntimeError::TypeError("pointer casts are not supported"));
+                }
+                self.eval(expr)
+            }
+        }
+    }
+
+    fn post_step(&mut self, inner: &CExpr, delta: i64) -> Result<Value, RuntimeError> {
+        let place = self.eval_place(inner)?;
+        let old = self.read_place(&place)?;
+        let new = match old {
+            Value::Num(r) => Value::Num(r.checked_add(Rat::from(delta))?),
+            Value::Ptr { array, offset } => Value::Ptr {
+                array,
+                offset: offset + delta,
+            },
+        };
+        self.write_place(&place, new)?;
+        Ok(old)
+    }
+
+    fn apply_arith(&self, op: CBinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+        match (l, r) {
+            (Value::Num(a), Value::Num(b)) => {
+                let v = match op {
+                    CBinOp::Add => a.checked_add(b)?,
+                    CBinOp::Sub => a.checked_sub(b)?,
+                    CBinOp::Mul => a.checked_mul(b)?,
+                    CBinOp::Div => a.checked_div(b)?,
+                    CBinOp::Rem => {
+                        if !a.is_integer() || !b.is_integer() {
+                            return Err(RuntimeError::NonIntegral);
+                        }
+                        if b.is_zero() {
+                            return Err(RuntimeError::Arithmetic(RatError::DivisionByZero));
+                        }
+                        Rat::new(a.numer() % b.numer(), 1)
+                    }
+                    _ => unreachable!("apply_arith only handles arithmetic ops"),
+                };
+                Ok(Value::Num(v))
+            }
+            // Pointer arithmetic: p + n, p - n, n + p.
+            (Value::Ptr { array, offset }, Value::Num(n)) if matches!(op, CBinOp::Add | CBinOp::Sub) => {
+                if !n.is_integer() {
+                    return Err(RuntimeError::NonIntegral);
+                }
+                let d = i64::try_from(n.numer()).map_err(|_| RuntimeError::NonIntegral)?;
+                let offset = if op == CBinOp::Add { offset + d } else { offset - d };
+                Ok(Value::Ptr { array, offset })
+            }
+            (Value::Num(n), Value::Ptr { array, offset }) if op == CBinOp::Add => {
+                if !n.is_integer() {
+                    return Err(RuntimeError::NonIntegral);
+                }
+                let d = i64::try_from(n.numer()).map_err(|_| RuntimeError::NonIntegral)?;
+                Ok(Value::Ptr {
+                    array,
+                    offset: offset + d,
+                })
+            }
+            (Value::Ptr { array: a1, offset: o1 }, Value::Ptr { array: a2, offset: o2 })
+                if op == CBinOp::Sub && a1 == a2 =>
+            {
+                Ok(Value::Num(Rat::from(o1 - o2)))
+            }
+            _ => Err(RuntimeError::TypeError("invalid operand types")),
+        }
+    }
+
+    fn eval_binary(&mut self, op: CBinOp, lhs: &CExpr, rhs: &CExpr) -> Result<Value, RuntimeError> {
+        // Short-circuit logical operators.
+        match op {
+            CBinOp::And => {
+                return Ok(Value::Num(if self.truthy(lhs)? && self.truthy(rhs)? {
+                    Rat::ONE
+                } else {
+                    Rat::ZERO
+                }))
+            }
+            CBinOp::Or => {
+                return Ok(Value::Num(if self.truthy(lhs)? || self.truthy(rhs)? {
+                    Rat::ONE
+                } else {
+                    Rat::ZERO
+                }))
+            }
+            _ => {}
+        }
+        let l = self.eval(lhs)?;
+        let r = self.eval(rhs)?;
+        if op.is_arith() || op == CBinOp::Rem {
+            return self.apply_arith(op, l, r);
+        }
+        // Comparisons.
+        let b = match (l, r) {
+            (Value::Num(a), Value::Num(b)) => match op {
+                CBinOp::Lt => a < b,
+                CBinOp::Le => a <= b,
+                CBinOp::Gt => a > b,
+                CBinOp::Ge => a >= b,
+                CBinOp::EqEq => a == b,
+                CBinOp::Ne => a != b,
+                _ => unreachable!("logical ops handled above"),
+            },
+            (Value::Ptr { array: a1, offset: o1 }, Value::Ptr { array: a2, offset: o2 })
+                if a1 == a2 =>
+            {
+                match op {
+                    CBinOp::Lt => o1 < o2,
+                    CBinOp::Le => o1 <= o2,
+                    CBinOp::Gt => o1 > o2,
+                    CBinOp::Ge => o1 >= o2,
+                    CBinOp::EqEq => o1 == o2,
+                    CBinOp::Ne => o1 != o2,
+                    _ => unreachable!("logical ops handled above"),
+                }
+            }
+            _ => return Err(RuntimeError::TypeError("invalid comparison operands")),
+        };
+        Ok(Value::Num(if b { Rat::ONE } else { Rat::ZERO }))
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<Flow, RuntimeError> {
+        self.locals.push(HashMap::new());
+        let r = self.exec_stmts(stmts);
+        self.locals.pop();
+        r
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> Result<Flow, RuntimeError> {
+        for s in stmts {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt) -> Result<Flow, RuntimeError> {
+        self.spend(1)?;
+        match s {
+            Stmt::Decl { name, ty, init } => {
+                let v = match init {
+                    Some(e) => self.eval(e)?,
+                    None => match ty {
+                        CType::Num(_) => Value::Num(Rat::ZERO),
+                        // Uninitialised pointer: poison via impossible slot;
+                        // any use will be caught as out-of-bounds.
+                        CType::Ptr(_) => Value::Ptr {
+                            array: usize::MAX,
+                            offset: 0,
+                        },
+                    },
+                };
+                self.declare(name, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.locals.push(HashMap::new());
+                let result = (|| {
+                    if let Some(i) = init {
+                        if let Flow::Return(v) = self.exec_stmt(i)? {
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                    loop {
+                        if let Some(c) = cond {
+                            if !self.truthy(c)? {
+                                break;
+                            }
+                        }
+                        match self.exec_block(body)? {
+                            Flow::Normal => {}
+                            ret @ Flow::Return(_) => return Ok(ret),
+                        }
+                        if let Some(st) = step {
+                            self.eval(st)?;
+                        }
+                        self.spend(1)?;
+                    }
+                    Ok(Flow::Normal)
+                })();
+                self.locals.pop();
+                result
+            }
+            Stmt::While { cond, body } => {
+                loop {
+                    if !self.truthy(cond)? {
+                        break;
+                    }
+                    match self.exec_block(body)? {
+                        Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    self.spend(1)?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.truthy(cond)? {
+                    self.exec_block(then_body)
+                } else {
+                    self.exec_block(else_body)
+                }
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.eval_num(e)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Block(b) => self.exec_block(b),
+            Stmt::Multi(decls) => self.exec_stmts(decls),
+        }
+    }
+}
+
+/// Runs `func` on the given arguments with the default step budget.
+///
+/// Arguments must match the parameter kinds: [`ArgValue::Scalar`] for
+/// numeric parameters, [`ArgValue::Array`] for pointer parameters.
+///
+/// ```
+/// use gtl_cfront::{parse_c, run_kernel, ArgValue};
+/// use gtl_tensor::Rat;
+///
+/// let p = parse_c("void scale(int n, int *a) { for (int i = 0; i < n; i++) a[i] = a[i] * 2; }")
+///     .unwrap();
+/// let result = run_kernel(
+///     p.kernel(),
+///     vec![
+///         ArgValue::Scalar(Rat::from(3)),
+///         ArgValue::Array(vec![Rat::from(1), Rat::from(2), Rat::from(3)]),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(result.arrays[0], vec![Rat::from(2), Rat::from(4), Rat::from(6)]);
+/// ```
+pub fn run_kernel(func: &Function, args: Vec<ArgValue>) -> Result<ExecResult, RuntimeError> {
+    run_kernel_with_fuel(func, args, DEFAULT_FUEL)
+}
+
+/// Runs `func` with an explicit step budget.
+pub fn run_kernel_with_fuel(
+    func: &Function,
+    args: Vec<ArgValue>,
+    fuel: u64,
+) -> Result<ExecResult, RuntimeError> {
+    if args.len() != func.params.len() {
+        return Err(RuntimeError::BadArguments(format!(
+            "expected {} arguments, got {}",
+            func.params.len(),
+            args.len()
+        )));
+    }
+    let mut machine = Machine {
+        arrays: Vec::new(),
+        locals: vec![HashMap::new()],
+        fuel,
+    };
+    for (param, arg) in func.params.iter().zip(args) {
+        let v = match (param.ty, arg) {
+            (CType::Num(_), ArgValue::Scalar(r)) => Value::Num(r),
+            (CType::Ptr(_), ArgValue::Array(data)) => {
+                machine.arrays.push(data);
+                Value::Ptr {
+                    array: machine.arrays.len() - 1,
+                    offset: 0,
+                }
+            }
+            (ty, arg) => {
+                return Err(RuntimeError::BadArguments(format!(
+                    "parameter `{}` of type {ty} received incompatible argument {arg:?}",
+                    param.name
+                )))
+            }
+        };
+        machine.declare(&param.name, v);
+    }
+    let flow = machine.exec_stmts(&func.body)?;
+    let ret = match flow {
+        Flow::Return(v) => v,
+        Flow::Normal => None,
+    };
+    Ok(ExecResult {
+        arrays: machine.arrays,
+        ret,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_c;
+
+    fn ints(vals: &[i64]) -> Vec<Rat> {
+        vals.iter().map(|&v| Rat::from(v)).collect()
+    }
+
+    const FIGURE2: &str = r#"
+void function(int N, int *Mat1, int *Mat2, int *Result) {
+    int *p_m1;
+    int *p_m2;
+    int *p_t;
+    int i, f;
+    p_m1 = Mat1;
+    p_t = Result;
+    for (f = 0; f < N; f++) {
+        *p_t = 0;
+        p_m2 = &Mat2[0];
+        for (i = 0; i < N; i++)
+            *p_t += *p_m1++ * *p_m2++;
+        p_t++;
+    }
+}
+"#;
+
+    #[test]
+    fn figure2_gemv() {
+        let p = parse_c(FIGURE2).unwrap();
+        // N = 2, Mat1 = [[1,2],[3,4]], Mat2 = [10, 100].
+        let res = run_kernel(
+            p.kernel(),
+            vec![
+                ArgValue::Scalar(Rat::from(2)),
+                ArgValue::Array(ints(&[1, 2, 3, 4])),
+                ArgValue::Array(ints(&[10, 100])),
+                ArgValue::Array(ints(&[0, 0])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(res.arrays[2], ints(&[210, 430]));
+    }
+
+    #[test]
+    fn pointer_reset_semantics() {
+        // p_m2 resets to &Mat2[0] per outer iteration while p_m1 runs on:
+        // with N=2 p_m1 visits elements 0,1,2,3.
+        let p = parse_c(FIGURE2).unwrap();
+        let res = run_kernel(
+            p.kernel(),
+            vec![
+                ArgValue::Scalar(Rat::from(2)),
+                ArgValue::Array(ints(&[1, 0, 0, 1])), // identity
+                ArgValue::Array(ints(&[7, 9])),
+                ArgValue::Array(ints(&[0, 0])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(res.arrays[2], ints(&[7, 9]));
+    }
+
+    #[test]
+    fn compound_assignment_and_division() {
+        let src = "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) a[i] /= b[i]; }";
+        let p = parse_c(src).unwrap();
+        let res = run_kernel(
+            p.kernel(),
+            vec![
+                ArgValue::Scalar(Rat::from(2)),
+                ArgValue::Array(ints(&[1, 3])),
+                ArgValue::Array(ints(&[2, 4])),
+            ],
+        )
+        .unwrap();
+        // Rational semantics: 1/2 and 3/4 exactly.
+        assert_eq!(res.arrays[0], vec![Rat::new(1, 2), Rat::new(3, 4)]);
+    }
+
+    #[test]
+    fn division_by_zero_detected() {
+        let src = "void f(int *a, int *b) { a[0] = a[0] / b[0]; }";
+        let p = parse_c(src).unwrap();
+        let err = run_kernel(
+            p.kernel(),
+            vec![ArgValue::Array(ints(&[1])), ArgValue::Array(ints(&[0]))],
+        )
+        .unwrap_err();
+        assert_eq!(err, RuntimeError::Arithmetic(RatError::DivisionByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let src = "void f(int n, int *a) { a[n] = 1; }";
+        let p = parse_c(src).unwrap();
+        let err = run_kernel(
+            p.kernel(),
+            vec![ArgValue::Scalar(Rat::from(3)), ArgValue::Array(ints(&[0, 0, 0]))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::OutOfBounds { offset: 3, .. }));
+    }
+
+    #[test]
+    fn while_and_return() {
+        let src = r#"
+int sum(int n, int *a) {
+    int s = 0;
+    int i = 0;
+    while (i < n) { s += a[i]; i++; }
+    return s;
+}
+"#;
+        let p = parse_c(src).unwrap();
+        let res = run_kernel(
+            p.kernel(),
+            vec![ArgValue::Scalar(Rat::from(3)), ArgValue::Array(ints(&[5, 6, 7]))],
+        )
+        .unwrap();
+        assert_eq!(res.ret, Some(Rat::from(18)));
+    }
+
+    #[test]
+    fn ternary_max() {
+        let src = "void relu(int n, int *a, int *out) { for (int i = 0; i < n; i++) out[i] = a[i] > 0 ? a[i] : 0; }";
+        let p = parse_c(src).unwrap();
+        let res = run_kernel(
+            p.kernel(),
+            vec![
+                ArgValue::Scalar(Rat::from(3)),
+                ArgValue::Array(ints(&[-1, 2, -3])),
+                ArgValue::Array(ints(&[9, 9, 9])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(res.arrays[1], ints(&[0, 2, 0]));
+    }
+
+    #[test]
+    fn runaway_loop_hits_fuel() {
+        let src = "void f(int *a) { while (1) { a[0] = a[0] + 1; } }";
+        let p = parse_c(src).unwrap();
+        let err =
+            run_kernel_with_fuel(p.kernel(), vec![ArgValue::Array(ints(&[0]))], 10_000).unwrap_err();
+        assert_eq!(err, RuntimeError::FuelExhausted);
+    }
+
+    #[test]
+    fn float_literal_is_exact() {
+        let src = "void f(double *a) { a[0] = 0.25; }";
+        let p = parse_c(src).unwrap();
+        let res = run_kernel(p.kernel(), vec![ArgValue::Array(ints(&[0]))]).unwrap();
+        assert_eq!(res.arrays[0][0], Rat::new(1, 4));
+    }
+
+    #[test]
+    fn modulo_is_c_truncating() {
+        let src = "void f(int *a) { a[0] = -7 % 3; }";
+        let p = parse_c(src).unwrap();
+        let res = run_kernel(p.kernel(), vec![ArgValue::Array(ints(&[0]))]).unwrap();
+        // C: (-7) % 3 == -1.
+        assert_eq!(res.arrays[0][0], Rat::from(-1));
+    }
+
+    #[test]
+    fn scope_shadowing() {
+        let src = r#"
+void f(int *a) {
+    int x = 1;
+    { int x = 2; a[0] = x; }
+    a[1] = x;
+}
+"#;
+        let p = parse_c(src).unwrap();
+        let res = run_kernel(p.kernel(), vec![ArgValue::Array(ints(&[0, 0]))]).unwrap();
+        assert_eq!(res.arrays[0], ints(&[2, 1]));
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        let p = parse_c("void f(int n) { }").unwrap();
+        assert!(matches!(
+            run_kernel(p.kernel(), vec![]),
+            Err(RuntimeError::BadArguments(_))
+        ));
+        assert!(matches!(
+            run_kernel(p.kernel(), vec![ArgValue::Array(vec![])]),
+            Err(RuntimeError::BadArguments(_))
+        ));
+    }
+
+    #[test]
+    fn pointer_difference() {
+        let src = "void f(int *a, int *out) { int *p = a + 5; out[0] = p - a; }";
+        let p = parse_c(src).unwrap();
+        let res = run_kernel(
+            p.kernel(),
+            vec![
+                ArgValue::Array(ints(&[0; 8])),
+                ArgValue::Array(ints(&[0])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(res.arrays[1][0], Rat::from(5));
+    }
+}

@@ -1,0 +1,414 @@
+//! Lexer for the C subset.
+
+use std::fmt;
+
+/// A C token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal, kept exact as mantissa + fractional digit count.
+    Float {
+        /// Digits with the point removed.
+        mantissa: i64,
+        /// Digits after the point.
+        frac_digits: u32,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `!`
+    Bang,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+}
+
+impl fmt::Display for CTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CTok::Ident(s) => write!(f, "{s}"),
+            CTok::Int(v) => write!(f, "{v}"),
+            CTok::Float {
+                mantissa,
+                frac_digits,
+            } => write!(f, "{mantissa}e-{frac_digits}"),
+            CTok::LParen => write!(f, "("),
+            CTok::RParen => write!(f, ")"),
+            CTok::LBrace => write!(f, "{{"),
+            CTok::RBrace => write!(f, "}}"),
+            CTok::LBracket => write!(f, "["),
+            CTok::RBracket => write!(f, "]"),
+            CTok::Semi => write!(f, ";"),
+            CTok::Comma => write!(f, ","),
+            CTok::Plus => write!(f, "+"),
+            CTok::Minus => write!(f, "-"),
+            CTok::Star => write!(f, "*"),
+            CTok::Slash => write!(f, "/"),
+            CTok::Percent => write!(f, "%"),
+            CTok::Amp => write!(f, "&"),
+            CTok::Bang => write!(f, "!"),
+            CTok::Question => write!(f, "?"),
+            CTok::Colon => write!(f, ":"),
+            CTok::Eq => write!(f, "="),
+            CTok::EqEq => write!(f, "=="),
+            CTok::Ne => write!(f, "!="),
+            CTok::Lt => write!(f, "<"),
+            CTok::Le => write!(f, "<="),
+            CTok::Gt => write!(f, ">"),
+            CTok::Ge => write!(f, ">="),
+            CTok::PlusEq => write!(f, "+="),
+            CTok::MinusEq => write!(f, "-="),
+            CTok::StarEq => write!(f, "*="),
+            CTok::SlashEq => write!(f, "/="),
+            CTok::PlusPlus => write!(f, "++"),
+            CTok::MinusMinus => write!(f, "--"),
+            CTok::AndAnd => write!(f, "&&"),
+            CTok::OrOr => write!(f, "||"),
+        }
+    }
+}
+
+/// A lex error at a line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CLexError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CLexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for CLexError {}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> CLexError {
+        CLexError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+}
+
+/// Tokenises C source, skipping whitespace and `//`/`/* */` comments.
+///
+/// ```
+/// use gtl_cfront::lexer::{tokenize_c, CTok};
+/// let toks = tokenize_c("int x = 3; // three").unwrap();
+/// assert_eq!(toks.len(), 5);
+/// assert_eq!(toks[2], CTok::Eq);
+/// ```
+pub fn tokenize_c(src: &str) -> Result<Vec<CTok>, CLexError> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek2() == Some(b'/') => {
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+            }
+            b'/' if cur.peek2() == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                loop {
+                    match cur.peek() {
+                        Some(b'*') if cur.peek2() == Some(b'/') => {
+                            cur.bump();
+                            cur.bump();
+                            break;
+                        }
+                        Some(_) => {
+                            cur.bump();
+                        }
+                        None => return Err(cur.error("unterminated block comment")),
+                    }
+                }
+            }
+            b'0'..=b'9' => out.push(lex_number(&mut cur)?),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut name = String::new();
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        name.push(c as char);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(CTok::Ident(name));
+            }
+            _ => out.push(lex_punct(&mut cur)?),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(cur: &mut Cursor<'_>) -> Result<CTok, CLexError> {
+    let mut int_part: i64 = 0;
+    while let Some(c) = cur.peek() {
+        if let Some(d) = (c as char).to_digit(10) {
+            int_part = int_part
+                .checked_mul(10)
+                .and_then(|v| v.checked_add(d as i64))
+                .ok_or_else(|| cur.error("integer literal overflows i64"))?;
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if cur.peek() == Some(b'.') {
+        cur.bump();
+        let mut mantissa = int_part;
+        let mut frac_digits = 0u32;
+        while let Some(c) = cur.peek() {
+            if let Some(d) = (c as char).to_digit(10) {
+                mantissa = mantissa
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add(d as i64))
+                    .ok_or_else(|| cur.error("float literal overflows i64"))?;
+                frac_digits += 1;
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Swallow float suffixes.
+        if matches!(cur.peek(), Some(b'f') | Some(b'F')) {
+            cur.bump();
+        }
+        Ok(CTok::Float {
+            mantissa,
+            frac_digits,
+        })
+    } else {
+        Ok(CTok::Int(int_part))
+    }
+}
+
+fn lex_punct(cur: &mut Cursor<'_>) -> Result<CTok, CLexError> {
+    let c = cur.peek().expect("caller checked");
+    let two = |cur: &mut Cursor<'_>, tok: CTok| {
+        cur.bump();
+        cur.bump();
+        Ok(tok)
+    };
+    let one = |cur: &mut Cursor<'_>, tok: CTok| {
+        cur.bump();
+        Ok(tok)
+    };
+    match (c, cur.peek2()) {
+        (b'+', Some(b'+')) => two(cur, CTok::PlusPlus),
+        (b'+', Some(b'=')) => two(cur, CTok::PlusEq),
+        (b'+', _) => one(cur, CTok::Plus),
+        (b'-', Some(b'-')) => two(cur, CTok::MinusMinus),
+        (b'-', Some(b'=')) => two(cur, CTok::MinusEq),
+        (b'-', _) => one(cur, CTok::Minus),
+        (b'*', Some(b'=')) => two(cur, CTok::StarEq),
+        (b'*', _) => one(cur, CTok::Star),
+        (b'/', Some(b'=')) => two(cur, CTok::SlashEq),
+        (b'/', _) => one(cur, CTok::Slash),
+        (b'%', _) => one(cur, CTok::Percent),
+        (b'=', Some(b'=')) => two(cur, CTok::EqEq),
+        (b'=', _) => one(cur, CTok::Eq),
+        (b'!', Some(b'=')) => two(cur, CTok::Ne),
+        (b'!', _) => one(cur, CTok::Bang),
+        (b'<', Some(b'=')) => two(cur, CTok::Le),
+        (b'<', _) => one(cur, CTok::Lt),
+        (b'>', Some(b'=')) => two(cur, CTok::Ge),
+        (b'>', _) => one(cur, CTok::Gt),
+        (b'&', Some(b'&')) => two(cur, CTok::AndAnd),
+        (b'&', _) => one(cur, CTok::Amp),
+        (b'|', Some(b'|')) => two(cur, CTok::OrOr),
+        (b'(', _) => one(cur, CTok::LParen),
+        (b')', _) => one(cur, CTok::RParen),
+        (b'{', _) => one(cur, CTok::LBrace),
+        (b'}', _) => one(cur, CTok::RBrace),
+        (b'[', _) => one(cur, CTok::LBracket),
+        (b']', _) => one(cur, CTok::RBracket),
+        (b';', _) => one(cur, CTok::Semi),
+        (b',', _) => one(cur, CTok::Comma),
+        (b'?', _) => one(cur, CTok::Question),
+        (b':', _) => one(cur, CTok::Colon),
+        other => Err(cur.error(format!("unexpected character {:?}", other.0 as char))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_tokens() {
+        let src = "*p_t += *p_m1++ * *p_m2++;";
+        let toks = tokenize_c(src).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                CTok::Star,
+                CTok::Ident("p_t".into()),
+                CTok::PlusEq,
+                CTok::Star,
+                CTok::Ident("p_m1".into()),
+                CTok::PlusPlus,
+                CTok::Star,
+                CTok::Star,
+                CTok::Ident("p_m2".into()),
+                CTok::PlusPlus,
+                CTok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize_c("a /* x */ b // y\n c").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn float_literals_exact() {
+        let toks = tokenize_c("0.25 1.5f 3.").unwrap();
+        assert_eq!(
+            toks[0],
+            CTok::Float {
+                mantissa: 25,
+                frac_digits: 2
+            }
+        );
+        assert_eq!(
+            toks[1],
+            CTok::Float {
+                mantissa: 15,
+                frac_digits: 1
+            }
+        );
+        assert_eq!(
+            toks[2],
+            CTok::Float {
+                mantissa: 3,
+                frac_digits: 0
+            }
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize_c("a <= b >= c != d == e").unwrap();
+        assert!(toks.contains(&CTok::Le));
+        assert!(toks.contains(&CTok::Ge));
+        assert!(toks.contains(&CTok::Ne));
+        assert!(toks.contains(&CTok::EqEq));
+    }
+
+    #[test]
+    fn error_position() {
+        let err = tokenize_c("int x;\n  @").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! C-subset front end: lexer, parser, AST and a rational-semantics
+//! interpreter.
+//!
+//! The Guided Tensor Lifting pipeline consumes legacy C tensor kernels.
+//! This crate parses the C subset those kernels are written in — scalar
+//! and pointer parameters, `for`/`while`/`if`, compound assignment,
+//! pointer arithmetic with post-increment (the Fig. 2 idiom), affine array
+//! indexing — and executes them with exact rational arithmetic, mirroring
+//! the paper's rational-datatype extension of CBMC (§7).
+//!
+//! The interpreter serves two roles downstream:
+//! - generating input/output examples for template validation (§6);
+//! - running the legacy side of the bounded equivalence check (§7).
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_cfront::{parse_c, run_kernel, ArgValue};
+//! use gtl_tensor::Rat;
+//!
+//! let src = "void dot(int n, int *a, int *b, int *out) {
+//!     *out = 0;
+//!     for (int i = 0; i < n; i++) *out += a[i] * b[i];
+//! }";
+//! let program = parse_c(src).unwrap();
+//! let result = run_kernel(
+//!     program.kernel(),
+//!     vec![
+//!         ArgValue::Scalar(Rat::from(2)),
+//!         ArgValue::Array(vec![Rat::from(3), Rat::from(4)]),
+//!         ArgValue::Array(vec![Rat::from(10), Rat::from(20)]),
+//!         ArgValue::Array(vec![Rat::ZERO]),
+//!     ],
+//! )
+//! .unwrap();
+//! assert_eq!(result.arrays[2][0], Rat::from(110));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AssignOp, CBinOp, CExpr, CProgram, CType, Function, NumType, Param, Stmt, UnOp};
+pub use interp::{
+    run_kernel, run_kernel_with_fuel, ArgValue, ExecResult, RuntimeError, Value, DEFAULT_FUEL,
+};
+pub use parser::{parse_c, CParseError};

@@ -1,0 +1,136 @@
+//! STAGG configuration: every knob exercised by the paper's evaluation.
+
+use gtl_search::{PenaltySettings, SearchBudget};
+use gtl_validate::ExampleConfig;
+use gtl_verify::VerifyConfig;
+
+/// Which search algorithm drives enumeration (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Top-down weighted A\* (Algorithm 1) — STAGG_TD.
+    TopDown,
+    /// Bottom-up A\* over the tail grammar (Algorithm 2) — STAGG_BU.
+    BottomUp,
+}
+
+/// Which grammar/probability combination to use (§8, Fig. 11/12 and
+/// Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarMode {
+    /// Refined grammar + learned probabilities (the STAGG default).
+    Refined,
+    /// Refined grammar, all probabilities equal (`EqualProbability`).
+    EqualProbability,
+    /// Unrefined full TACO grammar, equal probabilities (`FullGrammar`).
+    FullGrammar,
+    /// Unrefined full TACO grammar with learned probabilities
+    /// (`LLMGrammar`).
+    LlmGrammar,
+}
+
+/// Full configuration of one STAGG run.
+#[derive(Debug, Clone)]
+pub struct StaggConfig {
+    /// Top-down or bottom-up search.
+    pub mode: SearchMode,
+    /// Grammar refinement/probability variant.
+    pub grammar: GrammarMode,
+    /// Active penalty rules.
+    pub penalties: PenaltySettings,
+    /// Search budgets (the stand-in for the paper's 60-minute timeout).
+    pub budget: SearchBudget,
+    /// I/O example generation (§6).
+    pub examples: ExampleConfig,
+    /// Bounded verification (§7).
+    pub verify: VerifyConfig,
+    /// Maximum RHS tensors in the unrefined full grammar.
+    pub full_grammar_tensors: usize,
+    /// Maximum tensor dimension in the unrefined full grammar.
+    pub full_grammar_max_dim: usize,
+}
+
+impl StaggConfig {
+    /// The paper's default STAGG_TD configuration.
+    pub fn top_down() -> StaggConfig {
+        StaggConfig {
+            mode: SearchMode::TopDown,
+            grammar: GrammarMode::Refined,
+            penalties: PenaltySettings::all(),
+            budget: SearchBudget::default(),
+            examples: ExampleConfig::default(),
+            verify: VerifyConfig::default(),
+            full_grammar_tensors: 4,
+            full_grammar_max_dim: 3,
+        }
+    }
+
+    /// The paper's default STAGG_BU configuration.
+    pub fn bottom_up() -> StaggConfig {
+        StaggConfig {
+            mode: SearchMode::BottomUp,
+            ..StaggConfig::top_down()
+        }
+    }
+
+    /// Switches the grammar mode (builder style).
+    pub fn with_grammar(mut self, grammar: GrammarMode) -> StaggConfig {
+        self.grammar = grammar;
+        self
+    }
+
+    /// Drops one penalty rule by name (`"a1"` … `"b2"`).
+    pub fn drop_penalty(mut self, name: &str) -> StaggConfig {
+        self.penalties = self.penalties.drop_rule(name);
+        self
+    }
+
+    /// Drops a whole penalty family: `Drop(A)` disables a1–a5,
+    /// `Drop(B)` disables b1–b2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `family` is not `"A"` or `"B"`.
+    pub fn drop_family(mut self, family: &str) -> StaggConfig {
+        match family {
+            "A" => {
+                for rule in ["a1", "a2", "a3", "a4", "a5"] {
+                    self.penalties = self.penalties.drop_rule(rule);
+                }
+            }
+            "B" => {
+                for rule in ["b1", "b2"] {
+                    self.penalties = self.penalties.drop_rule(rule);
+                }
+            }
+            other => panic!("unknown penalty family `{other}`"),
+        }
+        self
+    }
+
+    /// Replaces the search budget.
+    pub fn with_budget(mut self, budget: SearchBudget) -> StaggConfig {
+        self.budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = StaggConfig::top_down()
+            .with_grammar(GrammarMode::FullGrammar)
+            .drop_penalty("a3");
+        assert_eq!(c.grammar, GrammarMode::FullGrammar);
+        assert!(!c.penalties.a3);
+        assert!(c.penalties.a1);
+
+        let b = StaggConfig::bottom_up().drop_family("B");
+        assert_eq!(b.mode, SearchMode::BottomUp);
+        assert!(!b.penalties.b1);
+        assert!(!b.penalties.b2);
+        assert!(b.penalties.a1, "dropping B leaves the a-family alone");
+    }
+}

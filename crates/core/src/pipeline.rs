@@ -1,0 +1,321 @@
+//! The end-to-end STAGG pipeline (Fig. 1).
+//!
+//! ① Query the oracle for candidate solutions; ② templatise them and
+//! learn a probabilistic grammar (refined by dimension prediction);
+//! ③ enumerate the template space with weighted A\*; ④ validate complete
+//! templates on I/O examples and verify survivors with the bounded
+//! equivalence checker, looping back on failure.
+
+use std::time::Instant;
+
+use gtl_analysis::analyze_kernel;
+use gtl_oracle::{Oracle, OracleQuery};
+use gtl_search::{
+    bottom_up_search, top_down_search, CheckOutcome, PenaltyContext, SearchOutcome,
+};
+use gtl_taco::{parse_program, preprocess_candidate, TacoProgram};
+use gtl_template::{
+    any_const, any_repeated_index, generate_bu_full_grammar, generate_bu_grammar,
+    generate_td_full_grammar, generate_td_grammar, index_variable_count, learn_weights,
+    overlay_lhs_dimension, predict_dimension_list, templatize, TdSpec, Template,
+    TemplateGrammar,
+};
+use gtl_validate::{
+    generate_examples, validate_template, IoExample, LiftTask, ValidationStats,
+};
+use gtl_verify::verify_candidate;
+
+use crate::config::{GrammarMode, SearchMode, StaggConfig};
+use crate::report::{FailureReason, LiftReport};
+
+/// One lifting query: the legacy kernel plus the metadata the pipeline
+/// and the synthetic oracle need.
+#[derive(Debug, Clone)]
+pub struct LiftQuery {
+    /// Stable label (benchmark name) for seeding and reporting.
+    pub label: String,
+    /// The legacy C source (used in the prompt).
+    pub source: String,
+    /// The lifting task (kernel + shapes + constants).
+    pub task: LiftTask,
+    /// Ground truth for the synthetic oracle. STAGG itself never reads
+    /// this — it flows only into [`OracleQuery`].
+    pub ground_truth: TacoProgram,
+}
+
+/// The STAGG lifter: an oracle plus a configuration.
+pub struct Stagg<'o> {
+    oracle: &'o mut dyn Oracle,
+    config: StaggConfig,
+}
+
+impl<'o> Stagg<'o> {
+    /// Creates a lifter.
+    pub fn new(oracle: &'o mut dyn Oracle, config: StaggConfig) -> Stagg<'o> {
+        Stagg { oracle, config }
+    }
+
+    /// Runs the full pipeline on one query.
+    pub fn lift(&mut self, query: &LiftQuery) -> LiftReport {
+        let started = Instant::now();
+        let mut report = LiftReport {
+            label: query.label.clone(),
+            solution: None,
+            template: None,
+            failure: None,
+            attempts: 0,
+            nodes_expanded: 0,
+            substitutions_tried: 0,
+            candidates_received: 0,
+            candidates_parsed: 0,
+            dim_list: Vec::new(),
+            elapsed: started.elapsed(),
+            search_elapsed: std::time::Duration::ZERO,
+        };
+
+        // ① Ask the LLM for candidate solutions.
+        let raw = self.oracle.candidates(&OracleQuery {
+            label: &query.label,
+            c_source: &query.source,
+            ground_truth: &query.ground_truth,
+        });
+        report.candidates_received = raw.len();
+
+        // Parse and templatise; discard syntactically invalid candidates.
+        let templates: Vec<Template> = raw
+            .iter()
+            .filter_map(|line| preprocess_candidate(line))
+            .filter_map(|s| parse_program(&s).ok())
+            .filter_map(|p| templatize(&p).ok())
+            .collect();
+        report.candidates_parsed = templates.len();
+        if templates.is_empty() {
+            report.failure = Some(FailureReason::NoUsableCandidates);
+            report.elapsed = started.elapsed();
+            return report;
+        }
+
+        // ② Dimension prediction: LLM vote + static analysis for the LHS.
+        let facts = analyze_kernel(&query.task.func);
+        let voted = predict_dimension_list(&templates).unwrap_or_default();
+        let dim_list = overlay_lhs_dimension(voted, facts.lhs_dim);
+        report.dim_list = dim_list.clone();
+
+        // Grammar construction + probability learning.
+        let spec = TdSpec {
+            dim_list: dim_list.clone(),
+            n_indices: index_variable_count(&templates).max(1),
+            allow_repeated_index: any_repeated_index(&templates),
+            include_const: any_const(&templates),
+        };
+        let mut grammar: TemplateGrammar = match (self.config.mode, self.config.grammar) {
+            (SearchMode::TopDown, GrammarMode::Refined | GrammarMode::EqualProbability) => {
+                generate_td_grammar(&spec)
+            }
+            (SearchMode::TopDown, GrammarMode::FullGrammar | GrammarMode::LlmGrammar) => {
+                generate_td_full_grammar(
+                    self.config.full_grammar_tensors,
+                    self.config.full_grammar_max_dim,
+                    facts.lhs_dim,
+                )
+            }
+            (SearchMode::BottomUp, GrammarMode::Refined | GrammarMode::EqualProbability) => {
+                generate_bu_grammar(&spec)
+            }
+            (SearchMode::BottomUp, GrammarMode::FullGrammar | GrammarMode::LlmGrammar) => {
+                generate_bu_full_grammar(
+                    self.config.full_grammar_tensors,
+                    self.config.full_grammar_max_dim,
+                    facts.lhs_dim,
+                )
+            }
+        };
+        match self.config.grammar {
+            GrammarMode::Refined | GrammarMode::LlmGrammar => {
+                learn_weights(&mut grammar, &templates);
+            }
+            GrammarMode::EqualProbability | GrammarMode::FullGrammar => {
+                grammar.pcfg.equalize_weights();
+            }
+        }
+
+        let ctx = PenaltyContext {
+            dim_list: dim_list.clone(),
+            grammar_has_const: grammar.nts.constant.is_some()
+                || grammar
+                    .nts
+                    .dim_nts
+                    .contains_key(&0),
+            live_ops: grammar.live_ops(),
+            settings: self.config.penalties,
+        };
+
+        // ④'s ingredients: I/O examples once per query, then the
+        // validate+verify closure used for every complete template.
+        let examples: Vec<IoExample> =
+            match generate_examples(&query.task, &self.config.examples) {
+                Ok(e) => e,
+                Err(e) => {
+                    report.failure = Some(FailureReason::BadQuery(e.to_string()));
+                    report.elapsed = started.elapsed();
+                    return report;
+                }
+            };
+        let mut vstats = ValidationStats::default();
+        let task = &query.task;
+        let verify_cfg = self.config.verify;
+        let mut checker = |template: &TacoProgram| -> CheckOutcome {
+            match validate_template(
+                template,
+                task,
+                &examples,
+                |concrete, _sub| verify_candidate(task, concrete, &verify_cfg).is_equivalent(),
+                &mut vstats,
+            ) {
+                Some(concrete) => CheckOutcome::Verified(concrete),
+                None => CheckOutcome::Failed,
+            }
+        };
+
+        // ③ Search.
+        let outcome: SearchOutcome = match self.config.mode {
+            SearchMode::TopDown => {
+                top_down_search(&grammar, &ctx, self.config.budget, &mut checker)
+            }
+            SearchMode::BottomUp => {
+                bottom_up_search(&grammar, &ctx, self.config.budget, &mut checker)
+            }
+        };
+
+        report.attempts = outcome.attempts;
+        report.nodes_expanded = outcome.nodes_expanded;
+        report.search_elapsed = outcome.elapsed;
+        report.substitutions_tried = vstats.substitutions_tried;
+        report.template = outcome.template.clone();
+        report.failure = LiftReport::failure_from_stop(outcome.stop);
+        report.solution = outcome.solution;
+        report.elapsed = started.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_cfront::parse_c;
+    use gtl_oracle::{ScriptedOracle, SyntheticOracle};
+    use gtl_validate::{TaskParam, TaskParamKind};
+
+    /// The Fig. 2 query, built by hand (the benchsuite version is used in
+    /// the integration tests).
+    fn figure2_query() -> LiftQuery {
+        let source = "void function(int N, int *Mat1, int *Mat2, int *Result) {
+            int *p_m1;
+            int *p_m2;
+            int *p_t;
+            int i, f;
+            p_m1 = Mat1;
+            p_t = Result;
+            for (f = 0; f < N; f++) {
+                *p_t = 0;
+                p_m2 = &Mat2[0];
+                for (i = 0; i < N; i++)
+                    *p_t += *p_m1++ * *p_m2++;
+                p_t++;
+            }
+        }";
+        let prog = parse_c(source).unwrap();
+        LiftQuery {
+            label: "figure2".into(),
+            source: source.into(),
+            task: LiftTask {
+                func: prog.kernel().clone(),
+                params: vec![
+                    TaskParam {
+                        name: "N".into(),
+                        kind: TaskParamKind::Size("N".into()),
+                    },
+                    TaskParam {
+                        name: "Mat1".into(),
+                        kind: TaskParamKind::ArrayIn {
+                            dims: vec!["N".into(), "N".into()],
+                            nonzero: false,
+                        },
+                    },
+                    TaskParam {
+                        name: "Mat2".into(),
+                        kind: TaskParamKind::ArrayIn {
+                            dims: vec!["N".into()],
+                            nonzero: false,
+                        },
+                    },
+                    TaskParam {
+                        name: "Result".into(),
+                        kind: TaskParamKind::ArrayOut {
+                            dims: vec!["N".into()],
+                        },
+                    },
+                ],
+                output: 3,
+                constants: vec![0],
+            },
+            ground_truth: parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap(),
+        }
+    }
+
+    #[test]
+    fn lifts_figure2_with_paper_response() {
+        // The paper's own Response 1 drives the grammar; none of its
+        // candidates is exactly right, yet STAGG finds the solution.
+        let query = figure2_query();
+        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+        let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+        let report = stagg.lift(&query);
+        assert!(report.solved(), "failure: {:?}", report.failure);
+        assert_eq!(
+            report.solution.unwrap().to_string(),
+            "Result(i) = Mat1(i,j) * Mat2(j)"
+        );
+        assert_eq!(report.dim_list, vec![1, 2, 1]);
+        assert_eq!(report.candidates_parsed, 3, "sum(...) line discarded");
+    }
+
+    #[test]
+    fn bottom_up_lifts_figure2() {
+        let query = figure2_query();
+        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+        let mut stagg = Stagg::new(&mut oracle, StaggConfig::bottom_up());
+        let report = stagg.lift(&query);
+        assert!(report.solved(), "failure: {:?}", report.failure);
+    }
+
+    #[test]
+    fn synthetic_oracle_end_to_end() {
+        let query = figure2_query();
+        let mut oracle = SyntheticOracle::default();
+        let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+        let report = stagg.lift(&query);
+        assert!(report.solved(), "failure: {:?}", report.failure);
+        assert!(report.attempts >= 1);
+    }
+
+    #[test]
+    fn empty_oracle_fails_gracefully() {
+        let query = figure2_query();
+        let mut oracle = ScriptedOracle::new(); // knows nothing
+        let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+        let report = stagg.lift(&query);
+        assert!(!report.solved());
+        assert_eq!(report.failure, Some(FailureReason::NoUsableCandidates));
+    }
+
+    #[test]
+    fn full_grammar_also_solves_simple_query() {
+        let query = figure2_query();
+        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+        let cfg = StaggConfig::top_down().with_grammar(GrammarMode::FullGrammar);
+        let mut stagg = Stagg::new(&mut oracle, cfg);
+        let report = stagg.lift(&query);
+        assert!(report.solved(), "failure: {:?}", report.failure);
+    }
+}

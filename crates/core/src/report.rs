@@ -1,0 +1,81 @@
+//! The outcome of one lifting run, with every statistic the paper's
+//! tables report.
+
+use std::time::Duration;
+
+use gtl_search::StopReason;
+use gtl_taco::TacoProgram;
+
+/// Why a lift produced no solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// The oracle produced no syntactically usable candidate.
+    NoUsableCandidates,
+    /// The search space (after penalties) was exhausted.
+    SearchExhausted,
+    /// A search budget was hit before a solution appeared.
+    BudgetExceeded,
+    /// The query itself was malformed (task error).
+    BadQuery(String),
+}
+
+impl std::fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureReason::NoUsableCandidates => write!(f, "no usable LLM candidates"),
+            FailureReason::SearchExhausted => write!(f, "template space exhausted"),
+            FailureReason::BudgetExceeded => write!(f, "search budget exceeded"),
+            FailureReason::BadQuery(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+/// The report of one lifting run.
+#[derive(Debug, Clone)]
+pub struct LiftReport {
+    /// Query label (benchmark name).
+    pub label: String,
+    /// The verified concrete TACO program, if lifting succeeded.
+    pub solution: Option<TacoProgram>,
+    /// The winning template (pre-substitution).
+    pub template: Option<TacoProgram>,
+    /// Why the run failed, when it did.
+    pub failure: Option<FailureReason>,
+    /// Complete templates sent to validation (the paper's "attempts").
+    pub attempts: u64,
+    /// Search-queue pops.
+    pub nodes_expanded: u64,
+    /// Substitutions instantiated across all validations.
+    pub substitutions_tried: u64,
+    /// Candidates returned by the oracle.
+    pub candidates_received: usize,
+    /// Candidates that survived preprocessing/parsing/templatisation.
+    pub candidates_parsed: usize,
+    /// The predicted dimension list driving grammar refinement.
+    pub dim_list: Vec<usize>,
+    /// End-to-end wall-clock time (oracle + analysis + grammar + search +
+    /// validation + verification).
+    pub elapsed: Duration,
+    /// Time inside the search stage alone.
+    pub search_elapsed: Duration,
+}
+
+impl LiftReport {
+    /// Whether lifting succeeded.
+    pub fn solved(&self) -> bool {
+        self.solution.is_some()
+    }
+
+    /// End-to-end seconds (the unit the paper's tables use).
+    pub fn seconds(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+
+    pub(crate) fn failure_from_stop(stop: StopReason) -> Option<FailureReason> {
+        match stop {
+            StopReason::Solved => None,
+            StopReason::Exhausted => Some(FailureReason::SearchExhausted),
+            StopReason::BudgetExceeded => Some(FailureReason::BudgetExceeded),
+        }
+    }
+}

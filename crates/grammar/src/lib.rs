@@ -1,0 +1,34 @@
+//! Context-free grammar machinery for guided tensor lifting.
+//!
+//! Implements the paper's Definitions 4.1–4.3 — CFGs, weighted CFGs and
+//! probabilistic CFGs — over the template-token alphabet (tensor
+//! accesses, `Const`, operators), plus the derived quantities the
+//! weighted A\* search needs: per-rule costs `-log2 P` and the
+//! Viterbi-inside heuristic h(α) (§5.1).
+//!
+//! The grammar *generators* (refined top-down grammar of §4.2.4, tail
+//! grammar of §5.2) live in `gtl-template`, which builds on this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_grammar::{Pcfg, Sym, TemplateTok};
+//! use gtl_taco::BinOp;
+//!
+//! let mut g = Pcfg::new();
+//! let op = g.add_nonterminal("OP");
+//! g.set_start(op);
+//! g.add_rule(op, vec![Sym::T(TemplateTok::Op(BinOp::Add))], 1.0);
+//! g.add_rule(op, vec![Sym::T(TemplateTok::Op(BinOp::Mul))], 3.0);
+//! assert!(g.check_probability_sums());
+//! assert_eq!(g.costs()[1], -(0.75f64).log2());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pcfg;
+mod symbols;
+
+pub use pcfg::{Derivation, Pcfg, Rule, RuleId};
+pub use symbols::{NtId, Sym, TemplateTok};

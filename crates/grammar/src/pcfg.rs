@@ -1,0 +1,379 @@
+//! Weighted and probabilistic context-free grammars (Defs. 4.1–4.3).
+//!
+//! A [`Pcfg`] starts life as a *weighted* CFG: every production rule
+//! carries a non-negative weight. Normalising per nonterminal turns the
+//! weights into the probability function P of Def. 4.3 (the weights of
+//! the rules expanding each nonterminal sum to one). Search costs are
+//! `-log2 P` (§5.1), and the admissible heuristic h(α) — the maximal
+//! probability of deriving any terminal string from α — is computed by a
+//! Viterbi-inside fixpoint.
+
+use std::fmt;
+
+use crate::symbols::{NtId, Sym};
+
+/// Identifier of a production rule inside a [`Pcfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// Index into the grammar's rule table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A production rule `lhs → rhs` with a weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The expanded nonterminal.
+    pub lhs: NtId,
+    /// The replacement string (possibly a single ε terminal).
+    pub rhs: Vec<Sym>,
+    /// Non-negative weight; normalised into a probability.
+    pub weight: f64,
+}
+
+/// A weighted/probabilistic context-free grammar over template tokens.
+///
+/// ```
+/// use gtl_grammar::{Pcfg, Sym, TemplateTok};
+/// use gtl_taco::BinOp;
+///
+/// let mut g = Pcfg::new();
+/// let op = g.add_nonterminal("OP");
+/// g.set_start(op);
+/// g.add_rule(op, vec![Sym::T(TemplateTok::Op(BinOp::Add))], 1.0);
+/// g.add_rule(op, vec![Sym::T(TemplateTok::Op(BinOp::Mul))], 3.0);
+/// let p = g.probabilities();
+/// assert_eq!(p[1], 0.75);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pcfg {
+    names: Vec<String>,
+    rules: Vec<Rule>,
+    by_lhs: Vec<Vec<RuleId>>,
+    start: Option<NtId>,
+}
+
+impl Pcfg {
+    /// Creates an empty grammar.
+    pub fn new() -> Pcfg {
+        Pcfg::default()
+    }
+
+    /// Adds (or finds) a nonterminal by name.
+    pub fn add_nonterminal(&mut self, name: &str) -> NtId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return NtId(i as u32);
+        }
+        self.names.push(name.to_string());
+        self.by_lhs.push(Vec::new());
+        NtId((self.names.len() - 1) as u32)
+    }
+
+    /// Looks up a nonterminal by name.
+    pub fn nonterminal(&self, name: &str) -> Option<NtId> {
+        self.names.iter().position(|n| n == name).map(|i| NtId(i as u32))
+    }
+
+    /// The name of a nonterminal.
+    pub fn name_of(&self, nt: NtId) -> &str {
+        &self.names[nt.index()]
+    }
+
+    /// Number of nonterminals.
+    pub fn nonterminal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Sets the start symbol.
+    pub fn set_start(&mut self, nt: NtId) {
+        self.start = Some(nt);
+    }
+
+    /// The start symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no start symbol was set.
+    pub fn start(&self) -> NtId {
+        self.start.expect("grammar has a start symbol")
+    }
+
+    /// Adds a rule and returns its id.
+    pub fn add_rule(&mut self, lhs: NtId, rhs: Vec<Sym>, weight: f64) -> RuleId {
+        assert!(weight >= 0.0, "rule weights must be non-negative");
+        let id = RuleId(self.rules.len() as u32);
+        self.rules.push(Rule { lhs, rhs, weight });
+        self.by_lhs[lhs.index()].push(id);
+        id
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// A rule by id.
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id.index()]
+    }
+
+    /// The rules expanding `nt`.
+    pub fn rules_of(&self, nt: NtId) -> &[RuleId] {
+        &self.by_lhs[nt.index()]
+    }
+
+    /// Overwrites the weight of a rule.
+    pub fn set_weight(&mut self, id: RuleId, weight: f64) {
+        assert!(weight >= 0.0, "rule weights must be non-negative");
+        self.rules[id.index()].weight = weight;
+    }
+
+    /// Adds `delta` to the weight of a rule (used by §4.3 counting).
+    pub fn bump_weight(&mut self, id: RuleId, delta: f64) {
+        self.rules[id.index()].weight += delta;
+    }
+
+    /// Replaces every weight with 1 (the `EqualProbability` ablation).
+    pub fn equalize_weights(&mut self) {
+        for r in &mut self.rules {
+            r.weight = 1.0;
+        }
+    }
+
+    /// The probability of each rule: its weight normalised over all rules
+    /// with the same LHS (Def. 4.3). Nonterminals whose total weight is 0
+    /// get all-zero probabilities (their rules are unreachable, matching
+    /// the zero-probability operators of Fig. 3).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let mut totals = vec![0.0f64; self.names.len()];
+        for r in &self.rules {
+            totals[r.lhs.index()] += r.weight;
+        }
+        self.rules
+            .iter()
+            .map(|r| {
+                let t = totals[r.lhs.index()];
+                if t > 0.0 {
+                    r.weight / t
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Per-rule costs `-log2 P[r]`; zero-probability rules get `+∞`.
+    pub fn costs(&self) -> Vec<f64> {
+        self.probabilities()
+            .iter()
+            .map(|&p| if p > 0.0 { -p.log2() } else { f64::INFINITY })
+            .collect()
+    }
+
+    /// The Viterbi inside probability h(α) for every nonterminal: the
+    /// maximal probability of deriving a terminal string from α (§5.1).
+    ///
+    /// Computed by fixpoint iteration: h(α) = max over rules α→β of
+    /// P[α→β] · Π h(βᵢ) with h(t) = 1 for terminals. Converges because
+    /// probabilities are ≤ 1.
+    pub fn inside_max(&self) -> Vec<f64> {
+        let probs = self.probabilities();
+        let mut h = vec![0.0f64; self.names.len()];
+        loop {
+            let mut changed = false;
+            for (i, r) in self.rules.iter().enumerate() {
+                let mut v = probs[i];
+                for s in &r.rhs {
+                    match s {
+                        Sym::T(_) => {}
+                        Sym::Nt(n) => v *= h[n.index()],
+                    }
+                }
+                if v > h[r.lhs.index()] + 1e-12 {
+                    h[r.lhs.index()] = v;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return h;
+            }
+        }
+    }
+
+    /// The heuristic costs `-log2 h(α)` per nonterminal; nonterminals that
+    /// cannot derive a terminal string get `+∞`.
+    pub fn heuristic_costs(&self) -> Vec<f64> {
+        self.inside_max()
+            .iter()
+            .map(|&p| if p > 0.0 { -p.log2() } else { f64::INFINITY })
+            .collect()
+    }
+
+    /// Checks Def. 4.3: for every nonterminal with at least one rule, the
+    /// probabilities sum to 1 (or to 0, for deliberately dead
+    /// nonterminals).
+    pub fn check_probability_sums(&self) -> bool {
+        let probs = self.probabilities();
+        for (nt, rules) in self.by_lhs.iter().enumerate() {
+            if rules.is_empty() {
+                continue;
+            }
+            let sum: f64 = rules.iter().map(|r| probs[r.index()]).sum();
+            let _ = nt;
+            if !(sum == 0.0 || (sum - 1.0).abs() < 1e-9) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over `(RuleId, &Rule)`.
+    pub fn iter_rules(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RuleId(i as u32), r))
+    }
+}
+
+impl fmt::Display for Pcfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let probs = self.probabilities();
+        for (nt_idx, name) in self.names.iter().enumerate() {
+            let rules = &self.by_lhs[nt_idx];
+            if rules.is_empty() {
+                continue;
+            }
+            write!(f, "{name} ::=")?;
+            for (n, rid) in rules.iter().enumerate() {
+                let r = self.rule(*rid);
+                if n > 0 {
+                    write!(f, " |")?;
+                }
+                for s in &r.rhs {
+                    match s {
+                        Sym::T(t) => write!(f, " \"{t}\"")?,
+                        Sym::Nt(nt) => write!(f, " {}", self.name_of(*nt))?,
+                    }
+                }
+                write!(f, " ({:.3})", probs[rid.index()])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A leftmost derivation: the sequence of rules applied (Def. 4.6).
+pub type Derivation = Vec<RuleId>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::TemplateTok;
+    use gtl_taco::{Access, BinOp};
+
+    /// A miniature EXPR grammar like Fig. 3.
+    fn mini() -> (Pcfg, NtId, NtId, NtId) {
+        let mut g = Pcfg::new();
+        let expr = g.add_nonterminal("EXPR");
+        let op = g.add_nonterminal("OP");
+        let tensor = g.add_nonterminal("TENSOR");
+        g.set_start(expr);
+        g.add_rule(expr, vec![Sym::Nt(tensor)], 0.0);
+        g.add_rule(
+            expr,
+            vec![Sym::Nt(expr), Sym::Nt(op), Sym::Nt(expr)],
+            1.0,
+        );
+        g.add_rule(op, vec![Sym::T(TemplateTok::Op(BinOp::Add))], 1.0);
+        g.add_rule(op, vec![Sym::T(TemplateTok::Op(BinOp::Mul))], 4.0);
+        g.add_rule(
+            tensor,
+            vec![Sym::T(TemplateTok::Access(Access::new("b", &["i"])))],
+            2.0,
+        );
+        g.add_rule(
+            tensor,
+            vec![Sym::T(TemplateTok::Access(Access::new("c", &["j"])))],
+            2.0,
+        );
+        (g, expr, op, tensor)
+    }
+
+    #[test]
+    fn probabilities_normalise() {
+        let (g, ..) = mini();
+        assert!(g.check_probability_sums());
+        let p = g.probabilities();
+        // EXPR: weights 0 and 1 -> probs 0 and 1.
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[1], 1.0);
+        // OP: 1/5 and 4/5.
+        assert!((p[2] - 0.2).abs() < 1e-12);
+        assert!((p[3] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_is_infinite_cost() {
+        let (g, ..) = mini();
+        let costs = g.costs();
+        assert!(costs[0].is_infinite());
+        assert_eq!(costs[1], 0.0);
+    }
+
+    #[test]
+    fn inside_max_fixpoint() {
+        let (g, expr, op, tensor) = mini();
+        let h = g.inside_max();
+        // TENSOR: best rule prob 1/2. OP: 4/5.
+        assert!((h[tensor.index()] - 0.5).abs() < 1e-9);
+        assert!((h[op.index()] - 0.8).abs() < 1e-9);
+        // EXPR→TENSOR has probability 0, so the only way to terminate is
+        // EXPR→EXPR OP EXPR, which never reaches a terminal string: the
+        // fixpoint must report h(EXPR) = 0 (dead).
+        assert_eq!(h[expr.index()], 0.0);
+    }
+
+    #[test]
+    fn inside_max_with_live_base_case() {
+        let (mut g, expr, _, _) = mini();
+        // Give EXPR→TENSOR weight 1: now EXPR: 1/2 each.
+        g.set_weight(RuleId(0), 1.0);
+        let h = g.inside_max();
+        // h(EXPR) = max(0.5 * h(TENSOR), 0.5 * h(EXPR)^2 * h(OP)).
+        // First converges to 0.25; second is 0.5*0.8*0.25^2 = 0.025 < 0.25.
+        assert!((h[expr.index()] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equalize_weights() {
+        let (mut g, ..) = mini();
+        g.equalize_weights();
+        let p = g.probabilities();
+        assert_eq!(p[0], 0.5);
+        assert_eq!(p[1], 0.5);
+        assert_eq!(p[2], 0.5);
+    }
+
+    #[test]
+    fn display_shows_probabilities() {
+        let (g, ..) = mini();
+        let s = g.to_string();
+        assert!(s.contains("OP ::="));
+        assert!(s.contains("(0.800)"));
+    }
+
+    #[test]
+    fn nonterminal_interning() {
+        let mut g = Pcfg::new();
+        let a = g.add_nonterminal("A");
+        let a2 = g.add_nonterminal("A");
+        assert_eq!(a, a2);
+        assert_eq!(g.nonterminal("A"), Some(a));
+        assert_eq!(g.nonterminal("B"), None);
+    }
+}

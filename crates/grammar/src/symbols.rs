@@ -1,0 +1,97 @@
+//! Grammar symbols: interned nonterminals and TACO template terminals.
+
+use std::fmt;
+
+use gtl_taco::{Access, BinOp};
+
+/// An interned nonterminal identifier.
+///
+/// Nonterminal names live in the owning [`crate::Pcfg`]'s table; the id is
+/// an index into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NtId(pub u32);
+
+impl NtId {
+    /// The index into the grammar's nonterminal table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A terminal symbol of the template grammar.
+///
+/// The template grammars of §4.2.4/§5.2 have a small terminal alphabet:
+/// complete tensor accesses (tensor symbol + index tuple), the symbolic
+/// constant `Const`, the four operators, and `=`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TemplateTok {
+    /// A complete tensor access such as `b(i,j)`.
+    Access(Access),
+    /// The symbolic constant placeholder.
+    ConstSym,
+    /// A binary operator.
+    Op(BinOp),
+    /// The `=` separating LHS and RHS.
+    Eq,
+    /// The empty string ε (used by `TAIL → ε` rules).
+    Epsilon,
+}
+
+impl fmt::Display for TemplateTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateTok::Access(a) => write!(f, "{a}"),
+            TemplateTok::ConstSym => write!(f, "Const"),
+            TemplateTok::Op(op) => write!(f, "{op}"),
+            TemplateTok::Eq => write!(f, "="),
+            TemplateTok::Epsilon => write!(f, "ε"),
+        }
+    }
+}
+
+/// A grammar symbol: nonterminal or terminal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// A nonterminal.
+    Nt(NtId),
+    /// A terminal.
+    T(TemplateTok),
+}
+
+impl Sym {
+    /// Whether this is a terminal symbol.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Sym::T(_))
+    }
+}
+
+impl From<TemplateTok> for Sym {
+    fn from(t: TemplateTok) -> Sym {
+        Sym::T(t)
+    }
+}
+
+impl From<NtId> for Sym {
+    fn from(n: NtId) -> Sym {
+        Sym::Nt(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_tokens() {
+        let acc = TemplateTok::Access(Access::new("b", &["i", "j"]));
+        assert_eq!(acc.to_string(), "b(i,j)");
+        assert_eq!(TemplateTok::Op(BinOp::Mul).to_string(), "*");
+        assert_eq!(TemplateTok::ConstSym.to_string(), "Const");
+    }
+
+    #[test]
+    fn sym_kinds() {
+        assert!(Sym::T(TemplateTok::Eq).is_terminal());
+        assert!(!Sym::Nt(NtId(0)).is_terminal());
+    }
+}

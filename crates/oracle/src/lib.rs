@@ -1,0 +1,64 @@
+//! The LLM oracle of the STAGG pipeline — and its offline substitute.
+//!
+//! The paper queries GPT-4 (temperature 1.0) with Prompt 1 and parses up
+//! to 10 candidate TACO expressions from the response. This crate defines
+//! the [`Oracle`] interface plus two implementations:
+//!
+//! - [`SyntheticOracle`]: a deterministic, seeded generator that samples
+//!   candidates from the *neighbourhood* of the ground-truth program with
+//!   a complexity-calibrated error rate (see DESIGN.md for why this
+//!   substitution preserves the paper's pipeline behaviour);
+//! - [`ScriptedOracle`]: canned responses, including the paper's
+//!   Response 1.
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_oracle::{Oracle, OracleQuery, SyntheticOracle};
+//! use gtl_taco::parse_program;
+//!
+//! let gt = parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap();
+//! let mut oracle = SyntheticOracle::default();
+//! let candidates = oracle.candidates(&OracleQuery {
+//!     label: "blas_gemv",
+//!     c_source: "…the C kernel…",
+//!     ground_truth: &gt,
+//! });
+//! assert!(candidates.len() >= 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod noise;
+mod prompt;
+mod scripted;
+mod synthetic;
+
+use gtl_taco::TacoProgram;
+
+pub use noise::{complexity, exactness, mutate, mutate_until_changed, NoiseConfig};
+pub use prompt::{render_prompt, CANDIDATES_REQUESTED, SYSTEM_ROLE, TEMPERATURE};
+pub use scripted::ScriptedOracle;
+pub use synthetic::SyntheticOracle;
+
+/// A query to the oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleQuery<'a> {
+    /// A stable label (the benchmark name) used for deterministic
+    /// seeding.
+    pub label: &'a str,
+    /// The legacy C source, as it would appear in the prompt.
+    pub c_source: &'a str,
+    /// The ground-truth program whose neighbourhood the synthetic oracle
+    /// samples. A real LLM never sees this; STAGG never sees it either —
+    /// only the emitted candidate strings.
+    pub ground_truth: &'a TacoProgram,
+}
+
+/// Something that proposes candidate TACO translations for a C kernel.
+pub trait Oracle {
+    /// Returns raw candidate lines (unparsed, possibly malformed — the
+    /// pipeline preprocesses and discards invalid ones, §4).
+    fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String>;
+}

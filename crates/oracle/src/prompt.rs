@@ -1,0 +1,41 @@
+//! Prompt construction (the paper's Prompt 1).
+
+/// The system role string used by the paper.
+pub const SYSTEM_ROLE: &str =
+    "You are a scientific assistant that knows a lot about transpilation";
+
+/// The sampling temperature the paper uses.
+pub const TEMPERATURE: f64 = 1.0;
+
+/// Number of candidate solutions requested per query.
+pub const CANDIDATES_REQUESTED: usize = 10;
+
+/// Renders the paper's Prompt 1 for a given C program.
+///
+/// ```
+/// use gtl_oracle::render_prompt;
+/// let p = render_prompt("void f() { }");
+/// assert!(p.contains("TACO tensor index notation"));
+/// assert!(p.ends_with("void f() { }"));
+/// ```
+pub fn render_prompt(c_source: &str) -> String {
+    format!(
+        "You are a scientific assistant that knows a lot about transpilation. \
+Translate the following C code to an expression in the TACO tensor index \
+notation. The expression must be valid as input to the taco compiler. \
+Return a list with {CANDIDATES_REQUESTED} possible expressions. Return the \
+list and only the list, no explanations.\n\n{c_source}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_matches_paper_shape() {
+        let p = render_prompt("int x;");
+        assert!(p.contains("Return a list with 10 possible expressions"));
+        assert!(p.contains("no explanations"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared search driver types: the checker interface, budgets and
+//! outcomes.
+
+use std::time::{Duration, Instant};
+
+use gtl_taco::TacoProgram;
+
+/// The downstream validation + verification stage (§6 and §7), invoked on
+/// every complete template the search produces. Implementations try all
+/// substitutions against I/O examples and, on a hit, run bounded
+/// verification; only a template that passes both is a
+/// [`CheckOutcome::Verified`].
+pub trait TemplateChecker {
+    /// Checks one complete template; on success returns the concrete
+    /// program (template with the winning substitution applied).
+    fn check(&mut self, template: &TacoProgram) -> CheckOutcome;
+}
+
+/// Result of checking one template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// A substitution validated on all I/O examples and passed bounded
+    /// verification.
+    Verified(TacoProgram),
+    /// No substitution survived.
+    Failed,
+}
+
+impl<F> TemplateChecker for F
+where
+    F: FnMut(&TacoProgram) -> CheckOutcome,
+{
+    fn check(&mut self, template: &TacoProgram) -> CheckOutcome {
+        self(template)
+    }
+}
+
+/// Resource budget for one search run.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchBudget {
+    /// Maximum queue pops (node expansions).
+    pub max_nodes: u64,
+    /// Maximum complete templates sent to the checker ("attempts").
+    pub max_attempts: u64,
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+    /// Maximum expression depth (§5.1 uses 6).
+    pub max_depth: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_nodes: 500_000,
+            max_attempts: 30_000,
+            time_limit: Duration::from_secs(10),
+            max_depth: 6,
+        }
+    }
+}
+
+/// Why a search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A verified solution was found.
+    Solved,
+    /// The queue emptied: the (penalty-pruned) space is exhausted.
+    Exhausted,
+    /// A budget limit was hit.
+    BudgetExceeded,
+}
+
+/// The result of one search run, with the statistics the paper reports.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The verified concrete program, if found.
+    pub solution: Option<TacoProgram>,
+    /// The winning template (pre-substitution), if found.
+    pub template: Option<TacoProgram>,
+    /// Complete templates sent to validation — Table 1/3's "attempts".
+    pub attempts: u64,
+    /// Queue pops.
+    pub nodes_expanded: u64,
+    /// Wall-clock time of the search stage.
+    pub elapsed: Duration,
+    /// Why the search stopped.
+    pub stop: StopReason,
+}
+
+impl SearchOutcome {
+    /// Whether a verified solution was produced.
+    pub fn solved(&self) -> bool {
+        self.solution.is_some()
+    }
+}
+
+/// Internal stopwatch + counters shared by the two algorithms.
+#[derive(Debug)]
+pub(crate) struct RunState {
+    pub started: Instant,
+    pub budget: SearchBudget,
+    pub attempts: u64,
+    pub nodes: u64,
+}
+
+impl RunState {
+    pub fn new(budget: SearchBudget) -> RunState {
+        RunState {
+            started: Instant::now(),
+            budget,
+            attempts: 0,
+            nodes: 0,
+        }
+    }
+
+    pub fn over_budget(&self) -> bool {
+        self.nodes >= self.budget.max_nodes
+            || self.attempts >= self.budget.max_attempts
+            || self.started.elapsed() >= self.budget.time_limit
+    }
+
+    pub fn outcome(
+        self,
+        solution: Option<(TacoProgram, TacoProgram)>,
+        exhausted: bool,
+    ) -> SearchOutcome {
+        let stop = if solution.is_some() {
+            StopReason::Solved
+        } else if exhausted {
+            StopReason::Exhausted
+        } else {
+            StopReason::BudgetExceeded
+        };
+        let (template, concrete) = match solution {
+            Some((t, c)) => (Some(t), Some(c)),
+            None => (None, None),
+        };
+        SearchOutcome {
+            solution: concrete,
+            template,
+            attempts: self.attempts,
+            nodes_expanded: self.nodes,
+            elapsed: self.started.elapsed(),
+            stop,
+        }
+    }
+}
+
+/// An `f64` ordered totally for use as a priority (lower first).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Priority(pub f64);
+
+impl Eq for Priority {}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want min-f first.
+        other.0.total_cmp(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_min_first() {
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((Priority(3.0), "c"));
+        heap.push((Priority(1.0), "a"));
+        heap.push((Priority(2.0), "b"));
+        assert_eq!(heap.pop().unwrap().1, "a");
+        assert_eq!(heap.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn budget_limits() {
+        let mut rs = RunState::new(SearchBudget {
+            max_nodes: 2,
+            ..SearchBudget::default()
+        });
+        assert!(!rs.over_budget());
+        rs.nodes = 2;
+        assert!(rs.over_budget());
+    }
+
+    #[test]
+    fn closure_is_a_checker() {
+        let mut checker = |_t: &TacoProgram| CheckOutcome::Failed;
+        let p = gtl_taco::parse_program("a(i) = b(i)").unwrap();
+        assert_eq!(checker.check(&p), CheckOutcome::Failed);
+    }
+}

@@ -1,0 +1,289 @@
+//! Algorithm 1: top-down weighted A\* with penalties (§5.1).
+
+use std::collections::BinaryHeap;
+
+use gtl_template::{GrammarShape, TemplateGrammar};
+
+use crate::driver::{
+    CheckOutcome, Priority, RunState, SearchBudget, SearchOutcome, TemplateChecker,
+};
+use crate::node::{td_tree_to_program, tree_facts, CostModel, Tree};
+use crate::penalty::{td_penalty, PenaltyContext};
+
+struct Node {
+    tree: Tree,
+    cost: f64,
+}
+
+/// Runs the top-down weighted A\* enumeration of Algorithm 1 over a
+/// (learned) top-down template grammar.
+///
+/// The queue holds partial derivation trees ordered by
+/// `f(x) = c(x) + g(x) + X(x)`:
+/// `c` accumulates `-log2 P` of applied rules, `g` sums the
+/// Viterbi-inside heuristic over remaining holes, and `X` is the penalty
+/// function. Complete templates go to `checker` (validation §6 +
+/// verification §7); the first verified template is returned.
+///
+/// # Panics
+///
+/// Panics if `grammar` is not top-down shaped.
+pub fn top_down_search(
+    grammar: &TemplateGrammar,
+    ctx: &PenaltyContext,
+    budget: SearchBudget,
+    checker: &mut dyn TemplateChecker,
+) -> SearchOutcome {
+    assert_eq!(
+        grammar.shape,
+        GrammarShape::TopDown,
+        "top_down_search requires a top-down grammar"
+    );
+    let costs = CostModel::new(&grammar.pcfg);
+    let mut state = RunState::new(budget);
+    let mut queue: BinaryHeap<(Priority, usize)> = BinaryHeap::new();
+    let mut arena: Vec<Node> = Vec::new();
+
+    let root = Node {
+        tree: Tree::Hole(grammar.pcfg.start()),
+        cost: 0.0,
+    };
+    queue.push((Priority(0.0), 0));
+    arena.push(root);
+
+    while let Some((_, idx)) = queue.pop() {
+        if state.over_budget() {
+            return state.outcome(None, false);
+        }
+        state.nodes += 1;
+        let (tree, cost) = {
+            let n = &arena[idx];
+            (n.tree.clone(), n.cost)
+        };
+
+        // Depth limit (Algorithm 1 line 5).
+        if tree.expr_depth() > state.budget.max_depth {
+            continue;
+        }
+
+        if tree.is_complete() {
+            // Lines 7–11: validate, then verify.
+            let Ok(template) = td_tree_to_program(&tree) else {
+                continue;
+            };
+            state.attempts += 1;
+            if let CheckOutcome::Verified(concrete) = checker.check(&template) {
+                return state.outcome(Some((template, concrete)), false);
+            }
+            continue;
+        }
+
+        // Line 12: expand the leftmost nonterminal with every rule.
+        let Some(nt) = tree.leftmost_hole() else {
+            continue;
+        };
+        for rid in grammar.pcfg.rules_of(nt) {
+            let rule_cost = costs.cost(*rid);
+            if rule_cost.is_infinite() {
+                continue;
+            }
+            let rhs = &grammar.pcfg.rule(*rid).rhs;
+            let child = tree
+                .expand_leftmost(rhs)
+                .expect("leftmost hole exists");
+            if child.expr_depth() > state.budget.max_depth {
+                continue;
+            }
+            let c = cost + rule_cost;
+            let g = costs.remaining_cost(&child);
+            if g.is_infinite() {
+                continue;
+            }
+            let facts = tree_facts(&child, grammar.nts.op, &[]);
+            let program = if facts.complete {
+                td_tree_to_program(&child).ok()
+            } else {
+                None
+            };
+            let x = td_penalty(&facts, program.as_ref(), ctx);
+            if x.is_infinite() {
+                continue;
+            }
+            let f = c + g + x;
+            arena.push(Node { tree: child, cost: c });
+            queue.push((Priority(f), arena.len() - 1));
+        }
+    }
+    state.outcome(None, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::StopReason;
+    use gtl_taco::{parse_program, TacoProgram};
+    use gtl_template::{generate_td_grammar, learn_weights, templatize, TdSpec};
+
+    fn grammar_with(cands: &[&str], dims: Vec<usize>, n_indices: usize) -> TemplateGrammar {
+        let templates: Vec<_> = cands
+            .iter()
+            .map(|s| templatize(&parse_program(s).unwrap()).unwrap())
+            .collect();
+        let mut g = generate_td_grammar(&TdSpec {
+            dim_list: dims,
+            n_indices,
+            allow_repeated_index: false,
+            include_const: false,
+        });
+        learn_weights(&mut g, &templates);
+        g
+    }
+
+    fn ctx_for(g: &TemplateGrammar) -> PenaltyContext {
+        PenaltyContext {
+            dim_list: g.dim_list.clone(),
+            grammar_has_const: g.nts.constant.is_some(),
+            live_ops: g.live_ops(),
+            settings: crate::penalty::PenaltySettings::all(),
+        }
+    }
+
+    /// Accepts exactly one target template string.
+    fn accept_only(target: &str) -> impl FnMut(&TacoProgram) -> CheckOutcome {
+        let want = parse_program(target).unwrap();
+        move |t: &TacoProgram| {
+            if *t == want {
+                CheckOutcome::Verified(t.clone())
+            } else {
+                CheckOutcome::Failed
+            }
+        }
+    }
+
+    #[test]
+    fn finds_gemv_template_quickly() {
+        // Candidates close to the paper's Response 1 (none exactly the
+        // target template's index pattern is guaranteed).
+        let g = grammar_with(
+            &[
+                "r(i) = m(i,j) * v(j)",
+                "r(i) = m(j,i) * v(i)",
+                "r(i) = m(i,j) * v(i)",
+            ],
+            vec![1, 2, 1],
+            2,
+        );
+        let ctx = ctx_for(&g);
+        let mut checker = accept_only("a(i) = b(i,j) * c(j)");
+        let out = top_down_search(&g, &ctx, SearchBudget::default(), &mut checker);
+        assert!(out.solved());
+        assert!(out.attempts <= 10, "guided search should be quick: {}", out.attempts);
+    }
+
+    #[test]
+    fn reaches_low_probability_regions() {
+        // Target uses an index pattern no candidate suggested; default
+        // weight 1 keeps it reachable.
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let mut checker = accept_only("a(i) = b(j,i) * c(j)");
+        let out = top_down_search(&g, &ctx, SearchBudget::default(), &mut checker);
+        assert!(out.solved());
+    }
+
+    #[test]
+    fn finds_balanced_ast() {
+        // (b + c) * d: requires the tree-shaped derivation.
+        let g = grammar_with(
+            &[
+                "o(i) = (x(i) + y(i)) * z(i)",
+                "o(i) = x(i) + y(i) * z(i)",
+            ],
+            vec![1, 1, 1, 1],
+            1,
+        );
+        let ctx = ctx_for(&g);
+        let mut checker = accept_only("a(i) = (b(i) + c(i)) * d(i)");
+        let out = top_down_search(&g, &ctx, SearchBudget::default(), &mut checker);
+        assert!(out.solved(), "top-down must reach balanced ASTs");
+    }
+
+    #[test]
+    fn exhausts_on_impossible_target() {
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        // Target needs 3 RHS tensors; grammar has only b, c.
+        let mut never = |_t: &TacoProgram| CheckOutcome::Failed;
+        let out = top_down_search(
+            &g,
+            &ctx,
+            SearchBudget {
+                max_nodes: 20_000,
+                max_attempts: 500,
+                ..SearchBudget::default()
+            },
+            &mut never,
+        );
+        assert!(!out.solved());
+        assert!(matches!(
+            out.stop,
+            StopReason::BudgetExceeded | StopReason::Exhausted
+        ));
+        assert!(out.attempts > 0);
+    }
+
+    #[test]
+    fn respects_attempt_budget() {
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let mut never = |_t: &TacoProgram| CheckOutcome::Failed;
+        let out = top_down_search(
+            &g,
+            &ctx,
+            SearchBudget {
+                max_attempts: 3,
+                ..SearchBudget::default()
+            },
+            &mut never,
+        );
+        assert!(out.attempts <= 4);
+    }
+
+    #[test]
+    fn probability_guides_order() {
+        // With b(i,j) heavily favoured, the b(i,j)-first template must be
+        // attempted before the b(j,i) one.
+        let g = grammar_with(
+            &[
+                "r(i) = m(i,j) * v(j)",
+                "r(i) = m(i,j) * v(j)",
+                "r(i) = m(i,j) * v(j)",
+                "r(i) = m(j,i) * v(j)",
+            ],
+            vec![1, 2, 1],
+            2,
+        );
+        let ctx = ctx_for(&g);
+        let mut seen: Vec<String> = Vec::new();
+        let mut spy = |t: &TacoProgram| {
+            seen.push(t.to_string());
+            CheckOutcome::Failed
+        };
+        let _ = top_down_search(
+            &g,
+            &ctx,
+            SearchBudget {
+                max_attempts: 6,
+                ..SearchBudget::default()
+            },
+            &mut spy,
+        );
+        let pos_ij = seen.iter().position(|s| s.contains("b(i,j)"));
+        let pos_ji = seen.iter().position(|s| s.contains("b(j,i)"));
+        match (pos_ij, pos_ji) {
+            (Some(a), Some(b)) => assert!(a < b),
+            (Some(_), None) => {}
+            other => panic!("unexpected enumeration order: {other:?} in {seen:?}"),
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Dense einsum evaluation of TACO programs over exact rationals.
+//!
+//! Evaluation follows TACO's semantics for the paper's grammar fragment:
+//! the output element at each assignment of the *free* (LHS) indices is
+//! the sum, over all assignments of the *summation* indices, of the
+//! right-hand-side expression. An empty summation range produces zero.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gtl_tensor::{Rat, RatError, Tensor};
+
+use crate::ast::{Expr, IndexVar, TacoProgram};
+use crate::semantics::{analyze, IndexAnalysis, SemanticError, TensorEnv};
+
+/// An evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Semantic analysis failed (unbound tensor, rank/extent mismatch…).
+    Semantic(SemanticError),
+    /// Rational arithmetic failed (division by zero or overflow).
+    Arithmetic(RatError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Semantic(e) => write!(f, "semantic error: {e}"),
+            EvalError::Arithmetic(e) => write!(f, "arithmetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<SemanticError> for EvalError {
+    fn from(e: SemanticError) -> Self {
+        EvalError::Semantic(e)
+    }
+}
+
+impl From<RatError> for EvalError {
+    fn from(e: RatError) -> Self {
+        EvalError::Arithmetic(e)
+    }
+}
+
+/// An assignment of index variables to concrete positions.
+type IndexBinding = BTreeMap<IndexVar, usize>;
+
+fn eval_expr(expr: &Expr, env: &TensorEnv, binding: &IndexBinding) -> Result<Rat, EvalError> {
+    match expr {
+        Expr::Access(acc) => {
+            let t = env
+                .get(acc.tensor.as_str())
+                .ok_or_else(|| SemanticError::UnboundTensor {
+                    name: acc.tensor.as_str().to_string(),
+                })?;
+            let idx: Vec<usize> = acc
+                .indices
+                .iter()
+                .map(|ix| *binding.get(ix).expect("analysis bound every index"))
+                .collect();
+            Ok(*t.get(&idx).expect("analysis checked bounds"))
+        }
+        Expr::Const(c) => Ok(Rat::from(*c)),
+        Expr::ConstSym(_) => Err(SemanticError::Uninstantiated.into()),
+        Expr::Neg(e) => Ok(-eval_expr(e, env, binding)?),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(lhs, env, binding)?;
+            let r = eval_expr(rhs, env, binding)?;
+            let v = match op {
+                crate::ast::BinOp::Add => l.checked_add(r)?,
+                crate::ast::BinOp::Sub => l.checked_sub(r)?,
+                crate::ast::BinOp::Mul => l.checked_mul(r)?,
+                crate::ast::BinOp::Div => l.checked_div(r)?,
+            };
+            Ok(v)
+        }
+    }
+}
+
+/// Evaluates `program` under `env`, returning the output tensor.
+///
+/// The output shape is inferred from the extents of the LHS indices; a
+/// scalar LHS yields a rank-0 tensor.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Semantic`] if the program does not analyse against
+/// `env`, and [`EvalError::Arithmetic`] on division by zero (the paper's
+/// validator simply rejects such candidate/substitution pairs).
+///
+/// ```
+/// use gtl_taco::{evaluate, parse_program, TensorEnv};
+/// use gtl_tensor::{Rat, Shape, Tensor};
+///
+/// // Matrix-vector product: a(i) = b(i,j) * c(j).
+/// let p = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+/// let mut env = TensorEnv::new();
+/// env.insert("b".into(), Tensor::from_ints(Shape::new(vec![2, 2]), &[1, 2, 3, 4]));
+/// env.insert("c".into(), Tensor::from_ints(Shape::new(vec![2]), &[10, 100]));
+/// let out = evaluate(&p, &env).unwrap();
+/// assert_eq!(out.data(), &[Rat::from(210), Rat::from(430)]);
+/// ```
+pub fn evaluate(program: &TacoProgram, env: &TensorEnv) -> Result<Tensor, EvalError> {
+    let analysis = analyze(program, env)?;
+    evaluate_analyzed(program, env, &analysis)
+}
+
+/// Evaluates with a pre-computed [`IndexAnalysis`], for callers that
+/// evaluate the same program against many environments of identical shape.
+pub fn evaluate_analyzed(
+    program: &TacoProgram,
+    env: &TensorEnv,
+    analysis: &IndexAnalysis,
+) -> Result<Tensor, EvalError> {
+    let out_shape = analysis.output_shape();
+    let mut out: Tensor = Tensor::zeros(out_shape.clone());
+    let sum_extents: Vec<usize> = analysis
+        .summation
+        .iter()
+        .map(|ix| analysis.extents[ix])
+        .collect();
+    let sum_shape = gtl_tensor::Shape::new(sum_extents);
+
+    let mut binding: IndexBinding = BTreeMap::new();
+    for out_idx in out_shape.indices() {
+        for (ix, &pos) in analysis.output.iter().zip(&out_idx) {
+            binding.insert(ix.clone(), pos);
+        }
+        let mut acc = Rat::ZERO;
+        for sum_idx in sum_shape.indices() {
+            for (ix, &pos) in analysis.summation.iter().zip(&sum_idx) {
+                binding.insert(ix.clone(), pos);
+            }
+            acc = acc.checked_add(eval_expr(&program.rhs, env, &binding)?)?;
+        }
+        out[&out_idx[..]] = acc;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use gtl_tensor::Shape;
+
+    fn env(entries: &[(&str, Shape, &[i64])]) -> TensorEnv {
+        let mut e = TensorEnv::new();
+        for (name, shape, data) in entries {
+            e.insert(name.to_string(), Tensor::from_ints(shape.clone(), data));
+        }
+        e
+    }
+
+    #[test]
+    fn dot_product() {
+        let p = parse_program("a = b(i) * c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![3]), &[1, 2, 3]),
+            ("c", Shape::new(vec![3]), &[4, 5, 6]),
+        ]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(*out.as_scalar(), Rat::from(32));
+    }
+
+    #[test]
+    fn gemm() {
+        // a(i,j) = b(i,k) * c(k,j) over 2x2.
+        let p = parse_program("a(i,j) = b(i,k) * c(k,j)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2, 2]), &[1, 2, 3, 4]),
+            ("c", Shape::new(vec![2, 2]), &[5, 6, 7, 8]),
+        ]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(
+            out.data(),
+            &[
+                Rat::from(19),
+                Rat::from(22),
+                Rat::from(43),
+                Rat::from(50)
+            ]
+        );
+    }
+
+    #[test]
+    fn elementwise_add() {
+        let p = parse_program("a(i) = b(i) + c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2]), &[1, 2]),
+            ("c", Shape::new(vec![2]), &[10, 20]),
+        ]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(out.data(), &[Rat::from(11), Rat::from(22)]);
+    }
+
+    #[test]
+    fn sum_distributes_over_non_product() {
+        // a = b(i) + c(j): einsum sums the whole expression over i and j.
+        // With b = [1,2], c = [10,20]: sum over i,j of b_i + c_j
+        // = (1+10)+(1+20)+(2+10)+(2+20) = 66.
+        let p = parse_program("a = b(i) + c(j)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2]), &[1, 2]),
+            ("c", Shape::new(vec![2]), &[10, 20]),
+        ]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(*out.as_scalar(), Rat::from(66));
+    }
+
+    #[test]
+    fn constant_scaling() {
+        let p = parse_program("a(i) = b(i) * 3").unwrap();
+        let e = env(&[("b", Shape::new(vec![2]), &[1, 2])]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(out.data(), &[Rat::from(3), Rat::from(6)]);
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let p = parse_program("a(i) = b(i) / c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2]), &[1, 2]),
+            ("c", Shape::new(vec![2]), &[1, 0]),
+        ]);
+        assert!(matches!(
+            evaluate(&p, &e),
+            Err(EvalError::Arithmetic(RatError::DivisionByZero))
+        ));
+    }
+
+    #[test]
+    fn ttv() {
+        // a(i,j) = b(i,j,k) * c(k): tensor-times-vector.
+        let p = parse_program("a(i,j) = b(i,j,k) * c(k)").unwrap();
+        let e = env(&[
+            (
+                "b",
+                Shape::new(vec![2, 2, 2]),
+                &[1, 2, 3, 4, 5, 6, 7, 8],
+            ),
+            ("c", Shape::new(vec![2]), &[1, 10]),
+        ]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(
+            out.data(),
+            &[
+                Rat::from(21),
+                Rat::from(43),
+                Rat::from(65),
+                Rat::from(87)
+            ]
+        );
+    }
+
+    #[test]
+    fn mttkrp() {
+        // a(i,j) = b(i,k,l) * c(k,j) * d(l,j): the MTTKRP kernel.
+        let p = parse_program("a(i,j) = b(i,k,l) * c(k,j) * d(l,j)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![1, 2, 2]), &[1, 2, 3, 4]),
+            ("c", Shape::new(vec![2, 1]), &[5, 6]),
+            ("d", Shape::new(vec![2, 1]), &[7, 8]),
+        ]);
+        let out = evaluate(&p, &e).unwrap();
+        // Sum over k,l: b[0,k,l]*c[k,0]*d[l,0]
+        // = 1*5*7 + 2*5*8 + 3*6*7 + 4*6*8 = 35 + 80 + 126 + 192 = 433.
+        assert_eq!(out.data(), &[Rat::from(433)]);
+    }
+
+    #[test]
+    fn scalar_output_empty_summation() {
+        let p = parse_program("a = b(i)").unwrap();
+        let e = env(&[("b", Shape::new(vec![0]), &[])]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(*out.as_scalar(), Rat::ZERO);
+    }
+
+    #[test]
+    fn negation_in_expr() {
+        let p = parse_program("a(i) = -b(i) + c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2]), &[1, 2]),
+            ("c", Shape::new(vec![2]), &[10, 20]),
+        ]);
+        let out = evaluate(&p, &e).unwrap();
+        assert_eq!(out.data(), &[Rat::from(9), Rat::from(18)]);
+    }
+
+    #[test]
+    fn reuse_analysis() {
+        let p = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let e1 = env(&[
+            ("b", Shape::new(vec![2, 2]), &[1, 0, 0, 1]),
+            ("c", Shape::new(vec![2]), &[3, 4]),
+        ]);
+        let analysis = analyze(&p, &e1).unwrap();
+        let out = evaluate_analyzed(&p, &e1, &analysis).unwrap();
+        assert_eq!(out.data(), &[Rat::from(3), Rat::from(4)]);
+    }
+}

@@ -1,0 +1,49 @@
+//! The TACO tensor-index-notation language: syntax, semantics, evaluation.
+//!
+//! This crate implements the target language of the Guided Tensor Lifting
+//! paper — the TACO einsum fragment of Figure 5 — as a self-contained
+//! library:
+//!
+//! - [`ast`] — the abstract syntax ([`TacoProgram`], [`Expr`], [`Access`]);
+//! - [`lexer`] / [`parser`] — surface syntax, including the preprocessing
+//!   the paper applies to raw LLM output ([`preprocess_candidate`]);
+//! - a pretty printer with minimal parenthesisation (`Display` impls);
+//! - [`semantics`] — einsum index classification and extent inference;
+//! - [`eval`] — dense evaluation over exact rationals.
+//!
+//! # Example: parse, analyse, evaluate
+//!
+//! ```
+//! use gtl_taco::{evaluate, parse_program, TensorEnv};
+//! use gtl_tensor::{Rat, Shape, Tensor};
+//!
+//! // The lifted program from the paper's running example (Fig. 2).
+//! let p = parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap();
+//!
+//! let mut env = TensorEnv::new();
+//! env.insert("Mat1".into(), Tensor::from_ints(Shape::new(vec![2, 3]), &[1, 2, 3, 4, 5, 6]));
+//! env.insert("Mat2".into(), Tensor::from_ints(Shape::new(vec![3]), &[1, 1, 1]));
+//!
+//! let out = evaluate(&p, &env).unwrap();
+//! assert_eq!(out.data(), &[Rat::from(6), Rat::from(15)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+mod printer;
+pub mod semantics;
+
+pub use ast::{
+    canonical_tensor_name, Access, BinOp, Expr, Ident, IndexVar, Operand, TacoProgram,
+    CANONICAL_INDICES,
+};
+pub use codegen::{generate_c, GeneratedKernel};
+pub use eval::{evaluate, evaluate_analyzed, EvalError};
+pub use parser::{parse_expr, parse_program, preprocess_candidate, ParseError};
+pub use semantics::{analyze, IndexAnalysis, SemanticError, TensorEnv};

@@ -1,0 +1,137 @@
+//! Property-based tests: random TACO programs survive a
+//! pretty-print → parse round trip, and evaluation respects algebraic
+//! identities of einsum semantics.
+
+use gtl_taco::{evaluate, parse_program, Access, BinOp, Expr, TacoProgram, TensorEnv};
+use gtl_tensor::{Shape, Tensor, TensorGen};
+use proptest::prelude::*;
+
+/// A random access over tensors `b..e` and indices `i..l` with rank 0–3.
+fn arb_access(name_pool: &'static [&'static str]) -> impl Strategy<Value = Access> {
+    let idx = prop::sample::select(vec!["i", "j", "k", "l"]);
+    (
+        prop::sample::select(name_pool.to_vec()),
+        prop::collection::vec(idx, 0..3),
+    )
+        .prop_map(|(name, indices)| Access {
+            tensor: name.into(),
+            indices: indices.into_iter().map(Into::into).collect(),
+        })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_access(&["b", "c", "d", "e"]).prop_map(Expr::Access),
+        (0i64..50).prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(BinOp::ALL.to_vec()),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = TacoProgram> {
+    (arb_access(&["a"]), arb_expr()).prop_map(|(lhs, rhs)| TacoProgram::new(lhs, rhs))
+}
+
+proptest! {
+    /// The printer reassociates associative operators (`b + (b + b)`
+    /// prints without parens), so structural equality is only guaranteed
+    /// up to one reparse: print ∘ parse is a fixpoint on printed syntax.
+    #[test]
+    fn print_parse_print_fixpoint(p in arb_program()) {
+        let printed = p.to_string();
+        let reparsed = parse_program(&printed);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {printed}");
+        let reprinted = reparsed.unwrap().to_string();
+        prop_assert_eq!(&reprinted, &printed);
+        // And a second parse is structurally stable.
+        prop_assert_eq!(
+            parse_program(&reprinted).unwrap(),
+            parse_program(&printed).unwrap()
+        );
+    }
+
+    #[test]
+    fn dimension_list_head_is_lhs_rank(p in arb_program()) {
+        prop_assert_eq!(p.dimension_list()[0], p.lhs.rank());
+    }
+
+    #[test]
+    fn depth_positive_and_monotone(p in arb_program()) {
+        prop_assert!(p.depth() >= 1);
+        let wrapped = TacoProgram::new(
+            p.lhs.clone(),
+            Expr::binary(BinOp::Add, p.rhs.clone(), Expr::Const(1)),
+        );
+        prop_assert!(wrapped.depth() >= p.depth());
+    }
+}
+
+// Evaluation linearity: scaling one input of a pure product scales the
+// output (einsum sums commute with scalar multiplication).
+proptest! {
+    #[test]
+    fn product_evaluation_is_linear(seed in 0u64..1000, scale in 2i64..5) {
+        let p = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let mut gen = TensorGen::new(seed);
+        let b = gen.int_tensor(Shape::new(vec![3, 2]), -5, 5);
+        let c = gen.int_tensor(Shape::new(vec![2]), -5, 5);
+
+        let mut env = TensorEnv::new();
+        env.insert("b".into(), b.clone());
+        env.insert("c".into(), c.clone());
+        let base = evaluate(&p, &env).unwrap();
+
+        let scaled_c = c.map(|v| *v * gtl_tensor::Rat::from(scale));
+        env.insert("c".into(), scaled_c);
+        let scaled = evaluate(&p, &env).unwrap();
+
+        let expect: Vec<_> = base
+            .data()
+            .iter()
+            .map(|v| *v * gtl_tensor::Rat::from(scale))
+            .collect();
+        prop_assert_eq!(scaled.data(), expect.as_slice());
+    }
+
+    #[test]
+    fn addition_program_is_pointwise(seed in 0u64..1000) {
+        let p = parse_program("a(i) = b(i) + c(i)").unwrap();
+        let mut gen = TensorGen::new(seed);
+        let b = gen.int_tensor(Shape::new(vec![4]), -9, 9);
+        let c = gen.int_tensor(Shape::new(vec![4]), -9, 9);
+        let mut env = TensorEnv::new();
+        env.insert("b".into(), b.clone());
+        env.insert("c".into(), c.clone());
+        let out = evaluate(&p, &env).unwrap();
+        for n in 0..4 {
+            prop_assert_eq!(out.data()[n], b.data()[n] + c.data()[n]);
+        }
+    }
+
+    #[test]
+    fn summation_order_irrelevant(seed in 0u64..1000) {
+        // a = b(i,j) and a = b(j,i) over the transposed tensor agree.
+        let mut gen = TensorGen::new(seed);
+        let b = gen.int_tensor(Shape::new(vec![3, 4]), -9, 9);
+        let mut bt: Tensor = Tensor::zeros(Shape::new(vec![4, 3]));
+        for idx in b.shape().indices() {
+            bt[&[idx[1], idx[0]][..]] = b[&idx[..]];
+        }
+        let p1 = parse_program("a = b(i,j)").unwrap();
+        let mut env = TensorEnv::new();
+        env.insert("b".into(), b);
+        let s1 = evaluate(&p1, &env).unwrap();
+        env.insert("b".into(), bt);
+        let s2 = evaluate(&p1, &env).unwrap();
+        prop_assert_eq!(s1.as_scalar(), s2.as_scalar());
+    }
+}

@@ -1,0 +1,483 @@
+//! Bottom-up (tail) template grammar generation and derivation
+//! extraction (§5.2).
+//!
+//! The bottom-up grammar only permits extending an expression by
+//! appending `OP TENSOR` at the end, which forces shortest-first
+//! enumeration and — as the paper's RQ2 discusses — makes parenthesised
+//! (non-precedence-respecting) ASTs unreachable.
+
+use std::collections::BTreeMap;
+
+use gtl_grammar::{Pcfg, RuleId, Sym, TemplateTok};
+use gtl_taco::{canonical_tensor_name, Access, BinOp, Expr, Operand};
+
+use crate::kinds::{
+    add_op_rules, canonical_prefix, index_tuples, program_rhs, GrammarNts, GrammarShape,
+    TemplateGrammar,
+};
+use crate::template::Template;
+use crate::tdgen::TdSpec;
+
+/// Generates the bottom-up tail grammar of §5.2 for a dimension list.
+///
+/// ```text
+/// PROGRAM ::= TENSOR1 "=" EXPR
+/// EXPR    ::= <dim L[2]>TENSOR TAIL1
+/// TAIL1   ::= ε | OP <dim L[3]>TENSOR TAIL2
+/// …
+/// ```
+///
+/// Tensor options are grouped by dimension (`1DTENSOR`, `2DTENSOR`, … as
+/// in Fig. 7), each holding every symbol of that dimension with every
+/// admissible index tuple.
+pub fn generate_bu_grammar(spec: &TdSpec) -> TemplateGrammar {
+    let mut g = Pcfg::new();
+    let program = g.add_nonterminal("PROGRAM");
+    let tensor1 = g.add_nonterminal("TENSOR1");
+    let expr = g.add_nonterminal("EXPR");
+    let op = g.add_nonterminal("OP");
+    g.set_start(program);
+
+    g.add_rule(program, program_rhs(tensor1, expr), 0.0);
+
+    let lhs_dim = spec.dim_list.first().copied().unwrap_or(0);
+    let lhs_access = Access {
+        tensor: canonical_tensor_name(0),
+        indices: canonical_prefix(lhs_dim),
+    };
+    g.add_rule(
+        tensor1,
+        vec![Sym::T(TemplateTok::Access(lhs_access))],
+        0.0,
+    );
+    add_op_rules(&mut g, op);
+
+    // One nonterminal per distinct RHS dimension.
+    let position_dims: Vec<usize> = spec.dim_list.iter().skip(1).copied().collect();
+    let mut dim_nts: BTreeMap<usize, gtl_grammar::NtId> = BTreeMap::new();
+    for &d in &position_dims {
+        dim_nts
+            .entry(d)
+            .or_insert_with(|| g.add_nonterminal(&format!("{d}DTENSOR")));
+    }
+    let include_const = spec.include_const || position_dims.contains(&0);
+    let constant = if include_const && dim_nts.contains_key(&0) {
+        // `Const` lives inside the 0-dim tensor nonterminal (Fig. 7 /
+        // §5.2 listing line 9: TENSOR ::= "b" | "Const").
+        None
+    } else if include_const {
+        Some(g.add_nonterminal("CONSTANT"))
+    } else {
+        None
+    };
+
+    // Populate per-dim tensor rules: every symbol of that dimension.
+    for (pos, &dim) in position_dims.iter().enumerate() {
+        let sym = canonical_tensor_name(pos + 1);
+        let nt = dim_nts[&dim];
+        for tuple in index_tuples(dim, spec.n_indices.max(lhs_dim), spec.allow_repeated_index) {
+            let access = Access {
+                tensor: sym.clone(),
+                indices: tuple,
+            };
+            g.add_rule(nt, vec![Sym::T(TemplateTok::Access(access))], 0.0);
+        }
+    }
+    if include_const {
+        if let Some(&nt0) = dim_nts.get(&0) {
+            g.add_rule(nt0, vec![Sym::T(TemplateTok::ConstSym)], 0.0);
+        } else if let Some(c) = constant {
+            g.add_rule(c, vec![Sym::T(TemplateTok::ConstSym)], 0.0);
+        }
+    }
+
+    // The chain: EXPR ::= <first>TENSOR TAIL1; TAILk ::= ε | OP <k+1>TENSOR TAILk+1.
+    let mut tails = Vec::new();
+    if let Some(&first_dim) = position_dims.first() {
+        let n_tail = position_dims.len().saturating_sub(1);
+        for k in 0..n_tail {
+            tails.push(g.add_nonterminal(&format!("TAIL{}", k + 1)));
+        }
+        let first_sym: Vec<Sym> = if n_tail == 0 {
+            vec![Sym::Nt(dim_nts[&first_dim])]
+        } else {
+            vec![Sym::Nt(dim_nts[&first_dim]), Sym::Nt(tails[0])]
+        };
+        g.add_rule(expr, first_sym, 0.0);
+        for k in 0..n_tail {
+            let this_dim = position_dims[k + 1];
+            // ε alternative.
+            g.add_rule(tails[k], vec![Sym::T(TemplateTok::Epsilon)], 0.0);
+            // OP TENSOR TAIL(k+1) alternative.
+            let mut rhs = vec![Sym::Nt(op), Sym::Nt(dim_nts[&this_dim])];
+            if k + 1 < n_tail {
+                rhs.push(Sym::Nt(tails[k + 1]));
+            }
+            g.add_rule(tails[k], rhs, 0.0);
+        }
+    }
+
+    TemplateGrammar {
+        pcfg: g,
+        shape: GrammarShape::BottomUp,
+        nts: GrammarNts {
+            program,
+            tensor1,
+            expr,
+            op,
+            constant,
+            tensor: None,
+            tails,
+            dim_nts,
+            position_dims,
+        },
+        dim_list: spec.dim_list.clone(),
+    }
+}
+
+/// The unrefined bottom-up grammar (FullGrammar / LLMGrammar ablations):
+/// a chain of up to `max_tensors` generic tensors, each of any dimension
+/// `0..=max_dim`. `lhs_dim` fixes the LHS access when the static analysis
+/// predicted it (see the top-down variant).
+pub fn generate_bu_full_grammar(
+    max_tensors: usize,
+    max_dim: usize,
+    lhs_dim: Option<usize>,
+) -> TemplateGrammar {
+    let mut g = Pcfg::new();
+    let program = g.add_nonterminal("PROGRAM");
+    let tensor1 = g.add_nonterminal("TENSOR1");
+    let expr = g.add_nonterminal("EXPR");
+    let op = g.add_nonterminal("OP");
+    let any = g.add_nonterminal("ANYTENSOR");
+    g.set_start(program);
+
+    g.add_rule(program, program_rhs(tensor1, expr), 0.0);
+    let lhs_dims: Vec<usize> = match lhs_dim {
+        Some(d) => vec![d],
+        None => (0..=max_dim).collect(),
+    };
+    for dim in lhs_dims {
+        let access = Access {
+            tensor: canonical_tensor_name(0),
+            indices: canonical_prefix(dim),
+        };
+        g.add_rule(tensor1, vec![Sym::T(TemplateTok::Access(access))], 0.0);
+    }
+    add_op_rules(&mut g, op);
+
+    for pos in 1..=max_tensors {
+        let sym = canonical_tensor_name(pos);
+        for dim in 0..=max_dim {
+            // Distinct-variable tuples only; see the top-down full
+            // grammar for rationale.
+            for tuple in index_tuples(dim, 4, false) {
+                let access = Access {
+                    tensor: sym.clone(),
+                    indices: tuple,
+                };
+                g.add_rule(any, vec![Sym::T(TemplateTok::Access(access))], 0.0);
+            }
+        }
+    }
+    g.add_rule(any, vec![Sym::T(TemplateTok::ConstSym)], 0.0);
+
+    let n_tail = max_tensors.saturating_sub(1);
+    let mut tails = Vec::new();
+    for k in 0..n_tail {
+        tails.push(g.add_nonterminal(&format!("TAIL{}", k + 1)));
+    }
+    let first: Vec<Sym> = if n_tail == 0 {
+        vec![Sym::Nt(any)]
+    } else {
+        vec![Sym::Nt(any), Sym::Nt(tails[0])]
+    };
+    g.add_rule(expr, first, 0.0);
+    for k in 0..n_tail {
+        g.add_rule(tails[k], vec![Sym::T(TemplateTok::Epsilon)], 0.0);
+        let mut rhs = vec![Sym::Nt(op), Sym::Nt(any)];
+        if k + 1 < n_tail {
+            rhs.push(Sym::Nt(tails[k + 1]));
+        }
+        g.add_rule(tails[k], rhs, 0.0);
+    }
+
+    let mut dim_nts = BTreeMap::new();
+    for dim in 0..=max_dim {
+        dim_nts.insert(dim, any);
+    }
+    TemplateGrammar {
+        pcfg: g,
+        shape: GrammarShape::BottomUp,
+        nts: GrammarNts {
+            program,
+            tensor1,
+            expr,
+            op,
+            constant: None,
+            tensor: None,
+            tails,
+            dim_nts,
+            position_dims: Vec::new(),
+        },
+        dim_list: Vec::new(),
+    }
+}
+
+/// Flattens an expression into its operand/operator chain *if* the
+/// expression is precedence-respecting (re-parsing the flat chain
+/// reproduces the same AST). Returns `None` for "balanced" ASTs like
+/// `(a + b) * c` — exactly the shapes §5.2's bottom-up search cannot
+/// express.
+pub fn as_chain(e: &Expr) -> Option<(Vec<Operand<'_>>, Vec<BinOp>)> {
+    let operands = e.operands();
+    let ops = e.operators();
+    if operands.len() != ops.len() + 1 {
+        // Unary negation breaks the 1:1 slot/op structure.
+        return None;
+    }
+    let rebuilt = parse_chain(&operands, &ops)?;
+    if &rebuilt == e {
+        Some((operands, ops))
+    } else {
+        None
+    }
+}
+
+/// Precedence-climbing reconstruction of a flat chain.
+fn parse_chain(operands: &[Operand<'_>], ops: &[BinOp]) -> Option<Expr> {
+    fn operand_expr(o: &Operand<'_>) -> Expr {
+        match o {
+            Operand::Access(a) => Expr::Access((*a).clone()),
+            Operand::Const(c) => Expr::Const(*c),
+            Operand::ConstSym(s) => Expr::ConstSym(*s),
+        }
+    }
+    let leaves: Vec<Expr> = operands.iter().map(operand_expr).collect();
+    build_chain_expr(&leaves, ops)
+}
+
+/// Builds the expression a flat `leaf op leaf op …` chain denotes under
+/// standard precedence (`*`, `/` bind tighter; all left-associative).
+/// This is the semantics the bottom-up search assigns to its tail chains.
+///
+/// Returns `None` for an empty chain or mismatched lengths.
+pub fn build_chain_expr(leaves: &[Expr], ops: &[BinOp]) -> Option<Expr> {
+    if leaves.is_empty() || leaves.len() != ops.len() + 1 {
+        return None;
+    }
+    fn parse(leaves: &[Expr], ops: &[BinOp], pos: &mut usize, min_prec: u8) -> Expr {
+        let mut lhs = leaves[*pos].clone();
+        while *pos < ops.len() {
+            let op = ops[*pos];
+            if op.precedence() < min_prec {
+                break;
+            }
+            *pos += 1;
+            let rhs = parse(leaves, ops, pos, op.precedence() + 1);
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        lhs
+    }
+    let mut pos = 0usize;
+    Some(parse(leaves, ops, &mut pos, 0))
+}
+
+/// Computes the derivation of a template in a bottom-up grammar, or
+/// `None` when the template is not expressible as a tail chain with the
+/// grammar's position dimensions.
+pub fn bu_derivation(grammar: &TemplateGrammar, template: &Template) -> Option<Vec<RuleId>> {
+    debug_assert_eq!(grammar.shape, GrammarShape::BottomUp);
+    let (operands, ops) = as_chain(&template.program.rhs)?;
+    let mut rules = Vec::new();
+    rules.push(grammar.pcfg.rules_of(grammar.nts.program).first().copied()?);
+    let lhs_tok = TemplateTok::Access(template.program.lhs.clone());
+    rules.push(grammar.terminal_rule(grammar.nts.tensor1, &lhs_tok)?);
+
+    // Position dims must match (refined grammars only; full grammars have
+    // a single ANYTENSOR nonterminal for every position).
+    let dim_of = |o: &Operand<'_>| -> usize {
+        match o {
+            Operand::Access(a) => a.rank(),
+            Operand::Const(_) | Operand::ConstSym(_) => 0,
+        }
+    };
+    let position_nt = |pos: usize, o: &Operand<'_>| -> Option<gtl_grammar::NtId> {
+        if grammar.nts.position_dims.is_empty() {
+            grammar.nts.dim_nts.values().next().copied()
+        } else {
+            let want = *grammar.nts.position_dims.get(pos)?;
+            if want != dim_of(o) {
+                return None;
+            }
+            grammar.nts.dim_nts.get(&want).copied()
+        }
+    };
+    let operand_tok = |o: &Operand<'_>| -> TemplateTok {
+        match o {
+            Operand::Access(a) => TemplateTok::Access((*a).clone()),
+            Operand::Const(_) | Operand::ConstSym(_) => TemplateTok::ConstSym,
+        }
+    };
+
+    // EXPR → TENSOR2 [TAIL1].
+    let expr_rule = grammar.pcfg.rules_of(grammar.nts.expr).first().copied()?;
+    rules.push(expr_rule);
+    let first_nt = position_nt(0, &operands[0])?;
+    rules.push(grammar.terminal_rule(first_nt, &operand_tok(&operands[0]))?);
+
+    for (k, op) in ops.iter().enumerate() {
+        let tail_nt = *grammar.nts.tails.get(k)?;
+        // TAILk → OP TENSOR TAILk+1 (the non-ε alternative).
+        let extend = grammar
+            .pcfg
+            .rules_of(tail_nt)
+            .iter()
+            .copied()
+            .find(|rid| grammar.pcfg.rule(*rid).rhs.len() > 1)?;
+        rules.push(extend);
+        rules.push(grammar.terminal_rule(grammar.nts.op, &TemplateTok::Op(*op))?);
+        let nt = position_nt(k + 1, &operands[k + 1])?;
+        rules.push(grammar.terminal_rule(nt, &operand_tok(&operands[k + 1]))?);
+    }
+    // Remaining tail collapses to ε.
+    if ops.len() < grammar.nts.tails.len() {
+        let tail_nt = grammar.nts.tails[ops.len()];
+        let eps = grammar
+            .pcfg
+            .rules_of(tail_nt)
+            .iter()
+            .copied()
+            .find(|rid| {
+                matches!(
+                    grammar.pcfg.rule(*rid).rhs.as_slice(),
+                    [Sym::T(TemplateTok::Epsilon)]
+                )
+            })?;
+        rules.push(eps);
+    }
+    Some(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::templatize;
+    use gtl_taco::parse_program;
+
+    fn tpl(src: &str) -> Template {
+        templatize(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn spec(dims: Vec<usize>, n_indices: usize) -> TdSpec {
+        TdSpec {
+            dim_list: dims,
+            n_indices,
+            allow_repeated_index: false,
+            include_const: false,
+        }
+    }
+
+    #[test]
+    fn figure7_shape() {
+        // Dimension list [0, 1, 2, 1] with 3 indices.
+        let g = generate_bu_grammar(&spec(vec![0, 1, 2, 1], 3));
+        // Per-dim nonterminals for 1 and 2.
+        assert!(g.nts.dim_nts.contains_key(&1));
+        assert!(g.nts.dim_nts.contains_key(&2));
+        // Two tails (three chain positions).
+        assert_eq!(g.nts.tails.len(), 2);
+        // 1DTENSOR holds both b and d with all 3 single indices.
+        let n1 = g.pcfg.rules_of(g.nts.dim_nts[&1]).len();
+        assert_eq!(n1, 6);
+    }
+
+    #[test]
+    fn chain_detection() {
+        // Precedence-respecting: a*b + c — fine.
+        let t = tpl("o(i) = a(i) * b(i) + c(i)");
+        assert!(as_chain(&t.program.rhs).is_some());
+        // Balanced: (a + b) * c — not a chain.
+        let t2 = tpl("o(i) = (a(i) + b(i)) * c(i)");
+        assert!(as_chain(&t2.program.rhs).is_none());
+        // a + (b - a) * t — not a chain (lerp).
+        let t3 = tpl("o(i) = a(i) + (b(i) - a(i)) * s");
+        assert!(as_chain(&t3.program.rhs).is_none());
+        // Right-nested subtraction needs parens: not a chain.
+        let t4_expr = gtl_taco::Expr::binary(
+            BinOp::Sub,
+            gtl_taco::Expr::access("b", &["i"]),
+            gtl_taco::Expr::binary(
+                BinOp::Sub,
+                gtl_taco::Expr::access("c", &["i"]),
+                gtl_taco::Expr::access("d", &["i"]),
+            ),
+        );
+        assert!(as_chain(&t4_expr).is_none());
+    }
+
+    #[test]
+    fn derivation_roundtrip() {
+        let g = generate_bu_grammar(&spec(vec![1, 2, 1], 2));
+        let t = tpl("r(f) = m(i,f) * v(f)");
+        let d = bu_derivation(&g, &t).expect("chain template parses");
+        // PROGRAM, TENSOR1, EXPR, b-rule, TAIL-extend, OP, c-rule (no
+        // trailing ε because the only tail was consumed).
+        assert_eq!(d.len(), 7);
+    }
+
+    #[test]
+    fn derivation_with_trailing_epsilon() {
+        let g = generate_bu_grammar(&spec(vec![1, 1, 1], 1));
+        let t = tpl("r(i) = x(i)");
+        // Uses one of two positions: TAIL1 must collapse to ε.
+        let d = bu_derivation(&g, &t);
+        assert!(d.is_some());
+    }
+
+    #[test]
+    fn derivation_rejects_wrong_position_dims() {
+        let g = generate_bu_grammar(&spec(vec![1, 2, 1], 2));
+        // First RHS tensor is rank 1, but position 0 wants rank 2.
+        let t = tpl("r(i) = v(i) * m(i,j)");
+        assert!(bu_derivation(&g, &t).is_none());
+    }
+
+    #[test]
+    fn derivation_rejects_balanced_ast() {
+        let g = generate_bu_grammar(&spec(vec![1, 1, 1, 1], 1));
+        let t = tpl("o(i) = (a(i) + b(i)) * c(i)");
+        assert!(bu_derivation(&g, &t).is_none());
+    }
+
+    #[test]
+    fn full_bu_grammar_parses_chains() {
+        let g = generate_bu_full_grammar(4, 3, None);
+        let t = tpl("o(i) = a(i) * b(i) + c(i)");
+        assert!(bu_derivation(&g, &t).is_some());
+        let t2 = tpl("o(i) = (a(i) + b(i)) * c(i)");
+        assert!(bu_derivation(&g, &t2).is_none());
+    }
+
+    #[test]
+    fn const_in_dim0_nonterminal() {
+        let g = generate_bu_grammar(&TdSpec {
+            dim_list: vec![1, 1, 0],
+            n_indices: 1,
+            allow_repeated_index: false,
+            include_const: true,
+        });
+        let nt0 = g.nts.dim_nts[&0];
+        let has_const = g
+            .pcfg
+            .rules_of(nt0)
+            .iter()
+            .any(|rid| {
+                matches!(
+                    g.pcfg.rule(*rid).rhs.as_slice(),
+                    [Sym::T(TemplateTok::ConstSym)]
+                )
+            });
+        assert!(has_const);
+    }
+}

@@ -1,0 +1,134 @@
+//! Dimension-list prediction (§4.2.3).
+//!
+//! The RHS dimensions come from a vote over the LLM candidates: compute
+//! each candidate's dimension list, keep only the lists of maximal
+//! length, and return the most frequent one. The LHS dimension comes from
+//! static analysis and overrides `L[1]`.
+
+use crate::template::Template;
+
+/// Predicts the dimension list from the templatised candidates, per the
+/// paper's filter-then-majority rule. Returns `None` when there are no
+/// candidates.
+///
+/// ```
+/// use gtl_taco::parse_program;
+/// use gtl_template::{predict_dimension_list, templatize};
+///
+/// let templates: Vec<_> = [
+///     "r(i) = m(i,j) * v(j)",
+///     "r(i) = m(j,i) * v(i)",
+///     "r(i) = m(i,j) * v(i)",
+///     "r = v(i)", // shorter: filtered out
+/// ]
+/// .iter()
+/// .map(|s| templatize(&parse_program(s).unwrap()).unwrap())
+/// .collect();
+/// assert_eq!(predict_dimension_list(&templates), Some(vec![1, 2, 1]));
+/// ```
+pub fn predict_dimension_list(templates: &[Template]) -> Option<Vec<usize>> {
+    let lists: Vec<Vec<usize>> = templates.iter().map(Template::dimension_list).collect();
+    let max_len = lists.iter().map(Vec::len).max()?;
+    let filtered: Vec<&Vec<usize>> = lists.iter().filter(|l| l.len() >= max_len).collect();
+    // Most frequent list; ties broken by first appearance.
+    let mut best: Option<(&Vec<usize>, usize)> = None;
+    for l in &filtered {
+        let count = filtered.iter().filter(|m| **m == *l).count();
+        match best {
+            Some((_, c)) if c >= count => {}
+            _ => best = Some((l, count)),
+        }
+    }
+    best.map(|(l, _)| l.clone())
+}
+
+/// Overlays the statically-predicted LHS dimension onto a voted list
+/// (§4.2.3: "we replace L[1] with the predicted dimension for the first
+/// tensor from the static analysis").
+pub fn overlay_lhs_dimension(mut list: Vec<usize>, lhs_dim: Option<usize>) -> Vec<usize> {
+    if let (Some(d), Some(slot)) = (lhs_dim, list.first_mut()) {
+        *slot = d;
+    }
+    list
+}
+
+/// The number of unique index variables across all candidates — the
+/// paper's `i(T)`, capped at the canonical four.
+pub fn index_variable_count(templates: &[Template]) -> usize {
+    templates
+        .iter()
+        .map(Template::index_count)
+        .max()
+        .unwrap_or(0)
+        .min(4)
+}
+
+/// Whether any candidate uses a repeated index inside one access (enables
+/// `b(i,i)`-style rules, §4.2.4).
+pub fn any_repeated_index(templates: &[Template]) -> bool {
+    templates.iter().any(Template::has_repeated_index_access)
+}
+
+/// Whether any candidate contains a symbolic constant.
+pub fn any_const(templates: &[Template]) -> bool {
+    templates.iter().any(Template::has_const)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::templatize;
+    use gtl_taco::parse_program;
+
+    fn tpl(src: &str) -> Template {
+        templatize(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn majority_wins() {
+        let ts = vec![
+            tpl("r(i) = a(i,j) * b(j)"),
+            tpl("r(i) = a(i,j) * b(j)"),
+            tpl("r(i) = a(i) * b(i)"), // different dims, same length
+        ];
+        assert_eq!(predict_dimension_list(&ts), Some(vec![1, 2, 1]));
+    }
+
+    #[test]
+    fn shorter_lists_filtered() {
+        let ts = vec![
+            tpl("r = a(i)"),
+            tpl("r = a(i)"),
+            tpl("r = a(i) * b(i)"), // longest, though only one vote
+        ];
+        assert_eq!(predict_dimension_list(&ts), Some(vec![0, 1, 1]));
+    }
+
+    #[test]
+    fn empty_gives_none() {
+        assert_eq!(predict_dimension_list(&[]), None);
+    }
+
+    #[test]
+    fn lhs_overlay() {
+        assert_eq!(
+            overlay_lhs_dimension(vec![1, 2, 1], Some(0)),
+            vec![0, 2, 1]
+        );
+        assert_eq!(overlay_lhs_dimension(vec![1, 2], None), vec![1, 2]);
+        assert_eq!(overlay_lhs_dimension(Vec::new(), Some(2)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn index_count_capped() {
+        let ts = vec![tpl("r(i,j) = a(i,j,k,l) * b(k,l)")];
+        assert_eq!(index_variable_count(&ts), 4);
+        assert_eq!(index_variable_count(&[]), 0);
+    }
+
+    #[test]
+    fn const_detection() {
+        assert!(any_const(&[tpl("r(i) = a(i) * 2")]));
+        assert!(!any_const(&[tpl("r(i) = a(i)")]));
+    }
+}

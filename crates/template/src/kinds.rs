@@ -1,0 +1,186 @@
+//! Shared structure of generated template grammars.
+
+use std::collections::BTreeMap;
+
+use gtl_grammar::{NtId, Pcfg, RuleId, Sym, TemplateTok};
+use gtl_taco::{IndexVar, CANONICAL_INDICES};
+
+/// Which of the paper's two search grammars a [`TemplateGrammar`] encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarShape {
+    /// §4.2.4: `EXPR ::= TENSOR | CONSTANT | EXPR OP EXPR`.
+    TopDown,
+    /// §5.2: `EXPR ::= TENSOR2 TAIL1`, `TAILk ::= ε | OP TENSORk TAILk+1`.
+    BottomUp,
+}
+
+/// Handles to the distinguished nonterminals of a generated grammar.
+#[derive(Debug, Clone)]
+pub struct GrammarNts {
+    /// `PROGRAM`.
+    pub program: NtId,
+    /// `TENSOR1` (the LHS tensor).
+    pub tensor1: NtId,
+    /// `EXPR`.
+    pub expr: NtId,
+    /// `OP`.
+    pub op: NtId,
+    /// `CONSTANT`, when the grammar admits constants.
+    pub constant: Option<NtId>,
+    /// The shared `TENSOR` nonterminal (top-down shape only).
+    pub tensor: Option<NtId>,
+    /// `TAIL1, TAIL2, …` (bottom-up shape only), in chain order.
+    pub tails: Vec<NtId>,
+    /// Per-dimension tensor nonterminals (`1DTENSOR` …; bottom-up only).
+    pub dim_nts: BTreeMap<usize, NtId>,
+    /// Dimension of each right-hand-side chain position (bottom-up only;
+    /// empty when unrestricted).
+    pub position_dims: Vec<usize>,
+}
+
+/// A generated template grammar: the pCFG plus its structural handles.
+#[derive(Debug, Clone)]
+pub struct TemplateGrammar {
+    /// The weighted/probabilistic grammar.
+    pub pcfg: Pcfg,
+    /// Top-down or bottom-up shape.
+    pub shape: GrammarShape,
+    /// Distinguished nonterminals.
+    pub nts: GrammarNts,
+    /// The predicted dimension list the grammar was generated from
+    /// (empty for the unrefined "full grammar" ablations).
+    pub dim_list: Vec<usize>,
+}
+
+impl TemplateGrammar {
+    /// The operators the candidate set *meaningfully* uses — the paper's
+    /// "operations defined in the grammar" for penalties a5/b2. An
+    /// operator counts when its learned weight is at least 2 *and* at
+    /// least half the dominant operator's weight; scattered one-off
+    /// occurrences are LLM noise. (With a real LLM the operator sets are
+    /// tight, and Table 2's ablation numbers only make sense if a5 rarely
+    /// excludes the true template.) The weight≥2 requirement makes a5/b2
+    /// vacuous for the equal-probability ablations, whose uniform weights
+    /// carry no operator information.
+    pub fn live_ops(&self) -> Vec<gtl_taco::BinOp> {
+        let weights: Vec<(gtl_taco::BinOp, f64)> = self
+            .pcfg
+            .rules_of(self.nts.op)
+            .iter()
+            .filter_map(|rid| {
+                let r = self.pcfg.rule(*rid);
+                match r.rhs.as_slice() {
+                    [Sym::T(TemplateTok::Op(op))] => Some((*op, r.weight)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let max = weights.iter().map(|(_, w)| *w).fold(0.0f64, f64::max);
+        let mut out = Vec::new();
+        for (op, w) in weights {
+            if w >= 2.0 && 2.0 * w >= max && !out.contains(&op) {
+                out.push(op);
+            }
+        }
+        out
+    }
+
+    /// Finds the rule `nt → tok` if present.
+    pub fn terminal_rule(&self, nt: NtId, tok: &TemplateTok) -> Option<RuleId> {
+        self.pcfg
+            .rules_of(nt)
+            .iter()
+            .copied()
+            .find(|rid| matches!(self.pcfg.rule(*rid).rhs.as_slice(), [Sym::T(t)] if t == tok))
+    }
+}
+
+/// All index tuples of length `dim` over the first `n_indices` canonical
+/// variables. Tuples with repeated variables are included only when
+/// `allow_repeat` is set (§4.2.4: `b(i,i)` rules exist only if some
+/// candidate used a repeated index).
+pub fn index_tuples(dim: usize, n_indices: usize, allow_repeat: bool) -> Vec<Vec<IndexVar>> {
+    let vars: Vec<IndexVar> = CANONICAL_INDICES[..n_indices.min(CANONICAL_INDICES.len())]
+        .iter()
+        .map(|s| IndexVar::new(*s))
+        .collect();
+    let mut out: Vec<Vec<IndexVar>> = vec![Vec::new()];
+    for _ in 0..dim {
+        let mut next = Vec::new();
+        for partial in &out {
+            for v in &vars {
+                if !allow_repeat && partial.contains(v) {
+                    continue;
+                }
+                let mut ext = partial.clone();
+                ext.push(v.clone());
+                next.push(ext);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// The canonical prefix tuple `(i, j, …)` of length `dim` used for the
+/// fixed LHS access.
+pub fn canonical_prefix(dim: usize) -> Vec<IndexVar> {
+    CANONICAL_INDICES[..dim.min(CANONICAL_INDICES.len())]
+        .iter()
+        .map(|s| IndexVar::new(*s))
+        .collect()
+}
+
+/// Convenience for building the `PROGRAM → TENSOR1 "=" EXPR` rule body.
+pub fn program_rhs(tensor1: NtId, expr: NtId) -> Vec<Sym> {
+    vec![
+        Sym::Nt(tensor1),
+        Sym::T(TemplateTok::Eq),
+        Sym::Nt(expr),
+    ]
+}
+
+/// Adds the four operator rules with zero initial weight (their
+/// probabilities come purely from the LLM candidates, Fig. 3).
+pub fn add_op_rules(pcfg: &mut Pcfg, op: NtId) {
+    for o in gtl_taco::BinOp::ALL {
+        pcfg.add_rule(op, vec![Sym::T(TemplateTok::Op(o))], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_without_repetition() {
+        let ts = index_tuples(2, 3, false);
+        assert_eq!(ts.len(), 6); // ordered pairs from {i,j,k}
+        assert!(ts.iter().all(|t| t[0] != t[1]));
+    }
+
+    #[test]
+    fn tuples_with_repetition() {
+        let ts = index_tuples(2, 3, true);
+        assert_eq!(ts.len(), 9);
+    }
+
+    #[test]
+    fn zero_dim_single_empty_tuple() {
+        assert_eq!(index_tuples(0, 4, false), vec![Vec::<IndexVar>::new()]);
+    }
+
+    #[test]
+    fn prefix() {
+        let p = canonical_prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].as_str(), "i");
+        assert_eq!(p[1].as_str(), "j");
+    }
+
+    #[test]
+    fn impossible_tuple_counts() {
+        // Can't pick 3 distinct from 2.
+        assert!(index_tuples(3, 2, false).is_empty());
+    }
+}

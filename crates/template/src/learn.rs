@@ -1,0 +1,229 @@
+//! Probability learning over a generated grammar (§4.3).
+//!
+//! Each rule's weight is the number of times it occurs in the leftmost
+//! derivations of the templatised LLM candidates. Tensor-nonterminal
+//! rules never used by any candidate receive a default weight of 1 so
+//! they remain reachable at lower priority (§4.3). All other unused
+//! rules receive a tiny smoothing weight so that A\* remains complete —
+//! the paper renders these probabilities as `(0)` in Fig. 3.
+
+use gtl_grammar::Sym;
+
+use crate::kinds::{GrammarShape, TemplateGrammar};
+use crate::template::Template;
+use crate::{bu_derivation, td_derivation};
+
+/// Default weight for unused tensor rules (§4.3).
+pub const DEFAULT_TENSOR_WEIGHT: f64 = 1.0;
+
+/// Smoothing weight for otherwise-zero rules; keeps every sentence of the
+/// language reachable at very low priority.
+pub const SMOOTHING_WEIGHT: f64 = 0.01;
+
+/// Statistics from weight learning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LearnStats {
+    /// Candidates whose derivation existed in the grammar.
+    pub parsed: usize,
+    /// Total candidates offered.
+    pub total: usize,
+}
+
+/// Learns rule weights from the templatised candidates, in place.
+///
+/// When *no* candidate parses (the refined grammar excluded them all),
+/// every weight is set to 1 — a uniform prior, so the search can still
+/// run.
+///
+/// ```
+/// use gtl_taco::parse_program;
+/// use gtl_template::{generate_td_grammar, learn_weights, templatize, TdSpec};
+///
+/// let mut g = generate_td_grammar(&TdSpec {
+///     dim_list: vec![1, 2, 1],
+///     n_indices: 2,
+///     allow_repeated_index: false,
+///     include_const: false,
+/// });
+/// let cands: Vec<_> = ["r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(i)"]
+///     .iter()
+///     .map(|s| templatize(&parse_program(s).unwrap()).unwrap())
+///     .collect();
+/// let stats = learn_weights(&mut g, &cands);
+/// assert_eq!(stats.parsed, 2);
+/// assert!(g.pcfg.check_probability_sums());
+/// ```
+pub fn learn_weights(grammar: &mut TemplateGrammar, templates: &[Template]) -> LearnStats {
+    let mut counts = vec![0.0f64; grammar.pcfg.rules().len()];
+    let mut parsed = 0usize;
+    for t in templates {
+        let derivation = match grammar.shape {
+            GrammarShape::TopDown => td_derivation(grammar, t),
+            GrammarShape::BottomUp => bu_derivation(grammar, t),
+        };
+        if let Some(d) = derivation {
+            parsed += 1;
+            for rid in d {
+                counts[rid.index()] += 1.0;
+            }
+        }
+    }
+    let stats = LearnStats {
+        parsed,
+        total: templates.len(),
+    };
+    if parsed == 0 {
+        grammar.pcfg.equalize_weights();
+        return stats;
+    }
+
+    // Which nonterminals are "tensor nonterminals" for the default-1 rule?
+    let mut tensor_nts = vec![grammar.nts.tensor1];
+    if let Some(t) = grammar.nts.tensor {
+        tensor_nts.push(t);
+    }
+    if let Some(c) = grammar.nts.constant {
+        tensor_nts.push(c);
+    }
+    for nt in grammar.nts.dim_nts.values() {
+        if !tensor_nts.contains(nt) {
+            tensor_nts.push(*nt);
+        }
+    }
+
+    let rule_count = grammar.pcfg.rules().len();
+    for (i, &count) in counts.iter().enumerate().take(rule_count) {
+        let rid = gtl_grammar::RuleId(i as u32);
+        let lhs = grammar.pcfg.rule(rid).lhs;
+        let is_terminal_rule = grammar
+            .pcfg
+            .rule(rid)
+            .rhs
+            .iter()
+            .all(|s| matches!(s, Sym::T(_)));
+        let w = if count > 0.0 {
+            count
+        } else if tensor_nts.contains(&lhs) && is_terminal_rule {
+            DEFAULT_TENSOR_WEIGHT
+        } else {
+            SMOOTHING_WEIGHT
+        };
+        grammar.pcfg.set_weight(rid, w);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::templatize;
+    use crate::{generate_bu_grammar, generate_td_grammar, TdSpec};
+    use gtl_grammar::TemplateTok;
+    use gtl_taco::{parse_program, Access, BinOp};
+
+    fn tpl(src: &str) -> Template {
+        templatize(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn spec_121() -> TdSpec {
+        TdSpec {
+            dim_list: vec![1, 2, 1],
+            n_indices: 2,
+            allow_repeated_index: false,
+            include_const: false,
+        }
+    }
+
+    #[test]
+    fn frequent_rules_get_higher_probability() {
+        let mut g = generate_td_grammar(&spec_121());
+        let cands = vec![
+            tpl("r(i) = m(i,j) * v(j)"),
+            tpl("r(i) = m(i,j) * v(j)"),
+            tpl("r(i) = m(j,i) * v(i)"),
+        ];
+        learn_weights(&mut g, &cands);
+        let probs = g.pcfg.probabilities();
+        // b(i,j) appeared twice, b(j,i) once.
+        let bij = g
+            .terminal_rule(
+                g.nts.tensor.unwrap(),
+                &TemplateTok::Access(Access::new("b", &["i", "j"])),
+            )
+            .unwrap();
+        let bji = g
+            .terminal_rule(
+                g.nts.tensor.unwrap(),
+                &TemplateTok::Access(Access::new("b", &["j", "i"])),
+            )
+            .unwrap();
+        assert!(probs[bij.index()] > probs[bji.index()]);
+    }
+
+    #[test]
+    fn unused_op_gets_smoothing_only() {
+        let mut g = generate_td_grammar(&spec_121());
+        learn_weights(&mut g, &[tpl("r(i) = m(i,j) * v(j)")]);
+        let probs = g.pcfg.probabilities();
+        let mul = g
+            .terminal_rule(g.nts.op, &TemplateTok::Op(BinOp::Mul))
+            .unwrap();
+        let div = g
+            .terminal_rule(g.nts.op, &TemplateTok::Op(BinOp::Div))
+            .unwrap();
+        assert!(probs[mul.index()] > 0.9);
+        assert!(probs[div.index()] < 0.02);
+        assert!(probs[div.index()] > 0.0, "smoothed, not dead");
+    }
+
+    #[test]
+    fn unused_tensor_rule_gets_default_one() {
+        let mut g = generate_td_grammar(&spec_121());
+        learn_weights(&mut g, &[tpl("r(i) = m(i,j) * v(j)")]);
+        // b(j,i) unused → weight 1 (not the 0.01 smoothing).
+        let bji = g
+            .terminal_rule(
+                g.nts.tensor.unwrap(),
+                &TemplateTok::Access(Access::new("b", &["j", "i"])),
+            )
+            .unwrap();
+        assert_eq!(g.pcfg.rule(bji).weight, DEFAULT_TENSOR_WEIGHT);
+    }
+
+    #[test]
+    fn no_parse_falls_back_to_uniform() {
+        let mut g = generate_td_grammar(&spec_121());
+        // Scalar LHS doesn't match a(i): nothing parses.
+        let stats = learn_weights(&mut g, &[tpl("r = m(i,j) * v(j)")]);
+        assert_eq!(stats.parsed, 0);
+        assert!(g.pcfg.rules().iter().all(|r| r.weight == 1.0));
+    }
+
+    #[test]
+    fn bu_learning_works() {
+        let mut g = generate_bu_grammar(&spec_121());
+        let stats = learn_weights(
+            &mut g,
+            &[
+                tpl("r(i) = m(i,j) * v(j)"),
+                tpl("r(i) = m(i,j) * v(i)"),
+                tpl("r(i) = m(i,j) + v(i)"),
+                tpl("r(i) = m(j,i) + v(j)"),
+            ],
+        );
+        assert_eq!(stats.parsed, 4);
+        assert!(g.pcfg.check_probability_sums());
+        // Operators need two candidate occurrences to count as live.
+        let live = g.live_ops();
+        assert!(live.contains(&BinOp::Mul));
+        assert!(live.contains(&BinOp::Add));
+        assert!(!live.contains(&BinOp::Div));
+    }
+
+    #[test]
+    fn probability_sums_hold_after_learning() {
+        let mut g = generate_td_grammar(&spec_121());
+        learn_weights(&mut g, &[tpl("r(i) = m(i,j) * v(j)")]);
+        assert!(g.pcfg.check_probability_sums());
+    }
+}

@@ -1,0 +1,63 @@
+//! Template extraction and probabilistic-grammar learning (§4 of the
+//! paper).
+//!
+//! Given raw LLM candidate solutions, this crate:
+//!
+//! 1. standardises them into [`Template`]s — tensors renamed `a, b, c…`,
+//!    indices renamed `i, j, k, l`, constants replaced by `Const`
+//!    (§4.2.1, [`templatize`]);
+//! 2. predicts the dimension list by filtering and voting, with the
+//!    statically-analysed LHS dimension overlaid (§4.2.3,
+//!    [`predict_dimension_list`] / [`overlay_lhs_dimension`]);
+//! 3. generates the refined top-down grammar (§4.2.4,
+//!    [`generate_td_grammar`]) or the bottom-up tail grammar (§5.2,
+//!    [`generate_bu_grammar`]), plus the unrefined "full grammar"
+//!    variants used by the ablations;
+//! 4. learns rule weights from the candidates' leftmost derivations
+//!    (§4.3, [`learn_weights`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gtl_taco::parse_program;
+//! use gtl_template::*;
+//!
+//! let candidates: Vec<Template> = ["r(f) = m1(i,f) * m2(f)", "R(i) = A(j,i) * x(i)"]
+//!     .iter()
+//!     .map(|s| templatize(&parse_program(s).unwrap()).unwrap())
+//!     .collect();
+//! let dims = predict_dimension_list(&candidates).unwrap();
+//! assert_eq!(dims, vec![1, 2, 1]);
+//!
+//! let mut grammar = generate_td_grammar(&TdSpec {
+//!     dim_list: dims,
+//!     n_indices: index_variable_count(&candidates),
+//!     allow_repeated_index: any_repeated_index(&candidates),
+//!     include_const: any_const(&candidates),
+//! });
+//! let stats = learn_weights(&mut grammar, &candidates);
+//! assert_eq!(stats.parsed, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bugen;
+mod dimlist;
+mod kinds;
+mod learn;
+mod tdgen;
+mod template;
+
+pub use bugen::{as_chain, bu_derivation, build_chain_expr, generate_bu_full_grammar, generate_bu_grammar};
+pub use dimlist::{
+    any_const, any_repeated_index, index_variable_count, overlay_lhs_dimension,
+    predict_dimension_list,
+};
+pub use kinds::{canonical_prefix, index_tuples, GrammarNts, GrammarShape, TemplateGrammar};
+pub use learn::{learn_weights, LearnStats, DEFAULT_TENSOR_WEIGHT, SMOOTHING_WEIGHT};
+pub use tdgen::{
+    generate_td_full_grammar, generate_td_grammar, lhs_of_grammar, td_derivation, td_parses,
+    TdSpec,
+};
+pub use template::{templatize, Template, TemplatizeError};

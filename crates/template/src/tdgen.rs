@@ -1,0 +1,384 @@
+//! Top-down template grammar generation (§4.2.4) and derivation
+//! extraction for probability learning (§4.3).
+
+use std::collections::BTreeMap;
+
+use gtl_grammar::{Pcfg, RuleId, Sym, TemplateTok};
+use gtl_taco::{canonical_tensor_name, Access, Expr};
+
+use crate::kinds::{
+    add_op_rules, canonical_prefix, index_tuples, program_rhs, GrammarNts, GrammarShape,
+    TemplateGrammar,
+};
+use crate::template::Template;
+
+/// Parameters for refined grammar generation, all derived from the LLM
+/// candidates and the static analysis.
+#[derive(Debug, Clone)]
+pub struct TdSpec {
+    /// The predicted dimension list `L` (LHS first, Def. 4.5).
+    pub dim_list: Vec<usize>,
+    /// Number of unique index variables across candidates, `i(T)`.
+    pub n_indices: usize,
+    /// Whether any candidate repeats an index inside one access.
+    pub allow_repeated_index: bool,
+    /// Whether the grammar should admit `Const` (a candidate used a
+    /// constant or a 0-dim slot exists).
+    pub include_const: bool,
+}
+
+/// Generates the refined top-down grammar of §4.2.4 for a dimension list.
+///
+/// The grammar has the shape
+///
+/// ```text
+/// PROGRAM  ::= TENSOR1 "=" EXPR
+/// TENSOR1  ::= "a(<canonical prefix>)"
+/// EXPR     ::= TENSOR | CONSTANT | EXPR OP EXPR
+/// OP       ::= "+" | "-" | "*" | "/"
+/// TENSOR   ::= all symbols b, c, … with every admissible index tuple
+/// CONSTANT ::= "Const"
+/// ```
+///
+/// All rule weights start at zero; call [`crate::learn_weights`]
+/// afterwards.
+pub fn generate_td_grammar(spec: &TdSpec) -> TemplateGrammar {
+    let mut g = Pcfg::new();
+    let program = g.add_nonterminal("PROGRAM");
+    let tensor1 = g.add_nonterminal("TENSOR1");
+    let expr = g.add_nonterminal("EXPR");
+    let op = g.add_nonterminal("OP");
+    let tensor = g.add_nonterminal("TENSOR");
+    let include_const = spec.include_const || spec.dim_list.iter().skip(1).any(|&d| d == 0);
+    let constant = if include_const {
+        Some(g.add_nonterminal("CONSTANT"))
+    } else {
+        None
+    };
+    g.set_start(program);
+
+    g.add_rule(program, program_rhs(tensor1, expr), 0.0);
+
+    // TENSOR1: the single LHS option from L[1].
+    let lhs_dim = spec.dim_list.first().copied().unwrap_or(0);
+    let lhs_access = Access {
+        tensor: canonical_tensor_name(0),
+        indices: canonical_prefix(lhs_dim),
+    };
+    g.add_rule(
+        tensor1,
+        vec![Sym::T(TemplateTok::Access(lhs_access))],
+        0.0,
+    );
+
+    // EXPR alternatives.
+    g.add_rule(expr, vec![Sym::Nt(tensor)], 0.0);
+    if let Some(c) = constant {
+        g.add_rule(expr, vec![Sym::Nt(c)], 0.0);
+        g.add_rule(c, vec![Sym::T(TemplateTok::ConstSym)], 0.0);
+    }
+    g.add_rule(expr, vec![Sym::Nt(expr), Sym::Nt(op), Sym::Nt(expr)], 0.0);
+
+    add_op_rules(&mut g, op);
+
+    // TENSOR: every RHS symbol with every admissible index tuple of its
+    // predicted dimension.
+    for (pos, &dim) in spec.dim_list.iter().enumerate().skip(1) {
+        let sym = canonical_tensor_name(pos);
+        for tuple in index_tuples(dim, spec.n_indices.max(lhs_dim), spec.allow_repeated_index) {
+            let access = Access {
+                tensor: sym.clone(),
+                indices: tuple,
+            };
+            g.add_rule(tensor, vec![Sym::T(TemplateTok::Access(access))], 0.0);
+        }
+    }
+
+    TemplateGrammar {
+        pcfg: g,
+        shape: GrammarShape::TopDown,
+        nts: GrammarNts {
+            program,
+            tensor1,
+            expr,
+            op,
+            constant,
+            tensor: Some(tensor),
+            tails: Vec::new(),
+            dim_nts: BTreeMap::new(),
+            position_dims: Vec::new(),
+        },
+        dim_list: spec.dim_list.clone(),
+    }
+}
+
+/// Generates the *unrefined* top-down grammar — the FullGrammar /
+/// LLMGrammar ablations of §8 (Fig. 5's grammar with canonical symbols:
+/// up to `max_tensors` RHS tensor symbols and dimensions `0..=max_dim`).
+/// `lhs_dim` fixes the LHS access when the static analysis predicted it —
+/// that analysis is part of the base pipeline, not of the grammar
+/// refinement these ablations remove.
+pub fn generate_td_full_grammar(
+    max_tensors: usize,
+    max_dim: usize,
+    lhs_dim: Option<usize>,
+) -> TemplateGrammar {
+    let mut g = Pcfg::new();
+    let program = g.add_nonterminal("PROGRAM");
+    let tensor1 = g.add_nonterminal("TENSOR1");
+    let expr = g.add_nonterminal("EXPR");
+    let op = g.add_nonterminal("OP");
+    let tensor = g.add_nonterminal("TENSOR");
+    let constant = g.add_nonterminal("CONSTANT");
+    g.set_start(program);
+
+    g.add_rule(program, program_rhs(tensor1, expr), 0.0);
+    let lhs_dims: Vec<usize> = match lhs_dim {
+        Some(d) => vec![d],
+        None => (0..=max_dim).collect(),
+    };
+    for dim in lhs_dims {
+        let access = Access {
+            tensor: canonical_tensor_name(0),
+            indices: canonical_prefix(dim),
+        };
+        g.add_rule(tensor1, vec![Sym::T(TemplateTok::Access(access))], 0.0);
+    }
+    g.add_rule(expr, vec![Sym::Nt(tensor)], 0.0);
+    g.add_rule(expr, vec![Sym::Nt(constant)], 0.0);
+    g.add_rule(expr, vec![Sym::Nt(expr), Sym::Nt(op), Sym::Nt(expr)], 0.0);
+    g.add_rule(constant, vec![Sym::T(TemplateTok::ConstSym)], 0.0);
+    add_op_rules(&mut g, op);
+
+    for pos in 1..=max_tensors {
+        let sym = canonical_tensor_name(pos);
+        for dim in 0..=max_dim {
+            // Distinct-variable tuples only: the unrefined grammar is
+            // already huge, and repeated-index accesses are rare enough
+            // that the paper's FullGrammar ablation plausibly omits them
+            // (its average attempt count is in the hundreds, not
+            // millions).
+            for tuple in index_tuples(dim, 4, false) {
+                let access = Access {
+                    tensor: sym.clone(),
+                    indices: tuple,
+                };
+                g.add_rule(tensor, vec![Sym::T(TemplateTok::Access(access))], 0.0);
+            }
+        }
+    }
+
+    TemplateGrammar {
+        pcfg: g,
+        shape: GrammarShape::TopDown,
+        nts: GrammarNts {
+            program,
+            tensor1,
+            expr,
+            op,
+            constant: Some(constant),
+            tensor: Some(tensor),
+            tails: Vec::new(),
+            dim_nts: BTreeMap::new(),
+            position_dims: Vec::new(),
+        },
+        dim_list: Vec::new(),
+    }
+}
+
+/// Computes the (leftmost) derivation of a templatised candidate in a
+/// top-down grammar, or `None` when the template is outside the
+/// grammar's language (§4.3 only counts members of L(G)).
+pub fn td_derivation(grammar: &TemplateGrammar, template: &Template) -> Option<Vec<RuleId>> {
+    debug_assert_eq!(grammar.shape, GrammarShape::TopDown);
+    let mut rules = Vec::new();
+    // PROGRAM → TENSOR1 "=" EXPR.
+    let prog_rule = grammar.pcfg.rules_of(grammar.nts.program).first().copied()?;
+    rules.push(prog_rule);
+    // TENSOR1 must match the template's LHS exactly.
+    let lhs_tok = TemplateTok::Access(template.program.lhs.clone());
+    rules.push(grammar.terminal_rule(grammar.nts.tensor1, &lhs_tok)?);
+    td_expr_derivation(grammar, &template.program.rhs, &mut rules)?;
+    Some(rules)
+}
+
+fn td_expr_derivation(
+    grammar: &TemplateGrammar,
+    e: &Expr,
+    out: &mut Vec<RuleId>,
+) -> Option<()> {
+    let nts = &grammar.nts;
+    let expr_rules = grammar.pcfg.rules_of(nts.expr);
+    let find_expr_rule = |pred: &dyn Fn(&[Sym]) -> bool| -> Option<RuleId> {
+        expr_rules
+            .iter()
+            .copied()
+            .find(|rid| pred(&grammar.pcfg.rule(*rid).rhs))
+    };
+    match e {
+        Expr::Access(acc) => {
+            let tensor_nt = nts.tensor?;
+            let to_tensor =
+                find_expr_rule(&|rhs| matches!(rhs, [Sym::Nt(n)] if *n == tensor_nt))?;
+            out.push(to_tensor);
+            out.push(grammar.terminal_rule(tensor_nt, &TemplateTok::Access(acc.clone()))?);
+            Some(())
+        }
+        Expr::ConstSym(_) | Expr::Const(_) => {
+            let const_nt = nts.constant?;
+            let to_const =
+                find_expr_rule(&|rhs| matches!(rhs, [Sym::Nt(n)] if *n == const_nt))?;
+            out.push(to_const);
+            out.push(grammar.terminal_rule(const_nt, &TemplateTok::ConstSym)?);
+            Some(())
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let binary = find_expr_rule(&|rhs| rhs.len() == 3)?;
+            out.push(binary);
+            td_expr_derivation(grammar, lhs, out)?;
+            out.push(grammar.terminal_rule(nts.op, &TemplateTok::Op(*op))?);
+            td_expr_derivation(grammar, rhs, out)?;
+            Some(())
+        }
+        // The template grammars have no negation rule.
+        Expr::Neg(_) => None,
+    }
+}
+
+/// Reconstructs the concrete template program for a derivation-tree-less
+/// check (used by tests): not needed in the search, which keeps ASTs.
+pub fn lhs_of_grammar(grammar: &TemplateGrammar) -> Option<Access> {
+    let rid = grammar.pcfg.rules_of(grammar.nts.tensor1).first()?;
+    match grammar.pcfg.rule(*rid).rhs.as_slice() {
+        [Sym::T(TemplateTok::Access(a))] => Some(a.clone()),
+        _ => None,
+    }
+}
+
+/// Convenience used by tests and the oracle: whether `template` is a
+/// member of the grammar's language.
+pub fn td_parses(grammar: &TemplateGrammar, template: &Template) -> bool {
+    td_derivation(grammar, template).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::templatize;
+    use gtl_taco::parse_program;
+
+    fn tpl(src: &str) -> Template {
+        templatize(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn spec_121() -> TdSpec {
+        TdSpec {
+            dim_list: vec![1, 2, 1],
+            n_indices: 2,
+            allow_repeated_index: false,
+            include_const: false,
+        }
+    }
+
+    #[test]
+    fn generates_figure6_like_grammar() {
+        let g = generate_td_grammar(&spec_121());
+        // TENSOR1 has exactly one rule: a(i).
+        assert_eq!(g.pcfg.rules_of(g.nts.tensor1).len(), 1);
+        assert_eq!(lhs_of_grammar(&g).unwrap().to_string(), "a(i)");
+        // TENSOR options: b has 2 ordered pairs over {i,j}; c has 2 single
+        // indices.
+        let tensor_rules = g.pcfg.rules_of(g.nts.tensor.unwrap()).len();
+        assert_eq!(tensor_rules, 2 + 2);
+        // No CONSTANT nonterminal.
+        assert!(g.nts.constant.is_none());
+    }
+
+    #[test]
+    fn constant_included_for_zero_dim() {
+        let g = generate_td_grammar(&TdSpec {
+            dim_list: vec![1, 1, 0],
+            n_indices: 1,
+            allow_repeated_index: false,
+            include_const: false,
+        });
+        assert!(g.nts.constant.is_some());
+        // The 0-dim slot also yields a bare scalar tensor option `c`.
+        let has_scalar_c = g
+            .pcfg
+            .rules_of(g.nts.tensor.unwrap())
+            .iter()
+            .any(|rid| {
+                matches!(
+                    g.pcfg.rule(*rid).rhs.as_slice(),
+                    [Sym::T(TemplateTok::Access(a))] if a.tensor.as_str() == "c" && a.indices.is_empty()
+                )
+            });
+        assert!(has_scalar_c);
+    }
+
+    #[test]
+    fn derivation_of_matching_template() {
+        let g = generate_td_grammar(&spec_121());
+        let t = tpl("r(f) = m(i,f) * v(f)"); // a(i) = b(j,i) * c(i)
+        let d = td_derivation(&g, &t).expect("template in language");
+        // PROGRAM, TENSOR1, EXPR→E O E, EXPR→TENSOR, b-rule, OP, EXPR→TENSOR, c-rule.
+        assert_eq!(d.len(), 8);
+    }
+
+    #[test]
+    fn derivation_rejects_wrong_lhs_dim() {
+        let g = generate_td_grammar(&spec_121());
+        let t = tpl("r = m(i,j) * v(j)"); // scalar LHS ≠ a(i)
+        assert!(td_derivation(&g, &t).is_none());
+    }
+
+    #[test]
+    fn derivation_rejects_unknown_access() {
+        let g = generate_td_grammar(&spec_121());
+        // c(i,j) is rank 2 but slot c is rank 1.
+        let t = tpl("r(i) = m(i,j) * v(i,j)");
+        assert!(td_derivation(&g, &t).is_none());
+    }
+
+    #[test]
+    fn derivation_rejects_negation() {
+        let g = generate_td_grammar(&spec_121());
+        let t = templatize(&parse_program("r(i) = -m(i,j) * v(j)").unwrap()).unwrap();
+        assert!(td_derivation(&g, &t).is_none());
+    }
+
+    #[test]
+    fn full_grammar_parses_anything_reasonable() {
+        let g = generate_td_full_grammar(4, 4, None);
+        for src in [
+            "r = m(i) * 3",
+            "r(i,j) = x(i,j,k,l) * y(k,l)",
+            "o(i) = a(i) + b(i) + c(i) + d(i)",
+        ] {
+            let t = tpl(src);
+            assert!(td_parses(&g, &t), "full grammar must parse {src}");
+        }
+        // Repeated-index accesses are outside the full grammar (see the
+        // generator's rationale).
+        assert!(!td_parses(&g, &tpl("out = A(i,i)")));
+    }
+
+    #[test]
+    fn repeated_index_rules_gated() {
+        let spec = TdSpec {
+            dim_list: vec![0, 2],
+            n_indices: 1,
+            allow_repeated_index: true,
+            include_const: false,
+        };
+        let g = generate_td_grammar(&spec);
+        let t = tpl("out = A(i,i)");
+        assert!(td_derivation(&g, &t).is_some());
+        let g2 = generate_td_grammar(&TdSpec {
+            allow_repeated_index: false,
+            ..spec
+        });
+        assert!(td_derivation(&g2, &t).is_none());
+    }
+}

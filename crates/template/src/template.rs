@@ -1,0 +1,244 @@
+//! Template extraction: tensor templatisation, index standardisation and
+//! constant templatisation (§4.2.1).
+
+use std::collections::BTreeMap;
+
+use gtl_taco::{
+    canonical_tensor_name, Access, Expr, Ident, IndexVar, TacoProgram, CANONICAL_INDICES,
+};
+
+/// A standardised TACO template: tensors renamed `a, b, c, …` (LHS is
+/// always `a`), indices renamed to the canonical `{i, j, k, l}`, constants
+/// replaced by symbolic `Const` slots.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Template {
+    /// The templatised program.
+    pub program: TacoProgram,
+}
+
+impl Template {
+    /// The template's dimension list (Def. 4.5).
+    pub fn dimension_list(&self) -> Vec<usize> {
+        self.program.dimension_list()
+    }
+
+    /// Number of unique index variables (the paper's `i(P)` for one
+    /// program).
+    pub fn index_count(&self) -> usize {
+        self.program.all_indices().len()
+    }
+
+    /// Whether any single access uses the same index variable twice
+    /// (e.g. the diagonal access `b(i,i)`), which widens the generated
+    /// grammar (§4.2.4).
+    pub fn has_repeated_index_access(&self) -> bool {
+        std::iter::once(&self.program.lhs)
+            .chain(self.program.rhs.accesses())
+            .any(|acc| {
+                for (n, ix) in acc.indices.iter().enumerate() {
+                    if acc.indices[..n].contains(ix) {
+                        return true;
+                    }
+                }
+                false
+            })
+    }
+
+    /// Whether the template contains a symbolic constant.
+    pub fn has_const(&self) -> bool {
+        self.program.rhs.has_const_sym()
+    }
+}
+
+impl std::fmt::Display for Template {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.program)
+    }
+}
+
+/// Errors for candidates that cannot be templatised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplatizeError {
+    /// More than four unique index variables (TACO's canonical set is
+    /// `{i, j, k, l}`, Fig. 5).
+    TooManyIndices,
+    /// More than 26 unique tensors.
+    TooManyTensors,
+}
+
+impl std::fmt::Display for TemplatizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplatizeError::TooManyIndices => write!(f, "more than 4 unique index variables"),
+            TemplatizeError::TooManyTensors => write!(f, "more than 26 unique tensors"),
+        }
+    }
+}
+
+impl std::error::Error for TemplatizeError {}
+
+struct Renamer {
+    next_tensor: usize,
+    indices: BTreeMap<String, IndexVar>,
+    next_const: u32,
+}
+
+impl Renamer {
+    /// Assigns the next symbolic tensor name. Symbols are assigned *per
+    /// occurrence*: `x(i) * x(i)` becomes `b(i) * c(i)`, and the
+    /// validator may later bind both symbols to the same argument — the
+    /// paper's Fig. 8 explicitly enumerates such non-injective
+    /// substitutions (`b ↦ Mat1, c ↦ Mat1`, and even `c ↦ Result`), which
+    /// is what lets the dimension list and the bottom-up chain positions
+    /// see every occurrence, including accumulation idioms that reread
+    /// the output.
+    fn tensor(&mut self, _name: &Ident) -> Result<Ident, TemplatizeError> {
+        let n = self.next_tensor;
+        self.next_tensor += 1;
+        if n >= 26 {
+            return Err(TemplatizeError::TooManyTensors);
+        }
+        Ok(canonical_tensor_name(n))
+    }
+
+    fn index(&mut self, ix: &IndexVar) -> Result<IndexVar, TemplatizeError> {
+        if let Some(i) = self.indices.get(ix.as_str()) {
+            return Ok(i.clone());
+        }
+        let n = self.indices.len();
+        if n >= CANONICAL_INDICES.len() {
+            return Err(TemplatizeError::TooManyIndices);
+        }
+        let fresh = IndexVar::new(CANONICAL_INDICES[n]);
+        self.indices.insert(ix.as_str().to_string(), fresh.clone());
+        Ok(fresh)
+    }
+
+    fn access(&mut self, acc: &Access) -> Result<Access, TemplatizeError> {
+        Ok(Access {
+            tensor: self.tensor(&acc.tensor)?,
+            indices: acc
+                .indices
+                .iter()
+                .map(|ix| self.index(ix))
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Expr, TemplatizeError> {
+        Ok(match e {
+            Expr::Access(acc) => Expr::Access(self.access(acc)?),
+            Expr::Const(_) | Expr::ConstSym(_) => {
+                // A constant occupies an operand slot of the dimension
+                // list (its entry is 0, Def. 4.5), so it consumes a
+                // symbol position: the grammar generator names slot p
+                // with letter p, and tensor symbols after a constant must
+                // stay aligned with their slots.
+                self.next_tensor += 1;
+                let id = self.next_const;
+                self.next_const += 1;
+                Expr::ConstSym(id)
+            }
+            Expr::Neg(inner) => Expr::Neg(Box::new(self.expr(inner)?)),
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(self.expr(lhs)?),
+                rhs: Box::new(self.expr(rhs)?),
+            },
+        })
+    }
+}
+
+/// Templatises a parsed candidate: tensor renaming, index standardisation
+/// and constant templatisation, in that order (§4.2.1 and Fig. 4).
+///
+/// ```
+/// use gtl_taco::parse_program;
+/// use gtl_template::templatize;
+///
+/// let cand = parse_program("t(f) = m1(i, f) * m2(f)").unwrap();
+/// let tpl = templatize(&cand).unwrap();
+/// assert_eq!(tpl.to_string(), "a(i) = b(j,i) * c(i)");
+/// ```
+pub fn templatize(candidate: &TacoProgram) -> Result<Template, TemplatizeError> {
+    let mut r = Renamer {
+        next_tensor: 0,
+        indices: BTreeMap::new(),
+        next_const: 0,
+    };
+    // LHS first so it becomes `a` and its indices claim `i, j, …`.
+    let lhs = r.access(&candidate.lhs)?;
+    let rhs = r.expr(&candidate.rhs)?;
+    Ok(Template {
+        program: TacoProgram::new(lhs, rhs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_taco::parse_program;
+
+    fn t(src: &str) -> Template {
+        templatize(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // t(f) = m1(i, f) * m2(f)  →  a(i) = b(j,i) * c(i)
+        assert_eq!(
+            t("t(f) = m1(i, f) * m2(f)").to_string(),
+            "a(i) = b(j,i) * c(i)"
+        );
+        // Target(i) := Mat1(f,i) * Mat2(i) → same template (after := fix).
+        assert_eq!(
+            t("Target(i) = Mat1(f,i) * Mat2(i)").to_string(),
+            "a(i) = b(j,i) * c(i)"
+        );
+    }
+
+    #[test]
+    fn repeated_tensor_gets_fresh_symbols() {
+        // Per-occurrence assignment: the validator can bind b and c to
+        // the same argument (Fig. 8).
+        assert_eq!(t("out = x(i) * x(i)").to_string(), "a = b(i) * c(i)");
+    }
+
+    #[test]
+    fn lhs_reuse_on_rhs_gets_fresh_symbol() {
+        // The validator can bind b back to the output argument (Fig. 8
+        // enumerates output bindings like `c ↦ Result`).
+        assert_eq!(t("acc(i) = acc(i) + d(i)").to_string(), "a(i) = b(i) + c(i)");
+    }
+
+    #[test]
+    fn constants_templatised() {
+        let tpl = t("out(i) = x(i) * 5 + 3");
+        assert_eq!(tpl.to_string(), "a(i) = b(i) * Const + Const");
+        assert!(tpl.has_const());
+    }
+
+    #[test]
+    fn dimension_list() {
+        assert_eq!(t("r(f) = m(i,f) * v(f)").dimension_list(), vec![1, 2, 1]);
+        assert_eq!(t("r = m(i) * 3").dimension_list(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn too_many_indices_rejected() {
+        let p = parse_program("r(a1,a2,a3) = m(a1,a2,a3,a4) * v(a5)").unwrap();
+        assert_eq!(templatize(&p), Err(TemplatizeError::TooManyIndices));
+    }
+
+    #[test]
+    fn repeated_index_detected() {
+        assert!(t("out = A(i,i)").has_repeated_index_access());
+        assert!(!t("out = A(i,j)").has_repeated_index_access());
+    }
+
+    #[test]
+    fn index_count() {
+        assert_eq!(t("r(f) = m(i,f) * v(f)").index_count(), 2);
+        assert_eq!(t("out(i,j) = B(i,k,l) * C(k,j) * D(l,j)").index_count(), 4);
+    }
+}

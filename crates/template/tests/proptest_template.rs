@@ -1,0 +1,159 @@
+//! Property-based tests for templatisation and grammar learning:
+//! idempotence, language membership of learned templates, probability
+//! normalisation, and chain round-trips.
+
+use gtl_taco::{parse_program, Access, BinOp, Expr, TacoProgram};
+use gtl_template::{
+    any_const, any_repeated_index, as_chain, bu_derivation, build_chain_expr,
+    generate_bu_grammar, generate_td_grammar, index_variable_count, learn_weights,
+    predict_dimension_list, td_derivation, templatize, TdSpec,
+};
+use proptest::prelude::*;
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    let idx = prop::sample::select(vec!["i", "j", "k", "f", "x"]);
+    (
+        prop::sample::select(vec!["m1", "m2", "vec", "OUT", "t"]),
+        prop::collection::vec(idx, 0..3),
+    )
+        .prop_map(|(name, indices)| Access {
+            tensor: name.into(),
+            indices: indices.into_iter().map(Into::into).collect(),
+        })
+}
+
+fn arb_candidate() -> impl Strategy<Value = TacoProgram> {
+    let leaf = prop_oneof![
+        arb_access().prop_map(Expr::Access),
+        (0i64..9).prop_map(Expr::Const),
+    ];
+    let expr = leaf.prop_recursive(2, 8, 2, |inner| {
+        (
+            prop::sample::select(BinOp::ALL.to_vec()),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::binary(op, l, r))
+    });
+    (arb_access(), expr).prop_map(|(lhs, rhs)| TacoProgram::new(lhs, rhs))
+}
+
+proptest! {
+    #[test]
+    fn templatize_is_idempotent(p in arb_candidate()) {
+        if let Ok(t1) = templatize(&p) {
+            let t2 = templatize(&t1.program).expect("templates re-templatise");
+            prop_assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn templates_use_canonical_names(p in arb_candidate()) {
+        if let Ok(t) = templatize(&p) {
+            prop_assert_eq!(t.program.lhs.tensor.as_str(), "a");
+            for acc in t.program.rhs.accesses() {
+                let name = acc.tensor.as_str();
+                prop_assert!(name.len() == 1 && name.as_bytes()[0].is_ascii_lowercase());
+            }
+            for ix in t.program.all_indices() {
+                prop_assert!(["i", "j", "k", "l"].contains(&ix.as_str()));
+            }
+        }
+    }
+
+    /// §4.2's requirement: every parsed candidate's template must be in
+    /// the language of the grammar generated from the candidates, unless
+    /// its dimensions were outvoted. Candidates with a non-canonical LHS
+    /// (a repeated index such as `a(i,i)`) fall outside TENSOR1's single
+    /// fixed production and are legitimately excluded.
+    #[test]
+    fn own_template_parses_when_dims_match(p in arb_candidate()) {
+        let Ok(t) = templatize(&p) else { return Ok(()); };
+        let canonical = gtl_template::canonical_prefix(t.program.lhs.rank());
+        if t.program.lhs.indices != canonical {
+            return Ok(());
+        }
+        let templates = vec![t.clone()];
+        let dims = predict_dimension_list(&templates).unwrap();
+        let spec = TdSpec {
+            dim_list: dims,
+            n_indices: index_variable_count(&templates).max(1),
+            allow_repeated_index: any_repeated_index(&templates),
+            include_const: any_const(&templates),
+        };
+        let g = generate_td_grammar(&spec);
+        prop_assert!(
+            td_derivation(&g, &t).is_some(),
+            "template {t} not in its own refined grammar"
+        );
+    }
+
+    #[test]
+    fn learned_probabilities_normalise(p in arb_candidate(), q in arb_candidate()) {
+        let templates: Vec<_> = [p, q]
+            .iter()
+            .filter_map(|c| templatize(c).ok())
+            .collect();
+        if templates.is_empty() {
+            return Ok(());
+        }
+        let dims = predict_dimension_list(&templates).unwrap();
+        let spec = TdSpec {
+            dim_list: dims,
+            n_indices: index_variable_count(&templates).max(1),
+            allow_repeated_index: any_repeated_index(&templates),
+            include_const: any_const(&templates),
+        };
+        let mut g = generate_td_grammar(&spec);
+        learn_weights(&mut g, &templates);
+        prop_assert!(g.pcfg.check_probability_sums());
+        let mut bg = generate_bu_grammar(&spec);
+        learn_weights(&mut bg, &templates);
+        prop_assert!(bg.pcfg.check_probability_sums());
+    }
+
+    /// Chains round-trip: flattening a precedence-respecting expression
+    /// and rebuilding it reproduces the expression.
+    #[test]
+    fn chain_roundtrip(p in arb_candidate()) {
+        if let Some((operands, ops)) = as_chain(&p.rhs) {
+            let leaves: Vec<Expr> = operands
+                .iter()
+                .map(|o| match o {
+                    gtl_taco::Operand::Access(a) => Expr::Access((*a).clone()),
+                    gtl_taco::Operand::Const(c) => Expr::Const(*c),
+                    gtl_taco::Operand::ConstSym(s) => Expr::ConstSym(*s),
+                })
+                .collect();
+            let rebuilt = build_chain_expr(&leaves, &ops).unwrap();
+            prop_assert_eq!(rebuilt, p.rhs);
+        }
+    }
+
+    /// Bottom-up derivations only exist for chain-shaped templates.
+    #[test]
+    fn bu_derivation_implies_chain(p in arb_candidate()) {
+        let Ok(t) = templatize(&p) else { return Ok(()); };
+        let templates = vec![t.clone()];
+        let dims = predict_dimension_list(&templates).unwrap();
+        let spec = TdSpec {
+            dim_list: dims,
+            n_indices: index_variable_count(&templates).max(1),
+            allow_repeated_index: any_repeated_index(&templates),
+            include_const: any_const(&templates),
+        };
+        let g = generate_bu_grammar(&spec);
+        if bu_derivation(&g, &t).is_some() {
+            prop_assert!(as_chain(&t.program.rhs).is_some());
+        }
+    }
+}
+
+#[test]
+fn paper_response1_templates_share_structure() {
+    // Candidates 1 and 3 of Response 1 are "equivalent in structure"
+    // (§4.2): they templatise identically.
+    let t1 = templatize(&parse_program("t(f) = m1(i, f) * m2(f)").unwrap()).unwrap();
+    let t3 = templatize(&parse_program("Target(i) = Mat1(f,i) * Mat2(i)").unwrap()).unwrap();
+    assert_eq!(t1, t3);
+}

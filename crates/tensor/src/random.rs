@@ -1,0 +1,140 @@
+//! Deterministic random tensor generation.
+//!
+//! All experiment randomness in this repository flows through seeded
+//! [`rand::rngs::StdRng`] instances so every table and figure regenerates
+//! identically run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Rat, Shape, Tensor};
+
+/// Derives a 64-bit seed from a string label, FNV-1a style.
+///
+/// Used to give every benchmark its own reproducible random stream.
+///
+/// ```
+/// use gtl_tensor::seed_from_label;
+/// assert_eq!(seed_from_label("dot"), seed_from_label("dot"));
+/// assert_ne!(seed_from_label("dot"), seed_from_label("gemm"));
+/// ```
+pub fn seed_from_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic generator of random rational tensors.
+#[derive(Debug)]
+pub struct TensorGen {
+    rng: StdRng,
+}
+
+impl TensorGen {
+    /// Creates a generator from a numeric seed.
+    pub fn new(seed: u64) -> TensorGen {
+        TensorGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a generator seeded from a string label.
+    pub fn from_label(label: &str) -> TensorGen {
+        TensorGen::new(seed_from_label(label))
+    }
+
+    /// A random integer-valued rational in `[lo, hi]`.
+    pub fn int_in(&mut self, lo: i64, hi: i64) -> Rat {
+        Rat::from(self.rng.gen_range(lo..=hi))
+    }
+
+    /// A random *nonzero* integer-valued rational in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the only value in range is zero.
+    pub fn nonzero_int_in(&mut self, lo: i64, hi: i64) -> Rat {
+        assert!(lo != 0 || hi != 0, "empty nonzero range");
+        loop {
+            let v = self.rng.gen_range(lo..=hi);
+            if v != 0 {
+                return Rat::from(v);
+            }
+        }
+    }
+
+    /// A random rational `p/q` with `|p| <= mag` and `1 <= q <= mag`.
+    pub fn rational(&mut self, mag: i64) -> Rat {
+        let p = self.rng.gen_range(-mag..=mag);
+        let q = self.rng.gen_range(1..=mag);
+        Rat::new(p as i128, q as i128)
+    }
+
+    /// A tensor of the given shape with integer entries in `[lo, hi]`.
+    pub fn int_tensor(&mut self, shape: Shape, lo: i64, hi: i64) -> Tensor<Rat> {
+        let len = shape.len();
+        let data = (0..len).map(|_| self.int_in(lo, hi)).collect();
+        Tensor::from_data(shape, data).expect("length computed from shape")
+    }
+
+    /// A tensor with *nonzero* integer entries (safe as a divisor).
+    pub fn nonzero_int_tensor(&mut self, shape: Shape, lo: i64, hi: i64) -> Tensor<Rat> {
+        let len = shape.len();
+        let data = (0..len).map(|_| self.nonzero_int_in(lo, hi)).collect();
+        Tensor::from_data(shape, data).expect("length computed from shape")
+    }
+
+    /// A tensor of random rationals of bounded magnitude, for
+    /// Schwartz–Zippel identity testing.
+    pub fn rational_tensor(&mut self, shape: Shape, mag: i64) -> Tensor<Rat> {
+        let len = shape.len();
+        let data = (0..len).map(|_| self.rational(mag)).collect();
+        Tensor::from_data(shape, data).expect("length computed from shape")
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Direct access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = TensorGen::from_label("x");
+        let mut b = TensorGen::from_label("x");
+        let sa = a.int_tensor(Shape::new(vec![4]), -5, 5);
+        let sb = b.int_tensor(Shape::new(vec![4]), -5, 5);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn nonzero_is_nonzero() {
+        let mut g = TensorGen::new(7);
+        for _ in 0..100 {
+            assert!(!g.nonzero_int_in(-2, 2).is_zero());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut g = TensorGen::new(9);
+        for _ in 0..200 {
+            let v = g.int_in(-3, 3);
+            assert!(v >= Rat::from(-3) && v <= Rat::from(3));
+            let r = g.rational(4);
+            assert!(r.denom() <= 4 && r.numer().abs() <= 4 * 4);
+        }
+    }
+}

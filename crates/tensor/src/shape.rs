@@ -1,0 +1,196 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The shape (list of extents) of a dense tensor.
+///
+/// A rank-0 shape (`Shape::scalar()`) denotes a scalar. Extents are `usize`
+/// and may be zero (an empty tensor).
+///
+/// ```
+/// use gtl_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3]);
+/// assert_eq!(s.rank(), 2);
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.linearize(&[1, 2]), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    extents: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its extents.
+    pub fn new(extents: Vec<usize>) -> Shape {
+        Shape { extents }
+    }
+
+    /// The rank-0 (scalar) shape.
+    pub fn scalar() -> Shape {
+        Shape { extents: Vec::new() }
+    }
+
+    /// The rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// The extents, in order.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Total number of elements (1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major linearisation of a multi-index, or `None` if out of bounds
+    /// or of the wrong rank.
+    pub fn linearize(&self, idx: &[usize]) -> Option<usize> {
+        if idx.len() != self.extents.len() {
+            return None;
+        }
+        let mut lin = 0usize;
+        for (i, (&x, &e)) in idx.iter().zip(&self.extents).enumerate() {
+            let _ = i;
+            if x >= e {
+                return None;
+            }
+            lin = lin * e + x;
+        }
+        Some(lin)
+    }
+
+    /// Inverse of [`Shape::linearize`]; `None` if `lin` is out of range.
+    pub fn delinearize(&self, mut lin: usize) -> Option<Vec<usize>> {
+        if lin >= self.len() {
+            return None;
+        }
+        let mut idx = vec![0; self.extents.len()];
+        for (slot, &e) in idx.iter_mut().zip(&self.extents).rev() {
+            *slot = lin % e;
+            lin /= e;
+        }
+        Some(idx)
+    }
+
+    /// Iterates over all multi-indices of this shape in row-major order.
+    ///
+    /// A scalar shape yields exactly one (empty) index.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter {
+            shape: self.extents.clone(),
+            next: if self.is_empty() { None } else { Some(vec![0; self.extents.len()]) },
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.extents.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(extents: Vec<usize>) -> Shape {
+        Shape::new(extents)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(extents: &[usize]) -> Shape {
+        Shape::new(extents.to_vec())
+    }
+}
+
+/// Row-major iterator over the multi-indices of a [`Shape`].
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance like an odometer, least-significant dimension last.
+        let mut idx = current.clone();
+        let mut pos = idx.len();
+        loop {
+            if pos == 0 {
+                self.next = None;
+                break;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < self.shape[pos] {
+                self.next = Some(idx);
+                break;
+            }
+            idx[pos] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.linearize(&[]), Some(0));
+        let all: Vec<_> = s.indices().collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let s = Shape::new(vec![3, 4, 2]);
+        for (n, idx) in s.indices().enumerate() {
+            assert_eq!(s.linearize(&idx), Some(n));
+            assert_eq!(s.delinearize(n).as_deref(), Some(idx.as_slice()));
+        }
+        assert_eq!(s.indices().count(), 24);
+    }
+
+    #[test]
+    fn out_of_bounds() {
+        let s = Shape::new(vec![2, 2]);
+        assert_eq!(s.linearize(&[2, 0]), None);
+        assert_eq!(s.linearize(&[0]), None);
+        assert_eq!(s.delinearize(4), None);
+    }
+
+    #[test]
+    fn empty_extent() {
+        let s = Shape::new(vec![2, 0]);
+        assert!(s.is_empty());
+        assert_eq!(s.indices().count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

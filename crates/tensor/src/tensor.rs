@@ -1,0 +1,200 @@
+//! Dense, row-major tensors.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::{Rat, Shape};
+
+/// A dense row-major tensor over element type `T`.
+///
+/// Rank-0 tensors are scalars holding exactly one element.
+///
+/// ```
+/// use gtl_tensor::{Rat, Shape, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape::new(vec![2, 2]));
+/// t[&[0, 1][..]] = Rat::from(5);
+/// assert_eq!(t.get(&[0, 1]), Some(&Rat::from(5)));
+/// assert_eq!(t.shape().rank(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tensor<T = Rat> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Clone + Default> Tensor<T> {
+    /// Creates a tensor of the given shape filled with `T::default()`.
+    pub fn zeros(shape: Shape) -> Tensor<T> {
+        let len = shape.len();
+        Tensor {
+            shape,
+            data: vec![T::default(); len],
+        }
+    }
+}
+
+impl<T> Tensor<T> {
+    /// Creates a tensor from a shape and its row-major element vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the data back if `data.len() != shape.len()`.
+    pub fn from_data(shape: Shape, data: Vec<T>) -> Result<Tensor<T>, Vec<T>> {
+        if data.len() != shape.len() {
+            return Err(data);
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-0 (scalar) tensor.
+    pub fn scalar(value: T) -> Tensor<T> {
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// The elements in row-major order.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the elements in row-major order.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its row-major elements.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index, or `None` if out of bounds.
+    pub fn get(&self, idx: &[usize]) -> Option<&T> {
+        self.shape.linearize(idx).map(|l| &self.data[l])
+    }
+
+    /// Mutable element at a multi-index, or `None` if out of bounds.
+    pub fn get_mut(&mut self, idx: &[usize]) -> Option<&mut T> {
+        self.shape.linearize(idx).map(move |l| &mut self.data[l])
+    }
+
+    /// For rank-0 tensors, the single element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 0.
+    pub fn as_scalar(&self) -> &T {
+        assert_eq!(self.rank(), 0, "as_scalar on a rank-{} tensor", self.rank());
+        &self.data[0]
+    }
+
+    /// Maps every element through `f`, preserving the shape.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Tensor<U> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+impl Tensor<Rat> {
+    /// Creates a rational tensor from integer elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_ints(shape: Shape, data: &[i64]) -> Tensor<Rat> {
+        assert_eq!(data.len(), shape.len(), "element count mismatch");
+        Tensor {
+            shape,
+            data: data.iter().map(|&v| Rat::from(v)).collect(),
+        }
+    }
+}
+
+impl<T> Index<&[usize]> for Tensor<T> {
+    type Output = T;
+    fn index(&self, idx: &[usize]) -> &T {
+        self.get(idx)
+            .unwrap_or_else(|| panic!("index {idx:?} out of bounds for shape {}", self.shape))
+    }
+}
+
+impl<T> IndexMut<&[usize]> for Tensor<T> {
+    fn index_mut(&mut self, idx: &[usize]) -> &mut T {
+        let shape = self.shape.clone();
+        self.get_mut(idx)
+            .unwrap_or_else(|| panic!("index {idx:?} out of bounds for shape {shape}"))
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Tensor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.shape)?;
+        for (i, v) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if i >= 16 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_index() {
+        let mut t: Tensor<Rat> = Tensor::zeros(Shape::new(vec![2, 3]));
+        assert_eq!(t.data().len(), 6);
+        t[&[1, 2][..]] = Rat::from(7);
+        assert_eq!(t[&[1, 2][..]], Rat::from(7));
+        assert_eq!(t[&[0, 0][..]], Rat::ZERO);
+    }
+
+    #[test]
+    fn from_data_validates() {
+        assert!(Tensor::from_data(Shape::new(vec![2]), vec![Rat::ZERO]).is_err());
+        assert!(Tensor::from_data(Shape::new(vec![2]), vec![Rat::ZERO, Rat::ONE]).is_ok());
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let t = Tensor::scalar(Rat::from(3));
+        assert_eq!(t.rank(), 0);
+        assert_eq!(*t.as_scalar(), Rat::from(3));
+        assert_eq!(t.get(&[]), Some(&Rat::from(3)));
+    }
+
+    #[test]
+    fn from_ints() {
+        let t = Tensor::from_ints(Shape::new(vec![2, 2]), &[1, 2, 3, 4]);
+        assert_eq!(t[&[1, 0][..]], Rat::from(3));
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let t = Tensor::from_ints(Shape::new(vec![3]), &[1, 2, 3]);
+        let doubled = t.map(|v| *v * Rat::from(2));
+        assert_eq!(doubled.data(), &[Rat::from(2), Rat::from(4), Rat::from(6)]);
+        assert_eq!(doubled.shape(), t.shape());
+    }
+}

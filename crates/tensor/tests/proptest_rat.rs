@@ -1,0 +1,90 @@
+//! Property-based tests: `Rat` satisfies the field axioms (within the
+//! checked-overflow envelope) and `Shape` round-trips its linearisation.
+
+use gtl_tensor::{Rat, Shape};
+use proptest::prelude::*;
+
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in small_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in small_rat()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.recip().unwrap(), Rat::ONE);
+        }
+    }
+
+    #[test]
+    fn subtraction_is_addition_of_negation(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn normalisation_is_canonical(n in -1000i128..1000, d in 1i128..1000, k in 1i128..50) {
+        // Multiplying numerator and denominator by k changes nothing.
+        prop_assert_eq!(Rat::new(n, d), Rat::new(n * k, d * k));
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a < b, (a - b).numer() < 0);
+    }
+
+    #[test]
+    fn display_roundtrip_integers(v in -10_000i64..10_000) {
+        let r = Rat::from(v);
+        prop_assert_eq!(r.to_string(), v.to_string());
+    }
+}
+
+fn small_shape() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1usize..5, 0..4).prop_map(Shape::new)
+}
+
+proptest! {
+    #[test]
+    fn linearize_delinearize_roundtrip(shape in small_shape()) {
+        for (n, idx) in shape.indices().enumerate() {
+            prop_assert_eq!(shape.linearize(&idx), Some(n));
+            let back = shape.delinearize(n);
+            prop_assert_eq!(back.as_deref(), Some(idx.as_slice()));
+        }
+    }
+
+    #[test]
+    fn index_count_matches_len(shape in small_shape()) {
+        prop_assert_eq!(shape.indices().count(), shape.len());
+    }
+
+    #[test]
+    fn out_of_range_rejected(shape in small_shape()) {
+        prop_assert_eq!(shape.delinearize(shape.len()), None);
+    }
+}

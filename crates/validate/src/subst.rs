@@ -1,0 +1,293 @@
+//! Substitution enumeration and template instantiation (§6, Fig. 8).
+//!
+//! A complete template contains symbolic tensors `b, c, …` and symbolic
+//! constants. The validator enumerates every binding of tensor symbols to
+//! kernel arguments and constant symbols to the source constant pool,
+//! discards bindings that are dimensionally unsound (a rank-2 symbol
+//! cannot bind a scalar and vice versa), instantiates the template and
+//! tests it against the input/output examples.
+
+use std::collections::BTreeMap;
+
+use gtl_taco::{Access, Expr, Ident, TacoProgram};
+
+use crate::task::LiftTask;
+
+/// A substitution: tensor symbol → argument name, constant slot → value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Substitution {
+    /// Tensor symbol bindings (e.g. `b → Mat1`).
+    pub tensors: BTreeMap<String, String>,
+    /// Constant slot bindings (slot id → value).
+    pub constants: BTreeMap<u32, i64>,
+}
+
+impl std::fmt::Display for Substitution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        let mut first = true;
+        for (s, a) in &self.tensors {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{s} ↦ {a}")?;
+        }
+        for (slot, v) in &self.constants {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "Const{slot} ↦ {v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Applies a substitution to a template, producing a concrete program
+/// over argument names.
+pub fn apply_substitution(template: &TacoProgram, sub: &Substitution, output: &str) -> TacoProgram {
+    fn rename_access(acc: &Access, sub: &Substitution, output: &str) -> Access {
+        let name = acc.tensor.as_str();
+        let new = if name == "a" {
+            output.to_string()
+        } else {
+            sub.tensors
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| name.to_string())
+        };
+        Access {
+            tensor: Ident::new(new),
+            indices: acc.indices.clone(),
+        }
+    }
+    fn rename(e: &Expr, sub: &Substitution, output: &str) -> Expr {
+        match e {
+            Expr::Access(acc) => Expr::Access(rename_access(acc, sub, output)),
+            Expr::Const(c) => Expr::Const(*c),
+            Expr::ConstSym(slot) => match sub.constants.get(slot) {
+                Some(v) => Expr::Const(*v),
+                None => Expr::ConstSym(*slot),
+            },
+            Expr::Neg(inner) => Expr::Neg(Box::new(rename(inner, sub, output))),
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(rename(lhs, sub, output)),
+                rhs: Box::new(rename(rhs, sub, output)),
+            },
+        }
+    }
+    TacoProgram {
+        lhs: rename_access(&template.lhs, sub, output),
+        rhs: rename(&template.rhs, sub, output),
+    }
+}
+
+/// The symbolic slots of a template: RHS tensor symbols with their ranks
+/// (in order of first appearance) and the constant slot ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateSlots {
+    /// `(symbol, rank)` pairs.
+    pub tensors: Vec<(String, usize)>,
+    /// Constant slot ids, in appearance order.
+    pub constants: Vec<u32>,
+}
+
+/// Extracts the slots of a template. Returns `None` when a symbol is used
+/// with inconsistent ranks (such templates are unsatisfiable).
+pub fn template_slots(template: &TacoProgram) -> Option<TemplateSlots> {
+    let mut tensors: Vec<(String, usize)> = Vec::new();
+    for acc in template.rhs.accesses() {
+        let name = acc.tensor.as_str();
+        if name == "a" {
+            // LHS symbol reused on the RHS: it binds the output.
+            continue;
+        }
+        match tensors.iter().find(|(n, _)| n == name) {
+            Some((_, rank)) if *rank != acc.rank() => return None,
+            Some(_) => {}
+            None => tensors.push((name.to_string(), acc.rank())),
+        }
+    }
+    let mut constants = Vec::new();
+    collect_const_slots(&template.rhs, &mut constants);
+    Some(TemplateSlots { tensors, constants })
+}
+
+fn collect_const_slots(e: &Expr, out: &mut Vec<u32>) {
+    match e {
+        Expr::ConstSym(s) => {
+            if !out.contains(s) {
+                out.push(*s);
+            }
+        }
+        Expr::Access(_) | Expr::Const(_) => {}
+        Expr::Neg(inner) => collect_const_slots(inner, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_const_slots(lhs, out);
+            collect_const_slots(rhs, out);
+        }
+    }
+}
+
+/// Enumerates all dimensionally-sound substitutions for a template
+/// against a task, in a deterministic order (Fig. 8's filtered set).
+///
+/// Tensor symbols of rank r bind arguments of logical rank r; rank-0
+/// symbols bind scalar arguments (sizes and data scalars). Constant slots
+/// bind values from the source constant pool. Bindings are not required
+/// to be injective (Fig. 8 tries `b → Mat1, c → Mat1`).
+pub fn enumerate_substitutions(template: &TacoProgram, task: &LiftTask) -> Vec<Substitution> {
+    let Some(slots) = template_slots(template) else {
+        return Vec::new();
+    };
+    let ranks = task.param_ranks();
+    // Candidate argument names per slot, by rank.
+    let mut per_slot: Vec<Vec<&str>> = Vec::new();
+    for (_, rank) in &slots.tensors {
+        let cands: Vec<&str> = task
+            .params
+            .iter()
+            .map(|p| p.name.as_str())
+            .filter(|n| ranks[n] == *rank)
+            .collect();
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        per_slot.push(cands);
+    }
+    let const_pool: Vec<i64> = if slots.constants.is_empty() {
+        Vec::new()
+    } else if task.constants.is_empty() {
+        return Vec::new();
+    } else {
+        task.constants.clone()
+    };
+
+    // Cartesian product over tensor slots, then constant slots.
+    let mut subs = Vec::new();
+    let mut tensor_choice = vec![0usize; per_slot.len()];
+    loop {
+        let mut const_choice = vec![0usize; slots.constants.len()];
+        loop {
+            let mut sub = Substitution::default();
+            for ((sym, _), (cands, &choice)) in slots
+                .tensors
+                .iter()
+                .zip(per_slot.iter().zip(&tensor_choice))
+            {
+                sub.tensors.insert(sym.clone(), cands[choice].to_string());
+            }
+            for (slot, &choice) in slots.constants.iter().zip(&const_choice) {
+                sub.constants.insert(*slot, const_pool[choice]);
+            }
+            subs.push(sub);
+            // Advance the constant odometer (last slot fastest, so the
+            // enumeration is lexicographic).
+            let mut done = true;
+            for c in const_choice.iter_mut().rev() {
+                *c += 1;
+                if *c < const_pool.len() {
+                    done = false;
+                    break;
+                }
+                *c = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        // Advance the tensor odometer (last slot fastest).
+        let mut done = true;
+        for pos in (0..tensor_choice.len()).rev() {
+            tensor_choice[pos] += 1;
+            if tensor_choice[pos] < per_slot[pos].len() {
+                done = false;
+                break;
+            }
+            tensor_choice[pos] = 0;
+        }
+        if done {
+            break;
+        }
+    }
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::tests_support::dot_task;
+    use gtl_taco::parse_program;
+
+    #[test]
+    fn slots_extraction() {
+        let t = parse_program("a(i) = b(i,j) * c(j) + Const").unwrap();
+        let slots = template_slots(&t).unwrap();
+        assert_eq!(
+            slots.tensors,
+            vec![("b".to_string(), 2), ("c".to_string(), 1)]
+        );
+        assert_eq!(slots.constants.len(), 1);
+    }
+
+    #[test]
+    fn inconsistent_rank_rejected() {
+        let t = parse_program("a(i) = b(i,j) * b(j)").unwrap();
+        assert!(template_slots(&t).is_none());
+    }
+
+    #[test]
+    fn enumeration_filters_by_rank() {
+        // dot task: args n (0), a (1), b (1), out (0).
+        let task = dot_task();
+        let t = parse_program("a = b(i) * c(i)").unwrap();
+        let subs = enumerate_substitutions(&t, &task);
+        // Each of b, c can bind the two rank-1 arrays: 4 combinations.
+        assert_eq!(subs.len(), 4);
+        assert!(subs
+            .iter()
+            .any(|s| s.tensors["b"] == "a" && s.tensors["c"] == "b"));
+        // Non-injective bindings present (Fig. 8's S1).
+        assert!(subs
+            .iter()
+            .any(|s| s.tensors["b"] == "a" && s.tensors["c"] == "a"));
+    }
+
+    #[test]
+    fn scalar_symbols_bind_scalars() {
+        let task = dot_task();
+        let t = parse_program("a = b(i) * c").unwrap();
+        let subs = enumerate_substitutions(&t, &task);
+        // c (rank 0) binds n or out: 2 options × b's 2 arrays = 4.
+        assert_eq!(subs.len(), 4);
+        assert!(subs.iter().all(|s| s.tensors["c"] == "n" || s.tensors["c"] == "out"));
+    }
+
+    #[test]
+    fn constants_from_pool() {
+        let task = dot_task(); // constants: [0]
+        let t = parse_program("a = b(i) * Const").unwrap();
+        let subs = enumerate_substitutions(&t, &task);
+        assert!(!subs.is_empty());
+        assert!(subs.iter().all(|s| s.constants[&0] == 0));
+    }
+
+    #[test]
+    fn application_renames() {
+        let t = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let mut sub = Substitution::default();
+        sub.tensors.insert("b".into(), "Mat1".into());
+        sub.tensors.insert("c".into(), "Mat2".into());
+        let concrete = apply_substitution(&t, &sub, "Result");
+        assert_eq!(concrete.to_string(), "Result(i) = Mat1(i,j) * Mat2(j)");
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let mut sub = Substitution::default();
+        sub.tensors.insert("b".into(), "Mat1".into());
+        assert_eq!(sub.to_string(), "⟨b ↦ Mat1⟩");
+    }
+}

@@ -1,0 +1,187 @@
+//! The template validator (§6): I/O example generation plus the
+//! validate-then-verify loop over substitutions.
+
+use gtl_taco::{evaluate, TacoProgram};
+use gtl_tensor::{Tensor, TensorGen};
+
+use crate::subst::{apply_substitution, enumerate_substitutions, Substitution};
+use crate::task::{LiftTask, TaskInstance, ValueMode};
+
+/// One input/output example: concrete inputs and the output the legacy
+/// kernel produced on them.
+#[derive(Debug, Clone)]
+pub struct IoExample {
+    /// The instantiated inputs.
+    pub instance: TaskInstance,
+    /// The kernel's output.
+    pub output: Tensor,
+}
+
+/// Configuration for example generation.
+#[derive(Debug, Clone, Copy)]
+pub struct ExampleConfig {
+    /// Number of examples.
+    pub count: usize,
+    /// Value range for the random integer inputs.
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+}
+
+impl Default for ExampleConfig {
+    fn default() -> Self {
+        ExampleConfig {
+            count: 4,
+            lo: -5,
+            hi: 5,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Generates I/O examples by running the legacy kernel on random inputs
+/// (§6). Examples use the task's default sizes.
+///
+/// # Errors
+///
+/// Propagates [`crate::task::TaskError`] if the kernel cannot be run
+/// (which indicates a malformed task rather than a bad template).
+pub fn generate_examples(
+    task: &LiftTask,
+    cfg: &ExampleConfig,
+) -> Result<Vec<IoExample>, crate::task::TaskError> {
+    let sizes = task.default_sizes();
+    let mut gen = TensorGen::new(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.count);
+    for _ in 0..cfg.count {
+        let instance = task.instantiate(
+            &sizes,
+            &mut gen,
+            ValueMode::Integers {
+                lo: cfg.lo,
+                hi: cfg.hi,
+            },
+        )?;
+        let output = task.run_reference(&instance)?;
+        out.push(IoExample { instance, output });
+    }
+    Ok(out)
+}
+
+/// Whether a concrete candidate program reproduces every example.
+/// Evaluation errors (division by zero on an example, extent mismatches
+/// between bound arguments) count as failure, as the paper's validator
+/// simply discards such substitutions.
+pub fn passes_examples(candidate: &TacoProgram, examples: &[IoExample]) -> bool {
+    examples.iter().all(|ex| {
+        matches!(
+            evaluate(candidate, &ex.instance.env),
+            Ok(ref out) if *out == ex.output
+        )
+    })
+}
+
+/// Statistics from one validation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidationStats {
+    /// Substitutions enumerated.
+    pub substitutions_tried: u64,
+    /// Substitutions that passed all I/O examples (and were handed to the
+    /// verifier).
+    pub io_passes: u64,
+}
+
+/// The §6 validation loop: enumerate substitutions, test each against the
+/// I/O examples, and hand survivors to `verify`; the first substitution
+/// the verifier accepts wins. Returns the verified concrete program.
+///
+/// `verify` realises §7; passing `|_| true` gives the I/O-only behaviour
+/// of the C2TACO baseline.
+pub fn validate_template(
+    template: &TacoProgram,
+    task: &LiftTask,
+    examples: &[IoExample],
+    mut verify: impl FnMut(&TacoProgram, &Substitution) -> bool,
+    stats: &mut ValidationStats,
+) -> Option<TacoProgram> {
+    let output_name = task.output_name().to_string();
+    for sub in enumerate_substitutions(template, task) {
+        stats.substitutions_tried += 1;
+        let concrete = apply_substitution(template, &sub, &output_name);
+        if !passes_examples(&concrete, examples) {
+            continue;
+        }
+        stats.io_passes += 1;
+        if verify(&concrete, &sub) {
+            return Some(concrete);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::tests_support::dot_task;
+    use gtl_taco::parse_program;
+
+    #[test]
+    fn examples_are_deterministic() {
+        let task = dot_task();
+        let cfg = ExampleConfig::default();
+        let e1 = generate_examples(&task, &cfg).unwrap();
+        let e2 = generate_examples(&task, &cfg).unwrap();
+        assert_eq!(e1.len(), cfg.count);
+        assert_eq!(e1[0].output, e2[0].output);
+    }
+
+    #[test]
+    fn validates_correct_template() {
+        let task = dot_task();
+        let examples = generate_examples(&task, &ExampleConfig::default()).unwrap();
+        let template = parse_program("a = b(i) * c(i)").unwrap();
+        let mut stats = ValidationStats::default();
+        let got = validate_template(&template, &task, &examples, |_, _| true, &mut stats)
+            .expect("dot template validates");
+        assert_eq!(got.to_string(), "out = a(i) * b(i)");
+        assert!(stats.substitutions_tried >= 1);
+        assert!(stats.io_passes >= 1);
+    }
+
+    #[test]
+    fn rejects_wrong_template() {
+        let task = dot_task();
+        let examples = generate_examples(&task, &ExampleConfig::default()).unwrap();
+        let template = parse_program("a = b(i) + c(i)").unwrap();
+        let mut stats = ValidationStats::default();
+        assert!(validate_template(&template, &task, &examples, |_, _| true, &mut stats)
+            .is_none());
+    }
+
+    #[test]
+    fn verifier_rejection_continues_search() {
+        // With a verifier that rejects everything, validation must
+        // exhaust all substitutions and fail.
+        let task = dot_task();
+        let examples = generate_examples(&task, &ExampleConfig::default()).unwrap();
+        let template = parse_program("a = b(i) * c(i)").unwrap();
+        let mut stats = ValidationStats::default();
+        let got = validate_template(&template, &task, &examples, |_, _| false, &mut stats);
+        assert!(got.is_none());
+        assert!(stats.io_passes >= 2, "b*c and c*b both pass I/O");
+    }
+
+    #[test]
+    fn dimensionally_unsound_substitutions_skipped() {
+        // Template wants a rank-2 tensor; dot task has none.
+        let task = dot_task();
+        let examples = generate_examples(&task, &ExampleConfig::default()).unwrap();
+        let template = parse_program("a = b(i,j) * c(j)").unwrap();
+        let mut stats = ValidationStats::default();
+        assert!(validate_template(&template, &task, &examples, |_, _| true, &mut stats)
+            .is_none());
+        assert_eq!(stats.substitutions_tried, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation tour: run every grammar configuration and a few penalty
+//! drops on one benchmark, showing how refinement, probabilities and
+//! penalties shape the search (the knobs behind Tables 2–3).
+//!
+//! ```sh
+//! cargo run --release --example ablation_tour [benchmark]
+//! ```
+
+use guided_tensor_lifting::benchsuite::by_name;
+use guided_tensor_lifting::oracle::SyntheticOracle;
+use guided_tensor_lifting::stagg::{GrammarMode, LiftQuery, Stagg, StaggConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "blas_gemv".into());
+    let b = by_name(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let query = LiftQuery {
+        label: b.name.to_string(),
+        source: b.source.to_string(),
+        task: b.lift_task(),
+        ground_truth: b.parse_ground_truth(),
+    };
+    println!("Benchmark: {}   (ground truth: {})\n", b.name, b.ground_truth);
+
+    let variants: Vec<(&str, StaggConfig)> = vec![
+        ("STAGG_TD", StaggConfig::top_down()),
+        (
+            "STAGG_TD.EqualProbability",
+            StaggConfig::top_down().with_grammar(GrammarMode::EqualProbability),
+        ),
+        (
+            "STAGG_TD.LLMGrammar",
+            StaggConfig::top_down().with_grammar(GrammarMode::LlmGrammar),
+        ),
+        (
+            "STAGG_TD.FullGrammar",
+            StaggConfig::top_down().with_grammar(GrammarMode::FullGrammar),
+        ),
+        ("STAGG_TD.Drop(A)", StaggConfig::top_down().drop_family("A")),
+        ("STAGG_TD.Drop(a2)", StaggConfig::top_down().drop_penalty("a2")),
+        ("STAGG_BU", StaggConfig::bottom_up()),
+        ("STAGG_BU.Drop(B)", StaggConfig::bottom_up().drop_family("B")),
+    ];
+
+    println!(
+        "{:<28} {:>7} {:>9} {:>12}   solution",
+        "configuration", "solved", "attempts", "time"
+    );
+    for (label, config) in variants {
+        let mut oracle = SyntheticOracle::default();
+        let report = Stagg::new(&mut oracle, config).lift(&query);
+        println!(
+            "{:<28} {:>7} {:>9} {:>12?}   {}",
+            label,
+            if report.solved() { "yes" } else { "no" },
+            report.attempts,
+            report.elapsed,
+            report
+                .solution
+                .as_ref()
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "—".to_string()),
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Lift the whole BLAS benchmark family with STAGG (top-down) and print
+//! a per-kernel report — a realistic "port this legacy library" workload,
+//! the scenario the paper's introduction motivates.
+//!
+//! ```sh
+//! cargo run --release --example lift_blas
+//! ```
+
+use guided_tensor_lifting::benchsuite::{all_benchmarks, Suite};
+use guided_tensor_lifting::oracle::SyntheticOracle;
+use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
+
+fn main() {
+    let blas: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == Suite::Blas)
+        .collect();
+    println!("Lifting {} BLAS kernels with STAGG_TD…\n", blas.len());
+
+    let mut solved = 0usize;
+    for b in &blas {
+        let query = LiftQuery {
+            label: b.name.to_string(),
+            source: b.source.to_string(),
+            task: b.lift_task(),
+            ground_truth: b.parse_ground_truth(),
+        };
+        let mut oracle = SyntheticOracle::default();
+        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        match &report.solution {
+            Some(s) => {
+                solved += 1;
+                println!(
+                    "✓ {:<18} {:<45} ({} attempts, {:?})",
+                    b.name,
+                    s.to_string(),
+                    report.attempts,
+                    report.elapsed
+                );
+            }
+            None => println!("✗ {:<18} failed: {:?}", b.name, report.failure),
+        }
+    }
+    println!("\nSolved {solved}/{} BLAS kernels.", blas.len());
+}

@@ -1,0 +1,95 @@
+//! Quickstart: lift the paper's running example (Fig. 2) end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The kernel is the pointer-walking matrix-vector product of Figure 2;
+//! the expected lifted program is `Result(i) = Mat1(i,j) * Mat2(j)`.
+
+use guided_tensor_lifting::oracle::{render_prompt, ScriptedOracle};
+use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
+use guided_tensor_lifting::taco::parse_program;
+use guided_tensor_lifting::validate::{LiftTask, TaskParam, TaskParamKind};
+
+const FIGURE2: &str = r#"
+void function(int N, int *Mat1, int *Mat2, int *Result) {
+    int *p_m1;
+    int *p_m2;
+    int *p_t;
+    int i, f;
+    p_m1 = Mat1;
+    p_t = Result;
+    for (f = 0; f < N; f++) {
+        *p_t = 0;
+        p_m2 = &Mat2[0];
+        for (i = 0; i < N; i++)
+            *p_t += *p_m1++ * *p_m2++;
+        p_t++;
+    }
+}
+"#;
+
+fn main() {
+    // The prompt STAGG would send to the LLM (Prompt 1 in the paper).
+    println!("== Prompt ==\n{}\n", render_prompt(FIGURE2.trim()));
+
+    // Replay the paper's Response 1 instead of calling a live model.
+    let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+
+    let program = guided_tensor_lifting::cfront::parse_c(FIGURE2).expect("Fig. 2 parses");
+    let query = LiftQuery {
+        label: "figure2".into(),
+        source: FIGURE2.into(),
+        task: LiftTask {
+            func: program.kernel().clone(),
+            params: vec![
+                TaskParam {
+                    name: "N".into(),
+                    kind: TaskParamKind::Size("N".into()),
+                },
+                TaskParam {
+                    name: "Mat1".into(),
+                    kind: TaskParamKind::ArrayIn {
+                        dims: vec!["N".into(), "N".into()],
+                        nonzero: false,
+                    },
+                },
+                TaskParam {
+                    name: "Mat2".into(),
+                    kind: TaskParamKind::ArrayIn {
+                        dims: vec!["N".into()],
+                        nonzero: false,
+                    },
+                },
+                TaskParam {
+                    name: "Result".into(),
+                    kind: TaskParamKind::ArrayOut {
+                        dims: vec!["N".into()],
+                    },
+                },
+            ],
+            output: 3,
+            constants: vec![0],
+        },
+        ground_truth: parse_program("Result(i) = Mat1(i,j) * Mat2(j)").expect("parses"),
+    };
+
+    let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+    let report = stagg.lift(&query);
+
+    println!("== Lifting report ==");
+    println!("candidates received : {}", report.candidates_received);
+    println!("candidates usable   : {}", report.candidates_parsed);
+    println!("predicted dim list  : {:?}", report.dim_list);
+    println!("templates attempted : {}", report.attempts);
+    println!("substitutions tried : {}", report.substitutions_tried);
+    println!("elapsed             : {:?}", report.elapsed);
+    match &report.solution {
+        Some(solution) => {
+            println!("\nLifted TACO program : {solution}");
+            println!("Winning template    : {}", report.template.unwrap());
+        }
+        None => println!("\nLifting failed: {:?}", report.failure),
+    }
+}

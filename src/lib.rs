@@ -1,0 +1,18 @@
+//! Umbrella crate for the Guided Tensor Lifting reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the real API surface.
+
+pub use gtl as stagg;
+pub use gtl_analysis as analysis;
+pub use gtl_baselines as baselines;
+pub use gtl_benchsuite as benchsuite;
+pub use gtl_cfront as cfront;
+pub use gtl_grammar as grammar;
+pub use gtl_oracle as oracle;
+pub use gtl_search as search;
+pub use gtl_taco as taco;
+pub use gtl_template as template;
+pub use gtl_tensor as tensor;
+pub use gtl_validate as validate;
+pub use gtl_verify as verify;

@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full STAGG pipeline against the
+//! benchmark suite.
+
+use guided_tensor_lifting::benchsuite::{all_benchmarks, by_name, Benchmark};
+use guided_tensor_lifting::oracle::{ScriptedOracle, SyntheticOracle};
+use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
+use guided_tensor_lifting::taco::evaluate;
+use guided_tensor_lifting::tensor::TensorGen;
+use guided_tensor_lifting::validate::ValueMode;
+
+fn query_for(b: &Benchmark) -> LiftQuery {
+    LiftQuery {
+        label: b.name.to_string(),
+        source: b.source.to_string(),
+        task: b.lift_task(),
+        ground_truth: b.parse_ground_truth(),
+    }
+}
+
+/// The paper's running example, driven by the paper's own LLM response.
+#[test]
+fn figure2_with_paper_response() {
+    let b = by_name("blas_gemv").expect("Fig. 2 benchmark exists");
+    let query = query_for(&b);
+    let mut oracle = ScriptedOracle::new().with_paper_response_1("blas_gemv");
+    let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+    assert_eq!(
+        report.solution.expect("Fig. 2 lifts").to_string(),
+        "Result(i) = Mat1(i,j) * Mat2(j)"
+    );
+    assert_eq!(report.dim_list, vec![1, 2, 1], "§2.1's dimension analysis");
+}
+
+/// A representative slice of the suite lifts end to end with the
+/// synthetic oracle, and every solution is semantically correct on a
+/// fresh input (independent of the pipeline's own verifier).
+#[test]
+fn representative_benchmarks_lift_and_check() {
+    let names = [
+        "blas_dot",
+        "blas_gemm",
+        "dn_bias_add",
+        "utdsp_mv",
+        "ds_vdiv",
+        "mf_outer",
+        "sa_ttv",
+        "llama_att_weighted",
+        "art_paren_mul",
+        "sa_mttkrp",
+    ];
+    for name in names {
+        let b = by_name(name).unwrap();
+        let query = query_for(&b);
+        let mut oracle = SyntheticOracle::default();
+        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        let solution = report
+            .solution
+            .unwrap_or_else(|| panic!("{name} failed: {:?}", report.failure));
+        // Independent differential check on an input the pipeline never saw.
+        let task = b.lift_task();
+        let mut gen = TensorGen::from_label(&format!("e2e-{name}"));
+        let sizes = task.default_sizes();
+        let instance = task
+            .instantiate(&sizes, &mut gen, ValueMode::Integers { lo: -6, hi: 6 })
+            .unwrap();
+        let legacy = task.run_reference(&instance).unwrap();
+        let lifted = evaluate(&solution, &instance.env).unwrap();
+        assert_eq!(legacy, lifted, "{name}: lifted program disagrees");
+    }
+}
+
+/// RQ2's structural claim: the bottom-up search cannot express
+/// parenthesised (balanced) ASTs; the top-down search can.
+#[test]
+fn bottom_up_misses_parenthesised_shapes() {
+    for name in ["art_paren_mul", "mf_lerp"] {
+        let b = by_name(name).unwrap();
+        let query = query_for(&b);
+        let mut oracle = SyntheticOracle::default();
+        let td = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        assert!(td.solved(), "{name}: TD should solve");
+        let mut oracle = SyntheticOracle::default();
+        let bu = Stagg::new(&mut oracle, StaggConfig::bottom_up()).lift(&query);
+        assert!(!bu.solved(), "{name}: BU cannot express balanced ASTs");
+    }
+}
+
+/// Determinism: two identical runs give byte-identical outcomes.
+#[test]
+fn lifting_is_deterministic() {
+    let b = by_name("blas_gemv").unwrap();
+    let query = query_for(&b);
+    let run = || {
+        let mut oracle = SyntheticOracle::default();
+        Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query)
+    };
+    let r1 = run();
+    let r2 = run();
+    assert_eq!(r1.solution, r2.solution);
+    assert_eq!(r1.attempts, r2.attempts);
+    assert_eq!(r1.nodes_expanded, r2.nodes_expanded);
+}
+
+/// The static analysis predicts the correct LHS rank for every benchmark
+/// in the suite (it is the pillar grammar refinement stands on).
+#[test]
+fn lhs_prediction_correct_across_suite() {
+    for b in all_benchmarks() {
+        let program = b.parse_source().unwrap();
+        let facts = guided_tensor_lifting::analysis::analyze_kernel(program.kernel());
+        let (_, dims) = b.output_param();
+        assert_eq!(
+            facts.lhs_dim,
+            Some(dims.len()),
+            "{}: LHS rank misprediction",
+            b.name
+        );
+    }
+}
+
+/// Every benchmark's ground truth passes the pipeline's own bounded
+/// verifier (sanity of the §7 substitute).
+#[test]
+fn ground_truths_verify() {
+    for b in all_benchmarks() {
+        let task = b.lift_task();
+        let gt = b.parse_ground_truth();
+        let outcome = guided_tensor_lifting::verify::verify_candidate(
+            &task,
+            &gt,
+            &guided_tensor_lifting::verify::VerifyConfig::default(),
+        );
+        assert!(
+            outcome.is_equivalent(),
+            "{}: ground truth failed verification: {outcome:?}",
+            b.name
+        );
+    }
+}

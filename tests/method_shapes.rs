@@ -1,0 +1,100 @@
+//! Relative-shape assertions between methods and ablations — the
+//! qualitative claims of the paper's §8, checked as invariants on a small
+//! benchmark slice so they run in test time.
+
+use guided_tensor_lifting::baselines::{
+    c2taco_lift, tenspiler_lift, C2TacoConfig, TenspilerConfig,
+};
+use guided_tensor_lifting::benchsuite::by_name;
+use guided_tensor_lifting::oracle::SyntheticOracle;
+use guided_tensor_lifting::stagg::{GrammarMode, LiftQuery, Stagg, StaggConfig};
+
+fn query(name: &str) -> LiftQuery {
+    let b = by_name(name).unwrap();
+    LiftQuery {
+        label: b.name.to_string(),
+        source: b.source.to_string(),
+        task: b.lift_task(),
+        ground_truth: b.parse_ground_truth(),
+    }
+}
+
+fn stagg_attempts(name: &str, config: StaggConfig) -> Option<u64> {
+    let q = query(name);
+    let mut oracle = SyntheticOracle::default();
+    let report = Stagg::new(&mut oracle, config).lift(&q);
+    report.solved().then_some(report.attempts)
+}
+
+/// RQ4: grammar refinement prunes the search — the refined grammar needs
+/// far fewer attempts than the full grammar on the same query.
+#[test]
+fn refinement_reduces_attempts() {
+    for name in ["blas_gemv", "blas_gemm", "utdsp_mv"] {
+        let refined =
+            stagg_attempts(name, StaggConfig::top_down()).expect("refined solves");
+        let full = stagg_attempts(
+            name,
+            StaggConfig::top_down().with_grammar(GrammarMode::FullGrammar),
+        )
+        .expect("full grammar solves simple queries");
+        assert!(
+            refined * 3 <= full,
+            "{name}: refined {refined} vs full {full} attempts"
+        );
+    }
+}
+
+/// RQ1: STAGG solves what C2TACO solves; C2TACO's heuristics make it
+/// faster than its unrestricted variant.
+#[test]
+fn c2taco_heuristics_prune() {
+    let q = query("blas_gemv");
+    let with = c2taco_lift(&q, &C2TacoConfig::default());
+    let without = c2taco_lift(
+        &q,
+        &C2TacoConfig {
+            heuristics: false,
+            ..C2TacoConfig::default()
+        },
+    );
+    assert!(with.solved() && without.solved());
+    assert!(with.attempts < without.attempts);
+}
+
+/// Tenspiler's profile: in-library queries solve in few attempts;
+/// out-of-library queries fail after exhausting the operator library.
+#[test]
+fn tenspiler_is_library_bound() {
+    let hit = tenspiler_lift(&query("blas_gemm"), &TenspilerConfig::default());
+    assert!(hit.solved());
+    let library_size = guided_tensor_lifting::baselines::tenspiler_library().len() as u64;
+    assert!(hit.attempts <= library_size);
+    let miss = tenspiler_lift(&query("sa_mttkrp"), &TenspilerConfig::default());
+    assert!(!miss.solved());
+    assert_eq!(miss.attempts, library_size, "tried the whole library");
+}
+
+/// Dropping the whole penalty family still solves easy queries (penalties
+/// are heuristics, not correctness) — Table 2's Drop(A) row.
+#[test]
+fn penalties_are_not_needed_for_easy_queries() {
+    let report = stagg_attempts("blas_dot", StaggConfig::top_down().drop_family("A"));
+    assert!(report.is_some());
+}
+
+/// EqualProbability still solves gemv but needs at least as many
+/// attempts as the learned grammar (Table 3's probability contribution).
+#[test]
+fn probabilities_guide_the_search() {
+    let learned = stagg_attempts("blas_gemv", StaggConfig::top_down()).unwrap();
+    let equal = stagg_attempts(
+        "blas_gemv",
+        StaggConfig::top_down().with_grammar(GrammarMode::EqualProbability),
+    )
+    .unwrap();
+    assert!(
+        learned <= equal,
+        "learned {learned} should not exceed equal {equal}"
+    );
+}

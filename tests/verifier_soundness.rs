@@ -1,0 +1,181 @@
+//! Fault injection against the bounded verifier (§7 substitute): every
+//! structural corruption of a ground-truth program must be rejected,
+//! across the whole suite. This is the soundness evidence for replacing
+//! CBMC with multi-shape Schwartz–Zippel differential testing.
+
+use guided_tensor_lifting::benchsuite::all_benchmarks;
+use guided_tensor_lifting::taco::{BinOp, Expr, TacoProgram};
+use guided_tensor_lifting::template::templatize;
+use guided_tensor_lifting::verify::{verify_candidate, VerifyConfig, VerifyOutcome};
+
+/// Structured corruptions of a program. Unlike the oracle's random
+/// mutations these are systematic, and each is checked to produce a
+/// program that is *syntactically* different from the original.
+fn corruptions(p: &TacoProgram) -> Vec<(String, TacoProgram)> {
+    let mut out = Vec::new();
+
+    // Swap the top-level operator (if any).
+    if let Expr::Binary { op, lhs, rhs } = &p.rhs {
+        for new_op in BinOp::ALL {
+            if new_op != *op {
+                out.push((
+                    format!("op {op:?}→{new_op:?}"),
+                    TacoProgram::new(
+                        p.lhs.clone(),
+                        Expr::Binary {
+                            op: new_op,
+                            lhs: lhs.clone(),
+                            rhs: rhs.clone(),
+                        },
+                    ),
+                ));
+            }
+        }
+        // Drop the right operand.
+        out.push((
+            "drop rhs operand".into(),
+            TacoProgram::new(p.lhs.clone(), (**lhs).clone()),
+        ));
+    }
+
+    // Transpose the first rank-≥2 access.
+    let mut transposed = p.clone();
+    if let Some(acc) = first_access_mut(&mut transposed.rhs, 2) {
+        acc.indices.swap(0, 1);
+        if transposed != *p {
+            out.push(("transpose access".into(), transposed));
+        }
+    }
+
+    // Retarget the first index of the first indexed access.
+    let mut retargeted = p.clone();
+    if let Some(acc) = first_access_mut(&mut retargeted.rhs, 1) {
+        let current = acc.indices[0].as_str().to_string();
+        let replacement = ["i", "j", "k", "l"]
+            .iter()
+            .find(|v| **v != current)
+            .unwrap();
+        acc.indices[0] = (*replacement).into();
+        if retargeted != *p {
+            out.push(("retarget index".into(), retargeted));
+        }
+    }
+
+    // Some corruptions are semantically neutral and must not count as
+    // corruptions at all:
+    // - pure α-renamings (index standardisation maps both to the same
+    //   template), e.g. `out = a(j)` for `out = a(i)`;
+    // - transposing an access whose indices are all summed exactly once
+    //   over that single access, e.g. `out = A(j,i)` for `out = A(i,j)`
+    //   (a full reduction is transpose-invariant).
+    let original_template = templatize(p).ok();
+    out.retain(|(label, c)| {
+        if templatize(c).ok() == original_template && original_template.is_some() {
+            return false;
+        }
+        if label == "transpose access" && is_single_full_reduction(p) {
+            return false;
+        }
+        true
+    });
+    out
+}
+
+/// A program of the form `scalar = <single access>` sums every element:
+/// index order inside that access cannot matter.
+fn is_single_full_reduction(p: &TacoProgram) -> bool {
+    p.lhs.rank() == 0 && matches!(p.rhs, Expr::Access(_))
+}
+
+fn first_access_mut(
+    e: &mut Expr,
+    min_rank: usize,
+) -> Option<&mut guided_tensor_lifting::taco::Access> {
+    match e {
+        Expr::Access(a) if a.rank() >= min_rank => Some(a),
+        Expr::Access(_) | Expr::Const(_) | Expr::ConstSym(_) => None,
+        Expr::Neg(inner) => first_access_mut(inner, min_rank),
+        Expr::Binary { lhs, rhs, .. } => {
+            if first_access_mut(lhs, min_rank).is_some() {
+                return first_access_mut(lhs, min_rank);
+            }
+            first_access_mut(rhs, min_rank)
+        }
+    }
+}
+
+#[test]
+fn corrupted_ground_truths_are_rejected() {
+    let cfg = VerifyConfig::default();
+    let mut checked = 0usize;
+    let mut false_accepts = Vec::new();
+    for b in all_benchmarks() {
+        let task = b.lift_task();
+        let gt = b.parse_ground_truth();
+        for (label, corrupted) in corruptions(&gt) {
+            checked += 1;
+            let outcome = verify_candidate(&task, &corrupted, &cfg);
+            if matches!(outcome, VerifyOutcome::Equivalent) {
+                // A corruption may coincidentally be semantically
+                // equivalent (e.g. operator swap on a symmetric kernel);
+                // record it and assert these stay rare and explainable.
+                false_accepts.push(format!("{}: {label}: {corrupted}", b.name));
+            }
+        }
+    }
+    assert!(checked > 150, "expected many corruptions, got {checked}");
+    assert!(
+        false_accepts.is_empty(),
+        "verifier accepted corrupted programs:\n{}",
+        false_accepts.join("\n")
+    );
+}
+
+#[test]
+fn wrong_substitution_targets_are_rejected() {
+    // Binding a template to the wrong argument must fail verification
+    // even when shapes agree.
+    let b = guided_tensor_lifting::benchsuite::by_name("blas_dot").unwrap();
+    let task = b.lift_task();
+    let wrong = guided_tensor_lifting::taco::parse_program("out = x(i) * x(i)").unwrap();
+    let outcome = verify_candidate(&task, &wrong, &VerifyConfig::default());
+    assert!(!outcome.is_equivalent(), "x·x is not x·y");
+}
+
+#[test]
+fn exhaustive_mode_agrees_on_small_kernels() {
+    use guided_tensor_lifting::verify::{verify_exhaustive, ExhaustiveConfig, ExhaustiveOutcome};
+    // Small kernels fit the exhaustive bound; truth must pass and an
+    // operator corruption must fail, mirroring the randomised checker.
+    for name in ["blas_dot", "mf_vadd", "blas_copy", "sa_add_scalar"] {
+        let b = guided_tensor_lifting::benchsuite::by_name(name).unwrap();
+        let task = b.lift_task();
+        let gt = b.parse_ground_truth();
+        let cfg = ExhaustiveConfig::default();
+        match verify_exhaustive(&task, &gt, &cfg) {
+            ExhaustiveOutcome::Equivalent { points } => {
+                assert!(points > 0, "{name}: no points enumerated")
+            }
+            other => panic!("{name}: ground truth rejected exhaustively: {other:?}"),
+        }
+        for (_, corrupted) in corruptions(&gt) {
+            let outcome = verify_exhaustive(&task, &corrupted, &cfg);
+            assert!(
+                !outcome.is_equivalent(),
+                "{name}: exhaustive check accepted corruption {corrupted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_refuses_large_spaces() {
+    use guided_tensor_lifting::verify::{verify_exhaustive, ExhaustiveConfig, ExhaustiveOutcome};
+    let b = guided_tensor_lifting::benchsuite::by_name("sa_mttkrp").unwrap();
+    let outcome = verify_exhaustive(
+        &b.lift_task(),
+        &b.parse_ground_truth(),
+        &ExhaustiveConfig::default(),
+    );
+    assert!(matches!(outcome, ExhaustiveOutcome::TooLarge { .. }));
+}
