@@ -1,0 +1,181 @@
+//! The batch suite runner: lifts whole benchmark suites concurrently
+//! and emits per-benchmark timing/outcome JSON (the feed behind the
+//! fig9/fig10 tables).
+//!
+//! ```text
+//! batch_suite [--jobs N] [--suites simple,artificial | --all | --real]
+//!             [--method td|bu] [--search-jobs N] [--json PATH]
+//!             [--compare-sequential]
+//! ```
+//!
+//! `--jobs` parallelises *across benchmarks* (the embarrassingly
+//! parallel axis); `--search-jobs` additionally parallelises the
+//! template search *inside* each lift. `--compare-sequential` reruns the
+//! batch with one worker and reports the wall-clock speedup, asserting
+//! per-benchmark outcome classifications match.
+
+use std::collections::BTreeMap;
+
+use gtl::StaggConfig;
+use gtl_bench::{batch_json, run_method_batch, Method};
+use gtl_benchsuite::{all_benchmarks, real_world_benchmarks, suite_from_name, Benchmark};
+
+struct Args {
+    jobs: usize,
+    search_jobs: usize,
+    suites: Option<Vec<String>>,
+    real_only: bool,
+    method: String,
+    json_path: Option<String>,
+    compare_sequential: bool,
+}
+
+const USAGE: &str = "usage: batch_suite [--jobs N] [--suites simple,artificial | --all | --real] \
+[--method td|bu] [--search-jobs N] [--json PATH] [--compare-sequential]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("batch_suite: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        search_jobs: 1,
+        suites: None,
+        real_only: false,
+        method: "td".into(),
+        json_path: None,
+        compare_sequential: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        let int_value = |name: &str, raw: String| -> usize {
+            raw.parse()
+                .unwrap_or_else(|_| usage_error(&format!("{name} expects an integer, got `{raw}`")))
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = int_value("--jobs", value("--jobs")),
+            "--search-jobs" => {
+                args.search_jobs = int_value("--search-jobs", value("--search-jobs"))
+            }
+            "--suites" => {
+                args.suites =
+                    Some(value("--suites").split(',').map(str::to_string).collect())
+            }
+            "--all" => args.suites = None,
+            "--real" => args.real_only = true,
+            "--method" => args.method = value("--method"),
+            "--json" => args.json_path = Some(value("--json")),
+            "--compare-sequential" => args.compare_sequential = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    args.jobs = args.jobs.max(1);
+    args.search_jobs = args.search_jobs.max(1);
+    args
+}
+
+fn selected_benchmarks(args: &Args) -> Vec<Benchmark> {
+    if args.real_only {
+        return real_world_benchmarks();
+    }
+    match &args.suites {
+        None => all_benchmarks(),
+        Some(names) => {
+            let mut out = Vec::new();
+            for name in names {
+                let suite = suite_from_name(name).unwrap_or_else(|| {
+                    usage_error(&format!(
+                        "unknown suite `{name}` (blas, darknet, utdsp, dspstone, mathfu, simple, llama, artificial)"
+                    ))
+                });
+                out.extend(gtl_benchsuite::by_suite(suite));
+            }
+            out
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let benchmarks = selected_benchmarks(&args);
+    let config = match args.method.as_str() {
+        "bu" => StaggConfig::bottom_up(),
+        "td" => StaggConfig::top_down(),
+        other => usage_error(&format!("unknown method `{other}` (td|bu)")),
+    }
+    .with_jobs(args.search_jobs);
+    let method = Method::stagg_variant(
+        &format!("STAGG_{}", args.method.to_uppercase()),
+        config,
+    );
+
+    eprintln!(
+        "batch: {} benchmarks, {} jobs, search-jobs {}",
+        benchmarks.len(),
+        args.jobs,
+        args.search_jobs
+    );
+    let batch = run_method_batch(&method, &benchmarks, args.jobs);
+
+    // Per-suite summary on stderr; JSON on stdout / file.
+    let mut per_suite: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (r, b) in batch.suite.results.iter().zip(&benchmarks) {
+        let entry = per_suite.entry(b.suite.cli_name()).or_default();
+        entry.1 += 1;
+        if r.solved {
+            entry.0 += 1;
+        }
+    }
+    for (suite, (solved, total)) in &per_suite {
+        eprintln!("  {suite:<12} {solved}/{total} solved");
+    }
+    eprintln!(
+        "  wall {:.2}s, cpu {:.2}s, solved {}/{}",
+        batch.wall.as_secs_f64(),
+        batch.cpu_seconds(),
+        batch.suite.solved(),
+        batch.suite.results.len()
+    );
+
+    if args.compare_sequential {
+        eprintln!("rerunning with jobs = 1 for comparison…");
+        let sequential = run_method_batch(&method, &benchmarks, 1);
+        let mismatches: Vec<&str> = batch
+            .suite
+            .results
+            .iter()
+            .zip(&sequential.suite.results)
+            .filter(|(p, s)| p.solved != s.solved)
+            .map(|(p, _)| p.name.as_str())
+            .collect();
+        assert!(
+            mismatches.is_empty(),
+            "outcome classification diverged between jobs={} and jobs=1: {mismatches:?}",
+            batch.jobs
+        );
+        eprintln!(
+            "  sequential wall {:.2}s → speedup {:.2}x, outcomes identical",
+            sequential.wall.as_secs_f64(),
+            sequential.wall.as_secs_f64() / batch.wall.as_secs_f64().max(1e-9)
+        );
+    }
+
+    let json = batch_json(&batch, &benchmarks);
+    match &args.json_path {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write JSON output");
+            eprintln!("  wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -13,4 +13,7 @@ pub mod runner;
 pub mod tables;
 
 pub use methods::{Method, MethodKind};
-pub use runner::{query_for, run_method, run_method_on, MethodResult, SuiteResult};
+pub use runner::{
+    batch_json, query_for, run_method, run_method_batch, run_method_on, BatchResult,
+    MethodResult, SuiteResult,
+};

@@ -1,7 +1,15 @@
 //! Shared evaluation runner: applies one method to a set of benchmarks
 //! and aggregates the statistics the paper's tables report.
+//!
+//! [`run_method_batch`] is the parallel batch runner: it fans the
+//! benchmark set out over a worker pool (each worker runs whole lifts,
+//! so per-benchmark results are identical to a sequential run — only
+//! completion order differs) and records wall-clock time for
+//! throughput reporting.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use gtl::LiftQuery;
 use gtl_benchsuite::Benchmark;
@@ -140,4 +148,145 @@ pub fn run_method(method: &Method) -> SuiteResult {
 /// Pretty seconds for table cells.
 pub fn fmt_seconds(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
+}
+
+/// The outcome of one parallel batch run over a benchmark set.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-benchmark outcomes, in the input benchmark order (independent
+    /// of completion order).
+    pub suite: SuiteResult,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Worker count the batch ran with.
+    pub jobs: usize,
+}
+
+impl BatchResult {
+    /// Sum of per-benchmark end-to-end seconds (the sequential-time
+    /// estimate a speedup is measured against).
+    pub fn cpu_seconds(&self) -> f64 {
+        self.suite.results.iter().map(|r| r.seconds).sum()
+    }
+}
+
+/// Runs one method over a benchmark set with `jobs` worker threads.
+///
+/// Each worker claims whole benchmarks from a shared cursor, so lifts
+/// share no mutable state and each is deterministic given its query.
+/// Per-benchmark verified/failed outcomes therefore match `jobs = 1`
+/// as long as wall-clock search budgets are not the binding constraint:
+/// oversubscribing cores inflates each lift's elapsed time, and a
+/// benchmark that solves close to its `time_limit` alone can tip into
+/// `BudgetExceeded` under contention.
+pub fn run_method_batch(
+    method: &Method,
+    benchmarks: &[Benchmark],
+    jobs: usize,
+) -> BatchResult {
+    let started = Instant::now();
+    let jobs = jobs.clamp(1, benchmarks.len().max(1));
+    let results: Vec<MethodResult> = if jobs <= 1 {
+        benchmarks
+            .iter()
+            .map(|b| method.run(&query_for(b)))
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<MethodResult>>> =
+            benchmarks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::SeqCst);
+                    let Some(b) = benchmarks.get(i) else { break };
+                    let result = method.run(&query_for(b));
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every benchmark ran")
+            })
+            .collect()
+    };
+    BatchResult {
+        suite: SuiteResult {
+            method: method.name(),
+            results,
+        },
+        wall: started.elapsed(),
+        jobs,
+    }
+}
+
+/// Renders a batch as one JSON document with per-benchmark
+/// timing/outcome rows (the machine-readable feed for the fig9/fig10
+/// tables). `benchmarks` must be the slice the batch ran over, in the
+/// same order (it supplies the suite of each row).
+pub fn batch_json(batch: &BatchResult, benchmarks: &[Benchmark]) -> String {
+    assert_eq!(
+        batch.suite.results.len(),
+        benchmarks.len(),
+        "benchmark slice must match the batch"
+    );
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"method\": \"{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.6},\n  \"cpu_seconds\": {:.6},\n  \"solved\": {},\n  \"total\": {},\n  \"results\": [\n",
+        json_escape(&batch.suite.method),
+        batch.jobs,
+        batch.wall.as_secs_f64(),
+        batch.cpu_seconds(),
+        batch.suite.solved(),
+        batch.suite.results.len(),
+    ));
+    for (n, (r, b)) in batch.suite.results.iter().zip(benchmarks).enumerate() {
+        let comma = if n + 1 < batch.suite.results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"suite\": \"{}\", \"solved\": {}, \"seconds\": {:.6}, \"attempts\": {}}}{comma}\n",
+            json_escape(&r.name),
+            b.suite.cli_name(),
+            r.solved,
+            r.seconds,
+            r.attempts,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape;
+
+    #[test]
+    fn json_escape_covers_all_control_characters() {
+        assert_eq!(json_escape("plain-name_9"), "plain-name_9");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("a\nb\rc\td"), "a\\nb\\rc\\td");
+        assert_eq!(json_escape("x\u{1}y\u{1f}z"), "x\\u0001y\\u001fz");
+        assert_eq!(json_escape("unicode é ✓"), "unicode é ✓");
+    }
 }

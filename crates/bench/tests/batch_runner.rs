@@ -1,0 +1,64 @@
+//! The batch suite runner must be a pure parallelisation: per-benchmark
+//! outcomes identical to the sequential runner, results in input order,
+//! well-formed JSON.
+
+use gtl_bench::{batch_json, run_method_batch, run_method_on, Method};
+use gtl_benchsuite::{by_name, Benchmark};
+
+fn small_set() -> Vec<Benchmark> {
+    ["blas_dot", "mf_vadd", "blas_copy", "sa_add_scalar", "ds_vdiv", "blas_gemv"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect()
+}
+
+#[test]
+fn batch_outcomes_match_sequential_runner() {
+    let set = small_set();
+    let method = Method::stagg_td();
+    let sequential = run_method_on(&method, &set);
+    let batch = run_method_batch(&method, &set, 4);
+    assert_eq!(batch.jobs.min(set.len()), batch.jobs, "jobs clamped to set size");
+    assert_eq!(batch.suite.results.len(), sequential.results.len());
+    for (p, s) in batch.suite.results.iter().zip(&sequential.results) {
+        assert_eq!(p.name, s.name, "batch must preserve input order");
+        assert_eq!(p.solved, s.solved, "{}: classification diverged", p.name);
+        assert_eq!(p.attempts, s.attempts, "{}: attempts diverged", p.name);
+    }
+}
+
+#[test]
+fn batch_with_one_job_equals_run_method_on() {
+    let set = small_set();
+    let method = Method::stagg_td();
+    let a = run_method_on(&method, &set);
+    let b = run_method_batch(&method, &set, 1);
+    for (x, y) in a.results.iter().zip(&b.suite.results) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.solved, y.solved);
+        assert_eq!(x.attempts, y.attempts);
+    }
+}
+
+#[test]
+fn batch_json_is_well_formed_and_complete() {
+    let set = small_set();
+    let method = Method::stagg_td();
+    let batch = run_method_batch(&method, &set, 2);
+    let json = batch_json(&batch, &set);
+    // Structural sanity without a JSON parser: balanced braces/brackets,
+    // one row per benchmark, every name present.
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced braces:\n{json}"
+    );
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert_eq!(json.matches("\"benchmark\":").count(), set.len());
+    for b in &set {
+        assert!(json.contains(b.name), "row for {} missing", b.name);
+        assert!(json.contains(b.suite.cli_name()));
+    }
+    assert!(json.contains("\"jobs\": 2"));
+    assert!(json.contains("\"wall_seconds\":"));
+}

@@ -54,6 +54,30 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
     all_benchmarks().into_iter().find(|b| b.name == name)
 }
 
+/// All benchmarks of one suite, in suite order.
+pub fn by_suite(suite: Suite) -> Vec<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == suite)
+        .collect()
+}
+
+/// Parses a suite from its CLI name (`blas`, `darknet`, `utdsp`,
+/// `dspstone`, `mathfu`, `simple`, `llama`, `artificial`).
+pub fn suite_from_name(name: &str) -> Option<Suite> {
+    Some(match name {
+        "blas" => Suite::Blas,
+        "darknet" => Suite::Darknet,
+        "utdsp" => Suite::Utdsp,
+        "dspstone" => Suite::Dspstone,
+        "mathfu" => Suite::Mathfu,
+        "simple" => Suite::SimpleArray,
+        "llama" => Suite::Llama,
+        "artificial" => Suite::Artificial,
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +159,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn suite_lookup_roundtrips() {
+        for b in all_benchmarks() {
+            assert_eq!(suite_from_name(b.suite.cli_name()), Some(b.suite));
+        }
+        let simple = by_suite(Suite::SimpleArray);
+        assert!(!simple.is_empty());
+        assert!(simple.iter().all(|b| b.suite == Suite::SimpleArray));
+        assert_eq!(suite_from_name("nope"), None);
     }
 
     #[test]

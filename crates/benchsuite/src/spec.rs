@@ -39,6 +39,21 @@ impl Suite {
     pub fn is_real_world(self) -> bool {
         !matches!(self, Suite::Artificial)
     }
+
+    /// The stable CLI/JSON name of the suite (the inverse of
+    /// [`crate::suite_from_name`]).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Suite::Blas => "blas",
+            Suite::Darknet => "darknet",
+            Suite::Utdsp => "utdsp",
+            Suite::Dspstone => "dspstone",
+            Suite::Mathfu => "mathfu",
+            Suite::SimpleArray => "simple",
+            Suite::Llama => "llama",
+            Suite::Artificial => "artificial",
+        }
+    }
 }
 
 /// Logical description of one kernel parameter.

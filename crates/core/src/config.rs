@@ -47,6 +47,12 @@ pub struct StaggConfig {
     pub full_grammar_tensors: usize,
     /// Maximum tensor dimension in the unrefined full grammar.
     pub full_grammar_max_dim: usize,
+    /// Worker threads for the search + validate + verify stage. `1` (the
+    /// default) runs the sequential engine, bit-identical to the paper
+    /// artifact; `> 1` runs the parallel engine, which preserves outcome
+    /// classification but may return a different (semantically
+    /// equivalent) verified program first.
+    pub jobs: usize,
 }
 
 impl StaggConfig {
@@ -61,6 +67,7 @@ impl StaggConfig {
             verify: VerifyConfig::default(),
             full_grammar_tensors: 4,
             full_grammar_max_dim: 3,
+            jobs: 1,
         }
     }
 
@@ -110,6 +117,13 @@ impl StaggConfig {
     /// Replaces the search budget.
     pub fn with_budget(mut self, budget: SearchBudget) -> StaggConfig {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the worker-thread count for the search stage (`1` =
+    /// sequential; `0` is treated as `1`).
+    pub fn with_jobs(mut self, jobs: usize) -> StaggConfig {
+        self.jobs = jobs.max(1);
         self
     }
 }

@@ -11,7 +11,8 @@ use std::time::Instant;
 use gtl_analysis::analyze_kernel;
 use gtl_oracle::{Oracle, OracleQuery};
 use gtl_search::{
-    bottom_up_search, top_down_search, CheckOutcome, PenaltyContext, SearchOutcome,
+    bottom_up_search, parallel_bottom_up_search, parallel_top_down_search, top_down_search,
+    CheckOutcome, ParallelOptions, PenaltyContext, SearchOutcome,
 };
 use gtl_taco::{parse_program, preprocess_candidate, TacoProgram};
 use gtl_template::{
@@ -21,7 +22,8 @@ use gtl_template::{
     TemplateGrammar,
 };
 use gtl_validate::{
-    generate_examples, validate_template, IoExample, LiftTask, ValidationStats,
+    generate_examples, validate_template, IoExample, LiftTask, SharedValidationStats,
+    ValidationStats,
 };
 use gtl_verify::verify_candidate;
 
@@ -164,26 +166,69 @@ impl<'o> Stagg<'o> {
         let mut vstats = ValidationStats::default();
         let task = &query.task;
         let verify_cfg = self.config.verify;
-        let mut checker = |template: &TacoProgram| -> CheckOutcome {
-            match validate_template(
-                template,
-                task,
-                &examples,
-                |concrete, _sub| verify_candidate(task, concrete, &verify_cfg).is_equivalent(),
-                &mut vstats,
-            ) {
-                Some(concrete) => CheckOutcome::Verified(concrete),
-                None => CheckOutcome::Failed,
-            }
-        };
 
-        // ③ Search.
-        let outcome: SearchOutcome = match self.config.mode {
-            SearchMode::TopDown => {
-                top_down_search(&grammar, &ctx, self.config.budget, &mut checker)
-            }
-            SearchMode::BottomUp => {
-                bottom_up_search(&grammar, &ctx, self.config.budget, &mut checker)
+        // The one checking contract both engines share: validate the
+        // template's substitutions on the examples, verify survivors.
+        let check_template =
+            |template: &TacoProgram, stats: &mut ValidationStats| -> CheckOutcome {
+                match validate_template(
+                    template,
+                    task,
+                    &examples,
+                    |concrete, _sub| {
+                        verify_candidate(task, concrete, &verify_cfg).is_equivalent()
+                    },
+                    stats,
+                ) {
+                    Some(concrete) => CheckOutcome::Verified(concrete),
+                    None => CheckOutcome::Failed,
+                }
+            };
+
+        // ③ Search — sequential (`jobs = 1`, bit-identical to the paper
+        // artifact) or the parallel engine with one private checker per
+        // worker and shared, atomic validation statistics.
+        let outcome: SearchOutcome = if self.config.jobs > 1 {
+            let opts = ParallelOptions::with_jobs(self.config.jobs);
+            let shared_stats = SharedValidationStats::default();
+            let shared = &shared_stats;
+            let check_template = &check_template;
+            let make_checker = move |_worker: usize| {
+                move |template: &TacoProgram| -> CheckOutcome {
+                    let mut local = ValidationStats::default();
+                    let result = check_template(template, &mut local);
+                    shared.add(&local);
+                    result
+                }
+            };
+            let out = match self.config.mode {
+                SearchMode::TopDown => parallel_top_down_search(
+                    &grammar,
+                    &ctx,
+                    self.config.budget,
+                    opts,
+                    make_checker,
+                ),
+                SearchMode::BottomUp => parallel_bottom_up_search(
+                    &grammar,
+                    &ctx,
+                    self.config.budget,
+                    opts,
+                    make_checker,
+                ),
+            };
+            vstats = shared_stats.snapshot();
+            out
+        } else {
+            let mut checker =
+                |template: &TacoProgram| check_template(template, &mut vstats);
+            match self.config.mode {
+                SearchMode::TopDown => {
+                    top_down_search(&grammar, &ctx, self.config.budget, &mut checker)
+                }
+                SearchMode::BottomUp => {
+                    bottom_up_search(&grammar, &ctx, self.config.budget, &mut checker)
+                }
             }
         };
 
@@ -297,6 +342,29 @@ mod tests {
         let report = stagg.lift(&query);
         assert!(report.solved(), "failure: {:?}", report.failure);
         assert!(report.attempts >= 1);
+    }
+
+    #[test]
+    fn parallel_jobs_lift_figure2_with_matching_classification() {
+        let query = figure2_query();
+        let run = |jobs: usize| {
+            let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+            let cfg = StaggConfig::top_down().with_jobs(jobs);
+            Stagg::new(&mut oracle, cfg).lift(&query)
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.solved(), par.solved(), "classification must agree");
+        assert!(par.solved(), "parallel failure: {:?}", par.failure);
+        // Both solutions must verify against the legacy kernel (they may
+        // be distinct but semantically equivalent programs).
+        let outcome = gtl_verify::verify_candidate(
+            &query.task,
+            par.solution.as_ref().unwrap(),
+            &StaggConfig::top_down().verify,
+        );
+        assert!(outcome.is_equivalent());
+        assert!(par.substitutions_tried >= 1, "shared stats must flow back");
     }
 
     #[test]

@@ -57,7 +57,13 @@ pub struct OracleQuery<'a> {
 }
 
 /// Something that proposes candidate TACO translations for a C kernel.
-pub trait Oracle {
+///
+/// `Send` is an intentional API constraint, not a present-day need: the
+/// batch runner constructs its oracles inside each worker thread, but a
+/// serving layer that owns boxed oracles and dispatches lifts to a pool
+/// must be able to move them across threads. Both bundled
+/// implementations are plain data and satisfy it automatically.
+pub trait Oracle: Send {
     /// Returns raw candidate lines (unparsed, possibly malformed — the
     /// pipeline preprocesses and discards invalid ones, §4).
     fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String>;

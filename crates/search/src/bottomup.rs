@@ -1,19 +1,12 @@
 //! Algorithm 2: bottom-up A\* over the tail grammar (§5.2).
 
-use std::collections::BinaryHeap;
-
+use gtl_taco::TacoProgram;
 use gtl_template::{GrammarShape, TemplateGrammar};
 
-use crate::driver::{
-    CheckOutcome, Priority, RunState, SearchBudget, SearchOutcome, TemplateChecker,
-};
+use crate::driver::{SearchBudget, SearchOutcome, TemplateChecker};
+use crate::frontier::{run_sequential, Child, Expand};
 use crate::node::{bu_tree_to_program, tree_facts, CostModel, Tree};
 use crate::penalty::{bu_penalty, PenaltyContext};
-
-struct Node {
-    tree: Tree,
-    cost: f64,
-}
 
 /// The bottom-up completion estimate g(x) of §5.2: the sum, over chain
 /// positions not yet filled, of the minimal cost m(d) of adding a tensor
@@ -62,94 +55,109 @@ pub fn bottom_up_search(
     budget: SearchBudget,
     checker: &mut dyn TemplateChecker,
 ) -> SearchOutcome {
-    assert_eq!(
-        grammar.shape,
-        GrammarShape::BottomUp,
-        "bottom_up_search requires a bottom-up grammar"
-    );
-    let costs = CostModel::new(&grammar.pcfg);
-    let mut state = RunState::new(budget);
-    let mut queue: BinaryHeap<(Priority, usize)> = BinaryHeap::new();
-    let mut arena: Vec<Node> = Vec::new();
+    let exp = BuExpand::new(grammar, ctx);
+    run_sequential(&exp, budget, checker)
+}
 
-    queue.push((Priority(0.0), 0));
-    arena.push(Node {
-        tree: Tree::Hole(grammar.pcfg.start()),
-        cost: 0.0,
-    });
+/// The bottom-up judgement of a dequeued chain tree (Algorithm 2
+/// lines 5–12), shared by the sequential and parallel engines.
+pub(crate) struct BuExpand<'a> {
+    grammar: &'a TemplateGrammar,
+    ctx: &'a PenaltyContext,
+    costs: CostModel,
+    /// Number of tensors that triggers validation (|tensors(x)| = |L|,
+    /// Algorithm 2 line 5). With no prediction (full grammar) every
+    /// strippable prefix is validated.
+    predicted_rhs: Option<usize>,
+}
 
-    // Number of tensors that triggers validation (|tensors(x)| = |L|,
-    // Algorithm 2 line 5). With no prediction (full grammar) every
-    // strippable prefix is validated.
-    let predicted_rhs = if grammar.nts.position_dims.is_empty() {
-        None
-    } else {
-        Some(grammar.nts.position_dims.len())
-    };
-
-    while let Some((_, idx)) = queue.pop() {
-        if state.over_budget() {
-            return state.outcome(None, false);
-        }
-        state.nodes += 1;
-        let (tree, cost) = {
-            let n = &arena[idx];
-            (n.tree.clone(), n.cost)
+impl<'a> BuExpand<'a> {
+    /// Builds the expander; panics if `grammar` is not bottom-up shaped.
+    pub(crate) fn new(grammar: &'a TemplateGrammar, ctx: &'a PenaltyContext) -> BuExpand<'a> {
+        assert_eq!(
+            grammar.shape,
+            GrammarShape::BottomUp,
+            "bottom_up_search requires a bottom-up grammar"
+        );
+        let predicted_rhs = if grammar.nts.position_dims.is_empty() {
+            None
+        } else {
+            Some(grammar.nts.position_dims.len())
         };
+        BuExpand {
+            grammar,
+            ctx,
+            costs: CostModel::new(&grammar.pcfg),
+            predicted_rhs,
+        }
+    }
+}
 
-        // Lines 5–11: when big enough (or complete), strip the tail and
-        // validate.
-        let facts = tree_facts(&tree, grammar.nts.op, &grammar.nts.tails);
-        // Algorithm 2 line 5 gates validation strictly on the predicted
-        // tensor count — shorter complete chains are never validated,
-        // which is why the bottom-up variant leans entirely on dimension
-        // prediction. Without a prediction (full grammar) every
-        // strippable prefix is validated instead.
-        let ready = match predicted_rhs {
+impl Expand for BuExpand<'_> {
+    fn root(&self) -> Tree {
+        Tree::Hole(self.grammar.pcfg.start())
+    }
+
+    fn skip(&self, _tree: &Tree) -> bool {
+        false
+    }
+
+    // Lines 5–11: when big enough (or complete), strip the tail and
+    // validate. Algorithm 2 line 5 gates validation strictly on the
+    // predicted tensor count — shorter complete chains are never
+    // validated, which is why the bottom-up variant leans entirely on
+    // dimension prediction. Without a prediction (full grammar) every
+    // strippable prefix is validated instead.
+    fn candidate(&self, tree: &Tree) -> Option<TacoProgram> {
+        let facts = tree_facts(tree, self.grammar.nts.op, &self.grammar.nts.tails);
+        let ready = match self.predicted_rhs {
             Some(n) => facts.rhs_operand_slots >= n,
             None => true,
         };
-        if ready {
-            if let Some(template) = bu_tree_to_program(&tree, &grammar.nts.tails) {
-                state.attempts += 1;
-                if let CheckOutcome::Verified(concrete) = checker.check(&template) {
-                    return state.outcome(Some((template, concrete)), false);
-                }
-            }
+        if !ready {
+            return None;
         }
-        if tree.is_complete() {
-            continue;
-        }
+        bu_tree_to_program(tree, &self.grammar.nts.tails)
+    }
 
-        // Line 12: expand the leftmost nonterminal.
+    // Line 12: expand the leftmost nonterminal.
+    fn children(&self, tree: &Tree, cost: f64) -> Vec<Child> {
+        if tree.is_complete() {
+            return Vec::new();
+        }
         let Some(nt) = tree.leftmost_hole() else {
-            continue;
+            return Vec::new();
         };
-        for rid in grammar.pcfg.rules_of(nt) {
-            let rule_cost = costs.cost(*rid);
+        let mut out = Vec::new();
+        for rid in self.grammar.pcfg.rules_of(nt) {
+            let rule_cost = self.costs.cost(*rid);
             if rule_cost.is_infinite() {
                 continue;
             }
-            let rhs = &grammar.pcfg.rule(*rid).rhs;
+            let rhs = &self.grammar.pcfg.rule(*rid).rhs;
             let child = tree.expand_leftmost(rhs).expect("leftmost hole exists");
             let c = cost + rule_cost;
-            let child_facts = tree_facts(&child, grammar.nts.op, &grammar.nts.tails);
-            let g = bu_remaining_cost(grammar, &costs, child_facts.rhs_operand_slots);
-            let x = bu_penalty(&child_facts, ctx);
+            let child_facts =
+                tree_facts(&child, self.grammar.nts.op, &self.grammar.nts.tails);
+            let g = bu_remaining_cost(self.grammar, &self.costs, child_facts.rhs_operand_slots);
+            let x = bu_penalty(&child_facts, self.ctx);
             if x.is_infinite() {
                 continue;
             }
-            let f = c + g + x;
-            arena.push(Node { tree: child, cost: c });
-            queue.push((Priority(f), arena.len() - 1));
+            out.push(Child {
+                tree: child,
+                cost: c,
+                f: c + g + x,
+            });
         }
+        out
     }
-    state.outcome(None, true)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::CheckOutcome;
     use gtl_taco::{parse_program, TacoProgram};
     use gtl_template::{generate_bu_grammar, learn_weights, templatize, TdSpec};
 

@@ -53,13 +53,19 @@
 
 mod bottomup;
 mod driver;
+mod frontier;
 pub mod node;
+mod parallel;
 mod penalty;
 mod topdown;
 
 pub use bottomup::bottom_up_search;
 pub use driver::{
     CheckOutcome, SearchBudget, SearchOutcome, StopReason, TemplateChecker,
+};
+pub use parallel::{
+    fingerprint_program, parallel_bottom_up_search, parallel_top_down_search, CancelFlag,
+    ParallelOptions, ShardedSeenSet,
 };
 pub use penalty::{bu_penalty, td_penalty, PenaltyContext, PenaltySettings};
 pub use topdown::top_down_search;

@@ -1,0 +1,702 @@
+//! The parallel lifting engine: a worker pool over the shared ranked
+//! frontier.
+//!
+//! The template space is embarrassingly parallel — checking one complete
+//! template (substitution validation + bounded verification) never
+//! depends on another — so the engine runs N workers against one
+//! priority queue of partial derivation trees:
+//!
+//! - a [`ShardedSeenSet`] deduplicates canonicalised templates, so no
+//!   two workers ever send the same template to a checker;
+//! - a [`CancelFlag`] stops every worker as soon as the first
+//!   [`CheckOutcome::Verified`] lands (or a budget trips);
+//! - each worker owns its private checker built by a caller-supplied
+//!   factory (keyed by worker index, so any per-worker randomness can be
+//!   seeded deterministically).
+//!
+//! With `jobs <= 1` the engine delegates to the sequential loop and is
+//! bit-identical to [`crate::top_down_search`] / [`crate::bottom_up_search`].
+//! With `jobs > 1` the same solution space is explored, but attempt
+//! ordering — and therefore *which* of several semantically equivalent
+//! solutions is found first — may differ. Classification
+//! (solved / exhausted / budget) is preserved whenever budgets are not
+//! the binding constraint: deduplication means a parallel run spends
+//! its `max_attempts` on *distinct* templates (never more checks than
+//! sequential, possibly fewer), and wall-clock limits are measured
+//! against real time, so a run right at the edge of `time_limit` or
+//! `max_attempts` can classify differently from sequential.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gtl_taco::TacoProgram;
+use gtl_template::TemplateGrammar;
+
+use crate::bottomup::BuExpand;
+use crate::driver::{
+    CheckOutcome, Priority, SearchBudget, SearchOutcome, StopReason, TemplateChecker,
+};
+use crate::frontier::{run_sequential, Expand, QEntry};
+use crate::penalty::PenaltyContext;
+use crate::topdown::TdExpand;
+
+/// Knobs of a parallel search run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Worker threads. `0` and `1` both mean "run sequentially".
+    pub jobs: usize,
+    /// Shard count of the seen-set (power of two recommended; more
+    /// shards, less lock contention).
+    pub seen_shards: usize,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions {
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            seen_shards: 16,
+        }
+    }
+}
+
+impl ParallelOptions {
+    /// Options with an explicit job count and default sharding.
+    pub fn with_jobs(jobs: usize) -> ParallelOptions {
+        ParallelOptions {
+            jobs,
+            ..ParallelOptions::default()
+        }
+    }
+}
+
+/// A cooperative cancellation flag shared by all workers of one search.
+/// Raised by the first verified solution (or a tripped budget); workers
+/// poll it between frontier pops.
+#[derive(Debug, Default)]
+pub struct CancelFlag {
+    raised: AtomicBool,
+}
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Raises the flag (idempotent).
+    pub fn cancel(&self) {
+        self.raised.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.raised.load(Ordering::Acquire)
+    }
+}
+
+/// A sharded concurrent set of canonicalised-template fingerprints.
+///
+/// Insertion locks only the shard the fingerprint hashes into, so
+/// workers rarely contend. Guarantees exactly-once semantics: for any
+/// fingerprint, exactly one `insert` call across all threads returns
+/// `true`.
+#[derive(Debug)]
+pub struct ShardedSeenSet {
+    shards: Vec<Mutex<HashSet<u64>>>,
+}
+
+impl ShardedSeenSet {
+    /// Creates a set with `shards` shards (minimum 1).
+    pub fn new(shards: usize) -> ShardedSeenSet {
+        ShardedSeenSet {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    /// Inserts a raw fingerprint; `true` iff it was not present.
+    pub fn insert(&self, fingerprint: u64) -> bool {
+        let shard = (fingerprint as usize) % self.shards.len();
+        self.shards[shard]
+            .lock()
+            .expect("seen-set shard poisoned")
+            .insert(fingerprint)
+    }
+
+    /// Inserts a template by its canonical fingerprint; `true` iff no
+    /// equal template was inserted before.
+    pub fn insert_program(&self, program: &TacoProgram) -> bool {
+        self.insert(fingerprint_program(program))
+    }
+
+    /// Total number of distinct fingerprints inserted.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("seen-set shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no fingerprint has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The canonical fingerprint of a template: a hash of its printed form
+/// (templates arriving from the search are already index- and
+/// name-canonicalised, so the printed form is a canonical key).
+pub fn fingerprint_program(program: &TacoProgram) -> u64 {
+    let mut h = DefaultHasher::new();
+    program.to_string().hash(&mut h);
+    h.finish()
+}
+
+/// Shared state of one parallel run.
+struct Shared {
+    queue: Mutex<BinaryHeap<QEntry>>,
+    /// Monotone tie-break sequence for frontier pushes.
+    seq: AtomicU64,
+    /// Nodes currently being expanded (termination detection: the space
+    /// is exhausted only when the queue is empty AND nothing is in
+    /// flight that could refill it).
+    in_flight: AtomicUsize,
+    nodes: AtomicU64,
+    attempts: AtomicU64,
+    cancel: CancelFlag,
+    budget_hit: AtomicBool,
+    solution: Mutex<Option<(TacoProgram, TacoProgram)>>,
+    seen: ShardedSeenSet,
+}
+
+impl Shared {
+    fn over_budget(&self, started: Instant, budget: &SearchBudget) -> bool {
+        self.nodes.load(Ordering::Relaxed) >= budget.max_nodes
+            || self.attempts.load(Ordering::Relaxed) >= budget.max_attempts
+            || started.elapsed() >= budget.time_limit
+    }
+}
+
+/// Runs the worker pool over an expander. Generic (not `dyn`) because
+/// workers on different threads need `E: Sync`.
+fn run_parallel<E, C, F>(
+    exp: &E,
+    budget: SearchBudget,
+    opts: ParallelOptions,
+    make_checker: &F,
+) -> SearchOutcome
+where
+    E: Expand + Sync,
+    C: TemplateChecker,
+    F: Fn(usize) -> C + Sync,
+{
+    let started = Instant::now();
+    let shared = Shared {
+        queue: Mutex::new(BinaryHeap::new()),
+        seq: AtomicU64::new(1),
+        in_flight: AtomicUsize::new(0),
+        nodes: AtomicU64::new(0),
+        attempts: AtomicU64::new(0),
+        cancel: CancelFlag::new(),
+        budget_hit: AtomicBool::new(false),
+        solution: Mutex::new(None),
+        seen: ShardedSeenSet::new(opts.seen_shards),
+    };
+    shared
+        .queue
+        .lock()
+        .expect("frontier poisoned")
+        .push(QEntry {
+            f: Priority(0.0),
+            seq: 0,
+            tree: exp.root(),
+            cost: 0.0,
+        });
+
+    std::thread::scope(|scope| {
+        for worker in 0..opts.jobs {
+            let shared = &shared;
+            let budget = &budget;
+            scope.spawn(move || {
+                let mut checker = make_checker(worker);
+                worker_loop(exp, shared, started, budget, &mut checker);
+            });
+        }
+    });
+
+    let solution = shared
+        .solution
+        .lock()
+        .expect("solution slot poisoned")
+        .take();
+    let stop = if solution.is_some() {
+        StopReason::Solved
+    } else if shared.budget_hit.load(Ordering::Relaxed) {
+        StopReason::BudgetExceeded
+    } else {
+        StopReason::Exhausted
+    };
+    let (template, concrete) = match solution {
+        Some((t, c)) => (Some(t), Some(c)),
+        None => (None, None),
+    };
+    SearchOutcome {
+        solution: concrete,
+        template,
+        attempts: shared.attempts.load(Ordering::Relaxed),
+        nodes_expanded: shared.nodes.load(Ordering::Relaxed),
+        elapsed: started.elapsed(),
+        stop,
+    }
+}
+
+/// Decrements `in_flight` when dropped — including during unwinding, so
+/// a panicking worker cannot strand the termination count.
+struct FlightGuard<'a>(&'a Shared);
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Raises the cancellation flag if the worker unwinds, so sibling
+/// workers stop instead of spinning forever on a frontier that will
+/// never drain (`std::thread::scope` then propagates the panic).
+struct PanicGuard<'a>(&'a Shared);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.cancel.cancel();
+        }
+    }
+}
+
+fn worker_loop<E: Expand>(
+    exp: &E,
+    shared: &Shared,
+    started: Instant,
+    budget: &SearchBudget,
+    checker: &mut dyn TemplateChecker,
+) {
+    let _panic_guard = PanicGuard(shared);
+    loop {
+        if shared.cancel.is_cancelled() {
+            return;
+        }
+        if shared.over_budget(started, budget) {
+            shared.budget_hit.store(true, Ordering::Relaxed);
+            shared.cancel.cancel();
+            return;
+        }
+        // Pop and mark in-flight under one lock. The exhaustion check
+        // must also run under that lock: an in-flight sibling can only
+        // make its children visible by taking the lock, so "queue empty
+        // and in_flight == 0" observed *inside* the critical section is
+        // a consistent snapshot — outside it, a sibling could push and
+        // decrement between our two reads and we would exit with work
+        // still queued.
+        enum Popped {
+            Entry(Box<QEntry>),
+            Exhausted,
+            Retry,
+        }
+        let popped = {
+            let mut q = shared.queue.lock().expect("frontier poisoned");
+            match q.pop() {
+                Some(e) => {
+                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    Popped::Entry(Box::new(e))
+                }
+                None if shared.in_flight.load(Ordering::SeqCst) == 0 => Popped::Exhausted,
+                None => Popped::Retry,
+            }
+        };
+        let entry = match popped {
+            Popped::Entry(e) => e,
+            Popped::Exhausted => return,
+            Popped::Retry => {
+                std::thread::yield_now();
+                continue;
+            }
+        };
+        let _flight_guard = FlightGuard(shared);
+        shared.nodes.fetch_add(1, Ordering::Relaxed);
+        if !exp.skip(&entry.tree) {
+            if let Some(template) = exp.candidate(&entry.tree) {
+                // Exactly-once check per canonical template.
+                if shared.seen.insert_program(&template) {
+                    shared.attempts.fetch_add(1, Ordering::Relaxed);
+                    if let CheckOutcome::Verified(concrete) = checker.check(&template) {
+                        let mut slot =
+                            shared.solution.lock().expect("solution slot poisoned");
+                        if slot.is_none() {
+                            *slot = Some((template, concrete));
+                        }
+                        drop(slot);
+                        shared.cancel.cancel();
+                        return;
+                    }
+                }
+            }
+            let children = exp.children(&entry.tree, entry.cost);
+            if !children.is_empty() {
+                let mut q = shared.queue.lock().expect("frontier poisoned");
+                for child in children {
+                    q.push(QEntry {
+                        f: Priority(child.f),
+                        seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+                        tree: child.tree,
+                        cost: child.cost,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Parallel counterpart of [`crate::top_down_search`].
+///
+/// `make_checker` builds one private checker per worker (the argument is
+/// the worker index — seed any per-worker randomness from it for
+/// deterministic runs). With `opts.jobs <= 1` this is exactly the
+/// sequential search.
+///
+/// # Panics
+///
+/// Panics if `grammar` is not top-down shaped.
+pub fn parallel_top_down_search<C, F>(
+    grammar: &TemplateGrammar,
+    ctx: &PenaltyContext,
+    budget: SearchBudget,
+    opts: ParallelOptions,
+    make_checker: F,
+) -> SearchOutcome
+where
+    C: TemplateChecker,
+    F: Fn(usize) -> C + Sync,
+{
+    let exp = TdExpand::new(grammar, ctx, budget.max_depth);
+    if opts.jobs <= 1 {
+        let mut checker = make_checker(0);
+        return run_sequential(&exp, budget, &mut checker);
+    }
+    run_parallel(&exp, budget, opts, &make_checker)
+}
+
+/// Parallel counterpart of [`crate::bottom_up_search`]; see
+/// [`parallel_top_down_search`] for the contract.
+///
+/// # Panics
+///
+/// Panics if `grammar` is not bottom-up shaped.
+pub fn parallel_bottom_up_search<C, F>(
+    grammar: &TemplateGrammar,
+    ctx: &PenaltyContext,
+    budget: SearchBudget,
+    opts: ParallelOptions,
+    make_checker: F,
+) -> SearchOutcome
+where
+    C: TemplateChecker,
+    F: Fn(usize) -> C + Sync,
+{
+    let exp = BuExpand::new(grammar, ctx);
+    if opts.jobs <= 1 {
+        let mut checker = make_checker(0);
+        return run_sequential(&exp, budget, &mut checker);
+    }
+    run_parallel(&exp, budget, opts, &make_checker)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    use gtl_taco::parse_program;
+    use gtl_template::{generate_td_grammar, learn_weights, templatize, TdSpec};
+
+    use crate::penalty::PenaltySettings;
+
+    fn grammar_with(cands: &[&str], dims: Vec<usize>, n_indices: usize) -> TemplateGrammar {
+        let templates: Vec<_> = cands
+            .iter()
+            .map(|s| templatize(&parse_program(s).unwrap()).unwrap())
+            .collect();
+        let mut g = generate_td_grammar(&TdSpec {
+            dim_list: dims,
+            n_indices,
+            allow_repeated_index: false,
+            include_const: false,
+        });
+        learn_weights(&mut g, &templates);
+        g
+    }
+
+    fn ctx_for(g: &TemplateGrammar) -> PenaltyContext {
+        PenaltyContext {
+            dim_list: g.dim_list.clone(),
+            grammar_has_const: g.nts.constant.is_some(),
+            live_ops: g.live_ops(),
+            settings: PenaltySettings::all(),
+        }
+    }
+
+    #[test]
+    fn sharded_seen_set_is_exactly_once_under_contention() {
+        let seen = Arc::new(ShardedSeenSet::new(8));
+        let hits = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let seen = Arc::clone(&seen);
+                let hits = Arc::clone(&hits);
+                s.spawn(move || {
+                    for fp in 0u64..1000 {
+                        if seen.insert(fp) {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        // 4 threads × 1000 shared fingerprints → exactly 1000 firsts.
+        assert_eq!(hits.load(Ordering::SeqCst), 1000);
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_programs() {
+        let a = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let b = parse_program("a(i) = b(j,i) * c(j)").unwrap();
+        assert_ne!(fingerprint_program(&a), fingerprint_program(&b));
+        assert_eq!(fingerprint_program(&a), fingerprint_program(&a.clone()));
+    }
+
+    #[test]
+    fn cancel_flag_is_sticky_and_shared() {
+        let flag = CancelFlag::new();
+        assert!(!flag.is_cancelled());
+        std::thread::scope(|s| {
+            s.spawn(|| flag.cancel());
+        });
+        assert!(flag.is_cancelled());
+        flag.cancel();
+        assert!(flag.is_cancelled());
+    }
+
+    #[test]
+    fn parallel_finds_gemv_template() {
+        let g = grammar_with(
+            &[
+                "r(i) = m(i,j) * v(j)",
+                "r(i) = m(j,i) * v(i)",
+                "r(i) = m(i,j) * v(i)",
+            ],
+            vec![1, 2, 1],
+            2,
+        );
+        let ctx = ctx_for(&g);
+        let want = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let out = parallel_top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions::with_jobs(4),
+            |_worker| {
+                let want = want.clone();
+                move |t: &TacoProgram| {
+                    if *t == want {
+                        CheckOutcome::Verified(t.clone())
+                    } else {
+                        CheckOutcome::Failed
+                    }
+                }
+            },
+        );
+        assert!(out.solved(), "parallel search must solve gemv");
+        assert_eq!(out.solution.unwrap(), want);
+        assert_eq!(out.stop, StopReason::Solved);
+    }
+
+    #[test]
+    fn no_template_is_checked_twice_across_workers() {
+        // Every checker invocation registers the template; the sharded
+        // seen-set must make each canonical template reach a checker at
+        // most once even with 4 workers racing.
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let checked = Arc::new(Mutex::new(Vec::<String>::new()));
+        let out = parallel_top_down_search(
+            &g,
+            &ctx,
+            SearchBudget {
+                max_attempts: 200,
+                ..SearchBudget::default()
+            },
+            ParallelOptions::with_jobs(4),
+            |_worker| {
+                let checked = Arc::clone(&checked);
+                move |t: &TacoProgram| {
+                    checked.lock().unwrap().push(t.to_string());
+                    CheckOutcome::Failed
+                }
+            },
+        );
+        assert!(!out.solved());
+        let seen = checked.lock().unwrap();
+        let mut dedup = seen.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(
+            seen.len(),
+            dedup.len(),
+            "a template reached checkers twice: {seen:?}"
+        );
+        assert!(!seen.is_empty(), "search should have checked something");
+    }
+
+    #[test]
+    fn workers_stop_after_first_verification() {
+        // Accept the very first template each worker sees; after the
+        // winning verification cancels the run, no further checks may
+        // start. With 4 workers the total number of checker calls is at
+        // most the number of workers (each may have had one in flight).
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let out = parallel_top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions::with_jobs(4),
+            |_worker| {
+                let calls = Arc::clone(&calls);
+                move |t: &TacoProgram| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    CheckOutcome::Verified(t.clone())
+                }
+            },
+        );
+        assert!(out.solved());
+        assert!(
+            calls.load(Ordering::SeqCst) <= 4,
+            "workers kept checking after cancellation: {} calls",
+            calls.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A checker panic must cancel the siblings and resurface via
+        // thread::scope — never strand the pool spinning on a frontier
+        // that will not drain.
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let _ = parallel_top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions::with_jobs(4),
+            |_worker| |_t: &TacoProgram| -> CheckOutcome { panic!("checker exploded") },
+        );
+    }
+
+    #[test]
+    fn jobs_one_matches_sequential_exactly() {
+        let g = grammar_with(
+            &["r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(i)"],
+            vec![1, 2, 1],
+            2,
+        );
+        let ctx = ctx_for(&g);
+        let want = parse_program("a(i) = b(j,i) * c(j)").unwrap();
+        let mk = |want: TacoProgram| {
+            move |t: &TacoProgram| {
+                if *t == want {
+                    CheckOutcome::Verified(t.clone())
+                } else {
+                    CheckOutcome::Failed
+                }
+            }
+        };
+        let mut sequential_checker = mk(want.clone());
+        let seq_out = crate::top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            &mut sequential_checker,
+        );
+        let par_out = parallel_top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions::with_jobs(1),
+            |_| mk(want.clone()),
+        );
+        assert_eq!(seq_out.solution, par_out.solution);
+        assert_eq!(seq_out.template, par_out.template);
+        assert_eq!(seq_out.attempts, par_out.attempts);
+        assert_eq!(seq_out.nodes_expanded, par_out.nodes_expanded);
+        assert_eq!(seq_out.stop, par_out.stop);
+    }
+
+    #[test]
+    fn parallel_bottom_up_solves_chains() {
+        let templates: Vec<_> = ["r(i) = m(i,j) * v(j)"]
+            .iter()
+            .map(|s| templatize(&parse_program(s).unwrap()).unwrap())
+            .collect();
+        let mut g = gtl_template::generate_bu_grammar(&TdSpec {
+            dim_list: vec![1, 2, 1],
+            n_indices: 2,
+            allow_repeated_index: false,
+            include_const: false,
+        });
+        learn_weights(&mut g, &templates);
+        let ctx = ctx_for(&g);
+        let want = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let out = parallel_bottom_up_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions::with_jobs(3),
+            |_worker| {
+                let want = want.clone();
+                move |t: &TacoProgram| {
+                    if *t == want {
+                        CheckOutcome::Verified(t.clone())
+                    } else {
+                        CheckOutcome::Failed
+                    }
+                }
+            },
+        );
+        assert!(out.solved());
+    }
+
+    #[test]
+    fn exhaustion_classification_is_preserved_in_parallel() {
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let budget = SearchBudget {
+            max_nodes: 200_000,
+            max_attempts: 100_000,
+            ..SearchBudget::default()
+        };
+        let seq = {
+            let mut never = |_t: &TacoProgram| CheckOutcome::Failed;
+            crate::top_down_search(&g, &ctx, budget, &mut never)
+        };
+        let par = parallel_top_down_search(&g, &ctx, budget, ParallelOptions::with_jobs(4), |_| {
+            |_t: &TacoProgram| CheckOutcome::Failed
+        });
+        assert_eq!(seq.stop, par.stop, "stop classification must agree");
+    }
+}

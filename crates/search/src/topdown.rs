@@ -1,18 +1,104 @@
 //! Algorithm 1: top-down weighted A\* with penalties (§5.1).
 
-use std::collections::BinaryHeap;
-
+use gtl_taco::TacoProgram;
 use gtl_template::{GrammarShape, TemplateGrammar};
 
-use crate::driver::{
-    CheckOutcome, Priority, RunState, SearchBudget, SearchOutcome, TemplateChecker,
-};
+use crate::driver::{SearchBudget, SearchOutcome, TemplateChecker};
+use crate::frontier::{run_sequential, Child, Expand};
 use crate::node::{td_tree_to_program, tree_facts, CostModel, Tree};
 use crate::penalty::{td_penalty, PenaltyContext};
 
-struct Node {
-    tree: Tree,
-    cost: f64,
+/// The top-down judgement of a dequeued partial derivation tree
+/// (Algorithm 1 lines 5–12), shared by the sequential and parallel
+/// engines.
+pub(crate) struct TdExpand<'a> {
+    grammar: &'a TemplateGrammar,
+    ctx: &'a PenaltyContext,
+    costs: CostModel,
+    max_depth: usize,
+}
+
+impl<'a> TdExpand<'a> {
+    /// Builds the expander; panics if `grammar` is not top-down shaped.
+    pub(crate) fn new(
+        grammar: &'a TemplateGrammar,
+        ctx: &'a PenaltyContext,
+        max_depth: usize,
+    ) -> TdExpand<'a> {
+        assert_eq!(
+            grammar.shape,
+            GrammarShape::TopDown,
+            "top_down_search requires a top-down grammar"
+        );
+        TdExpand {
+            grammar,
+            ctx,
+            costs: CostModel::new(&grammar.pcfg),
+            max_depth,
+        }
+    }
+}
+
+impl Expand for TdExpand<'_> {
+    fn root(&self) -> Tree {
+        Tree::Hole(self.grammar.pcfg.start())
+    }
+
+    // Depth limit (Algorithm 1 line 5).
+    fn skip(&self, tree: &Tree) -> bool {
+        tree.expr_depth() > self.max_depth
+    }
+
+    // Lines 7–11: complete trees become checker candidates.
+    fn candidate(&self, tree: &Tree) -> Option<TacoProgram> {
+        if !tree.is_complete() {
+            return None;
+        }
+        td_tree_to_program(tree).ok()
+    }
+
+    // Line 12: expand the leftmost nonterminal with every rule.
+    fn children(&self, tree: &Tree, cost: f64) -> Vec<Child> {
+        if tree.is_complete() {
+            return Vec::new();
+        }
+        let Some(nt) = tree.leftmost_hole() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for rid in self.grammar.pcfg.rules_of(nt) {
+            let rule_cost = self.costs.cost(*rid);
+            if rule_cost.is_infinite() {
+                continue;
+            }
+            let rhs = &self.grammar.pcfg.rule(*rid).rhs;
+            let child = tree.expand_leftmost(rhs).expect("leftmost hole exists");
+            if child.expr_depth() > self.max_depth {
+                continue;
+            }
+            let c = cost + rule_cost;
+            let g = self.costs.remaining_cost(&child);
+            if g.is_infinite() {
+                continue;
+            }
+            let facts = tree_facts(&child, self.grammar.nts.op, &[]);
+            let program = if facts.complete {
+                td_tree_to_program(&child).ok()
+            } else {
+                None
+            };
+            let x = td_penalty(&facts, program.as_ref(), self.ctx);
+            if x.is_infinite() {
+                continue;
+            }
+            out.push(Child {
+                tree: child,
+                cost: c,
+                f: c + g + x,
+            });
+        }
+        out
+    }
 }
 
 /// Runs the top-down weighted A\* enumeration of Algorithm 1 over a
@@ -34,92 +120,14 @@ pub fn top_down_search(
     budget: SearchBudget,
     checker: &mut dyn TemplateChecker,
 ) -> SearchOutcome {
-    assert_eq!(
-        grammar.shape,
-        GrammarShape::TopDown,
-        "top_down_search requires a top-down grammar"
-    );
-    let costs = CostModel::new(&grammar.pcfg);
-    let mut state = RunState::new(budget);
-    let mut queue: BinaryHeap<(Priority, usize)> = BinaryHeap::new();
-    let mut arena: Vec<Node> = Vec::new();
-
-    let root = Node {
-        tree: Tree::Hole(grammar.pcfg.start()),
-        cost: 0.0,
-    };
-    queue.push((Priority(0.0), 0));
-    arena.push(root);
-
-    while let Some((_, idx)) = queue.pop() {
-        if state.over_budget() {
-            return state.outcome(None, false);
-        }
-        state.nodes += 1;
-        let (tree, cost) = {
-            let n = &arena[idx];
-            (n.tree.clone(), n.cost)
-        };
-
-        // Depth limit (Algorithm 1 line 5).
-        if tree.expr_depth() > state.budget.max_depth {
-            continue;
-        }
-
-        if tree.is_complete() {
-            // Lines 7–11: validate, then verify.
-            let Ok(template) = td_tree_to_program(&tree) else {
-                continue;
-            };
-            state.attempts += 1;
-            if let CheckOutcome::Verified(concrete) = checker.check(&template) {
-                return state.outcome(Some((template, concrete)), false);
-            }
-            continue;
-        }
-
-        // Line 12: expand the leftmost nonterminal with every rule.
-        let Some(nt) = tree.leftmost_hole() else {
-            continue;
-        };
-        for rid in grammar.pcfg.rules_of(nt) {
-            let rule_cost = costs.cost(*rid);
-            if rule_cost.is_infinite() {
-                continue;
-            }
-            let rhs = &grammar.pcfg.rule(*rid).rhs;
-            let child = tree
-                .expand_leftmost(rhs)
-                .expect("leftmost hole exists");
-            if child.expr_depth() > state.budget.max_depth {
-                continue;
-            }
-            let c = cost + rule_cost;
-            let g = costs.remaining_cost(&child);
-            if g.is_infinite() {
-                continue;
-            }
-            let facts = tree_facts(&child, grammar.nts.op, &[]);
-            let program = if facts.complete {
-                td_tree_to_program(&child).ok()
-            } else {
-                None
-            };
-            let x = td_penalty(&facts, program.as_ref(), ctx);
-            if x.is_infinite() {
-                continue;
-            }
-            let f = c + g + x;
-            arena.push(Node { tree: child, cost: c });
-            queue.push((Priority(f), arena.len() - 1));
-        }
-    }
-    state.outcome(None, true)
+    let exp = TdExpand::new(grammar, ctx, budget.max_depth);
+    run_sequential(&exp, budget, checker)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::CheckOutcome;
     use crate::driver::StopReason;
     use gtl_taco::{parse_program, TacoProgram};
     use gtl_template::{generate_td_grammar, learn_weights, templatize, TdSpec};

@@ -52,5 +52,5 @@ pub use subst::{
 pub use task::{LiftTask, TaskError, TaskInstance, TaskParam, TaskParamKind, ValueMode};
 pub use validator::{
     generate_examples, passes_examples, validate_template, ExampleConfig, IoExample,
-    ValidationStats,
+    SharedValidationStats, ValidationStats,
 };

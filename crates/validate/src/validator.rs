@@ -84,13 +84,49 @@ pub fn passes_examples(candidate: &TacoProgram, examples: &[IoExample]) -> bool 
 }
 
 /// Statistics from one validation run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ValidationStats {
     /// Substitutions enumerated.
     pub substitutions_tried: u64,
     /// Substitutions that passed all I/O examples (and were handed to the
     /// verifier).
     pub io_passes: u64,
+}
+
+impl ValidationStats {
+    /// Folds another run's counters into this one.
+    pub fn merge(&mut self, other: &ValidationStats) {
+        self.substitutions_tried += other.substitutions_tried;
+        self.io_passes += other.io_passes;
+    }
+}
+
+/// Thread-safe accumulator of [`ValidationStats`] for checkers running
+/// on parallel search workers: each worker validates with a private
+/// `ValidationStats` and folds it in with [`SharedValidationStats::add`].
+#[derive(Debug, Default)]
+pub struct SharedValidationStats {
+    substitutions_tried: std::sync::atomic::AtomicU64,
+    io_passes: std::sync::atomic::AtomicU64,
+}
+
+impl SharedValidationStats {
+    /// Adds one run's counters.
+    pub fn add(&self, stats: &ValidationStats) {
+        use std::sync::atomic::Ordering;
+        self.substitutions_tried
+            .fetch_add(stats.substitutions_tried, Ordering::Relaxed);
+        self.io_passes.fetch_add(stats.io_passes, Ordering::Relaxed);
+    }
+
+    /// A consistent copy of the accumulated counters.
+    pub fn snapshot(&self) -> ValidationStats {
+        use std::sync::atomic::Ordering;
+        ValidationStats {
+            substitutions_tried: self.substitutions_tried.load(Ordering::Relaxed),
+            io_passes: self.io_passes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The §6 validation loop: enumerate substitutions, test each against the
@@ -171,6 +207,31 @@ mod tests {
         let got = validate_template(&template, &task, &examples, |_, _| false, &mut stats);
         assert!(got.is_none());
         assert!(stats.io_passes >= 2, "b*c and c*b both pass I/O");
+    }
+
+    #[test]
+    fn shared_stats_accumulate_across_threads() {
+        let shared = SharedValidationStats::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        shared.add(&ValidationStats {
+                            substitutions_tried: 2,
+                            io_passes: 1,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            shared.snapshot(),
+            ValidationStats {
+                substitutions_tried: 800,
+                io_passes: 400,
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is
+//! intentionally simple — a warm-up pass then a timed batch, reporting
+//! mean ns/iter — sufficient for the relative comparisons the repo's
+//! bench targets print, with no statistics machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter ({} iters)", b.mean_ns, b.iters);
+        self
+    }
+}
+
+/// Times a closure (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    measurement: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and per-iteration estimate.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement;
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = super::Criterion {
+            measurement: std::time::Duration::from_millis(5),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of proptest it uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, integer-range and tuple
+//! strategies, `prop::sample::select`, `prop::collection::vec`, and the
+//! `proptest!` / `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Semantics: each `proptest!` test runs a fixed number of random cases
+//! from a seed derived from the test's name, so failures reproduce
+//! exactly. There is no shrinking — a failing case panics with the
+//! assertion message directly (values are printable at the call site).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `prop` namespace (`prop::sample`, `prop::collection`).
+pub mod prop {
+    /// Strategies that sample from explicit value pools.
+    pub mod sample {
+        use crate::strategy::BoxedStrategy;
+
+        /// A strategy yielding uniformly chosen elements of `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+            assert!(!options.is_empty(), "prop::sample::select: empty pool");
+            BoxedStrategy::from_fn(move |rng| {
+                options[rng.below(options.len() as u64) as usize].clone()
+            })
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{BoxedStrategy, Strategy};
+        use std::ops::Range;
+
+        /// A strategy yielding vectors whose length is drawn from
+        /// `len` and whose elements are drawn from `element`.
+        pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            assert!(len.start < len.end, "prop::collection::vec: empty length range");
+            BoxedStrategy::from_fn(move |rng| {
+                let span = (len.end - len.start) as u64;
+                let n = len.start + rng.below(span) as usize;
+                (0..n).map(|_| element.generate(rng)).collect()
+            })
+        }
+    }
+}
+
+/// Runs each `#[test]` body against many generated cases.
+///
+/// Mirrors `proptest! { #[test] fn name(x in strat, ...) { body } }`.
+/// The body may use `return Ok(())` to skip a case, exactly as with
+/// upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..$crate::test_runner::CASES {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!("proptest case {case} of {}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body (panics with the case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}

@@ -1,0 +1,237 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of random values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy`, minus shrinking: `generate`
+/// produces one value directly.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy behind a clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and
+    /// `recurse` wraps an inner strategy into a bigger value, up to
+    /// `depth` levels. `_desired_size` and `_expected_branch` are
+    /// accepted for upstream signature compatibility.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            // Each deeper level recurses into a mix of the previous level
+            // and plain leaves, so generated sizes vary but terminate.
+            let deeper = recurse(level).boxed();
+            let leaf_again = leaf.clone();
+            level = BoxedStrategy::from_fn(move |rng| {
+                if rng.below(3) == 0 {
+                    leaf_again.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            });
+        }
+        level
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A clonable, type-erased strategy (mirrors `proptest::BoxedStrategy`).
+pub struct BoxedStrategy<T> {
+    gen_fn: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen_fn: Rc::clone(&self.gen_fn),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen_fn: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type (backs
+/// `prop_oneof!`).
+///
+/// # Panics
+///
+/// Panics if `options` is empty.
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "one_of: no strategies");
+    BoxedStrategy::from_fn(move |rng| {
+        options[rng.below(options.len() as u64) as usize].generate(rng)
+    })
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_i128(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_i128(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, i128, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// `Just`-style constant strategy (small convenience, mirrors upstream).
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let v = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            let u = (0u32..3).generate(&mut rng);
+            assert!(u < 3);
+            let w = (1i128..1000).generate(&mut rng);
+            assert!((1..1000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = ((0i64..5), (0i64..5)).prop_map(|(a, b)| a + b);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((0..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum T {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(T::Leaf);
+        let tree = leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::from_name("recursive");
+        for _ in 0..200 {
+            let t = tree.generate(&mut rng);
+            assert!(depth(&t) <= 4, "depth bound violated: {t:?}");
+        }
+    }
+
+    #[test]
+    fn one_of_covers_all_arms() {
+        let s = one_of(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut rng = TestRng::from_name("one_of");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(s.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,113 @@
+//! Determinism of the parallel lifting engine: on a fixed benchmark
+//! subset, `jobs = 1` and `jobs = N` must produce identical outcome
+//! classifications, and when both solve, semantically equivalent TACO
+//! programs (equal outputs on fresh random inputs the pipeline never
+//! saw).
+
+use guided_tensor_lifting::benchsuite::by_name;
+use guided_tensor_lifting::oracle::SyntheticOracle;
+use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
+use guided_tensor_lifting::taco::{evaluate, TacoProgram};
+use guided_tensor_lifting::tensor::TensorGen;
+use guided_tensor_lifting::validate::ValueMode;
+
+const SUBSET: [&str; 6] = [
+    "blas_dot",
+    "blas_gemv",
+    "mf_vadd",
+    "ds_vdiv",
+    "sa_add_scalar",
+    "art_paren_mul",
+];
+
+fn lift(name: &str, jobs: usize) -> guided_tensor_lifting::stagg::LiftReport {
+    let b = by_name(name).unwrap();
+    let query = LiftQuery {
+        label: b.name.to_string(),
+        source: b.source.to_string(),
+        task: b.lift_task(),
+        ground_truth: b.parse_ground_truth(),
+    };
+    let mut oracle = SyntheticOracle::default();
+    Stagg::new(&mut oracle, StaggConfig::top_down().with_jobs(jobs)).lift(&query)
+}
+
+/// Equal semantics on three fresh random instances.
+fn semantically_equal(name: &str, a: &TacoProgram, b: &TacoProgram) -> bool {
+    let bench = by_name(name).unwrap();
+    let task = bench.lift_task();
+    let sizes = task.default_sizes();
+    for draw in 0..3 {
+        let mut gen = TensorGen::from_label(&format!("det-{name}-{draw}"));
+        let instance = task
+            .instantiate(&sizes, &mut gen, ValueMode::Integers { lo: -7, hi: 7 })
+            .unwrap();
+        let out_a = evaluate(a, &instance.env);
+        let out_b = evaluate(b, &instance.env);
+        match (out_a, out_b) {
+            (Ok(x), Ok(y)) if x == y => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[test]
+fn jobs_one_and_jobs_four_agree_across_subset() {
+    for name in SUBSET {
+        let seq = lift(name, 1);
+        let par = lift(name, 4);
+        assert_eq!(
+            seq.solved(),
+            par.solved(),
+            "{name}: outcome classification diverged (seq {:?}, par {:?})",
+            seq.failure,
+            par.failure
+        );
+        if let (Some(a), Some(b)) = (&seq.solution, &par.solution) {
+            assert!(
+                semantically_equal(name, a, b),
+                "{name}: parallel solution `{b}` is not equivalent to sequential `{a}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn jobs_one_is_bit_identical_to_default_sequential() {
+    // `with_jobs(1)` must not merely agree — it must be the very same
+    // code path and statistics as the default config.
+    for name in ["blas_gemv", "blas_dot"] {
+        let default = lift(name, 1);
+        let b = by_name(name).unwrap();
+        let query = LiftQuery {
+            label: b.name.to_string(),
+            source: b.source.to_string(),
+            task: b.lift_task(),
+            ground_truth: b.parse_ground_truth(),
+        };
+        let mut oracle = SyntheticOracle::default();
+        let plain = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        assert_eq!(default.solution, plain.solution);
+        assert_eq!(default.attempts, plain.attempts);
+        assert_eq!(default.nodes_expanded, plain.nodes_expanded);
+        assert_eq!(default.substitutions_tried, plain.substitutions_tried);
+    }
+}
+
+#[test]
+fn parallel_run_is_reproducible() {
+    // Two identical parallel runs may differ in timing, but solved-ness
+    // and solution semantics must be stable.
+    for name in ["blas_gemv", "ds_vdiv"] {
+        let r1 = lift(name, 4);
+        let r2 = lift(name, 4);
+        assert_eq!(r1.solved(), r2.solved(), "{name}: unstable classification");
+        if let (Some(a), Some(b)) = (&r1.solution, &r2.solution) {
+            assert!(
+                semantically_equal(name, a, b),
+                "{name}: two parallel runs found non-equivalent programs"
+            );
+        }
+    }
+}
