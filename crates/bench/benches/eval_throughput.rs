@@ -1,0 +1,167 @@
+//! Throughput of the candidate-evaluation hot path: the reference tree
+//! interpreter vs the compiled bytecode kernel (`gtl_taco::compile`) on
+//! the validation microkernels (GEMM, TTV, MTTKRP), plus an end-to-end
+//! `batch_suite` lift timing.
+//!
+//! Modes:
+//! - default: full measurement, criterion-style report lines;
+//! - `GTL_BENCH_QUICK=1`: short measurement budgets (CI smoke — proves
+//!   the bench builds and runs, numbers are indicative only);
+//! - `GTL_BENCH_JSON=path`: additionally writes the measurements as the
+//!   JSON document committed to the perf trajectory (`BENCH_2.json`).
+
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use gtl_bench::{run_method_batch, Method};
+use gtl_benchsuite::{by_suite, Suite};
+use gtl_taco::{compile, evaluate_interpreted, parse_program, EvalCache, TacoProgram, TensorEnv};
+use gtl_tensor::{Shape, TensorGen};
+
+/// One microkernel: a program over environments at validation-like sizes.
+struct Micro {
+    name: &'static str,
+    program: TacoProgram,
+    env: TensorEnv,
+}
+
+fn micro(name: &'static str, source: &str, shapes: &[(&str, &[usize])], lo: i64, hi: i64) -> Micro {
+    let program = parse_program(source).expect("microkernel parses");
+    let mut gen = TensorGen::from_label(name);
+    let mut env = TensorEnv::new();
+    for (tensor, extents) in shapes {
+        env.insert(
+            tensor.to_string(),
+            gen.int_tensor(Shape::new(extents.to_vec()), lo, hi),
+        );
+    }
+    Micro { name, program, env }
+}
+
+fn microkernels() -> Vec<Micro> {
+    vec![
+        // The §6 I/O-example regime: default task sizes, small integers.
+        micro(
+            "gemm_8x8",
+            "a(i,j) = b(i,k) * c(k,j)",
+            &[("b", &[8, 8]), ("c", &[8, 8])],
+            -5,
+            5,
+        ),
+        micro(
+            "ttv_8",
+            "a(i,j) = b(i,j,k) * c(k)",
+            &[("b", &[8, 8, 8]), ("c", &[8])],
+            -5,
+            5,
+        ),
+        micro(
+            "mttkrp_8",
+            "a(i,j) = b(i,k,l) * c(k,j) * d(l,j)",
+            &[("b", &[8, 8, 8]), ("c", &[8, 8]), ("d", &[8, 8])],
+            -5,
+            5,
+        ),
+        // The §7 Schwartz–Zippel regime: large integer sample points.
+        micro(
+            "gemm_8x8_verify_points",
+            "a(i,j) = b(i,k) * c(k,j)",
+            &[("b", &[8, 8]), ("c", &[8, 8])],
+            -1_000_000,
+            1_000_000,
+        ),
+    ]
+}
+
+struct Row {
+    name: &'static str,
+    interp_ns: f64,
+    compiled_ns: f64,
+    cached_ns: f64,
+}
+
+fn main() {
+    let quick = std::env::var("GTL_BENCH_QUICK").is_ok();
+    let budget = if quick {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    };
+
+    // One criterion pass per routine; the JSON rows reuse the same
+    // measurements via `last_mean_ns`.
+    let mut c = Criterion::default().measurement_time(budget);
+    let mut rows: Vec<Row> = Vec::new();
+    for m in microkernels() {
+        let kernel = compile(&m.program, &m.env).expect("microkernel compiles");
+        let cache = EvalCache::default();
+        cache.evaluate(&m.program, &m.env).expect("warms the cache");
+
+        let (p, env) = (&m.program, &m.env);
+        c.bench_function(&format!("interp_{}", m.name), |b| {
+            b.iter(|| evaluate_interpreted(std::hint::black_box(p), env).unwrap())
+        });
+        let interp_ns = c.last_mean_ns();
+        c.bench_function(&format!("compiled_{}", m.name), |b| {
+            b.iter(|| kernel.evaluate(std::hint::black_box(env)).unwrap())
+        });
+        let compiled_ns = c.last_mean_ns();
+        c.bench_function(&format!("cached_{}", m.name), |b| {
+            b.iter(|| cache.evaluate(std::hint::black_box(p), env).unwrap())
+        });
+        let cached_ns = c.last_mean_ns();
+
+        println!(
+            "{:<28} speedup interp/compiled {:>5.1}x",
+            m.name,
+            interp_ns / compiled_ns
+        );
+        rows.push(Row {
+            name: m.name,
+            interp_ns,
+            compiled_ns,
+            cached_ns,
+        });
+    }
+
+    // End-to-end: the batch suite runner over the `simple` suite (full
+    // validate→verify loops through the per-worker eval caches).
+    let benchmarks = by_suite(Suite::SimpleArray);
+    let subset = if quick { &benchmarks[..2.min(benchmarks.len())] } else { &benchmarks[..] };
+    let started = Instant::now();
+    let batch = run_method_batch(&Method::stagg_td(), subset, 1);
+    let batch_wall = started.elapsed();
+    println!(
+        "batch_suite(simple, {} benchmarks): {:.2}s wall, {}/{} solved",
+        subset.len(),
+        batch_wall.as_secs_f64(),
+        batch.suite.solved(),
+        subset.len()
+    );
+
+    if let Ok(path) = std::env::var("GTL_BENCH_JSON") {
+        let mut json = String::from("{\n  \"bench\": \"eval_throughput\",\n  \"microkernels\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"interp_ns\": {:.1}, \"compiled_ns\": {:.1}, \
+                 \"cached_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                r.name,
+                r.interp_ns,
+                r.compiled_ns,
+                r.cached_ns,
+                r.interp_ns / r.compiled_ns,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "  ],\n  \"batch_suite\": {{\"suite\": \"simple\", \"benchmarks\": {}, \
+             \"wall_seconds\": {:.3}, \"solved\": {}}},\n  \"quick\": {}\n}}\n",
+            subset.len(),
+            batch_wall.as_secs_f64(),
+            batch.suite.solved(),
+            quick
+        ));
+        std::fs::write(&path, json).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

@@ -14,7 +14,7 @@ use gtl_search::{
     bottom_up_search, parallel_bottom_up_search, parallel_top_down_search, top_down_search,
     CheckOutcome, ParallelOptions, PenaltyContext, SearchOutcome,
 };
-use gtl_taco::{parse_program, preprocess_candidate, TacoProgram};
+use gtl_taco::{parse_program, preprocess_candidate, EvalCache, TacoProgram};
 use gtl_template::{
     any_const, any_repeated_index, generate_bu_full_grammar, generate_bu_grammar,
     generate_td_full_grammar, generate_td_grammar, index_variable_count, learn_weights,
@@ -22,10 +22,10 @@ use gtl_template::{
     TemplateGrammar,
 };
 use gtl_validate::{
-    generate_examples, validate_template, IoExample, LiftTask, SharedValidationStats,
+    generate_examples, validate_template_cached, IoExample, LiftTask, SharedValidationStats,
     ValidationStats,
 };
-use gtl_verify::verify_candidate;
+use gtl_verify::verify_candidate_cached;
 
 use crate::config::{GrammarMode, SearchMode, StaggConfig};
 use crate::report::{FailureReason, LiftReport};
@@ -169,21 +169,28 @@ impl<'o> Stagg<'o> {
 
         // The one checking contract both engines share: validate the
         // template's substitutions on the examples, verify survivors.
-        let check_template =
-            |template: &TacoProgram, stats: &mut ValidationStats| -> CheckOutcome {
-                match validate_template(
-                    template,
-                    task,
-                    &examples,
-                    |concrete, _sub| {
-                        verify_candidate(task, concrete, &verify_cfg).is_equivalent()
-                    },
-                    stats,
-                ) {
-                    Some(concrete) => CheckOutcome::Verified(concrete),
-                    None => CheckOutcome::Failed,
-                }
-            };
+        // Each checker routes every evaluation through an `EvalCache`, so
+        // a template checked against N examples/substitutions compiles
+        // once per shape signature, and the verifier reuses the same
+        // compiled kernels.
+        let check_template = |template: &TacoProgram,
+                              stats: &mut ValidationStats,
+                              cache: &EvalCache|
+         -> CheckOutcome {
+            match validate_template_cached(
+                template,
+                task,
+                &examples,
+                |concrete, _sub| {
+                    verify_candidate_cached(task, concrete, &verify_cfg, cache).is_equivalent()
+                },
+                stats,
+                cache,
+            ) {
+                Some(concrete) => CheckOutcome::Verified(concrete),
+                None => CheckOutcome::Failed,
+            }
+        };
 
         // ③ Search — sequential (`jobs = 1`, bit-identical to the paper
         // artifact) or the parallel engine with one private checker per
@@ -194,9 +201,12 @@ impl<'o> Stagg<'o> {
             let shared = &shared_stats;
             let check_template = &check_template;
             let make_checker = move |_worker: usize| {
+                // One private cache per worker: no contention on the hot
+                // path, compilations amortise across that worker's run.
+                let cache = EvalCache::default();
                 move |template: &TacoProgram| -> CheckOutcome {
                     let mut local = ValidationStats::default();
-                    let result = check_template(template, &mut local);
+                    let result = check_template(template, &mut local, &cache);
                     shared.add(&local);
                     result
                 }
@@ -220,8 +230,9 @@ impl<'o> Stagg<'o> {
             vstats = shared_stats.snapshot();
             out
         } else {
+            let cache = EvalCache::default();
             let mut checker =
-                |template: &TacoProgram| check_template(template, &mut vstats);
+                |template: &TacoProgram| check_template(template, &mut vstats, &cache);
             match self.config.mode {
                 SearchMode::TopDown => {
                     top_down_search(&grammar, &ctx, self.config.budget, &mut checker)

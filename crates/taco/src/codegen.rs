@@ -48,8 +48,16 @@ pub struct GeneratedKernel {
 fn tensor_dims(program: &TacoProgram) -> BTreeMap<String, Vec<IndexVar>> {
     let mut dims: BTreeMap<String, Vec<IndexVar>> = BTreeMap::new();
     let mut record = |acc: &Access| {
-        dims.entry(acc.tensor.as_str().to_string())
+        let entry = dims
+            .entry(acc.tensor.as_str().to_string())
             .or_insert_with(|| acc.indices.clone());
+        // Rank-consistent programs never change the entry; for malformed
+        // ones (same tensor at different ranks — rejected by semantic
+        // analysis anyway) keep the widest access so linearisation stays
+        // in bounds instead of panicking.
+        if acc.indices.len() > entry.len() {
+            *entry = acc.indices.clone();
+        }
     };
     record(&program.lhs);
     for acc in program.rhs.accesses() {

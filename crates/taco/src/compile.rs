@@ -1,0 +1,1212 @@
+//! Bytecode compilation of concrete TACO programs — the validation hot
+//! loop's fast path.
+//!
+//! Candidate validation evaluates the *same* program against many
+//! environments of identical shape (N I/O examples per substitution,
+//! `trials_per_shape` Schwartz–Zippel draws per verifier round). The tree
+//! interpreter in [`crate::eval`] re-walks the AST and re-resolves index
+//! variables for every element of every evaluation; this module lowers a
+//! program + shape signature **once** into a [`CompiledKernel`]:
+//!
+//! - index variables and tensors become `u32`/`u16` slots — no strings
+//!   survive past compile time;
+//! - every tensor access gets precomputed row-major stride pairs, so an
+//!   element address is a handful of multiply-adds over raw `usize` loop
+//!   counters;
+//! - the RHS becomes a flat register-machine bytecode (postorder, one
+//!   register per live temporary);
+//! - arithmetic runs in a checked `i64` fast path whenever the program is
+//!   division-free and every input element is an `i64` integer, falling
+//!   back to exact [`Rat`] per output cell on overflow — results are
+//!   bit-for-bit identical to the interpreter, including the
+//!   [`EvalError`] classification.
+//!
+//! [`EvalCache`] memoises compiled kernels keyed by program + shape
+//! signature, promoting a program to compiled execution on its *second*
+//! evaluation (the first runs the interpreter), so a candidate checked
+//! against many examples/substitutions compiles at most once per
+//! distinct shape — and a candidate rejected by its first example never
+//! pays for compilation at all.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gtl_tensor::{checked_i64_sum, Rat, Shape, Tensor};
+
+use crate::ast::{BinOp, Expr, TacoProgram};
+use crate::eval::EvalError;
+use crate::semantics::{analyze, SemanticError, TensorEnv};
+
+/// One precomputed tensor access: which bound tensor slot to read and the
+/// row-major stride each loop counter contributes to the element offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AccessPlan {
+    /// Slot into the kernel's bound-tensor table.
+    tensor: u32,
+    /// `(loop slot, stride)` pairs; the element offset is
+    /// `Σ counters[slot] * stride`. A repeated index in one access is
+    /// merged into a single pair with the summed stride.
+    strides: Vec<(u32, usize)>,
+}
+
+/// The specialised plan for a product-only RHS (a pure multiplication
+/// tree over accesses and constants — GEMM, TTV, MTTKRP, dot, scaling):
+/// `term = coeff · Π loads`, swept over the innermost summation dimension
+/// as a tight multiply-accumulate loop with per-load stride increments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ProductPlan {
+    /// Access-table ids of the tensor leaves, in bytecode order.
+    loads: Vec<u32>,
+    /// All constant leaves folded into one coefficient.
+    coeff: i64,
+    /// Per load, its stride along the innermost summation dimension
+    /// (0 when independent of it, or when there is no summation).
+    inner_strides: Vec<usize>,
+}
+
+/// One register-machine instruction. Registers are assigned by postorder
+/// stack simulation at compile time, so `dst`/`a`/`b` are final.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// `regs[dst] = tensor[offset(access)]`.
+    Load { dst: u16, access: u32 },
+    /// `regs[dst] = value`.
+    Const { dst: u16, value: i64 },
+    /// `regs[dst] = -regs[src]`.
+    Neg { dst: u16, src: u16 },
+    /// `regs[dst] = regs[a] op regs[b]`.
+    Bin { op: BinOp, dst: u16, a: u16, b: u16 },
+}
+
+/// A TACO program lowered against one shape signature.
+///
+/// Construction is [`compile`]; evaluation is [`CompiledKernel::evaluate`]
+/// against any environment whose shapes match the signature the kernel was
+/// compiled for (the [`EvalCache`] guarantees this by keying on the
+/// signature).
+///
+/// ```
+/// use gtl_taco::{compile, parse_program, TensorEnv};
+/// use gtl_tensor::{Rat, Shape, Tensor};
+///
+/// let p = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+/// let mut env = TensorEnv::new();
+/// env.insert("b".into(), Tensor::from_ints(Shape::new(vec![2, 2]), &[1, 2, 3, 4]));
+/// env.insert("c".into(), Tensor::from_ints(Shape::new(vec![2]), &[10, 100]));
+/// let kernel = compile(&p, &env).unwrap();
+/// let out = kernel.evaluate(&env).unwrap();
+/// assert_eq!(out.data(), &[Rat::from(210), Rat::from(430)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledKernel {
+    /// Output extents (the LHS shape), in LHS index order.
+    out_extents: Vec<usize>,
+    /// Loop extents: output loops first, then summation loops.
+    loop_extents: Vec<usize>,
+    /// Number of output loops (prefix of `loop_extents`).
+    n_out_loops: usize,
+    /// Bound-tensor table: slot → tensor name, in RHS first-use order.
+    tensors: Vec<String>,
+    /// Expected shape per tensor slot (the compile-time signature).
+    sig: Vec<Shape>,
+    /// Access table referenced by `Op::Load`.
+    accesses: Vec<AccessPlan>,
+    /// The RHS bytecode, in evaluation (postorder) order.
+    code: Vec<Op>,
+    /// Registers needed to run `code`.
+    n_regs: usize,
+    /// Whether the RHS contains a division — if so, the `i64` fast path
+    /// is disabled and every cell runs in exact rational mode.
+    has_div: bool,
+    /// When the RHS is a pure multiplication tree with at most three
+    /// tensor leaves (the overwhelming majority of real candidates), the
+    /// `i64` fast path skips the register machine entirely. Integer
+    /// multiplication is associative and checked ops only succeed
+    /// exactly, so any association order is sound; the rational fallback
+    /// keeps strict postorder for identical error classification.
+    product: Option<ProductPlan>,
+    /// Per *output* loop slot, the `(access, stride)` deltas applied when
+    /// that counter advances — offsets are maintained incrementally, never
+    /// recomputed per element.
+    out_updates: Vec<Vec<(u32, usize)>>,
+    /// Per *summation* loop slot (relative to `n_out_loops`), likewise.
+    sum_updates: Vec<Vec<(u32, usize)>>,
+}
+
+/// Compiles `program` against the shapes bound in `env`.
+///
+/// Runs the same [`analyze`] pass the interpreter uses, so semantic
+/// failures are classified identically.
+///
+/// # Errors
+///
+/// Returns the [`SemanticError`] from analysis if the program does not
+/// analyse against `env`.
+pub fn compile(program: &TacoProgram, env: &TensorEnv) -> Result<CompiledKernel, SemanticError> {
+    let analysis = analyze(program, env)?;
+
+    // Index-variable slots: output indices first (later LHS occurrence
+    // wins, matching the interpreter's binding-overwrite semantics), then
+    // summation indices.
+    let mut slot_of: BTreeMap<&str, u32> = BTreeMap::new();
+    for (slot, ix) in analysis.output.iter().enumerate() {
+        slot_of.insert(ix.as_str(), slot as u32);
+    }
+    let n_out_loops = analysis.output.len();
+    for (i, ix) in analysis.summation.iter().enumerate() {
+        slot_of.insert(ix.as_str(), (n_out_loops + i) as u32);
+    }
+
+    let out_extents: Vec<usize> = analysis
+        .output
+        .iter()
+        .map(|ix| analysis.extents[ix])
+        .collect();
+    let mut loop_extents = out_extents.clone();
+    loop_extents.extend(analysis.summation.iter().map(|ix| analysis.extents[ix]));
+
+    let n_loops = loop_extents.len();
+    let mut kernel = CompiledKernel {
+        out_extents,
+        loop_extents,
+        n_out_loops,
+        tensors: Vec::new(),
+        sig: Vec::new(),
+        accesses: Vec::new(),
+        code: Vec::new(),
+        n_regs: 0,
+        has_div: false,
+        product: None,
+        out_updates: vec![Vec::new(); n_out_loops],
+        sum_updates: vec![Vec::new(); n_loops - n_out_loops],
+    };
+    lower(&program.rhs, 0, env, &slot_of, &mut kernel)?;
+
+    // Inverse stride map: which access offsets move when a counter
+    // advances.
+    for (a, plan) in kernel.accesses.iter().enumerate() {
+        for &(slot, stride) in &plan.strides {
+            let slot = slot as usize;
+            if slot < n_out_loops {
+                kernel.out_updates[slot].push((a as u32, stride));
+            } else {
+                kernel.sum_updates[slot - n_out_loops].push((a as u32, stride));
+            }
+        }
+    }
+
+    // Product-only RHS? Then the i64 fast path is a bare multiply-
+    // accumulate over the bytecode's leaves.
+    kernel.product = build_product_plan(&kernel);
+    Ok(kernel)
+}
+
+fn build_product_plan(kernel: &CompiledKernel) -> Option<ProductPlan> {
+    let mut loads = Vec::new();
+    let mut coeff = 1i64;
+    for op in &kernel.code {
+        match *op {
+            Op::Load { access, .. } => loads.push(access),
+            // Fold constants; an i64-overflowing coefficient just means
+            // "no fast path" (the generic engine handles it).
+            Op::Const { value, .. } => coeff = coeff.checked_mul(value)?,
+            Op::Bin { op: BinOp::Mul, .. } => {}
+            Op::Neg { .. } | Op::Bin { .. } => return None,
+        }
+    }
+    // The unrolled inner loops cover up to three tensor leaves.
+    if loads.is_empty() || loads.len() > 3 {
+        return None;
+    }
+    let inner_slot = (kernel.loop_extents.len() > kernel.n_out_loops)
+        .then(|| (kernel.loop_extents.len() - 1) as u32);
+    let inner_strides = loads
+        .iter()
+        .map(|&a| {
+            inner_slot
+                .and_then(|slot| {
+                    kernel.accesses[a as usize]
+                        .strides
+                        .iter()
+                        .find(|(s, _)| *s == slot)
+                        .map(|&(_, stride)| stride)
+                })
+                .unwrap_or(0)
+        })
+        .collect();
+    Some(ProductPlan {
+        loads,
+        coeff,
+        inner_strides,
+    })
+}
+
+/// Lowers `expr` so its value lands in register `depth`; registers above
+/// `depth` are scratch for the right operands of enclosing binaries.
+fn lower(
+    expr: &Expr,
+    depth: u16,
+    env: &TensorEnv,
+    slot_of: &BTreeMap<&str, u32>,
+    kernel: &mut CompiledKernel,
+) -> Result<(), SemanticError> {
+    kernel.n_regs = kernel.n_regs.max(depth as usize + 1);
+    match expr {
+        Expr::Access(acc) => {
+            let name = acc.tensor.as_str();
+            let t = env.get(name).expect("analysis bound every tensor");
+            let tensor_slot = match kernel.tensors.iter().position(|n| n == name) {
+                Some(s) => s as u32,
+                None => {
+                    kernel.tensors.push(name.to_string());
+                    kernel.sig.push(t.shape().clone());
+                    (kernel.tensors.len() - 1) as u32
+                }
+            };
+            let strides = access_strides(&acc.indices, t.shape().extents(), |ix| slot_of[ix]);
+            let access = kernel.accesses.len() as u32;
+            kernel.accesses.push(AccessPlan {
+                tensor: tensor_slot,
+                strides,
+            });
+            kernel.code.push(Op::Load { dst: depth, access });
+            Ok(())
+        }
+        Expr::Const(c) => {
+            kernel.code.push(Op::Const {
+                dst: depth,
+                value: *c,
+            });
+            Ok(())
+        }
+        Expr::ConstSym(_) => Err(SemanticError::Uninstantiated),
+        Expr::Neg(e) => {
+            lower(e, depth, env, slot_of, kernel)?;
+            kernel.code.push(Op::Neg {
+                dst: depth,
+                src: depth,
+            });
+            Ok(())
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            lower(lhs, depth, env, slot_of, kernel)?;
+            lower(rhs, depth + 1, env, slot_of, kernel)?;
+            if *op == BinOp::Div {
+                kernel.has_div = true;
+            }
+            kernel.code.push(Op::Bin {
+                op: *op,
+                dst: depth,
+                a: depth,
+                b: depth + 1,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Row-major `(loop slot, stride)` pairs for one access: stride of dim
+/// `d` is the product of the extents of all later dims, and a repeated
+/// index (diagonal access) merges into one pair with the summed stride.
+/// The single source of the layout rule shared by the compiled kernel
+/// and the interpreter ([`crate::eval`]).
+pub(crate) fn access_strides<S: Copy + PartialEq>(
+    indices: &[crate::ast::IndexVar],
+    extents: &[usize],
+    mut slot_of: impl FnMut(&str) -> S,
+) -> Vec<(S, usize)> {
+    let mut strides: Vec<(S, usize)> = Vec::with_capacity(indices.len());
+    let mut stride = 1usize;
+    for (ix, &extent) in indices.iter().zip(extents).rev() {
+        let slot = slot_of(ix.as_str());
+        match strides.iter_mut().find(|(s, _)| *s == slot) {
+            Some((_, st)) => *st += stride,
+            None => strides.push((slot, stride)),
+        }
+        stride *= extent;
+    }
+    strides.reverse();
+    strides
+}
+
+impl CompiledKernel {
+    /// The output shape this kernel produces.
+    pub fn output_shape(&self) -> Shape {
+        Shape::new(self.out_extents.clone())
+    }
+
+    /// The `(tensor name, shape)` signature this kernel was compiled for,
+    /// in RHS first-use order.
+    pub fn signature(&self) -> impl Iterator<Item = (&str, &Shape)> {
+        self.tensors
+            .iter()
+            .map(String::as_str)
+            .zip(self.sig.iter())
+    }
+
+    /// Whether `env` binds every referenced tensor at the compiled shape.
+    pub fn matches(&self, env: &TensorEnv) -> bool {
+        self.signature()
+            .all(|(name, shape)| env.get(name).map(Tensor::shape) == Some(shape))
+    }
+
+    /// Evaluates the kernel against `env`, which must match the shape
+    /// signature it was compiled for (callers route through [`EvalCache`]
+    /// or compiled against the same environment, so this always holds).
+    ///
+    /// Bit-for-bit identical to [`crate::eval::evaluate_interpreted`] on
+    /// the same program and environment, including the error
+    /// classification of [`EvalError::Arithmetic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env` does not match the compiled signature; that is an
+    /// internal routing bug, not a candidate failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Arithmetic`] exactly where the interpreter
+    /// would (division by zero, `i128` overflow).
+    pub fn evaluate(&self, env: &TensorEnv) -> Result<Tensor, EvalError> {
+        let tensors: Vec<&Tensor> = self
+            .tensors
+            .iter()
+            .zip(&self.sig)
+            .map(|(name, sig)| {
+                let t = env
+                    .get(name)
+                    .unwrap_or_else(|| panic!("compiled kernel: tensor `{name}` unbound"));
+                assert_eq!(
+                    t.shape(),
+                    sig,
+                    "compiled kernel: tensor `{name}` bound at a different shape"
+                );
+                t
+            })
+            .collect();
+        // Per-*access* data slices: a load is one bounds-checked index,
+        // no tensor-table indirection.
+        let acc_rats: Vec<&[Rat]> = self
+            .accesses
+            .iter()
+            .map(|p| tensors[p.tensor as usize].data())
+            .collect();
+
+        let sum_iters: usize = self.loop_extents[self.n_out_loops..].iter().product();
+
+        // The i64 fast path applies when the program is division-free and
+        // every input element is an i64 integer; each tensor is converted
+        // once per evaluation, so the loop nest never touches a Rat. With
+        // no summation (sum_iters <= 1) every element is read exactly
+        // once, so the conversion pass would cost more memory traffic
+        // than it saves — the exact engine (with its integer fast paths)
+        // is the right tool there.
+        let int_tensors: Option<Vec<Vec<i64>>> = if self.has_div || sum_iters <= 1 {
+            None
+        } else {
+            tensors
+                .iter()
+                .map(|t| t.data().iter().map(|r| r.to_i64()).collect())
+                .collect()
+        };
+        let acc_ints: Option<Vec<&[i64]>> = int_tensors.as_ref().map(|ints| {
+            self.accesses
+                .iter()
+                .map(|p| ints[p.tensor as usize].as_slice())
+                .collect()
+        });
+
+        let out_shape = self.output_shape();
+        let mut out = vec![Rat::ZERO; out_shape.len()];
+        let mut state = LoopState {
+            counters: vec![0usize; self.loop_extents.len()],
+            base_off: vec![0usize; self.accesses.len()],
+            sum_off: vec![0usize; self.accesses.len()],
+        };
+        let mut regs_r = vec![Rat::ZERO; self.n_regs];
+        let mut regs_i = vec![0i64; self.n_regs];
+
+        for cell in out.iter_mut() {
+            *cell = if let Some(ints) = &acc_ints {
+                match self.cell_i64(&mut state, sum_iters, &mut regs_i, ints) {
+                    Some(v) => Rat::from(v),
+                    // Overflowed i64 somewhere in this cell: redo it in
+                    // exact arithmetic (identical result or the exact
+                    // interpreter error).
+                    None => {
+                        state.reset_summation(self.n_out_loops);
+                        self.cell_rat(&mut state, sum_iters, &mut regs_r, &acc_rats)?
+                    }
+                }
+            } else {
+                self.cell_rat(&mut state, sum_iters, &mut regs_r, &acc_rats)?
+            };
+            // Advance the output odometer (row-major, rightmost fastest),
+            // sliding the per-access base offsets along.
+            advance(
+                &mut state.counters[..self.n_out_loops],
+                &self.loop_extents[..self.n_out_loops],
+                &self.out_updates,
+                &mut state.base_off,
+            );
+        }
+        Ok(Tensor::from_data(out_shape, out).expect("output length matches shape"))
+    }
+
+    /// One output cell in checked `i64` arithmetic; `None` requests the
+    /// exact-rational fallback. Enters and leaves with the summation
+    /// counters and offsets at zero (a full sweep wraps them around).
+    fn cell_i64(
+        &self,
+        state: &mut LoopState,
+        sum_iters: usize,
+        regs: &mut [i64],
+        ints: &[&[i64]],
+    ) -> Option<i64> {
+        if let Some(plan) = &self.product {
+            return self.cell_i64_product(state, sum_iters, ints, plan);
+        }
+        let mut remaining = sum_iters;
+        checked_i64_sum(std::iter::from_fn(|| {
+            if remaining == 0 {
+                return None;
+            }
+            remaining -= 1;
+            let term = self.exec_i64(state, regs, ints);
+            self.advance_summation(state);
+            Some(term)
+        }))
+    }
+
+    /// Product specialisation: the innermost summation dimension runs as
+    /// a tight multiply-accumulate loop over *local* offsets (its counter
+    /// and the shared offset state are never touched, preserving the
+    /// zero-on-exit invariant); outer summation dimensions use the
+    /// regular incremental odometer.
+    fn cell_i64_product(
+        &self,
+        state: &mut LoopState,
+        sum_iters: usize,
+        ints: &[&[i64]],
+        plan: &ProductPlan,
+    ) -> Option<i64> {
+        let n_loops = self.loop_extents.len();
+        let has_sum = n_loops > self.n_out_loops;
+        let inner = if has_sum {
+            self.loop_extents[n_loops - 1]
+        } else {
+            1
+        };
+        if inner == 0 || sum_iters == 0 {
+            return Some(0);
+        }
+        let outer_iters = sum_iters / inner;
+        let off = |state: &LoopState, i: usize| {
+            let a = plan.loads[i] as usize;
+            state.base_off[a] + state.sum_off[a]
+        };
+        let mut acc = 0i64;
+        for _ in 0..outer_iters {
+            let part = match plan.loads.len() {
+                1 => inner_product1(
+                    ints[plan.loads[0] as usize],
+                    off(state, 0),
+                    plan.inner_strides[0],
+                    plan.coeff,
+                    inner,
+                ),
+                2 => inner_product2(
+                    ints[plan.loads[0] as usize],
+                    off(state, 0),
+                    plan.inner_strides[0],
+                    ints[plan.loads[1] as usize],
+                    off(state, 1),
+                    plan.inner_strides[1],
+                    plan.coeff,
+                    inner,
+                ),
+                _ => inner_product3(
+                    ints[plan.loads[0] as usize],
+                    off(state, 0),
+                    plan.inner_strides[0],
+                    ints[plan.loads[1] as usize],
+                    off(state, 1),
+                    plan.inner_strides[1],
+                    ints[plan.loads[2] as usize],
+                    off(state, 2),
+                    plan.inner_strides[2],
+                    plan.coeff,
+                    inner,
+                ),
+            }?;
+            acc = acc.checked_add(part)?;
+            if has_sum {
+                // Advance the *outer* summation dims only; the inner
+                // dim's counter stayed at zero.
+                advance(
+                    &mut state.counters[self.n_out_loops..n_loops - 1],
+                    &self.loop_extents[self.n_out_loops..n_loops - 1],
+                    &self.sum_updates[..self.sum_updates.len() - 1],
+                    &mut state.sum_off,
+                );
+            }
+        }
+        Some(acc)
+    }
+
+    #[inline]
+    fn exec_i64(&self, state: &LoopState, regs: &mut [i64], ints: &[&[i64]]) -> Option<i64> {
+        for op in &self.code {
+            match *op {
+                Op::Load { dst, access } => {
+                    let a = access as usize;
+                    regs[dst as usize] = ints[a][state.base_off[a] + state.sum_off[a]];
+                }
+                Op::Const { dst, value } => regs[dst as usize] = value,
+                Op::Neg { dst, src } => {
+                    regs[dst as usize] = regs[src as usize].checked_neg()?
+                }
+                Op::Bin { op, dst, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    regs[dst as usize] = match op {
+                        BinOp::Add => x.checked_add(y)?,
+                        BinOp::Sub => x.checked_sub(y)?,
+                        BinOp::Mul => x.checked_mul(y)?,
+                        BinOp::Div => unreachable!("i64 mode is division-free"),
+                    };
+                }
+            }
+        }
+        Some(regs[0])
+    }
+
+    /// One output cell in exact rational arithmetic, mirroring the
+    /// interpreter's evaluation and error order. Same summation-state
+    /// contract as [`CompiledKernel::cell_i64`].
+    fn cell_rat(
+        &self,
+        state: &mut LoopState,
+        sum_iters: usize,
+        regs: &mut [Rat],
+        data: &[&[Rat]],
+    ) -> Result<Rat, EvalError> {
+        let mut acc = Rat::ZERO;
+        for _ in 0..sum_iters {
+            for op in &self.code {
+                match *op {
+                    Op::Load { dst, access } => {
+                        let a = access as usize;
+                        regs[dst as usize] = data[a][state.base_off[a] + state.sum_off[a]];
+                    }
+                    Op::Const { dst, value } => regs[dst as usize] = Rat::from(value),
+                    Op::Neg { dst, src } => regs[dst as usize] = -regs[src as usize],
+                    Op::Bin { op, dst, a, b } => {
+                        let (x, y) = (regs[a as usize], regs[b as usize]);
+                        regs[dst as usize] = match op {
+                            BinOp::Add => x.checked_add(y)?,
+                            BinOp::Sub => x.checked_sub(y)?,
+                            BinOp::Mul => x.checked_mul(y)?,
+                            BinOp::Div => x.checked_div(y)?,
+                        };
+                    }
+                }
+            }
+            acc = acc.checked_add(regs[0])?;
+            self.advance_summation(state);
+        }
+        Ok(acc)
+    }
+
+    #[inline]
+    fn advance_summation(&self, state: &mut LoopState) {
+        advance(
+            &mut state.counters[self.n_out_loops..],
+            &self.loop_extents[self.n_out_loops..],
+            &self.sum_updates,
+            &mut state.sum_off,
+        );
+    }
+}
+
+/// The loop nest's mutable state: raw counters plus per-access offsets
+/// maintained incrementally (output contribution and summation
+/// contribution kept separate so a cell restart only zeroes the latter).
+struct LoopState {
+    counters: Vec<usize>,
+    base_off: Vec<usize>,
+    sum_off: Vec<usize>,
+}
+
+impl LoopState {
+    fn reset_summation(&mut self, n_out: usize) {
+        for c in &mut self.counters[n_out..] {
+            *c = 0;
+        }
+        for o in &mut self.sum_off {
+            *o = 0;
+        }
+    }
+}
+
+/// `coeff · Σ_t d[o + t·s]` with checked arithmetic; `None` = fall back.
+#[inline]
+fn inner_product1(d: &[i64], mut o: usize, s: usize, coeff: i64, n: usize) -> Option<i64> {
+    let mut acc = 0i64;
+    if coeff == 1 {
+        for _ in 0..n {
+            acc = acc.checked_add(d[o])?;
+            o += s;
+        }
+    } else {
+        for _ in 0..n {
+            acc = acc.checked_add(coeff.checked_mul(d[o])?)?;
+            o += s;
+        }
+    }
+    Some(acc)
+}
+
+/// `coeff · Σ_t d0[o0 + t·s0] · d1[o1 + t·s1]` with checked arithmetic.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn inner_product2(
+    d0: &[i64],
+    mut o0: usize,
+    s0: usize,
+    d1: &[i64],
+    mut o1: usize,
+    s1: usize,
+    coeff: i64,
+    n: usize,
+) -> Option<i64> {
+    let mut acc = 0i64;
+    if coeff == 1 {
+        for _ in 0..n {
+            acc = acc.checked_add(d0[o0].checked_mul(d1[o1])?)?;
+            o0 += s0;
+            o1 += s1;
+        }
+    } else {
+        for _ in 0..n {
+            acc = acc.checked_add(coeff.checked_mul(d0[o0])?.checked_mul(d1[o1])?)?;
+            o0 += s0;
+            o1 += s1;
+        }
+    }
+    Some(acc)
+}
+
+/// Three-load variant of [`inner_product2`] (MTTKRP shape).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn inner_product3(
+    d0: &[i64],
+    mut o0: usize,
+    s0: usize,
+    d1: &[i64],
+    mut o1: usize,
+    s1: usize,
+    d2: &[i64],
+    mut o2: usize,
+    s2: usize,
+    coeff: i64,
+    n: usize,
+) -> Option<i64> {
+    let mut acc = 0i64;
+    if coeff == 1 {
+        for _ in 0..n {
+            acc = acc.checked_add(d0[o0].checked_mul(d1[o1])?.checked_mul(d2[o2])?)?;
+            o0 += s0;
+            o1 += s1;
+            o2 += s2;
+        }
+    } else {
+        for _ in 0..n {
+            acc = acc.checked_add(
+                coeff
+                    .checked_mul(d0[o0])?
+                    .checked_mul(d1[o1])?
+                    .checked_mul(d2[o2])?,
+            )?;
+            o0 += s0;
+            o1 += s1;
+            o2 += s2;
+        }
+    }
+    Some(acc)
+}
+
+/// Advances a row-major odometer one step (rightmost fastest), applying
+/// each moved counter's stride deltas to the affected access offsets.
+#[inline]
+fn advance(
+    counters: &mut [usize],
+    extents: &[usize],
+    updates: &[Vec<(u32, usize)>],
+    offs: &mut [usize],
+) {
+    for slot in (0..counters.len()).rev() {
+        counters[slot] += 1;
+        if counters[slot] < extents[slot] {
+            for &(a, stride) in &updates[slot] {
+                offs[a as usize] += stride;
+            }
+            return;
+        }
+        counters[slot] = 0;
+        for &(a, stride) in &updates[slot] {
+            offs[a as usize] -= (extents[slot] - 1) * stride;
+        }
+    }
+}
+
+/// The shape signature of an environment as a program sees it: one entry
+/// per RHS access, in traversal order (duplicates included — they are
+/// determined by the program, which is part of the key, so they change
+/// neither equality nor hashing semantics and need no dedup allocation).
+type ShapeSig = Vec<Option<Shape>>;
+
+/// Walks the RHS accesses left to right without allocating.
+fn for_each_access(expr: &Expr, f: &mut impl FnMut(&crate::ast::Access)) {
+    match expr {
+        Expr::Access(a) => f(a),
+        Expr::Const(_) | Expr::ConstSym(_) => {}
+        Expr::Neg(e) => for_each_access(e, f),
+        Expr::Binary { lhs, rhs, .. } => {
+            for_each_access(lhs, f);
+            for_each_access(rhs, f);
+        }
+    }
+}
+
+fn shape_signature(program: &TacoProgram, env: &TensorEnv) -> ShapeSig {
+    let mut sig = Vec::new();
+    for_each_access(&program.rhs, &mut |acc| {
+        sig.push(env.get(acc.tensor.as_str()).map(|t| t.shape().clone()));
+    });
+    sig
+}
+
+/// Whether `sig` still describes `env` for `program` — the collision
+/// check on a fingerprint hit, allocation-free.
+fn signature_matches(program: &TacoProgram, env: &TensorEnv, sig: &ShapeSig) -> bool {
+    let mut i = 0;
+    let mut ok = true;
+    for_each_access(&program.rhs, &mut |acc| {
+        let bound = env.get(acc.tensor.as_str()).map(Tensor::shape);
+        ok &= sig.get(i).map(Option::as_ref) == Some(bound);
+        i += 1;
+    });
+    ok && i == sig.len()
+}
+
+/// Cache hit/miss counters, for observability in benches and logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that compiled (or re-discovered a semantic failure).
+    pub misses: u64,
+}
+
+const SHARDS: usize = 8;
+/// Per-shard entry bound; a full shard is cleared wholesale. Search runs
+/// try tens of thousands of candidate/substitution pairs, and an
+/// unbounded map would grow for the lifetime of a worker.
+const SHARD_CAPACITY: usize = 4096;
+/// Per-shard bound on the once-seen fingerprint set (bare `u64`s).
+const SEEN_CAPACITY: usize = 16384;
+
+/// Shard payload: full key (for collision detection) plus the kernel.
+type CacheSlot = ((TacoProgram, ShapeSig), Arc<CompiledKernel>);
+
+#[derive(Debug, Default)]
+struct CacheShard {
+    /// Fingerprint → compiled kernel, for programs seen at least twice.
+    map: HashMap<u64, CacheSlot>,
+    /// Fingerprints seen exactly once: candidates that fail their first
+    /// I/O example (the vast majority during search) die here without
+    /// ever paying for compilation or a stored clone. A fingerprint
+    /// collision merely promotes a program to compilation one sighting
+    /// early — it cannot produce a wrong result.
+    seen: std::collections::HashSet<u64>,
+}
+
+/// A sharded, thread-safe memo of [`compile`] results keyed by program +
+/// shape signature.
+///
+/// Designed to sit behind a per-worker `TemplateChecker` (no contention)
+/// but safe to share across workers.
+///
+/// Compilation is *promoted on second use*: the first evaluation of a
+/// (program, signature) pair runs the allocation-light interpreter and
+/// records only a fingerprint; the second compiles and caches the
+/// kernel. Candidate validation short-circuits on the first failing
+/// example, so the enormous population of wrong substitutions is
+/// evaluated exactly once each — they never pay compilation, cloning, or
+/// cache storage — while anything evaluated repeatedly (surviving
+/// substitutions across examples, verifier trials, exhaustive sweeps)
+/// runs compiled from its second evaluation on.
+///
+/// ```
+/// use gtl_taco::{parse_program, EvalCache, TensorEnv};
+/// use gtl_tensor::{Rat, Shape, Tensor};
+///
+/// let cache = EvalCache::default();
+/// let p = parse_program("a = b(i) * c(i)").unwrap();
+/// let mut env = TensorEnv::new();
+/// env.insert("b".into(), Tensor::from_ints(Shape::new(vec![2]), &[1, 2]));
+/// env.insert("c".into(), Tensor::from_ints(Shape::new(vec![2]), &[3, 4]));
+/// // First evaluation interprets, second compiles, third runs cached.
+/// assert_eq!(*cache.evaluate(&p, &env).unwrap().as_scalar(), Rat::from(11));
+/// cache.evaluate(&p, &env).unwrap();
+/// assert_eq!(cache.stats().misses, 2);
+/// cache.evaluate(&p, &env).unwrap();
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    /// The fingerprint is a 64-bit hash of (program, signature); the
+    /// stored key is compared on every hit, so a fingerprint collision in
+    /// the kernel map degrades to a recompile instead of a wrong kernel,
+    /// and hits never clone or allocate.
+    shards: [Mutex<CacheShard>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EvalCache {
+    /// Creates an empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Fingerprints the (program, env-shapes) pair without allocating:
+    /// the owned signature is only built when an entry is stored.
+    fn fingerprint(program: &TacoProgram, env: &TensorEnv) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        program.hash(&mut hasher);
+        for_each_access(&program.rhs, &mut |acc| {
+            match env.get(acc.tensor.as_str()) {
+                Some(t) => t.shape().hash(&mut hasher),
+                None => u64::MAX.hash(&mut hasher),
+            }
+        });
+        hasher.finish()
+    }
+
+    /// The compiled kernel for `program` at `env`'s shapes, compiling
+    /// immediately if it is not cached yet (no second-use promotion —
+    /// callers of this entry point want the kernel itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SemanticError`] if the program does not analyse
+    /// against `env`.
+    pub fn kernel(
+        &self,
+        program: &TacoProgram,
+        env: &TensorEnv,
+    ) -> Result<Arc<CompiledKernel>, SemanticError> {
+        let fingerprint = Self::fingerprint(program, env);
+        let shard = &self.shards[(fingerprint as usize) % SHARDS];
+        let mut guard = shard.lock().expect("eval cache shard poisoned");
+        if let Some(((key_program, key_sig), kernel)) = guard.map.get(&fingerprint) {
+            if key_program == program && signature_matches(program, env, key_sig) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(kernel.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let kernel = Arc::new(compile(program, env)?);
+        Self::store(&mut guard, fingerprint, program, env, &kernel);
+        Ok(kernel)
+    }
+
+    fn store(
+        shard: &mut CacheShard,
+        fingerprint: u64,
+        program: &TacoProgram,
+        env: &TensorEnv,
+        kernel: &Arc<CompiledKernel>,
+    ) {
+        if shard.map.len() >= SHARD_CAPACITY {
+            shard.map.clear();
+        }
+        shard.map.insert(
+            fingerprint,
+            (
+                (program.clone(), shape_signature(program, env)),
+                kernel.clone(),
+            ),
+        );
+    }
+
+    /// Evaluates `program` against `env` through the cache: interpreted
+    /// on first sight, compiled and cached from the second evaluation of
+    /// the same (program, shape signature) on.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`crate::evaluate`] on the same inputs.
+    pub fn evaluate(&self, program: &TacoProgram, env: &TensorEnv) -> Result<Tensor, EvalError> {
+        let fingerprint = Self::fingerprint(program, env);
+        let shard = &self.shards[(fingerprint as usize) % SHARDS];
+        let mut guard = shard.lock().expect("eval cache shard poisoned");
+        if let Some(((key_program, key_sig), kernel)) = guard.map.get(&fingerprint) {
+            if key_program == program && signature_matches(program, env, key_sig) {
+                let kernel = kernel.clone();
+                drop(guard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return kernel.evaluate(env);
+            }
+        }
+        if guard.seen.len() >= SEEN_CAPACITY {
+            guard.seen.clear();
+        }
+        let promote = !guard.seen.insert(fingerprint);
+        drop(guard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if !promote {
+            // First sight: candidates that die on their first example
+            // (the common case in search) stop here, paying only an
+            // interpreted run and one u64.
+            return crate::eval::evaluate_interpreted(program, env);
+        }
+        match compile(program, env) {
+            Ok(kernel) => {
+                let kernel = Arc::new(kernel);
+                let mut guard = shard.lock().expect("eval cache shard poisoned");
+                Self::store(&mut guard, fingerprint, program, env, &kernel);
+                drop(guard);
+                kernel.evaluate(env)
+            }
+            Err(e) => Err(EvalError::Semantic(e)),
+        }
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> EvalCacheStats {
+        EvalCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_interpreted;
+    use crate::parser::parse_program;
+    use gtl_tensor::RatError;
+
+    fn env(entries: &[(&str, Shape, &[i64])]) -> TensorEnv {
+        let mut e = TensorEnv::new();
+        for (name, shape, data) in entries {
+            e.insert(name.to_string(), Tensor::from_ints(shape.clone(), data));
+        }
+        e
+    }
+
+    #[test]
+    fn gemm_matches_interpreter() {
+        let p = parse_program("a(i,j) = b(i,k) * c(k,j)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2, 2]), &[1, 2, 3, 4]),
+            ("c", Shape::new(vec![2, 2]), &[5, 6, 7, 8]),
+        ]);
+        let kernel = compile(&p, &e).unwrap();
+        assert_eq!(kernel.evaluate(&e).unwrap(), evaluate_interpreted(&p, &e).unwrap());
+    }
+
+    #[test]
+    fn mttkrp_matches_interpreter() {
+        let p = parse_program("a(i,j) = b(i,k,l) * c(k,j) * d(l,j)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![1, 2, 2]), &[1, 2, 3, 4]),
+            ("c", Shape::new(vec![2, 1]), &[5, 6]),
+            ("d", Shape::new(vec![2, 1]), &[7, 8]),
+        ]);
+        let kernel = compile(&p, &e).unwrap();
+        let out = kernel.evaluate(&e).unwrap();
+        assert_eq!(out.data(), &[Rat::from(433)]);
+    }
+
+    #[test]
+    fn division_forces_rational_mode_and_matches() {
+        let p = parse_program("a(i) = b(i) / c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2]), &[1, 3]),
+            ("c", Shape::new(vec![2]), &[2, 4]),
+        ]);
+        let kernel = compile(&p, &e).unwrap();
+        assert!(kernel.has_div);
+        assert_eq!(
+            kernel.evaluate(&e).unwrap().data(),
+            &[Rat::new(1, 2), Rat::new(3, 4)]
+        );
+    }
+
+    #[test]
+    fn division_by_zero_classified_like_interpreter() {
+        let p = parse_program("a(i) = b(i) / c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2]), &[1, 2]),
+            ("c", Shape::new(vec![2]), &[1, 0]),
+        ]);
+        let kernel = compile(&p, &e).unwrap();
+        let got = kernel.evaluate(&e);
+        assert_eq!(got, evaluate_interpreted(&p, &e));
+        assert_eq!(got, Err(EvalError::Arithmetic(RatError::DivisionByZero)));
+    }
+
+    #[test]
+    fn i64_overflow_falls_back_to_exact_rationals() {
+        // Summation over i (extent 2) keeps sum_iters > 1 so the i64
+        // fast path is actually entered; 3e18 * 3e18 then overflows i64
+        // but fits i128, so the cell must fall back mid-sweep and
+        // produce the exact sum of products.
+        let big = 3_000_000_000_000_000_000i64;
+        let p = parse_program("a = b(i) * c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![2]), &[big, 2]),
+            ("c", Shape::new(vec![2]), &[big, 3]),
+        ]);
+        let kernel = compile(&p, &e).unwrap();
+        let expected = Rat::new(big as i128 * big as i128 + 6, 1);
+        assert_eq!(kernel.evaluate(&e).unwrap().data(), &[expected]);
+        assert_eq!(kernel.evaluate(&e), evaluate_interpreted(&p, &e));
+    }
+
+    #[test]
+    fn i128_overflow_classified_like_interpreter() {
+        // (3e18)^4 overflows i128 in both engines; extent-2 summation
+        // makes the compiled path go i64 -> abort -> exact fallback ->
+        // the interpreter's exact Overflow error.
+        let big = 3_000_000_000_000_000_000i64;
+        let p = parse_program("a = b(i) * b(i) * b(i) * b(i)").unwrap();
+        let e = env(&[("b", Shape::new(vec![2]), &[big, big])]);
+        let kernel = compile(&p, &e).unwrap();
+        let got = kernel.evaluate(&e);
+        assert_eq!(got, evaluate_interpreted(&p, &e));
+        assert_eq!(got, Err(EvalError::Arithmetic(RatError::Overflow)));
+    }
+
+    #[test]
+    fn non_integer_inputs_run_in_rational_mode() {
+        let p = parse_program("a = b(i) * c(i)").unwrap();
+        let mut e = TensorEnv::new();
+        e.insert(
+            "b".into(),
+            Tensor::from_data(Shape::new(vec![2]), vec![Rat::new(1, 2), Rat::new(1, 3)]).unwrap(),
+        );
+        e.insert("c".into(), Tensor::from_ints(Shape::new(vec![2]), &[6, 6]));
+        let kernel = compile(&p, &e).unwrap();
+        assert_eq!(*kernel.evaluate(&e).unwrap().as_scalar(), Rat::from(5));
+    }
+
+    #[test]
+    fn empty_summation_yields_zero() {
+        let p = parse_program("a = b(i)").unwrap();
+        let e = env(&[("b", Shape::new(vec![0]), &[])]);
+        let kernel = compile(&p, &e).unwrap();
+        assert_eq!(*kernel.evaluate(&e).unwrap().as_scalar(), Rat::ZERO);
+    }
+
+    #[test]
+    fn repeated_index_access_reads_diagonal() {
+        let p = parse_program("a = b(i,i)").unwrap();
+        let e = env(&[("b", Shape::new(vec![2, 2]), &[1, 2, 3, 4])]);
+        let kernel = compile(&p, &e).unwrap();
+        assert_eq!(*kernel.evaluate(&e).unwrap().as_scalar(), Rat::from(5));
+    }
+
+    #[test]
+    fn semantic_errors_flow_through_compile() {
+        let p = parse_program("a(i) = z(i)").unwrap();
+        let e = env(&[("b", Shape::new(vec![2]), &[1, 2])]);
+        assert!(matches!(
+            compile(&p, &e),
+            Err(SemanticError::UnboundTensor { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_promotes_to_compiled_on_second_use() {
+        let cache = EvalCache::new();
+        let p = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let e1 = env(&[
+            ("b", Shape::new(vec![2, 2]), &[1, 0, 0, 1]),
+            ("c", Shape::new(vec![2]), &[3, 4]),
+        ]);
+        let e2 = env(&[
+            ("b", Shape::new(vec![2, 2]), &[5, 6, 7, 8]),
+            ("c", Shape::new(vec![2]), &[1, 1]),
+        ]);
+        // First sight interprets, second (same signature) compiles, third
+        // hits the compiled kernel.
+        assert_eq!(cache.evaluate(&p, &e1).unwrap().data(), &[Rat::from(3), Rat::from(4)]);
+        assert_eq!(cache.evaluate(&p, &e2).unwrap().data(), &[Rat::from(11), Rat::from(15)]);
+        assert_eq!(cache.stats(), EvalCacheStats { hits: 0, misses: 2 });
+        cache.evaluate(&p, &e1).unwrap();
+        assert_eq!(cache.stats(), EvalCacheStats { hits: 1, misses: 2 });
+
+        // A different shape signature is a distinct kernel and restarts
+        // the promotion ladder.
+        let e3 = env(&[
+            ("b", Shape::new(vec![3, 3]), &[1, 0, 0, 0, 1, 0, 0, 0, 1]),
+            ("c", Shape::new(vec![3]), &[1, 2, 3]),
+        ]);
+        cache.evaluate(&p, &e3).unwrap();
+        assert_eq!(cache.stats(), EvalCacheStats { hits: 1, misses: 3 });
+
+        // `kernel()` compiles eagerly regardless.
+        assert!(cache.kernel(&p, &e3).is_ok());
+        cache.evaluate(&p, &e3).unwrap();
+        assert_eq!(cache.stats(), EvalCacheStats { hits: 2, misses: 4 });
+    }
+
+    #[test]
+    fn semantic_failures_classified_but_not_stored() {
+        let cache = EvalCache::new();
+        let p = parse_program("a(i) = b(i)").unwrap();
+        let e = env(&[("b", Shape::new(vec![2, 2]), &[1, 2, 3, 4])]);
+        for _ in 0..3 {
+            assert!(matches!(
+                cache.evaluate(&p, &e),
+                Err(EvalError::Semantic(SemanticError::RankMismatch { .. }))
+            ));
+        }
+        // Failures are misses every time (the validator short-circuits,
+        // so a failing candidate is only ever evaluated once; storing it
+        // would cost a program clone for an entry never read back).
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3));
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = EvalCache::new();
+        let p = parse_program("a = b(i) * c(i)").unwrap();
+        let e = env(&[
+            ("b", Shape::new(vec![4]), &[1, 2, 3, 4]),
+            ("c", Shape::new(vec![4]), &[4, 3, 2, 1]),
+        ]);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (cache, p, e) = (&cache, &p, &e);
+                s.spawn(move || {
+                    for _ in 0..16 {
+                        assert_eq!(*cache.evaluate(p, e).unwrap().as_scalar(), Rat::from(20));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 64);
+    }
+}

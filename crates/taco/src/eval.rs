@@ -4,13 +4,24 @@
 //! the output element at each assignment of the *free* (LHS) indices is
 //! the sum, over all assignments of the *summation* indices, of the
 //! right-hand-side expression. An empty summation range produces zero.
+//!
+//! Two engines implement these semantics and are kept bit-for-bit
+//! identical (the differential proptests enforce it):
+//!
+//! - the *interpreter* here — a tree walker over a pre-resolved RHS with
+//!   positional index bindings (no per-iteration allocation);
+//! - the *compiled* path in [`crate::compile`] — interned slots, stride
+//!   bytecode and an `i64` fast path, used by the validation hot loop.
+//!
+//! [`evaluate`] routes through the compiled path; [`evaluate_interpreted`]
+//! is the reference interpreter.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use gtl_tensor::{Rat, RatError, Tensor};
 
-use crate::ast::{Expr, IndexVar, TacoProgram};
+use crate::ast::{BinOp, Expr, TacoProgram};
 use crate::semantics::{analyze, IndexAnalysis, SemanticError, TensorEnv};
 
 /// An evaluation error.
@@ -45,10 +56,30 @@ impl From<RatError> for EvalError {
     }
 }
 
-/// An assignment of index variables to concrete positions.
-type IndexBinding = BTreeMap<IndexVar, usize>;
+/// The RHS with every index variable resolved to a positional loop slot
+/// and every tensor access resolved to its data slice + row-major
+/// strides. Built once per evaluation; the loop nest then never touches a
+/// string or allocates.
+enum Resolved<'a> {
+    /// A tensor element read: `data[Σ counters[slot] * stride]`.
+    Load {
+        data: &'a [Rat],
+        strides: Vec<(usize, usize)>,
+    },
+    Const(Rat),
+    Neg(Box<Resolved<'a>>),
+    Bin {
+        op: BinOp,
+        lhs: Box<Resolved<'a>>,
+        rhs: Box<Resolved<'a>>,
+    },
+}
 
-fn eval_expr(expr: &Expr, env: &TensorEnv, binding: &IndexBinding) -> Result<Rat, EvalError> {
+fn resolve<'a>(
+    expr: &Expr,
+    env: &'a TensorEnv,
+    slot_of: &BTreeMap<&str, usize>,
+) -> Result<Resolved<'a>, EvalError> {
     match expr {
         Expr::Access(acc) => {
             let t = env
@@ -56,24 +87,45 @@ fn eval_expr(expr: &Expr, env: &TensorEnv, binding: &IndexBinding) -> Result<Rat
                 .ok_or_else(|| SemanticError::UnboundTensor {
                     name: acc.tensor.as_str().to_string(),
                 })?;
-            let idx: Vec<usize> = acc
-                .indices
-                .iter()
-                .map(|ix| *binding.get(ix).expect("analysis bound every index"))
-                .collect();
-            Ok(*t.get(&idx).expect("analysis checked bounds"))
+            let strides =
+                crate::compile::access_strides(&acc.indices, t.shape().extents(), |ix| {
+                    slot_of[ix]
+                });
+            Ok(Resolved::Load {
+                data: t.data(),
+                strides,
+            })
         }
-        Expr::Const(c) => Ok(Rat::from(*c)),
+        Expr::Const(c) => Ok(Resolved::Const(Rat::from(*c))),
         Expr::ConstSym(_) => Err(SemanticError::Uninstantiated.into()),
-        Expr::Neg(e) => Ok(-eval_expr(e, env, binding)?),
-        Expr::Binary { op, lhs, rhs } => {
-            let l = eval_expr(lhs, env, binding)?;
-            let r = eval_expr(rhs, env, binding)?;
+        Expr::Neg(e) => Ok(Resolved::Neg(Box::new(resolve(e, env, slot_of)?))),
+        Expr::Binary { op, lhs, rhs } => Ok(Resolved::Bin {
+            op: *op,
+            lhs: Box::new(resolve(lhs, env, slot_of)?),
+            rhs: Box::new(resolve(rhs, env, slot_of)?),
+        }),
+    }
+}
+
+fn eval_resolved(expr: &Resolved<'_>, counters: &[usize]) -> Result<Rat, EvalError> {
+    match expr {
+        Resolved::Load { data, strides } => {
+            let offset: usize = strides
+                .iter()
+                .map(|&(slot, stride)| counters[slot] * stride)
+                .sum();
+            Ok(data[offset])
+        }
+        Resolved::Const(c) => Ok(*c),
+        Resolved::Neg(e) => Ok(-eval_resolved(e, counters)?),
+        Resolved::Bin { op, lhs, rhs } => {
+            let l = eval_resolved(lhs, counters)?;
+            let r = eval_resolved(rhs, counters)?;
             let v = match op {
-                crate::ast::BinOp::Add => l.checked_add(r)?,
-                crate::ast::BinOp::Sub => l.checked_sub(r)?,
-                crate::ast::BinOp::Mul => l.checked_mul(r)?,
-                crate::ast::BinOp::Div => l.checked_div(r)?,
+                BinOp::Add => l.checked_add(r)?,
+                BinOp::Sub => l.checked_sub(r)?,
+                BinOp::Mul => l.checked_mul(r)?,
+                BinOp::Div => l.checked_div(r)?,
             };
             Ok(v)
         }
@@ -104,6 +156,24 @@ fn eval_expr(expr: &Expr, env: &TensorEnv, binding: &IndexBinding) -> Result<Rat
 /// assert_eq!(out.data(), &[Rat::from(210), Rat::from(430)]);
 /// ```
 pub fn evaluate(program: &TacoProgram, env: &TensorEnv) -> Result<Tensor, EvalError> {
+    // Thin compatibility wrapper over the compiled path: one-shot callers
+    // get the bytecode engine too; hot loops should hold an
+    // [`crate::compile::EvalCache`] so compilation amortises.
+    match crate::compile::compile(program, env) {
+        Ok(kernel) => kernel.evaluate(env),
+        Err(e) => Err(EvalError::Semantic(e)),
+    }
+}
+
+/// Evaluates `program` with the reference tree-walking interpreter.
+///
+/// This is the executable specification the compiled path is tested
+/// against; production paths use [`evaluate`] or the eval cache.
+///
+/// # Errors
+///
+/// Exactly as [`evaluate`].
+pub fn evaluate_interpreted(program: &TacoProgram, env: &TensorEnv) -> Result<Tensor, EvalError> {
     let analysis = analyze(program, env)?;
     evaluate_analyzed(program, env, &analysis)
 }
@@ -115,30 +185,51 @@ pub fn evaluate_analyzed(
     env: &TensorEnv,
     analysis: &IndexAnalysis,
 ) -> Result<Tensor, EvalError> {
-    let out_shape = analysis.output_shape();
-    let mut out: Tensor = Tensor::zeros(out_shape.clone());
-    let sum_extents: Vec<usize> = analysis
-        .summation
-        .iter()
-        .map(|ix| analysis.extents[ix])
-        .collect();
-    let sum_shape = gtl_tensor::Shape::new(sum_extents);
+    // Positional bindings: output indices take slots 0..n_out (a repeated
+    // LHS index keeps its *last* slot, preserving the historical
+    // insert-overwrite semantics), summation indices follow.
+    let mut slot_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for (slot, ix) in analysis.output.iter().enumerate() {
+        slot_of.insert(ix.as_str(), slot);
+    }
+    let n_out = analysis.output.len();
+    for (i, ix) in analysis.summation.iter().enumerate() {
+        slot_of.insert(ix.as_str(), n_out + i);
+    }
+    let resolved = resolve(&program.rhs, env, &slot_of)?;
 
-    let mut binding: IndexBinding = BTreeMap::new();
-    for out_idx in out_shape.indices() {
-        for (ix, &pos) in analysis.output.iter().zip(&out_idx) {
-            binding.insert(ix.clone(), pos);
+    let out_shape = analysis.output_shape();
+    let mut extents: Vec<usize> = out_shape.extents().to_vec();
+    extents.extend(analysis.summation.iter().map(|ix| analysis.extents[ix]));
+    let sum_iters: usize = extents[n_out..].iter().product();
+
+    let mut out = vec![Rat::ZERO; out_shape.len()];
+    let mut counters = vec![0usize; extents.len()];
+    for cell in out.iter_mut() {
+        for c in &mut counters[n_out..] {
+            *c = 0;
         }
         let mut acc = Rat::ZERO;
-        for sum_idx in sum_shape.indices() {
-            for (ix, &pos) in analysis.summation.iter().zip(&sum_idx) {
-                binding.insert(ix.clone(), pos);
+        for _ in 0..sum_iters {
+            acc = acc.checked_add(eval_resolved(&resolved, &counters)?)?;
+            for slot in (n_out..counters.len()).rev() {
+                counters[slot] += 1;
+                if counters[slot] < extents[slot] {
+                    break;
+                }
+                counters[slot] = 0;
             }
-            acc = acc.checked_add(eval_expr(&program.rhs, env, &binding)?)?;
         }
-        out[&out_idx[..]] = acc;
+        *cell = acc;
+        for slot in (0..n_out).rev() {
+            counters[slot] += 1;
+            if counters[slot] < extents[slot] {
+                break;
+            }
+            counters[slot] = 0;
+        }
     }
-    Ok(out)
+    Ok(Tensor::from_data(out_shape, out).expect("output length matches shape"))
 }
 
 #[cfg(test)]

@@ -9,7 +9,10 @@
 //!   the paper applies to raw LLM output ([`preprocess_candidate`]);
 //! - a pretty printer with minimal parenthesisation (`Display` impls);
 //! - [`semantics`] — einsum index classification and extent inference;
-//! - [`eval`] — dense evaluation over exact rationals.
+//! - [`eval`] — dense evaluation over exact rationals;
+//! - [`compile`] — bytecode lowering + the shared [`EvalCache`] powering
+//!   the validation hot loop (compile once per program × shape signature,
+//!   evaluate many times, `i64` fast path with exact-rational fallback).
 //!
 //! # Example: parse, analyse, evaluate
 //!
@@ -33,6 +36,7 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
@@ -44,6 +48,7 @@ pub use ast::{
     CANONICAL_INDICES,
 };
 pub use codegen::{generate_c, GeneratedKernel};
-pub use eval::{evaluate, evaluate_analyzed, EvalError};
+pub use compile::{compile, CompiledKernel, EvalCache, EvalCacheStats};
+pub use eval::{evaluate, evaluate_analyzed, evaluate_interpreted, EvalError};
 pub use parser::{parse_expr, parse_program, preprocess_candidate, ParseError};
 pub use semantics::{analyze, IndexAnalysis, SemanticError, TensorEnv};

@@ -12,10 +12,10 @@ use std::collections::BTreeMap;
 
 use gtl_cfront::{parse_c, run_kernel, ArgValue};
 use gtl_taco::{
-    analyze, evaluate, generate_c, parse_program, Access, BinOp, Expr, TacoProgram,
-    TensorEnv,
+    analyze, compile, evaluate, evaluate_interpreted, generate_c, parse_program, Access, BinOp,
+    EvalCache, EvalError, Expr, TacoProgram, TensorEnv,
 };
-use gtl_tensor::{Rat, Shape, TensorGen};
+use gtl_tensor::{Rat, RatError, Shape, TensorGen};
 use proptest::prelude::*;
 
 /// Fixed, pairwise-distinct extents: aliasing shapes (e.g. a tensor used
@@ -32,9 +32,11 @@ fn extent_of(ix: &str) -> usize {
 
 fn arb_rhs_access() -> impl Strategy<Value = Access> {
     let idx = prop::sample::select(vec!["i", "j", "k", "l"]);
+    // Rank 0–3: rank-3 accesses reach the compiled engine's 3-deep
+    // summation nests and the unrolled 3-load product path (MTTKRP).
     (
         prop::sample::select(vec!["b", "c", "d", "e"]),
-        prop::collection::vec(idx, 0..3),
+        prop::collection::vec(idx, 0..4),
     )
         .prop_map(|(name, indices)| Access {
             tensor: name.into(),
@@ -102,6 +104,53 @@ fn build_env(p: &TacoProgram, seed: u64) -> Option<TensorEnv> {
     Some(env)
 }
 
+/// Adversarial value profiles for the compiled-vs-interpreted
+/// differential: each stresses a different arithmetic regime of the
+/// compiled kernel.
+#[derive(Debug, Clone, Copy)]
+enum ValueProfile {
+    /// Small integers: the pure `i64` fast path.
+    SmallInts,
+    /// Values near ±3·10¹⁸: any product overflows `i64` (forcing the
+    /// per-cell exact-rational fallback) and deep products overflow
+    /// `i128` (forcing identical `RatError::Overflow` classification).
+    HugeInts,
+    /// `{-1, 0, 1}`: zero-rich, so `/` draws hit division by zero.
+    TinyWithZeros,
+    /// Non-integer rationals: the fast path must bail at conversion and
+    /// run the exact engine end to end.
+    Fractions,
+}
+
+fn arb_profile() -> impl Strategy<Value = ValueProfile> {
+    prop::sample::select(vec![
+        ValueProfile::SmallInts,
+        ValueProfile::HugeInts,
+        ValueProfile::TinyWithZeros,
+        ValueProfile::Fractions,
+    ])
+}
+
+/// Builds an environment with the given adversarial value profile, or
+/// `None` when the program constrains one tensor to two shapes.
+fn build_env_with(p: &TacoProgram, seed: u64, profile: ValueProfile) -> Option<TensorEnv> {
+    let base = build_env(p, seed)?; // small ints in [-5, 5]
+    let scale = |r: &Rat| match profile {
+        ValueProfile::SmallInts => *r,
+        ValueProfile::HugeInts => *r * Rat::from(600_000_000_000_000_000i64),
+        ValueProfile::TinyWithZeros => {
+            // Fold [-5, 5] onto {-1, 0, 1}.
+            Rat::from(r.numer().clamp(-1, 1) as i64)
+        }
+        ValueProfile::Fractions => *r / Rat::from(3),
+    };
+    Some(
+        base.into_iter()
+            .map(|(name, t)| (name, t.map(scale)))
+            .collect(),
+    )
+}
+
 proptest! {
     /// The generated C kernel computes exactly what the evaluator does.
     #[test]
@@ -150,6 +199,74 @@ proptest! {
         prop_assert_eq!(a.size_params, b.size_params);
         prop_assert_eq!(a.tensor_params, b.tensor_params);
     }
+
+    /// The compiled kernel agrees with the reference interpreter on every
+    /// random program × shape × adversarial environment — including the
+    /// exact `EvalError` classification (semantic errors, division by
+    /// zero, `i128` overflow) and across the `i64`-fast-path/rational
+    /// fallback boundary.
+    #[test]
+    fn compiled_agrees_with_interpreter(
+        p in arb_program(),
+        seed in 0u64..100_000,
+        profile in arb_profile(),
+    ) {
+        let Some(env) = build_env_with(&p, seed, profile) else { return Ok(()); };
+        let interpreted = evaluate_interpreted(&p, &env);
+        let compiled = match compile(&p, &env) {
+            Ok(kernel) => kernel.evaluate(&env),
+            Err(e) => Err(EvalError::Semantic(e)),
+        };
+        prop_assert_eq!(
+            &compiled, &interpreted,
+            "compiled kernel diverges from interpreter for {} under {:?}",
+            p, profile
+        );
+        // The cached route (and the `evaluate` wrapper) must be the same
+        // function, hit or miss.
+        let cache = EvalCache::default();
+        prop_assert_eq!(&cache.evaluate(&p, &env), &interpreted);
+        prop_assert_eq!(&cache.evaluate(&p, &env), &interpreted); // cache hit
+        prop_assert_eq!(&evaluate(&p, &env), &interpreted);
+    }
+}
+
+/// Fixed adversarial regressions, independent of the random stream: the
+/// three error-classification boundaries the compiled kernel must place
+/// exactly where the interpreter does.
+#[test]
+fn compiled_error_classification_matches_interpreter() {
+    // Division by zero mid-sweep.
+    let p = parse_program("a(i) = b(i) / c(i)").unwrap();
+    let mut env = TensorEnv::new();
+    env.insert("b".into(), vec_tensor(&[1, 2]));
+    env.insert("c".into(), vec_tensor(&[1, 0]));
+    let compiled = compile(&p, &env).unwrap().evaluate(&env);
+    assert_eq!(compiled, evaluate_interpreted(&p, &env));
+    assert_eq!(
+        compiled,
+        Err(EvalError::Arithmetic(RatError::DivisionByZero))
+    );
+
+    // i64 overflow → exact fallback (same value), then i128 overflow →
+    // same error. Extent-2 summation keeps sum_iters > 1 so the i64
+    // fast path is actually entered before the fallback triggers.
+    let big = 3_000_000_000_000_000_000i64;
+    let p2 = parse_program("a = b(i) * b(i)").unwrap();
+    let mut env2 = TensorEnv::new();
+    env2.insert("b".into(), vec_tensor(&[big, big]));
+    let v = compile(&p2, &env2).unwrap().evaluate(&env2).unwrap();
+    assert_eq!(v, evaluate_interpreted(&p2, &env2).unwrap());
+    assert_eq!(*v.as_scalar(), Rat::new(2 * (big as i128 * big as i128), 1));
+
+    let p3 = parse_program("a = b(i) * b(i) * b(i) * b(i)").unwrap();
+    let compiled3 = compile(&p3, &env2).unwrap().evaluate(&env2);
+    assert_eq!(compiled3, evaluate_interpreted(&p3, &env2));
+    assert_eq!(compiled3, Err(EvalError::Arithmetic(RatError::Overflow)));
+}
+
+fn vec_tensor(data: &[i64]) -> gtl_tensor::Tensor {
+    gtl_tensor::Tensor::from_ints(Shape::new(vec![data.len()]), data)
 }
 
 /// A fixed regression pair, so a failure here is independent of the

@@ -123,6 +123,11 @@ impl Rat {
 
     /// Checked addition; errors on `i128` overflow.
     pub fn checked_add(self, rhs: Rat) -> Result<Rat, RatError> {
+        // Integer + integer stays an integer: no gcd, no renormalisation.
+        if self.den == 1 && rhs.den == 1 {
+            let num = self.num.checked_add(rhs.num).ok_or(RatError::Overflow)?;
+            return Ok(Rat { num, den: 1 });
+        }
         // a/b + c/d = (a*d + c*b) / (b*d), reduced via gcd(b, d) first to
         // keep intermediates small.
         let g = gcd(self.den, rhs.den);
@@ -150,6 +155,11 @@ impl Rat {
 
     /// Checked multiplication; errors on `i128` overflow.
     pub fn checked_mul(self, rhs: Rat) -> Result<Rat, RatError> {
+        // Integer * integer needs no cross-reduction (both gcds are 1).
+        if self.den == 1 && rhs.den == 1 {
+            let num = self.num.checked_mul(rhs.num).ok_or(RatError::Overflow)?;
+            return Ok(Rat { num, den: 1 });
+        }
         // Cross-reduce before multiplying to avoid needless overflow.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
@@ -185,6 +195,28 @@ impl Rat {
     pub fn to_f64(self) -> f64 {
         self.num as f64 / self.den as f64
     }
+
+    /// The exact `i64` value, or `None` if this rational is not an
+    /// integer or does not fit in `i64`. Used by the compiled evaluator
+    /// to decide whether a tensor qualifies for the machine-integer fast
+    /// path.
+    pub fn to_i64(self) -> Option<i64> {
+        if self.den != 1 {
+            return None;
+        }
+        i64::try_from(self.num).ok()
+    }
+}
+
+/// Sums a stream of optional `i64` terms with overflow checking: the
+/// compiled kernel's accumulator fast path. Returns `None` as soon as a
+/// term is `None` (a sub-expression left the `i64` domain) or the running
+/// sum overflows, signalling the caller to redo the cell in exact [`Rat`]
+/// arithmetic.
+pub fn checked_i64_sum<I: IntoIterator<Item = Option<i64>>>(terms: I) -> Option<i64> {
+    terms
+        .into_iter()
+        .try_fold(0i64, |acc, term| acc.checked_add(term?))
 }
 
 impl Default for Rat {
@@ -361,5 +393,53 @@ mod tests {
     fn overflow_detected() {
         let big = Rat::new(i128::MAX / 2, 1);
         assert_eq!(big.checked_mul(Rat::from(4)), Err(RatError::Overflow));
+    }
+
+    #[test]
+    fn integer_fast_paths_match_general_arithmetic() {
+        // den == 1 pairs take the gcd-free branch; mixed pairs take the
+        // general branch. Both must agree with the mathematical result.
+        let cases = [(3i64, 4i64), (-7, 7), (0, 5), (i64::MAX, 1), (-2, -9)];
+        for (a, b) in cases {
+            let (ra, rb) = (Rat::from(a), Rat::from(b));
+            assert_eq!(
+                ra.checked_add(rb).unwrap(),
+                Rat::new(a as i128 + b as i128, 1)
+            );
+            assert_eq!(
+                ra.checked_mul(rb).unwrap(),
+                Rat::new(a as i128 * b as i128, 1)
+            );
+        }
+        // Fast path preserves the normalised-den invariant and still
+        // reports overflow.
+        let big = Rat::new(i128::MAX, 1);
+        assert_eq!(big.checked_add(Rat::ONE), Err(RatError::Overflow));
+        assert_eq!(big.checked_mul(Rat::from(2)), Err(RatError::Overflow));
+        // Mixed den still normalises: 1/2 + 1/2 = 1.
+        assert_eq!(
+            Rat::new(1, 2).checked_add(Rat::new(1, 2)).unwrap(),
+            Rat::ONE
+        );
+    }
+
+    #[test]
+    fn to_i64_exact_integers_only() {
+        assert_eq!(Rat::from(42).to_i64(), Some(42));
+        assert_eq!(Rat::from(-42).to_i64(), Some(-42));
+        assert_eq!(Rat::new(1, 2).to_i64(), None);
+        assert_eq!(Rat::new(i64::MAX as i128, 1).to_i64(), Some(i64::MAX));
+        assert_eq!(Rat::new(i64::MAX as i128 + 1, 1).to_i64(), None);
+        assert_eq!(Rat::new(i64::MIN as i128, 1).to_i64(), Some(i64::MIN));
+        assert_eq!(Rat::new(i64::MIN as i128 - 1, 1).to_i64(), None);
+    }
+
+    #[test]
+    fn checked_i64_sum_detects_overflow_and_bad_terms() {
+        assert_eq!(checked_i64_sum([Some(1), Some(2), Some(3)]), Some(6));
+        assert_eq!(checked_i64_sum(std::iter::empty()), Some(0));
+        assert_eq!(checked_i64_sum([Some(i64::MAX), Some(1)]), None);
+        assert_eq!(checked_i64_sum([Some(1), None, Some(2)]), None);
+        assert_eq!(checked_i64_sum([Some(i64::MAX), Some(-1), Some(1)]), Some(i64::MAX));
     }
 }

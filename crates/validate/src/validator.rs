@@ -1,7 +1,7 @@
 //! The template validator (§6): I/O example generation plus the
 //! validate-then-verify loop over substitutions.
 
-use gtl_taco::{evaluate, TacoProgram};
+use gtl_taco::{EvalCache, TacoProgram};
 use gtl_tensor::{Tensor, TensorGen};
 
 use crate::subst::{apply_substitution, enumerate_substitutions, Substitution};
@@ -74,10 +74,25 @@ pub fn generate_examples(
 /// Evaluation errors (division by zero on an example, extent mismatches
 /// between bound arguments) count as failure, as the paper's validator
 /// simply discards such substitutions.
+///
+/// Convenience wrapper over [`passes_examples_cached`] with a throwaway
+/// cache; since all examples share the task's default sizes, the
+/// candidate still compiles only once.
 pub fn passes_examples(candidate: &TacoProgram, examples: &[IoExample]) -> bool {
+    passes_examples_cached(candidate, examples, &EvalCache::default())
+}
+
+/// [`passes_examples`] through a shared [`EvalCache`]: the candidate is
+/// compiled at most once per shape signature across every example and
+/// every caller holding the same cache (the validation hot loop).
+pub fn passes_examples_cached(
+    candidate: &TacoProgram,
+    examples: &[IoExample],
+    cache: &EvalCache,
+) -> bool {
     examples.iter().all(|ex| {
         matches!(
-            evaluate(candidate, &ex.instance.env),
+            cache.evaluate(candidate, &ex.instance.env),
             Ok(ref out) if *out == ex.output
         )
     })
@@ -139,14 +154,28 @@ pub fn validate_template(
     template: &TacoProgram,
     task: &LiftTask,
     examples: &[IoExample],
+    verify: impl FnMut(&TacoProgram, &Substitution) -> bool,
+    stats: &mut ValidationStats,
+) -> Option<TacoProgram> {
+    validate_template_cached(template, task, examples, verify, stats, &EvalCache::default())
+}
+
+/// [`validate_template`] through a shared [`EvalCache`]. Per-worker
+/// checkers hold one cache across every template they check, so repeated
+/// substitutions and verifier re-evaluations never recompile.
+pub fn validate_template_cached(
+    template: &TacoProgram,
+    task: &LiftTask,
+    examples: &[IoExample],
     mut verify: impl FnMut(&TacoProgram, &Substitution) -> bool,
     stats: &mut ValidationStats,
+    cache: &EvalCache,
 ) -> Option<TacoProgram> {
     let output_name = task.output_name().to_string();
     for sub in enumerate_substitutions(template, task) {
         stats.substitutions_tried += 1;
         let concrete = apply_substitution(template, &sub, &output_name);
-        if !passes_examples(&concrete, examples) {
+        if !passes_examples_cached(&concrete, examples, cache) {
             continue;
         }
         stats.io_passes += 1;

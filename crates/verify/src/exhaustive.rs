@@ -9,7 +9,7 @@
 //! [`ExhaustiveOutcome::TooLarge`] rather than sampling silently.
 
 use gtl_cfront::ArgValue;
-use gtl_taco::{evaluate, TacoProgram};
+use gtl_taco::{EvalCache, TacoProgram};
 use gtl_tensor::{Rat, Tensor, TensorGen};
 use gtl_validate::{LiftTask, TaskError, TaskParamKind, ValueMode};
 
@@ -68,6 +68,19 @@ pub fn verify_exhaustive(
     task: &LiftTask,
     candidate: &TacoProgram,
     cfg: &ExhaustiveConfig,
+) -> ExhaustiveOutcome {
+    verify_exhaustive_cached(task, candidate, cfg, &EvalCache::default())
+}
+
+/// [`verify_exhaustive`] through a shared [`EvalCache`]. Every enumerated
+/// point binds the same shapes, so the candidate compiles exactly once
+/// for the whole sweep — this is the single biggest win of the compiled
+/// evaluator (the point count is `|values|^elements`).
+pub fn verify_exhaustive_cached(
+    task: &LiftTask,
+    candidate: &TacoProgram,
+    cfg: &ExhaustiveConfig,
+    cache: &EvalCache,
 ) -> ExhaustiveOutcome {
     // Fixed tiny sizes.
     let sizes: std::collections::BTreeMap<String, usize> = task
@@ -145,7 +158,7 @@ pub fn verify_exhaustive(
                 Ok(t) => t,
                 Err(e) => return ExhaustiveOutcome::Inconclusive(e),
             };
-            match evaluate(candidate, &instance.env) {
+            match cache.evaluate(candidate, &instance.env) {
                 Ok(actual) if actual == expected => {}
                 Ok(actual) => {
                     return ExhaustiveOutcome::Counterexample(Box::new(Counterexample {

@@ -67,9 +67,11 @@
 
 mod exhaustive;
 
-pub use exhaustive::{verify_exhaustive, ExhaustiveConfig, ExhaustiveOutcome};
+pub use exhaustive::{
+    verify_exhaustive, verify_exhaustive_cached, ExhaustiveConfig, ExhaustiveOutcome,
+};
 
-use gtl_taco::{evaluate, TacoProgram};
+use gtl_taco::{EvalCache, TacoProgram};
 use gtl_tensor::{seed_from_label, Tensor, TensorGen};
 use gtl_validate::{LiftTask, TaskError, ValueMode};
 
@@ -131,10 +133,27 @@ impl VerifyOutcome {
 
 /// Verifies a concrete candidate program (over argument names) against
 /// the legacy kernel by multi-shape rational differential testing.
+///
+/// Convenience wrapper over [`verify_candidate_cached`] with a throwaway
+/// cache; the candidate still compiles once per shape round instead of
+/// once per trial.
 pub fn verify_candidate(
     task: &LiftTask,
     candidate: &TacoProgram,
     cfg: &VerifyConfig,
+) -> VerifyOutcome {
+    verify_candidate_cached(task, candidate, cfg, &EvalCache::default())
+}
+
+/// [`verify_candidate`] through a shared [`EvalCache`]: all
+/// `trials_per_shape` evaluations of one shape round run a single
+/// compiled kernel, and callers sharing the cache with the validator
+/// reuse compilations across the validate→verify loop.
+pub fn verify_candidate_cached(
+    task: &LiftTask,
+    candidate: &TacoProgram,
+    cfg: &VerifyConfig,
+    cache: &EvalCache,
 ) -> VerifyOutcome {
     let mut gen = TensorGen::new(cfg.seed ^ seed_from_label(&task.func.name));
     for round in 0..cfg.shape_rounds {
@@ -154,7 +173,7 @@ pub fn verify_candidate(
                 Ok(t) => t,
                 Err(e) => return VerifyOutcome::Inconclusive(e),
             };
-            match evaluate(candidate, &instance.env) {
+            match cache.evaluate(candidate, &instance.env) {
                 Ok(actual) if actual == expected => {}
                 Ok(actual) => {
                     return VerifyOutcome::Counterexample(Box::new(Counterexample {

@@ -15,17 +15,26 @@ use std::time::{Duration, Instant};
 pub struct Criterion {
     /// Target measurement time per benchmark.
     measurement: Duration,
+    /// Mean ns/iter of the most recent `bench_function` run.
+    last_mean_ns: f64,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             measurement: Duration::from_millis(300),
+            last_mean_ns: 0.0,
         }
     }
 }
 
 impl Criterion {
+    /// Sets the target measurement time (mirrors `criterion`'s builder).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
@@ -38,7 +47,15 @@ impl Criterion {
         };
         f(&mut b);
         println!("{name:<40} {:>12.1} ns/iter ({} iters)", b.mean_ns, b.iters);
+        self.last_mean_ns = b.mean_ns;
         self
+    }
+
+    /// Mean ns/iter measured by the most recent [`Criterion::bench_function`]
+    /// call (shim extension — real criterion reports through its own
+    /// output machinery instead).
+    pub fn last_mean_ns(&self) -> f64 {
+        self.last_mean_ns
     }
 }
 
@@ -96,9 +113,8 @@ macro_rules! criterion_main {
 mod tests {
     #[test]
     fn bench_function_runs_routine() {
-        let mut c = super::Criterion {
-            measurement: std::time::Duration::from_millis(5),
-        };
+        let mut c =
+            super::Criterion::default().measurement_time(std::time::Duration::from_millis(5));
         let mut ran = 0u64;
         c.bench_function("noop", |b| b.iter(|| ran += 1));
         assert!(ran > 0);
