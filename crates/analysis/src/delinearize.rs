@@ -4,7 +4,7 @@
 //! and size parameters) and the trip counts of the enclosing loops, this
 //! module recovers the multi-dimensional access the linearised offset came
 //! from: `f*N + i` with loops `f in 0..N, i in 0..N` delinearises to a 2-D
-//! access `[f][i]` on an `N × N` array (O'Boyle & Knijnenburg [31],
+//! access `[f][i]` on an `N × N` array (O'Boyle & Knijnenburg \[31\],
 //! cited by the paper in §4.2.3).
 
 use crate::poly::Poly;

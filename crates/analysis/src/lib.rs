@@ -6,10 +6,10 @@
 //!   offsets and induction values;
 //! - [`symexec`] — symbolic execution with loop summarisation, performing
 //!   *array recovery* (pointer walks back to indexed accesses, Franke &
-//!   O'Boyle [12]);
-//! - [`delinearize`] — affine *array delinearisation* recovering
+//!   O'Boyle \[12\]);
+//! - [`delinearize`](mod@delinearize) — affine *array delinearisation* recovering
 //!   multi-dimensional accesses from linearised offsets (O'Boyle &
-//!   Knijnenburg [31]);
+//!   Knijnenburg \[31\]);
 //! - [`dims`] — LHS dimensionality prediction and per-parameter rank
 //!   facts, consumed by grammar refinement and by the C2TACO baseline's
 //!   heuristics.

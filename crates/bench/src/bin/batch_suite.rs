@@ -5,19 +5,22 @@
 //! ```text
 //! batch_suite [--jobs N] [--suites simple,artificial | --all | --real]
 //!             [--method td|bu] [--search-jobs N] [--json PATH]
-//!             [--compare-sequential]
+//!             [--compare-sequential] [--via-server]
 //! ```
 //!
 //! `--jobs` parallelises *across benchmarks* (the embarrassingly
 //! parallel axis); `--search-jobs` additionally parallelises the
 //! template search *inside* each lift. `--compare-sequential` reruns the
 //! batch with one worker and reports the wall-clock speedup, asserting
-//! per-benchmark outcome classifications match.
+//! per-benchmark outcome classifications match. `--via-server` routes
+//! every lift through an in-process `gtl_serve` lift server (bounded
+//! queue + worker pool + result cache) instead of calling the pipeline
+//! directly — the client-driven batch mode.
 
 use std::collections::BTreeMap;
 
 use gtl::StaggConfig;
-use gtl_bench::{batch_json, run_method_batch, Method};
+use gtl_bench::{batch_json, run_batch_via_server, run_method_batch, Method};
 use gtl_benchsuite::{all_benchmarks, real_world_benchmarks, suite_from_name, Benchmark};
 
 struct Args {
@@ -28,10 +31,11 @@ struct Args {
     method: String,
     json_path: Option<String>,
     compare_sequential: bool,
+    via_server: bool,
 }
 
 const USAGE: &str = "usage: batch_suite [--jobs N] [--suites simple,artificial | --all | --real] \
-[--method td|bu] [--search-jobs N] [--json PATH] [--compare-sequential]";
+[--method td|bu] [--search-jobs N] [--json PATH] [--compare-sequential] [--via-server]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("batch_suite: {message}\n{USAGE}");
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         method: "td".into(),
         json_path: None,
         compare_sequential: false,
+        via_server: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +77,7 @@ fn parse_args() -> Args {
             "--method" => args.method = value("--method"),
             "--json" => args.json_path = Some(value("--json")),
             "--compare-sequential" => args.compare_sequential = true,
+            "--via-server" => args.via_server = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -116,16 +122,21 @@ fn main() {
     .with_jobs(args.search_jobs);
     let method = Method::stagg_variant(
         &format!("STAGG_{}", args.method.to_uppercase()),
-        config,
+        config.clone(),
     );
 
     eprintln!(
-        "batch: {} benchmarks, {} jobs, search-jobs {}",
+        "batch: {} benchmarks, {} jobs, search-jobs {}{}",
         benchmarks.len(),
         args.jobs,
-        args.search_jobs
+        args.search_jobs,
+        if args.via_server { ", via lift server" } else { "" }
     );
-    let batch = run_method_batch(&method, &benchmarks, args.jobs);
+    let batch = if args.via_server {
+        run_batch_via_server(&method.name(), &config, &benchmarks, args.jobs)
+    } else {
+        run_method_batch(&method, &benchmarks, args.jobs)
+    };
 
     // Per-suite summary on stderr; JSON on stdout / file.
     let mut per_suite: BTreeMap<&str, (usize, usize)> = BTreeMap::new();

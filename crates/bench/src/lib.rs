@@ -14,6 +14,6 @@ pub mod tables;
 
 pub use methods::{Method, MethodKind};
 pub use runner::{
-    batch_json, query_for, run_method, run_method_batch, run_method_on, BatchResult,
-    MethodResult, SuiteResult,
+    batch_json, query_for, run_batch_via_server, run_method, run_method_batch, run_method_on,
+    BatchResult, MethodResult, SuiteResult,
 };

@@ -8,11 +8,13 @@
 //! throughput reporting.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use gtl::LiftQuery;
+use gtl::{LiftQuery, StaggConfig};
 use gtl_benchsuite::Benchmark;
+use gtl_serve::{Event, EventSink, LiftRequest, LiftServer, ServerConfig};
 
 use crate::methods::Method;
 
@@ -217,6 +219,97 @@ pub fn run_method_batch(
     BatchResult {
         suite: SuiteResult {
             method: method.name(),
+            results,
+        },
+        wall: started.elapsed(),
+        jobs,
+    }
+}
+
+/// Client-driven batch mode: runs a STAGG configuration over a
+/// benchmark set *through the serving layer* instead of calling the
+/// pipeline directly. An in-process [`LiftServer`] is started with
+/// `jobs` workers, every benchmark is submitted as one lift request up
+/// front, and per-benchmark outcomes are collected from the event
+/// streams — exercising exactly the path a remote `lift_client` uses
+/// (bounded queue, worker pool, per-worker eval caches, result cache).
+///
+/// # Panics
+///
+/// Panics if the server rejects a submission or drops a stream — both
+/// indicate a serving-layer bug, not a property of the benchmark.
+pub fn run_batch_via_server(
+    method_name: &str,
+    config: &StaggConfig,
+    benchmarks: &[Benchmark],
+    jobs: usize,
+) -> BatchResult {
+    let started = Instant::now();
+    let jobs = jobs.clamp(1, benchmarks.len().max(1));
+    let server = LiftServer::start(ServerConfig {
+        workers: jobs,
+        queue_capacity: benchmarks.len().max(1),
+        base: config.clone(),
+        progress_interval: Duration::from_millis(250),
+        default_timeout: None,
+        result_cache_capacity: benchmarks.len().max(1),
+    });
+    let handle = server.handle();
+    let receivers: Vec<_> = benchmarks
+        .iter()
+        .map(|b| {
+            let (tx, rx) = channel::<Event>();
+            let sink: EventSink = Arc::new(move |event: &Event| {
+                let _ = tx.send(event.clone());
+            });
+            handle
+                .submit(LiftRequest::benchmark(b.name, b.name), sink)
+                .unwrap_or_else(|e| panic!("{}: batch submission rejected: {e}", b.name));
+            rx
+        })
+        .collect();
+    let results = benchmarks
+        .iter()
+        .zip(receivers)
+        .map(|(b, rx)| loop {
+            match rx.recv().unwrap_or_else(|_| {
+                panic!("{}: server dropped the stream mid-lift", b.name)
+            }) {
+                Event::Done {
+                    attempts,
+                    elapsed_ms,
+                    ..
+                } => {
+                    break MethodResult {
+                        name: b.name.to_string(),
+                        solved: true,
+                        seconds: elapsed_ms as f64 / 1000.0,
+                        attempts,
+                    }
+                }
+                Event::Failed {
+                    attempts,
+                    elapsed_ms,
+                    ..
+                } => {
+                    break MethodResult {
+                        name: b.name.to_string(),
+                        solved: false,
+                        seconds: elapsed_ms as f64 / 1000.0,
+                        attempts,
+                    }
+                }
+                Event::Error { code, message, .. } => {
+                    panic!("{}: request rejected ({}): {message}", b.name, code.wire_name())
+                }
+                _ => continue,
+            }
+        })
+        .collect();
+    server.shutdown();
+    BatchResult {
+        suite: SuiteResult {
+            method: method_name.to_string(),
             results,
         },
         wall: started.elapsed(),

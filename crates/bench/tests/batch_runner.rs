@@ -2,7 +2,8 @@
 //! outcomes identical to the sequential runner, results in input order,
 //! well-formed JSON.
 
-use gtl_bench::{batch_json, run_method_batch, run_method_on, Method};
+use gtl::StaggConfig;
+use gtl_bench::{batch_json, run_batch_via_server, run_method_batch, run_method_on, Method};
 use gtl_benchsuite::{by_name, Benchmark};
 
 fn small_set() -> Vec<Benchmark> {
@@ -38,6 +39,26 @@ fn batch_with_one_job_equals_run_method_on() {
         assert_eq!(x.solved, y.solved);
         assert_eq!(x.attempts, y.attempts);
     }
+}
+
+#[test]
+fn server_routed_batch_matches_direct_runner() {
+    // The client-driven batch mode goes through the full serving layer
+    // (queue, workers, per-worker eval caches, result cache); outcome
+    // classification and attempt counts must match the direct pipeline.
+    let set = small_set();
+    let direct = run_method_on(&Method::stagg_td(), &set);
+    let served = run_batch_via_server("STAGG_TD", &StaggConfig::top_down(), &set, 3);
+    assert_eq!(served.jobs, 3);
+    assert_eq!(served.suite.results.len(), direct.results.len());
+    for (s, d) in served.suite.results.iter().zip(&direct.results) {
+        assert_eq!(s.name, d.name, "served batch must preserve input order");
+        assert_eq!(s.solved, d.solved, "{}: classification diverged", s.name);
+        assert_eq!(s.attempts, d.attempts, "{}: attempts diverged", s.name);
+    }
+    // The served batch feeds the same JSON emitter.
+    let json = batch_json(&served, &set);
+    assert_eq!(json.matches("\"benchmark\":").count(), set.len());
 }
 
 #[test]

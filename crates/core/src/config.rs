@@ -13,6 +13,26 @@ pub enum SearchMode {
     BottomUp,
 }
 
+impl SearchMode {
+    /// The stable CLI/wire name (`td` / `bu`), the inverse of
+    /// [`SearchMode::from_cli_name`].
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            SearchMode::TopDown => "td",
+            SearchMode::BottomUp => "bu",
+        }
+    }
+
+    /// Parses a CLI/wire name (`td` / `bu`).
+    pub fn from_cli_name(name: &str) -> Option<SearchMode> {
+        match name {
+            "td" => Some(SearchMode::TopDown),
+            "bu" => Some(SearchMode::BottomUp),
+            _ => None,
+        }
+    }
+}
+
 /// Which grammar/probability combination to use (§8, Fig. 11/12 and
 /// Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +46,31 @@ pub enum GrammarMode {
     /// Unrefined full TACO grammar with learned probabilities
     /// (`LLMGrammar`).
     LlmGrammar,
+}
+
+impl GrammarMode {
+    /// The stable CLI/wire name, the inverse of
+    /// [`GrammarMode::from_cli_name`].
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            GrammarMode::Refined => "refined",
+            GrammarMode::EqualProbability => "equal_probability",
+            GrammarMode::FullGrammar => "full_grammar",
+            GrammarMode::LlmGrammar => "llm_grammar",
+        }
+    }
+
+    /// Parses a CLI/wire name (`refined`, `equal_probability`,
+    /// `full_grammar`, `llm_grammar`).
+    pub fn from_cli_name(name: &str) -> Option<GrammarMode> {
+        match name {
+            "refined" => Some(GrammarMode::Refined),
+            "equal_probability" => Some(GrammarMode::EqualProbability),
+            "full_grammar" => Some(GrammarMode::FullGrammar),
+            "llm_grammar" => Some(GrammarMode::LlmGrammar),
+            _ => None,
+        }
+    }
 }
 
 /// Full configuration of one STAGG run.
@@ -146,5 +191,22 @@ mod tests {
         assert!(!b.penalties.b1);
         assert!(!b.penalties.b2);
         assert!(b.penalties.a1, "dropping B leaves the a-family alone");
+    }
+
+    #[test]
+    fn cli_names_roundtrip() {
+        for mode in [SearchMode::TopDown, SearchMode::BottomUp] {
+            assert_eq!(SearchMode::from_cli_name(mode.cli_name()), Some(mode));
+        }
+        for grammar in [
+            GrammarMode::Refined,
+            GrammarMode::EqualProbability,
+            GrammarMode::FullGrammar,
+            GrammarMode::LlmGrammar,
+        ] {
+            assert_eq!(GrammarMode::from_cli_name(grammar.cli_name()), Some(grammar));
+        }
+        assert_eq!(SearchMode::from_cli_name("sideways"), None);
+        assert_eq!(GrammarMode::from_cli_name("freeform"), None);
     }
 }

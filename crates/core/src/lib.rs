@@ -63,5 +63,5 @@ mod pipeline;
 mod report;
 
 pub use config::{GrammarMode, SearchMode, StaggConfig};
-pub use pipeline::{LiftQuery, Stagg};
+pub use pipeline::{LiftHooks, LiftObserver, LiftQuery, Stagg};
 pub use report::{FailureReason, LiftReport};

@@ -11,8 +11,8 @@ use std::time::Instant;
 use gtl_analysis::analyze_kernel;
 use gtl_oracle::{Oracle, OracleQuery};
 use gtl_search::{
-    bottom_up_search, parallel_bottom_up_search, parallel_top_down_search, top_down_search,
-    CheckOutcome, ParallelOptions, PenaltyContext, SearchOutcome,
+    parallel_bottom_up_search_hooked, parallel_top_down_search_hooked, CheckOutcome,
+    ParallelOptions, PenaltyContext, SearchHooks, SearchOutcome,
 };
 use gtl_taco::{parse_program, preprocess_candidate, EvalCache, TacoProgram};
 use gtl_template::{
@@ -45,10 +45,69 @@ pub struct LiftQuery {
     pub ground_truth: TacoProgram,
 }
 
+/// Incremental observations of one running lift, for serving layers
+/// that stream progress to clients.
+///
+/// Methods are called from search worker threads (hence the `Sync`
+/// bound) while the lift is in flight; implementations should be quick
+/// and must not block on the lift itself. All methods default to
+/// no-ops, so observers implement only what they report.
+pub trait LiftObserver: Sync {
+    /// The oracle round-trip finished: `parsed` of `received` raw
+    /// candidates survived preprocessing/parsing/templatisation.
+    fn candidates(&self, received: usize, parsed: usize) {
+        let _ = (received, parsed);
+    }
+
+    /// A concrete candidate passed every I/O example and is entering
+    /// bounded verification. May fire several times per lift; the
+    /// verified winner is reported by the final [`LiftReport`].
+    fn validated(&self, concrete: &TacoProgram) {
+        let _ = concrete;
+    }
+}
+
+/// External attachments to one lift: an observer for incremental
+/// events, search-level hooks (cancellation, live progress), and an
+/// evaluation cache to reuse across lifts.
+///
+/// `LiftHooks::default()` attaches nothing — [`Stagg::lift`] is exactly
+/// [`Stagg::lift_with`] under default hooks.
+#[derive(Default)]
+pub struct LiftHooks<'a> {
+    /// Receives incremental pipeline events.
+    pub observer: Option<&'a dyn LiftObserver>,
+    /// Cancellation + live progress for the search stage. A raised
+    /// cancel flag also short-circuits in-flight template checks.
+    pub search: SearchHooks,
+    /// A caller-owned [`EvalCache`] shared by every search worker of
+    /// this lift and reusable across lifts (a serving worker keeps one
+    /// per thread, so repeated kernels never recompile). `None` gives
+    /// each search worker a private, per-lift cache.
+    pub eval_cache: Option<&'a EvalCache>,
+}
+
 /// The STAGG lifter: an oracle plus a configuration.
 pub struct Stagg<'o> {
     oracle: &'o mut dyn Oracle,
     config: StaggConfig,
+}
+
+/// A checker's evaluation cache: private and per-lift by default,
+/// caller-provided (and shared across lifts) through
+/// [`LiftHooks::eval_cache`].
+enum CacheRef<'a> {
+    Owned(Box<EvalCache>),
+    Shared(&'a EvalCache),
+}
+
+impl CacheRef<'_> {
+    fn get(&self) -> &EvalCache {
+        match self {
+            CacheRef::Owned(cache) => cache,
+            CacheRef::Shared(cache) => cache,
+        }
+    }
 }
 
 impl<'o> Stagg<'o> {
@@ -59,6 +118,14 @@ impl<'o> Stagg<'o> {
 
     /// Runs the full pipeline on one query.
     pub fn lift(&mut self, query: &LiftQuery) -> LiftReport {
+        self.lift_with(query, &LiftHooks::default())
+    }
+
+    /// Runs the full pipeline on one query with external hooks attached:
+    /// an observer for incremental events, a cancellation flag and live
+    /// progress counters for the search stage, and an optional shared
+    /// evaluation cache. See [`LiftHooks`].
+    pub fn lift_with(&mut self, query: &LiftQuery, hooks: &LiftHooks<'_>) -> LiftReport {
         let started = Instant::now();
         let mut report = LiftReport {
             label: query.label.clone(),
@@ -91,6 +158,9 @@ impl<'o> Stagg<'o> {
             .filter_map(|p| templatize(&p).ok())
             .collect();
         report.candidates_parsed = templates.len();
+        if let Some(observer) = hooks.observer {
+            observer.candidates(report.candidates_received, report.candidates_parsed);
+        }
         if templates.is_empty() {
             report.failure = Some(FailureReason::NoUsableCandidates);
             report.elapsed = started.elapsed();
@@ -163,25 +233,33 @@ impl<'o> Stagg<'o> {
                     return report;
                 }
             };
-        let mut vstats = ValidationStats::default();
         let task = &query.task;
         let verify_cfg = self.config.verify;
+        let observer = hooks.observer;
+        let cancel = hooks.search.cancel.clone();
 
         // The one checking contract both engines share: validate the
         // template's substitutions on the examples, verify survivors.
         // Each checker routes every evaluation through an `EvalCache`, so
         // a template checked against N examples/substitutions compiles
         // once per shape signature, and the verifier reuses the same
-        // compiled kernels.
+        // compiled kernels. A raised external cancel flag short-circuits
+        // the check, so cancellation is prompt even mid-validation.
         let check_template = |template: &TacoProgram,
                               stats: &mut ValidationStats,
                               cache: &EvalCache|
          -> CheckOutcome {
+            if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return CheckOutcome::Failed;
+            }
             match validate_template_cached(
                 template,
                 task,
                 &examples,
                 |concrete, _sub| {
+                    if let Some(observer) = observer {
+                        observer.validated(concrete);
+                    }
                     verify_candidate_cached(task, concrete, &verify_cfg, cache).is_equivalent()
                 },
                 stats,
@@ -192,56 +270,54 @@ impl<'o> Stagg<'o> {
             }
         };
 
-        // ③ Search — sequential (`jobs = 1`, bit-identical to the paper
-        // artifact) or the parallel engine with one private checker per
-        // worker and shared, atomic validation statistics.
-        let outcome: SearchOutcome = if self.config.jobs > 1 {
-            let opts = ParallelOptions::with_jobs(self.config.jobs);
-            let shared_stats = SharedValidationStats::default();
+        // ③ Search. `jobs = 1` (the default) delegates to the hooked
+        // sequential loop — bit-identical pop order to the paper
+        // artifact — while `jobs > 1` runs the parallel engine with one
+        // private checker per worker; both paths accumulate validation
+        // statistics in the shared atomic counters and honour the
+        // caller's cancellation/progress hooks.
+        let opts = ParallelOptions::with_jobs(self.config.jobs);
+        let shared_stats = SharedValidationStats::default();
+        let outcome: SearchOutcome = {
             let shared = &shared_stats;
             let check_template = &check_template;
+            let external_cache = hooks.eval_cache;
             let make_checker = move |_worker: usize| {
-                // One private cache per worker: no contention on the hot
-                // path, compilations amortise across that worker's run.
-                let cache = EvalCache::default();
+                // One private cache per worker (no contention on the hot
+                // path), unless the caller supplied a longer-lived one —
+                // `EvalCache` is sharded and thread-safe, so sharing is
+                // sound and lets compilations amortise across lifts.
+                let cache = match external_cache {
+                    Some(shared_cache) => CacheRef::Shared(shared_cache),
+                    None => CacheRef::Owned(Box::default()),
+                };
                 move |template: &TacoProgram| -> CheckOutcome {
                     let mut local = ValidationStats::default();
-                    let result = check_template(template, &mut local, &cache);
+                    let result = check_template(template, &mut local, cache.get());
                     shared.add(&local);
                     result
                 }
             };
-            let out = match self.config.mode {
-                SearchMode::TopDown => parallel_top_down_search(
-                    &grammar,
-                    &ctx,
-                    self.config.budget,
-                    opts,
-                    make_checker,
-                ),
-                SearchMode::BottomUp => parallel_bottom_up_search(
-                    &grammar,
-                    &ctx,
-                    self.config.budget,
-                    opts,
-                    make_checker,
-                ),
-            };
-            vstats = shared_stats.snapshot();
-            out
-        } else {
-            let cache = EvalCache::default();
-            let mut checker =
-                |template: &TacoProgram| check_template(template, &mut vstats, &cache);
             match self.config.mode {
-                SearchMode::TopDown => {
-                    top_down_search(&grammar, &ctx, self.config.budget, &mut checker)
-                }
-                SearchMode::BottomUp => {
-                    bottom_up_search(&grammar, &ctx, self.config.budget, &mut checker)
-                }
+                SearchMode::TopDown => parallel_top_down_search_hooked(
+                    &grammar,
+                    &ctx,
+                    self.config.budget,
+                    opts,
+                    &hooks.search,
+                    make_checker,
+                ),
+                SearchMode::BottomUp => parallel_bottom_up_search_hooked(
+                    &grammar,
+                    &ctx,
+                    self.config.budget,
+                    opts,
+                    &hooks.search,
+                    make_checker,
+                ),
             }
         };
+        let vstats = shared_stats.snapshot();
 
         report.attempts = outcome.attempts;
         report.nodes_expanded = outcome.nodes_expanded;
@@ -376,6 +452,67 @@ mod tests {
         );
         assert!(outcome.is_equivalent());
         assert!(par.substitutions_tried >= 1, "shared stats must flow back");
+    }
+
+    #[test]
+    fn hooks_observer_and_shared_cache_flow_through() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[derive(Default)]
+        struct Counting {
+            candidates: AtomicUsize,
+            validated: AtomicUsize,
+        }
+        impl LiftObserver for Counting {
+            fn candidates(&self, received: usize, parsed: usize) {
+                assert!(parsed <= received);
+                self.candidates.fetch_add(1, Ordering::SeqCst);
+            }
+            fn validated(&self, _concrete: &gtl_taco::TacoProgram) {
+                self.validated.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let query = figure2_query();
+        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+        let observer = Counting::default();
+        let cache = gtl_taco::EvalCache::default();
+        let hooks = LiftHooks {
+            observer: Some(&observer),
+            search: Default::default(),
+            eval_cache: Some(&cache),
+        };
+        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift_with(&query, &hooks);
+        assert!(report.solved(), "failure: {:?}", report.failure);
+        assert_eq!(observer.candidates.load(Ordering::SeqCst), 1);
+        assert!(
+            observer.validated.load(Ordering::SeqCst) >= 1,
+            "the winning candidate must have been observed entering verification"
+        );
+        let stats = cache.stats();
+        assert!(
+            stats.hits + stats.misses > 0,
+            "the caller's cache must have served the lift"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_lift_reports_cancelled() {
+        use gtl_search::{CancelFlag, SearchHooks};
+        use std::sync::Arc;
+
+        let query = figure2_query();
+        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+        let cancel = Arc::new(CancelFlag::new());
+        cancel.cancel();
+        let hooks = LiftHooks {
+            observer: None,
+            search: SearchHooks::with_cancel(cancel),
+            eval_cache: None,
+        };
+        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift_with(&query, &hooks);
+        assert!(!report.solved());
+        assert_eq!(report.failure, Some(FailureReason::Cancelled));
     }
 
     #[test]

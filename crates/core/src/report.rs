@@ -17,6 +17,9 @@ pub enum FailureReason {
     BudgetExceeded,
     /// The query itself was malformed (task error).
     BadQuery(String),
+    /// The caller cancelled the lift mid-search (client disconnect,
+    /// request timeout, server shutdown).
+    Cancelled,
 }
 
 impl std::fmt::Display for FailureReason {
@@ -26,6 +29,7 @@ impl std::fmt::Display for FailureReason {
             FailureReason::SearchExhausted => write!(f, "template space exhausted"),
             FailureReason::BudgetExceeded => write!(f, "search budget exceeded"),
             FailureReason::BadQuery(m) => write!(f, "bad query: {m}"),
+            FailureReason::Cancelled => write!(f, "lift cancelled"),
         }
     }
 }
@@ -76,6 +80,7 @@ impl LiftReport {
             StopReason::Solved => None,
             StopReason::Exhausted => Some(FailureReason::SearchExhausted),
             StopReason::BudgetExceeded => Some(FailureReason::BudgetExceeded),
+            StopReason::Cancelled => Some(FailureReason::Cancelled),
         }
     }
 }

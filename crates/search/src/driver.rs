@@ -1,9 +1,14 @@
-//! Shared search driver types: the checker interface, budgets and
-//! outcomes.
+//! Shared search driver types: the checker interface, budgets, outcomes
+//! and the externally-visible hooks (cancellation, live progress) a
+//! serving layer attaches to a running search.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gtl_taco::TacoProgram;
+
+use crate::parallel::CancelFlag;
 
 /// The downstream validation + verification stage (§6 and §7), invoked on
 /// every complete template the search produces. Implementations try all
@@ -68,6 +73,83 @@ pub enum StopReason {
     Exhausted,
     /// A budget limit was hit.
     BudgetExceeded,
+    /// An external [`CancelFlag`] (client disconnect, request timeout,
+    /// server shutdown) was raised mid-search.
+    Cancelled,
+}
+
+/// Live, externally observable counters of a running search.
+///
+/// A serving layer hands one of these to the engine through
+/// [`SearchHooks`] and polls it from another thread to stream
+/// `search_progress` events; the engine publishes with relaxed atomics,
+/// so reads are cheap and never block a worker.
+#[derive(Debug, Default)]
+pub struct SearchProgress {
+    nodes: AtomicU64,
+    attempts: AtomicU64,
+}
+
+impl SearchProgress {
+    /// A fresh, zeroed progress tracker.
+    pub fn new() -> SearchProgress {
+        SearchProgress::default()
+    }
+
+    /// Queue pops so far.
+    pub fn nodes(&self) -> u64 {
+        self.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Complete templates sent to checkers so far.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Adds one queue pop, returning the new total.
+    pub(crate) fn add_node(&self) -> u64 {
+        self.nodes.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Adds one checker attempt, returning the new total.
+    pub(crate) fn add_attempt(&self) -> u64 {
+        self.attempts.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Overwrites both counters (sequential engine: mirrors its private
+    /// loop counters outward once per iteration).
+    pub(crate) fn record(&self, nodes: u64, attempts: u64) {
+        self.nodes.store(nodes, Ordering::Relaxed);
+        self.attempts.store(attempts, Ordering::Relaxed);
+    }
+}
+
+/// External attachments to one search run: a cancellation flag the
+/// caller may raise at any time, and a progress tracker the caller may
+/// poll while the search runs. Both are optional; `SearchHooks::default()`
+/// attaches nothing and costs one untaken branch per loop iteration.
+#[derive(Debug, Clone, Default)]
+pub struct SearchHooks {
+    /// Raised by the caller to stop the search; the outcome then reports
+    /// [`StopReason::Cancelled`]. Workers poll it between frontier pops.
+    pub cancel: Option<Arc<CancelFlag>>,
+    /// Live node/attempt counters updated by the engine while running.
+    pub progress: Option<Arc<SearchProgress>>,
+}
+
+impl SearchHooks {
+    /// Hooks carrying just a cancellation flag.
+    pub fn with_cancel(cancel: Arc<CancelFlag>) -> SearchHooks {
+        SearchHooks {
+            cancel: Some(cancel),
+            progress: None,
+        }
+    }
+
+    /// Whether the external cancel flag (if any) has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+    }
 }
 
 /// The result of one search run, with the statistics the paper reports.
@@ -117,6 +199,18 @@ impl RunState {
         self.nodes >= self.budget.max_nodes
             || self.attempts >= self.budget.max_attempts
             || self.started.elapsed() >= self.budget.time_limit
+    }
+
+    /// The outcome of an externally cancelled run.
+    pub fn outcome_cancelled(self) -> SearchOutcome {
+        SearchOutcome {
+            solution: None,
+            template: None,
+            attempts: self.attempts,
+            nodes_expanded: self.nodes,
+            elapsed: self.started.elapsed(),
+            stop: StopReason::Cancelled,
+        }
     }
 
     pub fn outcome(

@@ -14,7 +14,8 @@ use std::collections::BinaryHeap;
 use gtl_taco::TacoProgram;
 
 use crate::driver::{
-    CheckOutcome, Priority, RunState, SearchBudget, SearchOutcome, TemplateChecker,
+    CheckOutcome, Priority, RunState, SearchBudget, SearchHooks, SearchOutcome,
+    TemplateChecker,
 };
 use crate::node::Tree;
 
@@ -89,6 +90,20 @@ pub(crate) fn run_sequential(
     budget: SearchBudget,
     checker: &mut dyn TemplateChecker,
 ) -> SearchOutcome {
+    run_sequential_hooked(exp, budget, checker, &SearchHooks::default())
+}
+
+/// [`run_sequential`] with external hooks attached: the cancel flag is
+/// polled once per pop (the outcome then reports `Cancelled`) and the
+/// loop counters are mirrored into the progress tracker after every
+/// iteration. With default hooks both additions are untaken branches,
+/// leaving pop order and counters bit-identical to the unhooked loop.
+pub(crate) fn run_sequential_hooked(
+    exp: &dyn Expand,
+    budget: SearchBudget,
+    checker: &mut dyn TemplateChecker,
+    hooks: &SearchHooks,
+) -> SearchOutcome {
     let mut state = RunState::new(budget);
     let mut queue: BinaryHeap<QEntry> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -100,6 +115,9 @@ pub(crate) fn run_sequential(
     });
 
     while let Some(entry) = queue.pop() {
+        if hooks.cancelled() {
+            return state.outcome_cancelled();
+        }
         if state.over_budget() {
             return state.outcome(None, false);
         }
@@ -121,6 +139,9 @@ pub(crate) fn run_sequential(
                 tree: child.tree,
                 cost: child.cost,
             });
+        }
+        if let Some(progress) = &hooks.progress {
+            progress.record(state.nodes, state.attempts);
         }
     }
     state.outcome(None, true)

@@ -61,11 +61,13 @@ mod topdown;
 
 pub use bottomup::bottom_up_search;
 pub use driver::{
-    CheckOutcome, SearchBudget, SearchOutcome, StopReason, TemplateChecker,
+    CheckOutcome, SearchBudget, SearchHooks, SearchOutcome, SearchProgress, StopReason,
+    TemplateChecker,
 };
 pub use parallel::{
-    fingerprint_program, parallel_bottom_up_search, parallel_top_down_search, CancelFlag,
-    ParallelOptions, ShardedSeenSet,
+    fingerprint_program, parallel_bottom_up_search, parallel_bottom_up_search_hooked,
+    parallel_top_down_search, parallel_top_down_search_hooked, CancelFlag, ParallelOptions,
+    ShardedSeenSet,
 };
 pub use penalty::{bu_penalty, td_penalty, PenaltyContext, PenaltySettings};
 pub use topdown::top_down_search;

@@ -30,7 +30,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BinaryHeap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gtl_taco::TacoProgram;
@@ -38,9 +38,10 @@ use gtl_template::TemplateGrammar;
 
 use crate::bottomup::BuExpand;
 use crate::driver::{
-    CheckOutcome, Priority, SearchBudget, SearchOutcome, StopReason, TemplateChecker,
+    CheckOutcome, Priority, SearchBudget, SearchHooks, SearchOutcome, SearchProgress,
+    StopReason, TemplateChecker,
 };
-use crate::frontier::{run_sequential, Expand, QEntry};
+use crate::frontier::{run_sequential_hooked, Expand, QEntry};
 use crate::penalty::PenaltyContext;
 use crate::topdown::TdExpand;
 
@@ -164,9 +165,14 @@ struct Shared {
     /// is exhausted only when the queue is empty AND nothing is in
     /// flight that could refill it).
     in_flight: AtomicUsize,
-    nodes: AtomicU64,
-    attempts: AtomicU64,
+    /// Node/attempt counters; doubles as the externally pollable
+    /// progress tracker when the caller supplied one through hooks.
+    progress: Arc<SearchProgress>,
     cancel: CancelFlag,
+    /// The caller's cancellation flag, polled alongside the internal one.
+    external_cancel: Option<Arc<CancelFlag>>,
+    /// Set when the run stopped because the external flag was raised.
+    externally_cancelled: AtomicBool,
     budget_hit: AtomicBool,
     solution: Mutex<Option<(TacoProgram, TacoProgram)>>,
     seen: ShardedSeenSet,
@@ -174,8 +180,8 @@ struct Shared {
 
 impl Shared {
     fn over_budget(&self, started: Instant, budget: &SearchBudget) -> bool {
-        self.nodes.load(Ordering::Relaxed) >= budget.max_nodes
-            || self.attempts.load(Ordering::Relaxed) >= budget.max_attempts
+        self.progress.nodes() >= budget.max_nodes
+            || self.progress.attempts() >= budget.max_attempts
             || started.elapsed() >= budget.time_limit
     }
 }
@@ -186,6 +192,7 @@ fn run_parallel<E, C, F>(
     exp: &E,
     budget: SearchBudget,
     opts: ParallelOptions,
+    hooks: &SearchHooks,
     make_checker: &F,
 ) -> SearchOutcome
 where
@@ -198,9 +205,13 @@ where
         queue: Mutex::new(BinaryHeap::new()),
         seq: AtomicU64::new(1),
         in_flight: AtomicUsize::new(0),
-        nodes: AtomicU64::new(0),
-        attempts: AtomicU64::new(0),
+        progress: hooks
+            .progress
+            .clone()
+            .unwrap_or_else(|| Arc::new(SearchProgress::new())),
         cancel: CancelFlag::new(),
+        external_cancel: hooks.cancel.clone(),
+        externally_cancelled: AtomicBool::new(false),
         budget_hit: AtomicBool::new(false),
         solution: Mutex::new(None),
         seen: ShardedSeenSet::new(opts.seen_shards),
@@ -234,6 +245,8 @@ where
         .take();
     let stop = if solution.is_some() {
         StopReason::Solved
+    } else if shared.externally_cancelled.load(Ordering::Relaxed) {
+        StopReason::Cancelled
     } else if shared.budget_hit.load(Ordering::Relaxed) {
         StopReason::BudgetExceeded
     } else {
@@ -246,8 +259,8 @@ where
     SearchOutcome {
         solution: concrete,
         template,
-        attempts: shared.attempts.load(Ordering::Relaxed),
-        nodes_expanded: shared.nodes.load(Ordering::Relaxed),
+        attempts: shared.progress.attempts(),
+        nodes_expanded: shared.progress.nodes(),
         elapsed: started.elapsed(),
         stop,
     }
@@ -285,6 +298,13 @@ fn worker_loop<E: Expand>(
 ) {
     let _panic_guard = PanicGuard(shared);
     loop {
+        if let Some(external) = &shared.external_cancel {
+            if external.is_cancelled() {
+                shared.externally_cancelled.store(true, Ordering::Relaxed);
+                shared.cancel.cancel();
+                return;
+            }
+        }
         if shared.cancel.is_cancelled() {
             return;
         }
@@ -325,12 +345,12 @@ fn worker_loop<E: Expand>(
             }
         };
         let _flight_guard = FlightGuard(shared);
-        shared.nodes.fetch_add(1, Ordering::Relaxed);
+        shared.progress.add_node();
         if !exp.skip(&entry.tree) {
             if let Some(template) = exp.candidate(&entry.tree) {
                 // Exactly-once check per canonical template.
                 if shared.seen.insert_program(&template) {
-                    shared.attempts.fetch_add(1, Ordering::Relaxed);
+                    shared.progress.add_attempt();
                     if let CheckOutcome::Verified(concrete) = checker.check(&template) {
                         let mut slot =
                             shared.solution.lock().expect("solution slot poisoned");
@@ -366,6 +386,51 @@ fn worker_loop<E: Expand>(
 /// deterministic runs). With `opts.jobs <= 1` this is exactly the
 /// sequential search.
 ///
+/// # Example
+///
+/// ```
+/// use gtl_search::*;
+/// use gtl_taco::{parse_program, TacoProgram};
+/// use gtl_template::{generate_td_grammar, learn_weights, templatize, TdSpec};
+///
+/// // A grammar learned from one LLM-style candidate.
+/// let cands: Vec<_> = ["r(i) = m(i,j) * v(j)"]
+///     .iter()
+///     .map(|s| templatize(&parse_program(s).unwrap()).unwrap())
+///     .collect();
+/// let mut g = generate_td_grammar(&TdSpec {
+///     dim_list: vec![1, 2, 1],
+///     n_indices: 2,
+///     allow_repeated_index: false,
+///     include_const: false,
+/// });
+/// learn_weights(&mut g, &cands);
+/// let ctx = PenaltyContext {
+///     dim_list: g.dim_list.clone(),
+///     grammar_has_const: g.nts.constant.is_some(),
+///     live_ops: g.live_ops(),
+///     settings: PenaltySettings::all(),
+/// };
+///
+/// // Four workers race over the frontier; the first verified template
+/// // cancels the rest. Each worker gets its own checker.
+/// let want = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+/// let out = parallel_top_down_search(
+///     &g,
+///     &ctx,
+///     SearchBudget::default(),
+///     ParallelOptions::with_jobs(4),
+///     |_worker| {
+///         let want = want.clone();
+///         move |t: &TacoProgram| {
+///             if *t == want { CheckOutcome::Verified(t.clone()) } else { CheckOutcome::Failed }
+///         }
+///     },
+/// );
+/// assert!(out.solved());
+/// assert_eq!(out.stop, StopReason::Solved);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `grammar` is not top-down shaped.
@@ -380,12 +445,43 @@ where
     C: TemplateChecker,
     F: Fn(usize) -> C + Sync,
 {
+    parallel_top_down_search_hooked(
+        grammar,
+        ctx,
+        budget,
+        opts,
+        &SearchHooks::default(),
+        make_checker,
+    )
+}
+
+/// [`parallel_top_down_search`] with external hooks: the caller's
+/// [`CancelFlag`] stops all workers promptly (outcome
+/// [`StopReason::Cancelled`]) and the caller's
+/// [`SearchProgress`](crate::SearchProgress) is updated live — a serving
+/// layer polls it from another thread to stream progress events.
+///
+/// # Panics
+///
+/// Panics if `grammar` is not top-down shaped.
+pub fn parallel_top_down_search_hooked<C, F>(
+    grammar: &TemplateGrammar,
+    ctx: &PenaltyContext,
+    budget: SearchBudget,
+    opts: ParallelOptions,
+    hooks: &SearchHooks,
+    make_checker: F,
+) -> SearchOutcome
+where
+    C: TemplateChecker,
+    F: Fn(usize) -> C + Sync,
+{
     let exp = TdExpand::new(grammar, ctx, budget.max_depth);
     if opts.jobs <= 1 {
         let mut checker = make_checker(0);
-        return run_sequential(&exp, budget, &mut checker);
+        return run_sequential_hooked(&exp, budget, &mut checker, hooks);
     }
-    run_parallel(&exp, budget, opts, &make_checker)
+    run_parallel(&exp, budget, opts, hooks, &make_checker)
 }
 
 /// Parallel counterpart of [`crate::bottom_up_search`]; see
@@ -405,12 +501,40 @@ where
     C: TemplateChecker,
     F: Fn(usize) -> C + Sync,
 {
+    parallel_bottom_up_search_hooked(
+        grammar,
+        ctx,
+        budget,
+        opts,
+        &SearchHooks::default(),
+        make_checker,
+    )
+}
+
+/// [`parallel_bottom_up_search`] with external hooks; see
+/// [`parallel_top_down_search_hooked`] for the hook contract.
+///
+/// # Panics
+///
+/// Panics if `grammar` is not bottom-up shaped.
+pub fn parallel_bottom_up_search_hooked<C, F>(
+    grammar: &TemplateGrammar,
+    ctx: &PenaltyContext,
+    budget: SearchBudget,
+    opts: ParallelOptions,
+    hooks: &SearchHooks,
+    make_checker: F,
+) -> SearchOutcome
+where
+    C: TemplateChecker,
+    F: Fn(usize) -> C + Sync,
+{
     let exp = BuExpand::new(grammar, ctx);
     if opts.jobs <= 1 {
         let mut checker = make_checker(0);
-        return run_sequential(&exp, budget, &mut checker);
+        return run_sequential_hooked(&exp, budget, &mut checker, hooks);
     }
-    run_parallel(&exp, budget, opts, &make_checker)
+    run_parallel(&exp, budget, opts, hooks, &make_checker)
 }
 
 #[cfg(test)]
@@ -606,6 +730,94 @@ mod tests {
             ParallelOptions::with_jobs(4),
             |_worker| |_t: &TacoProgram| -> CheckOutcome { panic!("checker exploded") },
         );
+    }
+
+    #[test]
+    fn external_cancel_stops_workers_promptly() {
+        // Raise the caller's flag after the fifth check: the run must end
+        // `Cancelled`, and after the raise each worker may finish at most
+        // the one check it already had in flight.
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let cancel = Arc::new(CancelFlag::new());
+        let hooks = SearchHooks::with_cancel(Arc::clone(&cancel));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let out = parallel_top_down_search_hooked(
+            &g,
+            &ctx,
+            SearchBudget {
+                max_attempts: 100_000,
+                max_nodes: 1_000_000,
+                ..SearchBudget::default()
+            },
+            ParallelOptions::with_jobs(4),
+            &hooks,
+            |_worker| {
+                let calls = Arc::clone(&calls);
+                let cancel = Arc::clone(&cancel);
+                move |_t: &TacoProgram| {
+                    if calls.fetch_add(1, Ordering::SeqCst) + 1 >= 5 {
+                        cancel.cancel();
+                    }
+                    CheckOutcome::Failed
+                }
+            },
+        );
+        assert_eq!(out.stop, StopReason::Cancelled);
+        assert!(!out.solved());
+        assert!(
+            calls.load(Ordering::SeqCst) <= 5 + 4,
+            "workers kept checking long after cancellation: {} calls",
+            calls.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn pre_raised_cancel_stops_sequential_path_immediately() {
+        // jobs = 1 routes through the hooked sequential loop; a flag
+        // raised before the first pop must stop it before any check.
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let cancel = Arc::new(CancelFlag::new());
+        cancel.cancel();
+        let hooks = SearchHooks::with_cancel(Arc::clone(&cancel));
+        let out = parallel_top_down_search_hooked(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions::with_jobs(1),
+            &hooks,
+            |_worker| |_t: &TacoProgram| -> CheckOutcome { panic!("must never be checked") },
+        );
+        assert_eq!(out.stop, StopReason::Cancelled);
+        assert_eq!(out.attempts, 0);
+    }
+
+    #[test]
+    fn progress_hook_tracks_counters_live() {
+        let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
+        let ctx = ctx_for(&g);
+        let progress = Arc::new(SearchProgress::new());
+        let hooks = SearchHooks {
+            cancel: None,
+            progress: Some(Arc::clone(&progress)),
+        };
+        let out = parallel_top_down_search_hooked(
+            &g,
+            &ctx,
+            SearchBudget {
+                max_attempts: 50,
+                ..SearchBudget::default()
+            },
+            ParallelOptions::with_jobs(2),
+            &hooks,
+            |_worker| |_t: &TacoProgram| CheckOutcome::Failed,
+        );
+        // The tracker is the engine's own counter storage, so the final
+        // outcome must agree with it exactly.
+        assert_eq!(progress.nodes(), out.nodes_expanded);
+        assert_eq!(progress.attempts(), out.attempts);
+        assert!(progress.nodes() > 0);
     }
 
     #[test]

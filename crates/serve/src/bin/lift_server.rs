@@ -1,0 +1,214 @@
+//! The lift server binary: serves the JSON-lines lift protocol over
+//! stdin/stdout or TCP.
+//!
+//! ```text
+//! lift_server [--stdio | --listen ADDR] [--workers N] [--queue N]
+//!             [--search-jobs N] [--progress-ms N] [--timeout-ms N]
+//! ```
+//!
+//! `--stdio` (the default) serves one client on stdin/stdout; EOF means
+//! "no more requests" — outstanding lifts finish and their events are
+//! flushed before the process exits, so `printf requests | lift_server`
+//! is a complete batch run. `--listen ADDR` (e.g. `127.0.0.1:7171`)
+//! accepts any number of TCP clients, one JSON line per message; a
+//! client that disconnects mid-lift has its in-flight lifts cancelled.
+//! A `shutdown` request from any client stops the server immediately:
+//! running lifts are cancelled through their cancel flags and queued
+//! jobs drain with `shutting_down` failures.
+
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gtl::StaggConfig;
+use gtl_serve::{Event, EventSink, LiftServer, LineAction, ServerConfig, ServerHandle};
+
+struct Args {
+    listen: Option<String>,
+    workers: usize,
+    queue: usize,
+    search_jobs: usize,
+    progress_ms: u64,
+    timeout_ms: Option<u64>,
+}
+
+const USAGE: &str = "usage: lift_server [--stdio | --listen ADDR] [--workers N] [--queue N] \
+[--search-jobs N] [--progress-ms N] [--timeout-ms N]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("lift_server: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: None,
+        workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        queue: 64,
+        search_jobs: 1,
+        progress_ms: 100,
+        timeout_ms: None,
+    };
+    let mut stdio = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        let int_value = |name: &str, raw: String| -> u64 {
+            raw.parse().unwrap_or_else(|_| {
+                usage_error(&format!("{name} expects an integer, got `{raw}`"))
+            })
+        };
+        match flag.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => args.listen = Some(value("--listen")),
+            "--workers" => args.workers = int_value("--workers", value("--workers")) as usize,
+            "--queue" => args.queue = int_value("--queue", value("--queue")) as usize,
+            "--search-jobs" => {
+                args.search_jobs = int_value("--search-jobs", value("--search-jobs")) as usize
+            }
+            "--progress-ms" => {
+                args.progress_ms = int_value("--progress-ms", value("--progress-ms"))
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(int_value("--timeout-ms", value("--timeout-ms")))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    if stdio && args.listen.is_some() {
+        usage_error("--stdio and --listen are mutually exclusive");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let server = LiftServer::start(ServerConfig {
+        workers: args.workers.max(1),
+        queue_capacity: args.queue.max(1),
+        base: StaggConfig::top_down().with_jobs(args.search_jobs.max(1)),
+        progress_interval: Duration::from_millis(args.progress_ms.max(10)),
+        default_timeout: args.timeout_ms.map(Duration::from_millis),
+        ..ServerConfig::default()
+    });
+
+    match &args.listen {
+        None => {
+            // EOF on stdin means "no more requests": finish outstanding
+            // lifts before exiting, so `printf reqs | lift_server` is a
+            // complete batch run. An explicit `shutdown` request skips
+            // the drain and cancels everything immediately.
+            if serve_stdio(server.handle()) != LineAction::Shutdown {
+                server.drain();
+            }
+        }
+        Some(addr) => serve_listener(&server, addr),
+    }
+
+    eprintln!("lift_server: shutting down");
+    server.shutdown();
+}
+
+/// Serves one client on stdin/stdout until EOF or a `shutdown` request.
+fn serve_stdio(handle: ServerHandle) -> LineAction {
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let sink: EventSink = Arc::new(move |event: &Event| {
+        let mut out = stdout.lock().expect("stdout poisoned");
+        let _ = writeln!(out, "{}", event.to_line());
+        let _ = out.flush();
+    });
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if handle.handle_line(&line, &sink) == LineAction::Shutdown {
+            return LineAction::Shutdown;
+        }
+    }
+    LineAction::Continue
+}
+
+/// Accepts TCP clients until one of them requests shutdown. Sibling
+/// connections are unblocked by shutting their sockets down, so a
+/// `shutdown` request stops the whole server promptly even while other
+/// clients sit idle in blocking reads.
+fn serve_listener(server: &LiftServer, addr: &str) {
+    let listener = TcpListener::bind(addr)
+        .unwrap_or_else(|e| usage_error(&format!("cannot listen on {addr}: {e}")));
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    eprintln!("lift_server: listening on {addr}");
+    let stop = AtomicBool::new(false);
+    let connections: Mutex<Vec<std::net::TcpStream>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    eprintln!("lift_server: client {peer} connected");
+                    if let Ok(clone) = stream.try_clone() {
+                        connections.lock().expect("connections poisoned").push(clone);
+                    }
+                    let handle = server.handle();
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        if serve_tcp(handle, stream) == LineAction::Shutdown {
+                            stop.store(true, Ordering::Release);
+                        }
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => {
+                    eprintln!("lift_server: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+        // Unblock every connection thread parked in a read; their
+        // `serve_tcp` loops then exit and the scope join completes.
+        for conn in connections.lock().expect("connections poisoned").iter() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    });
+}
+
+/// Serves one TCP client until disconnect or a `shutdown` request.
+fn serve_tcp(handle: ServerHandle, stream: std::net::TcpStream) -> LineAction {
+    let Ok(writer) = stream.try_clone() else {
+        return LineAction::Continue;
+    };
+    let writer = Arc::new(Mutex::new(writer));
+    let sink: EventSink = Arc::new(move |event: &Event| {
+        let mut out = writer.lock().expect("writer poisoned");
+        // A disconnected peer just drops its events.
+        let _ = writeln!(out, "{}", event.to_line());
+        let _ = out.flush();
+    });
+    let reader = std::io::BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if handle.handle_line(&line, &sink) == LineAction::Shutdown {
+            return LineAction::Shutdown;
+        }
+    }
+    // Disconnected mid-stream: stop this client's abandoned lifts so
+    // they do not keep burning workers.
+    let cancelled = handle.cancel_all();
+    if cancelled > 0 {
+        eprintln!("lift_server: client disconnected, cancelled {cancelled} in-flight lift(s)");
+    }
+    LineAction::Continue
+}

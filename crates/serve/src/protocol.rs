@@ -1,0 +1,1117 @@
+//! The `gtl_serve` JSON-lines wire protocol: typed requests, events and
+//! error codes, with lossless JSON encode/decode on both sides.
+//!
+//! Every message is one JSON object on one line. Clients send
+//! [`Request`]s; the server answers with streams of [`Event`]s, each
+//! tagged with the originating request `id`. The full specification —
+//! schemas, ordering guarantees, cancellation semantics and examples —
+//! lives in `docs/PROTOCOL.md`.
+
+use std::fmt;
+
+use gtl::{GrammarMode, SearchMode, StaggConfig};
+
+use crate::json::{parse, Json};
+
+/// Machine-readable error classes of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The JSON was valid but not a well-formed request.
+    BadRequest,
+    /// A `lift` named a benchmark the suite does not contain.
+    UnknownBenchmark,
+    /// A raw-source `lift`'s C kernel or ground truth failed to parse.
+    BadSource,
+    /// The bounded job queue is full; retry later.
+    QueueFull,
+    /// A `lift` reused an `id` that is still queued or running.
+    DuplicateId,
+    /// A `cancel` named an `id` that is neither queued nor running.
+    UnknownRequest,
+    /// The server is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The stable wire name.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownBenchmark => "unknown_benchmark",
+            ErrorCode::BadSource => "bad_source",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::DuplicateId => "duplicate_id",
+            ErrorCode::UnknownRequest => "unknown_request",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_wire_name(name: &str) -> Option<ErrorCode> {
+        Some(match name {
+            "bad_json" => ErrorCode::BadJson,
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_benchmark" => ErrorCode::UnknownBenchmark,
+            "bad_source" => ErrorCode::BadSource,
+            "queue_full" => ErrorCode::QueueFull,
+            "duplicate_id" => ErrorCode::DuplicateId,
+            "unknown_request" => ErrorCode::UnknownRequest,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A protocol-level failure: error class, human-readable message, and
+/// the request id it concerns when one could be extracted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+    /// The offending request's id, when known.
+    pub id: Option<String>,
+}
+
+impl WireError {
+    /// Builds an error without request context.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+            id: None,
+        }
+    }
+
+    /// Attaches the offending request id.
+    pub fn with_id(mut self, id: impl Into<String>) -> WireError {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// The terminal [`Event::Error`] announcing this failure.
+    pub fn to_event(&self) -> Event {
+        Event::Error {
+            id: self.id.clone(),
+            code: self.code,
+            message: self.message.clone(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.wire_name(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One kernel parameter of a raw-source lift request (the wire form of
+/// `gtl_validate::TaskParamKind`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireParam {
+    /// Parameter name, matching the C signature.
+    pub name: String,
+    /// Logical role.
+    pub kind: WireParamKind,
+}
+
+/// The logical role of one kernel parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireParamKind {
+    /// An `int` scalar bound to a size symbol.
+    Size {
+        /// The extent symbol this scalar carries.
+        symbol: String,
+    },
+    /// A scalar data input.
+    ScalarIn {
+        /// Must the generated value be nonzero (divisor)?
+        nonzero: bool,
+    },
+    /// An input array.
+    ArrayIn {
+        /// Extent symbols, outermost first.
+        dims: Vec<String>,
+        /// Must every element be nonzero (divisor)?
+        nonzero: bool,
+    },
+    /// The output array.
+    ArrayOut {
+        /// Extent symbols, outermost first.
+        dims: Vec<String>,
+    },
+}
+
+/// What to lift: a suite benchmark by name, or raw C source with full
+/// task metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelSpec {
+    /// One of the 77 suite benchmarks.
+    Benchmark {
+        /// Benchmark name, e.g. `blas_gemv`.
+        name: String,
+    },
+    /// A raw C kernel. The `ground_truth` TACO program feeds the
+    /// deterministic synthetic oracle standing in for the paper's LLM —
+    /// the pipeline itself never reads it (see `gtl_oracle`).
+    Source {
+        /// Stable label for seeding and reporting.
+        label: String,
+        /// The legacy C source (one kernel function).
+        source: String,
+        /// Parameter roles, in signature order.
+        params: Vec<WireParam>,
+        /// Ground-truth TACO program for the synthetic oracle.
+        ground_truth: String,
+    },
+}
+
+/// Per-request configuration overrides; every field is optional and
+/// falls back to the server's base [`StaggConfig`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfigOverrides {
+    /// Search algorithm (`td` / `bu`).
+    pub mode: Option<SearchMode>,
+    /// Grammar variant (`refined`, `equal_probability`, `full_grammar`,
+    /// `llm_grammar`).
+    pub grammar: Option<GrammarMode>,
+    /// Worker threads inside this lift's search stage.
+    pub search_jobs: Option<usize>,
+    /// Budget: maximum complete templates sent to checkers.
+    pub max_attempts: Option<u64>,
+    /// Budget: maximum search-queue pops.
+    pub max_nodes: Option<u64>,
+    /// Budget: search wall-clock limit in milliseconds.
+    pub time_limit_ms: Option<u64>,
+    /// Request-level timeout in milliseconds, measured from lift start;
+    /// on expiry the request fails with reason `timeout`.
+    pub timeout_ms: Option<u64>,
+}
+
+impl ConfigOverrides {
+    /// Whether no override is set.
+    pub fn is_empty(&self) -> bool {
+        *self == ConfigOverrides::default()
+    }
+
+    /// The base configuration with these overrides applied
+    /// (`timeout_ms` is enforced by the server, not the search budget).
+    pub fn apply(&self, base: &StaggConfig) -> StaggConfig {
+        let mut config = base.clone();
+        if let Some(mode) = self.mode {
+            config.mode = mode;
+        }
+        if let Some(grammar) = self.grammar {
+            config.grammar = grammar;
+        }
+        if let Some(jobs) = self.search_jobs {
+            config.jobs = jobs.max(1);
+        }
+        if let Some(n) = self.max_attempts {
+            config.budget.max_attempts = n;
+        }
+        if let Some(n) = self.max_nodes {
+            config.budget.max_nodes = n;
+        }
+        if let Some(ms) = self.time_limit_ms {
+            config.budget.time_limit = std::time::Duration::from_millis(ms);
+        }
+        config
+    }
+}
+
+/// One lift request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiftRequest {
+    /// Client-chosen correlation id; every event of this request's
+    /// stream echoes it. Must be unique among the client's in-flight
+    /// requests.
+    pub id: String,
+    /// What to lift.
+    pub kernel: KernelSpec,
+    /// Per-request configuration overrides.
+    pub overrides: ConfigOverrides,
+}
+
+impl LiftRequest {
+    /// A benchmark lift with no overrides.
+    pub fn benchmark(id: impl Into<String>, name: impl Into<String>) -> LiftRequest {
+        LiftRequest {
+            id: id.into(),
+            kernel: KernelSpec::Benchmark { name: name.into() },
+            overrides: ConfigOverrides::default(),
+        }
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a lift.
+    Lift(LiftRequest),
+    /// Cancel a queued or running lift.
+    Cancel {
+        /// The id of the lift to cancel.
+        id: String,
+    },
+    /// Ask for a server statistics snapshot.
+    Stats,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A server statistics snapshot (the payload of [`Event::Stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Lift requests admitted to the queue.
+    pub received: u64,
+    /// Lifts that finished with a `done` event.
+    pub completed: u64,
+    /// Lifts that finished with a `failed` event.
+    pub failed: u64,
+    /// Lifts cancelled by clients, timeouts, or shutdown.
+    pub cancelled: u64,
+    /// Lift requests rejected at admission (full queue, bad request…).
+    pub rejected: u64,
+    /// Result-cache hits (answered without running a search).
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Jobs waiting in the queue right now.
+    pub queued: u64,
+    /// Jobs running on workers right now.
+    pub active: u64,
+    /// Worker threads serving the queue.
+    pub workers: u64,
+}
+
+/// A server → client message. Per request id, a stream is:
+/// `queued`, then any number of `search_progress` / `candidate_found`,
+/// then optionally `verified`, then exactly one terminal `done`,
+/// `failed` or `error`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The lift was admitted to the job queue.
+    Queued {
+        /// Request id.
+        id: String,
+        /// Jobs in the queue at admission, this one included.
+        position: usize,
+    },
+    /// Periodic search progress (emitted while the lift runs).
+    SearchProgress {
+        /// Request id.
+        id: String,
+        /// Search-queue pops so far.
+        nodes: u64,
+        /// Complete templates sent to validation so far.
+        attempts: u64,
+        /// Milliseconds since the lift started.
+        elapsed_ms: u64,
+    },
+    /// A concrete candidate passed every I/O example and entered
+    /// bounded verification. May fire several times per lift.
+    CandidateFound {
+        /// Request id.
+        id: String,
+        /// The candidate TACO program.
+        candidate: String,
+    },
+    /// The search produced a verified solution (a `done` follows).
+    Verified {
+        /// Request id.
+        id: String,
+        /// The verified concrete TACO program.
+        solution: String,
+    },
+    /// Terminal: the lift succeeded.
+    Done {
+        /// Request id.
+        id: String,
+        /// The verified concrete TACO program.
+        solution: String,
+        /// Templates sent to validation.
+        attempts: u64,
+        /// Search-queue pops.
+        nodes: u64,
+        /// End-to-end milliseconds (0 for cache hits).
+        elapsed_ms: u64,
+        /// Whether the answer came from the result cache.
+        cached: bool,
+    },
+    /// Terminal: the lift produced no solution.
+    Failed {
+        /// Request id.
+        id: String,
+        /// Machine-readable reason: `no_usable_candidates`,
+        /// `search_exhausted`, `budget_exceeded`, `bad_query`,
+        /// `cancelled`, `timeout` or `shutting_down`.
+        reason: String,
+        /// Optional human-readable detail.
+        detail: Option<String>,
+        /// Templates sent to validation before the failure.
+        attempts: u64,
+        /// Search-queue pops before the failure.
+        nodes: u64,
+        /// End-to-end milliseconds (0 for cache hits and jobs that
+        /// never started).
+        elapsed_ms: u64,
+        /// Whether the answer came from the result cache.
+        cached: bool,
+    },
+    /// A statistics snapshot (answer to a `stats` request).
+    Stats {
+        /// The snapshot.
+        stats: ServerStats,
+    },
+    /// Terminal: the request itself was rejected.
+    Error {
+        /// The offending request's id, when extractable.
+        id: Option<String>,
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Event {
+    /// The request id this event belongs to (absent for `stats` and
+    /// id-less errors).
+    pub fn id(&self) -> Option<&str> {
+        match self {
+            Event::Queued { id, .. }
+            | Event::SearchProgress { id, .. }
+            | Event::CandidateFound { id, .. }
+            | Event::Verified { id, .. }
+            | Event::Done { id, .. }
+            | Event::Failed { id, .. } => Some(id),
+            Event::Error { id, .. } => id.as_deref(),
+            Event::Stats { .. } => None,
+        }
+    }
+
+    /// Whether this event closes its request's stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::Done { .. } | Event::Failed { .. } | Event::Error { .. }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn param_to_json(p: &WireParam) -> Json {
+    let mut fields = vec![("name", Json::str(&p.name))];
+    match &p.kind {
+        WireParamKind::Size { symbol } => {
+            fields.push(("kind", Json::str("size")));
+            fields.push(("symbol", Json::str(symbol)));
+        }
+        WireParamKind::ScalarIn { nonzero } => {
+            fields.push(("kind", Json::str("scalar_in")));
+            fields.push(("nonzero", Json::Bool(*nonzero)));
+        }
+        WireParamKind::ArrayIn { dims, nonzero } => {
+            fields.push(("kind", Json::str("array_in")));
+            fields.push(("dims", Json::Arr(dims.iter().map(Json::str).collect())));
+            fields.push(("nonzero", Json::Bool(*nonzero)));
+        }
+        WireParamKind::ArrayOut { dims } => {
+            fields.push(("kind", Json::str("array_out")));
+            fields.push(("dims", Json::Arr(dims.iter().map(Json::str).collect())));
+        }
+    }
+    Json::obj(fields)
+}
+
+fn overrides_to_json(o: &ConfigOverrides) -> Json {
+    let mut fields = Vec::new();
+    if let Some(mode) = o.mode {
+        fields.push(("mode", Json::str(mode.cli_name())));
+    }
+    if let Some(grammar) = o.grammar {
+        fields.push(("grammar", Json::str(grammar.cli_name())));
+    }
+    if let Some(jobs) = o.search_jobs {
+        fields.push(("search_jobs", Json::u64(jobs as u64)));
+    }
+    if let Some(n) = o.max_attempts {
+        fields.push(("max_attempts", Json::u64(n)));
+    }
+    if let Some(n) = o.max_nodes {
+        fields.push(("max_nodes", Json::u64(n)));
+    }
+    if let Some(ms) = o.time_limit_ms {
+        fields.push(("time_limit_ms", Json::u64(ms)));
+    }
+    if let Some(ms) = o.timeout_ms {
+        fields.push(("timeout_ms", Json::u64(ms)));
+    }
+    Json::obj(fields)
+}
+
+impl Request {
+    /// Encodes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Lift(lift) => {
+                let mut fields = vec![
+                    ("type", Json::str("lift")),
+                    ("id", Json::str(&lift.id)),
+                ];
+                match &lift.kernel {
+                    KernelSpec::Benchmark { name } => {
+                        fields.push(("benchmark", Json::str(name)));
+                    }
+                    KernelSpec::Source {
+                        label,
+                        source,
+                        params,
+                        ground_truth,
+                    } => {
+                        fields.push(("label", Json::str(label)));
+                        fields.push(("source", Json::str(source)));
+                        fields.push((
+                            "params",
+                            Json::Arr(params.iter().map(param_to_json).collect()),
+                        ));
+                        fields.push(("ground_truth", Json::str(ground_truth)));
+                    }
+                }
+                if !lift.overrides.is_empty() {
+                    fields.push(("config", overrides_to_json(&lift.overrides)));
+                }
+                Json::obj(fields)
+            }
+            Request::Cancel { id } => Json::obj([
+                ("type", Json::str("cancel")),
+                ("id", Json::str(id)),
+            ]),
+            Request::Stats => Json::obj([("type", Json::str("stats"))]),
+            Request::Shutdown => Json::obj([("type", Json::str("shutdown"))]),
+        }
+    }
+
+    /// Encodes as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] with code `bad_json` for malformed JSON
+    /// or `bad_request` for well-formed JSON that is not a request;
+    /// when an `id` member is present it is attached for error routing.
+    pub fn parse_line(line: &str) -> Result<Request, WireError> {
+        let doc = parse(line)
+            .map_err(|e| WireError::new(ErrorCode::BadJson, e.to_string()))?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let attach = |e: WireError| match &id {
+            Some(id) => e.with_id(id.clone()),
+            None => e,
+        };
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                attach(WireError::new(
+                    ErrorCode::BadRequest,
+                    "missing string member `type`",
+                ))
+            })?;
+        match kind {
+            "lift" => parse_lift(&doc).map(Request::Lift).map_err(attach),
+            "cancel" => {
+                let id = id.ok_or_else(|| {
+                    WireError::new(ErrorCode::BadRequest, "cancel requires `id`")
+                })?;
+                Ok(Request::Cancel { id })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(attach(WireError::new(
+                ErrorCode::BadRequest,
+                format!("unknown request type `{other}`"),
+            ))),
+        }
+    }
+}
+
+fn parse_lift(doc: &Json) -> Result<LiftRequest, WireError> {
+    let bad = |m: String| WireError::new(ErrorCode::BadRequest, m);
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("lift requires a string `id`".into()))?
+        .to_string();
+    let kernel = match (doc.get("benchmark"), doc.get("source")) {
+        (Some(name), None) => KernelSpec::Benchmark {
+            name: name
+                .as_str()
+                .ok_or_else(|| bad("`benchmark` must be a string".into()))?
+                .to_string(),
+        },
+        (None, Some(source)) => {
+            let source = source
+                .as_str()
+                .ok_or_else(|| bad("`source` must be a string".into()))?
+                .to_string();
+            let ground_truth = doc
+                .get("ground_truth")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    bad("raw-source lift requires `ground_truth` (string)".into())
+                })?
+                .to_string();
+            let label = doc
+                .get("label")
+                .and_then(Json::as_str)
+                .unwrap_or(&id)
+                .to_string();
+            let params = doc
+                .get("params")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("raw-source lift requires `params` (array)".into()))?
+                .iter()
+                .map(parse_param)
+                .collect::<Result<Vec<_>, _>>()?;
+            KernelSpec::Source {
+                label,
+                source,
+                params,
+                ground_truth,
+            }
+        }
+        _ => {
+            return Err(bad(
+                "lift requires exactly one of `benchmark` or `source`".into(),
+            ))
+        }
+    };
+    let overrides = match doc.get("config") {
+        None => ConfigOverrides::default(),
+        Some(cfg) => parse_overrides(cfg)?,
+    };
+    Ok(LiftRequest {
+        id,
+        kernel,
+        overrides,
+    })
+}
+
+fn parse_param(p: &Json) -> Result<WireParam, WireError> {
+    let bad = |m: String| WireError::new(ErrorCode::BadRequest, m);
+    let name = p
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("param requires `name`".into()))?
+        .to_string();
+    let kind = p
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(format!("param `{name}` requires `kind`")))?;
+    let dims = |p: &Json| -> Result<Vec<String>, WireError> {
+        p.get("dims")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad(format!("param `{name}` requires `dims` (array)")))?
+            .iter()
+            .map(|d| {
+                d.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad(format!("param `{name}`: dims must be strings")))
+            })
+            .collect()
+    };
+    let nonzero = p.get("nonzero").and_then(Json::as_bool).unwrap_or(false);
+    let kind = match kind {
+        "size" => WireParamKind::Size {
+            symbol: p
+                .get("symbol")
+                .and_then(Json::as_str)
+                .unwrap_or(&name)
+                .to_string(),
+        },
+        "scalar_in" => WireParamKind::ScalarIn { nonzero },
+        "array_in" => WireParamKind::ArrayIn {
+            dims: dims(p)?,
+            nonzero,
+        },
+        "array_out" => WireParamKind::ArrayOut { dims: dims(p)? },
+        other => {
+            return Err(bad(format!(
+                "param `{name}`: unknown kind `{other}` \
+                 (size, scalar_in, array_in, array_out)"
+            )))
+        }
+    };
+    Ok(WireParam { name, kind })
+}
+
+fn parse_overrides(cfg: &Json) -> Result<ConfigOverrides, WireError> {
+    let bad = |m: String| WireError::new(ErrorCode::BadRequest, m);
+    let mut o = ConfigOverrides::default();
+    if let Some(mode) = cfg.get("mode") {
+        let name = mode
+            .as_str()
+            .ok_or_else(|| bad("`mode` must be a string".into()))?;
+        o.mode = Some(
+            SearchMode::from_cli_name(name)
+                .ok_or_else(|| bad(format!("unknown mode `{name}` (td, bu)")))?,
+        );
+    }
+    if let Some(grammar) = cfg.get("grammar") {
+        let name = grammar
+            .as_str()
+            .ok_or_else(|| bad("`grammar` must be a string".into()))?;
+        o.grammar = Some(GrammarMode::from_cli_name(name).ok_or_else(|| {
+            bad(format!(
+                "unknown grammar `{name}` (refined, equal_probability, \
+                 full_grammar, llm_grammar)"
+            ))
+        })?);
+    }
+    let uint = |key: &str| -> Result<Option<u64>, WireError> {
+        match cfg.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| bad(format!("`{key}` must be a non-negative integer"))),
+        }
+    };
+    o.search_jobs = uint("search_jobs")?.map(|n| n as usize);
+    o.max_attempts = uint("max_attempts")?;
+    o.max_nodes = uint("max_nodes")?;
+    o.time_limit_ms = uint("time_limit_ms")?;
+    o.timeout_ms = uint("timeout_ms")?;
+    Ok(o)
+}
+
+fn stats_to_json(s: &ServerStats) -> Json {
+    Json::obj([
+        ("received", Json::u64(s.received)),
+        ("completed", Json::u64(s.completed)),
+        ("failed", Json::u64(s.failed)),
+        ("cancelled", Json::u64(s.cancelled)),
+        ("rejected", Json::u64(s.rejected)),
+        ("cache_hits", Json::u64(s.cache_hits)),
+        ("cache_misses", Json::u64(s.cache_misses)),
+        ("queued", Json::u64(s.queued)),
+        ("active", Json::u64(s.active)),
+        ("workers", Json::u64(s.workers)),
+    ])
+}
+
+fn stats_from_json(doc: &Json) -> Option<ServerStats> {
+    let field = |k: &str| doc.get(k).and_then(Json::as_u64);
+    Some(ServerStats {
+        received: field("received")?,
+        completed: field("completed")?,
+        failed: field("failed")?,
+        cancelled: field("cancelled")?,
+        rejected: field("rejected")?,
+        cache_hits: field("cache_hits")?,
+        cache_misses: field("cache_misses")?,
+        queued: field("queued")?,
+        active: field("active")?,
+        workers: field("workers")?,
+    })
+}
+
+impl Event {
+    /// Encodes as a JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::Queued { id, position } => Json::obj([
+                ("event", Json::str("queued")),
+                ("id", Json::str(id)),
+                ("position", Json::u64(*position as u64)),
+            ]),
+            Event::SearchProgress {
+                id,
+                nodes,
+                attempts,
+                elapsed_ms,
+            } => Json::obj([
+                ("event", Json::str("search_progress")),
+                ("id", Json::str(id)),
+                ("nodes", Json::u64(*nodes)),
+                ("attempts", Json::u64(*attempts)),
+                ("elapsed_ms", Json::u64(*elapsed_ms)),
+            ]),
+            Event::CandidateFound { id, candidate } => Json::obj([
+                ("event", Json::str("candidate_found")),
+                ("id", Json::str(id)),
+                ("candidate", Json::str(candidate)),
+            ]),
+            Event::Verified { id, solution } => Json::obj([
+                ("event", Json::str("verified")),
+                ("id", Json::str(id)),
+                ("solution", Json::str(solution)),
+            ]),
+            Event::Done {
+                id,
+                solution,
+                attempts,
+                nodes,
+                elapsed_ms,
+                cached,
+            } => Json::obj([
+                ("event", Json::str("done")),
+                ("id", Json::str(id)),
+                ("solution", Json::str(solution)),
+                ("attempts", Json::u64(*attempts)),
+                ("nodes", Json::u64(*nodes)),
+                ("elapsed_ms", Json::u64(*elapsed_ms)),
+                ("cached", Json::Bool(*cached)),
+            ]),
+            Event::Failed {
+                id,
+                reason,
+                detail,
+                attempts,
+                nodes,
+                elapsed_ms,
+                cached,
+            } => {
+                let mut fields = vec![
+                    ("event", Json::str("failed")),
+                    ("id", Json::str(id)),
+                    ("reason", Json::str(reason)),
+                    ("attempts", Json::u64(*attempts)),
+                    ("nodes", Json::u64(*nodes)),
+                    ("elapsed_ms", Json::u64(*elapsed_ms)),
+                    ("cached", Json::Bool(*cached)),
+                ];
+                if let Some(detail) = detail {
+                    fields.push(("detail", Json::str(detail)));
+                }
+                Json::obj(fields)
+            }
+            Event::Stats { stats } => Json::obj([
+                ("event", Json::str("stats")),
+                ("stats", stats_to_json(stats)),
+            ]),
+            Event::Error { id, code, message } => {
+                let mut fields = vec![
+                    ("event", Json::str("error")),
+                    ("code", Json::str(code.wire_name())),
+                    ("message", Json::str(message)),
+                ];
+                if let Some(id) = id {
+                    fields.push(("id", Json::str(id)));
+                }
+                Json::obj(fields)
+            }
+        }
+    }
+
+    /// Encodes as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_line()
+    }
+
+    /// Decodes one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] (`bad_json` / `bad_request`) when the
+    /// line is not a well-formed event.
+    pub fn parse_line(line: &str) -> Result<Event, WireError> {
+        let doc = parse(line)
+            .map_err(|e| WireError::new(ErrorCode::BadJson, e.to_string()))?;
+        let bad = |m: String| WireError::new(ErrorCode::BadRequest, m);
+        let kind = doc
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string member `event`".into()))?;
+        let id = || -> Result<String, WireError> {
+            doc.get("id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("`{kind}` requires `id`")))
+        };
+        let num = |k: &str| -> Result<u64, WireError> {
+            doc.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("`{kind}` requires numeric `{k}`")))
+        };
+        let string = |k: &str| -> Result<String, WireError> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("`{kind}` requires string `{k}`")))
+        };
+        Ok(match kind {
+            "queued" => Event::Queued {
+                id: id()?,
+                position: num("position")? as usize,
+            },
+            "search_progress" => Event::SearchProgress {
+                id: id()?,
+                nodes: num("nodes")?,
+                attempts: num("attempts")?,
+                elapsed_ms: num("elapsed_ms")?,
+            },
+            "candidate_found" => Event::CandidateFound {
+                id: id()?,
+                candidate: string("candidate")?,
+            },
+            "verified" => Event::Verified {
+                id: id()?,
+                solution: string("solution")?,
+            },
+            "done" => Event::Done {
+                id: id()?,
+                solution: string("solution")?,
+                attempts: num("attempts")?,
+                nodes: num("nodes")?,
+                elapsed_ms: num("elapsed_ms")?,
+                cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            },
+            "failed" => Event::Failed {
+                id: id()?,
+                reason: string("reason")?,
+                detail: doc
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                attempts: doc.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+                nodes: doc.get("nodes").and_then(Json::as_u64).unwrap_or(0),
+                elapsed_ms: doc.get("elapsed_ms").and_then(Json::as_u64).unwrap_or(0),
+                cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            },
+            "stats" => Event::Stats {
+                stats: doc
+                    .get("stats")
+                    .and_then(stats_from_json)
+                    .ok_or_else(|| bad("`stats` requires a `stats` object".into()))?,
+            },
+            "error" => Event::Error {
+                id: doc.get("id").and_then(Json::as_str).map(str::to_string),
+                code: doc
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::from_wire_name)
+                    .ok_or_else(|| bad("`error` requires a known `code`".into()))?,
+                message: string("message")?,
+            },
+            other => return Err(bad(format!("unknown event `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            Request::Lift(LiftRequest::benchmark("r1", "blas_gemv")),
+            Request::Lift(LiftRequest {
+                id: "r2".into(),
+                kernel: KernelSpec::Source {
+                    label: "dot".into(),
+                    source: "void dot(int n, int *a, int *b, int *out) { *out = 0; \
+                             for (int i = 0; i < n; i++) *out += a[i] * b[i]; }"
+                        .into(),
+                    params: vec![
+                        WireParam {
+                            name: "n".into(),
+                            kind: WireParamKind::Size { symbol: "n".into() },
+                        },
+                        WireParam {
+                            name: "a".into(),
+                            kind: WireParamKind::ArrayIn {
+                                dims: vec!["n".into()],
+                                nonzero: false,
+                            },
+                        },
+                        WireParam {
+                            name: "b".into(),
+                            kind: WireParamKind::ArrayIn {
+                                dims: vec!["n".into()],
+                                nonzero: true,
+                            },
+                        },
+                        WireParam {
+                            name: "out".into(),
+                            kind: WireParamKind::ArrayOut { dims: vec![] },
+                        },
+                    ],
+                    ground_truth: "out = a(i) * b(i)".into(),
+                },
+                overrides: ConfigOverrides {
+                    mode: Some(SearchMode::BottomUp),
+                    grammar: Some(GrammarMode::Refined),
+                    search_jobs: Some(2),
+                    max_attempts: Some(500),
+                    max_nodes: None,
+                    time_limit_ms: Some(2000),
+                    timeout_ms: Some(5000),
+                },
+            }),
+            Request::Cancel { id: "r1".into() },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert_eq!(
+                Request::parse_line(&line).unwrap(),
+                request,
+                "line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let events = [
+            Event::Queued {
+                id: "r1".into(),
+                position: 3,
+            },
+            Event::SearchProgress {
+                id: "r1".into(),
+                nodes: 1200,
+                attempts: 57,
+                elapsed_ms: 40,
+            },
+            Event::CandidateFound {
+                id: "r1".into(),
+                candidate: "a(i) = b(i,j) * c(j)".into(),
+            },
+            Event::Verified {
+                id: "r1".into(),
+                solution: "a(i) = b(i,j) * c(j)".into(),
+            },
+            Event::Done {
+                id: "r1".into(),
+                solution: "a(i) = b(i,j) * c(j)".into(),
+                attempts: 57,
+                nodes: 1250,
+                elapsed_ms: 90,
+                cached: true,
+            },
+            Event::Failed {
+                id: "r2".into(),
+                reason: "budget_exceeded".into(),
+                detail: None,
+                attempts: 30_000,
+                nodes: 412_007,
+                elapsed_ms: 9_800,
+                cached: false,
+            },
+            Event::Failed {
+                id: "r3".into(),
+                reason: "bad_query".into(),
+                detail: Some("no binding for size symbol `n`".into()),
+                attempts: 0,
+                nodes: 0,
+                elapsed_ms: 2,
+                cached: false,
+            },
+            Event::Stats {
+                stats: ServerStats {
+                    received: 10,
+                    completed: 7,
+                    failed: 1,
+                    cancelled: 1,
+                    rejected: 1,
+                    cache_hits: 3,
+                    cache_misses: 7,
+                    queued: 0,
+                    active: 1,
+                    workers: 4,
+                },
+            },
+            Event::Error {
+                id: Some("r9".into()),
+                code: ErrorCode::QueueFull,
+                message: "queue is at capacity (64)".into(),
+            },
+            Event::Error {
+                id: None,
+                code: ErrorCode::BadJson,
+                message: "invalid JSON at byte 0: unexpected `x`".into(),
+            },
+        ];
+        for event in events {
+            let line = event.to_line();
+            assert_eq!(Event::parse_line(&line).unwrap(), event, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(Event::Done {
+            id: "a".into(),
+            solution: String::new(),
+            attempts: 0,
+            nodes: 0,
+            elapsed_ms: 0,
+            cached: false
+        }
+        .is_terminal());
+        assert!(Event::Error {
+            id: None,
+            code: ErrorCode::BadJson,
+            message: String::new()
+        }
+        .is_terminal());
+        assert!(!Event::Queued {
+            id: "a".into(),
+            position: 1
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn malformed_requests_are_classified() {
+        let e = Request::parse_line("not json").unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadJson);
+        let e = Request::parse_line(r#"{"id":"x"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert_eq!(e.id.as_deref(), Some("x"), "id extracted for routing");
+        let e = Request::parse_line(r#"{"type":"lift","id":"y"}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e =
+            Request::parse_line(r#"{"type":"lift","id":"y","benchmark":"b","config":{"mode":"zz"}}"#)
+                .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn overrides_apply_to_base_config() {
+        let o = ConfigOverrides {
+            mode: Some(SearchMode::BottomUp),
+            search_jobs: Some(0),
+            max_attempts: Some(123),
+            time_limit_ms: Some(1500),
+            ..ConfigOverrides::default()
+        };
+        let cfg = o.apply(&StaggConfig::top_down());
+        assert_eq!(cfg.mode, SearchMode::BottomUp);
+        assert_eq!(cfg.jobs, 1, "search_jobs 0 is clamped to 1");
+        assert_eq!(cfg.budget.max_attempts, 123);
+        assert_eq!(cfg.budget.time_limit, std::time::Duration::from_millis(1500));
+        assert!(ConfigOverrides::default().is_empty());
+    }
+}

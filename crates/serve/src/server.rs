@@ -1,0 +1,935 @@
+//! The multi-client lift server: a bounded job queue drained by a
+//! persistent worker pool, streaming incremental events per request.
+//!
+//! ```text
+//!  clients ──submit──▶ bounded queue ──pop──▶ workers (one EvalCache each)
+//!     ▲                                          │ Stagg::lift_with
+//!     │                                          │   hooks: CancelFlag,
+//!     └───────────── events (sink) ◀─────────────┘   SearchProgress, observer
+//!                       ▲
+//!            monitor ───┘  (progress ticks, timeout enforcement)
+//! ```
+//!
+//! Each worker owns one long-lived [`EvalCache`], so kernels recurring
+//! across requests never recompile; a request-level [`ResultCache`]
+//! sits in front of the pipeline and answers repeated identical
+//! requests without running a search at all. Cancellation (client
+//! `cancel`, request timeout, server shutdown) rides the search
+//! engine's [`CancelFlag`] machinery end to end.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gtl::{FailureReason, LiftHooks, LiftObserver, LiftQuery, Stagg, StaggConfig};
+use gtl_benchsuite::by_name;
+use gtl_cfront::parse_c;
+use gtl_oracle::SyntheticOracle;
+use gtl_search::{CancelFlag, SearchHooks, SearchProgress};
+use gtl_taco::{parse_program, EvalCache, TacoProgram};
+use gtl_validate::{LiftTask, TaskParam, TaskParamKind};
+
+use crate::cache::{request_key, CachedOutcome, ResultCache};
+use crate::protocol::{
+    ErrorCode, Event, KernelSpec, LiftRequest, Request, ServerStats, WireError, WireParamKind,
+};
+
+/// Where a request's events go. Called from worker and monitor threads;
+/// implementations must be quick and must tolerate disconnected peers
+/// (drop the event, don't panic).
+pub type EventSink = Arc<dyn Fn(&Event) + Send + Sync>;
+
+/// Server construction knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Lift worker threads (minimum 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity; submissions beyond it are rejected
+    /// with `queue_full` (minimum 1).
+    pub queue_capacity: usize,
+    /// The base pipeline configuration; per-request overrides apply on
+    /// top of it.
+    pub base: StaggConfig,
+    /// Cadence of `search_progress` events and timeout checks.
+    pub progress_interval: Duration,
+    /// Default per-request timeout (from lift start); `None` means no
+    /// timeout unless the request asks for one.
+    pub default_timeout: Option<Duration>,
+    /// Result-cache entry bound.
+    pub result_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 64,
+            base: StaggConfig::top_down(),
+            progress_interval: Duration::from_millis(100),
+            default_timeout: None,
+            result_cache_capacity: 1024,
+        }
+    }
+}
+
+/// Why a job was terminated from outside the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TerminalCause {
+    Cancelled,
+    Timeout,
+    Shutdown,
+}
+
+impl TerminalCause {
+    fn reason(self) -> &'static str {
+        match self {
+            TerminalCause::Cancelled => "cancelled",
+            TerminalCause::Timeout => "timeout",
+            TerminalCause::Shutdown => "shutting_down",
+        }
+    }
+}
+
+const PHASE_QUEUED: u8 = 0;
+const PHASE_RUNNING: u8 = 1;
+
+/// Shared, externally visible state of one admitted job.
+struct JobState {
+    id: String,
+    /// The owning client (half of the active-registry key).
+    client: u64,
+    sink: EventSink,
+    cancel: Arc<CancelFlag>,
+    progress: Arc<SearchProgress>,
+    cause: Mutex<Option<TerminalCause>>,
+    phase: AtomicU8,
+    /// Set when the worker starts the lift (progress/timeout baseline).
+    started: Mutex<Option<Instant>>,
+    deadline: Mutex<Option<Instant>>,
+    /// `true` once the terminal event has been emitted. Doubles as the
+    /// per-job emission lock that keeps the monitor's `search_progress`
+    /// from interleaving into (or trailing) the terminal sequence.
+    closed: Mutex<bool>,
+    /// The server-wide count of admitted-but-not-yet-closed streams;
+    /// decremented exactly once, after this job's terminal emission, so
+    /// `drain` can wait for events to have actually reached sinks.
+    outstanding: Arc<AtomicU64>,
+}
+
+impl JobState {
+    /// Records the external cause (first one wins) and raises the
+    /// cancel flag. Returns the cause now in effect.
+    fn terminate(&self, cause: TerminalCause) -> TerminalCause {
+        let mut slot = self.cause.lock().expect("cause poisoned");
+        let effective = *slot.get_or_insert(cause);
+        drop(slot);
+        self.cancel.cancel();
+        effective
+    }
+
+    fn cause(&self) -> Option<TerminalCause> {
+        *self.cause.lock().expect("cause poisoned")
+    }
+
+    /// Emits a non-terminal event unless the stream is already closed.
+    fn emit(&self, event: &Event) {
+        let closed = self.closed.lock().expect("stream poisoned");
+        if !*closed {
+            (self.sink)(event);
+        }
+    }
+
+    /// Closes the stream with `events` (the last must be terminal);
+    /// exactly one close wins, later attempts are dropped. The
+    /// server-wide outstanding count drops only after the events have
+    /// been handed to the sink.
+    fn emit_terminal(&self, events: &[Event]) {
+        let mut closed = self.closed.lock().expect("stream poisoned");
+        if *closed {
+            return;
+        }
+        *closed = true;
+        for event in events {
+            (self.sink)(event);
+        }
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One queued job: the resolved query + configuration, ready to lift.
+struct Job {
+    state: Arc<JobState>,
+    query: LiftQuery,
+    config: StaggConfig,
+    timeout: Option<Duration>,
+    cache_key: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    rejected: AtomicU64,
+}
+
+struct Inner {
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Streams admitted but not yet closed with a terminal event.
+    outstanding: Arc<AtomicU64>,
+    /// Every admitted, unfinished job, keyed by (client, request id).
+    active: Mutex<HashMap<(u64, String), Arc<JobState>>>,
+    results: ResultCache,
+    counters: Counters,
+    shutdown: AtomicBool,
+    next_client: AtomicU64,
+}
+
+impl Inner {
+    fn stats(&self) -> ServerStats {
+        let queued = self.queue.lock().expect("queue poisoned").len() as u64;
+        let total_active = self.active.lock().expect("active poisoned").len() as u64;
+        ServerStats {
+            received: self.counters.received.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            cache_hits: self.results.hits(),
+            cache_misses: self.results.misses(),
+            queued,
+            active: total_active.saturating_sub(queued),
+            workers: self.config.workers as u64,
+        }
+    }
+
+    /// Removes a finished job from the active registry.
+    fn release(&self, client: u64, id: &str) {
+        self.active
+            .lock()
+            .expect("active poisoned")
+            .remove(&(client, id.to_string()));
+    }
+}
+
+/// Builds the pipeline query for a request, or a protocol error.
+fn resolve_query(request: &LiftRequest) -> Result<LiftQuery, WireError> {
+    match &request.kernel {
+        KernelSpec::Benchmark { name } => {
+            let b = by_name(name).ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::UnknownBenchmark,
+                    format!("no suite benchmark named `{name}`"),
+                )
+                .with_id(request.id.clone())
+            })?;
+            Ok(LiftQuery {
+                label: b.name.to_string(),
+                source: b.source.to_string(),
+                task: b.lift_task(),
+                ground_truth: b.parse_ground_truth(),
+            })
+        }
+        KernelSpec::Source {
+            label,
+            source,
+            params,
+            ground_truth,
+        } => {
+            let bad_source = |m: String| {
+                WireError::new(ErrorCode::BadSource, m).with_id(request.id.clone())
+            };
+            let prog = parse_c(source).map_err(|e| bad_source(format!("C kernel: {e}")))?;
+            let func = prog.kernel().clone();
+            if func.params.len() != params.len() {
+                return Err(bad_source(format!(
+                    "kernel has {} parameters but {} param specs were given",
+                    func.params.len(),
+                    params.len()
+                )));
+            }
+            let ground_truth = parse_program(ground_truth)
+                .map_err(|e| bad_source(format!("ground truth: {e}")))?;
+            let mut output = None;
+            let task_params: Vec<TaskParam> = params
+                .iter()
+                .zip(&func.params)
+                .enumerate()
+                .map(|(i, (spec, p))| TaskParam {
+                    name: p.name.clone(),
+                    kind: match &spec.kind {
+                        WireParamKind::Size { symbol } => {
+                            TaskParamKind::Size(symbol.clone())
+                        }
+                        WireParamKind::ScalarIn { nonzero } => {
+                            TaskParamKind::ScalarIn { nonzero: *nonzero }
+                        }
+                        WireParamKind::ArrayIn { dims, nonzero } => TaskParamKind::ArrayIn {
+                            dims: dims.clone(),
+                            nonzero: *nonzero,
+                        },
+                        WireParamKind::ArrayOut { dims } => {
+                            output = Some(i);
+                            TaskParamKind::ArrayOut { dims: dims.clone() }
+                        }
+                    },
+                })
+                .collect();
+            let output = output
+                .ok_or_else(|| bad_source("no `array_out` parameter".to_string()))?;
+            let constants = func.int_constants();
+            Ok(LiftQuery {
+                label: label.clone(),
+                source: source.clone(),
+                task: LiftTask {
+                    func,
+                    params: task_params,
+                    output,
+                    constants,
+                },
+                ground_truth,
+            })
+        }
+    }
+}
+
+/// Streams `candidate_found` events from inside the pipeline.
+struct SinkObserver<'a> {
+    id: &'a str,
+    sink: &'a EventSink,
+}
+
+impl LiftObserver for SinkObserver<'_> {
+    fn validated(&self, concrete: &TacoProgram) {
+        (self.sink)(&Event::CandidateFound {
+            id: self.id.to_string(),
+            candidate: concrete.to_string(),
+        });
+    }
+}
+
+/// The wire reason for a pipeline failure.
+fn wire_reason(failure: &FailureReason) -> (String, Option<String>) {
+    match failure {
+        FailureReason::NoUsableCandidates => ("no_usable_candidates".into(), None),
+        FailureReason::SearchExhausted => ("search_exhausted".into(), None),
+        FailureReason::BudgetExceeded => ("budget_exceeded".into(), None),
+        FailureReason::BadQuery(m) => ("bad_query".into(), Some(m.clone())),
+        FailureReason::Cancelled => ("cancelled".into(), None),
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    // One evaluation cache per worker, reused across every lift this
+    // worker runs: recurring kernels never recompile.
+    let eval_cache = EvalCache::default();
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .expect("queue poisoned");
+            }
+        };
+        process(inner, job, &eval_cache);
+    }
+}
+
+fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
+    let state = &job.state;
+    let id = state.id.clone();
+    let client = state.client;
+    state.phase.store(PHASE_RUNNING, Ordering::Release);
+
+    // Cancelled (or shut down) while still queued?
+    if let Some(cause) = state.cause() {
+        inner.release(client, &id);
+        finish_failed(inner, state, cause.reason().to_string(), None, (0, 0, 0), false);
+        return;
+    }
+
+    // Result cache: identical request already answered? (Bookkeeping
+    // strictly precedes the terminal emission throughout: a client that
+    // reacts to the terminal event must observe the slot released and
+    // the counters settled.)
+    if let Some(cached) = inner.results.lookup(job.cache_key) {
+        inner.release(client, &id);
+        match cached.solution {
+            Some(solution) => {
+                inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                state.emit_terminal(&[
+                    Event::Verified {
+                        id: id.clone(),
+                        solution: solution.clone(),
+                    },
+                    Event::Done {
+                        id: id.clone(),
+                        solution,
+                        attempts: cached.attempts,
+                        nodes: cached.nodes,
+                        elapsed_ms: 0,
+                        cached: true,
+                    },
+                ]);
+            }
+            None => {
+                let reason = cached
+                    .reason
+                    .unwrap_or_else(|| "search_exhausted".to_string());
+                inner.counters.failed.fetch_add(1, Ordering::Relaxed);
+                state.emit_terminal(&[Event::Failed {
+                    id: id.clone(),
+                    reason,
+                    detail: cached.detail,
+                    attempts: cached.attempts,
+                    nodes: cached.nodes,
+                    elapsed_ms: 0,
+                    cached: true,
+                }]);
+            }
+        }
+        return;
+    }
+
+    // Arm the lift: progress baseline + timeout deadline.
+    let started = Instant::now();
+    *state.started.lock().expect("started poisoned") = Some(started);
+    if let Some(timeout) = job.timeout {
+        *state.deadline.lock().expect("deadline poisoned") = Some(started + timeout);
+    }
+
+    let observer = SinkObserver {
+        id: &id,
+        sink: &state.sink,
+    };
+    let hooks = LiftHooks {
+        observer: Some(&observer),
+        search: SearchHooks {
+            cancel: Some(Arc::clone(&state.cancel)),
+            progress: Some(Arc::clone(&state.progress)),
+        },
+        eval_cache: Some(eval_cache),
+    };
+    let mut oracle = SyntheticOracle::default();
+    let report = Stagg::new(&mut oracle, job.config.clone()).lift_with(&job.query, &hooks);
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+
+    // An external cause (cancel / timeout / shutdown) overrides the
+    // pipeline's own classification.
+    if let Some(cause) = state.cause() {
+        inner.release(client, &id);
+        finish_failed(
+            inner,
+            state,
+            cause.reason().to_string(),
+            None,
+            (report.attempts, report.nodes_expanded, elapsed_ms),
+            false,
+        );
+        return;
+    }
+
+    match report.solution {
+        Some(solution) => {
+            let solution = solution.to_string();
+            // Store before announcing: a client that reacts to `done` by
+            // resubmitting the same kernel must find the entry in place.
+            inner.results.insert(
+                job.cache_key,
+                CachedOutcome {
+                    solution: Some(solution.clone()),
+                    reason: None,
+                    detail: None,
+                    attempts: report.attempts,
+                    nodes: report.nodes_expanded,
+                },
+            );
+            inner.release(client, &id);
+            inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+            state.emit_terminal(&[
+                Event::Verified {
+                    id: id.clone(),
+                    solution: solution.clone(),
+                },
+                Event::Done {
+                    id: id.clone(),
+                    solution,
+                    attempts: report.attempts,
+                    nodes: report.nodes_expanded,
+                    elapsed_ms,
+                    cached: false,
+                },
+            ]);
+        }
+        None => {
+            let failure = report
+                .failure
+                .unwrap_or(FailureReason::SearchExhausted);
+            let (reason, detail) = wire_reason(&failure);
+            // `Cancelled` without a recorded cause can only be a race
+            // where the flag rose as the search finished; report it as a
+            // plain cancel and do not cache.
+            if !matches!(failure, FailureReason::Cancelled) {
+                inner.results.insert(
+                    job.cache_key,
+                    CachedOutcome {
+                        solution: None,
+                        reason: Some(reason.clone()),
+                        detail: detail.clone(),
+                        attempts: report.attempts,
+                        nodes: report.nodes_expanded,
+                    },
+                );
+            }
+            inner.release(client, &id);
+            finish_failed(
+                inner,
+                state,
+                reason,
+                detail,
+                (report.attempts, report.nodes_expanded, elapsed_ms),
+                false,
+            );
+        }
+    }
+}
+
+fn finish_failed(
+    inner: &Inner,
+    state: &JobState,
+    reason: String,
+    detail: Option<String>,
+    stats: (u64, u64, u64), // (attempts, nodes, elapsed_ms)
+    cached: bool,
+) {
+    let counter = match reason.as_str() {
+        "cancelled" | "timeout" | "shutting_down" => &inner.counters.cancelled,
+        _ => &inner.counters.failed,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    state.emit_terminal(&[Event::Failed {
+        id: state.id.clone(),
+        reason,
+        detail,
+        attempts: stats.0,
+        nodes: stats.1,
+        elapsed_ms: stats.2,
+        cached,
+    }]);
+}
+
+/// The monitor thread: every `progress_interval`, stream
+/// `search_progress` for running jobs and enforce deadlines.
+fn monitor_loop(inner: &Inner) {
+    while !inner.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(inner.config.progress_interval);
+        let running: Vec<Arc<JobState>> = {
+            let active = inner.active.lock().expect("active poisoned");
+            active
+                .values()
+                .filter(|s| s.phase.load(Ordering::Acquire) == PHASE_RUNNING)
+                .cloned()
+                .collect()
+        };
+        let now = Instant::now();
+        for state in running {
+            let started = *state.started.lock().expect("started poisoned");
+            let Some(started) = started else { continue };
+            if state.cause().is_some() {
+                continue; // already terminating; the worker reports
+            }
+            let deadline = *state.deadline.lock().expect("deadline poisoned");
+            if deadline.is_some_and(|d| now >= d) {
+                state.terminate(TerminalCause::Timeout);
+                continue;
+            }
+            state.emit(&Event::SearchProgress {
+                id: state.id.clone(),
+                nodes: state.progress.nodes(),
+                attempts: state.progress.attempts(),
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            });
+        }
+    }
+}
+
+/// A handle for submitting work to a running [`LiftServer`]. Each
+/// handle represents one client: request ids are scoped to it, so
+/// independent clients can reuse ids without colliding.
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    client: u64,
+}
+
+/// What a transport should do after [`ServerHandle::handle_line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineAction {
+    /// Keep reading requests.
+    Continue,
+    /// The client asked for server shutdown.
+    Shutdown,
+}
+
+impl ServerHandle {
+    /// Admits a lift request. On success the job is queued, a `queued`
+    /// event has been emitted to `sink`, and the queue position (jobs in
+    /// the queue at admission, this one included) is returned. All
+    /// further events of the request arrive through `sink` from server
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] with code `shutting_down`, `unknown_benchmark`,
+    /// `bad_source`, `duplicate_id` or `queue_full`; no events have been
+    /// emitted for the request in that case.
+    pub fn submit(&self, request: LiftRequest, sink: EventSink) -> Result<usize, WireError> {
+        let inner = &self.inner;
+        let reject = |e: WireError| {
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        };
+        if inner.shutdown.load(Ordering::Acquire) {
+            return reject(
+                WireError::new(ErrorCode::ShuttingDown, "server is shutting down")
+                    .with_id(request.id.clone()),
+            );
+        }
+        let query = match resolve_query(&request) {
+            Ok(q) => q,
+            Err(e) => return reject(e),
+        };
+        let config = request.overrides.apply(&inner.config.base);
+        let timeout = request
+            .overrides
+            .timeout_ms
+            .map(Duration::from_millis)
+            .or(inner.config.default_timeout);
+        let cache_key = request_key(&query, &config);
+        let state = Arc::new(JobState {
+            id: request.id.clone(),
+            client: self.client,
+            sink,
+            cancel: Arc::new(CancelFlag::new()),
+            progress: Arc::new(SearchProgress::new()),
+            cause: Mutex::new(None),
+            phase: AtomicU8::new(PHASE_QUEUED),
+            started: Mutex::new(None),
+            deadline: Mutex::new(None),
+            closed: Mutex::new(false),
+            outstanding: Arc::clone(&inner.outstanding),
+        });
+
+        let key = (self.client, request.id.clone());
+        {
+            let mut active = inner.active.lock().expect("active poisoned");
+            if active.contains_key(&key) {
+                drop(active);
+                return reject(
+                    WireError::new(
+                        ErrorCode::DuplicateId,
+                        format!("request `{}` is still in flight", request.id),
+                    )
+                    .with_id(request.id.clone()),
+                );
+            }
+            // Queue admission under the active lock, so a concurrent
+            // duplicate of the same id cannot slip between the check and
+            // the push.
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            if queue.len() >= inner.config.queue_capacity {
+                return reject(
+                    WireError::new(
+                        ErrorCode::QueueFull,
+                        format!(
+                            "queue is at capacity ({})",
+                            inner.config.queue_capacity
+                        ),
+                    )
+                    .with_id(request.id.clone()),
+                );
+            }
+            active.insert(key, Arc::clone(&state));
+            queue.push_back(Job {
+                state: Arc::clone(&state),
+                query,
+                config,
+                timeout,
+                cache_key,
+            });
+            let position = queue.len();
+            inner.counters.received.fetch_add(1, Ordering::Relaxed);
+            inner.outstanding.fetch_add(1, Ordering::AcqRel);
+            // Emit `queued` while still holding the queue lock: a worker
+            // cannot pop the job (and race a `done` ahead of it) until
+            // the lock drops, so the stream provably opens with `queued`.
+            (state.sink)(&Event::Queued {
+                id: request.id,
+                position,
+            });
+            drop(queue);
+            drop(active);
+            inner.queue_cv.notify_one();
+            Ok(position)
+        }
+    }
+
+    /// Cancels a queued or running lift of this client. A queued job is
+    /// removed from the queue immediately (releasing its slot) and its
+    /// stream closed with `failed`/`cancelled`; a running job is stopped
+    /// through the search engine's cancel flag and its worker closes the
+    /// stream. Returns `false` when the id is unknown (already finished
+    /// or never admitted).
+    pub fn cancel(&self, id: &str) -> bool {
+        self.cancel_client(self.client, id)
+    }
+
+    /// Cancels a lift with this id submitted by *any* client — the
+    /// fallback behind wire-level `cancel` requests, since a scripted
+    /// `lift_client --cancel` arrives on a fresh connection (a fresh
+    /// client namespace). When several clients share the id, an
+    /// arbitrary one is cancelled. Returns `false` when no client has
+    /// the id in flight.
+    pub fn cancel_any_client(&self, id: &str) -> bool {
+        let owner = {
+            let active = self.inner.active.lock().expect("active poisoned");
+            active
+                .keys()
+                .find(|(_, key_id)| key_id == id)
+                .map(|(client, _)| *client)
+        };
+        match owner {
+            Some(client) => self.cancel_client(client, id),
+            None => false,
+        }
+    }
+
+    fn cancel_client(&self, client: u64, id: &str) -> bool {
+        let key = (client, id.to_string());
+        let state = {
+            let active = self.inner.active.lock().expect("active poisoned");
+            match active.get(&key) {
+                Some(state) => Arc::clone(state),
+                None => return false,
+            }
+        };
+        state.terminate(TerminalCause::Cancelled);
+        // Still queued? Pull it out now so the slot frees immediately.
+        let removed = {
+            let mut queue = self.inner.queue.lock().expect("queue poisoned");
+            let before = queue.len();
+            queue.retain(|job| !Arc::ptr_eq(&job.state, &state));
+            before != queue.len()
+        };
+        if removed {
+            self.inner.release(client, id);
+            self.inner
+                .counters
+                .cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            state.emit_terminal(&[Event::Failed {
+                id: state.id.clone(),
+                reason: "cancelled".into(),
+                detail: None,
+                attempts: 0,
+                nodes: 0,
+                elapsed_ms: 0,
+                cached: false,
+            }]);
+        }
+        true
+    }
+
+    /// Cancels every queued or running lift of this client — the
+    /// disconnect path: a transport whose peer went away calls this so
+    /// abandoned lifts stop burning workers. Returns how many were
+    /// cancelled.
+    pub fn cancel_all(&self) -> usize {
+        let ids: Vec<String> = {
+            let active = self.inner.active.lock().expect("active poisoned");
+            active
+                .keys()
+                .filter(|(client, _)| *client == self.client)
+                .map(|(_, id)| id.clone())
+                .collect()
+        };
+        ids.iter().filter(|id| self.cancel(id)).count()
+    }
+
+    /// A statistics snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Parses and executes one wire line: lifts are submitted, cancels
+    /// and stats answered, errors reported — all through `sink`. This is
+    /// the single dispatch point shared by the stdio and TCP transports.
+    pub fn handle_line(&self, line: &str, sink: &EventSink) -> LineAction {
+        let line = line.trim();
+        if line.is_empty() {
+            return LineAction::Continue;
+        }
+        match Request::parse_line(line) {
+            Err(e) => sink(&e.to_event()),
+            Ok(Request::Lift(request)) => {
+                if let Err(e) = self.submit(request, Arc::clone(sink)) {
+                    sink(&e.to_event());
+                }
+            }
+            Ok(Request::Cancel { id }) => {
+                // Own ids first; fall back across clients so a cancel
+                // arriving on a fresh connection (scripted use) still
+                // reaches the lift it names.
+                if !self.cancel(&id) && !self.cancel_any_client(&id) {
+                    sink(&Event::Error {
+                        id: Some(id.clone()),
+                        code: ErrorCode::UnknownRequest,
+                        message: format!("no queued or running lift `{id}`"),
+                    });
+                }
+            }
+            Ok(Request::Stats) => sink(&Event::Stats {
+                stats: self.stats(),
+            }),
+            Ok(Request::Shutdown) => return LineAction::Shutdown,
+        }
+        LineAction::Continue
+    }
+
+    /// Submits a request and blocks until its stream terminates,
+    /// returning every event in order. Convenience for scripted batch
+    /// use and tests; admission errors come back as a one-event stream.
+    pub fn lift_blocking(&self, request: LiftRequest) -> Vec<Event> {
+        let (tx, rx) = std::sync::mpsc::channel::<Event>();
+        let sink: EventSink = Arc::new(move |event: &Event| {
+            let _ = tx.send(event.clone());
+        });
+        if let Err(e) = self.submit(request, sink) {
+            return vec![e.to_event()];
+        }
+        let mut events = Vec::new();
+        while let Ok(event) = rx.recv() {
+            let terminal = event.is_terminal();
+            events.push(event);
+            if terminal {
+                break;
+            }
+        }
+        events
+    }
+}
+
+/// The running server: worker pool + monitor thread. Dropping it (or
+/// calling [`LiftServer::shutdown`]) shuts down gracefully: admission
+/// stops, running lifts are cancelled through their [`CancelFlag`]s,
+/// queued jobs drain with `failed`/`shutting_down` events, and every
+/// thread is joined.
+///
+/// ```
+/// use gtl_serve::{LiftRequest, LiftServer, ServerConfig};
+///
+/// let server = LiftServer::start(ServerConfig {
+///     workers: 1,
+///     ..ServerConfig::default()
+/// });
+/// let handle = server.handle();
+/// let events = handle.lift_blocking(LiftRequest::benchmark("r1", "blas_dot"));
+/// assert!(matches!(events.last(), Some(gtl_serve::Event::Done { .. })));
+/// server.shutdown();
+/// ```
+pub struct LiftServer {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl LiftServer {
+    /// Starts the worker pool and monitor.
+    pub fn start(config: ServerConfig) -> LiftServer {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            results: ResultCache::new(config.result_cache_capacity),
+            config: ServerConfig { workers, ..config },
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            outstanding: Arc::new(AtomicU64::new(0)),
+            active: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_client: AtomicU64::new(0),
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for worker in 0..workers {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gtl-serve-worker-{worker}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gtl-serve-monitor".into())
+                    .spawn(move || monitor_loop(&inner))
+                    .expect("spawn monitor"),
+            );
+        }
+        LiftServer { inner, threads }
+    }
+
+    /// A fresh client handle (its own request-id namespace).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+            client: self.inner.next_client.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until every admitted job has terminated *and its terminal
+    /// event has been handed to its sink*. The batch idiom: submit
+    /// everything, `drain`, then [`LiftServer::shutdown`] — used by the
+    /// stdio transport on EOF.
+    pub fn drain(&self) {
+        while self.inner.outstanding.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Graceful shutdown (also runs on drop): stop admission, cancel
+    /// everything in flight, drain the queue with `shutting_down`
+    /// failures, join all threads.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+}
+
+impl Drop for LiftServer {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        {
+            let active = self.inner.active.lock().expect("active poisoned");
+            for state in active.values() {
+                state.terminate(TerminalCause::Shutdown);
+            }
+        }
+        self.inner.queue_cv.notify_all();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //!
 //! - the *interpreter* here — a tree walker over a pre-resolved RHS with
 //!   positional index bindings (no per-iteration allocation);
-//! - the *compiled* path in [`crate::compile`] — interned slots, stride
+//! - the *compiled* path in [`mod@crate::compile`] — interned slots, stride
 //!   bytecode and an `i64` fast path, used by the validation hot loop.
 //!
 //! [`evaluate`] routes through the compiled path; [`evaluate_interpreted`]

@@ -10,7 +10,7 @@
 //! - a pretty printer with minimal parenthesisation (`Display` impls);
 //! - [`semantics`] — einsum index classification and extent inference;
 //! - [`eval`] — dense evaluation over exact rationals;
-//! - [`compile`] — bytecode lowering + the shared [`EvalCache`] powering
+//! - [`compile`](fn@compile) — bytecode lowering + the shared [`EvalCache`] powering
 //!   the validation hot loop (compile once per program × shape signature,
 //!   evaluate many times, `i64` fast path with exact-rational fallback).
 //!

@@ -43,8 +43,8 @@ pub fn predict_dimension_list(templates: &[Template]) -> Option<Vec<usize>> {
 }
 
 /// Overlays the statically-predicted LHS dimension onto a voted list
-/// (§4.2.3: "we replace L[1] with the predicted dimension for the first
-/// tensor from the static analysis").
+/// (§4.2.3: "we replace L\[1\] with the predicted dimension for the
+/// first tensor from the static analysis").
 pub fn overlay_lhs_dimension(mut list: Vec<usize>, lhs_dim: Option<usize>) -> Vec<usize> {
     if let (Some(d), Some(slot)) = (lhs_dim, list.first_mut()) {
         *slot = d;

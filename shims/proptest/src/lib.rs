@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no crates.io access, so this workspace
-//! vendors the slice of proptest it uses: the [`Strategy`] trait with
+//! vendors the slice of proptest it uses: the [`Strategy`](strategy::Strategy) trait with
 //! `prop_map` / `prop_recursive` / `boxed`, integer-range and tuple
 //! strategies, `prop::sample::select`, `prop::collection::vec`, and the
 //! `proptest!` / `prop_oneof!` / `prop_assert*!` macros.
