@@ -18,7 +18,7 @@
 //!     label: b.name.to_string(),
 //!     source: b.source.to_string(),
 //!     task: b.lift_task(),
-//!     ground_truth: b.parse_ground_truth(),
+//!     ground_truth: Some(b.parse_ground_truth()),
 //! };
 //! let report = c2taco_lift(&query, &C2TacoConfig::default());
 //! assert!(report.solved());

@@ -33,7 +33,7 @@ pub fn llm_only_lift(
     let raw = oracle.candidates(&OracleQuery {
         label: &query.label,
         c_source: &query.source,
-        ground_truth: &query.ground_truth,
+        ground_truth: query.ground_truth.as_ref(),
     });
     let examples = match generate_examples(&query.task, &cfg.examples) {
         Ok(e) => e,
@@ -93,7 +93,7 @@ mod tests {
             label: b.name.to_string(),
             source: b.source.to_string(),
             task: b.lift_task(),
-            ground_truth: b.parse_ground_truth(),
+            ground_truth: Some(b.parse_ground_truth()),
         }
     }
 
@@ -128,7 +128,7 @@ mod tests {
             label: b.name.to_string(),
             source: b.source.to_string(),
             task: b.lift_task(),
-            ground_truth: b.parse_ground_truth(),
+            ground_truth: Some(b.parse_ground_truth()),
         };
         let mut oracle = SyntheticOracle::default();
         let report = llm_only_lift(&mut oracle, &query, &LlmOnlyConfig::default());

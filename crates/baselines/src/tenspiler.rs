@@ -139,7 +139,7 @@ mod tests {
             label: b.name.to_string(),
             source: b.source.to_string(),
             task: b.lift_task(),
-            ground_truth: b.parse_ground_truth(),
+            ground_truth: Some(b.parse_ground_truth()),
         }
     }
 

@@ -49,7 +49,7 @@ fn bench_grammar_learning(c: &mut Criterion) {
     let raw = oracle.candidates(&OracleQuery {
         label: b.name,
         c_source: b.source,
-        ground_truth: &gt,
+        ground_truth: Some(&gt),
     });
     let templates: Vec<_> = raw
         .iter()

@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! batch_suite [--jobs N] [--suites simple,artificial | --all | --real]
-//!             [--method td|bu] [--search-jobs N] [--json PATH]
+//!             [--only name,name] [--skip name[,name]] [--method td|bu]
+//!             [--oracle SPEC] [--search-jobs N] [--json PATH]
 //!             [--compare-sequential] [--via-server]
 //! ```
 //!
 //! `--jobs` parallelises *across benchmarks* (the embarrassingly
 //! parallel axis); `--search-jobs` additionally parallelises the
-//! template search *inside* each lift. `--compare-sequential` reruns the
+//! template search *inside* each lift. `--only` restricts the run to
+//! named benchmarks; `--skip` excludes named benchmarks (e.g. the
+//! known-unsolved `sa_4d_add` budget-burner) and records them in the
+//! suite JSON's `skipped` field. `--oracle` selects the guidance
+//! source by spec (`synthetic`, `synthetic:SEED`, `replay:PATH`,
+//! `record:PATH[:INNER]`), so whole suites can be recorded to a
+//! fixture and replayed offline. `--compare-sequential` reruns the
 //! batch with one worker and reports the wall-clock speedup, asserting
 //! per-benchmark outcome classifications match. `--via-server` routes
 //! every lift through an in-process `gtl_serve` lift server (bounded
@@ -19,7 +26,7 @@
 
 use std::collections::BTreeMap;
 
-use gtl::StaggConfig;
+use gtl::{OracleSpec, StaggConfig};
 use gtl_bench::{batch_json, run_batch_via_server, run_method_batch, Method};
 use gtl_benchsuite::{all_benchmarks, real_world_benchmarks, suite_from_name, Benchmark};
 
@@ -27,15 +34,19 @@ struct Args {
     jobs: usize,
     search_jobs: usize,
     suites: Option<Vec<String>>,
+    only: Option<Vec<String>>,
+    skip: Vec<String>,
     real_only: bool,
     method: String,
+    oracle: Option<String>,
     json_path: Option<String>,
     compare_sequential: bool,
     via_server: bool,
 }
 
 const USAGE: &str = "usage: batch_suite [--jobs N] [--suites simple,artificial | --all | --real] \
-[--method td|bu] [--search-jobs N] [--json PATH] [--compare-sequential] [--via-server]";
+[--only name,name] [--skip name[,name]] [--method td|bu] [--oracle SPEC] [--search-jobs N] \
+[--json PATH] [--compare-sequential] [--via-server]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("batch_suite: {message}\n{USAGE}");
@@ -47,8 +58,11 @@ fn parse_args() -> Args {
         jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
         search_jobs: 1,
         suites: None,
+        only: None,
+        skip: Vec::new(),
         real_only: false,
         method: "td".into(),
+        oracle: None,
         json_path: None,
         compare_sequential: false,
         via_server: false,
@@ -74,7 +88,14 @@ fn parse_args() -> Args {
             }
             "--all" => args.suites = None,
             "--real" => args.real_only = true,
+            "--only" => {
+                args.only = Some(value("--only").split(',').map(str::to_string).collect())
+            }
+            "--skip" => args
+                .skip
+                .extend(value("--skip").split(',').map(str::to_string)),
             "--method" => args.method = value("--method"),
+            "--oracle" => args.oracle = Some(value("--oracle")),
             "--json" => args.json_path = Some(value("--json")),
             "--compare-sequential" => args.compare_sequential = true,
             "--via-server" => args.via_server = true,
@@ -90,46 +111,87 @@ fn parse_args() -> Args {
     args
 }
 
-fn selected_benchmarks(args: &Args) -> Vec<Benchmark> {
-    if args.real_only {
-        return real_world_benchmarks();
-    }
-    match &args.suites {
-        None => all_benchmarks(),
-        Some(names) => {
-            let mut out = Vec::new();
-            for name in names {
-                let suite = suite_from_name(name).unwrap_or_else(|| {
-                    usage_error(&format!(
-                        "unknown suite `{name}` (blas, darknet, utdsp, dspstone, mathfu, simple, llama, artificial)"
-                    ))
-                });
-                out.extend(gtl_benchsuite::by_suite(suite));
+/// The benchmark set the flags select, plus the names `--skip` removed
+/// from it (only names that were actually present count as skipped).
+fn selected_benchmarks(args: &Args) -> (Vec<Benchmark>, Vec<String>) {
+    let mut selected = if args.real_only {
+        real_world_benchmarks()
+    } else if let Some(names) = &args.only {
+        names
+            .iter()
+            .map(|name| {
+                gtl_benchsuite::by_name(name)
+                    .unwrap_or_else(|| usage_error(&format!("unknown benchmark `{name}`")))
+            })
+            .collect()
+    } else {
+        match &args.suites {
+            None => all_benchmarks(),
+            Some(names) => {
+                let mut out = Vec::new();
+                for name in names {
+                    let suite = suite_from_name(name).unwrap_or_else(|| {
+                        usage_error(&format!(
+                            "unknown suite `{name}` (blas, darknet, utdsp, dspstone, mathfu, simple, llama, artificial)"
+                        ))
+                    });
+                    out.extend(gtl_benchsuite::by_suite(suite));
+                }
+                out
             }
-            out
+        }
+    };
+    let mut skipped = Vec::new();
+    for name in &args.skip {
+        let before = selected.len();
+        selected.retain(|b| b.name != name.as_str());
+        if selected.len() != before {
+            skipped.push(name.clone());
+        } else {
+            eprintln!("batch_suite: --skip {name}: not in the selected set (ignored)");
         }
     }
+    (selected, skipped)
 }
 
 fn main() {
     let args = parse_args();
-    let benchmarks = selected_benchmarks(&args);
-    let config = match args.method.as_str() {
+    let (benchmarks, skipped) = selected_benchmarks(&args);
+    if benchmarks.is_empty() {
+        usage_error("the selected benchmark set is empty");
+    }
+    let mut config = match args.method.as_str() {
         "bu" => StaggConfig::bottom_up(),
         "td" => StaggConfig::top_down(),
         other => usage_error(&format!("unknown method `{other}` (td|bu)")),
     }
     .with_jobs(args.search_jobs);
+    if let Some(raw) = &args.oracle {
+        let spec = OracleSpec::from_cli_name(raw)
+            .unwrap_or_else(|| usage_error(&format!("unparseable --oracle spec `{raw}`")));
+        // Validate fixture paths now, with a flag-level diagnostic,
+        // instead of panicking inside the method constructor.
+        if let Err(e) = spec.provider() {
+            usage_error(&format!("--oracle: {e}"));
+        }
+        config = config.with_oracle(spec);
+    }
     let method = Method::stagg_variant(
         &format!("STAGG_{}", args.method.to_uppercase()),
         config.clone(),
     );
 
     eprintln!(
-        "batch: {} benchmarks, {} jobs, search-jobs {}{}",
+        "batch: {} benchmarks, {} jobs, search-jobs {}, oracle {}{}{}",
         benchmarks.len(),
         args.jobs,
         args.search_jobs,
+        config.oracle.cli_name(),
+        if skipped.is_empty() {
+            String::new()
+        } else {
+            format!(", skipping {}", skipped.join(", "))
+        },
         if args.via_server { ", via lift server" } else { "" }
     );
     let batch = if args.via_server {
@@ -181,7 +243,7 @@ fn main() {
         );
     }
 
-    let json = batch_json(&batch, &benchmarks);
+    let json = batch_json(&batch, &benchmarks, &skipped);
     match &args.json_path {
         Some(path) => {
             std::fs::write(path, &json).expect("write JSON output");

@@ -1,5 +1,7 @@
 //! Run one method on one benchmark and print the outcome.
 
+use std::sync::Arc;
+
 use gtl::{Stagg, StaggConfig};
 use gtl_bench::query_for;
 use gtl_oracle::SyntheticOracle;
@@ -13,8 +15,7 @@ fn main() {
         "bu" => StaggConfig::bottom_up(),
         _ => StaggConfig::top_down(),
     };
-    let mut oracle = SyntheticOracle::default();
-    let report = Stagg::new(&mut oracle, config).lift(&query);
+    let report = Stagg::new(Arc::new(SyntheticOracle::default()), config).lift(&query);
     println!("benchmark:  {name}");
     println!("ground:     {}", b.ground_truth);
     println!("solved:     {}", report.solved());

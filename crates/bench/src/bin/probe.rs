@@ -14,7 +14,7 @@ fn main() {
     let raw = oracle.candidates(&OracleQuery {
         label: &query.label,
         c_source: &query.source,
-        ground_truth: &query.ground_truth,
+        ground_truth: query.ground_truth.as_ref(),
     });
     println!("ground truth: {}", b.ground_truth);
     for line in &raw {

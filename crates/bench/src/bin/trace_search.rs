@@ -17,7 +17,7 @@ fn main() {
     let raw = oracle.candidates(&OracleQuery {
         label: &query.label,
         c_source: &query.source,
-        ground_truth: &query.ground_truth,
+        ground_truth: query.ground_truth.as_ref(),
     });
     let templates: Vec<Template> = raw
         .iter()

@@ -1,17 +1,23 @@
 //! The lifting methods under evaluation, as a uniform interface.
 
+use std::sync::Arc;
+
 use gtl::{GrammarMode, LiftQuery, Stagg, StaggConfig};
 use gtl_baselines::{
     c2taco_lift, llm_only_lift, tenspiler_lift, C2TacoConfig, LlmOnlyConfig, TenspilerConfig,
 };
-use gtl_oracle::SyntheticOracle;
+use gtl_oracle::OracleProvider;
 
 use crate::runner::MethodResult;
 
 /// Which lifter a [`Method`] runs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub enum MethodKind {
-    /// STAGG with a given configuration.
+    /// STAGG with a given configuration. The provider is built once
+    /// from `config.oracle` and shared by every lift of the method —
+    /// essential for `record:` specs, whose fixture store must
+    /// accumulate across the whole suite (including parallel batch
+    /// workers).
     Stagg(StaggConfig),
     /// The C2TACO baseline (`heuristics: false` gives `NoHeuristics`).
     C2Taco {
@@ -24,19 +30,68 @@ pub enum MethodKind {
     LlmOnly,
 }
 
+impl std::fmt::Debug for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MethodKind::Stagg(config) => f.debug_tuple("Stagg").field(config).finish(),
+            MethodKind::C2Taco { heuristics } => f
+                .debug_struct("C2Taco")
+                .field("heuristics", heuristics)
+                .finish(),
+            MethodKind::Tenspiler => write!(f, "Tenspiler"),
+            MethodKind::LlmOnly => write!(f, "LlmOnly"),
+        }
+    }
+}
+
 /// A named lifting method.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Method {
     name: String,
     kind: MethodKind,
+    /// One provider for the method's whole lifetime (shared across
+    /// batch workers; `None` for baselines that query no oracle).
+    provider: Option<Arc<dyn OracleProvider>>,
+}
+
+impl std::fmt::Debug for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Method")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("oracle", &self.provider.as_ref().map(|p| p.name()))
+            .finish()
+    }
 }
 
 impl Method {
     /// Creates a method with an explicit display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration's oracle spec cannot build a
+    /// provider (missing replay fixture, unwritable record path) —
+    /// bench harness callers validate specs up front.
     pub fn new(name: impl Into<String>, kind: MethodKind) -> Method {
+        let provider = match &kind {
+            MethodKind::Stagg(config) => Some(
+                config
+                    .oracle
+                    .provider()
+                    .unwrap_or_else(|e| panic!("oracle spec: {e}")),
+            ),
+            MethodKind::LlmOnly => Some(
+                StaggConfig::top_down()
+                    .oracle
+                    .provider()
+                    .expect("the default synthetic spec always builds"),
+            ),
+            MethodKind::C2Taco { .. } | MethodKind::Tenspiler => None,
+        };
         Method {
             name: name.into(),
             kind,
+            provider,
         }
     }
 
@@ -148,14 +203,14 @@ impl Method {
         self.name.clone()
     }
 
-    /// Runs the method on one query. Every run constructs a fresh
-    /// default [`SyntheticOracle`], so all methods see identical
-    /// candidates for a given benchmark.
+    /// Runs the method on one query. Each lift gets a fresh oracle
+    /// minted by the method's shared provider, so all methods with the
+    /// same spec see identical candidates for a given benchmark.
     pub fn run(&self, query: &LiftQuery) -> MethodResult {
         match &self.kind {
             MethodKind::Stagg(config) => {
-                let mut oracle = SyntheticOracle::default();
-                let report = Stagg::new(&mut oracle, config.clone()).lift(query);
+                let provider = Arc::clone(self.provider.as_ref().expect("stagg has a provider"));
+                let report = Stagg::new(provider, config.clone()).lift(query);
                 MethodResult {
                     name: query.label.clone(),
                     solved: report.solved(),
@@ -203,8 +258,12 @@ impl Method {
                 }
             }
             MethodKind::LlmOnly => {
-                let mut oracle = SyntheticOracle::default();
-                let report = llm_only_lift(&mut oracle, query, &LlmOnlyConfig::default());
+                let mut oracle = self
+                    .provider
+                    .as_ref()
+                    .expect("llm-only has a provider")
+                    .oracle();
+                let report = llm_only_lift(oracle.as_mut(), query, &LlmOnlyConfig::default());
                 MethodResult {
                     name: query.label.clone(),
                     solved: report.solved(),

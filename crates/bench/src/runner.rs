@@ -24,7 +24,7 @@ pub fn query_for(b: &Benchmark) -> LiftQuery {
         label: b.name.to_string(),
         source: b.source.to_string(),
         task: b.lift_task(),
-        ground_truth: b.parse_ground_truth(),
+        ground_truth: Some(b.parse_ground_truth()),
     }
 }
 
@@ -249,10 +249,13 @@ pub fn run_batch_via_server(
     let server = LiftServer::start(ServerConfig {
         workers: jobs,
         queue_capacity: benchmarks.len().max(1),
+        // The batch's oracle spec rides in the base config; requests
+        // carry no per-lift `oracle` field, so no allowlist concerns.
         base: config.clone(),
         progress_interval: Duration::from_millis(250),
         default_timeout: None,
         result_cache_capacity: benchmarks.len().max(1),
+        ..ServerConfig::default()
     });
     let handle = server.handle();
     let receivers: Vec<_> = benchmarks
@@ -320,16 +323,23 @@ pub fn run_batch_via_server(
 /// Renders a batch as one JSON document with per-benchmark
 /// timing/outcome rows (the machine-readable feed for the fig9/fig10
 /// tables). `benchmarks` must be the slice the batch ran over, in the
-/// same order (it supplies the suite of each row).
-pub fn batch_json(batch: &BatchResult, benchmarks: &[Benchmark]) -> String {
+/// same order (it supplies the suite of each row); `skipped` lists
+/// benchmarks excluded from the run (`--skip`), recorded so a
+/// truncated suite is never mistaken for a full one.
+pub fn batch_json(batch: &BatchResult, benchmarks: &[Benchmark], skipped: &[String]) -> String {
     assert_eq!(
         batch.suite.results.len(),
         benchmarks.len(),
         "benchmark slice must match the batch"
     );
     let mut out = String::from("{\n");
+    let skipped_json = skipped
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect::<Vec<_>>()
+        .join(", ");
     out.push_str(&format!(
-        "  \"method\": \"{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.6},\n  \"cpu_seconds\": {:.6},\n  \"solved\": {},\n  \"total\": {},\n  \"results\": [\n",
+        "  \"method\": \"{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.6},\n  \"cpu_seconds\": {:.6},\n  \"solved\": {},\n  \"total\": {},\n  \"skipped\": [{skipped_json}],\n  \"results\": [\n",
         json_escape(&batch.suite.method),
         batch.jobs,
         batch.wall.as_secs_f64(),

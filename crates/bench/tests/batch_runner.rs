@@ -57,7 +57,7 @@ fn server_routed_batch_matches_direct_runner() {
         assert_eq!(s.attempts, d.attempts, "{}: attempts diverged", s.name);
     }
     // The served batch feeds the same JSON emitter.
-    let json = batch_json(&served, &set);
+    let json = batch_json(&served, &set, &[]);
     assert_eq!(json.matches("\"benchmark\":").count(), set.len());
 }
 
@@ -66,7 +66,7 @@ fn batch_json_is_well_formed_and_complete() {
     let set = small_set();
     let method = Method::stagg_td();
     let batch = run_method_batch(&method, &set, 2);
-    let json = batch_json(&batch, &set);
+    let json = batch_json(&batch, &set, &["sa_4d_add".to_string()]);
     // Structural sanity without a JSON parser: balanced braces/brackets,
     // one row per benchmark, every name present.
     assert_eq!(
@@ -82,4 +82,8 @@ fn batch_json_is_well_formed_and_complete() {
     }
     assert!(json.contains("\"jobs\": 2"));
     assert!(json.contains("\"wall_seconds\":"));
+    assert!(
+        json.contains("\"skipped\": [\"sa_4d_add\"]"),
+        "skipped benchmarks must be recorded:\n{json}"
+    );
 }

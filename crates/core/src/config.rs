@@ -1,5 +1,6 @@
 //! STAGG configuration: every knob exercised by the paper's evaluation.
 
+use gtl_oracle::OracleSpec;
 use gtl_search::{PenaltySettings, SearchBudget};
 use gtl_validate::ExampleConfig;
 use gtl_verify::VerifyConfig;
@@ -98,6 +99,20 @@ pub struct StaggConfig {
     /// classification but may return a different (semantically
     /// equivalent) verified program first.
     pub jobs: usize,
+    /// Which oracle provider guides the lift (see
+    /// [`OracleSpec::from_cli_name`] for the stable spellings). Used by
+    /// [`Stagg::from_config`](crate::Stagg::from_config), serving
+    /// workers and the bench harness; a provider passed directly to
+    /// [`Stagg::new`](crate::Stagg::new) takes precedence.
+    pub oracle: OracleSpec,
+    /// Maximum oracle rounds per lift (minimum 1). Rounds after the
+    /// first re-query the oracle with feedback about what the search
+    /// rejected — the paper's loop back to candidate generation on
+    /// failure. Each round runs with a fresh copy of `budget`; a round
+    /// that provably adds no information (no parseable candidates, or
+    /// an exact repeat of the accumulated pool) skips its search
+    /// instead of re-running the identical one.
+    pub oracle_rounds: usize,
 }
 
 impl StaggConfig {
@@ -113,6 +128,8 @@ impl StaggConfig {
             full_grammar_tensors: 4,
             full_grammar_max_dim: 3,
             jobs: 1,
+            oracle: OracleSpec::default(),
+            oracle_rounds: 1,
         }
     }
 
@@ -171,6 +188,18 @@ impl StaggConfig {
         self.jobs = jobs.max(1);
         self
     }
+
+    /// Selects the oracle provider (builder style).
+    pub fn with_oracle(mut self, oracle: OracleSpec) -> StaggConfig {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Sets the maximum oracle rounds per lift (`0` is treated as `1`).
+    pub fn with_oracle_rounds(mut self, rounds: usize) -> StaggConfig {
+        self.oracle_rounds = rounds.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +220,13 @@ mod tests {
         assert!(!b.penalties.b1);
         assert!(!b.penalties.b2);
         assert!(b.penalties.a1, "dropping B leaves the a-family alone");
+
+        let o = StaggConfig::top_down()
+            .with_oracle(OracleSpec::Synthetic { seed: 9 })
+            .with_oracle_rounds(0);
+        assert_eq!(o.oracle, OracleSpec::Synthetic { seed: 9 });
+        assert_eq!(o.oracle_rounds, 1, "0 rounds clamps to 1");
+        assert_eq!(StaggConfig::top_down().oracle, OracleSpec::default());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! # Example
 //!
 //! ```
+//! use std::sync::Arc;
+//!
 //! use gtl::{LiftQuery, Stagg, StaggConfig};
 //! use gtl_cfront::parse_c;
 //! use gtl_oracle::SyntheticOracle;
@@ -47,10 +49,11 @@
 //!         output: 3,
 //!         constants: vec![0],
 //!     },
-//!     ground_truth: parse_program("out = x(i) * y(i)").unwrap(),
+//!     ground_truth: Some(parse_program("out = x(i) * y(i)").unwrap()),
 //! };
-//! let mut oracle = SyntheticOracle::default();
-//! let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+//! // A provider mints one oracle per lift; `Stagg` can be shared.
+//! let stagg = Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down());
+//! let report = stagg.lift(&query);
 //! assert!(report.solved());
 //! assert_eq!(report.solution.unwrap().to_string(), "out = x(i) * y(i)");
 //! ```
@@ -63,5 +66,6 @@ mod pipeline;
 mod report;
 
 pub use config::{GrammarMode, SearchMode, StaggConfig};
+pub use gtl_oracle::OracleSpec;
 pub use pipeline::{LiftHooks, LiftObserver, LiftQuery, Stagg};
-pub use report::{FailureReason, LiftReport};
+pub use report::{FailureReason, LiftReport, OracleRoundStats};

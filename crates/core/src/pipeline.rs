@@ -4,12 +4,17 @@
 //! learn a probabilistic grammar (refined by dimension prediction);
 //! ③ enumerate the template space with weighted A\*; ④ validate complete
 //! templates on I/O examples and verify survivors with the bounded
-//! equivalence checker, looping back on failure.
+//! equivalence checker, looping back on failure. With
+//! [`StaggConfig::oracle_rounds`] > 1 the loop-back is literal: a
+//! failed search re-queries the oracle with feedback about the
+//! candidates it already rejected, and the grammar is re-learned over
+//! the accumulated candidate pool.
 
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gtl_analysis::analyze_kernel;
-use gtl_oracle::{Oracle, OracleQuery};
+use gtl_oracle::{OracleFeedback, OracleProvider, OracleQuery};
 use gtl_search::{
     parallel_bottom_up_search_hooked, parallel_top_down_search_hooked, CheckOutcome,
     ParallelOptions, PenaltyContext, SearchHooks, SearchOutcome,
@@ -28,7 +33,7 @@ use gtl_validate::{
 use gtl_verify::verify_candidate_cached;
 
 use crate::config::{GrammarMode, SearchMode, StaggConfig};
-use crate::report::{FailureReason, LiftReport};
+use crate::report::{FailureReason, LiftReport, OracleRoundStats};
 
 /// One lifting query: the legacy kernel plus the metadata the pipeline
 /// and the synthetic oracle need.
@@ -40,9 +45,10 @@ pub struct LiftQuery {
     pub source: String,
     /// The lifting task (kernel + shapes + constants).
     pub task: LiftTask,
-    /// Ground truth for the synthetic oracle. STAGG itself never reads
-    /// this — it flows only into [`OracleQuery`].
-    pub ground_truth: TacoProgram,
+    /// Optional ground-truth hint for the synthetic oracle. STAGG
+    /// itself never reads it — it flows only into [`OracleQuery`], and
+    /// replayed or scripted oracles work without it.
+    pub ground_truth: Option<TacoProgram>,
 }
 
 /// Incremental observations of one running lift, for serving layers
@@ -53,8 +59,9 @@ pub struct LiftQuery {
 /// and must not block on the lift itself. All methods default to
 /// no-ops, so observers implement only what they report.
 pub trait LiftObserver: Sync {
-    /// The oracle round-trip finished: `parsed` of `received` raw
-    /// candidates survived preprocessing/parsing/templatisation.
+    /// An oracle round-trip finished: `parsed` of `received` raw
+    /// candidates survived preprocessing/parsing/templatisation. Fires
+    /// once per oracle round.
     fn candidates(&self, received: usize, parsed: usize) {
         let _ = (received, parsed);
     }
@@ -87,9 +94,14 @@ pub struct LiftHooks<'a> {
     pub eval_cache: Option<&'a EvalCache>,
 }
 
-/// The STAGG lifter: an oracle plus a configuration.
-pub struct Stagg<'o> {
-    oracle: &'o mut dyn Oracle,
+/// The STAGG lifter: an oracle *provider* plus a configuration.
+///
+/// The provider mints one fresh oracle per lift, so a single `Stagg`
+/// can serve many lifts — concurrently, from shared references —
+/// without any per-oracle borrow threading. Serving workers hold one
+/// provider for their whole lifetime and share it across requests.
+pub struct Stagg {
+    provider: Arc<dyn OracleProvider>,
     config: StaggConfig,
 }
 
@@ -110,14 +122,37 @@ impl CacheRef<'_> {
     }
 }
 
-impl<'o> Stagg<'o> {
-    /// Creates a lifter.
-    pub fn new(oracle: &'o mut dyn Oracle, config: StaggConfig) -> Stagg<'o> {
-        Stagg { oracle, config }
+/// How many rejected candidates a failed round hands back to the
+/// oracle as feedback.
+const FEEDBACK_CANDIDATES: usize = 8;
+
+impl Stagg {
+    /// Creates a lifter from an explicit provider. The provider wins
+    /// over `config.oracle` (the spec is advisory here — it names what
+    /// a config-driven caller would build).
+    pub fn new(provider: Arc<dyn OracleProvider>, config: StaggConfig) -> Stagg {
+        Stagg { provider, config }
+    }
+
+    /// Creates a lifter whose provider is built from
+    /// [`StaggConfig::oracle`] — the one-line, spec-driven entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`gtl_oracle::FixtureError`] when the spec names an
+    /// unusable fixture (missing replay file, unwritable record path).
+    pub fn from_config(config: StaggConfig) -> Result<Stagg, gtl_oracle::FixtureError> {
+        let provider = config.oracle.provider()?;
+        Ok(Stagg { provider, config })
+    }
+
+    /// The configuration this lifter runs with.
+    pub fn config(&self) -> &StaggConfig {
+        &self.config
     }
 
     /// Runs the full pipeline on one query.
-    pub fn lift(&mut self, query: &LiftQuery) -> LiftReport {
+    pub fn lift(&self, query: &LiftQuery) -> LiftReport {
         self.lift_with(query, &LiftHooks::default())
     }
 
@@ -125,7 +160,7 @@ impl<'o> Stagg<'o> {
     /// an observer for incremental events, a cancellation flag and live
     /// progress counters for the search stage, and an optional shared
     /// evaluation cache. See [`LiftHooks`].
-    pub fn lift_with(&mut self, query: &LiftQuery, hooks: &LiftHooks<'_>) -> LiftReport {
+    pub fn lift_with(&self, query: &LiftQuery, hooks: &LiftHooks<'_>) -> LiftReport {
         let started = Instant::now();
         let mut report = LiftReport {
             label: query.label.clone(),
@@ -138,47 +173,158 @@ impl<'o> Stagg<'o> {
             candidates_received: 0,
             candidates_parsed: 0,
             dim_list: Vec::new(),
+            rounds: Vec::new(),
             elapsed: started.elapsed(),
             search_elapsed: std::time::Duration::ZERO,
         };
 
-        // ① Ask the LLM for candidate solutions.
-        let raw = self.oracle.candidates(&OracleQuery {
-            label: &query.label,
-            c_source: &query.source,
-            ground_truth: &query.ground_truth,
-        });
-        report.candidates_received = raw.len();
+        let mut oracle = self.provider.oracle();
+        let rounds = self.config.oracle_rounds.max(1);
+        // The candidate pool accumulates across rounds (duplicates
+        // included — repetition is information for weight learning).
+        let mut pool: Vec<Template> = Vec::new();
+        let mut examples: Option<Vec<IoExample>> = None;
+        let mut feedback: Option<OracleFeedback> = None;
+        let mut searched = false;
 
-        // Parse and templatise; discard syntactically invalid candidates.
-        let templates: Vec<Template> = raw
-            .iter()
-            .filter_map(|line| preprocess_candidate(line))
-            .filter_map(|s| parse_program(&s).ok())
-            .filter_map(|p| templatize(&p).ok())
-            .collect();
-        report.candidates_parsed = templates.len();
-        if let Some(observer) = hooks.observer {
-            observer.candidates(report.candidates_received, report.candidates_parsed);
-        }
-        if templates.is_empty() {
-            report.failure = Some(FailureReason::NoUsableCandidates);
-            report.elapsed = started.elapsed();
-            return report;
-        }
+        for round in 0..rounds {
+            // ① Ask the oracle for candidate solutions (with feedback
+            // about the previous round's failure, if any).
+            let raw = oracle.candidates_round(
+                &OracleQuery {
+                    label: &query.label,
+                    c_source: &query.source,
+                    ground_truth: query.ground_truth.as_ref(),
+                },
+                round,
+                feedback.as_ref(),
+            );
+            let mut round_stats = OracleRoundStats {
+                round,
+                received: raw.len(),
+                ..OracleRoundStats::default()
+            };
+            report.candidates_received += raw.len();
 
-        // ② Dimension prediction: LLM vote + static analysis for the LHS.
+            // Parse and templatise; discard syntactically invalid
+            // candidates.
+            let fresh: Vec<Template> = raw
+                .iter()
+                .filter_map(|line| preprocess_candidate(line))
+                .filter_map(|s| parse_program(&s).ok())
+                .filter_map(|p| templatize(&p).ok())
+                .collect();
+            round_stats.parsed = fresh.len();
+            report.candidates_parsed += fresh.len();
+            if let Some(observer) = hooks.observer {
+                observer.candidates(raw.len(), fresh.len());
+            }
+            // A re-query that provably adds no information — nothing
+            // parsed, or an exact repeat of the whole pool (uniform
+            // duplication leaves the learned weight distribution
+            // unchanged) — would re-run the identical deterministic
+            // search; record the round and skip straight to the next
+            // re-query instead of burning a full budget on it.
+            if searched {
+                let repeat_of_pool = !fresh.is_empty() && fresh.len() == pool.len() && {
+                    let mut a: Vec<String> = fresh.iter().map(ToString::to_string).collect();
+                    let mut b: Vec<String> = pool.iter().map(ToString::to_string).collect();
+                    a.sort_unstable();
+                    b.sort_unstable();
+                    a == b
+                };
+                if fresh.is_empty() || repeat_of_pool {
+                    report.rounds.push(round_stats);
+                    // The previous failure (and its feedback) stand.
+                    continue;
+                }
+            }
+            pool.extend(fresh);
+            if pool.is_empty() {
+                report.failure = Some(FailureReason::NoUsableCandidates);
+                report.rounds.push(round_stats);
+                feedback = Some(OracleFeedback {
+                    failed_candidates: Vec::new(),
+                    reason: "no_usable_candidates".to_string(),
+                });
+                continue;
+            }
+
+            // ④'s prerequisite, generated once per lift: I/O examples.
+            if examples.is_none() {
+                match generate_examples(&query.task, &self.config.examples) {
+                    Ok(e) => examples = Some(e),
+                    Err(e) => {
+                        report.failure = Some(FailureReason::BadQuery(e.to_string()));
+                        report.rounds.push(round_stats);
+                        report.elapsed = started.elapsed();
+                        return report;
+                    }
+                }
+            }
+            let examples = examples.as_ref().expect("examples generated above");
+
+            let (outcome, rejected) = self.search_round(query, &pool, examples, hooks);
+            searched = true;
+            round_stats.attempts = outcome.attempts;
+            round_stats.nodes_expanded = outcome.nodes_expanded;
+            report.attempts += outcome.attempts;
+            report.nodes_expanded += outcome.nodes_expanded;
+            report.search_elapsed += outcome.elapsed;
+            report.substitutions_tried += outcome.substitutions_tried;
+            report.dim_list = outcome.dim_list;
+            report.template = outcome.template;
+            report.failure = LiftReport::failure_from_stop(outcome.stop);
+            report.solution = outcome.solution;
+            report.rounds.push(round_stats);
+
+            if report.solution.is_some()
+                || matches!(report.failure, Some(FailureReason::Cancelled))
+            {
+                break;
+            }
+            feedback = Some(OracleFeedback {
+                failed_candidates: rejected,
+                reason: report
+                    .failure
+                    .as_ref()
+                    .map(|f| match f {
+                        FailureReason::SearchExhausted => "search_exhausted",
+                        FailureReason::BudgetExceeded => "budget_exceeded",
+                        _ => "failed",
+                    })
+                    .unwrap_or("failed")
+                    .to_string(),
+            });
+        }
+        report.elapsed = started.elapsed();
+        report
+    }
+
+    /// Stages ② and ③ for one oracle round: grammar construction over
+    /// the accumulated candidate pool, then search with validation +
+    /// verification. Returns the search outcome (with the dimension
+    /// list folded in) and a bounded sample of rejected candidates for
+    /// oracle feedback.
+    fn search_round(
+        &self,
+        query: &LiftQuery,
+        pool: &[Template],
+        examples: &[IoExample],
+        hooks: &LiftHooks<'_>,
+    ) -> (RoundOutcome, Vec<String>) {
+        // ② Dimension prediction: LLM vote + static analysis for the
+        // LHS.
         let facts = analyze_kernel(&query.task.func);
-        let voted = predict_dimension_list(&templates).unwrap_or_default();
+        let voted = predict_dimension_list(pool).unwrap_or_default();
         let dim_list = overlay_lhs_dimension(voted, facts.lhs_dim);
-        report.dim_list = dim_list.clone();
 
         // Grammar construction + probability learning.
         let spec = TdSpec {
             dim_list: dim_list.clone(),
-            n_indices: index_variable_count(&templates).max(1),
-            allow_repeated_index: any_repeated_index(&templates),
-            include_const: any_const(&templates),
+            n_indices: index_variable_count(pool).max(1),
+            allow_repeated_index: any_repeated_index(pool),
+            include_const: any_const(pool),
         };
         let mut grammar: TemplateGrammar = match (self.config.mode, self.config.grammar) {
             (SearchMode::TopDown, GrammarMode::Refined | GrammarMode::EqualProbability) => {
@@ -204,7 +350,7 @@ impl<'o> Stagg<'o> {
         };
         match self.config.grammar {
             GrammarMode::Refined | GrammarMode::LlmGrammar => {
-                learn_weights(&mut grammar, &templates);
+                learn_weights(&mut grammar, pool);
             }
             GrammarMode::EqualProbability | GrammarMode::FullGrammar => {
                 grammar.pcfg.equalize_weights();
@@ -214,29 +360,19 @@ impl<'o> Stagg<'o> {
         let ctx = PenaltyContext {
             dim_list: dim_list.clone(),
             grammar_has_const: grammar.nts.constant.is_some()
-                || grammar
-                    .nts
-                    .dim_nts
-                    .contains_key(&0),
+                || grammar.nts.dim_nts.contains_key(&0),
             live_ops: grammar.live_ops(),
             settings: self.config.penalties,
         };
 
-        // ④'s ingredients: I/O examples once per query, then the
-        // validate+verify closure used for every complete template.
-        let examples: Vec<IoExample> =
-            match generate_examples(&query.task, &self.config.examples) {
-                Ok(e) => e,
-                Err(e) => {
-                    report.failure = Some(FailureReason::BadQuery(e.to_string()));
-                    report.elapsed = started.elapsed();
-                    return report;
-                }
-            };
         let task = &query.task;
         let verify_cfg = self.config.verify;
         let observer = hooks.observer;
         let cancel = hooks.search.cancel.clone();
+        // A bounded sample of rejected candidates, collected only when
+        // a later round could use it as feedback.
+        let collect_rejected = self.config.oracle_rounds.max(1) > 1;
+        let rejected: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
         // The one checking contract both engines share: validate the
         // template's substitutions on the examples, verify survivors.
@@ -255,7 +391,7 @@ impl<'o> Stagg<'o> {
             match validate_template_cached(
                 template,
                 task,
-                &examples,
+                examples,
                 |concrete, _sub| {
                     if let Some(observer) = observer {
                         observer.validated(concrete);
@@ -266,7 +402,15 @@ impl<'o> Stagg<'o> {
                 cache,
             ) {
                 Some(concrete) => CheckOutcome::Verified(concrete),
-                None => CheckOutcome::Failed,
+                None => {
+                    if collect_rejected {
+                        let mut sample = rejected.lock().expect("feedback sample poisoned");
+                        if sample.len() < FEEDBACK_CANDIDATES {
+                            sample.push(template.to_string());
+                        }
+                    }
+                    CheckOutcome::Failed
+                }
             }
         };
 
@@ -317,25 +461,41 @@ impl<'o> Stagg<'o> {
                 ),
             }
         };
-        let vstats = shared_stats.snapshot();
-
-        report.attempts = outcome.attempts;
-        report.nodes_expanded = outcome.nodes_expanded;
-        report.search_elapsed = outcome.elapsed;
-        report.substitutions_tried = vstats.substitutions_tried;
-        report.template = outcome.template.clone();
-        report.failure = LiftReport::failure_from_stop(outcome.stop);
-        report.solution = outcome.solution;
-        report.elapsed = started.elapsed();
-        report
+        let substitutions_tried = shared_stats.snapshot().substitutions_tried;
+        (
+            RoundOutcome {
+                attempts: outcome.attempts,
+                nodes_expanded: outcome.nodes_expanded,
+                elapsed: outcome.elapsed,
+                substitutions_tried,
+                dim_list,
+                template: outcome.template,
+                solution: outcome.solution,
+                stop: outcome.stop,
+            },
+            rejected.into_inner().expect("feedback sample poisoned"),
+        )
     }
+}
+
+/// One round's search result plus the round-scoped analysis artefacts
+/// the report records.
+struct RoundOutcome {
+    attempts: u64,
+    nodes_expanded: u64,
+    elapsed: std::time::Duration,
+    substitutions_tried: u64,
+    dim_list: Vec<usize>,
+    template: Option<TacoProgram>,
+    solution: Option<TacoProgram>,
+    stop: gtl_search::StopReason,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gtl_cfront::parse_c;
-    use gtl_oracle::{ScriptedOracle, SyntheticOracle};
+    use gtl_oracle::{Oracle, ScriptedOracle, SyntheticOracle};
     use gtl_validate::{TaskParam, TaskParamKind};
 
     /// The Fig. 2 query, built by hand (the benchsuite version is used in
@@ -391,8 +551,12 @@ mod tests {
                 output: 3,
                 constants: vec![0],
             },
-            ground_truth: parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap(),
+            ground_truth: Some(parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap()),
         }
+    }
+
+    fn paper_provider() -> Arc<dyn OracleProvider> {
+        Arc::new(ScriptedOracle::new().with_paper_response_1("figure2"))
     }
 
     #[test]
@@ -400,8 +564,7 @@ mod tests {
         // The paper's own Response 1 drives the grammar; none of its
         // candidates is exactly right, yet STAGG finds the solution.
         let query = figure2_query();
-        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
-        let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+        let stagg = Stagg::new(paper_provider(), StaggConfig::top_down());
         let report = stagg.lift(&query);
         assert!(report.solved(), "failure: {:?}", report.failure);
         assert_eq!(
@@ -410,13 +573,15 @@ mod tests {
         );
         assert_eq!(report.dim_list, vec![1, 2, 1]);
         assert_eq!(report.candidates_parsed, 3, "sum(...) line discarded");
+        assert_eq!(report.rounds.len(), 1, "single-shot lift is one round");
+        assert_eq!(report.rounds[0].received, report.candidates_received);
+        assert_eq!(report.rounds[0].attempts, report.attempts);
     }
 
     #[test]
     fn bottom_up_lifts_figure2() {
         let query = figure2_query();
-        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
-        let mut stagg = Stagg::new(&mut oracle, StaggConfig::bottom_up());
+        let stagg = Stagg::new(paper_provider(), StaggConfig::bottom_up());
         let report = stagg.lift(&query);
         assert!(report.solved(), "failure: {:?}", report.failure);
     }
@@ -424,20 +589,148 @@ mod tests {
     #[test]
     fn synthetic_oracle_end_to_end() {
         let query = figure2_query();
-        let mut oracle = SyntheticOracle::default();
-        let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+        let stagg = Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down());
         let report = stagg.lift(&query);
         assert!(report.solved(), "failure: {:?}", report.failure);
         assert!(report.attempts >= 1);
     }
 
     #[test]
+    fn from_config_matches_explicit_provider() {
+        // The spec-driven constructor is the same lift as handing the
+        // provider over explicitly — the new-API regression contract.
+        let query = figure2_query();
+        let by_spec = Stagg::from_config(StaggConfig::top_down())
+            .expect("synthetic spec always builds")
+            .lift(&query);
+        let by_provider =
+            Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down())
+                .lift(&query);
+        assert!(by_spec.deterministic_eq(&by_provider));
+    }
+
+    #[test]
+    fn one_stagg_serves_many_lifts_without_mut() {
+        // The provider redesign's point: `lift` takes `&self`, so one
+        // lifter instance serves repeated (and concurrent) lifts.
+        let query = figure2_query();
+        let stagg = Stagg::new(paper_provider(), StaggConfig::top_down());
+        let first = stagg.lift(&query);
+        let second = stagg.lift(&query);
+        assert!(first.deterministic_eq(&second), "lifts must be independent");
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let stagg = &stagg;
+                let query = &query;
+                scope.spawn(move || assert!(stagg.lift(query).solved()));
+            }
+        });
+    }
+
+    /// An oracle that answers nothing on round 0 and the paper response
+    /// on round 1 — exercising the failure loop.
+    #[derive(Clone)]
+    struct SecondRoundOracle;
+
+    impl Oracle for SecondRoundOracle {
+        fn candidates(&mut self, _query: &OracleQuery<'_>) -> Vec<String> {
+            Vec::new()
+        }
+
+        fn candidates_round(
+            &mut self,
+            query: &OracleQuery<'_>,
+            round: usize,
+            feedback: Option<&OracleFeedback>,
+        ) -> Vec<String> {
+            match round {
+                0 => Vec::new(),
+                _ => {
+                    let fb = feedback.expect("round 1 must carry feedback");
+                    assert_eq!(fb.reason, "no_usable_candidates");
+                    let mut inner =
+                        ScriptedOracle::new().with_paper_response_1(query.label);
+                    inner.candidates(query)
+                }
+            }
+        }
+    }
+
+    impl OracleProvider for SecondRoundOracle {
+        fn name(&self) -> &str {
+            "second-round"
+        }
+
+        fn oracle(&self) -> Box<dyn Oracle> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn failure_loop_requeries_with_feedback() {
+        let query = figure2_query();
+        // One round: the empty first answer is terminal.
+        let single = Stagg::new(Arc::new(SecondRoundOracle), StaggConfig::top_down());
+        let report = single.lift(&query);
+        assert_eq!(report.failure, Some(FailureReason::NoUsableCandidates));
+
+        // Two rounds: the loop re-queries and the second answer solves.
+        let config = StaggConfig::top_down().with_oracle_rounds(2);
+        let looped = Stagg::new(Arc::new(SecondRoundOracle), config);
+        let report = looped.lift(&query);
+        assert!(report.solved(), "failure: {:?}", report.failure);
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.rounds[0].received, 0);
+        assert!(report.rounds[1].parsed > 0);
+        assert_eq!(
+            report.candidates_received,
+            report.rounds.iter().map(|r| r.received).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn information_free_rounds_skip_the_search() {
+        // An oracle that repeats the same (unsolvable) answer every
+        // round adds no information: the grammar and weights are
+        // unchanged, so rounds after the first must not re-run the
+        // identical deterministic search.
+        let query = figure2_query();
+        let provider: Arc<dyn OracleProvider> = Arc::new(
+            // Rank-1-only candidate: the refined grammar it induces
+            // cannot express Fig. 2's matrix, so the search exhausts.
+            ScriptedOracle::new().script("figure2", &["r(i) = m1(i) + m2(i)"]),
+        );
+        let config = StaggConfig::top_down().with_oracle_rounds(3);
+        let report = Stagg::new(provider, config).lift(&query);
+        assert!(!report.solved());
+        assert_eq!(report.rounds.len(), 3, "every round is recorded");
+        assert!(report.rounds[0].attempts > 0, "round 0 searches");
+        assert_eq!(report.rounds[1].attempts, 0, "repeat round skips");
+        assert_eq!(report.rounds[2].attempts, 0, "repeat round skips");
+        assert_eq!(report.attempts, report.rounds[0].attempts);
+    }
+
+    #[test]
+    fn extra_rounds_do_not_change_a_solved_lift() {
+        // A lift that solves in round 0 never re-queries: the report is
+        // bit-identical whatever the round allowance.
+        let query = figure2_query();
+        let one = Stagg::new(paper_provider(), StaggConfig::top_down()).lift(&query);
+        let many = Stagg::new(
+            paper_provider(),
+            StaggConfig::top_down().with_oracle_rounds(5),
+        )
+        .lift(&query);
+        assert!(one.deterministic_eq(&many));
+        assert_eq!(many.rounds.len(), 1);
+    }
+
+    #[test]
     fn parallel_jobs_lift_figure2_with_matching_classification() {
         let query = figure2_query();
         let run = |jobs: usize| {
-            let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
             let cfg = StaggConfig::top_down().with_jobs(jobs);
-            Stagg::new(&mut oracle, cfg).lift(&query)
+            Stagg::new(paper_provider(), cfg).lift(&query)
         };
         let seq = run(1);
         let par = run(4);
@@ -474,7 +767,6 @@ mod tests {
         }
 
         let query = figure2_query();
-        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
         let observer = Counting::default();
         let cache = gtl_taco::EvalCache::default();
         let hooks = LiftHooks {
@@ -482,7 +774,8 @@ mod tests {
             search: Default::default(),
             eval_cache: Some(&cache),
         };
-        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift_with(&query, &hooks);
+        let report =
+            Stagg::new(paper_provider(), StaggConfig::top_down()).lift_with(&query, &hooks);
         assert!(report.solved(), "failure: {:?}", report.failure);
         assert_eq!(observer.candidates.load(Ordering::SeqCst), 1);
         assert!(
@@ -499,10 +792,8 @@ mod tests {
     #[test]
     fn pre_cancelled_lift_reports_cancelled() {
         use gtl_search::{CancelFlag, SearchHooks};
-        use std::sync::Arc;
 
         let query = figure2_query();
-        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
         let cancel = Arc::new(CancelFlag::new());
         cancel.cancel();
         let hooks = LiftHooks {
@@ -510,16 +801,35 @@ mod tests {
             search: SearchHooks::with_cancel(cancel),
             eval_cache: None,
         };
-        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift_with(&query, &hooks);
+        let report =
+            Stagg::new(paper_provider(), StaggConfig::top_down()).lift_with(&query, &hooks);
         assert!(!report.solved());
         assert_eq!(report.failure, Some(FailureReason::Cancelled));
     }
 
     #[test]
+    fn cancelled_lift_never_requeries() {
+        use gtl_search::{CancelFlag, SearchHooks};
+
+        let query = figure2_query();
+        let cancel = Arc::new(CancelFlag::new());
+        cancel.cancel();
+        let hooks = LiftHooks {
+            observer: None,
+            search: SearchHooks::with_cancel(cancel),
+            eval_cache: None,
+        };
+        let config = StaggConfig::top_down().with_oracle_rounds(4);
+        let report = Stagg::new(paper_provider(), config).lift_with(&query, &hooks);
+        assert_eq!(report.failure, Some(FailureReason::Cancelled));
+        assert_eq!(report.rounds.len(), 1, "cancellation must stop the loop");
+    }
+
+    #[test]
     fn empty_oracle_fails_gracefully() {
         let query = figure2_query();
-        let mut oracle = ScriptedOracle::new(); // knows nothing
-        let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+        let provider: Arc<dyn OracleProvider> = Arc::new(ScriptedOracle::new());
+        let stagg = Stagg::new(provider, StaggConfig::top_down());
         let report = stagg.lift(&query);
         assert!(!report.solved());
         assert_eq!(report.failure, Some(FailureReason::NoUsableCandidates));
@@ -528,9 +838,8 @@ mod tests {
     #[test]
     fn full_grammar_also_solves_simple_query() {
         let query = figure2_query();
-        let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
         let cfg = StaggConfig::top_down().with_grammar(GrammarMode::FullGrammar);
-        let mut stagg = Stagg::new(&mut oracle, cfg);
+        let stagg = Stagg::new(paper_provider(), cfg);
         let report = stagg.lift(&query);
         assert!(report.solved(), "failure: {:?}", report.failure);
     }

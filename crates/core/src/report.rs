@@ -34,6 +34,23 @@ impl std::fmt::Display for FailureReason {
     }
 }
 
+/// One oracle round's slice of a lift: what the oracle returned and
+/// what the search did with it. `rounds.len() == 1` for single-shot
+/// lifts; the failure loop appends one entry per re-query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OracleRoundStats {
+    /// Round index (0 = the initial query).
+    pub round: usize,
+    /// Raw candidate lines the oracle returned this round.
+    pub received: usize,
+    /// Candidates that survived preprocessing/parsing/templatisation.
+    pub parsed: usize,
+    /// Complete templates sent to validation during this round's search.
+    pub attempts: u64,
+    /// Search-queue pops during this round's search.
+    pub nodes_expanded: u64,
+}
+
 /// The report of one lifting run.
 #[derive(Debug, Clone)]
 pub struct LiftReport {
@@ -57,6 +74,9 @@ pub struct LiftReport {
     pub candidates_parsed: usize,
     /// The predicted dimension list driving grammar refinement.
     pub dim_list: Vec<usize>,
+    /// Per-round oracle statistics, in round order. The totals above
+    /// (`candidates_received`, `attempts`, …) sum over these.
+    pub rounds: Vec<OracleRoundStats>,
     /// End-to-end wall-clock time (oracle + analysis + grammar + search +
     /// validation + verification).
     pub elapsed: Duration,
@@ -73,6 +93,24 @@ impl LiftReport {
     /// End-to-end seconds (the unit the paper's tables use).
     pub fn seconds(&self) -> f64 {
         self.elapsed.as_secs_f64()
+    }
+
+    /// Whether two reports are identical in every deterministic field —
+    /// everything except the wall-clock durations. This is the
+    /// regression contract behind record→replay: a replayed lift must
+    /// satisfy `deterministic_eq` with the recorded run's report.
+    pub fn deterministic_eq(&self, other: &LiftReport) -> bool {
+        self.label == other.label
+            && self.solution == other.solution
+            && self.template == other.template
+            && self.failure == other.failure
+            && self.attempts == other.attempts
+            && self.nodes_expanded == other.nodes_expanded
+            && self.substitutions_tried == other.substitutions_tried
+            && self.candidates_received == other.candidates_received
+            && self.candidates_parsed == other.candidates_parsed
+            && self.dim_list == other.dim_list
+            && self.rounds == other.rounds
     }
 
     pub(crate) fn failure_from_stop(stop: StopReason) -> Option<FailureReason> {

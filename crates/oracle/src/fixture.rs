@@ -1,0 +1,739 @@
+//! Record/replay fixtures: persist oracle responses as JSON, serve
+//! them back offline.
+//!
+//! A fixture maps `label → rounds → candidate lines` — exactly what an
+//! [`Oracle`] emits, before any preprocessing — so a recorded run can
+//! be replayed bit-identically, and transcripts of *real* LLM sessions
+//! can be dropped in by writing the same JSON shape by hand:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "entries": {
+//!     "blas_dot": [["out = x(i) * y(i)", "r := a(i) * b(i)"]]
+//!   }
+//! }
+//! ```
+//!
+//! The outer array indexes oracle *rounds* (round 0 is the initial
+//! query; later entries answer the failure loop's re-queries). The
+//! crate carries its own tiny JSON reader/writer — the fixture shape
+//! is fixed and the build environment has no serde.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::{Oracle, OracleFeedback, OracleProvider, OracleQuery};
+
+/// A fixture parse/io failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixtureError(String);
+
+impl fmt::Display for FixtureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fixture: {}", self.0)
+    }
+}
+
+impl std::error::Error for FixtureError {}
+
+fn err(message: impl Into<String>) -> FixtureError {
+    FixtureError(message.into())
+}
+
+/// An in-memory fixture: recorded candidate lines per label and round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fixture {
+    /// `label → rounds → raw candidate lines`.
+    entries: BTreeMap<String, Vec<Vec<String>>>,
+}
+
+impl Fixture {
+    /// An empty fixture.
+    pub fn new() -> Fixture {
+        Fixture::default()
+    }
+
+    /// The recorded lines for a label and round, if any.
+    pub fn lines(&self, label: &str, round: usize) -> Option<&[String]> {
+        self.entries
+            .get(label)
+            .and_then(|rounds| rounds.get(round))
+            .map(Vec::as_slice)
+    }
+
+    /// Records one round's response, growing the round list as needed
+    /// (unrecorded intermediate rounds become empty responses).
+    pub fn record(&mut self, label: &str, round: usize, lines: Vec<String>) {
+        let rounds = self.entries.entry(label.to_string()).or_default();
+        while rounds.len() <= round {
+            rounds.push(Vec::new());
+        }
+        rounds[round] = lines;
+    }
+
+    /// The labels with at least one recorded round.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Whether nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges `other` into `self`; labels present in both take
+    /// `other`'s rounds (last writer wins per label).
+    pub fn merge(&mut self, other: Fixture) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Serializes to the fixture JSON document (deterministic member
+    /// and label order, one trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": {");
+        for (n, (label, rounds)) in self.entries.iter().enumerate() {
+            out.push_str(if n == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    {}: [", escape(label)));
+            for (r, lines) in rounds.iter().enumerate() {
+                if r > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (i, line) in lines.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&escape(line));
+                }
+                out.push(']');
+            }
+            out.push(']');
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a fixture JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FixtureError`] on malformed JSON, a missing/unknown
+    /// `version`, or entry values that are not arrays of arrays of
+    /// strings.
+    pub fn parse(input: &str) -> Result<Fixture, FixtureError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let doc = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(err("trailing content after the document"));
+        }
+        let Value::Obj(doc) = doc else {
+            return Err(err("document must be an object"));
+        };
+        match doc.get("version") {
+            Some(Value::Num(v)) if *v == 1.0 => {}
+            Some(_) => return Err(err("unsupported fixture version")),
+            None => return Err(err("missing `version`")),
+        }
+        let mut fixture = Fixture::new();
+        let Some(Value::Obj(entries)) = doc.get("entries") else {
+            return Err(err("missing `entries` object"));
+        };
+        for (label, rounds) in entries {
+            let Value::Arr(rounds) = rounds else {
+                return Err(err(format!("entry `{label}` must be an array of rounds")));
+            };
+            for (round, lines) in rounds.iter().enumerate() {
+                let Value::Arr(lines) = lines else {
+                    return Err(err(format!(
+                        "entry `{label}` round {round} must be an array of strings"
+                    )));
+                };
+                let mut out = Vec::with_capacity(lines.len());
+                for line in lines {
+                    match line {
+                        Value::Str(s) => out.push(s.clone()),
+                        _ => {
+                            return Err(err(format!(
+                                "entry `{label}` round {round}: candidates must be strings"
+                            )))
+                        }
+                    }
+                }
+                fixture.record(label, round, out);
+            }
+        }
+        Ok(fixture)
+    }
+
+    /// Loads a fixture from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FixtureError`] when the file cannot be read or does
+    /// not parse.
+    pub fn load(path: &Path) -> Result<Fixture, FixtureError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+        Fixture::parse(&text)
+    }
+}
+
+// -- the tiny JSON subset reader -------------------------------------
+
+enum Value {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), FixtureError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, FixtureError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => Err(err(format!("unexpected content at byte {}", self.pos))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, FixtureError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(err(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, FixtureError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(err(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, FixtureError> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| err(format!("bad number at byte {start}")))
+    }
+
+    /// Reads four hex digits starting at `at` (does not advance).
+    fn hex4(&self, at: usize) -> Result<u32, FixtureError> {
+        self.bytes
+            .get(at..at + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| err("bad \\u escape"))
+    }
+
+    fn string(&mut self) -> Result<String, FixtureError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            // Full JSON semantics: fixtures written by
+                            // standard serializers encode non-BMP text
+                            // (emoji in an LLM transcript, say) as
+                            // surrogate pairs.
+                            let hex = self.hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            let code = if (0xd800..0xdc00).contains(&hex) {
+                                let low_ok = self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 2) == Some(&b'u');
+                                if !low_ok {
+                                    return Err(err("unpaired high surrogate"));
+                                }
+                                let low = self.hex4(self.pos + 3)?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(err("bad low surrogate"));
+                                }
+                                self.pos += 6;
+                                0x10000 + ((hex - 0xd800) << 10) + (low - 0xdc00)
+                            } else {
+                                hex
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| err("bad \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| err("bad UTF-8"))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// -- the persistent store and the oracles on top of it ----------------
+
+/// A thread-safe fixture bound to a file: every recorded response is
+/// persisted immediately, so a crashed or cancelled run still leaves a
+/// usable fixture behind.
+///
+/// Creation merges any existing fixture at the path, so repeated
+/// recording sessions accumulate. Concurrent stores on the *same path*
+/// are last-writer-wins per save; share one store (it is `Sync`)
+/// instead of opening several.
+#[derive(Debug)]
+pub struct FixtureStore {
+    path: PathBuf,
+    fixture: Mutex<Fixture>,
+}
+
+impl FixtureStore {
+    /// Opens a store at `path`, merging any fixture already there and
+    /// verifying the path is writable (fail fast, not mid-run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FixtureError`] when an existing file does not parse
+    /// or the path cannot be written.
+    pub fn open(path: impl Into<PathBuf>) -> Result<FixtureStore, FixtureError> {
+        let path = path.into();
+        let fixture = if path.exists() {
+            Fixture::load(&path)?
+        } else {
+            Fixture::new()
+        };
+        let store = FixtureStore {
+            path,
+            fixture: Mutex::new(fixture),
+        };
+        store.save()?;
+        Ok(store)
+    }
+
+    /// Records one response and persists the whole fixture.
+    pub fn record(&self, label: &str, round: usize, lines: Vec<String>) {
+        self.fixture
+            .lock()
+            .expect("fixture store poisoned")
+            .record(label, round, lines);
+        // Persistence is best-effort per record; `open` already proved
+        // the path writable, so failures here are transient.
+        let _ = self.save();
+    }
+
+    /// A snapshot of the in-memory fixture.
+    pub fn snapshot(&self) -> Fixture {
+        self.fixture.lock().expect("fixture store poisoned").clone()
+    }
+
+    fn save(&self) -> Result<(), FixtureError> {
+        let json = self.snapshot().to_json();
+        std::fs::write(&self.path, json)
+            .map_err(|e| err(format!("cannot write {}: {e}", self.path.display())))
+    }
+}
+
+/// Wraps any oracle and records every response into a [`FixtureStore`].
+pub struct RecordingOracle {
+    inner: Box<dyn Oracle>,
+    store: Arc<FixtureStore>,
+}
+
+impl RecordingOracle {
+    /// Wraps `inner`, persisting its responses through `store`.
+    pub fn new(inner: Box<dyn Oracle>, store: Arc<FixtureStore>) -> RecordingOracle {
+        RecordingOracle { inner, store }
+    }
+}
+
+impl Oracle for RecordingOracle {
+    fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String> {
+        self.candidates_round(query, 0, None)
+    }
+
+    fn candidates_round(
+        &mut self,
+        query: &OracleQuery<'_>,
+        round: usize,
+        feedback: Option<&OracleFeedback>,
+    ) -> Vec<String> {
+        let lines = self.inner.candidates_round(query, round, feedback);
+        self.store.record(query.label, round, lines.clone());
+        lines
+    }
+}
+
+/// Provider form of [`RecordingOracle`]: mints recorders around the
+/// inner provider's oracles, all sharing one [`FixtureStore`].
+pub struct RecordingProvider {
+    inner: Arc<dyn OracleProvider>,
+    store: Arc<FixtureStore>,
+}
+
+impl RecordingProvider {
+    /// Opens (or creates) the fixture at `path` and wraps `inner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FixtureError`] when the path is unusable.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        inner: Arc<dyn OracleProvider>,
+    ) -> Result<RecordingProvider, FixtureError> {
+        Ok(RecordingProvider {
+            inner,
+            store: Arc::new(FixtureStore::open(path)?),
+        })
+    }
+
+    /// The shared store (e.g. to snapshot what has been recorded).
+    pub fn store(&self) -> &Arc<FixtureStore> {
+        &self.store
+    }
+}
+
+impl OracleProvider for RecordingProvider {
+    fn name(&self) -> &str {
+        "record"
+    }
+
+    fn oracle(&self) -> Box<dyn Oracle> {
+        Box::new(RecordingOracle::new(
+            self.inner.oracle(),
+            Arc::clone(&self.store),
+        ))
+    }
+}
+
+/// Serves a recorded fixture offline: the integration point for real
+/// LLM transcripts. Unknown labels (and unrecorded rounds) answer with
+/// no candidates — replay never invents data.
+#[derive(Debug, Clone)]
+pub struct ReplayOracle {
+    fixture: Arc<Fixture>,
+}
+
+impl ReplayOracle {
+    /// Replays an in-memory fixture.
+    pub fn new(fixture: Arc<Fixture>) -> ReplayOracle {
+        ReplayOracle { fixture }
+    }
+}
+
+impl Oracle for ReplayOracle {
+    fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String> {
+        self.candidates_round(query, 0, None)
+    }
+
+    fn candidates_round(
+        &mut self,
+        query: &OracleQuery<'_>,
+        round: usize,
+        _feedback: Option<&OracleFeedback>,
+    ) -> Vec<String> {
+        self.fixture
+            .lines(query.label, round)
+            .map(<[String]>::to_vec)
+            .unwrap_or_default()
+    }
+}
+
+/// Provider form of [`ReplayOracle`]: loads the fixture once, shares it
+/// across every minted oracle.
+#[derive(Debug, Clone)]
+pub struct ReplayProvider {
+    fixture: Arc<Fixture>,
+}
+
+impl ReplayProvider {
+    /// Loads the fixture file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FixtureError`] when the file is missing or malformed.
+    pub fn load(path: &Path) -> Result<ReplayProvider, FixtureError> {
+        Ok(ReplayProvider {
+            fixture: Arc::new(Fixture::load(path)?),
+        })
+    }
+
+    /// Replays an in-memory fixture (tests, embedded transcripts).
+    pub fn from_fixture(fixture: Fixture) -> ReplayProvider {
+        ReplayProvider {
+            fixture: Arc::new(fixture),
+        }
+    }
+
+    /// The shared fixture.
+    pub fn fixture(&self) -> &Fixture {
+        &self.fixture
+    }
+}
+
+impl OracleProvider for ReplayProvider {
+    fn name(&self) -> &str {
+        "replay"
+    }
+
+    fn oracle(&self) -> Box<dyn Oracle> {
+        Box::new(ReplayOracle::new(Arc::clone(&self.fixture)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScriptedOracle, SyntheticOracle};
+    use gtl_taco::parse_program;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gtl-fixture-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut f = Fixture::new();
+        f.record("blas_dot", 0, vec!["out = x(i) * y(i)".into()]);
+        f.record(
+            "weird",
+            1,
+            vec!["a \"quoted\" \\ line\nwith\tcontrol \u{1}".into()],
+        );
+        let parsed = Fixture::parse(&f.to_json()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.lines("weird", 0), Some(&[][..]), "gap round is empty");
+        assert!(parsed.lines("weird", 2).is_none());
+        assert!(parsed.lines("absent", 0).is_none());
+    }
+
+    #[test]
+    fn parse_accepts_foreign_serializer_escapes() {
+        // Fixtures hand-written or produced by standard JSON
+        // serializers (json.dumps, jq, serde) use the full escape
+        // grammar: \b, \f, and surrogate pairs for non-BMP text.
+        let doc =
+            r#"{"version":1,"entries":{"llm":[["a\b\fé 😀 = b(i)"]]}}"#;
+        let f = Fixture::parse(doc).unwrap();
+        assert_eq!(
+            f.lines("llm", 0),
+            Some(&["a\u{8}\u{c}é \u{1f600} = b(i)".to_string()][..])
+        );
+        // And our own writer round-trips what it reads.
+        assert_eq!(Fixture::parse(&f.to_json()).unwrap(), f);
+        // The same emoji as an escaped surrogate pair (json.dumps with
+        // ensure_ascii=True) decodes to the identical scalar.
+        let escaped = r#"{"version":1,"entries":{"llm":[["\ud83d\ude00"]]}}"#;
+        assert_eq!(
+            Fixture::parse(escaped).unwrap().lines("llm", 0),
+            Some(&["\u{1f600}".to_string()][..])
+        );
+        for bad in [
+            r#"{"version":1,"entries":{"x":[["\ud83d"]]}}"#,
+            r#"{"version":1,"entries":{"x":[["\ud83da"]]}}"#,
+            r#"{"version":1,"entries":{"x":[["\uzzzz"]]}}"#,
+        ] {
+            assert!(Fixture::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Fixture::parse("not json").is_err());
+        assert!(Fixture::parse("{}").is_err(), "missing version");
+        assert!(Fixture::parse(r#"{"version":2,"entries":{}}"#).is_err());
+        assert!(Fixture::parse(r#"{"version":1,"entries":{"x":[[1]]}}"#).is_err());
+        assert!(Fixture::parse(r#"{"version":1,"entries":{}} trailing"#).is_err());
+        assert!(Fixture::parse(r#"{"version":1,"entries":{}}"#).unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_then_replay_roundtrips_through_disk() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let gt = parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap();
+        let q = OracleQuery {
+            label: "blas_gemv",
+            c_source: "void f() {}",
+            ground_truth: Some(&gt),
+        };
+
+        let recorder =
+            RecordingProvider::create(&path, Arc::new(SyntheticOracle::default())).unwrap();
+        let recorded = recorder.oracle().candidates(&q);
+        assert!(!recorded.is_empty());
+
+        let replayer = ReplayProvider::load(&path).unwrap();
+        // Replay serves the exact lines, and needs no ground truth.
+        let blind = OracleQuery {
+            ground_truth: None,
+            ..q
+        };
+        assert_eq!(replayer.oracle().candidates(&blind), recorded);
+        assert!(replayer.oracle().candidates(&OracleQuery {
+            label: "unknown",
+            ..blind
+        })
+        .is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopening_a_store_accumulates() {
+        let path = tmp("accumulate");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FixtureStore::open(&path).unwrap();
+            store.record("a", 0, vec!["a = b(i)".into()]);
+        }
+        {
+            let store = FixtureStore::open(&path).unwrap();
+            store.record("c", 0, vec!["c = d(i)".into()]);
+        }
+        let f = Fixture::load(&path).unwrap();
+        assert_eq!(f.lines("a", 0), Some(&["a = b(i)".to_string()][..]));
+        assert_eq!(f.lines("c", 0), Some(&["c = d(i)".to_string()][..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recording_wraps_scripted_rounds() {
+        let path = tmp("rounds");
+        let _ = std::fs::remove_file(&path);
+        let inner: Arc<dyn OracleProvider> =
+            Arc::new(ScriptedOracle::new().script("k", &["k = v(i)"]));
+        let recorder = RecordingProvider::create(&path, inner).unwrap();
+        let gt = parse_program("k = v(i)").unwrap();
+        let q = OracleQuery {
+            label: "k",
+            c_source: "",
+            ground_truth: Some(&gt),
+        };
+        let mut oracle = recorder.oracle();
+        oracle.candidates_round(&q, 0, None);
+        // Scripted oracles answer every round identically (default
+        // delegation); both rounds land in the fixture.
+        oracle.candidates_round(&q, 1, None);
+        let f = recorder.store().snapshot();
+        assert_eq!(f.lines("k", 0), Some(&["k = v(i)".to_string()][..]));
+        assert_eq!(f.lines("k", 1), Some(&["k = v(i)".to_string()][..]));
+        let _ = std::fs::remove_file(&path);
+    }
+}

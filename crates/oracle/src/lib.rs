@@ -1,28 +1,51 @@
-//! The LLM oracle of the STAGG pipeline — and its offline substitute.
+//! The LLM oracle of the STAGG pipeline — as a pluggable provider layer.
 //!
 //! The paper queries GPT-4 (temperature 1.0) with Prompt 1 and parses up
 //! to 10 candidate TACO expressions from the response. This crate defines
-//! the [`Oracle`] interface plus two implementations:
+//! the guidance surface of the pipeline in two tiers:
 //!
-//! - [`SyntheticOracle`]: a deterministic, seeded generator that samples
-//!   candidates from the *neighbourhood* of the ground-truth program with
-//!   a complexity-calibrated error rate (see DESIGN.md for why this
-//!   substitution preserves the paper's pipeline behaviour);
-//! - [`ScriptedOracle`]: canned responses, including the paper's
+//! - [`Oracle`] — one lift's candidate source. Queried per round
+//!   ([`Oracle::candidates_round`]) so the paper's failure loop can
+//!   re-ask with feedback about what the search already rejected.
+//! - [`OracleProvider`] — an object-safe, `Send + Sync` factory that
+//!   mints a fresh [`Oracle`] per lift. Serving workers hold one
+//!   provider and share it across requests; the pipeline
+//!   (`gtl::Stagg`) owns a provider, not a borrowed oracle.
+//!
+//! Bundled implementations:
+//!
+//! - [`SyntheticOracle`] — a deterministic, seeded generator that samples
+//!   candidates from the *neighbourhood* of the ground-truth hint with a
+//!   complexity-calibrated error rate (see DESIGN.md for why this
+//!   substitution preserves the paper's pipeline behaviour). The only
+//!   implementation that reads [`OracleQuery::ground_truth`].
+//! - [`ScriptedOracle`] — canned responses, including the paper's
 //!   Response 1.
+//! - [`RecordingOracle`] — wraps any oracle and persists every response
+//!   to a JSON [`fixture`](Fixture) on disk.
+//! - [`ReplayOracle`] — serves a recorded fixture offline; the
+//!   integration point for real LLM transcripts.
+//! - [`FallbackOracle`] — chains oracles, first non-empty answer wins
+//!   (e.g. replay-then-synthetic).
+//!
+//! Each has a matching provider; [`OracleSpec`] names provider
+//! configurations with stable CLI/wire strings (`synthetic:SEED`,
+//! `replay:PATH`, …) so choosing the guidance source is a one-line
+//! (or one-flag) decision.
 //!
 //! # Example
 //!
 //! ```
-//! use gtl_oracle::{Oracle, OracleQuery, SyntheticOracle};
+//! use gtl_oracle::{Oracle, OracleProvider, OracleQuery, SyntheticOracle};
 //! use gtl_taco::parse_program;
 //!
 //! let gt = parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap();
-//! let mut oracle = SyntheticOracle::default();
+//! let provider = SyntheticOracle::default(); // providers mint per-lift oracles
+//! let mut oracle = provider.oracle();
 //! let candidates = oracle.candidates(&OracleQuery {
 //!     label: "blas_gemv",
 //!     c_source: "…the C kernel…",
-//!     ground_truth: &gt,
+//!     ground_truth: Some(&gt),
 //! });
 //! assert!(candidates.len() >= 10);
 //! ```
@@ -30,16 +53,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fixture;
 mod noise;
 mod prompt;
+mod provider;
 mod scripted;
+mod spec;
 mod synthetic;
 
 use gtl_taco::TacoProgram;
 
+pub use fixture::{
+    Fixture, FixtureError, FixtureStore, RecordingOracle, RecordingProvider, ReplayOracle,
+    ReplayProvider,
+};
 pub use noise::{complexity, exactness, mutate, mutate_until_changed, NoiseConfig};
 pub use prompt::{render_prompt, CANDIDATES_REQUESTED, SYSTEM_ROLE, TEMPERATURE};
+pub use provider::{FallbackOracle, FallbackProvider, OracleProvider};
 pub use scripted::ScriptedOracle;
+pub use spec::OracleSpec;
 pub use synthetic::SyntheticOracle;
 
 /// A query to the oracle.
@@ -50,21 +82,50 @@ pub struct OracleQuery<'a> {
     pub label: &'a str,
     /// The legacy C source, as it would appear in the prompt.
     pub c_source: &'a str,
-    /// The ground-truth program whose neighbourhood the synthetic oracle
-    /// samples. A real LLM never sees this; STAGG never sees it either —
-    /// only the emitted candidate strings.
-    pub ground_truth: &'a TacoProgram,
+    /// An *optional* ground-truth hint. Only the synthetic provider
+    /// reads it (to sample the neighbourhood a real LLM would guess
+    /// in); a real LLM never sees it, replayed transcripts don't need
+    /// it, and STAGG itself never reads it — only the emitted candidate
+    /// strings.
+    pub ground_truth: Option<&'a TacoProgram>,
+}
+
+/// What the pipeline learned from a failed round, handed back to the
+/// oracle when it re-queries (the paper's loop back to ① on failure).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OracleFeedback {
+    /// A sample of concrete candidates the search tried and rejected
+    /// (rendered TACO programs; bounded, not exhaustive).
+    pub failed_candidates: Vec<String>,
+    /// Why the previous round ended (`search_exhausted`,
+    /// `budget_exceeded`, `no_usable_candidates`).
+    pub reason: String,
 }
 
 /// Something that proposes candidate TACO translations for a C kernel.
 ///
-/// `Send` is an intentional API constraint, not a present-day need: the
-/// batch runner constructs its oracles inside each worker thread, but a
-/// serving layer that owns boxed oracles and dispatches lifts to a pool
-/// must be able to move them across threads. Both bundled
-/// implementations are plain data and satisfy it automatically.
+/// `Send` is an intentional API constraint: serving layers box oracles
+/// and move them across worker threads. All bundled implementations are
+/// plain data and satisfy it automatically.
 pub trait Oracle: Send {
     /// Returns raw candidate lines (unparsed, possibly malformed — the
     /// pipeline preprocesses and discards invalid ones, §4).
     fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String>;
+
+    /// Round `round` of the failure loop: re-queries with feedback
+    /// about what the search already rejected. Round 0 is the initial
+    /// query (`feedback` is `None` there). The default implementation
+    /// ignores the round and delegates to round 0's
+    /// [`candidates`](Oracle::candidates), so single-shot oracles work
+    /// unchanged; multi-round oracles (the synthetic one, replayed
+    /// fixtures) override it.
+    fn candidates_round(
+        &mut self,
+        query: &OracleQuery<'_>,
+        round: usize,
+        feedback: Option<&OracleFeedback>,
+    ) -> Vec<String> {
+        let _ = (round, feedback);
+        self.candidates(query)
+    }
 }

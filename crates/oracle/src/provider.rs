@@ -1,0 +1,178 @@
+//! The provider tier: object-safe factories minting per-lift oracles.
+
+use std::sync::Arc;
+
+use crate::{Oracle, OracleFeedback, OracleQuery, ScriptedOracle, SyntheticOracle};
+
+/// An object-safe factory producing one fresh [`Oracle`] per lift.
+///
+/// Providers are `Send + Sync` so a serving worker pool can share one
+/// instance across threads and requests; any per-lift mutable state
+/// lives in the oracle the provider mints, never in the provider
+/// itself. `gtl::Stagg` owns an `Arc<dyn OracleProvider>` and calls
+/// [`oracle`](OracleProvider::oracle) at the start of every lift.
+pub trait OracleProvider: Send + Sync {
+    /// A stable human-readable name for statistics and reporting
+    /// (`synthetic`, `scripted`, `replay`, `record`, `fallback`).
+    fn name(&self) -> &str;
+
+    /// Mints a fresh oracle for one lift.
+    fn oracle(&self) -> Box<dyn Oracle>;
+}
+
+/// Every `Arc<dyn OracleProvider>` is itself a provider, so APIs can
+/// take `impl OracleProvider` and callers can pass shared handles.
+impl OracleProvider for Arc<dyn OracleProvider> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn oracle(&self) -> Box<dyn Oracle> {
+        (**self).oracle()
+    }
+}
+
+/// The synthetic oracle is stateless between lifts, so the value *is*
+/// its own provider: each lift gets a clone.
+impl OracleProvider for SyntheticOracle {
+    fn name(&self) -> &str {
+        "synthetic"
+    }
+
+    fn oracle(&self) -> Box<dyn Oracle> {
+        Box::new(self.clone())
+    }
+}
+
+/// Scripted responses are immutable, so the value is its own provider:
+/// each lift gets a clone of the script table.
+impl OracleProvider for ScriptedOracle {
+    fn name(&self) -> &str {
+        "scripted"
+    }
+
+    fn oracle(&self) -> Box<dyn Oracle> {
+        Box::new(self.clone())
+    }
+}
+
+/// Chains oracles: the first non-empty candidate list wins. The
+/// canonical use is replay-then-synthetic — serve recorded transcripts
+/// where they exist, fall back to the deterministic generator where
+/// they don't.
+pub struct FallbackOracle {
+    chain: Vec<Box<dyn Oracle>>,
+}
+
+impl FallbackOracle {
+    /// Builds a chain from already-minted oracles, tried in order.
+    pub fn new(chain: Vec<Box<dyn Oracle>>) -> FallbackOracle {
+        FallbackOracle { chain }
+    }
+}
+
+impl Oracle for FallbackOracle {
+    fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String> {
+        self.candidates_round(query, 0, None)
+    }
+
+    fn candidates_round(
+        &mut self,
+        query: &OracleQuery<'_>,
+        round: usize,
+        feedback: Option<&OracleFeedback>,
+    ) -> Vec<String> {
+        for oracle in &mut self.chain {
+            let lines = oracle.candidates_round(query, round, feedback);
+            if !lines.is_empty() {
+                return lines;
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Provider form of [`FallbackOracle`]: holds a chain of providers and
+/// mints a chained oracle per lift.
+pub struct FallbackProvider {
+    chain: Vec<Arc<dyn OracleProvider>>,
+}
+
+impl FallbackProvider {
+    /// Builds a provider chain, tried in order per query.
+    pub fn new(chain: Vec<Arc<dyn OracleProvider>>) -> FallbackProvider {
+        FallbackProvider { chain }
+    }
+}
+
+impl OracleProvider for FallbackProvider {
+    fn name(&self) -> &str {
+        "fallback"
+    }
+
+    fn oracle(&self) -> Box<dyn Oracle> {
+        Box::new(FallbackOracle::new(
+            self.chain.iter().map(|p| p.oracle()).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gtl_taco::parse_program;
+
+    #[test]
+    fn values_are_their_own_providers() {
+        let gt = parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap();
+        let provider = SyntheticOracle::default();
+        let q = OracleQuery {
+            label: "p",
+            c_source: "",
+            ground_truth: Some(&gt),
+        };
+        // Two minted oracles answer identically (stateless prototype).
+        assert_eq!(provider.oracle().candidates(&q), provider.oracle().candidates(&q));
+        assert_eq!(provider.name(), "synthetic");
+
+        let scripted = ScriptedOracle::new().script("p", &["a = b(i)"]);
+        assert_eq!(
+            scripted.oracle().candidates(&q),
+            vec!["a = b(i)".to_string()]
+        );
+    }
+
+    #[test]
+    fn fallback_takes_first_nonempty() {
+        let gt = parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap();
+        let q = OracleQuery {
+            label: "covered",
+            c_source: "",
+            ground_truth: Some(&gt),
+        };
+        let first: Arc<dyn OracleProvider> =
+            Arc::new(ScriptedOracle::new().script("covered", &["x = y(i)"]));
+        let second: Arc<dyn OracleProvider> = Arc::new(SyntheticOracle::default());
+        let chained = FallbackProvider::new(vec![first, second]);
+        assert_eq!(chained.name(), "fallback");
+        // Covered label: the scripted answer wins.
+        assert_eq!(chained.oracle().candidates(&q), vec!["x = y(i)".to_string()]);
+        // Uncovered label: falls through to the synthetic generator.
+        let miss = OracleQuery {
+            label: "uncovered",
+            ..q
+        };
+        assert!(chained.oracle().candidates(&miss).len() >= 10);
+    }
+
+    #[test]
+    fn fallback_of_empty_chain_is_empty() {
+        let gt = parse_program("a = b(i)").unwrap();
+        let q = OracleQuery {
+            label: "x",
+            c_source: "",
+            ground_truth: Some(&gt),
+        };
+        assert!(FallbackOracle::new(Vec::new()).candidates(&q).is_empty());
+    }
+}

@@ -56,13 +56,13 @@ mod tests {
         let got = o.candidates(&OracleQuery {
             label: "q",
             c_source: "",
-            ground_truth: &gt,
+            ground_truth: Some(&gt),
         });
         assert_eq!(got, vec!["a = b(i)".to_string()]);
         let empty = o.candidates(&OracleQuery {
             label: "unknown",
             c_source: "",
-            ground_truth: &gt,
+            ground_truth: Some(&gt),
         });
         assert!(empty.is_empty());
     }
@@ -74,7 +74,7 @@ mod tests {
         let cands = o.candidates(&OracleQuery {
             label: "fig2",
             c_source: "",
-            ground_truth: &gt,
+            ground_truth: Some(&gt),
         });
         let parsed: Vec<_> = cands
             .iter()

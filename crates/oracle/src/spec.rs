@@ -1,0 +1,229 @@
+//! Named provider configurations with stable CLI/wire spellings.
+//!
+//! An [`OracleSpec`] is the one-line answer to "which guidance source
+//! drives this lift": it parses from and prints to compact strings
+//! (`synthetic`, `synthetic:42`, `replay:fx.json`,
+//! `record:fx.json:synthetic`) the same way `SearchMode` uses
+//! `td`/`bu`, so configs, CLI flags and wire requests all name oracles
+//! the same way.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::{
+    FixtureError, NoiseConfig, OracleProvider, RecordingProvider, ReplayProvider,
+    ScriptedOracle, SyntheticOracle,
+};
+
+/// A provider configuration by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OracleSpec {
+    /// The deterministic synthetic generator with an explicit base seed.
+    Synthetic {
+        /// Base RNG seed (XORed with each query label).
+        seed: u64,
+    },
+    /// An empty scripted oracle (tests and hand-driven sessions; real
+    /// scripts are registered programmatically).
+    Scripted,
+    /// Replay a recorded fixture file offline.
+    Replay {
+        /// Path to the fixture JSON.
+        path: String,
+    },
+    /// Record the inner provider's responses to a fixture file.
+    Record {
+        /// Path to the fixture JSON (created/merged).
+        path: String,
+        /// The provider actually answering the queries.
+        inner: Box<OracleSpec>,
+    },
+}
+
+impl Default for OracleSpec {
+    /// The pipeline's historical default: the synthetic oracle with the
+    /// default noise seed.
+    fn default() -> OracleSpec {
+        OracleSpec::Synthetic {
+            seed: NoiseConfig::default().seed,
+        }
+    }
+}
+
+impl OracleSpec {
+    /// The stable CLI/wire spelling, the inverse of
+    /// [`OracleSpec::from_cli_name`].
+    pub fn cli_name(&self) -> String {
+        match self {
+            OracleSpec::Synthetic { seed } => {
+                if *seed == NoiseConfig::default().seed {
+                    "synthetic".to_string()
+                } else {
+                    format!("synthetic:{seed}")
+                }
+            }
+            OracleSpec::Scripted => "scripted".to_string(),
+            OracleSpec::Replay { path } => format!("replay:{path}"),
+            OracleSpec::Record { path, inner } => {
+                format!("record:{path}:{}", inner.cli_name())
+            }
+        }
+    }
+
+    /// Parses a CLI/wire spelling:
+    ///
+    /// - `synthetic` or `synthetic:SEED`
+    /// - `scripted`
+    /// - `replay:PATH`
+    /// - `record:PATH` (records the default synthetic provider) or
+    ///   `record:PATH:INNER` where `INNER` is itself a spec
+    ///
+    /// Paths must not contain `:` in the `record` form (the separator
+    /// is reserved); use `replay`'s single-path form freely.
+    pub fn from_cli_name(name: &str) -> Option<OracleSpec> {
+        let (kind, rest) = match name.split_once(':') {
+            Some((kind, rest)) => (kind, Some(rest)),
+            None => (name, None),
+        };
+        match (kind, rest) {
+            ("synthetic", None) => Some(OracleSpec::default()),
+            ("synthetic", Some(seed)) => Some(OracleSpec::Synthetic {
+                seed: seed.parse().ok()?,
+            }),
+            ("scripted", None) => Some(OracleSpec::Scripted),
+            ("replay", Some(path)) if !path.is_empty() => Some(OracleSpec::Replay {
+                path: path.to_string(),
+            }),
+            ("record", Some(rest)) if !rest.is_empty() => {
+                let (path, inner) = match rest.split_once(':') {
+                    Some((path, inner)) => {
+                        (path, Box::new(OracleSpec::from_cli_name(inner)?))
+                    }
+                    None => (rest, Box::new(OracleSpec::default())),
+                };
+                if path.is_empty() {
+                    return None;
+                }
+                Some(OracleSpec::Record {
+                    path: path.to_string(),
+                    inner,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The provider kinds this spec involves, outermost first — the
+    /// unit a serving allowlist filters on (`record:f.json:replay:g.json`
+    /// yields `["record", "replay"]`).
+    pub fn kinds(&self) -> Vec<&'static str> {
+        match self {
+            OracleSpec::Synthetic { .. } => vec!["synthetic"],
+            OracleSpec::Scripted => vec!["scripted"],
+            OracleSpec::Replay { .. } => vec!["replay"],
+            OracleSpec::Record { inner, .. } => {
+                let mut kinds = vec!["record"];
+                kinds.extend(inner.kinds());
+                kinds
+            }
+        }
+    }
+
+    /// Builds the provider this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FixtureError`] when a `replay` fixture is missing or
+    /// malformed, or a `record` path is unusable.
+    pub fn provider(&self) -> Result<Arc<dyn OracleProvider>, FixtureError> {
+        Ok(match self {
+            OracleSpec::Synthetic { seed } => Arc::new(SyntheticOracle::new(NoiseConfig {
+                seed: *seed,
+                ..NoiseConfig::default()
+            })),
+            OracleSpec::Scripted => Arc::new(ScriptedOracle::new()),
+            OracleSpec::Replay { path } => Arc::new(ReplayProvider::load(Path::new(path))?),
+            OracleSpec::Record { path, inner } => {
+                Arc::new(RecordingProvider::create(path, inner.provider()?)?)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_names_roundtrip() {
+        let specs = [
+            OracleSpec::default(),
+            OracleSpec::Synthetic { seed: 42 },
+            OracleSpec::Scripted,
+            OracleSpec::Replay {
+                path: "fx.json".into(),
+            },
+            OracleSpec::Record {
+                path: "fx.json".into(),
+                inner: Box::new(OracleSpec::Synthetic { seed: 7 }),
+            },
+            OracleSpec::Record {
+                path: "out.json".into(),
+                inner: Box::new(OracleSpec::default()),
+            },
+        ];
+        for spec in specs {
+            assert_eq!(
+                OracleSpec::from_cli_name(&spec.cli_name()),
+                Some(spec.clone()),
+                "spelling: {}",
+                spec.cli_name()
+            );
+        }
+        assert_eq!(
+            OracleSpec::from_cli_name("record:f.json"),
+            Some(OracleSpec::Record {
+                path: "f.json".into(),
+                inner: Box::new(OracleSpec::default()),
+            })
+        );
+        for bad in ["", "gpt4", "synthetic:x", "replay:", "record:", "record::synthetic"] {
+            assert_eq!(OracleSpec::from_cli_name(bad), None, "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn kinds_unfold_recursively() {
+        let spec = OracleSpec::from_cli_name("record:f.json:replay:g.json").unwrap();
+        assert_eq!(spec.kinds(), vec!["record", "replay"]);
+        assert_eq!(OracleSpec::default().kinds(), vec!["synthetic"]);
+    }
+
+    #[test]
+    fn providers_build_and_fail_fast() {
+        assert_eq!(OracleSpec::default().provider().unwrap().name(), "synthetic");
+        assert_eq!(OracleSpec::Scripted.provider().unwrap().name(), "scripted");
+        let missing = OracleSpec::Replay {
+            path: "/definitely/not/here.json".into(),
+        };
+        assert!(missing.provider().is_err(), "missing fixture must error");
+    }
+
+    #[test]
+    fn synthetic_seed_flows_into_the_noise_model() {
+        let spec = OracleSpec::Synthetic { seed: 1234 };
+        let provider = spec.provider().unwrap();
+        let gt = gtl_taco::parse_program("a = b(i)").unwrap();
+        let q = crate::OracleQuery {
+            label: "seeded",
+            c_source: "",
+            ground_truth: Some(&gt),
+        };
+        let default = OracleSpec::default().provider().unwrap();
+        assert_ne!(
+            provider.oracle().candidates(&q),
+            default.oracle().candidates(&q),
+            "distinct seeds must give distinct streams"
+        );
+    }
+}

@@ -14,7 +14,7 @@ use gtl_taco::{Access, Expr, Ident, IndexVar, TacoProgram};
 use gtl_tensor::seed_from_label;
 
 use crate::noise::{complexity, exactness, mutate_until_changed, NoiseConfig};
-use crate::{Oracle, OracleQuery};
+use crate::{Oracle, OracleFeedback, OracleQuery};
 
 /// The deterministic synthetic LLM.
 #[derive(Debug, Clone, Default)]
@@ -130,17 +130,24 @@ fn rename_program(p: &TacoProgram, style: NamingStyle, rng: &mut StdRng) -> Taco
     }
 }
 
-impl Oracle for SyntheticOracle {
-    fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String> {
-        let mut rng =
-            StdRng::seed_from_u64(self.config.seed ^ seed_from_label(query.label));
-        let score = complexity(query.ground_truth);
+impl SyntheticOracle {
+    /// The generator body, with an explicit RNG seed so round 0 and
+    /// later failure-loop rounds share one code path.
+    fn candidates_seeded(&self, query: &OracleQuery<'_>, seed: u64) -> Vec<String> {
+        // Without a ground-truth hint there is no neighbourhood to
+        // sample: the synthetic stand-in abstains (a real LLM has no
+        // such limitation — that is what replay fixtures are for).
+        let Some(ground_truth) = query.ground_truth else {
+            return Vec::new();
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let score = complexity(ground_truth);
         let p_exact = exactness(&self.config, score);
         // The paper sometimes receives more than the 10 requested.
         let n = self.config.candidates + usize::from(rng.gen_bool(0.2));
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            let mut cand = query.ground_truth.clone();
+            let mut cand = ground_truth.clone();
             if !rng.gen_bool(p_exact) {
                 // At least one structural mutation, geometrically more.
                 loop {
@@ -178,6 +185,32 @@ impl Oracle for SyntheticOracle {
     }
 }
 
+impl Oracle for SyntheticOracle {
+    fn candidates(&mut self, query: &OracleQuery<'_>) -> Vec<String> {
+        self.candidates_seeded(query, self.config.seed ^ seed_from_label(query.label))
+    }
+
+    fn candidates_round(
+        &mut self,
+        query: &OracleQuery<'_>,
+        round: usize,
+        _feedback: Option<&OracleFeedback>,
+    ) -> Vec<String> {
+        if round == 0 {
+            // Round 0 is exactly the single-shot query (bit-identical
+            // candidate stream).
+            return self.candidates(query);
+        }
+        // Later rounds fold the round number into the seed, so the
+        // failure loop gets a fresh, still fully deterministic sample
+        // of the neighbourhood.
+        let seed = self.config.seed
+            ^ seed_from_label(query.label)
+            ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.candidates_seeded(query, seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,7 +220,7 @@ mod tests {
         OracleQuery {
             label: "test_bench",
             c_source: src,
-            ground_truth: gt,
+            ground_truth: Some(gt),
         }
     }
 
@@ -207,14 +240,39 @@ mod tests {
         let a = o.candidates(&OracleQuery {
             label: "x",
             c_source: "",
-            ground_truth: &gt,
+            ground_truth: Some(&gt),
         });
         let b = o.candidates(&OracleQuery {
             label: "y",
             c_source: "",
-            ground_truth: &gt,
+            ground_truth: Some(&gt),
         });
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_hint_means_no_candidates() {
+        let mut o = SyntheticOracle::default();
+        let q = OracleQuery {
+            label: "blind",
+            c_source: "void f() {}",
+            ground_truth: None,
+        };
+        assert!(o.candidates(&q).is_empty());
+    }
+
+    #[test]
+    fn rounds_are_deterministic_and_distinct() {
+        let gt = parse_program("Result(i) = Mat1(i,j) * Mat2(j)").unwrap();
+        let q = query_for(&gt, "");
+        let mut o = SyntheticOracle::default();
+        // Round 0 is exactly the single-shot surface.
+        assert_eq!(o.candidates_round(&q, 0, None), o.candidates(&q));
+        // Later rounds re-sample deterministically but differently.
+        let r1 = o.candidates_round(&q, 1, None);
+        assert_eq!(r1, o.candidates_round(&q, 1, None));
+        assert_ne!(r1, o.candidates(&q));
+        assert_ne!(r1, o.candidates_round(&q, 2, None));
     }
 
     #[test]

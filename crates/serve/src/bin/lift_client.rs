@@ -3,15 +3,19 @@
 //!
 //! ```text
 //! lift_client --connect ADDR --benchmark NAME [--id ID] [config flags]
-//! lift_client --connect ADDR --source FILE --params JSON --ground-truth PROG [--label L]
+//! lift_client --connect ADDR --source FILE --params JSON [--ground-truth PROG] [--label L]
 //! lift_client --connect ADDR --cancel ID
 //! lift_client --connect ADDR --stats
 //! lift_client --connect ADDR --shutdown
 //! ```
 //!
-//! Config flags: `--mode td|bu`, `--grammar NAME`, `--search-jobs N`,
-//! `--max-attempts N`, `--max-nodes N`, `--time-limit-ms N`,
-//! `--timeout-ms N`. `--params` takes the JSON array of the protocol's
+//! Config flags: `--oracle SPEC` (`synthetic[:SEED]`, `replay:PATH`,
+//! `record:PATH[:INNER]` — subject to the server's allowlist),
+//! `--oracle-rounds N`, `--mode td|bu`, `--grammar NAME`,
+//! `--search-jobs N`, `--max-attempts N`, `--max-nodes N`,
+//! `--time-limit-ms N`, `--timeout-ms N`. `--ground-truth` is the
+//! synthetic oracle's hint and optional (replay-backed lifts don't
+//! need it). `--params` takes the JSON array of the protocol's
 //! `params` member, e.g.
 //! `'[{"name":"n","kind":"size"},{"name":"x","kind":"array_in","dims":["n"]},
 //!    {"name":"out","kind":"array_out","dims":[]}]'`.
@@ -24,9 +28,10 @@ use gtl_serve::json::{parse, Json};
 use gtl_serve::{ConfigOverrides, Event, KernelSpec, LiftClient, LiftRequest, Request};
 
 const USAGE: &str = "usage: lift_client --connect ADDR \
-(--benchmark NAME | --source FILE --params JSON --ground-truth PROG [--label L] \
-| --cancel ID | --stats | --shutdown) [--id ID] [--mode td|bu] [--grammar NAME] \
-[--search-jobs N] [--max-attempts N] [--max-nodes N] [--time-limit-ms N] [--timeout-ms N]";
+(--benchmark NAME | --source FILE --params JSON [--ground-truth PROG] [--label L] \
+| --cancel ID | --stats | --shutdown) [--id ID] [--oracle SPEC] [--oracle-rounds N] \
+[--mode td|bu] [--grammar NAME] [--search-jobs N] [--max-attempts N] [--max-nodes N] \
+[--time-limit-ms N] [--timeout-ms N]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("lift_client: {message}\n{USAGE}");
@@ -43,6 +48,7 @@ struct Args {
     label: Option<String>,
     id: Option<String>,
     cancel: Option<String>,
+    oracle: Option<String>,
     stats: bool,
     shutdown: bool,
     overrides: ConfigOverrides,
@@ -70,6 +76,7 @@ fn parse_args() -> Args {
             "--label" => args.label = Some(value("--label")),
             "--id" => args.id = Some(value("--id")),
             "--cancel" => args.cancel = Some(value("--cancel")),
+            "--oracle" => args.oracle = Some(value("--oracle")),
             "--stats" => args.stats = true,
             "--shutdown" => args.shutdown = true,
             "--mode" => {
@@ -89,6 +96,10 @@ fn parse_args() -> Args {
             "--search-jobs" => {
                 args.overrides.search_jobs =
                     Some(uint("--search-jobs", value("--search-jobs")) as usize)
+            }
+            "--oracle-rounds" => {
+                args.overrides.oracle_rounds =
+                    Some(uint("--oracle-rounds", value("--oracle-rounds")) as usize)
             }
             "--max-attempts" => {
                 args.overrides.max_attempts = Some(uint("--max-attempts", value("--max-attempts")))
@@ -121,22 +132,24 @@ fn source_request(
     path: &str,
     source: String,
     params_raw: &str,
-    ground_truth: String,
+    ground_truth: Option<String>,
     label: Option<String>,
 ) -> LiftRequest {
     let params = parse(params_raw).unwrap_or_else(|e| usage_error(&format!("--params: {e}")));
     if params.as_arr().is_none() {
         usage_error("--params must be a JSON array");
     }
-    let line = Json::obj([
+    let mut fields = vec![
         ("type", Json::str("lift")),
         ("id", Json::str(id)),
         ("label", Json::str(label.unwrap_or_else(|| path.to_string()))),
         ("source", Json::Str(source)),
         ("params", params),
-        ("ground_truth", Json::Str(ground_truth)),
-    ])
-    .to_line();
+    ];
+    if let Some(ground_truth) = ground_truth {
+        fields.push(("ground_truth", Json::Str(ground_truth)));
+    }
+    let line = Json::obj(fields).to_line();
     match Request::parse_line(&line) {
         Ok(Request::Lift(request)) => request,
         Ok(_) => unreachable!("a lift line parses as a lift"),
@@ -194,10 +207,9 @@ fn main() {
                 .params
                 .as_deref()
                 .unwrap_or_else(|| usage_error("--source requires --params"));
-            let ground_truth = args
-                .ground_truth
-                .clone()
-                .unwrap_or_else(|| usage_error("--source requires --ground-truth"));
+            // Optional since the oracle redesign: replay-backed lifts
+            // need no ground-truth hint.
+            let ground_truth = args.ground_truth.clone();
             let id = args.id.clone().unwrap_or_else(|| "lift-1".to_string());
             let request = source_request(
                 &id,
@@ -215,6 +227,7 @@ fn main() {
     let request = LiftRequest {
         id,
         kernel,
+        oracle: args.oracle.clone(),
         overrides: args.overrides.clone(),
     };
     let events = client

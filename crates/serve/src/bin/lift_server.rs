@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use gtl::StaggConfig;
+use gtl::{OracleSpec, StaggConfig};
 use gtl_serve::{Event, EventSink, LiftServer, LineAction, ServerConfig, ServerHandle};
 
 struct Args {
@@ -32,10 +32,12 @@ struct Args {
     search_jobs: usize,
     progress_ms: u64,
     timeout_ms: Option<u64>,
+    oracle: Option<String>,
+    oracles: Option<String>,
 }
 
 const USAGE: &str = "usage: lift_server [--stdio | --listen ADDR] [--workers N] [--queue N] \
-[--search-jobs N] [--progress-ms N] [--timeout-ms N]";
+[--search-jobs N] [--progress-ms N] [--timeout-ms N] [--oracle SPEC] [--oracles KIND,KIND]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("lift_server: {message}\n{USAGE}");
@@ -50,6 +52,8 @@ fn parse_args() -> Args {
         search_jobs: 1,
         progress_ms: 100,
         timeout_ms: None,
+        oracle: None,
+        oracles: None,
     };
     let mut stdio = false;
     let mut it = std::env::args().skip(1);
@@ -77,6 +81,8 @@ fn parse_args() -> Args {
             "--timeout-ms" => {
                 args.timeout_ms = Some(int_value("--timeout-ms", value("--timeout-ms")))
             }
+            "--oracle" => args.oracle = Some(value("--oracle")),
+            "--oracles" => args.oracles = Some(value("--oracles")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -92,12 +98,34 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // The server's own base oracle spec (`--oracle`) and the provider
+    // kinds requests may select per lift (`--oracles`, the allowlist).
+    let mut base = StaggConfig::top_down().with_jobs(args.search_jobs.max(1));
+    if let Some(raw) = &args.oracle {
+        let spec = OracleSpec::from_cli_name(raw)
+            .unwrap_or_else(|| usage_error(&format!("unparseable --oracle spec `{raw}`")));
+        // Fail fast on an unusable fixture instead of per request.
+        if let Err(e) = spec.provider() {
+            usage_error(&format!("--oracle: {e}"));
+        }
+        base = base.with_oracle(spec);
+    }
+    let oracle_allowlist: Vec<String> = match &args.oracles {
+        None => vec!["synthetic".to_string()],
+        Some(list) => list.split(',').map(str::to_string).collect(),
+    };
+    for kind in &oracle_allowlist {
+        if !matches!(kind.as_str(), "synthetic" | "scripted" | "replay" | "record") {
+            usage_error(&format!("unknown oracle kind `{kind}` in --oracles"));
+        }
+    }
     let server = LiftServer::start(ServerConfig {
         workers: args.workers.max(1),
         queue_capacity: args.queue.max(1),
-        base: StaggConfig::top_down().with_jobs(args.search_jobs.max(1)),
+        base,
         progress_interval: Duration::from_millis(args.progress_ms.max(10)),
         default_timeout: args.timeout_ms.map(Duration::from_millis),
+        oracle_allowlist,
         ..ServerConfig::default()
     });
 

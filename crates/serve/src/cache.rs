@@ -61,7 +61,11 @@ pub fn request_key(query: &LiftQuery, config: &StaggConfig) -> u64 {
     let mut h = DefaultHasher::new();
     normalize_source(&query.source).hash(&mut h);
     query.label.hash(&mut h);
-    query.ground_truth.to_string().hash(&mut h);
+    query
+        .ground_truth
+        .as_ref()
+        .map(ToString::to_string)
+        .hash(&mut h);
     // Task layout: parameter roles and shapes drive example generation
     // and verification. `Debug` form is a stable in-process encoding.
     format!("{:?}", query.task.params).hash(&mut h);
@@ -73,6 +77,11 @@ pub fn request_key(query: &LiftQuery, config: &StaggConfig) -> u64 {
     config.mode.cli_name().hash(&mut h);
     config.grammar.cli_name().hash(&mut h);
     config.jobs.hash(&mut h);
+    // The guidance source determines the candidate stream, hence the
+    // grammar, hence the outcome — different oracles must never share
+    // a cache entry. Rounds likewise.
+    config.oracle.cli_name().hash(&mut h);
+    config.oracle_rounds.hash(&mut h);
     config.budget.max_nodes.hash(&mut h);
     config.budget.max_attempts.hash(&mut h);
     config.budget.time_limit.as_millis().hash(&mut h);
@@ -172,7 +181,7 @@ mod tests {
             label: b.name.to_string(),
             source: b.source.to_string(),
             task: b.lift_task(),
-            ground_truth: b.parse_ground_truth(),
+            ground_truth: Some(b.parse_ground_truth()),
         }
     }
 

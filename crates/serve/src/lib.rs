@@ -65,7 +65,7 @@ pub use cache::{normalize_source, request_key, CachedOutcome, ResultCache};
 pub use client::{ClientError, LiftClient};
 pub use json::{Json, JsonError};
 pub use protocol::{
-    ConfigOverrides, ErrorCode, Event, KernelSpec, LiftRequest, Request, ServerStats,
-    WireError, WireParam, WireParamKind,
+    ConfigOverrides, ErrorCode, Event, KernelSpec, LiftRequest, OracleStat, Request,
+    ServerStats, WireError, WireParam, WireParamKind,
 };
 pub use server::{EventSink, LiftServer, LineAction, ServerConfig, ServerHandle};

@@ -30,6 +30,9 @@ pub enum ErrorCode {
     DuplicateId,
     /// A `cancel` named an `id` that is neither queued nor running.
     UnknownRequest,
+    /// A `lift`'s `oracle` spec does not parse, or names a provider
+    /// kind outside the server's allowlist.
+    OracleRejected,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
 }
@@ -45,6 +48,7 @@ impl ErrorCode {
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::DuplicateId => "duplicate_id",
             ErrorCode::UnknownRequest => "unknown_request",
+            ErrorCode::OracleRejected => "oracle_rejected",
             ErrorCode::ShuttingDown => "shutting_down",
         }
     }
@@ -59,6 +63,7 @@ impl ErrorCode {
             "queue_full" => ErrorCode::QueueFull,
             "duplicate_id" => ErrorCode::DuplicateId,
             "unknown_request" => ErrorCode::UnknownRequest,
+            "oracle_rejected" => ErrorCode::OracleRejected,
             "shutting_down" => ErrorCode::ShuttingDown,
             _ => return None,
         })
@@ -157,9 +162,10 @@ pub enum KernelSpec {
         /// Benchmark name, e.g. `blas_gemv`.
         name: String,
     },
-    /// A raw C kernel. The `ground_truth` TACO program feeds the
-    /// deterministic synthetic oracle standing in for the paper's LLM —
-    /// the pipeline itself never reads it (see `gtl_oracle`).
+    /// A raw C kernel. The optional `ground_truth` TACO program feeds
+    /// the deterministic synthetic oracle standing in for the paper's
+    /// LLM — the pipeline itself never reads it (see `gtl_oracle`), and
+    /// replay-backed lifts don't need it.
     Source {
         /// Stable label for seeding and reporting.
         label: String,
@@ -167,8 +173,10 @@ pub enum KernelSpec {
         source: String,
         /// Parameter roles, in signature order.
         params: Vec<WireParam>,
-        /// Ground-truth TACO program for the synthetic oracle.
-        ground_truth: String,
+        /// Ground-truth TACO program hint for the synthetic oracle.
+        /// Without it the synthetic provider produces no candidates;
+        /// replay/scripted providers ignore it entirely.
+        ground_truth: Option<String>,
     },
 }
 
@@ -183,6 +191,9 @@ pub struct ConfigOverrides {
     pub grammar: Option<GrammarMode>,
     /// Worker threads inside this lift's search stage.
     pub search_jobs: Option<usize>,
+    /// Maximum oracle rounds (the failure loop re-queries the oracle
+    /// with feedback between rounds; `1` = single-shot).
+    pub oracle_rounds: Option<usize>,
     /// Budget: maximum complete templates sent to checkers.
     pub max_attempts: Option<u64>,
     /// Budget: maximum search-queue pops.
@@ -213,6 +224,9 @@ impl ConfigOverrides {
         if let Some(jobs) = self.search_jobs {
             config.jobs = jobs.max(1);
         }
+        if let Some(rounds) = self.oracle_rounds {
+            config.oracle_rounds = rounds.max(1);
+        }
         if let Some(n) = self.max_attempts {
             config.budget.max_attempts = n;
         }
@@ -235,6 +249,13 @@ pub struct LiftRequest {
     pub id: String,
     /// What to lift.
     pub kernel: KernelSpec,
+    /// Which oracle provider guides the lift, as an
+    /// [`OracleSpec`](gtl::OracleSpec) spelling (`synthetic`,
+    /// `synthetic:SEED`, `replay:PATH`, …).
+    /// Absent means the server's base configuration. Validated against
+    /// the server's allowlist at admission; violations are rejected
+    /// with `oracle_rejected`.
+    pub oracle: Option<String>,
     /// Per-request configuration overrides.
     pub overrides: ConfigOverrides,
 }
@@ -245,12 +266,23 @@ impl LiftRequest {
         LiftRequest {
             id: id.into(),
             kernel: KernelSpec::Benchmark { name: name.into() },
+            oracle: None,
             overrides: ConfigOverrides::default(),
         }
+    }
+
+    /// Selects an oracle spec (builder style).
+    pub fn with_oracle(mut self, spec: impl Into<String>) -> LiftRequest {
+        self.oracle = Some(spec.into());
+        self
     }
 }
 
 /// A client → server message.
+// `Lift` dwarfs the other variants, but requests are parsed one at a
+// time and moved straight into a job — never stored in bulk — so the
+// indirection a `Box` would buy costs more in API noise than it saves.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Submit a lift.
@@ -266,8 +298,19 @@ pub enum Request {
     Shutdown,
 }
 
+/// Per-provider lift accounting: how many lifts each oracle spec has
+/// driven (one entry per distinct spec, sorted by spec).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OracleStat {
+    /// The oracle spec spelling (`synthetic`, `replay:PATH`, …).
+    pub spec: String,
+    /// Lifts this provider drove (cache hits excluded — they run no
+    /// oracle).
+    pub lifts: u64,
+}
+
 /// A server statistics snapshot (the payload of [`Event::Stats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Lift requests admitted to the queue.
     pub received: u64,
@@ -289,6 +332,11 @@ pub struct ServerStats {
     pub active: u64,
     /// Worker threads serving the queue.
     pub workers: u64,
+    /// Provider instances built since start: one per distinct oracle
+    /// spec, shared by every worker — never one per request.
+    pub providers_built: u64,
+    /// Per-provider lift counts, sorted by spec.
+    pub oracles: Vec<OracleStat>,
 }
 
 /// A server → client message. Per request id, a stream is:
@@ -445,6 +493,9 @@ fn overrides_to_json(o: &ConfigOverrides) -> Json {
     if let Some(jobs) = o.search_jobs {
         fields.push(("search_jobs", Json::u64(jobs as u64)));
     }
+    if let Some(rounds) = o.oracle_rounds {
+        fields.push(("oracle_rounds", Json::u64(rounds as u64)));
+    }
     if let Some(n) = o.max_attempts {
         fields.push(("max_attempts", Json::u64(n)));
     }
@@ -485,8 +536,13 @@ impl Request {
                             "params",
                             Json::Arr(params.iter().map(param_to_json).collect()),
                         ));
-                        fields.push(("ground_truth", Json::str(ground_truth)));
+                        if let Some(ground_truth) = ground_truth {
+                            fields.push(("ground_truth", Json::str(ground_truth)));
+                        }
                     }
+                }
+                if let Some(oracle) = &lift.oracle {
+                    fields.push(("oracle", Json::str(oracle)));
                 }
                 if !lift.overrides.is_empty() {
                     fields.push(("config", overrides_to_json(&lift.overrides)));
@@ -571,13 +627,14 @@ fn parse_lift(doc: &Json) -> Result<LiftRequest, WireError> {
                 .as_str()
                 .ok_or_else(|| bad("`source` must be a string".into()))?
                 .to_string();
-            let ground_truth = doc
-                .get("ground_truth")
-                .and_then(Json::as_str)
-                .ok_or_else(|| {
-                    bad("raw-source lift requires `ground_truth` (string)".into())
-                })?
-                .to_string();
+            let ground_truth = match doc.get("ground_truth") {
+                None => None,
+                Some(gt) => Some(
+                    gt.as_str()
+                        .ok_or_else(|| bad("`ground_truth` must be a string".into()))?
+                        .to_string(),
+                ),
+            };
             let label = doc
                 .get("label")
                 .and_then(Json::as_str)
@@ -603,6 +660,14 @@ fn parse_lift(doc: &Json) -> Result<LiftRequest, WireError> {
             ))
         }
     };
+    let oracle = match doc.get("oracle") {
+        None => None,
+        Some(spec) => Some(
+            spec.as_str()
+                .ok_or_else(|| bad("`oracle` must be a string".into()))?
+                .to_string(),
+        ),
+    };
     let overrides = match doc.get("config") {
         None => ConfigOverrides::default(),
         Some(cfg) => parse_overrides(cfg)?,
@@ -610,6 +675,7 @@ fn parse_lift(doc: &Json) -> Result<LiftRequest, WireError> {
     Ok(LiftRequest {
         id,
         kernel,
+        oracle,
         overrides,
     })
 }
@@ -695,6 +761,7 @@ fn parse_overrides(cfg: &Json) -> Result<ConfigOverrides, WireError> {
         }
     };
     o.search_jobs = uint("search_jobs")?.map(|n| n as usize);
+    o.oracle_rounds = uint("oracle_rounds")?.map(|n| n as usize);
     o.max_attempts = uint("max_attempts")?;
     o.max_nodes = uint("max_nodes")?;
     o.time_limit_ms = uint("time_limit_ms")?;
@@ -714,11 +781,33 @@ fn stats_to_json(s: &ServerStats) -> Json {
         ("queued", Json::u64(s.queued)),
         ("active", Json::u64(s.active)),
         ("workers", Json::u64(s.workers)),
+        ("providers_built", Json::u64(s.providers_built)),
+        (
+            "oracles",
+            Json::Obj(
+                s.oracles
+                    .iter()
+                    .map(|o| (o.spec.clone(), Json::u64(o.lifts)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
 fn stats_from_json(doc: &Json) -> Option<ServerStats> {
     let field = |k: &str| doc.get(k).and_then(Json::as_u64);
+    let oracles = match doc.get("oracles") {
+        Some(Json::Obj(map)) => map
+            .iter()
+            .map(|(spec, lifts)| {
+                Some(OracleStat {
+                    spec: spec.clone(),
+                    lifts: lifts.as_u64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        _ => Vec::new(),
+    };
     Some(ServerStats {
         received: field("received")?,
         completed: field("completed")?,
@@ -730,6 +819,8 @@ fn stats_from_json(doc: &Json) -> Option<ServerStats> {
         queued: field("queued")?,
         active: field("active")?,
         workers: field("workers")?,
+        providers_built: field("providers_built").unwrap_or(0),
+        oracles,
     })
 }
 
@@ -924,6 +1015,31 @@ mod tests {
     fn requests_roundtrip() {
         let requests = [
             Request::Lift(LiftRequest::benchmark("r1", "blas_gemv")),
+            Request::Lift(LiftRequest::benchmark("r1b", "blas_gemv").with_oracle("synthetic:42")),
+            Request::Lift(LiftRequest {
+                id: "r1c".into(),
+                kernel: KernelSpec::Source {
+                    label: "blind".into(),
+                    source: "void f(int n, int *out) { for (int i = 0; i < n; i++) out[i] = 0; }"
+                        .into(),
+                    params: vec![
+                        WireParam {
+                            name: "n".into(),
+                            kind: WireParamKind::Size { symbol: "n".into() },
+                        },
+                        WireParam {
+                            name: "out".into(),
+                            kind: WireParamKind::ArrayOut {
+                                dims: vec!["n".into()],
+                            },
+                        },
+                    ],
+                    // No ground truth: legal for replay-backed lifts.
+                    ground_truth: None,
+                },
+                oracle: Some("replay:fx.json".into()),
+                overrides: ConfigOverrides::default(),
+            }),
             Request::Lift(LiftRequest {
                 id: "r2".into(),
                 kernel: KernelSpec::Source {
@@ -955,12 +1071,14 @@ mod tests {
                             kind: WireParamKind::ArrayOut { dims: vec![] },
                         },
                     ],
-                    ground_truth: "out = a(i) * b(i)".into(),
+                    ground_truth: Some("out = a(i) * b(i)".into()),
                 },
+                oracle: Some("replay:fx.json".into()),
                 overrides: ConfigOverrides {
                     mode: Some(SearchMode::BottomUp),
                     grammar: Some(GrammarMode::Refined),
                     search_jobs: Some(2),
+                    oracle_rounds: Some(3),
                     max_attempts: Some(500),
                     max_nodes: None,
                     time_limit_ms: Some(2000),
@@ -1040,6 +1158,17 @@ mod tests {
                     queued: 0,
                     active: 1,
                     workers: 4,
+                    providers_built: 2,
+                    oracles: vec![
+                        OracleStat {
+                            spec: "replay:fx.json".into(),
+                            lifts: 2,
+                        },
+                        OracleStat {
+                            spec: "synthetic".into(),
+                            lifts: 5,
+                        },
+                    ],
                 },
             },
             Event::Error {
@@ -1103,6 +1232,7 @@ mod tests {
         let o = ConfigOverrides {
             mode: Some(SearchMode::BottomUp),
             search_jobs: Some(0),
+            oracle_rounds: Some(2),
             max_attempts: Some(123),
             time_limit_ms: Some(1500),
             ..ConfigOverrides::default()
@@ -1110,6 +1240,7 @@ mod tests {
         let cfg = o.apply(&StaggConfig::top_down());
         assert_eq!(cfg.mode, SearchMode::BottomUp);
         assert_eq!(cfg.jobs, 1, "search_jobs 0 is clamped to 1");
+        assert_eq!(cfg.oracle_rounds, 2);
         assert_eq!(cfg.budget.max_attempts, 123);
         assert_eq!(cfg.budget.time_limit, std::time::Duration::from_millis(1500));
         assert!(ConfigOverrides::default().is_empty());

@@ -17,23 +17,24 @@
 //! `cancel`, request timeout, server shutdown) rides the search
 //! engine's [`CancelFlag`] machinery end to end.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use gtl::{FailureReason, LiftHooks, LiftObserver, LiftQuery, Stagg, StaggConfig};
+use gtl::{FailureReason, LiftHooks, LiftObserver, LiftQuery, OracleSpec, Stagg, StaggConfig};
 use gtl_benchsuite::by_name;
 use gtl_cfront::parse_c;
-use gtl_oracle::SyntheticOracle;
+use gtl_oracle::OracleProvider;
 use gtl_search::{CancelFlag, SearchHooks, SearchProgress};
 use gtl_taco::{parse_program, EvalCache, TacoProgram};
 use gtl_validate::{LiftTask, TaskParam, TaskParamKind};
 
 use crate::cache::{request_key, CachedOutcome, ResultCache};
 use crate::protocol::{
-    ErrorCode, Event, KernelSpec, LiftRequest, Request, ServerStats, WireError, WireParamKind,
+    ErrorCode, Event, KernelSpec, LiftRequest, OracleStat, Request, ServerStats, WireError,
+    WireParamKind,
 };
 
 /// Where a request's events go. Called from worker and monitor threads;
@@ -59,6 +60,13 @@ pub struct ServerConfig {
     pub default_timeout: Option<Duration>,
     /// Result-cache entry bound.
     pub result_cache_capacity: usize,
+    /// Which oracle provider *kinds* requests may name in their
+    /// `oracle` field (`synthetic`, `scripted`, `replay`, `record`).
+    /// The default admits only `synthetic` — replay/record touch
+    /// server-side files, so an operator opts in explicitly. The
+    /// server's own base spec is always allowed (requests without an
+    /// `oracle` field never hit the allowlist).
+    pub oracle_allowlist: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +78,7 @@ impl Default for ServerConfig {
             progress_interval: Duration::from_millis(100),
             default_timeout: None,
             result_cache_capacity: 1024,
+            oracle_allowlist: vec!["synthetic".to_string()],
         }
     }
 }
@@ -186,6 +195,17 @@ struct Inner {
     active: Mutex<HashMap<(u64, String), Arc<JobState>>>,
     results: ResultCache,
     counters: Counters,
+    /// Lifts actually driven per oracle spec (cache hits excluded).
+    oracle_counts: Mutex<BTreeMap<String, u64>>,
+    /// One provider instance per distinct spec, shared by every worker
+    /// (providers are `Send + Sync` by design). Sharing is load-bearing
+    /// for `record:` specs: all workers must feed one `FixtureStore`,
+    /// or concurrent recordings to the same path would clobber each
+    /// other's labels.
+    providers: Mutex<HashMap<OracleSpec, Arc<dyn OracleProvider>>>,
+    /// Provider instances built since start (the cache misses once per
+    /// distinct spec, never once per request).
+    providers_built: AtomicU64,
     shutdown: AtomicBool,
     next_client: AtomicU64,
 }
@@ -194,6 +214,16 @@ impl Inner {
     fn stats(&self) -> ServerStats {
         let queued = self.queue.lock().expect("queue poisoned").len() as u64;
         let total_active = self.active.lock().expect("active poisoned").len() as u64;
+        let oracles = self
+            .oracle_counts
+            .lock()
+            .expect("oracle counts poisoned")
+            .iter()
+            .map(|(spec, lifts)| OracleStat {
+                spec: spec.clone(),
+                lifts: *lifts,
+            })
+            .collect();
         ServerStats {
             received: self.counters.received.load(Ordering::Relaxed),
             completed: self.counters.completed.load(Ordering::Relaxed),
@@ -205,6 +235,8 @@ impl Inner {
             queued,
             active: total_active.saturating_sub(queued),
             workers: self.config.workers as u64,
+            providers_built: self.providers_built.load(Ordering::Relaxed),
+            oracles,
         }
     }
 
@@ -232,7 +264,7 @@ fn resolve_query(request: &LiftRequest) -> Result<LiftQuery, WireError> {
                 label: b.name.to_string(),
                 source: b.source.to_string(),
                 task: b.lift_task(),
-                ground_truth: b.parse_ground_truth(),
+                ground_truth: Some(b.parse_ground_truth()),
             })
         }
         KernelSpec::Source {
@@ -253,8 +285,14 @@ fn resolve_query(request: &LiftRequest) -> Result<LiftQuery, WireError> {
                     params.len()
                 )));
             }
-            let ground_truth = parse_program(ground_truth)
-                .map_err(|e| bad_source(format!("ground truth: {e}")))?;
+            let ground_truth = match ground_truth {
+                // Optional: replay/scripted lifts work without a hint;
+                // the synthetic oracle simply abstains.
+                None => None,
+                Some(gt) => Some(
+                    parse_program(gt).map_err(|e| bad_source(format!("ground truth: {e}")))?,
+                ),
+            };
             let mut output = None;
             let task_params: Vec<TaskParam> = params
                 .iter()
@@ -326,7 +364,10 @@ fn wire_reason(failure: &FailureReason) -> (String, Option<String>) {
 
 fn worker_loop(inner: &Inner) {
     // One evaluation cache per worker, reused across every lift this
-    // worker runs: recurring kernels never recompile.
+    // worker runs: recurring kernels never recompile. Oracle providers
+    // are hoisted further still — one instance per spec per *server*
+    // (see `Inner::providers`) — so workers share recording stores and
+    // replay fixtures instead of rebuilding them per request.
     let eval_cache = EvalCache::default();
     loop {
         let job = {
@@ -346,6 +387,26 @@ fn worker_loop(inner: &Inner) {
         };
         process(inner, job, &eval_cache);
     }
+}
+
+/// Resolves a job's provider from the server-wide cache, building (and
+/// counting) it on first sight of the spec. The lock is held across
+/// construction so two workers racing on a new `record:` spec cannot
+/// both open (and truncate-merge) the same fixture path.
+fn resolve_provider(
+    inner: &Inner,
+    spec: &OracleSpec,
+) -> Result<Arc<dyn OracleProvider>, String> {
+    let mut providers = inner.providers.lock().expect("providers poisoned");
+    if let Some(provider) = providers.get(spec) {
+        return Ok(Arc::clone(provider));
+    }
+    let provider = spec
+        .provider()
+        .map_err(|e| format!("oracle `{}`: {e}", spec.cli_name()))?;
+    inner.providers_built.fetch_add(1, Ordering::Relaxed);
+    providers.insert(spec.clone(), Arc::clone(&provider));
+    Ok(provider)
 }
 
 fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
@@ -404,6 +465,31 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
         return;
     }
 
+    // Resolve the oracle provider from the shared cache (hoisted per
+    // spec, not per request). A spec whose fixture went away between
+    // admission and execution fails the job, not the worker.
+    let provider = match resolve_provider(inner, &job.config.oracle) {
+        Ok(provider) => provider,
+        Err(detail) => {
+            inner.release(client, &id);
+            finish_failed(
+                inner,
+                state,
+                "bad_query".to_string(),
+                Some(detail),
+                (0, 0, 0),
+                false,
+            );
+            return;
+        }
+    };
+    *inner
+        .oracle_counts
+        .lock()
+        .expect("oracle counts poisoned")
+        .entry(job.config.oracle.cli_name())
+        .or_default() += 1;
+
     // Arm the lift: progress baseline + timeout deadline.
     let started = Instant::now();
     *state.started.lock().expect("started poisoned") = Some(started);
@@ -423,8 +509,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
         },
         eval_cache: Some(eval_cache),
     };
-    let mut oracle = SyntheticOracle::default();
-    let report = Stagg::new(&mut oracle, job.config.clone()).lift_with(&job.query, &hooks);
+    let report = Stagg::new(provider, job.config.clone()).lift_with(&job.query, &hooks);
     let elapsed_ms = started.elapsed().as_millis() as u64;
 
     // An external cause (cancel / timeout / shutdown) overrides the
@@ -612,7 +697,38 @@ impl ServerHandle {
             Ok(q) => q,
             Err(e) => return reject(e),
         };
-        let config = request.overrides.apply(&inner.config.base);
+        let mut config = request.overrides.apply(&inner.config.base);
+        if let Some(raw) = &request.oracle {
+            // A request-selected oracle must parse and every provider
+            // kind it involves must be allowlisted. Provider *instances*
+            // are built lazily per worker, not here.
+            let Some(spec) = OracleSpec::from_cli_name(raw) else {
+                return reject(
+                    WireError::new(
+                        ErrorCode::OracleRejected,
+                        format!("unparseable oracle spec `{raw}`"),
+                    )
+                    .with_id(request.id.clone()),
+                );
+            };
+            if let Some(kind) = spec
+                .kinds()
+                .iter()
+                .find(|k| !inner.config.oracle_allowlist.iter().any(|a| a == *k))
+            {
+                return reject(
+                    WireError::new(
+                        ErrorCode::OracleRejected,
+                        format!(
+                            "oracle kind `{kind}` is not allowed here (allowed: {})",
+                            inner.config.oracle_allowlist.join(", ")
+                        ),
+                    )
+                    .with_id(request.id.clone()),
+                );
+            }
+            config.oracle = spec;
+        }
         let timeout = request
             .overrides
             .timeout_ms
@@ -867,6 +983,9 @@ impl LiftServer {
             outstanding: Arc::new(AtomicU64::new(0)),
             active: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            oracle_counts: Mutex::new(BTreeMap::new()),
+            providers: Mutex::new(HashMap::new()),
+            providers_built: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             next_client: AtomicU64::new(0),
         });

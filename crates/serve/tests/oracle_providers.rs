@@ -1,0 +1,273 @@
+//! Serving-layer tests for the oracle provider redesign: per-worker
+//! provider reuse, allowlist enforcement, per-provider statistics, and
+//! isolation between concurrent requests that name different oracles.
+
+use std::path::PathBuf;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gtl::StaggConfig;
+use gtl_oracle::{FixtureStore, Oracle, OracleQuery, SyntheticOracle};
+use gtl_search::SearchBudget;
+use gtl_serve::{
+    ErrorCode, Event, EventSink, LiftRequest, LiftServer, ServerConfig, ServerHandle,
+};
+
+fn quick_base() -> StaggConfig {
+    StaggConfig::top_down().with_budget(SearchBudget {
+        time_limit: Duration::from_secs(30),
+        ..SearchBudget::default()
+    })
+}
+
+fn server_with(workers: usize, allowlist: &[&str]) -> LiftServer {
+    LiftServer::start(ServerConfig {
+        workers,
+        queue_capacity: 16,
+        base: quick_base(),
+        progress_interval: Duration::from_millis(20),
+        default_timeout: None,
+        result_cache_capacity: 64,
+        oracle_allowlist: allowlist.iter().map(|s| s.to_string()).collect(),
+    })
+}
+
+fn tmp_fixture(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gtl-serve-oracle-{name}-{}.json", std::process::id()));
+    p
+}
+
+/// Records the synthetic oracle's round-0 answer for a benchmark into
+/// a fixture file (what `batch_suite --oracle record:…` does at scale).
+fn record_benchmark(path: &PathBuf, benchmark: &str) {
+    let b = gtl_benchsuite::by_name(benchmark).expect("suite benchmark");
+    let gt = b.parse_ground_truth();
+    let store = FixtureStore::open(path).expect("fixture path usable");
+    let mut oracle = SyntheticOracle::default();
+    let lines = oracle.candidates(&OracleQuery {
+        label: b.name,
+        c_source: b.source,
+        ground_truth: Some(&gt),
+    });
+    store.record(b.name, 0, lines);
+}
+
+fn terminal_of(handle: &ServerHandle, request: LiftRequest) -> Event {
+    handle
+        .lift_blocking(request)
+        .last()
+        .cloned()
+        .expect("stream is never empty")
+}
+
+#[test]
+fn worker_reuses_one_provider_across_requests() {
+    // Three lifts naming the same spec: the provider is built exactly
+    // once and reused. A fourth lift with a different seed builds a
+    // second provider — per spec, never per request.
+    let server = server_with(1, &["synthetic"]);
+    let handle = server.handle();
+    for (n, benchmark) in ["blas_dot", "blas_axpy", "sa_add_scalar"].iter().enumerate() {
+        let request = LiftRequest::benchmark(format!("r{n}"), *benchmark)
+            .with_oracle("synthetic:77");
+        assert!(
+            matches!(terminal_of(&handle, request), Event::Done { .. }),
+            "{benchmark}: lift should solve"
+        );
+    }
+    let stats = handle.stats();
+    assert_eq!(
+        stats.providers_built, 1,
+        "one worker + one spec = one provider: {stats:?}"
+    );
+    assert_eq!(stats.oracles.len(), 1);
+    assert_eq!(stats.oracles[0].spec, "synthetic:77");
+    assert_eq!(stats.oracles[0].lifts, 3);
+
+    let other = LiftRequest::benchmark("r-other", "blas_copy").with_oracle("synthetic:78");
+    assert!(matches!(terminal_of(&handle, other), Event::Done { .. }));
+    let stats = handle.stats();
+    assert_eq!(stats.providers_built, 2, "second spec, second provider");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_requests_with_different_oracles_do_not_cross_contaminate() {
+    // Fixture A holds real candidates for blas_dot; fixture B is
+    // empty. Two concurrent lifts naming different replay specs must
+    // each see exactly their own fixture: A solves, B fails with
+    // `no_usable_candidates` — and nothing falls back to the synthetic
+    // generator (the per-provider stats prove it never ran).
+    let good = tmp_fixture("good");
+    let empty = tmp_fixture("empty");
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&empty);
+    record_benchmark(&good, "blas_dot");
+    FixtureStore::open(&empty).expect("create the empty fixture");
+
+    let server = server_with(2, &["synthetic", "replay"]);
+    let results: Vec<(String, Event)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = [
+            ("blas_dot", good.display().to_string()),
+            ("blas_axpy", empty.display().to_string()),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(n, (benchmark, fixture))| {
+            let handle = server.handle();
+            scope.spawn(move || {
+                let request = LiftRequest::benchmark(format!("c{n}"), benchmark)
+                    .with_oracle(format!("replay:{fixture}"));
+                (benchmark.to_string(), terminal_of(&handle, request))
+            })
+        })
+        .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (benchmark, terminal) in &results {
+        match benchmark.as_str() {
+            "blas_dot" => assert!(
+                matches!(terminal, Event::Done { .. }),
+                "recorded fixture must carry the lift: {terminal:?}"
+            ),
+            _ => assert!(
+                matches!(
+                    terminal,
+                    Event::Failed { reason, .. } if reason == "no_usable_candidates"
+                ),
+                "empty fixture must starve the lift: {terminal:?}"
+            ),
+        }
+    }
+    let stats = server.handle().stats();
+    assert_eq!(stats.oracles.len(), 2, "one entry per replay spec: {stats:?}");
+    assert!(
+        stats.oracles.iter().all(|o| o.spec.starts_with("replay:") && o.lifts == 1),
+        "replay lifts must run zero synthetic invocations: {stats:?}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&good);
+    let _ = std::fs::remove_file(&empty);
+}
+
+#[test]
+fn concurrent_recording_across_workers_feeds_one_fixture() {
+    // `record:` providers are shared server-wide: four workers
+    // recording to one path must all land in the same store, so the
+    // fixture ends up with *every* lifted label (a per-worker store
+    // would clobber the file with whichever worker saved last).
+    let path = tmp_fixture("multi-worker-record");
+    let _ = std::fs::remove_file(&path);
+    let server = server_with(4, &["synthetic", "record"]);
+    let benchmarks = ["blas_dot", "blas_axpy", "blas_copy", "sa_add_scalar"];
+    let spec = format!("record:{}", path.display());
+    std::thread::scope(|scope| {
+        for (n, benchmark) in benchmarks.iter().enumerate() {
+            let handle = server.handle();
+            let spec = spec.clone();
+            scope.spawn(move || {
+                let request =
+                    LiftRequest::benchmark(format!("w{n}"), *benchmark).with_oracle(spec);
+                assert!(
+                    matches!(terminal_of(&handle, request), Event::Done { .. }),
+                    "{benchmark}: recorded lift should solve"
+                );
+            });
+        }
+    });
+    assert_eq!(
+        server.handle().stats().providers_built,
+        1,
+        "one record spec = one shared provider across all workers"
+    );
+    server.shutdown();
+    let fixture = gtl_oracle::Fixture::load(path.as_path()).expect("fixture written");
+    for benchmark in benchmarks {
+        assert!(
+            fixture.lines(benchmark, 0).is_some_and(|l| !l.is_empty()),
+            "{benchmark}: recording lost under concurrency; labels: {:?}",
+            fixture.labels().collect::<Vec<_>>()
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn oracle_specs_outside_the_allowlist_are_rejected() {
+    let server = server_with(1, &["synthetic"]); // the default policy
+    let handle = server.handle();
+    let submit = |spec: &str| {
+        let (tx, _rx) = channel::<Event>();
+        let sink: EventSink = Arc::new(move |event: &Event| {
+            let _ = tx.send(event.clone());
+        });
+        handle.submit(
+            LiftRequest::benchmark("r", "blas_dot").with_oracle(spec),
+            sink,
+        )
+    };
+    // Unparseable spec.
+    let err = submit("gpt4").unwrap_err();
+    assert_eq!(err.code, ErrorCode::OracleRejected);
+    // Parseable but unlisted kind.
+    let err = submit("replay:/tmp/never.json").unwrap_err();
+    assert_eq!(err.code, ErrorCode::OracleRejected);
+    assert!(err.message.contains("replay"), "{}", err.message);
+    // Record wrapping an unlisted kind is rejected recursively.
+    let err = submit("record:/tmp/out.json:replay:/tmp/never.json").unwrap_err();
+    assert_eq!(err.code, ErrorCode::OracleRejected);
+    // The allowlisted kind still works.
+    assert!(
+        matches!(
+            terminal_of(&handle, LiftRequest::benchmark("ok", "blas_dot").with_oracle("synthetic")),
+            Event::Done { .. }
+        ),
+        "allowlisted spec must pass"
+    );
+    assert_eq!(handle.stats().rejected, 3);
+    server.shutdown();
+}
+
+#[test]
+fn missing_fixture_fails_the_job_not_the_worker() {
+    // The spec validates textually at admission; the worker discovers
+    // the missing file when it builds the provider, fails that job,
+    // and stays healthy for the next one.
+    let server = server_with(1, &["synthetic", "replay"]);
+    let handle = server.handle();
+    let gone = terminal_of(
+        &handle,
+        LiftRequest::benchmark("gone", "blas_dot").with_oracle("replay:/definitely/not/here.json"),
+    );
+    assert!(
+        matches!(
+            &gone,
+            Event::Failed { reason, detail: Some(d), .. }
+                if reason == "bad_query" && d.contains("oracle")
+        ),
+        "missing fixture must fail as bad_query with detail: {gone:?}"
+    );
+    let after = terminal_of(&handle, LiftRequest::benchmark("after", "blas_dot"));
+    assert!(
+        matches!(after, Event::Done { .. }),
+        "the worker must survive a provider build failure: {after:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn base_config_lifts_need_no_allowlist_entry() {
+    // Requests without an `oracle` field run the server's base spec
+    // even under an empty allowlist — the allowlist gates client
+    // *choices*, not the operator's own configuration.
+    let server = server_with(1, &[]);
+    let handle = server.handle();
+    let terminal = terminal_of(&handle, LiftRequest::benchmark("plain", "blas_dot"));
+    assert!(matches!(terminal, Event::Done { .. }), "{terminal:?}");
+    let stats = handle.stats();
+    assert_eq!(stats.oracles.len(), 1);
+    assert_eq!(stats.oracles[0].spec, "synthetic");
+    server.shutdown();
+}

@@ -29,6 +29,7 @@ fn quick_server(workers: usize) -> LiftServer {
         progress_interval: Duration::from_millis(20),
         default_timeout: None,
         result_cache_capacity: 64,
+        ..ServerConfig::default()
     })
 }
 
@@ -184,6 +185,7 @@ fn repeated_request_is_answered_from_the_result_cache() {
         kernel: KernelSpec::Benchmark {
             name: "blas_dot".into(),
         },
+        oracle: None,
         overrides: ConfigOverrides {
             max_attempts: Some(7777),
             ..ConfigOverrides::default()
@@ -204,6 +206,7 @@ fn long_request(id: &str) -> LiftRequest {
         kernel: KernelSpec::Benchmark {
             name: "sa_4d_add".into(),
         },
+        oracle: None,
         overrides: ConfigOverrides {
             max_attempts: Some(50_000_000),
             max_nodes: Some(u64::MAX / 2),
@@ -299,6 +302,7 @@ fn cancelling_a_queued_job_frees_its_slot_immediately() {
         progress_interval: Duration::from_millis(20),
         default_timeout: None,
         result_cache_capacity: 64,
+        ..ServerConfig::default()
     });
     let handle = server.handle();
 
@@ -458,6 +462,7 @@ fn shutdown_drains_queued_jobs_with_shutting_down() {
         progress_interval: Duration::from_millis(20),
         default_timeout: None,
         result_cache_capacity: 64,
+        ..ServerConfig::default()
     });
     let handle = server.handle();
     let running_rx = submit(&handle, long_request("running"));

@@ -6,6 +6,8 @@
 //! cargo run --release --example ablation_tour [benchmark]
 //! ```
 
+use std::sync::Arc;
+
 use guided_tensor_lifting::benchsuite::by_name;
 use guided_tensor_lifting::oracle::SyntheticOracle;
 use guided_tensor_lifting::stagg::{GrammarMode, LiftQuery, Stagg, StaggConfig};
@@ -17,7 +19,7 @@ fn main() {
         label: b.name.to_string(),
         source: b.source.to_string(),
         task: b.lift_task(),
-        ground_truth: b.parse_ground_truth(),
+        ground_truth: Some(b.parse_ground_truth()),
     };
     println!("Benchmark: {}   (ground truth: {})\n", b.name, b.ground_truth);
 
@@ -46,8 +48,7 @@ fn main() {
         "configuration", "solved", "attempts", "time"
     );
     for (label, config) in variants {
-        let mut oracle = SyntheticOracle::default();
-        let report = Stagg::new(&mut oracle, config).lift(&query);
+        let report = Stagg::new(Arc::new(SyntheticOracle::default()), config).lift(&query);
         println!(
             "{:<28} {:>7} {:>9} {:>12?}   {}",
             label,

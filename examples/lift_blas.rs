@@ -6,6 +6,8 @@
 //! cargo run --release --example lift_blas
 //! ```
 
+use std::sync::Arc;
+
 use guided_tensor_lifting::benchsuite::{all_benchmarks, Suite};
 use guided_tensor_lifting::oracle::SyntheticOracle;
 use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
@@ -17,16 +19,16 @@ fn main() {
         .collect();
     println!("Lifting {} BLAS kernels with STAGG_TD…\n", blas.len());
 
+    let stagg = Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down());
     let mut solved = 0usize;
     for b in &blas {
         let query = LiftQuery {
             label: b.name.to_string(),
             source: b.source.to_string(),
             task: b.lift_task(),
-            ground_truth: b.parse_ground_truth(),
+            ground_truth: Some(b.parse_ground_truth()),
         };
-        let mut oracle = SyntheticOracle::default();
-        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        let report = stagg.lift(&query);
         match &report.solution {
             Some(s) => {
                 solved += 1;

@@ -6,6 +6,8 @@
 //! cargo run --release --example llama_kernels
 //! ```
 
+use std::sync::Arc;
+
 use guided_tensor_lifting::benchsuite::{all_benchmarks, Suite};
 use guided_tensor_lifting::oracle::SyntheticOracle;
 use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
@@ -20,16 +22,19 @@ fn main() {
         .collect();
     println!("Lifting the {} llama inference kernels…\n", kernels.len());
 
+    // One lifter for the whole run: the provider mints a fresh oracle
+    // per lift, so no per-kernel oracle plumbing is needed.
+    let stagg = Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down());
+
     for b in &kernels {
         let task = b.lift_task();
         let query = LiftQuery {
             label: b.name.to_string(),
             source: b.source.to_string(),
             task: task.clone(),
-            ground_truth: b.parse_ground_truth(),
+            ground_truth: Some(b.parse_ground_truth()),
         };
-        let mut oracle = SyntheticOracle::default();
-        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        let report = stagg.lift(&query);
         let Some(solution) = &report.solution else {
             println!("✗ {:<20} failed: {:?}", b.name, report.failure);
             continue;

@@ -7,6 +7,8 @@
 //! The kernel is the pointer-walking matrix-vector product of Figure 2;
 //! the expected lifted program is `Result(i) = Mat1(i,j) * Mat2(j)`.
 
+use std::sync::Arc;
+
 use guided_tensor_lifting::oracle::{render_prompt, ScriptedOracle};
 use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
 use guided_tensor_lifting::taco::parse_program;
@@ -35,7 +37,9 @@ fn main() {
     println!("== Prompt ==\n{}\n", render_prompt(FIGURE2.trim()));
 
     // Replay the paper's Response 1 instead of calling a live model.
-    let mut oracle = ScriptedOracle::new().with_paper_response_1("figure2");
+    // The scripted oracle is its own provider: `Stagg` mints a fresh
+    // copy per lift.
+    let oracle = ScriptedOracle::new().with_paper_response_1("figure2");
 
     let program = guided_tensor_lifting::cfront::parse_c(FIGURE2).expect("Fig. 2 parses");
     let query = LiftQuery {
@@ -72,10 +76,10 @@ fn main() {
             output: 3,
             constants: vec![0],
         },
-        ground_truth: parse_program("Result(i) = Mat1(i,j) * Mat2(j)").expect("parses"),
+        ground_truth: Some(parse_program("Result(i) = Mat1(i,j) * Mat2(j)").expect("parses")),
     };
 
-    let mut stagg = Stagg::new(&mut oracle, StaggConfig::top_down());
+    let stagg = Stagg::new(Arc::new(oracle), StaggConfig::top_down());
     let report = stagg.lift(&query);
 
     println!("== Lifting report ==");

@@ -86,11 +86,10 @@ fn lifted_solution_can_be_relowered() {
         label: b.name.to_string(),
         source: b.source.to_string(),
         task: b.lift_task(),
-        ground_truth: b.parse_ground_truth(),
+        ground_truth: Some(b.parse_ground_truth()),
     };
-    let mut oracle = guided_tensor_lifting::oracle::SyntheticOracle::default();
     let report = guided_tensor_lifting::stagg::Stagg::new(
-        &mut oracle,
+        std::sync::Arc::new(guided_tensor_lifting::oracle::SyntheticOracle::default()),
         guided_tensor_lifting::stagg::StaggConfig::top_down(),
     )
     .lift(&query);

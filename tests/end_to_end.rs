@@ -1,6 +1,8 @@
 //! Cross-crate integration tests: the full STAGG pipeline against the
 //! benchmark suite.
 
+use std::sync::Arc;
+
 use guided_tensor_lifting::benchsuite::{all_benchmarks, by_name, Benchmark};
 use guided_tensor_lifting::oracle::{ScriptedOracle, SyntheticOracle};
 use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
@@ -13,7 +15,7 @@ fn query_for(b: &Benchmark) -> LiftQuery {
         label: b.name.to_string(),
         source: b.source.to_string(),
         task: b.lift_task(),
-        ground_truth: b.parse_ground_truth(),
+        ground_truth: Some(b.parse_ground_truth()),
     }
 }
 
@@ -22,8 +24,8 @@ fn query_for(b: &Benchmark) -> LiftQuery {
 fn figure2_with_paper_response() {
     let b = by_name("blas_gemv").expect("Fig. 2 benchmark exists");
     let query = query_for(&b);
-    let mut oracle = ScriptedOracle::new().with_paper_response_1("blas_gemv");
-    let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+    let oracle = ScriptedOracle::new().with_paper_response_1("blas_gemv");
+    let report = Stagg::new(Arc::new(oracle), StaggConfig::top_down()).lift(&query);
     assert_eq!(
         report.solution.expect("Fig. 2 lifts").to_string(),
         "Result(i) = Mat1(i,j) * Mat2(j)"
@@ -51,8 +53,8 @@ fn representative_benchmarks_lift_and_check() {
     for name in names {
         let b = by_name(name).unwrap();
         let query = query_for(&b);
-        let mut oracle = SyntheticOracle::default();
-        let report = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        let report =
+            Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down()).lift(&query);
         let solution = report
             .solution
             .unwrap_or_else(|| panic!("{name} failed: {:?}", report.failure));
@@ -76,11 +78,10 @@ fn bottom_up_misses_parenthesised_shapes() {
     for name in ["art_paren_mul", "mf_lerp"] {
         let b = by_name(name).unwrap();
         let query = query_for(&b);
-        let mut oracle = SyntheticOracle::default();
-        let td = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        let provider = Arc::new(SyntheticOracle::default());
+        let td = Stagg::new(provider.clone(), StaggConfig::top_down()).lift(&query);
         assert!(td.solved(), "{name}: TD should solve");
-        let mut oracle = SyntheticOracle::default();
-        let bu = Stagg::new(&mut oracle, StaggConfig::bottom_up()).lift(&query);
+        let bu = Stagg::new(provider, StaggConfig::bottom_up()).lift(&query);
         assert!(!bu.solved(), "{name}: BU cannot express balanced ASTs");
     }
 }
@@ -91,8 +92,7 @@ fn lifting_is_deterministic() {
     let b = by_name("blas_gemv").unwrap();
     let query = query_for(&b);
     let run = || {
-        let mut oracle = SyntheticOracle::default();
-        Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query)
+        Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down()).lift(&query)
     };
     let r1 = run();
     let r2 = run();

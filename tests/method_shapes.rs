@@ -6,6 +6,8 @@ use guided_tensor_lifting::baselines::{
     c2taco_lift, tenspiler_lift, C2TacoConfig, TenspilerConfig,
 };
 use guided_tensor_lifting::benchsuite::by_name;
+use std::sync::Arc;
+
 use guided_tensor_lifting::oracle::SyntheticOracle;
 use guided_tensor_lifting::stagg::{GrammarMode, LiftQuery, Stagg, StaggConfig};
 
@@ -15,14 +17,13 @@ fn query(name: &str) -> LiftQuery {
         label: b.name.to_string(),
         source: b.source.to_string(),
         task: b.lift_task(),
-        ground_truth: b.parse_ground_truth(),
+        ground_truth: Some(b.parse_ground_truth()),
     }
 }
 
 fn stagg_attempts(name: &str, config: StaggConfig) -> Option<u64> {
     let q = query(name);
-    let mut oracle = SyntheticOracle::default();
-    let report = Stagg::new(&mut oracle, config).lift(&q);
+    let report = Stagg::new(Arc::new(SyntheticOracle::default()), config).lift(&q);
     report.solved().then_some(report.attempts)
 }
 

@@ -4,6 +4,8 @@
 //! programs (equal outputs on fresh random inputs the pipeline never
 //! saw).
 
+use std::sync::Arc;
+
 use guided_tensor_lifting::benchsuite::by_name;
 use guided_tensor_lifting::oracle::SyntheticOracle;
 use guided_tensor_lifting::stagg::{LiftQuery, Stagg, StaggConfig};
@@ -26,10 +28,13 @@ fn lift(name: &str, jobs: usize) -> guided_tensor_lifting::stagg::LiftReport {
         label: b.name.to_string(),
         source: b.source.to_string(),
         task: b.lift_task(),
-        ground_truth: b.parse_ground_truth(),
+        ground_truth: Some(b.parse_ground_truth()),
     };
-    let mut oracle = SyntheticOracle::default();
-    Stagg::new(&mut oracle, StaggConfig::top_down().with_jobs(jobs)).lift(&query)
+    Stagg::new(
+        Arc::new(SyntheticOracle::default()),
+        StaggConfig::top_down().with_jobs(jobs),
+    )
+    .lift(&query)
 }
 
 /// Equal semantics on three fresh random instances.
@@ -84,10 +89,10 @@ fn jobs_one_is_bit_identical_to_default_sequential() {
             label: b.name.to_string(),
             source: b.source.to_string(),
             task: b.lift_task(),
-            ground_truth: b.parse_ground_truth(),
+            ground_truth: Some(b.parse_ground_truth()),
         };
-        let mut oracle = SyntheticOracle::default();
-        let plain = Stagg::new(&mut oracle, StaggConfig::top_down()).lift(&query);
+        let plain =
+            Stagg::new(Arc::new(SyntheticOracle::default()), StaggConfig::top_down()).lift(&query);
         assert_eq!(default.solution, plain.solution);
         assert_eq!(default.attempts, plain.attempts);
         assert_eq!(default.nodes_expanded, plain.nodes_expanded);
