@@ -6,7 +6,7 @@
 //! batch_suite [--jobs N] [--suites simple,artificial | --all | --real]
 //!             [--only name,name] [--skip name[,name]] [--method td|bu]
 //!             [--oracle SPEC] [--search-jobs N] [--json PATH]
-//!             [--compare-sequential] [--via-server]
+//!             [--compare-sequential] [--via-server] [--store PATH]
 //! ```
 //!
 //! `--jobs` parallelises *across benchmarks* (the embarrassingly
@@ -26,8 +26,14 @@
 
 use std::collections::BTreeMap;
 
+use std::sync::Arc;
+
 use gtl::{OracleSpec, StaggConfig};
-use gtl_bench::{batch_json, run_batch_via_server, run_method_batch, Method};
+use gtl_bench::{
+    batch_json, run_batch_via_server_stored, run_method_batch, run_method_batch_stored,
+    BatchAnnotations, Method,
+};
+use gtl_store::LiftStore;
 use gtl_benchsuite::{all_benchmarks, real_world_benchmarks, suite_from_name, Benchmark};
 
 struct Args {
@@ -42,11 +48,12 @@ struct Args {
     json_path: Option<String>,
     compare_sequential: bool,
     via_server: bool,
+    store: Option<String>,
 }
 
 const USAGE: &str = "usage: batch_suite [--jobs N] [--suites simple,artificial | --all | --real] \
 [--only name,name] [--skip name[,name]] [--method td|bu] [--oracle SPEC] [--search-jobs N] \
-[--json PATH] [--compare-sequential] [--via-server]";
+[--json PATH] [--compare-sequential] [--via-server] [--store PATH]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("batch_suite: {message}\n{USAGE}");
@@ -66,6 +73,7 @@ fn parse_args() -> Args {
         json_path: None,
         compare_sequential: false,
         via_server: false,
+        store: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -99,6 +107,7 @@ fn parse_args() -> Args {
             "--json" => args.json_path = Some(value("--json")),
             "--compare-sequential" => args.compare_sequential = true,
             "--via-server" => args.via_server = true,
+            "--store" => args.store = Some(value("--store")),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -108,6 +117,12 @@ fn parse_args() -> Args {
     }
     args.jobs = args.jobs.max(1);
     args.search_jobs = args.search_jobs.max(1);
+    if args.compare_sequential && args.store.is_some() {
+        // Warm hits make the parallel wall near-zero while the
+        // comparison rerun searches cold — the recorded speedup would
+        // measure the store, not the cores.
+        usage_error("--compare-sequential cannot be combined with --store");
+    }
     args
 }
 
@@ -181,6 +196,22 @@ fn main() {
         config.clone(),
     );
 
+    let store = args.store.as_ref().map(|path| {
+        let store = LiftStore::open(path)
+            .unwrap_or_else(|e| usage_error(&format!("--store: {e}")));
+        if store.recovery().truncated_tail {
+            eprintln!(
+                "batch_suite: store {path}: dropped a torn tail record ({} bytes)",
+                store.recovery().dropped_bytes
+            );
+        }
+        eprintln!(
+            "batch_suite: store {path}: {} outcome(s) loaded",
+            store.len()
+        );
+        Arc::new(store)
+    });
+
     eprintln!(
         "batch: {} benchmarks, {} jobs, search-jobs {}, oracle {}{}{}",
         benchmarks.len(),
@@ -194,8 +225,32 @@ fn main() {
         },
         if args.via_server { ", via lift server" } else { "" }
     );
+    let mut warm_hits: Option<usize> = None;
     let batch = if args.via_server {
-        run_batch_via_server(&method.name(), &config, &benchmarks, args.jobs)
+        let (batch, warm) = run_batch_via_server_stored(
+            &method.name(),
+            &config,
+            &benchmarks,
+            args.jobs,
+            store.clone(),
+        );
+        if store.is_some() {
+            eprintln!(
+                "  warm start: {warm}/{} answered from the store",
+                benchmarks.len()
+            );
+            warm_hits = Some(warm);
+        }
+        batch
+    } else if let Some(store) = &store {
+        let (batch, warm) =
+            run_method_batch_stored(&method, &config, &benchmarks, args.jobs, store);
+        eprintln!(
+            "  warm start: {warm}/{} answered from the store",
+            benchmarks.len()
+        );
+        warm_hits = Some(warm);
+        batch
     } else {
         run_method_batch(&method, &benchmarks, args.jobs)
     };
@@ -220,6 +275,7 @@ fn main() {
         batch.suite.results.len()
     );
 
+    let mut parallel_speedup: Option<f64> = None;
     if args.compare_sequential {
         eprintln!("rerunning with jobs = 1 for comparison…");
         let sequential = run_method_batch(&method, &benchmarks, 1);
@@ -236,14 +292,25 @@ fn main() {
             "outcome classification diverged between jobs={} and jobs=1: {mismatches:?}",
             batch.jobs
         );
+        let speedup = sequential.wall.as_secs_f64() / batch.wall.as_secs_f64().max(1e-9);
         eprintln!(
-            "  sequential wall {:.2}s → speedup {:.2}x, outcomes identical",
+            "  sequential wall {:.2}s → speedup {speedup:.2}x, outcomes identical",
             sequential.wall.as_secs_f64(),
-            sequential.wall.as_secs_f64() / batch.wall.as_secs_f64().max(1e-9)
         );
+        // Recorded in the JSON so the multi-core measurement can be
+        // read off any box's suite run.
+        parallel_speedup = Some(speedup);
     }
 
-    let json = batch_json(&batch, &benchmarks, &skipped);
+    let json = batch_json(
+        &batch,
+        &benchmarks,
+        &skipped,
+        &BatchAnnotations {
+            parallel_speedup,
+            warm_hits,
+        },
+    );
     match &args.json_path {
         Some(path) => {
             std::fs::write(path, &json).expect("write JSON output");

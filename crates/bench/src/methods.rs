@@ -216,6 +216,8 @@ impl Method {
                     solved: report.solved(),
                     seconds: report.seconds(),
                     attempts: report.attempts,
+                    solution: report.solution.as_ref().map(ToString::to_string),
+                    nodes: report.nodes_expanded,
                 }
             }
             MethodKind::C2Taco { heuristics } => {
@@ -246,6 +248,8 @@ impl Method {
                     solved: report.solved(),
                     seconds: report.seconds(),
                     attempts: report.attempts,
+                    solution: report.solution.as_ref().map(ToString::to_string),
+                    nodes: 0,
                 }
             }
             MethodKind::Tenspiler => {
@@ -255,6 +259,8 @@ impl Method {
                     solved: report.solved(),
                     seconds: report.seconds(),
                     attempts: report.attempts,
+                    solution: report.solution.as_ref().map(ToString::to_string),
+                    nodes: 0,
                 }
             }
             MethodKind::LlmOnly => {
@@ -269,6 +275,8 @@ impl Method {
                     solved: report.solved(),
                     seconds: report.seconds(),
                     attempts: report.attempts,
+                    solution: report.solution.as_ref().map(ToString::to_string),
+                    nodes: 0,
                 }
             }
         }

@@ -14,7 +14,8 @@ use std::time::{Duration, Instant};
 
 use gtl::{LiftQuery, StaggConfig};
 use gtl_benchsuite::Benchmark;
-use gtl_serve::{Event, EventSink, LiftRequest, LiftServer, ServerConfig};
+use gtl_serve::{request_key, Event, EventSink, LiftRequest, LiftServer, ServerConfig};
+use gtl_store::{LiftRecord, LiftStore};
 
 use crate::methods::Method;
 
@@ -40,6 +41,11 @@ pub struct MethodResult {
     pub seconds: f64,
     /// Templates sent to validation.
     pub attempts: u64,
+    /// The solution program, when solved — what `--store` persists so
+    /// later runs (and `--store` servers) can answer without searching.
+    pub solution: Option<String>,
+    /// Search-queue pops (0 for baselines that report none).
+    pub nodes: u64,
 }
 
 /// Aggregated results of one method over a benchmark set.
@@ -226,6 +232,93 @@ pub fn run_method_batch(
     }
 }
 
+/// [`run_method_batch`] warm-started from a persistent [`LiftStore`]:
+/// benchmarks whose request key already has a *solved* record are
+/// answered straight from the store (no lift runs at all), the rest run
+/// normally, and every fresh solved outcome is appended back — so
+/// re-running a suite on the same store skips everything it has already
+/// solved. `config` must be the method's own pipeline configuration (it
+/// feeds the request key, which is how stored outcomes stay scoped to
+/// the exact search/oracle/budget setup that produced them). Failures
+/// are not warm-started: an unsolved benchmark re-runs every time, so a
+/// budget raise or a better oracle gets its chance.
+///
+/// Returns the batch (results in input order, warm hits included with
+/// their original timing/attempt numbers) and the warm-hit count.
+pub fn run_method_batch_stored(
+    method: &Method,
+    config: &StaggConfig,
+    benchmarks: &[Benchmark],
+    jobs: usize,
+    store: &LiftStore,
+) -> (BatchResult, usize) {
+    let started = Instant::now();
+    let keys: Vec<u64> = benchmarks
+        .iter()
+        .map(|b| request_key(&query_for(b), config))
+        .collect();
+    let mut warm: Vec<Option<MethodResult>> = Vec::with_capacity(benchmarks.len());
+    let mut cold: Vec<Benchmark> = Vec::new();
+    let mut cold_keys: Vec<u64> = Vec::new();
+    for (b, key) in benchmarks.iter().zip(&keys) {
+        match store.get(*key) {
+            Some(record) if record.solved() => warm.push(Some(MethodResult {
+                name: b.name.to_string(),
+                solved: true,
+                seconds: record.seconds,
+                attempts: record.attempts,
+                solution: record.solution,
+                nodes: record.nodes,
+            })),
+            _ => {
+                warm.push(None);
+                cold.push(b.clone());
+                cold_keys.push(*key);
+            }
+        }
+    }
+    let warm_hits = benchmarks.len() - cold.len();
+    let cold_batch = run_method_batch(method, &cold, jobs);
+    for ((result, b), key) in cold_batch.suite.results.iter().zip(&cold).zip(&cold_keys) {
+        if !result.solved {
+            continue;
+        }
+        let record = LiftRecord {
+            key: *key,
+            label: result.name.clone(),
+            solution: result.solution.clone(),
+            reason: None,
+            detail: None,
+            attempts: result.attempts,
+            nodes: result.nodes,
+            seconds: result.seconds,
+        };
+        if let Err(e) = store.append(record) {
+            eprintln!("batch_suite: store append failed for {}: {e}", b.name);
+        }
+    }
+    // Merge back into input order.
+    let mut fresh = cold_batch.suite.results.into_iter();
+    let results: Vec<MethodResult> = warm
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| fresh.next().expect("one fresh result per cold run")))
+        .collect();
+    (
+        BatchResult {
+            suite: SuiteResult {
+                method: method.name(),
+                results,
+            },
+            wall: started.elapsed(),
+            // Clamp against the full input set, not the cold subset: a
+            // fully-warm rerun must report the same `jobs` as the cold
+            // run so repeat suite JSONs stay comparable.
+            jobs: jobs.clamp(1, benchmarks.len().max(1)),
+        },
+        warm_hits,
+    )
+}
+
 /// Client-driven batch mode: runs a STAGG configuration over a
 /// benchmark set *through the serving layer* instead of calling the
 /// pipeline directly. An in-process [`LiftServer`] is started with
@@ -244,21 +337,64 @@ pub fn run_batch_via_server(
     benchmarks: &[Benchmark],
     jobs: usize,
 ) -> BatchResult {
+    run_batch_via_server_stored(method_name, config, benchmarks, jobs, None).0
+}
+
+/// [`run_batch_via_server`] with an optional persistent store: the
+/// in-process server prefills its result cache from it and persists
+/// every solved outcome, exactly as `lift_server --store` does.
+///
+/// Stored solves are answered before any request is submitted — with
+/// their *original* timing and attempt numbers, exactly like
+/// [`run_method_batch_stored`] — so warm re-runs report honest
+/// statistics instead of the near-zero `elapsed_ms` a server cache hit
+/// echoes. Returns the batch and the warm-hit count.
+pub fn run_batch_via_server_stored(
+    method_name: &str,
+    config: &StaggConfig,
+    benchmarks: &[Benchmark],
+    jobs: usize,
+    store: Option<Arc<LiftStore>>,
+) -> (BatchResult, usize) {
     let started = Instant::now();
+    let mut warm: Vec<Option<MethodResult>> = Vec::with_capacity(benchmarks.len());
+    let mut cold: Vec<Benchmark> = Vec::new();
+    for b in benchmarks {
+        let stored = store
+            .as_deref()
+            .and_then(|s| s.get(request_key(&query_for(b), config)))
+            .filter(LiftRecord::solved);
+        match stored {
+            Some(record) => warm.push(Some(MethodResult {
+                name: b.name.to_string(),
+                solved: true,
+                seconds: record.seconds,
+                attempts: record.attempts,
+                solution: record.solution,
+                nodes: record.nodes,
+            })),
+            None => {
+                warm.push(None);
+                cold.push(b.clone());
+            }
+        }
+    }
+    let warm_hits = benchmarks.len() - cold.len();
     let jobs = jobs.clamp(1, benchmarks.len().max(1));
     let server = LiftServer::start(ServerConfig {
-        workers: jobs,
-        queue_capacity: benchmarks.len().max(1),
+        workers: jobs.clamp(1, cold.len().max(1)),
+        queue_capacity: cold.len().max(1),
         // The batch's oracle spec rides in the base config; requests
         // carry no per-lift `oracle` field, so no allowlist concerns.
         base: config.clone(),
         progress_interval: Duration::from_millis(250),
         default_timeout: None,
-        result_cache_capacity: benchmarks.len().max(1),
+        result_cache_capacity: cold.len().max(1),
+        store,
         ..ServerConfig::default()
     });
     let handle = server.handle();
-    let receivers: Vec<_> = benchmarks
+    let receivers: Vec<_> = cold
         .iter()
         .map(|b| {
             let (tx, rx) = channel::<Event>();
@@ -271,7 +407,7 @@ pub fn run_batch_via_server(
             rx
         })
         .collect();
-    let results = benchmarks
+    let fresh: Vec<MethodResult> = cold
         .iter()
         .zip(receivers)
         .map(|(b, rx)| loop {
@@ -279,7 +415,9 @@ pub fn run_batch_via_server(
                 panic!("{}: server dropped the stream mid-lift", b.name)
             }) {
                 Event::Done {
+                    solution,
                     attempts,
+                    nodes,
                     elapsed_ms,
                     ..
                 } => {
@@ -288,10 +426,13 @@ pub fn run_batch_via_server(
                         solved: true,
                         seconds: elapsed_ms as f64 / 1000.0,
                         attempts,
+                        solution: Some(solution),
+                        nodes,
                     }
                 }
                 Event::Failed {
                     attempts,
+                    nodes,
                     elapsed_ms,
                     ..
                 } => {
@@ -300,6 +441,8 @@ pub fn run_batch_via_server(
                         solved: false,
                         seconds: elapsed_ms as f64 / 1000.0,
                         attempts,
+                        solution: None,
+                        nodes,
                     }
                 }
                 Event::Error { code, message, .. } => {
@@ -310,14 +453,36 @@ pub fn run_batch_via_server(
         })
         .collect();
     server.shutdown();
-    BatchResult {
-        suite: SuiteResult {
-            method: method_name.to_string(),
-            results,
+    // Merge back into input order.
+    let mut fresh = fresh.into_iter();
+    let results: Vec<MethodResult> = warm
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| fresh.next().expect("one fresh result per cold run")))
+        .collect();
+    (
+        BatchResult {
+            suite: SuiteResult {
+                method: method_name.to_string(),
+                results,
+            },
+            wall: started.elapsed(),
+            jobs,
         },
-        wall: started.elapsed(),
-        jobs,
-    }
+        warm_hits,
+    )
+}
+
+/// Optional whole-batch measurements [`batch_json`] records alongside
+/// the per-benchmark rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchAnnotations {
+    /// Sequential wall / parallel wall, measured by
+    /// `--compare-sequential` — the multi-core speedup a reader can
+    /// take from the JSON without rerunning anything.
+    pub parallel_speedup: Option<f64>,
+    /// Benchmarks answered from a persistent store (`--store`) without
+    /// running a lift.
+    pub warm_hits: Option<usize>,
 }
 
 /// Renders a batch as one JSON document with per-benchmark
@@ -325,8 +490,15 @@ pub fn run_batch_via_server(
 /// tables). `benchmarks` must be the slice the batch ran over, in the
 /// same order (it supplies the suite of each row); `skipped` lists
 /// benchmarks excluded from the run (`--skip`), recorded so a
-/// truncated suite is never mistaken for a full one.
-pub fn batch_json(batch: &BatchResult, benchmarks: &[Benchmark], skipped: &[String]) -> String {
+/// truncated suite is never mistaken for a full one; `notes` carries
+/// whole-batch measurements (speedup, warm hits) when the flags that
+/// produce them were given.
+pub fn batch_json(
+    batch: &BatchResult,
+    benchmarks: &[Benchmark],
+    skipped: &[String],
+    notes: &BatchAnnotations,
+) -> String {
     assert_eq!(
         batch.suite.results.len(),
         benchmarks.len(),
@@ -339,7 +511,7 @@ pub fn batch_json(batch: &BatchResult, benchmarks: &[Benchmark], skipped: &[Stri
         .collect::<Vec<_>>()
         .join(", ");
     out.push_str(&format!(
-        "  \"method\": \"{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.6},\n  \"cpu_seconds\": {:.6},\n  \"solved\": {},\n  \"total\": {},\n  \"skipped\": [{skipped_json}],\n  \"results\": [\n",
+        "  \"method\": \"{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.6},\n  \"cpu_seconds\": {:.6},\n  \"solved\": {},\n  \"total\": {},\n  \"skipped\": [{skipped_json}],\n",
         json_escape(&batch.suite.method),
         batch.jobs,
         batch.wall.as_secs_f64(),
@@ -347,6 +519,13 @@ pub fn batch_json(batch: &BatchResult, benchmarks: &[Benchmark], skipped: &[Stri
         batch.suite.solved(),
         batch.suite.results.len(),
     ));
+    if let Some(speedup) = notes.parallel_speedup {
+        out.push_str(&format!("  \"parallel_speedup\": {speedup:.6},\n"));
+    }
+    if let Some(warm) = notes.warm_hits {
+        out.push_str(&format!("  \"warm_hits\": {warm},\n"));
+    }
+    out.push_str("  \"results\": [\n");
     for (n, (r, b)) in batch.suite.results.iter().zip(benchmarks).enumerate() {
         let comma = if n + 1 < batch.suite.results.len() { "," } else { "" };
         out.push_str(&format!(

@@ -78,12 +78,16 @@ mod tests {
                     solved: true,
                     seconds: 1.0,
                     attempts: 3,
+                    solution: Some("a = b(i)".into()),
+                    nodes: 10,
                 },
                 MethodResult {
                     name: "b".into(),
                     solved: false,
                     seconds: 9.0,
                     attempts: 100,
+                    solution: None,
+                    nodes: 500,
                 },
             ],
         }

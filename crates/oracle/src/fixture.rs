@@ -16,16 +16,31 @@
 //! ```
 //!
 //! The outer array indexes oracle *rounds* (round 0 is the initial
-//! query; later entries answer the failure loop's re-queries). The
-//! crate carries its own tiny JSON reader/writer — the fixture shape
-//! is fixed and the build environment has no serde.
+//! query; later entries answer the failure loop's re-queries).
+//!
+//! On disk there are two formats. The *document* above is the
+//! hand-writable interchange form. [`FixtureStore`] — the recording
+//! side — persists through `gtl_store`'s crash-tolerant append-only
+//! JSON-lines log instead (one `{"label":…,"round":…,"lines":[…]}`
+//! record per response, under an `oracle_fixture` header), so recorded
+//! transcripts share the workspace's one durable format: a crash can
+//! only tear the final record, and recovery truncates it away.
+//! [`Fixture::load`] (hence `replay:PATH`) sniffs the first line and
+//! accepts either format; `store_tool export` converts a log back into
+//! the document form.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use gtl_store::{is_log_file, Json, JsonlLog};
+
 use crate::{Oracle, OracleFeedback, OracleProvider, OracleQuery};
+
+/// The `gtl_store` log kind under which fixture responses are recorded
+/// (defined in `gtl_store` so `store_tool` shares the spelling).
+pub use gtl_store::FIXTURE_LOG_KIND;
 
 /// A fixture parse/io failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,7 +134,8 @@ impl Fixture {
         out
     }
 
-    /// Parses a fixture JSON document.
+    /// Parses a fixture JSON document (the hand-writable form; for the
+    /// log form see [`Fixture::load`]).
     ///
     /// # Errors
     ///
@@ -127,42 +143,31 @@ impl Fixture {
     /// `version`, or entry values that are not arrays of arrays of
     /// strings.
     pub fn parse(input: &str) -> Result<Fixture, FixtureError> {
-        let mut p = Parser {
-            bytes: input.as_bytes(),
-            pos: 0,
-        };
-        let doc = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(err("trailing content after the document"));
-        }
-        let Value::Obj(doc) = doc else {
-            return Err(err("document must be an object"));
-        };
+        let doc = gtl_store::parse(input).map_err(|e| err(e.to_string()))?;
         match doc.get("version") {
-            Some(Value::Num(v)) if *v == 1.0 => {}
+            Some(v) if v.as_u64() == Some(1) => {}
             Some(_) => return Err(err("unsupported fixture version")),
             None => return Err(err("missing `version`")),
         }
-        let mut fixture = Fixture::new();
-        let Some(Value::Obj(entries)) = doc.get("entries") else {
+        let Some(Json::Obj(entries)) = doc.get("entries") else {
             return Err(err("missing `entries` object"));
         };
+        let mut fixture = Fixture::new();
         for (label, rounds) in entries {
-            let Value::Arr(rounds) = rounds else {
+            let Some(rounds) = rounds.as_arr() else {
                 return Err(err(format!("entry `{label}` must be an array of rounds")));
             };
             for (round, lines) in rounds.iter().enumerate() {
-                let Value::Arr(lines) = lines else {
+                let Some(lines) = lines.as_arr() else {
                     return Err(err(format!(
                         "entry `{label}` round {round} must be an array of strings"
                     )));
                 };
                 let mut out = Vec::with_capacity(lines.len());
                 for line in lines {
-                    match line {
-                        Value::Str(s) => out.push(s.clone()),
-                        _ => {
+                    match line.as_str() {
+                        Some(s) => out.push(s.to_string()),
+                        None => {
                             return Err(err(format!(
                                 "entry `{label}` round {round}: candidates must be strings"
                             )))
@@ -175,198 +180,75 @@ impl Fixture {
         Ok(fixture)
     }
 
-    /// Loads a fixture from a file.
+    /// Loads a fixture from a file in either on-disk form: a recording
+    /// log (sniffed by its `gtl_store` header line) or the hand-written
+    /// JSON document.
     ///
     /// # Errors
     ///
     /// Returns a [`FixtureError`] when the file cannot be read or does
-    /// not parse.
+    /// not parse — including a log whose kind is not `oracle_fixture`.
     pub fn load(path: &Path) -> Result<Fixture, FixtureError> {
-        let text = std::fs::read_to_string(path)
+        // Sniff from raw bytes: only the header line needs UTF-8, and
+        // a recording log may carry a torn multi-byte character in its
+        // tail that `JsonlLog` recovers but `read_to_string` would
+        // reject outright.
+        let bytes = std::fs::read(path)
             .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+        if is_log_file(&bytes) {
+            let (kind, loaded) =
+                JsonlLog::read_bytes(path, &bytes).map_err(|e| err(e.to_string()))?;
+            if kind != FIXTURE_LOG_KIND {
+                return Err(err(format!(
+                    "{}: log kind `{kind}` is not an oracle fixture",
+                    path.display()
+                )));
+            }
+            let mut fixture = Fixture::new();
+            for record in &loaded.records {
+                let (label, round, lines) = decode_record(record)?;
+                fixture.record(&label, round, lines);
+            }
+            return Ok(fixture);
+        }
+        let text = String::from_utf8(bytes).map_err(|_| {
+            err(format!(
+                "{}: fixture document is not valid UTF-8",
+                path.display()
+            ))
+        })?;
         Fixture::parse(&text)
     }
 }
 
-// -- the tiny JSON subset reader -------------------------------------
-
-enum Value {
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(BTreeMap<String, Value>),
+/// Encodes one recorded response as a log record.
+fn encode_record(label: &str, round: usize, lines: &[String]) -> Json {
+    Json::obj([
+        ("label", Json::str(label)),
+        ("round", Json::u64(round as u64)),
+        ("lines", Json::Arr(lines.iter().map(Json::str).collect())),
+    ])
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), FixtureError> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(err(format!(
-                "expected `{}` at byte {}",
-                byte as char, self.pos
-            )))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, FixtureError> {
-        self.skip_ws();
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
-            _ => Err(err(format!("unexpected content at byte {}", self.pos))),
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, FixtureError> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            map.insert(key, self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(map));
-                }
-                _ => return Err(err(format!("expected `,` or `}}` at byte {}", self.pos))),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, FixtureError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(err(format!("expected `,` or `]` at byte {}", self.pos))),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, FixtureError> {
-        let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        ) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Value::Num)
-            .ok_or_else(|| err(format!("bad number at byte {start}")))
-    }
-
-    /// Reads four hex digits starting at `at` (does not advance).
-    fn hex4(&self, at: usize) -> Result<u32, FixtureError> {
-        self.bytes
-            .get(at..at + 4)
-            .and_then(|h| std::str::from_utf8(h).ok())
-            .and_then(|h| u32::from_str_radix(h, 16).ok())
-            .ok_or_else(|| err("bad \\u escape"))
-    }
-
-    fn string(&mut self) -> Result<String, FixtureError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err(err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            // Full JSON semantics: fixtures written by
-                            // standard serializers encode non-BMP text
-                            // (emoji in an LLM transcript, say) as
-                            // surrogate pairs.
-                            let hex = self.hex4(self.pos + 1)?;
-                            self.pos += 4;
-                            let code = if (0xd800..0xdc00).contains(&hex) {
-                                let low_ok = self.bytes.get(self.pos + 1) == Some(&b'\\')
-                                    && self.bytes.get(self.pos + 2) == Some(&b'u');
-                                if !low_ok {
-                                    return Err(err("unpaired high surrogate"));
-                                }
-                                let low = self.hex4(self.pos + 3)?;
-                                if !(0xdc00..0xe000).contains(&low) {
-                                    return Err(err("bad low surrogate"));
-                                }
-                                self.pos += 6;
-                                0x10000 + ((hex - 0xd800) << 10) + (low - 0xdc00)
-                            } else {
-                                hex
-                            };
-                            out.push(
-                                char::from_u32(code).ok_or_else(|| err("bad \\u code point"))?,
-                            );
-                        }
-                        _ => return Err(err("bad escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| err("bad UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
+/// Decodes one log record back into a recorded response.
+fn decode_record(record: &Json) -> Result<(String, usize, Vec<String>), FixtureError> {
+    let label = record
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("fixture record: missing string `label`"))?;
+    let round = record
+        .get("round")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| err("fixture record: missing numeric `round`"))?;
+    let lines = record
+        .get("lines")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| err("fixture record: missing array `lines`"))?
+        .iter()
+        .map(|l| l.as_str().map(str::to_string))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| err("fixture record: `lines` must be strings"))?;
+    Ok((label.to_string(), round, lines))
 }
 
 fn escape(s: &str) -> String {
@@ -390,16 +272,17 @@ fn escape(s: &str) -> String {
 // -- the persistent store and the oracles on top of it ----------------
 
 /// A thread-safe fixture bound to a file: every recorded response is
-/// persisted immediately, so a crashed or cancelled run still leaves a
-/// usable fixture behind.
+/// appended to a crash-tolerant `gtl_store` log immediately, so a
+/// crashed or cancelled run still leaves a usable fixture behind (a
+/// torn final record is truncated away on the next open, never kept).
 ///
-/// Creation merges any existing fixture at the path, so repeated
-/// recording sessions accumulate. Concurrent stores on the *same path*
-/// are last-writer-wins per save; share one store (it is `Sync`)
-/// instead of opening several.
+/// Creation merges any existing fixture at the path — log or legacy
+/// document form; a legacy document is migrated to the log format
+/// atomically — so repeated recording sessions accumulate. Share one
+/// store (it is `Sync`) rather than opening several on the same path.
 #[derive(Debug)]
 pub struct FixtureStore {
-    path: PathBuf,
+    log: JsonlLog,
     fixture: Mutex<Fixture>,
 }
 
@@ -410,42 +293,94 @@ impl FixtureStore {
     /// # Errors
     ///
     /// Returns a [`FixtureError`] when an existing file does not parse
-    /// or the path cannot be written.
+    /// (in either format) or the path cannot be written.
     pub fn open(path: impl Into<PathBuf>) -> Result<FixtureStore, FixtureError> {
-        let path = path.into();
-        let fixture = if path.exists() {
-            Fixture::load(&path)?
+        let path: PathBuf = path.into();
+        let store_err = |e: gtl_store::StoreError| err(e.to_string());
+        // Raw bytes for the format sniff: only the header line needs
+        // UTF-8, and a crashed recording run can leave a torn
+        // multi-byte character in the tail that `JsonlLog` recovers
+        // but `read_to_string` would reject outright.
+        let existing: Option<Vec<u8>> = if path.exists() {
+            Some(
+                std::fs::read(&path)
+                    .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?,
+            )
         } else {
-            Fixture::new()
+            None
         };
-        let store = FixtureStore {
-            path,
+        let (log, fixture) = match existing {
+            // An empty file (crash before the first write): start a
+            // fresh log over it.
+            Some(bytes) if bytes.iter().all(u8::is_ascii_whitespace) => (
+                JsonlLog::create(&path, FIXTURE_LOG_KIND, &[]).map_err(store_err)?,
+                Fixture::new(),
+            ),
+            // A legacy one-document fixture: migrate it to the log
+            // format atomically (temp + rename), records first.
+            Some(bytes) if !is_log_file(&bytes) => {
+                let text = String::from_utf8(bytes).map_err(|_| {
+                    err(format!(
+                        "{}: fixture document is not valid UTF-8",
+                        path.display()
+                    ))
+                })?;
+                let fixture = Fixture::parse(&text)?;
+                let records: Vec<Json> = fixture
+                    .entries
+                    .iter()
+                    .flat_map(|(label, rounds)| {
+                        rounds
+                            .iter()
+                            .enumerate()
+                            .map(|(round, lines)| encode_record(label, round, lines))
+                    })
+                    .collect();
+                let log = JsonlLog::create(&path, FIXTURE_LOG_KIND, &records)
+                    .map_err(store_err)?;
+                (log, fixture)
+            }
+            // A log: replay the bytes already in hand (no second read).
+            Some(bytes) => {
+                let (log, loaded) = JsonlLog::open_loaded(&path, FIXTURE_LOG_KIND, &bytes)
+                    .map_err(store_err)?;
+                let mut fixture = Fixture::new();
+                for record in &loaded.records {
+                    let (label, round, lines) = decode_record(record)?;
+                    fixture.record(&label, round, lines);
+                }
+                (log, fixture)
+            }
+            // No file yet: start a fresh log.
+            None => (
+                JsonlLog::open(&path, FIXTURE_LOG_KIND)
+                    .map_err(store_err)?
+                    .0,
+                Fixture::new(),
+            ),
+        };
+        Ok(FixtureStore {
+            log,
             fixture: Mutex::new(fixture),
-        };
-        store.save()?;
-        Ok(store)
+        })
     }
 
-    /// Records one response and persists the whole fixture.
+    /// Records one response and appends it to the log (one durable
+    /// write per response — never a whole-file rewrite).
     pub fn record(&self, label: &str, round: usize, lines: Vec<String>) {
+        let record = encode_record(label, round, &lines);
         self.fixture
             .lock()
             .expect("fixture store poisoned")
             .record(label, round, lines);
         // Persistence is best-effort per record; `open` already proved
         // the path writable, so failures here are transient.
-        let _ = self.save();
+        let _ = self.log.append(&record);
     }
 
     /// A snapshot of the in-memory fixture.
     pub fn snapshot(&self) -> Fixture {
         self.fixture.lock().expect("fixture store poisoned").clone()
-    }
-
-    fn save(&self) -> Result<(), FixtureError> {
-        let json = self.snapshot().to_json();
-        std::fs::write(&self.path, json)
-            .map_err(|e| err(format!("cannot write {}: {e}", self.path.display())))
     }
 }
 
@@ -710,6 +645,124 @@ mod tests {
         let f = Fixture::load(&path).unwrap();
         assert_eq!(f.lines("a", 0), Some(&["a = b(i)".to_string()][..]));
         assert_eq!(f.lines("c", 0), Some(&["c = d(i)".to_string()][..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_writes_the_log_format_and_load_sniffs_it() {
+        let path = tmp("log-format");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FixtureStore::open(&path).unwrap();
+            store.record("k", 0, vec!["k = v(i)".into()]);
+            store.record("k", 1, vec!["k = v(i) + w(i)".into()]);
+        }
+        // On disk: a gtl_store log, not the legacy document.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            gtl_store::is_log_header(text.lines().next().unwrap()),
+            "recording must produce the log format:\n{text}"
+        );
+        // `Fixture::load` (the replay path) reads it transparently.
+        let f = Fixture::load(&path).unwrap();
+        assert_eq!(f.lines("k", 0), Some(&["k = v(i)".to_string()][..]));
+        assert_eq!(f.lines("k", 1), Some(&["k = v(i) + w(i)".to_string()][..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_documents_are_migrated_on_open() {
+        let path = tmp("legacy-migrate");
+        let mut legacy = Fixture::new();
+        legacy.record("old", 0, vec!["old = a(i)".into()]);
+        std::fs::write(&path, legacy.to_json()).unwrap();
+
+        let store = FixtureStore::open(&path).unwrap();
+        assert_eq!(store.snapshot(), legacy, "migration keeps every entry");
+        store.record("new", 0, vec!["new = b(i)".into()]);
+        drop(store);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(gtl_store::is_log_header(text.lines().next().unwrap()));
+        let f = Fixture::load(&path).unwrap();
+        assert_eq!(f.lines("old", 0), Some(&["old = a(i)".to_string()][..]));
+        assert_eq!(f.lines("new", 0), Some(&["new = b(i)".to_string()][..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_multibyte_tail_recovers_in_both_open_paths() {
+        // A crash can split a multi-byte character (real LLM
+        // transcripts contain them), leaving a tail that is not valid
+        // UTF-8. The format sniff must work off the header line alone
+        // so both the replay path and the recording reopen recover.
+        let path = tmp("torn-utf8");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FixtureStore::open(&path).unwrap();
+            store.record("good", 0, vec!["good = a(i)".into()]);
+        }
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            // "🙂" is f0 9f 99 82; stop after two bytes.
+            f.write_all(b"{\"label\":\"torn \xf0\x9f").unwrap();
+        }
+        let f = Fixture::load(&path).unwrap();
+        assert_eq!(f.lines("good", 0), Some(&["good = a(i)".to_string()][..]));
+        let store = FixtureStore::open(&path).unwrap();
+        assert_eq!(
+            store.snapshot().lines("good", 0),
+            Some(&["good = a(i)".to_string()][..])
+        );
+        store.record("next", 0, vec!["next = b(i)".into()]);
+        drop(store);
+        let f = Fixture::load(&path).unwrap();
+        assert_eq!(f.lines("next", 0), Some(&["next = b(i)".to_string()][..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_fixture_tail_recovers_without_losing_recorded_rounds() {
+        let path = tmp("torn-tail");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = FixtureStore::open(&path).unwrap();
+            store.record("good", 0, vec!["good = a(i)".into()]);
+        }
+        // A crash mid-record: half a line, no newline.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"label\":\"torn\",\"rou").unwrap();
+        }
+        // Both the replay path and a reopened store recover: the good
+        // record survives, the torn one is gone, recording continues.
+        let f = Fixture::load(&path).unwrap();
+        assert_eq!(f.lines("good", 0), Some(&["good = a(i)".to_string()][..]));
+        assert!(f.lines("torn", 0).is_none());
+        let store = FixtureStore::open(&path).unwrap();
+        store.record("after", 0, vec!["after = b(i)".into()]);
+        drop(store);
+        let f = Fixture::load(&path).unwrap();
+        assert_eq!(f.lines("good", 0), Some(&["good = a(i)".to_string()][..]));
+        assert_eq!(f.lines("after", 0), Some(&["after = b(i)".to_string()][..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_kind_logs_are_rejected_with_a_typed_error() {
+        let path = tmp("wrong-kind");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "{\"gtl_store\":1,\"kind\":\"lift_outcomes\"}\n").unwrap();
+        assert!(Fixture::load(&path).is_err(), "a lift log is not a fixture");
+        assert!(FixtureStore::open(&path).is_err());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -53,6 +53,12 @@ pub struct ParallelOptions {
     /// Shard count of the seen-set (power of two recommended; more
     /// shards, less lock contention).
     pub seen_shards: usize,
+    /// Nodes a worker pops per frontier-lock acquisition (minimum 1).
+    /// Batching cuts contention on the one frontier mutex at high job
+    /// counts; the popped nodes are still processed best-first within
+    /// the batch, and cancellation/budget checks run between nodes, so
+    /// the engine's stopping guarantees are unchanged.
+    pub pop_batch: usize,
 }
 
 impl Default for ParallelOptions {
@@ -60,6 +66,7 @@ impl Default for ParallelOptions {
         ParallelOptions {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             seen_shards: 16,
+            pop_batch: 4,
         }
     }
 }
@@ -233,7 +240,7 @@ where
             let budget = &budget;
             scope.spawn(move || {
                 let mut checker = make_checker(worker);
-                worker_loop(exp, shared, started, budget, &mut checker);
+                worker_loop(exp, shared, started, budget, opts.pop_batch, &mut checker);
             });
         }
     });
@@ -289,15 +296,44 @@ impl Drop for PanicGuard<'_> {
     }
 }
 
+/// A worker's locally claimed frontier slice. Entries it holds are
+/// counted in `in_flight`; whatever is still unprocessed when the
+/// worker exits (cancellation, budget, panic) is decremented on drop so
+/// termination detection never strands.
+struct Batch<'a> {
+    shared: &'a Shared,
+    entries: std::collections::VecDeque<QEntry>,
+}
+
+impl Drop for Batch<'_> {
+    fn drop(&mut self) {
+        if !self.entries.is_empty() {
+            self.shared
+                .in_flight
+                .fetch_sub(self.entries.len(), Ordering::SeqCst);
+        }
+    }
+}
+
 fn worker_loop<E: Expand>(
     exp: &E,
     shared: &Shared,
     started: Instant,
     budget: &SearchBudget,
+    pop_batch: usize,
     checker: &mut dyn TemplateChecker,
 ) {
     let _panic_guard = PanicGuard(shared);
+    let pop_batch = pop_batch.max(1);
+    let mut batch = Batch {
+        shared,
+        entries: std::collections::VecDeque::with_capacity(pop_batch),
+    };
     loop {
+        // Stop conditions are polled once per *node*, batched or not:
+        // a worker abandons its remaining local entries the moment the
+        // run terminates (their in-flight count is released by `Batch`'s
+        // drop — the run is over, nobody will pop them again).
         if let Some(external) = &shared.external_cancel {
             if external.is_cancelled() {
                 shared.externally_cancelled.store(true, Ordering::Relaxed);
@@ -313,37 +349,44 @@ fn worker_loop<E: Expand>(
             shared.cancel.cancel();
             return;
         }
-        // Pop and mark in-flight under one lock. The exhaustion check
-        // must also run under that lock: an in-flight sibling can only
-        // make its children visible by taking the lock, so "queue empty
-        // and in_flight == 0" observed *inside* the critical section is
-        // a consistent snapshot — outside it, a sibling could push and
-        // decrement between our two reads and we would exit with work
-        // still queued.
-        enum Popped {
-            Entry(Box<QEntry>),
-            Exhausted,
-            Retry,
-        }
-        let popped = {
-            let mut q = shared.queue.lock().expect("frontier poisoned");
-            match q.pop() {
-                Some(e) => {
-                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                    Popped::Entry(Box::new(e))
+        // Refill the local batch: pop up to `pop_batch` nodes and mark
+        // them in-flight under one lock acquisition (the contention
+        // win). The exhaustion check must also run under that lock: an
+        // in-flight sibling can only make its children visible by
+        // taking the lock, so "queue empty and in_flight == 0" observed
+        // *inside* the critical section is a consistent snapshot —
+        // outside it, a sibling could push and decrement between our
+        // two reads and we would exit with work still queued. Locally
+        // held batch entries stay counted in `in_flight`, so they keep
+        // the run alive exactly like a node mid-expansion.
+        if batch.entries.is_empty() {
+            let refilled = {
+                let mut q = shared.queue.lock().expect("frontier poisoned");
+                while batch.entries.len() < pop_batch {
+                    match q.pop() {
+                        Some(e) => batch.entries.push_back(e),
+                        None => break,
+                    }
                 }
-                None if shared.in_flight.load(Ordering::SeqCst) == 0 => Popped::Exhausted,
-                None => Popped::Retry,
-            }
-        };
-        let entry = match popped {
-            Popped::Entry(e) => e,
-            Popped::Exhausted => return,
-            Popped::Retry => {
+                let popped = batch.entries.len();
+                if popped > 0 {
+                    shared.in_flight.fetch_add(popped, Ordering::SeqCst);
+                    true
+                } else if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                    return; // exhausted
+                } else {
+                    false
+                }
+            };
+            if !refilled {
                 std::thread::yield_now();
                 continue;
             }
-        };
+        }
+        // Best-first within the batch: the heap popped in priority
+        // order, the deque preserves it.
+        let entry = batch.entries.pop_front().expect("refilled above");
+        // Ownership of this entry's in-flight count moves to the guard.
         let _flight_guard = FlightGuard(shared);
         shared.progress.add_node();
         if !exp.skip(&entry.tree) {
@@ -857,6 +900,159 @@ mod tests {
         assert_eq!(seq_out.attempts, par_out.attempts);
         assert_eq!(seq_out.nodes_expanded, par_out.nodes_expanded);
         assert_eq!(seq_out.stop, par_out.stop);
+    }
+
+    #[test]
+    fn batched_pops_preserve_exactly_once_and_classification() {
+        // The contention optimisation (pop up to k nodes per lock
+        // acquisition) must not change the engine's guarantees: no
+        // template reaches a checker twice, and exhaustion
+        // classification matches the unbatched run and the sequential
+        // loop. The depth limit makes the space small enough to
+        // genuinely exhaust, so the distinct-template set is
+        // order-independent and must be identical at every batch size.
+        let g = grammar_with(&["r(i) = m(i) + v(i)"], vec![1, 1, 1], 1);
+        let ctx = ctx_for(&g);
+        let budget = SearchBudget {
+            max_nodes: 500_000,
+            max_attempts: 200_000,
+            max_depth: 3,
+            ..SearchBudget::default()
+        };
+        let seq = {
+            let mut never = |_t: &TacoProgram| CheckOutcome::Failed;
+            crate::top_down_search(&g, &ctx, budget, &mut never)
+        };
+        let mut reference: Option<Vec<String>> = None;
+        for pop_batch in [1, 2, 8, 64] {
+            let checked = Arc::new(Mutex::new(Vec::<String>::new()));
+            let out = {
+                let exp_opts = ParallelOptions {
+                    jobs: 4,
+                    pop_batch,
+                    ..ParallelOptions::default()
+                };
+                let checked = Arc::clone(&checked);
+                parallel_top_down_search(&g, &ctx, budget, exp_opts, move |_worker| {
+                    let checked = Arc::clone(&checked);
+                    move |t: &TacoProgram| {
+                        checked.lock().unwrap().push(t.to_string());
+                        CheckOutcome::Failed
+                    }
+                })
+            };
+            assert_eq!(seq.stop, StopReason::Exhausted, "space must exhaust");
+            assert_eq!(out.stop, seq.stop, "pop_batch {pop_batch} classification");
+            let seen = checked.lock().unwrap();
+            let mut dedup = seen.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(
+                seen.len(),
+                dedup.len(),
+                "pop_batch {pop_batch}: a template reached checkers twice"
+            );
+            // Dedup means a parallel run checks at most as many
+            // templates as sequential attempts…
+            assert!(seen.len() as u64 <= seq.attempts);
+            // …and on full exhaustion every batching level explores the
+            // identical distinct-template set.
+            match &reference {
+                None => reference = Some(dedup),
+                Some(reference) => assert_eq!(
+                    *reference, dedup,
+                    "pop_batch {pop_batch}: distinct template set diverged"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pops_keep_jobs_one_bit_identical() {
+        // jobs <= 1 routes through the sequential loop, so the batching
+        // knob must be a no-op there — the determinism contract.
+        let g = grammar_with(
+            &["r(i) = m(i,j) * v(j)", "r(i) = m(j,i) * v(i)"],
+            vec![1, 2, 1],
+            2,
+        );
+        let ctx = ctx_for(&g);
+        let want = parse_program("a(i) = b(j,i) * c(j)").unwrap();
+        let mk = |want: TacoProgram| {
+            move |t: &TacoProgram| {
+                if *t == want {
+                    CheckOutcome::Verified(t.clone())
+                } else {
+                    CheckOutcome::Failed
+                }
+            }
+        };
+        let mut sequential_checker = mk(want.clone());
+        let seq = crate::top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            &mut sequential_checker,
+        );
+        let batched = parallel_top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions {
+                jobs: 1,
+                pop_batch: 64,
+                ..ParallelOptions::default()
+            },
+            |_| mk(want.clone()),
+        );
+        assert_eq!(seq.solution, batched.solution);
+        assert_eq!(seq.template, batched.template);
+        assert_eq!(seq.attempts, batched.attempts);
+        assert_eq!(seq.nodes_expanded, batched.nodes_expanded);
+        assert_eq!(seq.stop, batched.stop);
+    }
+
+    #[test]
+    fn batched_pops_solve_and_cancel_promptly() {
+        let g = grammar_with(
+            &[
+                "r(i) = m(i,j) * v(j)",
+                "r(i) = m(j,i) * v(i)",
+                "r(i) = m(i,j) * v(i)",
+            ],
+            vec![1, 2, 1],
+            2,
+        );
+        let ctx = ctx_for(&g);
+        let want = parse_program("a(i) = b(i,j) * c(j)").unwrap();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let out = parallel_top_down_search(
+            &g,
+            &ctx,
+            SearchBudget::default(),
+            ParallelOptions {
+                jobs: 4,
+                pop_batch: 16,
+                ..ParallelOptions::default()
+            },
+            |_worker| {
+                let want = want.clone();
+                let calls = Arc::clone(&calls);
+                move |t: &TacoProgram| {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    if *t == want {
+                        CheckOutcome::Verified(t.clone())
+                    } else {
+                        CheckOutcome::Failed
+                    }
+                }
+            },
+        );
+        assert!(out.solved());
+        assert_eq!(out.stop, StopReason::Solved);
+        // Abandoned batch entries must not be double-counted or strand
+        // the run; the check count stays bounded by distinct templates.
+        assert!(calls.load(Ordering::SeqCst) as u64 <= out.attempts + 4);
     }
 
     #[test]

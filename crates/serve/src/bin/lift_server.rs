@@ -4,6 +4,8 @@
 //! ```text
 //! lift_server [--stdio | --listen ADDR] [--workers N] [--queue N]
 //!             [--search-jobs N] [--progress-ms N] [--timeout-ms N]
+//!             [--oracle SPEC] [--oracles KIND,KIND]
+//!             [--store PATH] [--max-inflight-per-client N]
 //! ```
 //!
 //! `--stdio` (the default) serves one client on stdin/stdout; EOF means
@@ -15,6 +17,14 @@
 //! A `shutdown` request from any client stops the server immediately:
 //! running lifts are cancelled through their cancel flags and queued
 //! jobs drain with `shutting_down` failures.
+//!
+//! `--store PATH` makes completed lifts durable: every deterministic
+//! terminal outcome is appended to a crash-tolerant `gtl_store` log,
+//! and a restarted server prefills its result cache from it — repeat
+//! lifts answer as cache hits with zero search attempts.
+//! `--max-inflight-per-client N` caps how many lifts one client may
+//! have queued or running at once (excess submissions are rejected
+//! with `rate_limited`).
 
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
@@ -34,10 +44,13 @@ struct Args {
     timeout_ms: Option<u64>,
     oracle: Option<String>,
     oracles: Option<String>,
+    store: Option<String>,
+    max_inflight_per_client: usize,
 }
 
 const USAGE: &str = "usage: lift_server [--stdio | --listen ADDR] [--workers N] [--queue N] \
-[--search-jobs N] [--progress-ms N] [--timeout-ms N] [--oracle SPEC] [--oracles KIND,KIND]";
+[--search-jobs N] [--progress-ms N] [--timeout-ms N] [--oracle SPEC] [--oracles KIND,KIND] \
+[--store PATH] [--max-inflight-per-client N]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("lift_server: {message}\n{USAGE}");
@@ -54,6 +67,8 @@ fn parse_args() -> Args {
         timeout_ms: None,
         oracle: None,
         oracles: None,
+        store: None,
+        max_inflight_per_client: 0,
     };
     let mut stdio = false;
     let mut it = std::env::args().skip(1);
@@ -83,6 +98,13 @@ fn parse_args() -> Args {
             }
             "--oracle" => args.oracle = Some(value("--oracle")),
             "--oracles" => args.oracles = Some(value("--oracles")),
+            "--store" => args.store = Some(value("--store")),
+            "--max-inflight-per-client" => {
+                args.max_inflight_per_client = int_value(
+                    "--max-inflight-per-client",
+                    value("--max-inflight-per-client"),
+                ) as usize
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -119,6 +141,31 @@ fn main() {
             usage_error(&format!("unknown oracle kind `{kind}` in --oracles"));
         }
     }
+    // The persistent store: recover, compact when mostly superseded,
+    // report what warm-start will serve.
+    let store = args.store.as_ref().map(|path| {
+        let store = gtl_store::LiftStore::open(path)
+            .unwrap_or_else(|e| usage_error(&format!("--store: {e}")));
+        if store.recovery().truncated_tail {
+            eprintln!(
+                "lift_server: store {path}: dropped a torn tail record ({} bytes)",
+                store.recovery().dropped_bytes
+            );
+        }
+        match store.compact_if_stale() {
+            Ok(Some(stats)) => eprintln!(
+                "lift_server: store {path}: compacted {} -> {} records",
+                stats.records_before, stats.records_after
+            ),
+            Ok(None) => {}
+            Err(e) => eprintln!("lift_server: store {path}: compaction failed: {e}"),
+        }
+        eprintln!(
+            "lift_server: store {path}: {} outcome(s) loaded",
+            store.len()
+        );
+        Arc::new(store)
+    });
     let server = LiftServer::start(ServerConfig {
         workers: args.workers.max(1),
         queue_capacity: args.queue.max(1),
@@ -126,6 +173,8 @@ fn main() {
         progress_interval: Duration::from_millis(args.progress_ms.max(10)),
         default_timeout: args.timeout_ms.map(Duration::from_millis),
         oracle_allowlist,
+        store,
+        max_inflight_per_client: args.max_inflight_per_client,
         ..ServerConfig::default()
     });
 

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use gtl::{LiftQuery, StaggConfig};
+use gtl_store::LiftRecord;
 
 /// A stored terminal outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +32,33 @@ pub struct CachedOutcome {
     pub attempts: u64,
     /// Search-queue pops of the original run.
     pub nodes: u64,
+}
+
+impl CachedOutcome {
+    /// The persistent form of this outcome, for `--store` servers.
+    pub fn to_record(&self, key: u64, label: &str, seconds: f64) -> LiftRecord {
+        LiftRecord {
+            key,
+            label: label.to_string(),
+            solution: self.solution.clone(),
+            reason: self.reason.clone(),
+            detail: self.detail.clone(),
+            attempts: self.attempts,
+            nodes: self.nodes,
+            seconds,
+        }
+    }
+
+    /// Rehydrates a persisted outcome (the warm-start direction).
+    pub fn from_record(record: &LiftRecord) -> CachedOutcome {
+        CachedOutcome {
+            solution: record.solution.clone(),
+            reason: record.reason.clone(),
+            detail: record.detail.clone(),
+            attempts: record.attempts,
+            nodes: record.nodes,
+        }
+    }
 }
 
 /// Collapses whitespace runs to single spaces and trims, so the cache

@@ -57,9 +57,13 @@
 
 pub mod cache;
 pub mod client;
-pub mod json;
 pub mod protocol;
 pub mod server;
+
+// The JSON implementation moved into `gtl_store` (the persistence logs
+// and oracle fixtures share it); re-exported here so wire-protocol
+// callers keep their `gtl_serve::json` path.
+pub use gtl_store::json;
 
 pub use cache::{normalize_source, request_key, CachedOutcome, ResultCache};
 pub use client::{ClientError, LiftClient};

@@ -33,6 +33,9 @@ pub enum ErrorCode {
     /// A `lift`'s `oracle` spec does not parse, or names a provider
     /// kind outside the server's allowlist.
     OracleRejected,
+    /// The client already has its maximum number of lifts in flight
+    /// (`--max-inflight-per-client`); retry after one of them finishes.
+    RateLimited,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
 }
@@ -49,6 +52,7 @@ impl ErrorCode {
             ErrorCode::DuplicateId => "duplicate_id",
             ErrorCode::UnknownRequest => "unknown_request",
             ErrorCode::OracleRejected => "oracle_rejected",
+            ErrorCode::RateLimited => "rate_limited",
             ErrorCode::ShuttingDown => "shutting_down",
         }
     }
@@ -64,6 +68,7 @@ impl ErrorCode {
             "duplicate_id" => ErrorCode::DuplicateId,
             "unknown_request" => ErrorCode::UnknownRequest,
             "oracle_rejected" => ErrorCode::OracleRejected,
+            "rate_limited" => ErrorCode::RateLimited,
             "shutting_down" => ErrorCode::ShuttingDown,
             _ => return None,
         })
@@ -335,6 +340,13 @@ pub struct ServerStats {
     /// Provider instances built since start: one per distinct oracle
     /// spec, shared by every worker — never one per request.
     pub providers_built: u64,
+    /// Outcomes loaded from the persistent store at startup (0 when the
+    /// server runs without `--store`).
+    pub store_loaded: u64,
+    /// Outcomes appended to the persistent store since startup.
+    pub store_appended: u64,
+    /// Store compactions performed since startup.
+    pub store_compactions: u64,
     /// Per-provider lift counts, sorted by spec.
     pub oracles: Vec<OracleStat>,
 }
@@ -782,6 +794,9 @@ fn stats_to_json(s: &ServerStats) -> Json {
         ("active", Json::u64(s.active)),
         ("workers", Json::u64(s.workers)),
         ("providers_built", Json::u64(s.providers_built)),
+        ("store_loaded", Json::u64(s.store_loaded)),
+        ("store_appended", Json::u64(s.store_appended)),
+        ("store_compactions", Json::u64(s.store_compactions)),
         (
             "oracles",
             Json::Obj(
@@ -820,6 +835,9 @@ fn stats_from_json(doc: &Json) -> Option<ServerStats> {
         active: field("active")?,
         workers: field("workers")?,
         providers_built: field("providers_built").unwrap_or(0),
+        store_loaded: field("store_loaded").unwrap_or(0),
+        store_appended: field("store_appended").unwrap_or(0),
+        store_compactions: field("store_compactions").unwrap_or(0),
         oracles,
     })
 }
@@ -1159,6 +1177,9 @@ mod tests {
                     active: 1,
                     workers: 4,
                     providers_built: 2,
+                    store_loaded: 5,
+                    store_appended: 4,
+                    store_compactions: 1,
                     oracles: vec![
                         OracleStat {
                             spec: "replay:fx.json".into(),

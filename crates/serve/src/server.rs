@@ -28,6 +28,7 @@ use gtl_benchsuite::by_name;
 use gtl_cfront::parse_c;
 use gtl_oracle::OracleProvider;
 use gtl_search::{CancelFlag, SearchHooks, SearchProgress};
+use gtl_store::LiftStore;
 use gtl_taco::{parse_program, EvalCache, TacoProgram};
 use gtl_validate::{LiftTask, TaskParam, TaskParamKind};
 
@@ -67,6 +68,17 @@ pub struct ServerConfig {
     /// server's own base spec is always allowed (requests without an
     /// `oracle` field never hit the allowlist).
     pub oracle_allowlist: Vec<String>,
+    /// The persistent lift store, when the server should survive
+    /// restarts: the result cache is prefilled from it at startup and
+    /// every *solved* lift is appended to it (failures are cached
+    /// in-memory only — a wall-clock budget failure must not become
+    /// permanent across restarts). This is the `lift_server --store`
+    /// path; `None` keeps results in-memory only.
+    pub store: Option<Arc<LiftStore>>,
+    /// Per-client fairness: the maximum lifts one client may have
+    /// queued or running at once. Submissions beyond it are rejected
+    /// with `rate_limited`. `0` means unlimited.
+    pub max_inflight_per_client: usize,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +91,8 @@ impl Default for ServerConfig {
             default_timeout: None,
             result_cache_capacity: 1024,
             oracle_allowlist: vec!["synthetic".to_string()],
+            store: None,
+            max_inflight_per_client: 0,
         }
     }
 }
@@ -224,6 +238,12 @@ impl Inner {
                 lifts: *lifts,
             })
             .collect();
+        let store = self
+            .config
+            .store
+            .as_ref()
+            .map(|s| s.counters())
+            .unwrap_or_default();
         ServerStats {
             received: self.counters.received.load(Ordering::Relaxed),
             completed: self.counters.completed.load(Ordering::Relaxed),
@@ -236,7 +256,33 @@ impl Inner {
             active: total_active.saturating_sub(queued),
             workers: self.config.workers as u64,
             providers_built: self.providers_built.load(Ordering::Relaxed),
+            store_loaded: store.loaded,
+            store_appended: store.appended,
+            store_compactions: store.compactions,
             oracles,
+        }
+    }
+
+    /// Caches a deterministic terminal outcome and, when a store is
+    /// configured and the lift *solved*, persists it so a restarted
+    /// server answers the same request without running a search.
+    /// Failures stay in-memory only: a budget can be exhausted by wall
+    /// clock, so persisting one would make a transient failure
+    /// permanent across restarts (and a restart is exactly when a
+    /// faster box or a raised budget deserves a fresh try — the same
+    /// rule the warm-started batch runner applies). Persistence is
+    /// best-effort: the in-memory answer is already correct, and the
+    /// next identical outcome supersedes cleanly.
+    fn remember(&self, key: u64, label: &str, outcome: CachedOutcome, elapsed_ms: u64) {
+        self.results.insert(key, outcome.clone());
+        if outcome.solution.is_none() {
+            return;
+        }
+        if let Some(store) = &self.config.store {
+            let record = outcome.to_record(key, label, elapsed_ms as f64 / 1000.0);
+            if let Err(e) = store.append(record) {
+                eprintln!("lift_server: store append failed: {e}");
+            }
         }
     }
 
@@ -531,9 +577,11 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
         Some(solution) => {
             let solution = solution.to_string();
             // Store before announcing: a client that reacts to `done` by
-            // resubmitting the same kernel must find the entry in place.
-            inner.results.insert(
+            // resubmitting the same kernel must find the entry in place
+            // (and, with `--store`, already on disk).
+            inner.remember(
                 job.cache_key,
+                &job.query.label,
                 CachedOutcome {
                     solution: Some(solution.clone()),
                     reason: None,
@@ -541,6 +589,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                     attempts: report.attempts,
                     nodes: report.nodes_expanded,
                 },
+                elapsed_ms,
             );
             inner.release(client, &id);
             inner.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -568,8 +617,9 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
             // where the flag rose as the search finished; report it as a
             // plain cancel and do not cache.
             if !matches!(failure, FailureReason::Cancelled) {
-                inner.results.insert(
+                inner.remember(
                     job.cache_key,
+                    &job.query.label,
                     CachedOutcome {
                         solution: None,
                         reason: Some(reason.clone()),
@@ -577,6 +627,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                         attempts: report.attempts,
                         nodes: report.nodes_expanded,
                     },
+                    elapsed_ms,
                 );
             }
             inner.release(client, &id);
@@ -761,6 +812,27 @@ impl ServerHandle {
                     )
                     .with_id(request.id.clone()),
                 );
+            }
+            // Per-client fairness: one client may not occupy more than
+            // its share of the shared queue. Checked under the active
+            // lock, so concurrent submissions cannot both slip under
+            // the cap.
+            let cap = inner.config.max_inflight_per_client;
+            if cap > 0 {
+                let inflight = active.keys().filter(|(c, _)| *c == self.client).count();
+                if inflight >= cap {
+                    drop(active);
+                    return reject(
+                        WireError::new(
+                            ErrorCode::RateLimited,
+                            format!(
+                                "client already has {inflight} lift(s) in flight \
+                                 (limit {cap}); retry after one finishes"
+                            ),
+                        )
+                        .with_id(request.id.clone()),
+                    );
+                }
             }
             // Queue admission under the active lock, so a concurrent
             // duplicate of the same id cannot slip between the check and
@@ -972,11 +1044,33 @@ pub struct LiftServer {
 }
 
 impl LiftServer {
-    /// Starts the worker pool and monitor.
+    /// Starts the worker pool and monitor. With a configured
+    /// [`ServerConfig::store`], the result cache is prefilled from the
+    /// store's live records, so repeat lifts from before a restart are
+    /// answered as cache hits with zero search attempts.
     pub fn start(config: ServerConfig) -> LiftServer {
         let workers = config.workers.max(1);
+        // A store-backed cache must hold at least the whole store, or
+        // prefilling would evict the very outcomes it just loaded.
+        let capacity = match &config.store {
+            Some(store) => config.result_cache_capacity.max(store.len()),
+            None => config.result_cache_capacity,
+        };
+        let results = ResultCache::new(capacity);
+        if let Some(store) = &config.store {
+            // Solved records only: the write side never persists
+            // failures, but a merged or hand-edited store may carry
+            // them, and serving one forever would make a transient
+            // failure permanent — the exact thing the filter in
+            // `remember` exists to prevent.
+            for record in store.records() {
+                if record.solved() {
+                    results.insert(record.key, CachedOutcome::from_record(&record));
+                }
+            }
+        }
         let inner = Arc::new(Inner {
-            results: ResultCache::new(config.result_cache_capacity),
+            results,
             config: ServerConfig { workers, ..config },
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),

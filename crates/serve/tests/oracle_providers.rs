@@ -30,6 +30,7 @@ fn server_with(workers: usize, allowlist: &[&str]) -> LiftServer {
         default_timeout: None,
         result_cache_capacity: 64,
         oracle_allowlist: allowlist.iter().map(|s| s.to_string()).collect(),
+        ..ServerConfig::default()
     })
 }
 

@@ -1,13 +1,15 @@
 //! A minimal JSON value, parser and compact serializer.
 //!
-//! The wire protocol is JSON-lines and the build environment has no
-//! crates.io access, so — in the same spirit as the workspace's
-//! `shims/` — this module carries its own small, std-only JSON
+//! The persistence logs, the serving wire protocol and the oracle
+//! fixtures are all JSON, and the build environment has no crates.io
+//! access, so — in the same spirit as the workspace's `shims/` — this
+//! module carries the workspace's one small, std-only JSON
 //! implementation instead of depending on `serde`. It supports the full
 //! JSON grammar (objects, arrays, strings with escapes incl. `\uXXXX`
 //! surrogate pairs, numbers, booleans, null); numbers are held as `f64`,
-//! which is exact for every integer the protocol transports (counters,
-//! sizes, milliseconds — all far below 2⁵³).
+//! which is exact for every integer the store and protocol transport
+//! (counters, sizes, milliseconds — all far below 2⁵³); values that may
+//! exceed 2⁵³ (the 64-bit request keys) travel as hex strings.
 
 use std::collections::BTreeMap;
 use std::fmt;

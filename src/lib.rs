@@ -12,6 +12,7 @@ pub use gtl_grammar as grammar;
 pub use gtl_oracle as oracle;
 pub use gtl_search as search;
 pub use gtl_serve as serve;
+pub use gtl_store as store;
 pub use gtl_taco as taco;
 pub use gtl_template as template;
 pub use gtl_tensor as tensor;
