@@ -22,7 +22,12 @@
 //! per-benchmark outcome classifications match. `--via-server` routes
 //! every lift through an in-process `gtl_serve` lift server (bounded
 //! queue + worker pool + result cache) instead of calling the pipeline
-//! directly — the client-driven batch mode.
+//! directly — the client-driven batch mode. `--via-router ADDR` goes
+//! one step further out: the suite runs through an already-listening
+//! wire endpoint (a `lift_router` fronting a replica set, or a single
+//! `lift_server --listen`) over `--jobs` TCP connections; the method
+//! and search-jobs ride as per-request overrides, and stores live on
+//! the replicas, so `--store` does not combine with it.
 
 use std::collections::BTreeMap;
 
@@ -30,8 +35,8 @@ use std::sync::Arc;
 
 use gtl::{OracleSpec, StaggConfig};
 use gtl_bench::{
-    batch_json, run_batch_via_server_stored, run_method_batch, run_method_batch_stored,
-    BatchAnnotations, Method,
+    batch_json, run_batch_via_router, run_batch_via_server_stored, run_method_batch,
+    run_method_batch_stored, BatchAnnotations, Method,
 };
 use gtl_store::LiftStore;
 use gtl_benchsuite::{all_benchmarks, real_world_benchmarks, suite_from_name, Benchmark};
@@ -48,12 +53,13 @@ struct Args {
     json_path: Option<String>,
     compare_sequential: bool,
     via_server: bool,
+    via_router: Option<String>,
     store: Option<String>,
 }
 
 const USAGE: &str = "usage: batch_suite [--jobs N] [--suites simple,artificial | --all | --real] \
 [--only name,name] [--skip name[,name]] [--method td|bu] [--oracle SPEC] [--search-jobs N] \
-[--json PATH] [--compare-sequential] [--via-server] [--store PATH]";
+[--json PATH] [--compare-sequential] [--via-server] [--via-router ADDR] [--store PATH]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("batch_suite: {message}\n{USAGE}");
@@ -73,6 +79,7 @@ fn parse_args() -> Args {
         json_path: None,
         compare_sequential: false,
         via_server: false,
+        via_router: None,
         store: None,
     };
     let mut it = std::env::args().skip(1);
@@ -107,6 +114,7 @@ fn parse_args() -> Args {
             "--json" => args.json_path = Some(value("--json")),
             "--compare-sequential" => args.compare_sequential = true,
             "--via-server" => args.via_server = true,
+            "--via-router" => args.via_router = Some(value("--via-router")),
             "--store" => args.store = Some(value("--store")),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -122,6 +130,19 @@ fn parse_args() -> Args {
         // comparison rerun searches cold — the recorded speedup would
         // measure the store, not the cores.
         usage_error("--compare-sequential cannot be combined with --store");
+    }
+    if args.via_router.is_some() {
+        if args.via_server {
+            usage_error("--via-router and --via-server are mutually exclusive");
+        }
+        if args.store.is_some() {
+            usage_error("--via-router: stores live on the replicas (use lift_server --store)");
+        }
+        if args.compare_sequential {
+            usage_error(
+                "--compare-sequential measures local cores and cannot run through --via-router",
+            );
+        }
     }
     args
 }
@@ -223,10 +244,38 @@ fn main() {
         } else {
             format!(", skipping {}", skipped.join(", "))
         },
-        if args.via_server { ", via lift server" } else { "" }
+        if args.via_server {
+            ", via lift server"
+        } else if args.via_router.is_some() {
+            ", via router"
+        } else {
+            ""
+        }
     );
     let mut warm_hits: Option<usize> = None;
-    let batch = if args.via_server {
+    let batch = if let Some(addr) = &args.via_router {
+        // The endpoint executes with its own base configuration; the
+        // method and search width ride as per-request overrides so the
+        // run is reproducible regardless of how the replicas were
+        // started (and so the router's routing key resolves the same
+        // configuration the replicas do).
+        let overrides = gtl_serve::ConfigOverrides {
+            mode: Some(match args.method.as_str() {
+                "bu" => gtl::SearchMode::BottomUp,
+                _ => gtl::SearchMode::TopDown,
+            }),
+            search_jobs: Some(args.search_jobs),
+            ..Default::default()
+        };
+        run_batch_via_router(
+            &method.name(),
+            &benchmarks,
+            args.jobs,
+            addr,
+            args.oracle.as_deref(),
+            &overrides,
+        )
+    } else if args.via_server {
         let (batch, warm) = run_batch_via_server_stored(
             &method.name(),
             &config,

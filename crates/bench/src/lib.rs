@@ -14,7 +14,8 @@ pub mod tables;
 
 pub use methods::{Method, MethodKind};
 pub use runner::{
-    batch_json, query_for, run_batch_via_server, run_batch_via_server_stored, run_method,
+    batch_json, query_for, run_batch_via_router, run_batch_via_server,
+    run_batch_via_server_stored, run_method,
     run_method_batch, run_method_batch_stored, run_method_on, BatchAnnotations, BatchResult,
     MethodResult, SuiteResult,
 };

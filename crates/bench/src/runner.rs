@@ -472,6 +472,103 @@ pub fn run_batch_via_server_stored(
     )
 }
 
+/// Remote batch mode: runs the suite through an already-running wire
+/// endpoint — a `lift_server --listen` or, more usually, a
+/// `lift_router` fronting a replica set — instead of an in-process
+/// server. `jobs` TCP connections pull benchmarks from a shared cursor
+/// and run each as one blocking lift; results come back in input order.
+/// `oracle` and `overrides` ride in the requests, so the endpoint's
+/// base configuration plus these overrides decide what actually runs
+/// (and, through the router, where: the routing key hashes the resolved
+/// configuration).
+///
+/// # Panics
+///
+/// Panics if the endpoint is unreachable, rejects a submission, or
+/// drops a stream — a dead address or a serving-layer bug, not a
+/// property of any benchmark.
+pub fn run_batch_via_router(
+    method_name: &str,
+    benchmarks: &[Benchmark],
+    jobs: usize,
+    addr: &str,
+    oracle: Option<&str>,
+    overrides: &gtl_serve::ConfigOverrides,
+) -> BatchResult {
+    let started = Instant::now();
+    let jobs = jobs.clamp(1, benchmarks.len().max(1));
+    let slots: Mutex<Vec<Option<MethodResult>>> = Mutex::new(vec![None; benchmarks.len()]);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut client = gtl_serve::LiftClient::connect(addr)
+                    .unwrap_or_else(|e| panic!("cannot reach {addr}: {e}"));
+                loop {
+                    let n = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(b) = benchmarks.get(n) else { break };
+                    let mut request = LiftRequest::benchmark(b.name, b.name);
+                    request.oracle = oracle.map(str::to_string);
+                    request.overrides = overrides.clone();
+                    let events = client
+                        .lift(request)
+                        .unwrap_or_else(|e| panic!("{}: lift via {addr} failed: {e}", b.name));
+                    let result = match events.last() {
+                        Some(Event::Done {
+                            solution,
+                            attempts,
+                            nodes,
+                            elapsed_ms,
+                            ..
+                        }) => MethodResult {
+                            name: b.name.to_string(),
+                            solved: true,
+                            seconds: *elapsed_ms as f64 / 1000.0,
+                            attempts: *attempts,
+                            solution: Some(solution.clone()),
+                            nodes: *nodes,
+                        },
+                        Some(Event::Failed {
+                            attempts,
+                            nodes,
+                            elapsed_ms,
+                            ..
+                        }) => MethodResult {
+                            name: b.name.to_string(),
+                            solved: false,
+                            seconds: *elapsed_ms as f64 / 1000.0,
+                            attempts: *attempts,
+                            solution: None,
+                            nodes: *nodes,
+                        },
+                        Some(Event::Error { code, message, .. }) => panic!(
+                            "{}: request rejected ({}): {message}",
+                            b.name,
+                            code.wire_name()
+                        ),
+                        other => panic!("{}: stream ended oddly: {other:?}", b.name),
+                    };
+                    slots.lock().expect("slots poisoned")[n] = Some(result);
+                }
+            });
+        }
+    });
+    let results: Vec<MethodResult> = slots
+        .into_inner()
+        .expect("slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every benchmark produced a result"))
+        .collect();
+    BatchResult {
+        suite: SuiteResult {
+            method: method_name.to_string(),
+            results,
+        },
+        wall: started.elapsed(),
+        jobs,
+    }
+}
+
 /// Optional whole-batch measurements [`batch_json`] records alongside
 /// the per-benchmark rows.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

@@ -5,7 +5,9 @@
 //! lift_server [--stdio | --listen ADDR] [--workers N] [--queue N]
 //!             [--search-jobs N] [--progress-ms N] [--timeout-ms N]
 //!             [--oracle SPEC] [--oracles KIND,KIND]
-//!             [--store PATH] [--max-inflight-per-client N]
+//!             [--store PATH] [--rotate-store-bytes N]
+//!             [--max-inflight-per-client N]
+//!             [--peers ADDR,ADDR] [--accept-shares]
 //! ```
 //!
 //! `--stdio` (the default) serves one client on stdin/stdout; EOF means
@@ -22,18 +24,24 @@
 //! terminal outcome is appended to a crash-tolerant `gtl_store` log,
 //! and a restarted server prefills its result cache from it — repeat
 //! lifts answer as cache hits with zero search attempts.
+//! `--rotate-store-bytes N` seals the live store log into immutable
+//! segments once it exceeds N bytes, keeping append latency flat and
+//! letting compaction work on sealed segments only.
 //! `--max-inflight-per-client N` caps how many lifts one client may
 //! have queued or running at once (excess submissions are rejected
 //! with `rate_limited`).
+//!
+//! As a replica in a `lift_router` set: `--peers` lists the sibling
+//! replicas to push every locally solved lift to (best-effort
+//! `share_lift` requests, so any replica answers any repeat as a warm
+//! cache hit), and `--accept-shares` opts in to receiving such pushes.
 
-use std::io::{BufRead, Write};
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use gtl::{OracleSpec, StaggConfig};
-use gtl_serve::{Event, EventSink, LiftServer, LineAction, ServerConfig, ServerHandle};
+use gtl_serve::{serve_listener, serve_stdio, LiftServer, LineAction, ServerConfig};
 
 struct Args {
     listen: Option<String>,
@@ -45,12 +53,16 @@ struct Args {
     oracle: Option<String>,
     oracles: Option<String>,
     store: Option<String>,
+    rotate_store_bytes: Option<u64>,
     max_inflight_per_client: usize,
+    peers: Vec<String>,
+    accept_shares: bool,
 }
 
 const USAGE: &str = "usage: lift_server [--stdio | --listen ADDR] [--workers N] [--queue N] \
 [--search-jobs N] [--progress-ms N] [--timeout-ms N] [--oracle SPEC] [--oracles KIND,KIND] \
-[--store PATH] [--max-inflight-per-client N]";
+[--store PATH] [--rotate-store-bytes N] [--max-inflight-per-client N] \
+[--peers ADDR,ADDR] [--accept-shares]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("lift_server: {message}\n{USAGE}");
@@ -68,7 +80,10 @@ fn parse_args() -> Args {
         oracle: None,
         oracles: None,
         store: None,
+        rotate_store_bytes: None,
         max_inflight_per_client: 0,
+        peers: Vec::new(),
+        accept_shares: false,
     };
     let mut stdio = false;
     let mut it = std::env::args().skip(1);
@@ -99,12 +114,27 @@ fn parse_args() -> Args {
             "--oracle" => args.oracle = Some(value("--oracle")),
             "--oracles" => args.oracles = Some(value("--oracles")),
             "--store" => args.store = Some(value("--store")),
+            "--rotate-store-bytes" => {
+                args.rotate_store_bytes = Some(int_value(
+                    "--rotate-store-bytes",
+                    value("--rotate-store-bytes"),
+                ))
+            }
             "--max-inflight-per-client" => {
                 args.max_inflight_per_client = int_value(
                     "--max-inflight-per-client",
                     value("--max-inflight-per-client"),
                 ) as usize
             }
+            "--peers" => {
+                args.peers = value("--peers")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }
+            "--accept-shares" => args.accept_shares = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -114,6 +144,9 @@ fn parse_args() -> Args {
     }
     if stdio && args.listen.is_some() {
         usage_error("--stdio and --listen are mutually exclusive");
+    }
+    if args.rotate_store_bytes.is_some() && args.store.is_none() {
+        usage_error("--rotate-store-bytes requires --store");
     }
     args
 }
@@ -144,7 +177,7 @@ fn main() {
     // The persistent store: recover, compact when mostly superseded,
     // report what warm-start will serve.
     let store = args.store.as_ref().map(|path| {
-        let store = gtl_store::LiftStore::open(path)
+        let store = gtl_store::LiftStore::open_with(path, args.rotate_store_bytes)
             .unwrap_or_else(|e| usage_error(&format!("--store: {e}")));
         if store.recovery().truncated_tail {
             eprintln!(
@@ -175,6 +208,8 @@ fn main() {
         oracle_allowlist,
         store,
         max_inflight_per_client: args.max_inflight_per_client,
+        peers: args.peers.clone(),
+        accept_shared_lifts: args.accept_shares,
         ..ServerConfig::default()
     });
 
@@ -184,108 +219,18 @@ fn main() {
             // lifts before exiting, so `printf reqs | lift_server` is a
             // complete batch run. An explicit `shutdown` request skips
             // the drain and cancels everything immediately.
-            if serve_stdio(server.handle()) != LineAction::Shutdown {
+            if serve_stdio(&server.handle()) != LineAction::Shutdown {
                 server.drain();
             }
         }
-        Some(addr) => serve_listener(&server, addr),
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)
+                .unwrap_or_else(|e| usage_error(&format!("cannot listen on {addr}: {e}")));
+            eprintln!("lift_server: listening on {addr}");
+            serve_listener(listener, "lift_server", || server.handle());
+        }
     }
 
     eprintln!("lift_server: shutting down");
     server.shutdown();
-}
-
-/// Serves one client on stdin/stdout until EOF or a `shutdown` request.
-fn serve_stdio(handle: ServerHandle) -> LineAction {
-    let stdout = Arc::new(Mutex::new(std::io::stdout()));
-    let sink: EventSink = Arc::new(move |event: &Event| {
-        let mut out = stdout.lock().expect("stdout poisoned");
-        let _ = writeln!(out, "{}", event.to_line());
-        let _ = out.flush();
-    });
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let Ok(line) = line else { break };
-        if handle.handle_line(&line, &sink) == LineAction::Shutdown {
-            return LineAction::Shutdown;
-        }
-    }
-    LineAction::Continue
-}
-
-/// Accepts TCP clients until one of them requests shutdown. Sibling
-/// connections are unblocked by shutting their sockets down, so a
-/// `shutdown` request stops the whole server promptly even while other
-/// clients sit idle in blocking reads.
-fn serve_listener(server: &LiftServer, addr: &str) {
-    let listener = TcpListener::bind(addr)
-        .unwrap_or_else(|e| usage_error(&format!("cannot listen on {addr}: {e}")));
-    listener
-        .set_nonblocking(true)
-        .expect("set_nonblocking on listener");
-    eprintln!("lift_server: listening on {addr}");
-    let stop = AtomicBool::new(false);
-    let connections: Mutex<Vec<std::net::TcpStream>> = Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        loop {
-            if stop.load(Ordering::Acquire) {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, peer)) => {
-                    eprintln!("lift_server: client {peer} connected");
-                    if let Ok(clone) = stream.try_clone() {
-                        connections.lock().expect("connections poisoned").push(clone);
-                    }
-                    let handle = server.handle();
-                    let stop = &stop;
-                    scope.spawn(move || {
-                        if serve_tcp(handle, stream) == LineAction::Shutdown {
-                            stop.store(true, Ordering::Release);
-                        }
-                    });
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(50));
-                }
-                Err(e) => {
-                    eprintln!("lift_server: accept failed: {e}");
-                    break;
-                }
-            }
-        }
-        // Unblock every connection thread parked in a read; their
-        // `serve_tcp` loops then exit and the scope join completes.
-        for conn in connections.lock().expect("connections poisoned").iter() {
-            let _ = conn.shutdown(std::net::Shutdown::Both);
-        }
-    });
-}
-
-/// Serves one TCP client until disconnect or a `shutdown` request.
-fn serve_tcp(handle: ServerHandle, stream: std::net::TcpStream) -> LineAction {
-    let Ok(writer) = stream.try_clone() else {
-        return LineAction::Continue;
-    };
-    let writer = Arc::new(Mutex::new(writer));
-    let sink: EventSink = Arc::new(move |event: &Event| {
-        let mut out = writer.lock().expect("writer poisoned");
-        // A disconnected peer just drops its events.
-        let _ = writeln!(out, "{}", event.to_line());
-        let _ = out.flush();
-    });
-    let reader = std::io::BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if handle.handle_line(&line, &sink) == LineAction::Shutdown {
-            return LineAction::Shutdown;
-        }
-    }
-    // Disconnected mid-stream: stop this client's abandoned lifts so
-    // they do not keep burning workers.
-    let cancelled = handle.cancel_all();
-    if cancelled > 0 {
-        eprintln!("lift_server: client disconnected, cancelled {cancelled} in-flight lift(s)");
-    }
-    LineAction::Continue
 }

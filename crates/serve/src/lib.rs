@@ -58,7 +58,9 @@
 pub mod cache;
 pub mod client;
 pub mod protocol;
+pub mod router;
 pub mod server;
+pub mod transport;
 
 // The JSON implementation moved into `gtl_store` (the persistence logs
 // and oracle fixtures share it); re-exported here so wire-protocol
@@ -72,4 +74,6 @@ pub use protocol::{
     ConfigOverrides, ErrorCode, Event, KernelSpec, LiftRequest, OracleStat, Request,
     ServerStats, WireError, WireParam, WireParamKind,
 };
+pub use router::{HashRing, LiftRouter, RouterConfig, RouterHandle};
 pub use server::{EventSink, LiftServer, LineAction, ServerConfig, ServerHandle};
+pub use transport::{serve_listener, serve_stdio, LineHandler};

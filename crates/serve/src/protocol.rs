@@ -38,6 +38,9 @@ pub enum ErrorCode {
     RateLimited,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
+    /// A router exhausted every candidate replica for the request:
+    /// none accepted a connection and streamed a terminal event.
+    ReplicaUnavailable,
 }
 
 impl ErrorCode {
@@ -54,6 +57,7 @@ impl ErrorCode {
             ErrorCode::OracleRejected => "oracle_rejected",
             ErrorCode::RateLimited => "rate_limited",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::ReplicaUnavailable => "replica_unavailable",
         }
     }
 
@@ -70,6 +74,7 @@ impl ErrorCode {
             "oracle_rejected" => ErrorCode::OracleRejected,
             "rate_limited" => ErrorCode::RateLimited,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "replica_unavailable" => ErrorCode::ReplicaUnavailable,
             _ => return None,
         })
     }
@@ -288,7 +293,7 @@ impl LiftRequest {
 // time and moved straight into a job — never stored in bulk — so the
 // indirection a `Box` would buy costs more in API noise than it saves.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a lift.
     Lift(LiftRequest),
@@ -299,6 +304,17 @@ pub enum Request {
     },
     /// Ask for a server statistics snapshot.
     Stats,
+    /// Offer a completed lift record to a replica (the peer-push half
+    /// of replica lift-sharing). Servers accept it only when started
+    /// with share acceptance enabled; the append is idempotent (an
+    /// identical record is a no-op), so re-pushes are harmless. The
+    /// answer is one [`Event::Shared`] or a terminal error.
+    ShareLift {
+        /// Correlation id, echoed on the ack.
+        id: String,
+        /// The completed lift, in the store's record encoding.
+        record: gtl_store::LiftRecord,
+    },
     /// Ask the server to shut down gracefully.
     Shutdown,
 }
@@ -430,6 +446,14 @@ pub enum Event {
         /// The snapshot.
         stats: ServerStats,
     },
+    /// Terminal ack of a `share_lift`: the record was accepted.
+    Shared {
+        /// The share request's id.
+        id: String,
+        /// Whether the record was newly stored (`false` when an
+        /// identical record was already present — the idempotent case).
+        stored: bool,
+    },
     /// Terminal: the request itself was rejected.
     Error {
         /// The offending request's id, when extractable.
@@ -451,7 +475,8 @@ impl Event {
             | Event::CandidateFound { id, .. }
             | Event::Verified { id, .. }
             | Event::Done { id, .. }
-            | Event::Failed { id, .. } => Some(id),
+            | Event::Failed { id, .. }
+            | Event::Shared { id, .. } => Some(id),
             Event::Error { id, .. } => id.as_deref(),
             Event::Stats { .. } => None,
         }
@@ -461,7 +486,10 @@ impl Event {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            Event::Done { .. } | Event::Failed { .. } | Event::Error { .. }
+            Event::Done { .. }
+                | Event::Failed { .. }
+                | Event::Error { .. }
+                | Event::Shared { .. }
         )
     }
 }
@@ -566,6 +594,11 @@ impl Request {
                 ("id", Json::str(id)),
             ]),
             Request::Stats => Json::obj([("type", Json::str("stats"))]),
+            Request::ShareLift { id, record } => Json::obj([
+                ("type", Json::str("share_lift")),
+                ("id", Json::str(id)),
+                ("record", record.to_json()),
+            ]),
             Request::Shutdown => Json::obj([("type", Json::str("shutdown"))]),
         }
     }
@@ -611,6 +644,20 @@ impl Request {
                 Ok(Request::Cancel { id })
             }
             "stats" => Ok(Request::Stats),
+            "share_lift" => {
+                let id = id.ok_or_else(|| {
+                    WireError::new(ErrorCode::BadRequest, "share_lift requires `id`")
+                })?;
+                let record = doc.get("record").ok_or_else(|| {
+                    WireError::new(ErrorCode::BadRequest, "share_lift requires `record`")
+                        .with_id(id.clone())
+                })?;
+                let record = gtl_store::LiftRecord::from_json(record).map_err(|m| {
+                    WireError::new(ErrorCode::BadRequest, format!("bad share_lift record: {m}"))
+                        .with_id(id.clone())
+                })?;
+                Ok(Request::ShareLift { id, record })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(attach(WireError::new(
                 ErrorCode::BadRequest,
@@ -916,6 +963,11 @@ impl Event {
                 ("event", Json::str("stats")),
                 ("stats", stats_to_json(stats)),
             ]),
+            Event::Shared { id, stored } => Json::obj([
+                ("event", Json::str("shared")),
+                ("id", Json::str(id)),
+                ("stored", Json::Bool(*stored)),
+            ]),
             Event::Error { id, code, message } => {
                 let mut fields = vec![
                     ("event", Json::str("error")),
@@ -1011,6 +1063,13 @@ impl Event {
                     .and_then(stats_from_json)
                     .ok_or_else(|| bad("`stats` requires a `stats` object".into()))?,
             },
+            "shared" => Event::Shared {
+                id: id()?,
+                stored: doc
+                    .get("stored")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| bad("`shared` requires boolean `stored`".into()))?,
+            },
             "error" => Event::Error {
                 id: doc.get("id").and_then(Json::as_str).map(str::to_string),
                 code: doc
@@ -1105,6 +1164,19 @@ mod tests {
             }),
             Request::Cancel { id: "r1".into() },
             Request::Stats,
+            Request::ShareLift {
+                id: "s1".into(),
+                record: gtl_store::LiftRecord {
+                    key: u64::MAX,
+                    label: "blas_gemv".into(),
+                    solution: Some("a(i) = b(i,j) * c(j)".into()),
+                    reason: None,
+                    detail: None,
+                    attempts: 57,
+                    nodes: 1250,
+                    seconds: 0.25,
+                },
+            },
             Request::Shutdown,
         ];
         for request in requests {
@@ -1192,10 +1264,23 @@ mod tests {
                     ],
                 },
             },
+            Event::Shared {
+                id: "s1".into(),
+                stored: true,
+            },
+            Event::Shared {
+                id: "s2".into(),
+                stored: false,
+            },
             Event::Error {
                 id: Some("r9".into()),
                 code: ErrorCode::QueueFull,
                 message: "queue is at capacity (64)".into(),
+            },
+            Event::Error {
+                id: Some("r10".into()),
+                code: ErrorCode::ReplicaUnavailable,
+                message: "all 2 replicas unavailable".into(),
             },
             Event::Error {
                 id: None,

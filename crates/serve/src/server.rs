@@ -18,6 +18,7 @@
 //! engine's [`CancelFlag`] machinery end to end.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -28,7 +29,7 @@ use gtl_benchsuite::by_name;
 use gtl_cfront::parse_c;
 use gtl_oracle::OracleProvider;
 use gtl_search::{CancelFlag, SearchHooks, SearchProgress};
-use gtl_store::LiftStore;
+use gtl_store::{LiftRecord, LiftStore};
 use gtl_taco::{parse_program, EvalCache, TacoProgram};
 use gtl_validate::{LiftTask, TaskParam, TaskParamKind};
 
@@ -79,6 +80,17 @@ pub struct ServerConfig {
     /// queued or running at once. Submissions beyond it are rejected
     /// with `rate_limited`. `0` means unlimited.
     pub max_inflight_per_client: usize,
+    /// Peer replica addresses (`host:port`). Every locally *solved*
+    /// lift is pushed to each peer as a `share_lift` request,
+    /// best-effort and in the background, so any replica answers a
+    /// repeat of the kernel as a warm cache hit. Failures are logged
+    /// and never affect the solving request's own stream.
+    pub peers: Vec<String>,
+    /// Whether this server accepts `share_lift` pushes. Off by default:
+    /// a shared record enters the result cache (and the store) without
+    /// a local search, so an operator opts in explicitly
+    /// (`lift_server --accept-shares`).
+    pub accept_shared_lifts: bool,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +105,8 @@ impl Default for ServerConfig {
             oracle_allowlist: vec!["synthetic".to_string()],
             store: None,
             max_inflight_per_client: 0,
+            peers: Vec::new(),
+            accept_shared_lifts: false,
         }
     }
 }
@@ -190,6 +204,44 @@ struct Job {
     cache_key: u64,
 }
 
+/// The active-job registry: every admitted, unfinished job plus a
+/// per-client inflight count maintained incrementally, so the fairness
+/// check at admission is O(1) instead of a scan over every active job.
+/// The counter moves strictly under the same lock as the map, so the
+/// two can never disagree; every finish path (worker completion,
+/// cancel, timeout, disconnect, shutdown drain) funnels through
+/// [`Active::remove`] via `Inner::release`.
+#[derive(Default)]
+struct Active {
+    jobs: HashMap<(u64, String), Arc<JobState>>,
+    inflight: HashMap<u64, usize>,
+}
+
+impl Active {
+    fn insert(&mut self, key: (u64, String), state: Arc<JobState>) {
+        *self.inflight.entry(key.0).or_default() += 1;
+        self.jobs.insert(key, state);
+    }
+
+    fn remove(&mut self, key: &(u64, String)) -> Option<Arc<JobState>> {
+        let state = self.jobs.remove(key)?;
+        match self.inflight.get_mut(&key.0) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                // Idle clients leave no residue: a serving process sees
+                // a fresh client id per connection, and an entry per
+                // ever-seen connection would grow without bound.
+                self.inflight.remove(&key.0);
+            }
+        }
+        Some(state)
+    }
+
+    fn inflight(&self, client: u64) -> usize {
+        self.inflight.get(&client).copied().unwrap_or(0)
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     received: AtomicU64,
@@ -205,8 +257,9 @@ struct Inner {
     queue_cv: Condvar,
     /// Streams admitted but not yet closed with a terminal event.
     outstanding: Arc<AtomicU64>,
-    /// Every admitted, unfinished job, keyed by (client, request id).
-    active: Mutex<HashMap<(u64, String), Arc<JobState>>>,
+    /// Every admitted, unfinished job, keyed by (client, request id),
+    /// with per-client inflight counts for O(1) fairness checks.
+    active: Mutex<Active>,
     results: ResultCache,
     counters: Counters,
     /// Lifts actually driven per oracle spec (cache hits excluded).
@@ -227,7 +280,7 @@ struct Inner {
 impl Inner {
     fn stats(&self) -> ServerStats {
         let queued = self.queue.lock().expect("queue poisoned").len() as u64;
-        let total_active = self.active.lock().expect("active poisoned").len() as u64;
+        let total_active = self.active.lock().expect("active poisoned").jobs.len() as u64;
         let oracles = self
             .oracle_counts
             .lock()
@@ -278,15 +331,47 @@ impl Inner {
         if outcome.solution.is_none() {
             return;
         }
+        let record = outcome.to_record(key, label, elapsed_ms as f64 / 1000.0);
         if let Some(store) = &self.config.store {
-            let record = outcome.to_record(key, label, elapsed_ms as f64 / 1000.0);
-            if let Err(e) = store.append(record) {
+            if let Err(e) = store.append(record.clone()) {
                 eprintln!("lift_server: store append failed: {e}");
             }
         }
+        self.push_to_peers(&record);
     }
 
-    /// Removes a finished job from the active registry.
+    /// Pushes a locally solved lift to every configured peer replica,
+    /// best-effort and off the worker thread: a slow or dead peer must
+    /// not delay the solving request's own terminal events. Only
+    /// *locally* solved lifts go out — records that arrived via
+    /// `share_lift` are stored without re-pushing (see
+    /// [`ServerHandle::share`]), so a fully-meshed replica set cannot
+    /// ring-forward a record forever.
+    fn push_to_peers(&self, record: &LiftRecord) {
+        if self.config.peers.is_empty() {
+            return;
+        }
+        let peers = self.config.peers.clone();
+        let record = record.clone();
+        let spawned = std::thread::Builder::new()
+            .name("gtl-serve-share".into())
+            .spawn(move || {
+                for peer in peers {
+                    if let Err(e) = push_share(&peer, &record) {
+                        eprintln!(
+                            "lift_server: share of {:016x} to {peer} failed: {e}",
+                            record.key
+                        );
+                    }
+                }
+            });
+        if let Err(e) = spawned {
+            eprintln!("lift_server: could not spawn share thread: {e}");
+        }
+    }
+
+    /// Removes a finished job from the active registry, releasing its
+    /// fairness slot.
     fn release(&self, client: u64, id: &str) {
         self.active
             .lock()
@@ -295,8 +380,46 @@ impl Inner {
     }
 }
 
-/// Builds the pipeline query for a request, or a protocol error.
-fn resolve_query(request: &LiftRequest) -> Result<LiftQuery, WireError> {
+/// Delivers one `share_lift` to a peer and waits for its one-line ack
+/// (so a crash-looping peer surfaces as an error here, not silence).
+fn push_share(peer: &str, record: &LiftRecord) -> std::io::Result<()> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let timeout = Duration::from_secs(10);
+    let addr = peer
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("`{peer}` resolves to no address"),
+            )
+        })?;
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = Request::ShareLift {
+        id: format!("share-{:016x}", record.key),
+        record: record.clone(),
+    };
+    stream.write_all(format!("{}\n", request.to_line()).as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let mut ack = String::new();
+    reader.read_line(&mut ack)?;
+    match Event::parse_line(&ack) {
+        Ok(Event::Shared { .. }) => Ok(()),
+        Ok(other) => Err(std::io::Error::other(format!(
+            "peer rejected share: {}",
+            other.to_line()
+        ))),
+        Err(e) => Err(std::io::Error::other(format!("bad share ack: {e}"))),
+    }
+}
+
+/// Builds the pipeline query for a request, or a protocol error. Also
+/// used by the router, which resolves queries locally to compute the
+/// consistent-hash routing key without contacting a replica.
+pub(crate) fn resolve_query(request: &LiftRequest) -> Result<LiftQuery, WireError> {
     match &request.kernel {
         KernelSpec::Benchmark { name } => {
             let b = by_name(name).ok_or_else(|| {
@@ -675,6 +798,7 @@ fn monitor_loop(inner: &Inner) {
         let running: Vec<Arc<JobState>> = {
             let active = inner.active.lock().expect("active poisoned");
             active
+                .jobs
                 .values()
                 .filter(|s| s.phase.load(Ordering::Acquire) == PHASE_RUNNING)
                 .cloned()
@@ -803,7 +927,7 @@ impl ServerHandle {
         let key = (self.client, request.id.clone());
         {
             let mut active = inner.active.lock().expect("active poisoned");
-            if active.contains_key(&key) {
+            if active.jobs.contains_key(&key) {
                 drop(active);
                 return reject(
                     WireError::new(
@@ -816,10 +940,11 @@ impl ServerHandle {
             // Per-client fairness: one client may not occupy more than
             // its share of the shared queue. Checked under the active
             // lock, so concurrent submissions cannot both slip under
-            // the cap.
+            // the cap; the registry keeps the count, so the check is
+            // O(1) however many jobs other clients have in flight.
             let cap = inner.config.max_inflight_per_client;
             if cap > 0 {
-                let inflight = active.keys().filter(|(c, _)| *c == self.client).count();
+                let inflight = active.inflight(self.client);
                 if inflight >= cap {
                     drop(active);
                     return reject(
@@ -895,6 +1020,7 @@ impl ServerHandle {
         let owner = {
             let active = self.inner.active.lock().expect("active poisoned");
             active
+                .jobs
                 .keys()
                 .find(|(_, key_id)| key_id == id)
                 .map(|(client, _)| *client)
@@ -909,7 +1035,7 @@ impl ServerHandle {
         let key = (client, id.to_string());
         let state = {
             let active = self.inner.active.lock().expect("active poisoned");
-            match active.get(&key) {
+            match active.jobs.get(&key) {
                 Some(state) => Arc::clone(state),
                 None => return false,
             }
@@ -949,6 +1075,7 @@ impl ServerHandle {
         let ids: Vec<String> = {
             let active = self.inner.active.lock().expect("active poisoned");
             active
+                .jobs
                 .keys()
                 .filter(|(client, _)| *client == self.client)
                 .map(|(_, id)| id.clone())
@@ -960,6 +1087,68 @@ impl ServerHandle {
     /// A statistics snapshot.
     pub fn stats(&self) -> ServerStats {
         self.inner.stats()
+    }
+
+    /// Accepts a lift record pushed by a peer replica (the receiving
+    /// half of replica lift-sharing), returning the terminal event for
+    /// the share request's one-event stream.
+    ///
+    /// The record enters the result cache — and the store, when one is
+    /// configured — exactly as if this server had solved it, so a
+    /// repeat of the kernel is answered as a warm cache hit with zero
+    /// search attempts. The store's identical-append dedup makes
+    /// re-pushes idempotent (`stored: false` on the ack), and accepted
+    /// records are deliberately *not* re-pushed to this server's own
+    /// peers: in a full mesh every replica hears each solve directly
+    /// from the solver, and forwarding would circulate records forever.
+    pub fn share(&self, id: &str, record: LiftRecord) -> Event {
+        let inner = &self.inner;
+        let reject = |message: String| {
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            Event::Error {
+                id: Some(id.to_string()),
+                code: ErrorCode::BadRequest,
+                message,
+            }
+        };
+        if !inner.config.accept_shared_lifts {
+            return reject(
+                "this server does not accept shared lifts \
+                 (start it with --accept-shares)"
+                    .to_string(),
+            );
+        }
+        if !record.solved() {
+            // The write path never persists failures (a wall-clock
+            // budget failure must not become permanent); the same rule
+            // holds for pushed records.
+            return reject("only solved lifts may be shared".to_string());
+        }
+        if !record.seconds.is_finite() {
+            return reject(format!(
+                "record seconds must be finite, got {}",
+                record.seconds
+            ));
+        }
+        let stored = match &inner.config.store {
+            Some(store) => match store.append(record.clone()) {
+                Ok(appended) => appended,
+                Err(e) => {
+                    // The in-memory cache still serves the record; only
+                    // durability was lost, as with local solves.
+                    eprintln!("lift_server: shared-lift append failed: {e}");
+                    false
+                }
+            },
+            None => false,
+        };
+        inner
+            .results
+            .insert(record.key, CachedOutcome::from_record(&record));
+        Event::Shared {
+            id: id.to_string(),
+            stored,
+        }
     }
 
     /// Parses and executes one wire line: lifts are submitted, cancels
@@ -992,6 +1181,9 @@ impl ServerHandle {
             Ok(Request::Stats) => sink(&Event::Stats {
                 stats: self.stats(),
             }),
+            Ok(Request::ShareLift { id, record }) => {
+                sink(&self.share(&id, record));
+            }
             Ok(Request::Shutdown) => return LineAction::Shutdown,
         }
         LineAction::Continue
@@ -1075,7 +1267,7 @@ impl LiftServer {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             outstanding: Arc::new(AtomicU64::new(0)),
-            active: Mutex::new(HashMap::new()),
+            active: Mutex::new(Active::default()),
             counters: Counters::default(),
             oracle_counts: Mutex::new(BTreeMap::new()),
             providers: Mutex::new(HashMap::new()),
@@ -1136,7 +1328,7 @@ impl Drop for LiftServer {
         self.inner.shutdown.store(true, Ordering::Release);
         {
             let active = self.inner.active.lock().expect("active poisoned");
-            for state in active.values() {
+            for state in active.jobs.values() {
                 state.terminate(TerminalCause::Shutdown);
             }
         }

@@ -71,6 +71,9 @@ fn inspect(path: &Path) {
     let superseded = loaded.records.len() - live.len();
     println!("{}: kind {kind}", path.display());
     println!("  records: {} ({} live, {superseded} superseded)", loaded.records.len(), live.len());
+    if loaded.sealed_files > 0 {
+        println!("  sealed files: {} (snapshot/segments replayed before the live log)", loaded.sealed_files);
+    }
     if loaded.recovery.truncated_tail {
         println!(
             "  torn tail: {} trailing bytes are not a complete record (dropped on next open)",

@@ -6,22 +6,31 @@
 //! module carries the workspace's one small, std-only JSON
 //! implementation instead of depending on `serde`. It supports the full
 //! JSON grammar (objects, arrays, strings with escapes incl. `\uXXXX`
-//! surrogate pairs, numbers, booleans, null); numbers are held as `f64`,
-//! which is exact for every integer the store and protocol transport
-//! (counters, sizes, milliseconds — all far below 2⁵³); values that may
-//! exceed 2⁵³ (the 64-bit request keys) travel as hex strings.
+//! surrogate pairs, numbers, booleans, null). Integer-shaped numbers
+//! (no fraction, no exponent) are held losslessly as [`Json::Int`], so
+//! `u64` counters round-trip bit-exactly all the way to `u64::MAX`;
+//! everything else is an [`Json::Num`] `f64`. The two compare equal
+//! when they denote the same value, so `42` parses interchangeably.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// The smallest integer magnitude at which `f64` can no longer
+/// represent every integer (2⁵³). An integral `f64` at or beyond this
+/// may have been silently rounded, so [`Json::as_u64`] rejects it.
+const F64_EXACT_LIMIT: f64 = 9_007_199_254_740_992.0;
+
 /// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number.
+    /// An integer-shaped number, held losslessly. `i128` covers the
+    /// full `u64` and `i64` ranges.
+    Int(i128),
+    /// Any other JSON number.
     Num(f64),
     /// A string.
     Str(String),
@@ -52,10 +61,11 @@ impl Json {
         Json::Num(n.into())
     }
 
-    /// Builds a number value from a `u64` (lossless for protocol-sized
-    /// counters; saturates precision above 2⁵³ like any JSON number).
+    /// Builds a number value from a `u64`, losslessly: the value is
+    /// stored as [`Json::Int`] and round-trips bit-exactly through the
+    /// serializer and parser for the full `u64` range.
     pub fn u64(n: u64) -> Json {
-        Json::Num(n as f64)
+        Json::Int(n as i128)
     }
 
     /// Member lookup on an object; `None` for absent keys or non-objects.
@@ -82,19 +92,29 @@ impl Json {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a number. Integers beyond 2⁵³
+    /// lose precision in the conversion; use [`Json::as_u64`] when the
+    /// value must be exact.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            Json::Int(i) => Some(*i as f64),
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
     /// The payload as a non-negative integer (rejects fractions,
-    /// negatives and non-numbers).
+    /// negatives and non-numbers). An integral `f64` at or above 2⁵³
+    /// is rejected too: such a value may have been rounded on the way
+    /// in, so treating it as exact would launder corruption.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if n.is_finite() && *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::Num(n)
+                if n.is_finite() && *n >= 0.0 && n.fract() == 0.0 && *n < F64_EXACT_LIMIT =>
+            {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -119,11 +139,43 @@ impl Json {
     }
 }
 
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Int(a), Json::Int(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            // `42` may be held either way depending on whether it came
+            // from the parser or `Json::num`; the two are the same
+            // JSON value, so equality bridges the representations.
+            (Json::Int(i), Json::Num(n)) | (Json::Num(n), Json::Int(i)) => int_eq_num(*i, *n),
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+fn int_eq_num(i: i128, n: f64) -> bool {
+    // Truncation (`as i128`) is only meaningful for integral values
+    // inside i128's range; anything else can't equal an Int. The upper
+    // bound is strict because `i128::MAX as f64` rounds up to 2¹²⁷,
+    // which is itself out of range.
+    n.is_finite()
+        && n.fract() == 0.0
+        && n >= i128::MIN as f64
+        && n < i128::MAX as f64
+        && n as i128 == i
+}
+
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
             Json::Num(n) => {
                 if n.is_finite() && n.fract() == 0.0 && n.abs() < 9.0e18 {
                     write!(f, "{}", *n as i64)
@@ -400,6 +452,7 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
+        let mut integer_shaped = true;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -407,12 +460,14 @@ impl Parser<'_> {
             self.pos += 1;
         }
         if self.peek() == Some(b'.') {
+            integer_shaped = false;
             self.pos += 1;
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integer_shaped = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -423,6 +478,13 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
+        // Integer-shaped text parses losslessly; an integer too large
+        // even for i128 degrades to f64 like any other JSON reader.
+        if integer_shaped {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))
@@ -466,6 +528,51 @@ mod tests {
         assert_eq!(parse("2e3").unwrap().as_f64(), Some(2000.0));
         assert_eq!(Json::u64(123).to_line(), "123");
         assert_eq!(Json::Num(1.25).to_line(), "1.25");
+    }
+
+    #[test]
+    fn u64_roundtrips_bit_exactly() {
+        // The four acceptance-criteria values, plus neighbors that a
+        // f64-routed path would collapse onto each other.
+        for n in [
+            0u64,
+            1,
+            (1 << 53) - 1,
+            1 << 53,
+            (1 << 53) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let line = Json::u64(n).to_line();
+            assert_eq!(line, n.to_string(), "serializes as the decimal digits");
+            assert_eq!(parse(&line).unwrap().as_u64(), Some(n), "round-trips {n}");
+        }
+    }
+
+    #[test]
+    fn as_u64_rejects_imprecise_f64() {
+        // 2^53 as f64 is exactly representable, but an *original* of
+        // 2^53 + 1 rounds to the same bits — the value is ambiguous, so
+        // the precise accessor refuses it.
+        assert_eq!(Json::Num(9_007_199_254_740_992.0).as_u64(), None);
+        assert_eq!(Json::Num(1e300).as_u64(), None);
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42), "small integral f64 is exact");
+        assert_eq!(Json::Num(f64::NAN).as_u64(), None);
+    }
+
+    #[test]
+    fn int_and_num_compare_as_values() {
+        assert_eq!(parse("42").unwrap(), Json::num(42.0));
+        assert_eq!(Json::num(42.0), parse("42").unwrap());
+        assert_ne!(parse("9007199254740993").unwrap(), Json::Num(9_007_199_254_740_992.0));
+        assert_ne!(parse("42").unwrap(), Json::num(42.5));
+        // Huge integers beyond i128 degrade to f64 instead of failing.
+        assert!(matches!(parse("1e40").unwrap(), Json::Num(_)));
+        assert!(matches!(
+            parse("170141183460469231731687303715884105728").unwrap(),
+            Json::Num(_)
+        ));
+        assert_eq!(parse("-9223372036854775808").unwrap().as_f64(), Some(-9.223372036854776e18));
     }
 
     #[test]

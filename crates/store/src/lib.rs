@@ -58,6 +58,6 @@ pub mod log;
 pub use json::{parse, Json, JsonError};
 pub use lift::{CompactionStats, LiftRecord, LiftStore, StoreCounters, LIFT_LOG_KIND};
 pub use log::{
-    is_log_file, is_log_header, JsonlLog, LoadedLog, Recovery, StoreError, FIXTURE_LOG_KIND,
-    STORE_VERSION,
+    is_log_file, is_log_header, JsonlLog, LoadedLog, Recovery, SealedCompaction, StoreError,
+    FIXTURE_LOG_KIND, STORE_VERSION,
 };

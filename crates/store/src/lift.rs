@@ -51,7 +51,8 @@ impl LiftRecord {
     }
 
     /// Encodes as one log record. The key travels as a 16-digit hex
-    /// string — JSON numbers are `f64` and lose u64 precision.
+    /// string — the established on-disk format (predating lossless
+    /// [`Json`] integers), and what every existing store file holds.
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("key", Json::str(format!("{:016x}", self.key))),
@@ -156,8 +157,28 @@ impl LiftStore {
     /// or kind mismatch, corruption before the tail, or a record
     /// missing required members.
     pub fn open(path: impl Into<PathBuf>) -> Result<LiftStore, StoreError> {
+        Self::open_with(path, None)
+    }
+
+    /// [`LiftStore::open`] with optional segment rotation: when
+    /// `rotate_at_bytes` is set, the live log file is sealed into an
+    /// immutable `.seg-NNNNNN` segment each time it grows past the
+    /// limit, and [`LiftStore::compact`] merges sealed segments into a
+    /// `.snap` snapshot without ever rewriting the live file. A store
+    /// rotated here still opens fine through plain [`LiftStore::open`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LiftStore::open`].
+    pub fn open_with(
+        path: impl Into<PathBuf>,
+        rotate_at_bytes: Option<u64>,
+    ) -> Result<LiftStore, StoreError> {
         let path = path.into();
-        let (log, loaded) = JsonlLog::open(&path, LIFT_LOG_KIND)?;
+        let (log, loaded) = match rotate_at_bytes {
+            Some(limit) => JsonlLog::open_rotating(&path, LIFT_LOG_KIND, limit)?,
+            None => JsonlLog::open(&path, LIFT_LOG_KIND)?,
+        };
         let mut index = HashMap::new();
         let mut superseded = 0u64;
         for (n, doc) in loaded.records.iter().enumerate() {
@@ -198,24 +219,38 @@ impl LiftStore {
 
     /// Persists one completed lift (last writer wins per key). A record
     /// identical to what is already stored is skipped — replaying the
-    /// same suite over a warm store must not grow the log.
+    /// same suite over a warm store must not grow the log, and a peer
+    /// re-sharing a lift must be idempotent. Returns whether the record
+    /// was actually appended (`false` for the identical-duplicate skip).
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the append cannot be written; the
-    /// in-memory index is updated regardless, so serving continues and
-    /// a later append can supersede cleanly.
-    pub fn append(&self, record: LiftRecord) -> Result<(), StoreError> {
+    /// [`StoreError::NonFinite`] when the record carries a NaN or
+    /// infinite `seconds` — JSON cannot represent those, so persisting
+    /// would corrupt the next open; nothing is stored. [`StoreError::Io`]
+    /// when the append cannot be written; the in-memory index is
+    /// updated regardless, so serving continues and a later append can
+    /// supersede cleanly.
+    pub fn append(&self, record: LiftRecord) -> Result<bool, StoreError> {
+        if !record.seconds.is_finite() {
+            return Err(StoreError::NonFinite {
+                path: self.log.path().display().to_string(),
+                message: format!(
+                    "`seconds` is {} for key {:016x} ({})",
+                    record.seconds, record.key, record.label
+                ),
+            });
+        }
         {
             let mut index = self.index.lock().expect("lift index poisoned");
             if index.get(&record.key) == Some(&record) {
-                return Ok(());
+                return Ok(false);
             }
             index.insert(record.key, record.clone());
         }
         self.log.append(&record.to_json())?;
         self.appended.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(true)
     }
 
     /// Live records currently indexed.
@@ -242,15 +277,53 @@ impl LiftStore {
         records
     }
 
-    /// Rewrites the log down to the live set, atomically (temp file +
-    /// rename). Served answers are unchanged: compaction drops only
-    /// superseded records.
+    /// Compacts the log down to the live set. Served answers are
+    /// unchanged: compaction drops only superseded records.
+    ///
+    /// Unsegmented stores rewrite the whole file atomically (temp
+    /// file then rename). Segmented stores ([`LiftStore::open_with`])
+    /// instead merge the snapshot and sealed segments — last writer wins per
+    /// key — into a fresh snapshot and delete the segments; the live
+    /// file is **never rewritten**, so concurrent appends only wait on
+    /// the lock, never race a rename.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the rewrite fails; the original log is
+    /// [`StoreError::Io`] when a write fails; the original files are
     /// untouched in that case.
     pub fn compact(&self) -> Result<CompactionStats, StoreError> {
+        if self.log.has_sealed() {
+            let stats = self.log.compact_sealed(|records| {
+                // Last writer wins per key; records the decoder cannot
+                // read are kept verbatim (never silently dropped).
+                let mut order: Vec<String> = Vec::new();
+                let mut by_key: HashMap<String, Json> = HashMap::new();
+                let mut unreadable: Vec<Json> = Vec::new();
+                for record in records {
+                    match record.get("key").and_then(Json::as_str) {
+                        Some(key) => {
+                            if by_key.insert(key.to_string(), record.clone()).is_none() {
+                                order.push(key.to_string());
+                            }
+                        }
+                        None => unreadable.push(record),
+                    }
+                }
+                let mut merged: Vec<Json> = order
+                    .into_iter()
+                    .map(|key| by_key.remove(&key).expect("keyed above"))
+                    .collect();
+                merged.extend(unreadable);
+                merged
+            })?;
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            return Ok(CompactionStats {
+                records_before: stats.records_before as u64,
+                records_after: stats.records_after as u64,
+                bytes_before: stats.bytes_before,
+                bytes_after: stats.bytes_after,
+            });
+        }
         // Hold the index lock across the rewrite so a concurrent append
         // cannot land between snapshot and rename (it would be lost).
         let index = self.index.lock().expect("lift index poisoned");
@@ -446,6 +519,82 @@ mod tests {
         let store = LiftStore::open(&path).unwrap();
         assert!(store.compact_if_stale().unwrap().is_none());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_reports_dedup_and_rejects_non_finite() {
+        let path = tmp("dedup-bool");
+        let store = LiftStore::open(&path).unwrap();
+        assert!(store.append(solved(10, "blas_dot")).unwrap());
+        assert!(
+            !store.append(solved(10, "blas_dot")).unwrap(),
+            "identical repeat is the idempotent no-op peers rely on"
+        );
+        let mut nan = solved(11, "bad");
+        nan.seconds = f64::NAN;
+        let err = store.append(nan).unwrap_err();
+        assert!(matches!(err, StoreError::NonFinite { .. }), "{err:?}");
+        let mut inf = solved(12, "worse");
+        inf.seconds = f64::INFINITY;
+        assert!(store.append(inf).is_err());
+        assert!(store.get(11).is_none(), "rejected records are not indexed");
+        // The log is still healthy and replays without the bad records.
+        drop(store);
+        let store = LiftStore::open(&path).unwrap();
+        assert_eq!(store.counters().loaded, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn cleanup_rotated(path: &Path) {
+        if let Some(dir) = path.parent() {
+            let prefix = path.file_name().unwrap().to_str().unwrap().to_string();
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    if entry.file_name().to_str().is_some_and(|n| n.starts_with(&prefix)) {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_store_survives_restart_and_compacts_sealed_only() {
+        let path = tmp("rotated");
+        cleanup_rotated(&path);
+        {
+            // Small limit so a handful of records spans several segments.
+            let store = LiftStore::open_with(&path, Some(256)).unwrap();
+            for round in 0..4u64 {
+                for key in 0..5u64 {
+                    let mut r = solved(key, &format!("bench{key}"));
+                    r.attempts = round;
+                    store.append(r).unwrap();
+                }
+            }
+        }
+        // Plain open replays segments + live and collapses to 5 keys.
+        let store = LiftStore::open(&path).unwrap();
+        assert_eq!(store.counters().loaded, 5);
+        assert_eq!(store.superseded_at_open(), 15);
+        let answers: Vec<_> = (0..5).map(|k| store.get(k)).collect();
+        drop(store);
+        // Rotated reopen + compaction merges sealed data, leaves live alone.
+        let store = LiftStore::open_with(&path, Some(256)).unwrap();
+        let live_before = std::fs::read(&path).unwrap();
+        let stats = store.compact().unwrap();
+        assert!(stats.records_after < stats.records_before);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            live_before,
+            "sealed compaction must not rewrite the live segment"
+        );
+        assert_eq!(answers, (0..5).map(|k| store.get(k)).collect::<Vec<_>>());
+        drop(store);
+        let reopened = LiftStore::open(&path).unwrap();
+        assert_eq!(reopened.counters().loaded, 5);
+        assert_eq!(answers, (0..5).map(|k| reopened.get(k)).collect::<Vec<_>>());
+        cleanup_rotated(&path);
     }
 
     #[test]

@@ -20,6 +20,21 @@
 //! Corruption anywhere *before* the tail cannot come from a torn write,
 //! so it fails loudly with a typed [`StoreError`] instead of dropping
 //! records.
+//!
+//! # Segment rotation
+//!
+//! A log opened with [`JsonlLog::open_rotating`] seals its live file
+//! once it grows past `rotate_at_bytes`: the file is renamed to
+//! `PATH.seg-NNNNNN` and a fresh live log (header only) is started.
+//! [`JsonlLog::open`] replays a segmented log as snapshot (`PATH.snap`,
+//! if present) → sealed segments in numeric order → live file; every
+//! piece carries the same version/kind header, so the existing
+//! sniffing and replay machinery applies file-by-file. Compaction of a
+//! segmented log ([`JsonlLog::compact_sealed`]) merges the snapshot and
+//! sealed segments into a new snapshot via temp-file + rename and
+//! deletes the segments — the live file is **never rewritten**, so
+//! compaction cannot race an append and the single-writer crash
+//! contract holds unchanged.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -71,6 +86,16 @@ pub enum StoreError {
         /// Which member was missing or mistyped.
         message: String,
     },
+    /// A record offered for appending carried a non-finite number
+    /// (NaN/∞). JSON cannot represent those — the serializer would
+    /// degrade them to `null` and the store would fail typed decoding
+    /// at the *next* open — so the append is refused up front instead.
+    NonFinite {
+        /// The file involved.
+        path: String,
+        /// Which member was non-finite.
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -90,6 +115,9 @@ impl fmt::Display for StoreError {
                 line,
                 message,
             } => write!(f, "store {path}: malformed record at line {line}: {message}"),
+            StoreError::NonFinite { path, message } => {
+                write!(f, "store {path}: refusing non-finite number: {message}")
+            }
         }
     }
 }
@@ -180,16 +208,103 @@ pub const FIXTURE_LOG_KIND: &str = "oracle_fixture";
 pub struct JsonlLog {
     path: PathBuf,
     kind: String,
-    file: Mutex<File>,
+    /// Bytes at which the live file is sealed into a segment; `None`
+    /// disables rotation (the live file grows without bound).
+    rotate_at: Option<u64>,
+    live: Mutex<Live>,
+}
+
+/// The mutable half of a log: the live file handle plus the rotation
+/// bookkeeping that must stay consistent with it.
+#[derive(Debug)]
+struct Live {
+    file: File,
+    /// Current length of the live file, maintained across appends so
+    /// rotation does not stat the file on every write.
+    bytes: u64,
+    /// The number the next sealed segment will take.
+    next_seg: u64,
+    /// Whether any sealed data (snapshot or segments) exists on disk.
+    sealed: bool,
 }
 
 /// The records loaded by [`JsonlLog::open`], plus recovery facts.
 #[derive(Debug)]
 pub struct LoadedLog {
-    /// Every good record, in append order (header excluded).
+    /// Every good record, in replay order: snapshot, sealed segments,
+    /// then the live file (headers excluded).
     pub records: Vec<Json>,
     /// What recovery had to do.
     pub recovery: Recovery,
+    /// How many sealed files (snapshot + segments) preceded the live
+    /// file in the replay; `0` for an unsegmented log.
+    pub sealed_files: usize,
+}
+
+/// What [`JsonlLog::compact_sealed`] did to the sealed half of a log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealedCompaction {
+    /// Records read from the snapshot + sealed segments.
+    pub records_before: usize,
+    /// Records written to the merged snapshot.
+    pub records_after: usize,
+    /// Bytes of sealed files before the merge.
+    pub bytes_before: u64,
+    /// Bytes of the merged snapshot.
+    pub bytes_after: u64,
+}
+
+/// `PATH.snap` — the merged snapshot a segmented log compacts into.
+fn snap_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".snap");
+    PathBuf::from(name)
+}
+
+/// `PATH.seg-NNNNNN` — a sealed (immutable) segment of a rotated log.
+fn seg_path(path: &Path, n: u64) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(".seg-{n:06}"));
+    PathBuf::from(name)
+}
+
+/// The sealed on-disk pieces of a rotated log: the snapshot (if any)
+/// and the numbered segments.
+type SealedFiles = (Option<PathBuf>, Vec<(u64, PathBuf)>);
+
+/// Lists the sealed files for a log at `path`: the snapshot (if any)
+/// and the segments in ascending numeric order.
+fn sealed_files(path: &Path) -> Result<SealedFiles, StoreError> {
+    let snap = snap_path(path);
+    let snap = snap.exists().then_some(snap);
+    let dir = if path.parent().is_some_and(|p| !p.as_os_str().is_empty()) {
+        path.parent().expect("checked above").to_path_buf()
+    } else {
+        PathBuf::from(".")
+    };
+    let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+        return Ok((snap, Vec::new()));
+    };
+    let prefix = format!("{file_name}.seg-");
+    let mut segments = Vec::new();
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        // A missing parent directory means no segments (the live-file
+        // open will surface the real error if the path is unusable).
+        Err(_) => return Ok((snap, Vec::new())),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(&dir, e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(number) = name.strip_prefix(&prefix) {
+            if let Ok(n) = number.parse::<u64>() {
+                segments.push((n, entry.path()));
+            }
+        }
+    }
+    segments.sort_unstable();
+    Ok((snap, segments))
 }
 
 impl JsonlLog {
@@ -202,44 +317,29 @@ impl JsonlLog {
     /// on a header mismatch, [`StoreError::Corrupt`] when a record
     /// before the tail does not parse.
     pub fn open(path: impl Into<PathBuf>, kind: &str) -> Result<(JsonlLog, LoadedLog), StoreError> {
-        let path = path.into();
-        // A missing file starts a fresh log; so does an existing
-        // zero-byte file (a crash between creation and the header
-        // write, or an operator `touch`) — there is nothing durable to
-        // lose, so recover by writing a fresh header.
-        // (On a metadata error the create below surfaces the real
-        // filesystem problem as a typed Io error.)
-        let fresh = std::fs::metadata(&path).map_or(true, |meta| meta.len() == 0);
-        if fresh {
-            let mut file = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&path)
-                .map_err(|e| io_err(&path, e))?;
-            file.write_all(format!("{}\n", header(kind)).as_bytes())
-                .map_err(|e| io_err(&path, e))?;
-            let log = JsonlLog {
-                path,
-                kind: kind.to_string(),
-                file: Mutex::new(file),
-            };
-            return Ok((
-                log,
-                LoadedLog {
-                    records: Vec::new(),
-                    recovery: Recovery::default(),
-                },
-            ));
-        }
+        Self::open_impl(path.into(), kind, None, None)
+    }
 
-        let bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
-        Self::open_loaded(path, kind, &bytes)
+    /// [`JsonlLog::open`] with segment rotation enabled: once the live
+    /// file grows past `rotate_at_bytes` it is sealed into a
+    /// `PATH.seg-NNNNNN` segment and a fresh live file is started. A
+    /// log rotated here replays fine through plain [`JsonlLog::open`]
+    /// later (rotation is a property of the writer, not the format).
+    ///
+    /// # Errors
+    ///
+    /// As [`JsonlLog::open`].
+    pub fn open_rotating(
+        path: impl Into<PathBuf>,
+        kind: &str,
+        rotate_at_bytes: u64,
+    ) -> Result<(JsonlLog, LoadedLog), StoreError> {
+        Self::open_impl(path.into(), kind, None, Some(rotate_at_bytes.max(1)))
     }
 
     /// [`JsonlLog::open`], but over `bytes` the caller already read
     /// from `path` (typically for a format sniff — the open should not
-    /// cost a second full-file read). `bytes` must be the file's
+    /// cost a second full-file read). `bytes` must be the live file's
     /// entire current contents, and the caller must be the only
     /// writer, as with every open.
     ///
@@ -251,13 +351,89 @@ impl JsonlLog {
         kind: &str,
         bytes: &[u8],
     ) -> Result<(JsonlLog, LoadedLog), StoreError> {
-        let path = path.into();
-        let replayed = replay(&path, bytes, kind)?;
+        Self::open_impl(path.into(), kind, Some(bytes), None)
+    }
 
+    /// The one open path: replays sealed files (snapshot + segments),
+    /// then opens the live file — creating it fresh when missing or
+    /// empty, truncating a torn tail otherwise.
+    fn open_impl(
+        path: PathBuf,
+        kind: &str,
+        live_bytes: Option<&[u8]>,
+        rotate_at: Option<u64>,
+    ) -> Result<(JsonlLog, LoadedLog), StoreError> {
+        let (snap, segments) = sealed_files(&path)?;
+        let mut records = Vec::new();
+        let mut recovery = Recovery::default();
+        let sealed_count = usize::from(snap.is_some()) + segments.len();
+        for sealed in snap.iter().chain(segments.iter().map(|(_, p)| p)) {
+            let bytes = std::fs::read(sealed).map_err(|e| io_err(sealed, e))?;
+            // Sealed files are immutable, so they are replayed
+            // read-only; a torn tail (a crash sealed mid-append bytes)
+            // is reported but never truncated away on disk.
+            let replayed = replay(sealed, &bytes, kind)?;
+            recovery.truncated_tail |= replayed.recovery.truncated_tail;
+            recovery.dropped_bytes += replayed.recovery.dropped_bytes;
+            records.extend(replayed.records);
+        }
+        let next_seg = segments.last().map_or(1, |(n, _)| n + 1);
+        let sealed = sealed_count > 0;
+
+        // A missing live file starts fresh; so does an existing
+        // zero-byte file (a crash between creation and the header
+        // write, or an operator `touch`) — there is nothing durable to
+        // lose there, so recover by writing a fresh header. A crash
+        // between a rotation's rename and its fresh-header write lands
+        // here too, with the sealed records intact above.
+        let owned_bytes;
+        let live_bytes = match live_bytes {
+            Some(bytes) => bytes,
+            None => {
+                if std::fs::metadata(&path).map_or(true, |meta| meta.len() == 0) {
+                    owned_bytes = Vec::new();
+                } else {
+                    owned_bytes = std::fs::read(&path).map_err(|e| io_err(&path, e))?;
+                }
+                &owned_bytes
+            }
+        };
+        if live_bytes.is_empty() {
+            let mut file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)
+                .map_err(|e| io_err(&path, e))?;
+            let head = format!("{}\n", header(kind));
+            file.write_all(head.as_bytes())
+                .map_err(|e| io_err(&path, e))?;
+            let log = JsonlLog {
+                path,
+                kind: kind.to_string(),
+                rotate_at,
+                live: Mutex::new(Live {
+                    file,
+                    bytes: head.len() as u64,
+                    next_seg,
+                    sealed,
+                }),
+            };
+            return Ok((
+                log,
+                LoadedLog {
+                    records,
+                    recovery,
+                    sealed_files: sealed_count,
+                },
+            ));
+        }
+
+        let replayed = replay(&path, live_bytes, kind)?;
         // A recovered tail: cut the file back to the last durable byte
         // so the next append starts a fresh line instead of splicing
         // into garbage.
-        if replayed.good_end != bytes.len() as u64 {
+        if replayed.good_end != live_bytes.len() as u64 {
             let file = OpenOptions::new()
                 .write(true)
                 .open(&path)
@@ -269,20 +445,32 @@ impl JsonlLog {
             .append(true)
             .open(&path)
             .map_err(|e| io_err(&path, e))?;
+        let mut live_len = replayed.good_end;
         if replayed.missing_newline {
             // The final record parsed but lacked its newline (hand
             // editing); terminate it so the next append cannot splice.
             file.write_all(b"\n").map_err(|e| io_err(&path, e))?;
+            live_len += 1;
         }
+        recovery.truncated_tail |= replayed.recovery.truncated_tail;
+        recovery.dropped_bytes += replayed.recovery.dropped_bytes;
+        records.extend(replayed.records);
         Ok((
             JsonlLog {
                 path,
                 kind: kind.to_string(),
-                file: Mutex::new(file),
+                rotate_at,
+                live: Mutex::new(Live {
+                    file,
+                    bytes: live_len,
+                    next_seg,
+                    sealed,
+                }),
             },
             LoadedLog {
-                records: replayed.records,
-                recovery: replayed.recovery,
+                records,
+                recovery,
+                sealed_files: sealed_count,
             },
         ))
     }
@@ -323,10 +511,17 @@ impl JsonlLog {
             .append(true)
             .open(&path)
             .map_err(|e| io_err(&path, e))?;
+        let bytes = file.metadata().map_err(|e| io_err(&path, e))?.len();
         Ok(JsonlLog {
             path,
             kind: kind.to_string(),
-            file: Mutex::new(file),
+            rotate_at: None,
+            live: Mutex::new(Live {
+                file,
+                bytes,
+                next_seg: 1,
+                sealed: false,
+            }),
         })
     }
 
@@ -350,21 +545,129 @@ impl JsonlLog {
     /// supersedes cleanly).
     pub fn append(&self, record: &Json) -> Result<(), StoreError> {
         let line = format!("{}\n", record.to_line());
-        let mut file = self.file.lock().expect("log file poisoned");
-        file.write_all(line.as_bytes())
-            .map_err(|e| io_err(&self.path, e))
+        let mut live = self.live.lock().expect("log file poisoned");
+        live.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err(&self.path, e))?;
+        live.bytes += line.len() as u64;
+        if self.rotate_at.is_some_and(|limit| live.bytes >= limit) {
+            self.rotate_locked(&mut live)?;
+        }
+        Ok(())
     }
 
-    /// Atomically replaces the log's contents with `records` (write to
-    /// a temp file, rename over) — the compaction primitive. The append
-    /// handle is re-pointed at the new file, so the log stays usable.
+    /// Seals the live file as the next segment and starts a fresh one.
+    /// A crash between the rename and the fresh header is recovered by
+    /// the next open (sealed records replay; a new live file is
+    /// created), so rotation adds no new data-loss window.
+    fn rotate_locked(&self, live: &mut Live) -> Result<(), StoreError> {
+        let seg = seg_path(&self.path, live.next_seg);
+        std::fs::rename(&self.path, &seg).map_err(|e| io_err(&self.path, e))?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&self.path)
+            .map_err(|e| io_err(&self.path, e))?;
+        let head = format!("{}\n", header(&self.kind));
+        file.write_all(head.as_bytes())
+            .map_err(|e| io_err(&self.path, e))?;
+        live.file = file;
+        live.bytes = head.len() as u64;
+        live.next_seg += 1;
+        live.sealed = true;
+        Ok(())
+    }
+
+    /// Whether sealed data (a snapshot or segments) exists for this
+    /// log — the signal that compaction must go through
+    /// [`JsonlLog::compact_sealed`] rather than [`JsonlLog::rewrite`].
+    pub fn has_sealed(&self) -> bool {
+        self.live.lock().expect("log file poisoned").sealed
+    }
+
+    /// Compacts the sealed half of a segmented log: reads the snapshot
+    /// and every sealed segment, passes the records through `merge`
+    /// (the store's dedup policy), writes the result as a fresh
+    /// snapshot via temp-file + rename, and deletes the segments. The
+    /// live file is never touched, so records appended after the merge
+    /// policy ran still supersede at the next replay.
+    ///
+    /// Appends are held off for the duration (same lock), which is what
+    /// keeps a rotation from sealing a new segment between the read and
+    /// the delete.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failure; the pre-existing
+    /// sealed files are intact in that case.
+    pub fn compact_sealed(
+        &self,
+        merge: impl FnOnce(Vec<Json>) -> Vec<Json>,
+    ) -> Result<SealedCompaction, StoreError> {
+        let mut live = self.live.lock().expect("log file poisoned");
+        let (snap, segments) = sealed_files(&self.path)?;
+        let mut records = Vec::new();
+        let mut bytes_before = 0u64;
+        for sealed in snap.iter().chain(segments.iter().map(|(_, p)| p)) {
+            let bytes = std::fs::read(sealed).map_err(|e| io_err(sealed, e))?;
+            bytes_before += bytes.len() as u64;
+            records.extend(replay(sealed, &bytes, &self.kind)?.records);
+        }
+        let records_before = records.len();
+        let merged = merge(records);
+        let snap = snap_path(&self.path);
+        let tmp = {
+            let mut name = snap.as_os_str().to_os_string();
+            name.push(".tmp");
+            PathBuf::from(name)
+        };
+        {
+            let mut out = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(|e| io_err(&tmp, e))?;
+            let mut text = format!("{}\n", header(&self.kind));
+            for record in &merged {
+                text.push_str(&record.to_line());
+                text.push('\n');
+            }
+            out.write_all(text.as_bytes()).map_err(|e| io_err(&tmp, e))?;
+            out.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        std::fs::rename(&tmp, &snap).map_err(|e| io_err(&snap, e))?;
+        for (_, seg) in &segments {
+            // A segment surviving a failed delete is harmless: its
+            // records are already in the snapshot, and the store-level
+            // dedup collapses the duplicates at the next open.
+            let _ = std::fs::remove_file(seg);
+        }
+        live.sealed = true;
+        let bytes_after = std::fs::metadata(&snap).map_or(0, |m| m.len());
+        Ok(SealedCompaction {
+            records_before,
+            records_after: merged.len(),
+            bytes_before,
+            bytes_after,
+        })
+    }
+
+    /// Atomically replaces the log's *entire* contents with `records`
+    /// (write to a temp file, rename over) — the whole-log compaction
+    /// primitive for unsegmented logs. Any snapshot or sealed segments
+    /// are deleted afterwards, since `records` supersedes everything.
+    /// The append handle is re-pointed at the new file, so the log
+    /// stays usable. Segmented stores prefer
+    /// [`JsonlLog::compact_sealed`], which leaves the live file alone.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] when any step fails; the original file is
     /// untouched in that case.
     pub fn rewrite(&self, records: &[Json]) -> Result<(), StoreError> {
-        let mut file = self.file.lock().expect("log file poisoned");
+        let mut live = self.live.lock().expect("log file poisoned");
         let tmp = self.path.with_extension("tmp");
         {
             let mut out = OpenOptions::new()
@@ -382,16 +685,32 @@ impl JsonlLog {
             out.sync_all().map_err(|e| io_err(&tmp, e))?;
         }
         std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))?;
-        *file = OpenOptions::new()
+        live.file = OpenOptions::new()
             .append(true)
             .open(&self.path)
             .map_err(|e| io_err(&self.path, e))?;
+        live.bytes = live
+            .file
+            .metadata()
+            .map_err(|e| io_err(&self.path, e))?
+            .len();
+        // The new live file holds everything; sealed leftovers would
+        // replay stale records ahead of it, so they go.
+        let (snap, segments) = sealed_files(&self.path)?;
+        if let Some(snap) = snap {
+            std::fs::remove_file(&snap).map_err(|e| io_err(&snap, e))?;
+        }
+        for (_, seg) in &segments {
+            std::fs::remove_file(seg).map_err(|e| io_err(seg, e))?;
+        }
+        live.sealed = false;
         Ok(())
     }
 
     /// Reads a log without expecting a particular kind (the
     /// `store_tool` entry point). Returns the kind named in the header
-    /// and the loaded records; never modifies the file.
+    /// and the loaded records — snapshot and sealed segments included,
+    /// in replay order; never modifies any file.
     ///
     /// # Errors
     ///
@@ -399,7 +718,20 @@ impl JsonlLog {
     /// file.
     pub fn read(path: &Path) -> Result<(String, LoadedLog), StoreError> {
         let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
-        Self::read_bytes(path, &bytes)
+        let (kind, mut loaded) = Self::read_bytes(path, &bytes)?;
+        let (snap, segments) = sealed_files(path)?;
+        let mut records = Vec::new();
+        for sealed in snap.iter().chain(segments.iter().map(|(_, p)| p)) {
+            let bytes = std::fs::read(sealed).map_err(|e| io_err(sealed, e))?;
+            let replayed = replay(sealed, &bytes, &kind)?;
+            loaded.recovery.truncated_tail |= replayed.recovery.truncated_tail;
+            loaded.recovery.dropped_bytes += replayed.recovery.dropped_bytes;
+            records.extend(replayed.records);
+            loaded.sealed_files += 1;
+        }
+        records.append(&mut loaded.records);
+        loaded.records = records;
+        Ok((kind, loaded))
     }
 
     /// [`JsonlLog::read`], but over `bytes` the caller already read
@@ -424,6 +756,7 @@ impl JsonlLog {
             LoadedLog {
                 records: replayed.records,
                 recovery: replayed.recovery,
+                sealed_files: 0,
             },
         ))
     }
@@ -723,6 +1056,131 @@ mod tests {
         assert_eq!(loaded.records, vec![record(7)]);
         assert!(JsonlLog::read(Path::new("/definitely/not/here")).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Removes a log and every sidecar file rotation may have left.
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(snap_path(path));
+        if let Ok((_, segs)) = sealed_files(path) {
+            for (_, seg) in segs {
+                let _ = std::fs::remove_file(&seg);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_replays_in_order() {
+        let path = tmp("rotate");
+        cleanup(&path);
+        {
+            // ~40 bytes/header and ~9 bytes/record: a 64-byte limit
+            // forces a seal every few appends.
+            let (log, _) = JsonlLog::open_rotating(&path, "test_kind", 64).unwrap();
+            for n in 0..20 {
+                log.append(&record(n)).unwrap();
+            }
+        }
+        let (_, segments) = sealed_files(&path).unwrap();
+        assert!(segments.len() >= 2, "expected multiple sealed segments");
+        // Plain open replays the whole history in append order.
+        let (log, loaded) = JsonlLog::open(&path, "test_kind").unwrap();
+        assert_eq!(loaded.records, (0..20).map(record).collect::<Vec<_>>());
+        assert_eq!(loaded.sealed_files, segments.len());
+        assert!(log.has_sealed());
+        // And the read-only path sees the same records.
+        let (kind, read) = JsonlLog::read(&path).unwrap();
+        assert_eq!(kind, "test_kind");
+        assert_eq!(read.records.len(), 20);
+        // Reopening rotated and appending more keeps numbering.
+        {
+            let (log, _) = JsonlLog::open_rotating(&path, "test_kind", 64).unwrap();
+            for n in 20..30 {
+                log.append(&record(n)).unwrap();
+            }
+        }
+        let (_, loaded) = JsonlLog::open(&path, "test_kind").unwrap();
+        assert_eq!(loaded.records, (0..30).map(record).collect::<Vec<_>>());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn compact_sealed_merges_without_touching_live() {
+        let path = tmp("compact-sealed");
+        cleanup(&path);
+        let (log, _) = JsonlLog::open_rotating(&path, "test_kind", 64).unwrap();
+        for n in 0..20 {
+            log.append(&record(n)).unwrap();
+        }
+        let live_before = std::fs::read(&path).unwrap();
+        let stats = log
+            .compact_sealed(|records| {
+                // Keep only even records — an observable merge policy.
+                records
+                    .into_iter()
+                    .filter(|r| r.get("n").and_then(Json::as_u64).unwrap() % 2 == 0)
+                    .collect()
+            })
+            .unwrap();
+        assert!(stats.records_after < stats.records_before);
+        assert!(stats.bytes_after < stats.bytes_before);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            live_before,
+            "live segment must never be rewritten by compaction"
+        );
+        let (_, segments) = sealed_files(&path).unwrap();
+        assert!(segments.is_empty(), "segments merged into the snapshot");
+        assert!(snap_path(&path).exists());
+        // Replay = merged snapshot, then the untouched live records.
+        let (_, loaded) = JsonlLog::open(&path, "test_kind").unwrap();
+        let sealed_kept = stats.records_after;
+        assert!(loaded.records.len() >= sealed_kept);
+        assert!(loaded.records[..sealed_kept]
+            .iter()
+            .all(|r| r.get("n").and_then(Json::as_u64).unwrap() % 2 == 0));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_between_seal_and_fresh_live_recovers() {
+        let path = tmp("rotate-crash");
+        cleanup(&path);
+        let (log, _) = JsonlLog::open_rotating(&path, "test_kind", 64).unwrap();
+        for n in 0..10 {
+            log.append(&record(n)).unwrap();
+        }
+        drop(log);
+        // Simulate the crash window: the live file was renamed to a
+        // segment but the fresh header was never written.
+        let (_, segments) = sealed_files(&path).unwrap();
+        let next = segments.last().unwrap().0 + 1;
+        std::fs::rename(&path, seg_path(&path, next)).unwrap();
+        let (log, loaded) = JsonlLog::open(&path, "test_kind").unwrap();
+        assert_eq!(loaded.records, (0..10).map(record).collect::<Vec<_>>());
+        log.append(&record(10)).unwrap();
+        let (_, loaded) = JsonlLog::open(&path, "test_kind").unwrap();
+        assert_eq!(loaded.records.len(), 11);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn rewrite_clears_sealed_files() {
+        let path = tmp("rewrite-sealed");
+        cleanup(&path);
+        let (log, _) = JsonlLog::open_rotating(&path, "test_kind", 64).unwrap();
+        for n in 0..20 {
+            log.append(&record(n)).unwrap();
+        }
+        assert!(log.has_sealed());
+        log.rewrite(&[record(99)]).unwrap();
+        assert!(!log.has_sealed());
+        let (_, segments) = sealed_files(&path).unwrap();
+        assert!(segments.is_empty());
+        assert!(!snap_path(&path).exists());
+        let (_, loaded) = JsonlLog::open(&path, "test_kind").unwrap();
+        assert_eq!(loaded.records, vec![record(99)]);
+        cleanup(&path);
     }
 
     #[test]
