@@ -1,21 +1,31 @@
 //! Throughput of the candidate-evaluation hot path: the reference tree
 //! interpreter vs the compiled bytecode kernel (`gtl_taco::compile`) on
-//! the validation microkernels (GEMM, TTV, MTTKRP), plus an end-to-end
-//! `batch_suite` lift timing.
+//! the validation microkernels (GEMM, TTV, MTTKRP), the batched
+//! substitution tier (`BatchKernel`) vs the per-candidate scalar loop,
+//! the compiled C reference (`run_compiled`) vs the tree-walking
+//! interpreter, plus an end-to-end `batch_suite` lift timing.
 //!
 //! Modes:
 //! - default: full measurement, criterion-style report lines;
 //! - `GTL_BENCH_QUICK=1`: short measurement budgets (CI smoke — proves
 //!   the bench builds and runs, numbers are indicative only);
 //! - `GTL_BENCH_JSON=path`: additionally writes the measurements as the
-//!   JSON document committed to the perf trajectory (`BENCH_2.json`).
+//!   JSON document committed to the perf trajectory (`BENCH_7.json`).
+//!
+//! In every mode the run fails (non-zero exit) when batched evaluation
+//! is slower per candidate than the scalar loop on the product-shaped
+//! microkernels — the CI regression guard for the batch tier.
 
 use std::time::{Duration, Instant};
 
 use criterion::Criterion;
 use gtl_bench::{run_method_batch, Method};
 use gtl_benchsuite::{by_suite, Suite};
-use gtl_taco::{compile, evaluate_interpreted, parse_program, EvalCache, TacoProgram, TensorEnv};
+use gtl_cfront::{run_compiled, run_kernel};
+use gtl_taco::{
+    compile, evaluate_interpreted, parse_program, Access, BatchKernel, EvalCache, Expr, Lane,
+    TacoProgram, TensorEnv,
+};
 use gtl_tensor::{Shape, TensorGen};
 
 /// One microkernel: a program over environments at validation-like sizes.
@@ -80,6 +90,92 @@ struct Row {
     cached_ns: f64,
 }
 
+/// Candidate substitutions evaluated per batch — the validator's lane
+/// chunk width.
+const LANES: usize = 64;
+
+/// The batch-filtering fixture for one microkernel: a pool of four
+/// same-shape candidate tensors per template slot, 64 substitution
+/// lanes over the pool, and the concretized program of every lane for
+/// the scalar side of the comparison.
+fn filter_fixture(m: &Micro) -> (TensorEnv, Vec<Lane>, Vec<TacoProgram>) {
+    let kernel = BatchKernel::new(&m.program);
+    let mut gen = TensorGen::from_label(m.name);
+    let mut env = TensorEnv::new();
+    for slot in kernel.tensor_slots() {
+        let shape = m.env[slot].shape().clone();
+        for v in 0..4 {
+            env.insert(format!("{slot}{v}"), gen.int_tensor(shape.clone(), -5, 5));
+        }
+    }
+    let lanes: Vec<Lane> = (0..LANES)
+        .map(|t| Lane {
+            tensors: kernel
+                .tensor_slots()
+                .iter()
+                .enumerate()
+                .map(|(s, slot)| format!("{slot}{}", (t + s) % 4))
+                .collect(),
+            constants: vec![],
+        })
+        .collect();
+    let programs: Vec<TacoProgram> = lanes
+        .iter()
+        .map(|lane| {
+            fn rename(e: &Expr, kernel: &BatchKernel, lane: &Lane) -> Expr {
+                match e {
+                    Expr::Access(acc) => {
+                        let s = kernel
+                            .tensor_slots()
+                            .iter()
+                            .position(|n| n == acc.tensor.as_str())
+                            .expect("slot bound");
+                        Expr::Access(Access {
+                            tensor: lane.tensors[s].as_str().into(),
+                            indices: acc.indices.clone(),
+                        })
+                    }
+                    Expr::Const(c) => Expr::Const(*c),
+                    Expr::ConstSym(id) => Expr::ConstSym(*id),
+                    Expr::Neg(inner) => Expr::Neg(Box::new(rename(inner, kernel, lane))),
+                    Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(rename(lhs, kernel, lane)),
+                        rhs: Box::new(rename(rhs, kernel, lane)),
+                    },
+                }
+            }
+            TacoProgram {
+                lhs: m.program.lhs.clone(),
+                rhs: rename(&m.program.rhs, &kernel, lane),
+            }
+        })
+        .collect();
+    (env, lanes, programs)
+}
+
+struct FilterRow {
+    name: &'static str,
+    /// Per-candidate cost of the scalar loop on first-seen candidates
+    /// (fresh `EvalCache`: the frontier-draining regime, where every
+    /// substitution is a new concrete program and evaluates through the
+    /// tree interpreter before promotion).
+    scalar_cold_ns: f64,
+    /// Per-candidate cost of the scalar loop on a warm `EvalCache`
+    /// (every candidate already promoted to its compiled kernel — the
+    /// floor the scalar path can ever reach).
+    scalar_warm_ns: f64,
+    /// Per-candidate cost of one 64-lane batch pass (template lowered
+    /// inside the measurement, as the validator does per template).
+    batch_ns: f64,
+}
+
+struct RefRow {
+    name: &'static str,
+    treewalk_ns: f64,
+    compiled_ns: f64,
+}
+
 fn main() {
     let quick = std::env::var("GTL_BENCH_QUICK").is_ok();
     let budget = if quick {
@@ -124,6 +220,96 @@ fn main() {
         });
     }
 
+    // Candidate filtering: 64 substitutions of one template, evaluated
+    // one by one through a warm EvalCache (the pre-batch validator
+    // loop) vs in one BatchKernel pass (the batched tier).
+    let mut filter_rows: Vec<FilterRow> = Vec::new();
+    for m in microkernels() {
+        let (env, lanes, programs) = filter_fixture(&m);
+        let cache = EvalCache::default();
+        for p in &programs {
+            // Evaluate twice: the cache promotes to compiled on second use.
+            cache.evaluate(p, &env).expect("filter lane evaluates");
+            cache.evaluate(p, &env).expect("filter lane evaluates");
+        }
+        c.bench_function(&format!("scalar_filter_cold_{}", m.name), |b| {
+            b.iter(|| {
+                let fresh = EvalCache::default();
+                for p in &programs {
+                    std::hint::black_box(fresh.evaluate(std::hint::black_box(p), &env).unwrap());
+                }
+            })
+        });
+        let scalar_cold_ns = c.last_mean_ns() / LANES as f64;
+        c.bench_function(&format!("scalar_filter_warm_{}", m.name), |b| {
+            b.iter(|| {
+                for p in &programs {
+                    std::hint::black_box(cache.evaluate(std::hint::black_box(p), &env).unwrap());
+                }
+            })
+        });
+        let scalar_warm_ns = c.last_mean_ns() / LANES as f64;
+        c.bench_function(&format!("batch_filter_{}", m.name), |b| {
+            b.iter(|| {
+                let k = BatchKernel::new(std::hint::black_box(&m.program));
+                std::hint::black_box(k.evaluate_lanes(std::hint::black_box(&lanes), &env))
+            })
+        });
+        let batch_ns = c.last_mean_ns() / LANES as f64;
+        println!(
+            "{:<28} speedup cold-scalar/batch {:>5.1}x, warm-scalar/batch {:>4.1}x  ({} lanes)",
+            m.name,
+            scalar_cold_ns / batch_ns,
+            scalar_warm_ns / batch_ns,
+            LANES
+        );
+        filter_rows.push(FilterRow {
+            name: m.name,
+            scalar_cold_ns,
+            scalar_warm_ns,
+            batch_ns,
+        });
+    }
+
+    // The reference side: a benchmark's C kernel tree-walked vs run as
+    // compiled bytecode (what `run_reference` now executes).
+    let mut ref_rows: Vec<RefRow> = Vec::new();
+    for label in ["blas_gemv", "sa_ttv", "sa_mttkrp"] {
+        let Some(bench) = by_suite(Suite::Blas)
+            .into_iter()
+            .chain(by_suite(Suite::SimpleArray))
+            .find(|b| b.name == label)
+        else {
+            continue;
+        };
+        let src = bench.compiled_source().expect("benchmark compiles");
+        let sizes: std::collections::BTreeMap<&str, usize> =
+            bench.size_symbols().into_iter().map(|s| (s, 8)).collect();
+        let mut gen = TensorGen::from_label(label);
+        let instance = bench
+            .instantiate(&sizes, &mut gen, -5, 5)
+            .expect("benchmark instantiates");
+        let func = src.program.kernel();
+        c.bench_function(&format!("ref_treewalk_{label}"), |b| {
+            b.iter(|| run_kernel(func, std::hint::black_box(instance.args.clone())).unwrap())
+        });
+        let treewalk_ns = c.last_mean_ns();
+        c.bench_function(&format!("ref_compiled_{label}"), |b| {
+            b.iter(|| run_compiled(&src.kernel, std::hint::black_box(instance.args.clone())).unwrap())
+        });
+        let compiled_ns = c.last_mean_ns();
+        println!(
+            "{:<28} speedup treewalk/compiled {:>5.1}x",
+            label,
+            treewalk_ns / compiled_ns
+        );
+        ref_rows.push(RefRow {
+            name: label,
+            treewalk_ns,
+            compiled_ns,
+        });
+    }
+
     // End-to-end: the batch suite runner over the `simple` suite (full
     // validate→verify loops through the per-worker eval caches).
     let benchmarks = by_suite(Suite::SimpleArray);
@@ -153,6 +339,34 @@ fn main() {
                 if i + 1 < rows.len() { "," } else { "" }
             ));
         }
+        json.push_str("  ],\n  \"batch_filter\": [\n");
+        for (i, r) in filter_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"lanes\": {}, \"scalar_cold_ns_per_candidate\": {:.1}, \
+                 \"scalar_warm_ns_per_candidate\": {:.1}, \"batch_ns_per_candidate\": {:.1}, \
+                 \"speedup_cold\": {:.2}, \"speedup_warm\": {:.2}}}{}\n",
+                r.name,
+                LANES,
+                r.scalar_cold_ns,
+                r.scalar_warm_ns,
+                r.batch_ns,
+                r.scalar_cold_ns / r.batch_ns,
+                r.scalar_warm_ns / r.batch_ns,
+                if i + 1 < filter_rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n  \"reference\": [\n");
+        for (i, r) in ref_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"treewalk_ns\": {:.1}, \"compiled_ns\": {:.1}, \
+                 \"speedup\": {:.2}}}{}\n",
+                r.name,
+                r.treewalk_ns,
+                r.compiled_ns,
+                r.treewalk_ns / r.compiled_ns,
+                if i + 1 < ref_rows.len() { "," } else { "" }
+            ));
+        }
         json.push_str(&format!(
             "  ],\n  \"batch_suite\": {{\"suite\": \"simple\", \"benchmarks\": {}, \
              \"wall_seconds\": {:.3}, \"solved\": {}}},\n  \"quick\": {}\n}}\n",
@@ -163,5 +377,39 @@ fn main() {
         ));
         std::fs::write(&path, json).expect("write bench JSON");
         println!("wrote {path}");
+    }
+
+    // Regression guard: on the product-shaped microkernels the batched
+    // tier must beat the frontier-draining scalar loop per candidate,
+    // and must never fall behind even the fully warm scalar floor. The
+    // committed BENCH_7.json run measures 2.0–3.0× cold; full runs
+    // enforce 1.8× so machine variance at the 2× mark cannot flake the
+    // guard, and the CI quick-mode smoke (20ms budgets, cold ratios
+    // swinging well over ±25% run-to-run) only checks batch ≥ scalar.
+    let cold_factor = if quick { 1.0 } else { 1.8 };
+    let mut regressed = false;
+    for r in &filter_rows {
+        if !matches!(r.name, "gemm_8x8" | "ttv_8" | "mttkrp_8") {
+            continue;
+        }
+        if r.batch_ns * cold_factor > r.scalar_cold_ns {
+            eprintln!(
+                "REGRESSION: batch filtering under {cold_factor}x over cold scalar on {} \
+                 ({:.1}ns vs {:.1}ns per candidate)",
+                r.name, r.batch_ns, r.scalar_cold_ns
+            );
+            regressed = true;
+        }
+        if r.batch_ns > r.scalar_warm_ns {
+            eprintln!(
+                "REGRESSION: batch filtering slower than warm scalar on {} \
+                 ({:.1}ns vs {:.1}ns per candidate)",
+                r.name, r.batch_ns, r.scalar_warm_ns
+            );
+            regressed = true;
+        }
+    }
+    if regressed {
+        std::process::exit(1);
     }
 }

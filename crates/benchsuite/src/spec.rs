@@ -6,9 +6,13 @@
 //! oracle and by suite self-tests — the pipeline itself never looks at
 //! it).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock, RwLock};
 
-use gtl_cfront::{parse_c, run_kernel, ArgValue, CProgram, RuntimeError};
+use gtl_cfront::{
+    compile_fn, parse_c, run_compiled, ArgValue, CProgram, CompiledFn, LazyCompiledFn,
+    RuntimeError,
+};
 use gtl_taco::{parse_program, TacoProgram, TensorEnv};
 use gtl_tensor::{Rat, Shape, Tensor, TensorGen};
 
@@ -136,6 +140,16 @@ pub struct Instance {
     pub output_shape: Shape,
 }
 
+/// The parsed and bytecode-compiled form of one benchmark source, shared
+/// process-wide (see [`Benchmark::compiled_source`]).
+#[derive(Debug)]
+pub struct CompiledSource {
+    /// The parsed C program.
+    pub program: CProgram,
+    /// The kernel compiled to interpreter bytecode.
+    pub kernel: Arc<CompiledFn>,
+}
+
 impl Benchmark {
     /// Parses the C source.
     ///
@@ -145,6 +159,32 @@ impl Benchmark {
     /// happens for shipped benchmarks.
     pub fn parse_source(&self) -> Result<CProgram, InstanceError> {
         parse_c(self.source).map_err(|e| InstanceError::BadSource(e.to_string()))
+    }
+
+    /// The parsed + compiled kernel, cached process-wide.
+    ///
+    /// Benchmark values are rebuilt freely (suites return fresh `Vec`s),
+    /// so the cache is keyed by the `'static` source text rather than by
+    /// value identity: every instantiation, reference run and lift task of
+    /// a benchmark shares one parse and one bytecode compilation. Parse
+    /// failures are not cached (they only occur for malformed test
+    /// fixtures).
+    pub fn compiled_source(&self) -> Result<Arc<CompiledSource>, InstanceError> {
+        static CACHE: OnceLock<RwLock<HashMap<&'static str, Arc<CompiledSource>>>> =
+            OnceLock::new();
+        let cache = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+        if let Some(hit) = cache.read().expect("cache lock").get(self.source) {
+            return Ok(hit.clone());
+        }
+        let program = self.parse_source()?;
+        let kernel = Arc::new(compile_fn(program.kernel()));
+        let entry = Arc::new(CompiledSource { program, kernel });
+        cache
+            .write()
+            .expect("cache lock")
+            .entry(self.source)
+            .or_insert(entry.clone());
+        Ok(entry)
     }
 
     /// Parses the ground-truth TACO program.
@@ -194,8 +234,8 @@ impl Benchmark {
         lo: i64,
         hi: i64,
     ) -> Result<Instance, InstanceError> {
-        let prog = self.parse_source()?;
-        let func = prog.kernel();
+        let src = self.compiled_source()?;
+        let func = src.program.kernel();
         assert_eq!(
             func.params.len(),
             self.params.len(),
@@ -261,11 +301,12 @@ impl Benchmark {
     }
 
     /// Runs the C kernel on an instance, returning the output as a shaped
-    /// tensor.
+    /// tensor. The kernel runs as cached bytecode ([`Self::compiled_source`]):
+    /// parse and compile happen once per benchmark, not once per run.
     pub fn run_reference(&self, instance: &Instance) -> Result<Tensor, InstanceError> {
-        let prog = self.parse_source()?;
+        let src = self.compiled_source()?;
         let result =
-            run_kernel(prog.kernel(), instance.args.clone()).map_err(InstanceError::Runtime)?;
+            run_compiled(&src.kernel, instance.args.clone()).map_err(InstanceError::Runtime)?;
         // Map the output parameter index to its array-slot index (array
         // arguments only).
         let array_slot = self
@@ -305,10 +346,10 @@ impl Benchmark {
     /// by the suite's own tests).
     pub fn lift_task(&self) -> gtl_validate::LiftTask {
         use gtl_validate::{TaskParam, TaskParamKind};
-        let prog = self
-            .parse_source()
+        let src = self
+            .compiled_source()
             .unwrap_or_else(|e| panic!("{}: {e}", self.name));
-        let func = prog.kernel().clone();
+        let func = src.program.kernel().clone();
         let params = self
             .params
             .iter()
@@ -336,6 +377,9 @@ impl Benchmark {
             params,
             output: self.output_param().0,
             constants,
+            // Seed the task with the already compiled kernel so the
+            // pipeline's reference runs reuse this benchmark's bytecode.
+            ref_program: LazyCompiledFn::from_compiled(src.kernel.clone()),
         }
     }
 }

@@ -1,0 +1,1249 @@
+//! A bytecode compiler for the C subset: the reference interpreter's
+//! fast path.
+//!
+//! [`crate::interp`] resolves every variable by walking a stack of
+//! `HashMap` scopes at runtime — fine for one-off runs, but `run_reference`
+//! sits on the hot path of example generation and both verifiers, where
+//! the *same* kernel executes thousands of times. This module lowers a
+//! [`Function`] **once** into a flat, slot-resolved program:
+//!
+//! - every local resolves at compile time to a frame slot (`Vec<Value>`
+//!   indexing — no strings, no hashing, no scope stack at runtime);
+//! - expressions, lvalues and statements live in typed arenas addressed
+//!   by `u32` node ids, so execution walks dense vectors;
+//! - fuel accounting and error classification mirror the interpreter
+//!   *exactly*: the compiled program spends one fuel unit at every point
+//!   the interpreter does and produces bit-identical
+//!   [`RuntimeError`] values on every input (the differential tests
+//!   sweep fuel budgets one unit at a time to prove it).
+//!
+//! # Why compile-time resolution is sound
+//!
+//! The interpreter uses dynamic scoping: `lookup` walks the scope stack
+//! innermost-first. The subset has no `goto`/`break`/`continue`, so
+//! within a block, statement *k* executes only after statements
+//! `0..k` of the same block entry — a use that lexically follows a
+//! declaration in its block is always preceded by that declaration's
+//! execution, and a use that lexically *precedes* it (or sits in a loop
+//! body before the declaration statement) can never observe it, because
+//! each block entry starts from a fresh scope. Resolving names at their
+//! point of declaration in statement order therefore reproduces the
+//! dynamic behaviour, including use-before-declaration binding to outer
+//! scopes and unbound names erroring only when actually read or written.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use gtl_tensor::{Rat, RatError};
+
+use crate::ast::{AssignOp, CBinOp, CExpr, CType, Function, Param, Stmt, UnOp};
+use crate::interp::{ArgValue, ExecResult, RuntimeError, Value};
+
+type ExprId = u32;
+type PlaceId = u32;
+type StmtId = u32;
+
+/// A contiguous run of statement ids in the sequence arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Seq {
+    start: u32,
+    len: u32,
+}
+
+/// A compiled rvalue expression node.
+#[derive(Debug, Clone, PartialEq)]
+enum ExprNode {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal kept in parsed form; the denominator is computed at
+    /// evaluation time so an exponent overflow classifies exactly as the
+    /// interpreter's (and is never raised by dead code).
+    Float { mantissa: i64, frac_digits: u32 },
+    /// A resolved local / parameter read.
+    Slot(u32),
+    /// A name with no binding at this point; errors when evaluated.
+    Unbound(u32),
+    /// Array element or dereference read (`a[i]`, `*p`).
+    ReadPlace(PlaceId),
+    /// Arithmetic negation.
+    Neg(ExprId),
+    /// Logical not.
+    Not(ExprId),
+    /// `&lvalue`.
+    AddrOf(PlaceId),
+    /// Post-increment / post-decrement (`delta` = ±1).
+    PostStep(PlaceId, i64),
+    /// Binary operation (including short-circuiting `&&`/`||`).
+    Binary { op: CBinOp, lhs: ExprId, rhs: ExprId },
+    /// Assignment, plain or compound.
+    Assign {
+        op: AssignOp,
+        place: PlaceId,
+        rhs: ExprId,
+    },
+    /// `c ? t : e`.
+    Ternary {
+        cond: ExprId,
+        then_val: ExprId,
+        else_val: ExprId,
+    },
+    /// Numeric cast: a fuel-spending no-op wrapper.
+    CastNum(ExprId),
+    /// Pointer cast: spends fuel, then errors (unsupported).
+    CastPtr,
+}
+
+/// A compiled lvalue expression.
+#[derive(Debug, Clone, PartialEq)]
+enum PlaceNode {
+    /// A resolved local / parameter.
+    Slot(u32),
+    /// An unresolved name; errors on read/write, not on place formation
+    /// (mirroring the interpreter's late lookup).
+    Unbound(u32),
+    /// `base[index]`.
+    Elem { base: ExprId, index: ExprId },
+    /// `*expr`.
+    Deref(ExprId),
+    /// Not an lvalue at all; errors when the place is evaluated.
+    NotLvalue,
+}
+
+/// A compiled statement.
+#[derive(Debug, Clone, PartialEq)]
+enum StmtNode {
+    Decl {
+        slot: u32,
+        is_ptr: bool,
+        init: Option<ExprId>,
+    },
+    Expr(ExprId),
+    For {
+        init: Option<StmtId>,
+        cond: Option<ExprId>,
+        step: Option<ExprId>,
+        body: Seq,
+    },
+    While {
+        cond: ExprId,
+        body: Seq,
+    },
+    If {
+        cond: ExprId,
+        then_body: Seq,
+        else_body: Seq,
+    },
+    Return(Option<ExprId>),
+    /// A block or multi-declaration: scoping is compiled away, so both
+    /// reduce to "run these statements".
+    Seq(Seq),
+}
+
+/// A [`Function`] lowered to slot-resolved arenas, executable any number
+/// of times via [`run_compiled`] with results bit-identical to
+/// [`crate::run_kernel`] — same outputs, same [`RuntimeError`]
+/// classification, same fuel accounting.
+///
+/// ```
+/// use gtl_cfront::{compile_fn, parse_c, run_compiled, ArgValue};
+/// use gtl_tensor::Rat;
+///
+/// let p = parse_c("void scale(int n, int *a) { for (int i = 0; i < n; i++) a[i] = a[i] * 2; }")
+///     .unwrap();
+/// let compiled = compile_fn(p.kernel());
+/// let result = run_compiled(
+///     &compiled,
+///     vec![
+///         ArgValue::Scalar(Rat::from(2)),
+///         ArgValue::Array(vec![Rat::from(1), Rat::from(2)]),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(result.arrays[0], vec![Rat::from(2), Rat::from(4)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFn {
+    name: String,
+    params: Vec<Param>,
+    n_slots: usize,
+    exprs: Vec<ExprNode>,
+    places: Vec<PlaceNode>,
+    stmts: Vec<StmtNode>,
+    seq_items: Vec<StmtId>,
+    /// Interned names, for `UnboundVariable` diagnostics only.
+    names: Vec<String>,
+    body: Seq,
+}
+
+impl CompiledFn {
+    /// The compiled function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameters, in order (same as the source [`Function`]).
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+}
+
+/// Compiles `func` to its slot-resolved form. Compilation is total:
+/// constructs the interpreter treats as runtime errors (unbound names,
+/// non-lvalue assignment targets, pointer casts) compile to nodes that
+/// raise the same error at the same evaluation point.
+pub fn compile_fn(func: &Function) -> CompiledFn {
+    let mut c = Compiler {
+        out: CompiledFn {
+            name: func.name.clone(),
+            params: func.params.clone(),
+            n_slots: func.params.len(),
+            exprs: Vec::new(),
+            places: Vec::new(),
+            stmts: Vec::new(),
+            seq_items: Vec::new(),
+            names: Vec::new(),
+            body: Seq { start: 0, len: 0 },
+        },
+        scopes: vec![func
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i as u32))
+            .collect()],
+        name_ids: HashMap::new(),
+    };
+    c.out.body = c.compile_seq(&func.body);
+    c.out
+}
+
+struct Compiler {
+    out: CompiledFn,
+    /// Lexical scope stack mirroring the interpreter's dynamic one,
+    /// advanced statement by statement (declarations register only once
+    /// their statement is reached).
+    scopes: Vec<HashMap<String, u32>>,
+    name_ids: HashMap<String, u32>,
+}
+
+impl Compiler {
+    fn resolve(&self, name: &str) -> Option<u32> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| scope.get(name).copied())
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.out.names.len() as u32;
+        self.out.names.push(name.to_string());
+        self.name_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn push_expr(&mut self, node: ExprNode) -> ExprId {
+        self.out.exprs.push(node);
+        (self.out.exprs.len() - 1) as ExprId
+    }
+
+    fn push_place(&mut self, node: PlaceNode) -> PlaceId {
+        self.out.places.push(node);
+        (self.out.places.len() - 1) as PlaceId
+    }
+
+    fn push_stmt(&mut self, node: StmtNode) -> StmtId {
+        self.out.stmts.push(node);
+        (self.out.stmts.len() - 1) as StmtId
+    }
+
+    fn compile_seq(&mut self, stmts: &[Stmt]) -> Seq {
+        let ids: Vec<StmtId> = stmts.iter().map(|s| self.compile_stmt(s)).collect();
+        let start = self.out.seq_items.len() as u32;
+        let len = ids.len() as u32;
+        self.out.seq_items.extend(ids);
+        Seq { start, len }
+    }
+
+    fn compile_scoped_seq(&mut self, stmts: &[Stmt]) -> Seq {
+        self.scopes.push(HashMap::new());
+        let seq = self.compile_seq(stmts);
+        self.scopes.pop();
+        seq
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt) -> StmtId {
+        let node = match s {
+            Stmt::Decl { name, ty, init } => {
+                // Initialiser resolves *before* the declaration registers,
+                // matching `int x = x + 1;` binding the outer `x`.
+                let init = init.as_ref().map(|e| self.compile_expr(e));
+                let slot = self.out.n_slots as u32;
+                self.out.n_slots += 1;
+                self.scopes
+                    .last_mut()
+                    .expect("at least one scope")
+                    .insert(name.clone(), slot);
+                StmtNode::Decl {
+                    slot,
+                    is_ptr: ty.is_pointer(),
+                    init,
+                }
+            }
+            Stmt::Expr(e) => StmtNode::Expr(self.compile_expr(e)),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                let init = init.as_ref().map(|i| self.compile_stmt(i));
+                let cond = cond.as_ref().map(|c| self.compile_expr(c));
+                let body = self.compile_scoped_seq(body);
+                let step = step.as_ref().map(|st| self.compile_expr(st));
+                self.scopes.pop();
+                StmtNode::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }
+            }
+            Stmt::While { cond, body } => StmtNode::While {
+                cond: self.compile_expr(cond),
+                body: self.compile_scoped_seq(body),
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => StmtNode::If {
+                cond: self.compile_expr(cond),
+                then_body: self.compile_scoped_seq(then_body),
+                else_body: self.compile_scoped_seq(else_body),
+            },
+            Stmt::Return(e) => StmtNode::Return(e.as_ref().map(|e| self.compile_expr(e))),
+            Stmt::Block(b) => StmtNode::Seq(self.compile_scoped_seq(b)),
+            Stmt::Multi(b) => StmtNode::Seq(self.compile_seq(b)),
+        };
+        self.push_stmt(node)
+    }
+
+    fn compile_expr(&mut self, e: &CExpr) -> ExprId {
+        let node = match e {
+            CExpr::IntLit(v) => ExprNode::Int(*v),
+            CExpr::FloatLit {
+                mantissa,
+                frac_digits,
+            } => ExprNode::Float {
+                mantissa: *mantissa,
+                frac_digits: *frac_digits,
+            },
+            CExpr::Var(n) => match self.resolve(n) {
+                Some(slot) => ExprNode::Slot(slot),
+                None => {
+                    let id = self.intern(n);
+                    ExprNode::Unbound(id)
+                }
+            },
+            CExpr::Unary { op, expr } => match op {
+                UnOp::Neg => ExprNode::Neg(self.compile_expr(expr)),
+                UnOp::Not => ExprNode::Not(self.compile_expr(expr)),
+                UnOp::Deref => {
+                    let inner = self.compile_expr(expr);
+                    ExprNode::ReadPlace(self.push_place(PlaceNode::Deref(inner)))
+                }
+                UnOp::AddrOf => ExprNode::AddrOf(self.compile_place(expr)),
+            },
+            CExpr::PostInc(inner) => ExprNode::PostStep(self.compile_place(inner), 1),
+            CExpr::PostDec(inner) => ExprNode::PostStep(self.compile_place(inner), -1),
+            CExpr::Binary { op, lhs, rhs } => ExprNode::Binary {
+                op: *op,
+                lhs: self.compile_expr(lhs),
+                rhs: self.compile_expr(rhs),
+            },
+            CExpr::Index { base, index } => {
+                let base = self.compile_expr(base);
+                let index = self.compile_expr(index);
+                ExprNode::ReadPlace(self.push_place(PlaceNode::Elem { base, index }))
+            }
+            CExpr::Assign { op, lhs, rhs } => ExprNode::Assign {
+                op: *op,
+                place: self.compile_place(lhs),
+                rhs: self.compile_expr(rhs),
+            },
+            CExpr::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => ExprNode::Ternary {
+                cond: self.compile_expr(cond),
+                then_val: self.compile_expr(then_val),
+                else_val: self.compile_expr(else_val),
+            },
+            CExpr::Cast { ty, expr } => {
+                if ty.is_pointer() {
+                    // The interpreter errors before evaluating the operand;
+                    // the operand is dead code and is not compiled.
+                    ExprNode::CastPtr
+                } else {
+                    ExprNode::CastNum(self.compile_expr(expr))
+                }
+            }
+        };
+        self.push_expr(node)
+    }
+
+    fn compile_place(&mut self, e: &CExpr) -> PlaceId {
+        let node = match e {
+            CExpr::Var(n) => match self.resolve(n) {
+                Some(slot) => PlaceNode::Slot(slot),
+                None => {
+                    let id = self.intern(n);
+                    PlaceNode::Unbound(id)
+                }
+            },
+            CExpr::Index { base, index } => {
+                let base = self.compile_expr(base);
+                let index = self.compile_expr(index);
+                PlaceNode::Elem { base, index }
+            }
+            CExpr::Unary {
+                op: UnOp::Deref,
+                expr,
+            } => PlaceNode::Deref(self.compile_expr(expr)),
+            _ => PlaceNode::NotLvalue,
+        };
+        self.push_place(node)
+    }
+}
+
+/// A resolved lvalue at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RPlace {
+    Slot(u32),
+    Unbound(u32),
+    Elem { array: usize, offset: i64 },
+}
+
+/// Signals early function exit.
+enum Flow {
+    Normal,
+    Return(Option<Rat>),
+}
+
+struct Exec<'p> {
+    prog: &'p CompiledFn,
+    arrays: Vec<Vec<Rat>>,
+    frame: Vec<Value>,
+    fuel: u64,
+}
+
+impl Exec<'_> {
+    fn spend(&mut self, amount: u64) -> Result<(), RuntimeError> {
+        if self.fuel < amount {
+            return Err(RuntimeError::FuelExhausted);
+        }
+        self.fuel -= amount;
+        Ok(())
+    }
+
+    fn unbound(&self, name: u32) -> RuntimeError {
+        RuntimeError::UnboundVariable(self.prog.names[name as usize].clone())
+    }
+
+    fn read_elem(&self, array: usize, offset: i64) -> Result<Rat, RuntimeError> {
+        let arr = &self.arrays[array];
+        if offset < 0 || offset as usize >= arr.len() {
+            return Err(RuntimeError::OutOfBounds {
+                array,
+                offset,
+                len: arr.len(),
+            });
+        }
+        Ok(arr[offset as usize])
+    }
+
+    fn write_elem(&mut self, array: usize, offset: i64, v: Rat) -> Result<(), RuntimeError> {
+        let arr = &mut self.arrays[array];
+        if offset < 0 || offset as usize >= arr.len() {
+            return Err(RuntimeError::OutOfBounds {
+                array,
+                offset,
+                len: arr.len(),
+            });
+        }
+        arr[offset as usize] = v;
+        Ok(())
+    }
+
+    fn read_place(&self, p: RPlace) -> Result<Value, RuntimeError> {
+        match p {
+            RPlace::Slot(s) => Ok(self.frame[s as usize]),
+            RPlace::Unbound(n) => Err(self.unbound(n)),
+            RPlace::Elem { array, offset } => Ok(Value::Num(self.read_elem(array, offset)?)),
+        }
+    }
+
+    fn write_place(&mut self, p: RPlace, v: Value) -> Result<(), RuntimeError> {
+        match p {
+            RPlace::Slot(s) => {
+                self.frame[s as usize] = v;
+                Ok(())
+            }
+            RPlace::Unbound(n) => Err(self.unbound(n)),
+            RPlace::Elem { array, offset } => match v {
+                Value::Num(r) => self.write_elem(array, offset, r),
+                Value::Ptr { .. } => Err(RuntimeError::TypeError(
+                    "cannot store a pointer into a numeric array",
+                )),
+            },
+        }
+    }
+
+    fn eval_place(&mut self, p: PlaceId) -> Result<RPlace, RuntimeError> {
+        match self.prog.places[p as usize] {
+            PlaceNode::Slot(s) => Ok(RPlace::Slot(s)),
+            PlaceNode::Unbound(n) => Ok(RPlace::Unbound(n)),
+            PlaceNode::Elem { base, index } => {
+                let b = self.eval(base)?;
+                let i = self.eval_int(index)?;
+                match b {
+                    Value::Ptr { array, offset } => Ok(RPlace::Elem {
+                        array,
+                        offset: offset + i,
+                    }),
+                    Value::Num(_) => Err(RuntimeError::TypeError("indexing a non-pointer")),
+                }
+            }
+            PlaceNode::Deref(e) => match self.eval(e)? {
+                Value::Ptr { array, offset } => Ok(RPlace::Elem { array, offset }),
+                Value::Num(_) => Err(RuntimeError::TypeError("dereferencing a non-pointer")),
+            },
+            PlaceNode::NotLvalue => Err(RuntimeError::TypeError("expression is not an lvalue")),
+        }
+    }
+
+    fn eval_int(&mut self, e: ExprId) -> Result<i64, RuntimeError> {
+        match self.eval(e)? {
+            Value::Num(r) if r.is_integer() => {
+                i64::try_from(r.numer()).map_err(|_| RuntimeError::NonIntegral)
+            }
+            Value::Num(_) => Err(RuntimeError::NonIntegral),
+            Value::Ptr { .. } => Err(RuntimeError::TypeError("pointer used as integer")),
+        }
+    }
+
+    fn eval_num(&mut self, e: ExprId) -> Result<Rat, RuntimeError> {
+        match self.eval(e)? {
+            Value::Num(r) => Ok(r),
+            Value::Ptr { .. } => Err(RuntimeError::TypeError("pointer used as number")),
+        }
+    }
+
+    fn truthy(&mut self, e: ExprId) -> Result<bool, RuntimeError> {
+        Ok(!self.eval_num(e)?.is_zero())
+    }
+
+    fn eval(&mut self, e: ExprId) -> Result<Value, RuntimeError> {
+        self.spend(1)?;
+        match self.prog.exprs[e as usize] {
+            ExprNode::Int(v) => Ok(Value::Num(Rat::from(v))),
+            ExprNode::Float {
+                mantissa,
+                frac_digits,
+            } => {
+                let den = 10i128
+                    .checked_pow(frac_digits)
+                    .ok_or(RuntimeError::Arithmetic(RatError::Overflow))?;
+                Ok(Value::Num(Rat::new(mantissa as i128, den)))
+            }
+            ExprNode::Slot(s) => Ok(self.frame[s as usize]),
+            ExprNode::Unbound(n) => Err(self.unbound(n)),
+            ExprNode::ReadPlace(p) => {
+                let place = self.eval_place(p)?;
+                self.read_place(place)
+            }
+            ExprNode::Neg(e) => Ok(Value::Num(-self.eval_num(e)?)),
+            ExprNode::Not(e) => Ok(Value::Num(if self.eval_num(e)?.is_zero() {
+                Rat::ONE
+            } else {
+                Rat::ZERO
+            })),
+            ExprNode::AddrOf(p) => match self.eval_place(p)? {
+                RPlace::Elem { array, offset } => Ok(Value::Ptr { array, offset }),
+                RPlace::Slot(_) | RPlace::Unbound(_) => Err(RuntimeError::TypeError(
+                    "address-of a scalar local is not supported",
+                )),
+            },
+            ExprNode::PostStep(p, delta) => {
+                let place = self.eval_place(p)?;
+                let old = self.read_place(place)?;
+                let new = match old {
+                    Value::Num(r) => Value::Num(r.checked_add(Rat::from(delta))?),
+                    Value::Ptr { array, offset } => Value::Ptr {
+                        array,
+                        offset: offset + delta,
+                    },
+                };
+                self.write_place(place, new)?;
+                Ok(old)
+            }
+            ExprNode::Binary { op, lhs, rhs } => self.eval_binary(op, lhs, rhs),
+            ExprNode::Assign { op, place, rhs } => {
+                let place = self.eval_place(place)?;
+                let rv = self.eval(rhs)?;
+                let new = match op.arith() {
+                    None => rv,
+                    Some(a) => {
+                        let old = self.read_place(place)?;
+                        self.apply_arith(a, old, rv)?
+                    }
+                };
+                self.write_place(place, new)?;
+                Ok(new)
+            }
+            ExprNode::Ternary {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                if self.truthy(cond)? {
+                    self.eval(then_val)
+                } else {
+                    self.eval(else_val)
+                }
+            }
+            ExprNode::CastNum(e) => self.eval(e),
+            ExprNode::CastPtr => Err(RuntimeError::TypeError("pointer casts are not supported")),
+        }
+    }
+
+    fn apply_arith(&self, op: CBinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+        match (l, r) {
+            (Value::Num(a), Value::Num(b)) => {
+                let v = match op {
+                    CBinOp::Add => a.checked_add(b)?,
+                    CBinOp::Sub => a.checked_sub(b)?,
+                    CBinOp::Mul => a.checked_mul(b)?,
+                    CBinOp::Div => a.checked_div(b)?,
+                    CBinOp::Rem => {
+                        if !a.is_integer() || !b.is_integer() {
+                            return Err(RuntimeError::NonIntegral);
+                        }
+                        if b.is_zero() {
+                            return Err(RuntimeError::Arithmetic(RatError::DivisionByZero));
+                        }
+                        Rat::new(a.numer() % b.numer(), 1)
+                    }
+                    _ => unreachable!("apply_arith only handles arithmetic ops"),
+                };
+                Ok(Value::Num(v))
+            }
+            (Value::Ptr { array, offset }, Value::Num(n))
+                if matches!(op, CBinOp::Add | CBinOp::Sub) =>
+            {
+                if !n.is_integer() {
+                    return Err(RuntimeError::NonIntegral);
+                }
+                let d = i64::try_from(n.numer()).map_err(|_| RuntimeError::NonIntegral)?;
+                let offset = if op == CBinOp::Add {
+                    offset + d
+                } else {
+                    offset - d
+                };
+                Ok(Value::Ptr { array, offset })
+            }
+            (Value::Num(n), Value::Ptr { array, offset }) if op == CBinOp::Add => {
+                if !n.is_integer() {
+                    return Err(RuntimeError::NonIntegral);
+                }
+                let d = i64::try_from(n.numer()).map_err(|_| RuntimeError::NonIntegral)?;
+                Ok(Value::Ptr {
+                    array,
+                    offset: offset + d,
+                })
+            }
+            (
+                Value::Ptr {
+                    array: a1,
+                    offset: o1,
+                },
+                Value::Ptr {
+                    array: a2,
+                    offset: o2,
+                },
+            ) if op == CBinOp::Sub && a1 == a2 => Ok(Value::Num(Rat::from(o1 - o2))),
+            _ => Err(RuntimeError::TypeError("invalid operand types")),
+        }
+    }
+
+    fn eval_binary(&mut self, op: CBinOp, lhs: ExprId, rhs: ExprId) -> Result<Value, RuntimeError> {
+        match op {
+            CBinOp::And => {
+                return Ok(Value::Num(if self.truthy(lhs)? && self.truthy(rhs)? {
+                    Rat::ONE
+                } else {
+                    Rat::ZERO
+                }))
+            }
+            CBinOp::Or => {
+                return Ok(Value::Num(if self.truthy(lhs)? || self.truthy(rhs)? {
+                    Rat::ONE
+                } else {
+                    Rat::ZERO
+                }))
+            }
+            _ => {}
+        }
+        let l = self.eval(lhs)?;
+        let r = self.eval(rhs)?;
+        if op.is_arith() || op == CBinOp::Rem {
+            return self.apply_arith(op, l, r);
+        }
+        let b = match (l, r) {
+            (Value::Num(a), Value::Num(b)) => match op {
+                CBinOp::Lt => a < b,
+                CBinOp::Le => a <= b,
+                CBinOp::Gt => a > b,
+                CBinOp::Ge => a >= b,
+                CBinOp::EqEq => a == b,
+                CBinOp::Ne => a != b,
+                _ => unreachable!("logical ops handled above"),
+            },
+            (
+                Value::Ptr {
+                    array: a1,
+                    offset: o1,
+                },
+                Value::Ptr {
+                    array: a2,
+                    offset: o2,
+                },
+            ) if a1 == a2 => match op {
+                CBinOp::Lt => o1 < o2,
+                CBinOp::Le => o1 <= o2,
+                CBinOp::Gt => o1 > o2,
+                CBinOp::Ge => o1 >= o2,
+                CBinOp::EqEq => o1 == o2,
+                CBinOp::Ne => o1 != o2,
+                _ => unreachable!("logical ops handled above"),
+            },
+            _ => return Err(RuntimeError::TypeError("invalid comparison operands")),
+        };
+        Ok(Value::Num(if b { Rat::ONE } else { Rat::ZERO }))
+    }
+
+    fn exec_seq(&mut self, seq: Seq) -> Result<Flow, RuntimeError> {
+        let (start, end) = (seq.start as usize, (seq.start + seq.len) as usize);
+        for i in start..end {
+            match self.exec_stmt(self.prog.seq_items[i])? {
+                Flow::Normal => {}
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: StmtId) -> Result<Flow, RuntimeError> {
+        self.spend(1)?;
+        match self.prog.stmts[s as usize] {
+            StmtNode::Decl { slot, is_ptr, init } => {
+                let v = match init {
+                    Some(e) => self.eval(e)?,
+                    None => {
+                        if is_ptr {
+                            // Uninitialised pointer: poison via impossible
+                            // slot, exactly as the interpreter.
+                            Value::Ptr {
+                                array: usize::MAX,
+                                offset: 0,
+                            }
+                        } else {
+                            Value::Num(Rat::ZERO)
+                        }
+                    }
+                };
+                self.frame[slot as usize] = v;
+                Ok(Flow::Normal)
+            }
+            StmtNode::Expr(e) => {
+                self.eval(e)?;
+                Ok(Flow::Normal)
+            }
+            StmtNode::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    if let Flow::Return(v) = self.exec_stmt(i)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if !self.truthy(c)? {
+                            break;
+                        }
+                    }
+                    match self.exec_seq(body)? {
+                        Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    if let Some(st) = step {
+                        self.eval(st)?;
+                    }
+                    self.spend(1)?;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtNode::While { cond, body } => {
+                loop {
+                    if !self.truthy(cond)? {
+                        break;
+                    }
+                    match self.exec_seq(body)? {
+                        Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    self.spend(1)?;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtNode::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                if self.truthy(cond)? {
+                    self.exec_seq(then_body)
+                } else {
+                    self.exec_seq(else_body)
+                }
+            }
+            StmtNode::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.eval_num(e)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtNode::Seq(seq) => self.exec_seq(seq),
+        }
+    }
+}
+
+/// Runs a compiled function with the default step budget
+/// ([`crate::DEFAULT_FUEL`]).
+///
+/// # Errors
+///
+/// Exactly the errors of [`crate::run_kernel`] on the same function and
+/// arguments.
+pub fn run_compiled(cf: &CompiledFn, args: Vec<ArgValue>) -> Result<ExecResult, RuntimeError> {
+    run_compiled_with_fuel(cf, args, crate::interp::DEFAULT_FUEL)
+}
+
+/// Runs a compiled function with an explicit step budget; fuel accounting
+/// is unit-for-unit identical to [`crate::run_kernel_with_fuel`].
+///
+/// # Errors
+///
+/// Exactly the errors of [`crate::run_kernel_with_fuel`] on the same
+/// inputs, including the budget at which [`RuntimeError::FuelExhausted`]
+/// first appears.
+pub fn run_compiled_with_fuel(
+    cf: &CompiledFn,
+    args: Vec<ArgValue>,
+    fuel: u64,
+) -> Result<ExecResult, RuntimeError> {
+    if args.len() != cf.params.len() {
+        return Err(RuntimeError::BadArguments(format!(
+            "expected {} arguments, got {}",
+            cf.params.len(),
+            args.len()
+        )));
+    }
+    let mut exec = Exec {
+        prog: cf,
+        arrays: Vec::new(),
+        frame: vec![Value::Num(Rat::ZERO); cf.n_slots],
+        fuel,
+    };
+    for (slot, (param, arg)) in cf.params.iter().zip(args).enumerate() {
+        let v = match (param.ty, arg) {
+            (CType::Num(_), ArgValue::Scalar(r)) => Value::Num(r),
+            (CType::Ptr(_), ArgValue::Array(data)) => {
+                exec.arrays.push(data);
+                Value::Ptr {
+                    array: exec.arrays.len() - 1,
+                    offset: 0,
+                }
+            }
+            (ty, arg) => {
+                return Err(RuntimeError::BadArguments(format!(
+                    "parameter `{}` of type {ty} received incompatible argument {arg:?}",
+                    param.name
+                )))
+            }
+        };
+        exec.frame[slot] = v;
+    }
+    let flow = exec.exec_seq(cf.body)?;
+    let ret = match flow {
+        Flow::Return(v) => v,
+        Flow::Normal => None,
+    };
+    Ok(ExecResult {
+        arrays: exec.arrays,
+        ret,
+    })
+}
+
+/// A lazily compiled, shareable [`CompiledFn`]: the `OnceLock` cache that
+/// lets task/benchmark values compile their reference kernel exactly once
+/// across any number of `run_reference` calls and threads.
+///
+/// `Default`/`Clone`/`Debug` make it embeddable in plain-struct-literal
+/// types (a clone of an initialised cache keeps the compiled program).
+#[derive(Debug, Default, Clone)]
+pub struct LazyCompiledFn(OnceLock<Arc<CompiledFn>>);
+
+impl LazyCompiledFn {
+    /// An empty (not yet compiled) cache.
+    pub fn new() -> LazyCompiledFn {
+        LazyCompiledFn(OnceLock::new())
+    }
+
+    /// A cache pre-seeded with an already compiled program, so a task
+    /// built from a source that was compiled elsewhere (e.g. a benchmark
+    /// registry) never compiles again.
+    pub fn from_compiled(cf: Arc<CompiledFn>) -> LazyCompiledFn {
+        let cache = OnceLock::new();
+        let _ = cache.set(cf);
+        LazyCompiledFn(cache)
+    }
+
+    /// The compiled form of `func`, compiling on first call.
+    ///
+    /// The caller must pass the same `func` every time (the cache is
+    /// keyed by identity of the owning struct, not by content).
+    pub fn get_or_compile(&self, func: &Function) -> &Arc<CompiledFn> {
+        self.0.get_or_init(|| Arc::new(compile_fn(func)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CExpr, Stmt};
+    use crate::interp::{run_kernel_with_fuel, DEFAULT_FUEL};
+    use crate::parser::parse_c;
+
+    fn ints(vals: &[i64]) -> Vec<Rat> {
+        vals.iter().map(|&v| Rat::from(v)).collect()
+    }
+
+    /// Differential harness: the compiled program must agree with the
+    /// interpreter exactly — result, error classification, everything.
+    fn assert_same(src: &str, args: Vec<ArgValue>) {
+        let p = parse_c(src).unwrap();
+        let interp = run_kernel_with_fuel(p.kernel(), args.clone(), DEFAULT_FUEL);
+        let compiled = run_compiled_with_fuel(&compile_fn(p.kernel()), args, DEFAULT_FUEL);
+        assert_eq!(compiled, interp, "compiled diverges from interpreter:\n{src}");
+    }
+
+    /// Fuel sweep: at *every* budget from 0 to `max`, both engines agree
+    /// — which proves the compiled program spends fuel at exactly the
+    /// interpreter's points.
+    fn assert_same_fuel_sweep(src: &str, args: Vec<ArgValue>, max: u64) {
+        let p = parse_c(src).unwrap();
+        let cf = compile_fn(p.kernel());
+        for fuel in 0..=max {
+            let interp = run_kernel_with_fuel(p.kernel(), args.clone(), fuel);
+            let compiled = run_compiled_with_fuel(&cf, args.clone(), fuel);
+            assert_eq!(compiled, interp, "divergence at fuel {fuel}:\n{src}");
+        }
+    }
+
+    const FIGURE2: &str = r#"
+void function(int N, int *Mat1, int *Mat2, int *Result) {
+    int *p_m1;
+    int *p_m2;
+    int *p_t;
+    int i, f;
+    p_m1 = Mat1;
+    p_t = Result;
+    for (f = 0; f < N; f++) {
+        *p_t = 0;
+        p_m2 = &Mat2[0];
+        for (i = 0; i < N; i++)
+            *p_t += *p_m1++ * *p_m2++;
+        p_t++;
+    }
+}
+"#;
+
+    #[test]
+    fn figure2_gemv_matches() {
+        let args = vec![
+            ArgValue::Scalar(Rat::from(2)),
+            ArgValue::Array(ints(&[1, 2, 3, 4])),
+            ArgValue::Array(ints(&[10, 100])),
+            ArgValue::Array(ints(&[0, 0])),
+        ];
+        assert_same(FIGURE2, args.clone());
+        let p = parse_c(FIGURE2).unwrap();
+        let res = run_compiled(&compile_fn(p.kernel()), args).unwrap();
+        assert_eq!(res.arrays[2], ints(&[210, 430]));
+    }
+
+    #[test]
+    fn figure2_fuel_accounting_is_unit_identical() {
+        // Sweeping every budget one unit at a time proves every spend
+        // point (expressions, statements, loop iterations) lines up.
+        assert_same_fuel_sweep(
+            FIGURE2,
+            vec![
+                ArgValue::Scalar(Rat::from(2)),
+                ArgValue::Array(ints(&[1, 2, 3, 4])),
+                ArgValue::Array(ints(&[10, 100])),
+                ArgValue::Array(ints(&[0, 0])),
+            ],
+            400,
+        );
+    }
+
+    #[test]
+    fn short_circuit_fuel_is_identical() {
+        let src = "void f(int n, int *a) {
+            for (int i = 0; i < n; i++)
+                a[i] = (i > 0 && a[i-1] > 0) || a[i] > 1 ? a[i] : 0 - a[i];
+        }";
+        assert_same_fuel_sweep(
+            src,
+            vec![
+                ArgValue::Scalar(Rat::from(3)),
+                ArgValue::Array(ints(&[-2, 5, 1])),
+            ],
+            200,
+        );
+    }
+
+    #[test]
+    fn compound_assignment_and_division() {
+        assert_same(
+            "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) a[i] /= b[i]; }",
+            vec![
+                ArgValue::Scalar(Rat::from(2)),
+                ArgValue::Array(ints(&[1, 3])),
+                ArgValue::Array(ints(&[2, 4])),
+            ],
+        );
+    }
+
+    #[test]
+    fn division_by_zero_classified() {
+        assert_same(
+            "void f(int *a, int *b) { a[0] = a[0] / b[0]; }",
+            vec![ArgValue::Array(ints(&[1])), ArgValue::Array(ints(&[0]))],
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_classified() {
+        assert_same(
+            "void f(int n, int *a) { a[n] = 1; }",
+            vec![
+                ArgValue::Scalar(Rat::from(3)),
+                ArgValue::Array(ints(&[0, 0, 0])),
+            ],
+        );
+    }
+
+    #[test]
+    fn while_and_return() {
+        assert_same(
+            "int sum(int n, int *a) {
+                int s = 0;
+                int i = 0;
+                while (i < n) { s += a[i]; i++; }
+                return s;
+            }",
+            vec![
+                ArgValue::Scalar(Rat::from(3)),
+                ArgValue::Array(ints(&[5, 6, 7])),
+            ],
+        );
+    }
+
+    #[test]
+    fn ternary_relu() {
+        assert_same(
+            "void relu(int n, int *a, int *out) {
+                for (int i = 0; i < n; i++) out[i] = a[i] > 0 ? a[i] : 0;
+            }",
+            vec![
+                ArgValue::Scalar(Rat::from(3)),
+                ArgValue::Array(ints(&[-1, 2, -3])),
+                ArgValue::Array(ints(&[9, 9, 9])),
+            ],
+        );
+    }
+
+    #[test]
+    fn float_modulo_casts() {
+        assert_same(
+            "void f(double *a) { a[0] = (double) 0.25 + -7 % 3; }",
+            vec![ArgValue::Array(ints(&[0]))],
+        );
+    }
+
+    #[test]
+    fn scope_shadowing() {
+        assert_same(
+            "void f(int *a) {
+                int x = 1;
+                { int x = 2; a[0] = x; }
+                a[1] = x;
+            }",
+            vec![ArgValue::Array(ints(&[0, 0]))],
+        );
+    }
+
+    #[test]
+    fn use_before_declaration_binds_outer_every_iteration() {
+        // Each loop iteration re-enters a fresh scope: `a[i] = x` reads
+        // the *outer* x on every iteration, even though an inner `x` is
+        // declared later in the body. The compiled slot resolution must
+        // reproduce the interpreter's dynamic behaviour.
+        let src = "void f(int n, int *a) {
+            int x = 7;
+            for (int i = 0; i < n; i++) { a[i] = x; int x = i + 40; a[i] += x - x; }
+        }";
+        let args = vec![
+            ArgValue::Scalar(Rat::from(3)),
+            ArgValue::Array(ints(&[0, 0, 0])),
+        ];
+        assert_same(src, args.clone());
+        let p = parse_c(src).unwrap();
+        let res = run_compiled(&compile_fn(p.kernel()), args).unwrap();
+        assert_eq!(res.arrays[0], ints(&[7, 7, 7]));
+    }
+
+    #[test]
+    fn decl_initialiser_sees_outer_binding() {
+        assert_same(
+            "void f(int *a) { int x = 3; { int x = x + 10; a[0] = x; } a[1] = x; }",
+            vec![ArgValue::Array(ints(&[0, 0]))],
+        );
+    }
+
+    #[test]
+    fn unbound_variable_errors_identically() {
+        assert_same(
+            "void f(int *a) { a[0] = mystery; }",
+            vec![ArgValue::Array(ints(&[0]))],
+        );
+        // Unbound on the *write* side: the error must surface after the
+        // right-hand side evaluated, exactly as the interpreter's late
+        // place resolution does.
+        assert_same(
+            "void f(int *a) { mystery = a[0]; }",
+            vec![ArgValue::Array(ints(&[0]))],
+        );
+    }
+
+    #[test]
+    fn address_of_scalar_rejected() {
+        assert_same(
+            "void f(int *a) { int x = 1; a[0] = &x - a; }",
+            vec![ArgValue::Array(ints(&[0]))],
+        );
+    }
+
+    #[test]
+    fn non_lvalue_targets_error_at_runtime() {
+        // Constructed directly: `1++` is not an lvalue; both engines must
+        // classify it as the same TypeError when (and only when) the
+        // statement executes.
+        let func = Function {
+            name: "f".into(),
+            ret: None,
+            params: vec![],
+            body: vec![Stmt::Expr(CExpr::PostInc(Box::new(CExpr::IntLit(1))))],
+        };
+        let interp = run_kernel_with_fuel(&func, vec![], DEFAULT_FUEL);
+        let compiled = run_compiled_with_fuel(&compile_fn(&func), vec![], DEFAULT_FUEL);
+        assert_eq!(compiled, interp);
+        assert_eq!(
+            compiled,
+            Err(RuntimeError::TypeError("expression is not an lvalue"))
+        );
+    }
+
+    #[test]
+    fn dead_branch_errors_stay_dead() {
+        // The taken ternary branch matters; the div-by-zero in the other
+        // branch must not fire in either engine.
+        let src = "void f(int *a, int *z) { a[0] = a[0] > 0 ? a[0] : a[0] / z[0]; }";
+        assert_same(
+            src,
+            vec![ArgValue::Array(ints(&[5])), ArgValue::Array(ints(&[0]))],
+        );
+        assert_same(
+            src,
+            vec![ArgValue::Array(ints(&[-5])), ArgValue::Array(ints(&[0]))],
+        );
+    }
+
+    #[test]
+    fn bad_arguments_messages_match() {
+        let p = parse_c("void f(int n) { }").unwrap();
+        let cf = compile_fn(p.kernel());
+        assert_eq!(
+            run_compiled(&cf, vec![]),
+            run_kernel_with_fuel(p.kernel(), vec![], DEFAULT_FUEL)
+        );
+        assert_eq!(
+            run_compiled(&cf, vec![ArgValue::Array(vec![])]),
+            run_kernel_with_fuel(p.kernel(), vec![ArgValue::Array(vec![])], DEFAULT_FUEL)
+        );
+    }
+
+    #[test]
+    fn pointer_difference_and_comparison() {
+        assert_same(
+            "void f(int *a, int *out) { int *p = a + 5; out[0] = p - a; out[0] += p > a; }",
+            vec![ArgValue::Array(ints(&[0; 8])), ArgValue::Array(ints(&[0]))],
+        );
+    }
+
+    #[test]
+    fn runaway_loop_exhausts_fuel_at_the_same_unit() {
+        let src = "void f(int *a) { while (1) { a[0] = a[0] + 1; } }";
+        let p = parse_c(src).unwrap();
+        let cf = compile_fn(p.kernel());
+        for fuel in [0u64, 1, 7, 100, 10_000] {
+            assert_eq!(
+                run_compiled_with_fuel(&cf, vec![ArgValue::Array(ints(&[0]))], fuel),
+                run_kernel_with_fuel(p.kernel(), vec![ArgValue::Array(ints(&[0]))], fuel),
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_cache_compiles_once_and_clones_share() {
+        let p = parse_c("void f(int n) { }").unwrap();
+        let lazy = LazyCompiledFn::new();
+        let a = Arc::as_ptr(lazy.get_or_compile(p.kernel()));
+        let b = Arc::as_ptr(lazy.get_or_compile(p.kernel()));
+        assert_eq!(a, b);
+        let cloned = lazy.clone();
+        assert_eq!(Arc::as_ptr(cloned.get_or_compile(p.kernel())), a);
+    }
+}

@@ -40,11 +40,15 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 
 pub use ast::{AssignOp, CBinOp, CExpr, CProgram, CType, Function, NumType, Param, Stmt, UnOp};
+pub use bytecode::{
+    compile_fn, run_compiled, run_compiled_with_fuel, CompiledFn, LazyCompiledFn,
+};
 pub use interp::{
     run_kernel, run_kernel_with_fuel, ArgValue, ExecResult, RuntimeError, Value, DEFAULT_FUEL,
 };

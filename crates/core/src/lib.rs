@@ -48,6 +48,7 @@
 //!         ],
 //!         output: 3,
 //!         constants: vec![0],
+//!         ref_program: Default::default(),
 //!     },
 //!     ground_truth: Some(parse_program("out = x(i) * y(i)").unwrap()),
 //! };

@@ -19,6 +19,33 @@ pub trait TemplateChecker {
     /// Checks one complete template; on success returns the concrete
     /// program (template with the winning substitution applied).
     fn check(&mut self, template: &TacoProgram) -> CheckOutcome;
+
+    /// Checks a batch of templates in order, returning the index of the
+    /// first verified template together with its concrete program.
+    ///
+    /// `should_stop` is polled between templates — the batched engine
+    /// passes its cancellation/budget poll, so a worker draining a batch
+    /// stops mid-flush as promptly as the scalar loop stops between
+    /// nodes (at most the one in-flight `check` completes after a stop).
+    ///
+    /// The default implementation simply calls [`TemplateChecker::check`]
+    /// per template; checkers with batch-aware internals (substitution
+    /// lanes, shared example evaluation) can override it.
+    fn check_many(
+        &mut self,
+        templates: &[TacoProgram],
+        should_stop: &mut dyn FnMut() -> bool,
+    ) -> Option<(usize, TacoProgram)> {
+        for (i, t) in templates.iter().enumerate() {
+            if should_stop() {
+                return None;
+            }
+            if let CheckOutcome::Verified(concrete) = self.check(t) {
+                return Some((i, concrete));
+            }
+        }
+        None
+    }
 }
 
 /// Result of checking one template.
@@ -289,5 +316,43 @@ mod tests {
         let mut checker = |_t: &TacoProgram| CheckOutcome::Failed;
         let p = gtl_taco::parse_program("a(i) = b(i)").unwrap();
         assert_eq!(checker.check(&p), CheckOutcome::Failed);
+    }
+
+    #[test]
+    fn check_many_returns_first_verified_and_short_circuits() {
+        let p1 = gtl_taco::parse_program("a(i) = b(i)").unwrap();
+        let p2 = gtl_taco::parse_program("a(i) = c(i)").unwrap();
+        let calls = std::cell::Cell::new(0usize);
+        let mut checker = |t: &TacoProgram| {
+            calls.set(calls.get() + 1);
+            if *t == p2 {
+                CheckOutcome::Verified(t.clone())
+            } else {
+                CheckOutcome::Failed
+            }
+        };
+        let batch = [p1.clone(), p2.clone(), p1.clone()];
+        let got = checker.check_many(&batch, &mut || false);
+        assert_eq!(got, Some((1, p2.clone())));
+        assert_eq!(calls.get(), 2, "templates after the hit are not checked");
+    }
+
+    #[test]
+    fn check_many_polls_stop_between_templates() {
+        let p = gtl_taco::parse_program("a(i) = b(i)").unwrap();
+        let mut checker = |t: &TacoProgram| CheckOutcome::Verified(t.clone());
+        let batch = [p.clone(), p.clone()];
+        // A pre-raised stop condition means no template is checked.
+        assert_eq!(checker.check_many(&batch, &mut || true), None);
+        // Stop raised after the first check: the second never runs.
+        let first = std::cell::Cell::new(true);
+        let calls = std::cell::Cell::new(0usize);
+        let mut failing = |_t: &TacoProgram| {
+            calls.set(calls.get() + 1);
+            CheckOutcome::Failed
+        };
+        let got = failing.check_many(&batch, &mut || !first.replace(false));
+        assert_eq!(got, None);
+        assert_eq!(calls.get(), 1);
     }
 }

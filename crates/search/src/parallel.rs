@@ -38,8 +38,8 @@ use gtl_template::TemplateGrammar;
 
 use crate::bottomup::BuExpand;
 use crate::driver::{
-    CheckOutcome, Priority, SearchBudget, SearchHooks, SearchOutcome, SearchProgress,
-    StopReason, TemplateChecker,
+    Priority, SearchBudget, SearchHooks, SearchOutcome, SearchProgress, StopReason,
+    TemplateChecker,
 };
 use crate::frontier::{run_sequential_hooked, Expand, QEntry};
 use crate::penalty::PenaltyContext;
@@ -329,6 +329,13 @@ fn worker_loop<E: Expand>(
         shared,
         entries: std::collections::VecDeque::with_capacity(pop_batch),
     };
+    // Candidates collected from the current local batch, checked in one
+    // `check_many` flush when the batch drains. Deduplication and the
+    // attempt counter run at collection time (so budget accounting is
+    // unchanged); a worker that exits on a stop condition abandons its
+    // pending candidates exactly as it abandons unprocessed batch
+    // entries — the run is over, their outcome cannot matter.
+    let mut pending: Vec<TacoProgram> = Vec::with_capacity(pop_batch);
     loop {
         // Stop conditions are polled once per *node*, batched or not:
         // a worker abandons its remaining local entries the moment the
@@ -360,6 +367,32 @@ fn worker_loop<E: Expand>(
         // held batch entries stay counted in `in_flight`, so they keep
         // the run alive exactly like a node mid-expansion.
         if batch.entries.is_empty() {
+            // Flush collected candidates before refilling (and before the
+            // exhaustion check below, so nothing is left unchecked when
+            // the frontier drains). The checker polls the same stop
+            // conditions between templates as this loop polls between
+            // nodes.
+            if !pending.is_empty() {
+                let mut should_stop = || {
+                    shared.cancel.is_cancelled()
+                        || shared
+                            .external_cancel
+                            .as_deref()
+                            .is_some_and(CancelFlag::is_cancelled)
+                        || shared.over_budget(started, budget)
+                };
+                if let Some((idx, concrete)) = checker.check_many(&pending, &mut should_stop) {
+                    let template = pending.swap_remove(idx);
+                    let mut slot = shared.solution.lock().expect("solution slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some((template, concrete));
+                    }
+                    drop(slot);
+                    shared.cancel.cancel();
+                    return;
+                }
+                pending.clear();
+            }
             let refilled = {
                 let mut q = shared.queue.lock().expect("frontier poisoned");
                 while batch.entries.len() < pop_batch {
@@ -391,19 +424,11 @@ fn worker_loop<E: Expand>(
         shared.progress.add_node();
         if !exp.skip(&entry.tree) {
             if let Some(template) = exp.candidate(&entry.tree) {
-                // Exactly-once check per canonical template.
+                // Exactly-once collection per canonical template; the
+                // actual check runs in the next batch flush.
                 if shared.seen.insert_program(&template) {
                     shared.progress.add_attempt();
-                    if let CheckOutcome::Verified(concrete) = checker.check(&template) {
-                        let mut slot =
-                            shared.solution.lock().expect("solution slot poisoned");
-                        if slot.is_none() {
-                            *slot = Some((template, concrete));
-                        }
-                        drop(slot);
-                        shared.cancel.cancel();
-                        return;
-                    }
+                    pending.push(template);
                 }
             }
             let children = exp.children(&entry.tree, entry.cost);
@@ -589,6 +614,7 @@ mod tests {
     use gtl_taco::parse_program;
     use gtl_template::{generate_td_grammar, learn_weights, templatize, TdSpec};
 
+    use crate::driver::CheckOutcome;
     use crate::penalty::PenaltySettings;
 
     fn grammar_with(cands: &[&str], dims: Vec<usize>, n_indices: usize) -> TemplateGrammar {

@@ -26,7 +26,9 @@
 //! lifts answer as cache hits with zero search attempts.
 //! `--rotate-store-bytes N` seals the live store log into immutable
 //! segments once it exceeds N bytes, keeping append latency flat and
-//! letting compaction work on sealed segments only.
+//! letting compaction work on sealed segments only; once rotation
+//! leaves [`SEGMENT_MERGE_THRESHOLD`] sealed segments on disk, the
+//! append that crossed the line merges them into the snapshot.
 //! `--max-inflight-per-client N` caps how many lifts one client may
 //! have queued or running at once (excess submissions are rejected
 //! with `rate_limited`).
@@ -58,6 +60,10 @@ struct Args {
     peers: Vec<String>,
     accept_shares: bool,
 }
+
+/// Sealed segments a rotated store may accumulate before the next
+/// append (or startup stale-check) merges them into the snapshot.
+const SEGMENT_MERGE_THRESHOLD: u64 = 8;
 
 const USAGE: &str = "usage: lift_server [--stdio | --listen ADDR] [--workers N] [--queue N] \
 [--search-jobs N] [--progress-ms N] [--timeout-ms N] [--oracle SPEC] [--oracles KIND,KIND] \
@@ -177,8 +183,13 @@ fn main() {
     // The persistent store: recover, compact when mostly superseded,
     // report what warm-start will serve.
     let store = args.store.as_ref().map(|path| {
-        let store = gtl_store::LiftStore::open_with(path, args.rotate_store_bytes)
-            .unwrap_or_else(|e| usage_error(&format!("--store: {e}")));
+        let store = match args.rotate_store_bytes {
+            Some(bytes) => {
+                gtl_store::LiftStore::open_with_compaction(path, bytes, SEGMENT_MERGE_THRESHOLD)
+            }
+            None => gtl_store::LiftStore::open(path),
+        }
+        .unwrap_or_else(|e| usage_error(&format!("--store: {e}")));
         if store.recovery().truncated_tail {
             eprintln!(
                 "lift_server: store {path}: dropped a torn tail record ({} bytes)",

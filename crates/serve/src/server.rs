@@ -498,6 +498,7 @@ pub(crate) fn resolve_query(request: &LiftRequest) -> Result<LiftQuery, WireErro
                     params: task_params,
                     output,
                     constants,
+                    ref_program: Default::default(),
                 },
                 ground_truth,
             })

@@ -141,6 +141,10 @@ pub struct LiftStore {
     loaded: u64,
     /// Superseded records observed in the log at open time.
     superseded_at_open: u64,
+    /// Sealed segment count at which an append triggers the sealed
+    /// merge ([`LiftStore::open_with_compaction`]); `None` leaves
+    /// compaction entirely to explicit [`LiftStore::compact`] calls.
+    compact_at_segments: Option<u64>,
     recovery: Recovery,
     appended: AtomicU64,
     compactions: AtomicU64,
@@ -174,7 +178,38 @@ impl LiftStore {
         path: impl Into<PathBuf>,
         rotate_at_bytes: Option<u64>,
     ) -> Result<LiftStore, StoreError> {
-        let path = path.into();
+        Self::open_impl(path.into(), rotate_at_bytes, None)
+    }
+
+    /// [`LiftStore::open_with`] with the segment-count maintenance rule
+    /// armed: whenever rotation leaves `compact_at_segments` or more
+    /// sealed `.seg-NNNNNN` files on disk, the append that crossed the
+    /// threshold merges them into the snapshot ([`LiftStore::compact`])
+    /// before returning. The live file is still never rewritten, and
+    /// [`LiftStore::compact_if_stale`] treats the same threshold as
+    /// staleness, so startup maintenance merges an over-segmented store
+    /// even when superseded records do not dominate.
+    ///
+    /// # Errors
+    ///
+    /// As [`LiftStore::open`].
+    pub fn open_with_compaction(
+        path: impl Into<PathBuf>,
+        rotate_at_bytes: u64,
+        compact_at_segments: u64,
+    ) -> Result<LiftStore, StoreError> {
+        Self::open_impl(
+            path.into(),
+            Some(rotate_at_bytes),
+            Some(compact_at_segments.max(1)),
+        )
+    }
+
+    fn open_impl(
+        path: PathBuf,
+        rotate_at_bytes: Option<u64>,
+        compact_at_segments: Option<u64>,
+    ) -> Result<LiftStore, StoreError> {
         let (log, loaded) = match rotate_at_bytes {
             Some(limit) => JsonlLog::open_rotating(&path, LIFT_LOG_KIND, limit)?,
             None => JsonlLog::open(&path, LIFT_LOG_KIND)?,
@@ -196,6 +231,7 @@ impl LiftStore {
             log,
             loaded: index.len() as u64,
             superseded_at_open: superseded,
+            compact_at_segments,
             recovery: loaded.recovery,
             index: Mutex::new(index),
             appended: AtomicU64::new(0),
@@ -230,7 +266,10 @@ impl LiftStore {
     /// would corrupt the next open; nothing is stored. [`StoreError::Io`]
     /// when the append cannot be written; the in-memory index is
     /// updated regardless, so serving continues and a later append can
-    /// supersede cleanly.
+    /// supersede cleanly. An error from the maintenance merge a
+    /// threshold-crossing append triggers ([`LiftStore::open_with_compaction`])
+    /// is reported the same way, but the record itself is already
+    /// durable at that point.
     pub fn append(&self, record: LiftRecord) -> Result<bool, StoreError> {
         if !record.seconds.is_finite() {
             return Err(StoreError::NonFinite {
@@ -250,7 +289,22 @@ impl LiftStore {
         }
         self.log.append(&record.to_json())?;
         self.appended.fetch_add(1, Ordering::Relaxed);
+        if self.over_segmented() {
+            self.compact()?;
+        }
         Ok(true)
+    }
+
+    /// Whether the sealed half has fragmented past the maintenance
+    /// threshold (always `false` without [`LiftStore::open_with_compaction`]).
+    fn over_segmented(&self) -> bool {
+        self.compact_at_segments
+            .is_some_and(|limit| self.log.sealed_segments() as u64 >= limit)
+    }
+
+    /// Sealed `.seg-NNNNNN` files currently backing this store.
+    pub fn sealed_segments(&self) -> usize {
+        self.log.sealed_segments()
     }
 
     /// Live records currently indexed.
@@ -346,15 +400,17 @@ impl LiftStore {
         })
     }
 
-    /// Compacts only when the log carries more superseded than live
-    /// records — the deterministic maintenance rule `lift_server
-    /// --store` applies at startup.
+    /// Compacts only when the log is stale: it carries more superseded
+    /// than live records, or (with [`LiftStore::open_with_compaction`])
+    /// the sealed half has fragmented past the segment threshold. This
+    /// is the deterministic maintenance rule `lift_server --store`
+    /// applies at startup.
     ///
     /// # Errors
     ///
     /// As [`LiftStore::compact`].
     pub fn compact_if_stale(&self) -> Result<Option<CompactionStats>, StoreError> {
-        if self.superseded_at_open > self.loaded {
+        if self.superseded_at_open > self.loaded || self.over_segmented() {
             self.compact().map(Some)
         } else {
             Ok(None)
@@ -594,6 +650,66 @@ mod tests {
         let reopened = LiftStore::open(&path).unwrap();
         assert_eq!(reopened.counters().loaded, 5);
         assert_eq!(answers, (0..5).map(|k| reopened.get(k)).collect::<Vec<_>>());
+        cleanup_rotated(&path);
+    }
+
+    fn seg_files(path: &Path) -> usize {
+        let dir = path.parent().unwrap();
+        let prefix = format!("{}.seg-", path.file_name().unwrap().to_str().unwrap());
+        std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_str().is_some_and(|n| n.starts_with(&prefix)))
+            .count()
+    }
+
+    #[test]
+    fn rotation_merges_sealed_segments_past_threshold() {
+        let path = tmp("autocompact");
+        cleanup_rotated(&path);
+        {
+            // Rotation every ~2 records, merge at 3 sealed segments:
+            // the appends below cross the threshold several times.
+            let store = LiftStore::open_with_compaction(&path, 256, 3).unwrap();
+            for round in 0..4u64 {
+                for key in 0..5u64 {
+                    let mut r = solved(key, &format!("bench{key}"));
+                    r.attempts = round;
+                    store.append(r).unwrap();
+                }
+            }
+            assert!(
+                store.counters().compactions >= 1,
+                "threshold-crossing appends must have merged"
+            );
+            assert!(
+                store.sealed_segments() < 3 && seg_files(&path) < 3,
+                "segments stay below the threshold ({} on disk)",
+                seg_files(&path)
+            );
+        }
+        // No served answer changed: every key replays to its last write.
+        let reopened = LiftStore::open(&path).unwrap();
+        assert_eq!(reopened.counters().loaded, 5);
+        for key in 0..5u64 {
+            assert_eq!(reopened.get(key).unwrap().attempts, 3);
+        }
+        drop(reopened);
+        // An over-segmented store opened with the rule armed is stale:
+        // startup maintenance merges it even though superseded records
+        // do not dominate here on their own.
+        {
+            let store = LiftStore::open_with(&path, Some(128)).unwrap();
+            for key in 5..9u64 {
+                store.append(solved(key, "fresh")).unwrap();
+            }
+        }
+        assert!(seg_files(&path) >= 3, "precondition: fragmented again");
+        let store = LiftStore::open_with_compaction(&path, 128, 3).unwrap();
+        let stats = store.compact_if_stale().unwrap().expect("over-segmented");
+        assert!(stats.records_after <= stats.records_before);
+        assert_eq!(seg_files(&path), 0);
+        assert_eq!(store.len(), 9);
         cleanup_rotated(&path);
     }
 

@@ -226,6 +226,10 @@ struct Live {
     next_seg: u64,
     /// Whether any sealed data (snapshot or segments) exists on disk.
     sealed: bool,
+    /// Sealed `.seg-NNNNNN` files currently on disk (the snapshot is
+    /// not counted) — what a store consults to decide when the sealed
+    /// half has fragmented enough to be worth merging.
+    segments: usize,
 }
 
 /// The records loaded by [`JsonlLog::open`], plus recovery facts.
@@ -417,6 +421,7 @@ impl JsonlLog {
                     bytes: head.len() as u64,
                     next_seg,
                     sealed,
+                    segments: segments.len(),
                 }),
             };
             return Ok((
@@ -465,6 +470,7 @@ impl JsonlLog {
                     bytes: live_len,
                     next_seg,
                     sealed,
+                    segments: segments.len(),
                 }),
             },
             LoadedLog {
@@ -521,6 +527,7 @@ impl JsonlLog {
                 bytes,
                 next_seg: 1,
                 sealed: false,
+                segments: 0,
             }),
         })
     }
@@ -576,6 +583,7 @@ impl JsonlLog {
         live.bytes = head.len() as u64;
         live.next_seg += 1;
         live.sealed = true;
+        live.segments += 1;
         Ok(())
     }
 
@@ -584,6 +592,13 @@ impl JsonlLog {
     /// [`JsonlLog::compact_sealed`] rather than [`JsonlLog::rewrite`].
     pub fn has_sealed(&self) -> bool {
         self.live.lock().expect("log file poisoned").sealed
+    }
+
+    /// Sealed `.seg-NNNNNN` files currently on disk for this log (the
+    /// merged snapshot, if any, is not counted). Rotation grows this by
+    /// one per seal; [`JsonlLog::compact_sealed`] resets it to zero.
+    pub fn sealed_segments(&self) -> usize {
+        self.live.lock().expect("log file poisoned").segments
     }
 
     /// Compacts the sealed half of a segmented log: reads the snapshot
@@ -645,6 +660,7 @@ impl JsonlLog {
             let _ = std::fs::remove_file(seg);
         }
         live.sealed = true;
+        live.segments = 0;
         let bytes_after = std::fs::metadata(&snap).map_or(0, |m| m.len());
         Ok(SealedCompaction {
             records_before,
@@ -704,6 +720,7 @@ impl JsonlLog {
             std::fs::remove_file(seg).map_err(|e| io_err(seg, e))?;
         }
         live.sealed = false;
+        live.segments = 0;
         Ok(())
     }
 

@@ -654,10 +654,11 @@ impl CompiledKernel {
 /// The loop nest's mutable state: raw counters plus per-access offsets
 /// maintained incrementally (output contribution and summation
 /// contribution kept separate so a cell restart only zeroes the latter).
-struct LoopState {
-    counters: Vec<usize>,
-    base_off: Vec<usize>,
-    sum_off: Vec<usize>,
+/// Shared with the batched engine in [`crate::batch`].
+pub(crate) struct LoopState {
+    pub(crate) counters: Vec<usize>,
+    pub(crate) base_off: Vec<usize>,
+    pub(crate) sum_off: Vec<usize>,
 }
 
 impl LoopState {
@@ -673,7 +674,7 @@ impl LoopState {
 
 /// `coeff · Σ_t d[o + t·s]` with checked arithmetic; `None` = fall back.
 #[inline]
-fn inner_product1(d: &[i64], mut o: usize, s: usize, coeff: i64, n: usize) -> Option<i64> {
+pub(crate) fn inner_product1(d: &[i64], mut o: usize, s: usize, coeff: i64, n: usize) -> Option<i64> {
     let mut acc = 0i64;
     if coeff == 1 {
         for _ in 0..n {
@@ -692,7 +693,7 @@ fn inner_product1(d: &[i64], mut o: usize, s: usize, coeff: i64, n: usize) -> Op
 /// `coeff · Σ_t d0[o0 + t·s0] · d1[o1 + t·s1]` with checked arithmetic.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn inner_product2(
+pub(crate) fn inner_product2(
     d0: &[i64],
     mut o0: usize,
     s0: usize,
@@ -722,7 +723,7 @@ fn inner_product2(
 /// Three-load variant of [`inner_product2`] (MTTKRP shape).
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn inner_product3(
+pub(crate) fn inner_product3(
     d0: &[i64],
     mut o0: usize,
     s0: usize,
@@ -762,7 +763,7 @@ fn inner_product3(
 /// Advances a row-major odometer one step (rightmost fastest), applying
 /// each moved counter's stride deltas to the affected access offsets.
 #[inline]
-fn advance(
+pub(crate) fn advance(
     counters: &mut [usize],
     extents: &[usize],
     updates: &[Vec<(u32, usize)>],

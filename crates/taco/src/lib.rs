@@ -12,7 +12,10 @@
 //! - [`eval`] — dense evaluation over exact rationals;
 //! - [`compile`](fn@compile) — bytecode lowering + the shared [`EvalCache`] powering
 //!   the validation hot loop (compile once per program × shape signature,
-//!   evaluate many times, `i64` fast path with exact-rational fallback).
+//!   evaluate many times, `i64` fast path with exact-rational fallback);
+//! - [`isa`] / [`batch`] — the batched native tier: a template is lowered
+//!   once into a fixed-width micro-ISA and evaluated for many
+//!   substitutions ([`Lane`]s) in a single pass over a shared loop nest.
 //!
 //! # Example: parse, analyse, evaluate
 //!
@@ -35,9 +38,11 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 pub mod codegen;
 pub mod compile;
 pub mod eval;
+pub mod isa;
 pub mod lexer;
 pub mod parser;
 mod printer;
@@ -47,8 +52,10 @@ pub use ast::{
     canonical_tensor_name, Access, BinOp, Expr, Ident, IndexVar, Operand, TacoProgram,
     CANONICAL_INDICES,
 };
+pub use batch::{BatchKernel, Lane};
 pub use codegen::{generate_c, GeneratedKernel};
 pub use compile::{compile, CompiledKernel, EvalCache, EvalCacheStats};
+pub use isa::{Encoder, Inst, IsaProgram, Opcode};
 pub use eval::{evaluate, evaluate_analyzed, evaluate_interpreted, EvalError};
 pub use parser::{parse_expr, parse_program, preprocess_candidate, ParseError};
 pub use semantics::{analyze, IndexAnalysis, SemanticError, TensorEnv};

@@ -114,7 +114,7 @@ impl IndexAnalysis {
     }
 }
 
-fn record_extent(
+pub(crate) fn record_extent(
     extents: &mut BTreeMap<IndexVar, usize>,
     ix: &IndexVar,
     extent: usize,

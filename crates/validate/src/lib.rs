@@ -30,6 +30,7 @@
 //!     ],
 //!     output: 2,
 //!     constants: vec![0, 2],
+//!     ref_program: Default::default(),
 //! };
 //! let examples = generate_examples(&task, &ExampleConfig::default()).unwrap();
 //! let template = parse_program("a(i) = b(i) * Const").unwrap();

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use gtl_cfront::{run_kernel, ArgValue, Function, RuntimeError};
+use gtl_cfront::{run_compiled, ArgValue, Function, LazyCompiledFn, RuntimeError};
 use gtl_taco::TensorEnv;
 use gtl_tensor::{Rat, Shape, Tensor, TensorGen};
 
@@ -53,6 +53,11 @@ pub struct LiftTask {
     /// Integer constants found in the source (instantiation pool for
     /// `Const` symbols).
     pub constants: Vec<i64>,
+    /// The kernel compiled to interpreter bytecode, built on first
+    /// [`LiftTask::run_reference`] call and reused for every subsequent
+    /// run (examples, verifier sample points, exhaustive sweeps).
+    /// `Default::default()` is always a valid value.
+    pub ref_program: LazyCompiledFn,
 }
 
 /// How input values are drawn.
@@ -236,9 +241,16 @@ impl LiftTask {
     }
 
     /// Runs the C kernel on an instance and returns the shaped output.
+    ///
+    /// The kernel is compiled to bytecode once (cached in
+    /// [`LiftTask::ref_program`]) and every call executes the compiled
+    /// form — the reference side of validation and verification runs many
+    /// thousands of instances per task, so the tree-walk interpreter's
+    /// per-run dispatch cost is paid exactly once, at compile time.
     pub fn run_reference(&self, instance: &TaskInstance) -> Result<Tensor, TaskError> {
+        let compiled = self.ref_program.get_or_compile(&self.func);
         let result =
-            run_kernel(&self.func, instance.args.clone()).map_err(TaskError::Runtime)?;
+            run_compiled(compiled, instance.args.clone()).map_err(TaskError::Runtime)?;
         let array_slot = self
             .params
             .iter()
@@ -319,6 +331,7 @@ pub(crate) mod tests_support {
             ],
             output: 3,
             constants: vec![0],
+            ref_program: Default::default(),
         }
     }
 }

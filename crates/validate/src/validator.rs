@@ -1,11 +1,16 @@
 //! The template validator (§6): I/O example generation plus the
 //! validate-then-verify loop over substitutions.
 
-use gtl_taco::{EvalCache, TacoProgram};
+use gtl_taco::{BatchKernel, EvalCache, Lane, TacoProgram};
 use gtl_tensor::{Tensor, TensorGen};
 
 use crate::subst::{apply_substitution, enumerate_substitutions, Substitution};
 use crate::task::{LiftTask, TaskInstance, ValueMode};
+
+/// How many substitutions one batched evaluation sweep carries. Large
+/// enough to amortise the shared loop odometer, small enough that an
+/// early verifier accept doesn't leave much wasted work behind.
+const LANE_BATCH: usize = 64;
 
 /// One input/output example: concrete inputs and the output the legacy
 /// kernel produced on them.
@@ -163,6 +168,14 @@ pub fn validate_template(
 /// [`validate_template`] through a shared [`EvalCache`]. Per-worker
 /// checkers hold one cache across every template they check, so repeated
 /// substitutions and verifier re-evaluations never recompile.
+///
+/// Substitutions are drained in 64-lane batches (`LANE_BATCH`): the template
+/// is lowered once into a [`BatchKernel`] and each I/O example filters a
+/// whole batch of [`Lane`]s in a single pass over a shared loop nest,
+/// instead of evaluating one substituted program at a time. Survivors are
+/// handed to `verify` in enumeration order, so the returned program (and
+/// which substitutions the verifier sees) is identical to the scalar
+/// loop's.
 pub fn validate_template_cached(
     template: &TacoProgram,
     task: &LiftTask,
@@ -172,18 +185,89 @@ pub fn validate_template_cached(
     cache: &EvalCache,
 ) -> Option<TacoProgram> {
     let output_name = task.output_name().to_string();
-    for sub in enumerate_substitutions(template, task) {
-        stats.substitutions_tried += 1;
-        let concrete = apply_substitution(template, &sub, &output_name);
-        if !passes_examples_cached(&concrete, examples, cache) {
-            continue;
+    let subs = enumerate_substitutions(template, task);
+    if subs.is_empty() {
+        return None;
+    }
+    let kernel = BatchKernel::new(template);
+    for chunk in subs.chunks(LANE_BATCH) {
+        stats.substitutions_tried += chunk.len() as u64;
+        let lanes: Vec<Option<Lane>> = chunk
+            .iter()
+            .map(|sub| lane_for(&kernel, sub, &output_name))
+            .collect();
+        let mut survives = vec![false; chunk.len()];
+        // Example-major filtering: each example prunes the batch, so later
+        // examples only evaluate lanes that still have a chance.
+        let mut alive: Vec<usize> = lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_some().then_some(i))
+            .collect();
+        for ex in examples {
+            if alive.is_empty() {
+                break;
+            }
+            let batch: Vec<Lane> = alive
+                .iter()
+                .map(|&i| lanes[i].clone().expect("alive lanes exist"))
+                .collect();
+            let results = kernel.evaluate_lanes(&batch, &ex.instance.env);
+            alive = alive
+                .into_iter()
+                .zip(results)
+                .filter(|(_, r)| matches!(r, Ok(out) if *out == ex.output))
+                .map(|(i, _)| i)
+                .collect();
         }
-        stats.io_passes += 1;
-        if verify(&concrete, &sub) {
-            return Some(concrete);
+        for i in alive {
+            survives[i] = true;
+        }
+        // Substitutions a lane can't represent (e.g. an unbound constant
+        // slot) fall back to the scalar compiled path.
+        for (i, l) in lanes.iter().enumerate() {
+            if l.is_none() {
+                let concrete = apply_substitution(template, &chunk[i], &output_name);
+                survives[i] = passes_examples_cached(&concrete, examples, cache);
+            }
+        }
+        for (i, &ok) in survives.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            stats.io_passes += 1;
+            let concrete = apply_substitution(template, &chunk[i], &output_name);
+            if verify(&concrete, &chunk[i]) {
+                return Some(concrete);
+            }
         }
     }
     None
+}
+
+/// Builds the [`Lane`] realising one substitution: tensor slots resolve
+/// like [`apply_substitution`] (the LHS symbol `a` reused on the RHS binds
+/// the output; unbound symbols keep their name and fail analysis, exactly
+/// as the scalar path fails them). Returns `None` when a constant slot has
+/// no binding — such substitutions cannot be expressed as a lane.
+fn lane_for(kernel: &BatchKernel, sub: &Substitution, output: &str) -> Option<Lane> {
+    let tensors = kernel
+        .tensor_slots()
+        .iter()
+        .map(|s| {
+            if s == "a" {
+                output.to_string()
+            } else {
+                sub.tensors.get(s).cloned().unwrap_or_else(|| s.clone())
+            }
+        })
+        .collect();
+    let constants = kernel
+        .const_slots()
+        .iter()
+        .map(|id| sub.constants.get(id).copied())
+        .collect::<Option<Vec<i64>>>()?;
+    Some(Lane { tensors, constants })
 }
 
 #[cfg(test)]

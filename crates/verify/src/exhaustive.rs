@@ -236,6 +236,7 @@ mod tests {
             ],
             output: 3,
             constants: vec![0],
+            ref_program: Default::default(),
         }
     }
 
@@ -315,6 +316,7 @@ mod tests {
             ],
             output: 3,
             constants: vec![],
+            ref_program: Default::default(),
         };
         let good = parse_program("out(i) = a(i) / b(i)").unwrap();
         match verify_exhaustive(&task, &good, &ExhaustiveConfig::default()) {

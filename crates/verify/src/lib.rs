@@ -49,6 +49,7 @@
 //!     ],
 //!     output: 2,
 //!     constants: vec![2],
+//!     ref_program: Default::default(),
 //! };
 //! let good = parse_program("out(i) = x(i) * 2").unwrap();
 //! assert_eq!(
@@ -246,6 +247,7 @@ mod tests {
             ],
             output: 4,
             constants: vec![0],
+            ref_program: Default::default(),
         }
     }
 
@@ -304,6 +306,7 @@ mod tests {
             ],
             output: 2,
             constants: vec![],
+            ref_program: Default::default(),
         };
         let wrong = parse_program("out(i) = x(i)").unwrap();
         assert!(!verify_candidate(&task, &wrong, &VerifyConfig::default()).is_equivalent());

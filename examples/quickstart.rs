@@ -75,6 +75,7 @@ fn main() {
             ],
             output: 3,
             constants: vec![0],
+            ref_program: Default::default(),
         },
         ground_truth: Some(parse_program("Result(i) = Mat1(i,j) * Mat2(j)").expect("parses")),
     };
