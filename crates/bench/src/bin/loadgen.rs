@@ -1,0 +1,262 @@
+//! Standing load-test and fault-injection driver for the serving tier.
+//!
+//! ```text
+//! loadgen --addr ADDR (--corpus PATH | --mix NAME:W,NAME:W)
+//!         [--requests N] [--concurrency N] [--open-rps F] [--seed N]
+//!         [--sample-ms N] [--timeout-ms N] [--oracle SPEC]
+//!         [--chaos kill-replica:MS,reconnect:MS]
+//!         [--chaos-replica ADDR] [--chaos-spawn CMDLINE]
+//!         [--report PATH] [--quick]
+//! ```
+//!
+//! Replays a request corpus — a `store_tool export` document
+//! (`--corpus`) or a synthetic weighted mix (`--mix`) — against a live
+//! `lift_server` or `lift_router` at `--addr`, closed-loop by default
+//! or open-loop at `--open-rps`, and writes a JSON report (stdout, or
+//! `--report PATH`) with latency quantiles, throughput, cache hit
+//! rates, the error-code breakdown, queue-depth samples and the
+//! serving invariants.
+//!
+//! `--chaos kill-replica:MS,reconnect:MS` injects faults mid-run: at
+//! the first offset a `shutdown` is sent to `--chaos-replica`, at the
+//! second the replica is restarted by spawning `--chaos-spawn` (a
+//! whitespace-split command line). The process exits non-zero when any
+//! stream lost its terminal event or saw a duplicate — the chaos
+//! invariant CI gates on.
+
+use std::time::Duration;
+
+use gtl_bench::loadgen::{
+    corpus_from_export, parse_mix, run_load, sample_mix, Arrival, ChaosEvent, LoadOptions,
+};
+use gtl_store::json::Json;
+
+struct Args {
+    addr: Option<String>,
+    corpus: Option<String>,
+    mix: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    open_rps: Option<f64>,
+    seed: u64,
+    sample_ms: u64,
+    timeout_ms: u64,
+    oracle: Option<String>,
+    chaos: Option<String>,
+    chaos_replica: Option<String>,
+    chaos_spawn: Option<String>,
+    report: Option<String>,
+    quick: bool,
+}
+
+const USAGE: &str = "usage: loadgen --addr ADDR (--corpus PATH | --mix NAME:W,NAME:W) \
+[--requests N] [--concurrency N] [--open-rps F] [--seed N] [--sample-ms N] [--timeout-ms N] \
+[--oracle SPEC] [--chaos kill-replica:MS,reconnect:MS] [--chaos-replica ADDR] \
+[--chaos-spawn CMDLINE] [--report PATH] [--quick]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("loadgen: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        corpus: None,
+        mix: None,
+        requests: 64,
+        concurrency: 4,
+        open_rps: None,
+        seed: 1,
+        sample_ms: 100,
+        timeout_ms: 60_000,
+        oracle: None,
+        chaos: None,
+        chaos_replica: None,
+        chaos_spawn: None,
+        report: None,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        let int_value = |name: &str, raw: String| -> u64 {
+            raw.parse()
+                .unwrap_or_else(|_| usage_error(&format!("{name} expects an integer, got `{raw}`")))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")),
+            "--corpus" => args.corpus = Some(value("--corpus")),
+            "--mix" => args.mix = Some(value("--mix")),
+            "--requests" => args.requests = int_value("--requests", value("--requests")) as usize,
+            "--concurrency" => {
+                args.concurrency = int_value("--concurrency", value("--concurrency")) as usize
+            }
+            "--open-rps" => {
+                let raw = value("--open-rps");
+                let rps: f64 = raw.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--open-rps expects a number, got `{raw}`"))
+                });
+                if rps <= 0.0 {
+                    usage_error("--open-rps must be positive");
+                }
+                args.open_rps = Some(rps);
+            }
+            "--seed" => args.seed = int_value("--seed", value("--seed")),
+            "--sample-ms" => args.sample_ms = int_value("--sample-ms", value("--sample-ms")),
+            "--timeout-ms" => args.timeout_ms = int_value("--timeout-ms", value("--timeout-ms")),
+            "--oracle" => args.oracle = Some(value("--oracle")),
+            "--chaos" => args.chaos = Some(value("--chaos")),
+            "--chaos-replica" => args.chaos_replica = Some(value("--chaos-replica")),
+            "--chaos-spawn" => args.chaos_spawn = Some(value("--chaos-spawn")),
+            "--report" => args.report = Some(value("--report")),
+            "--quick" => args.quick = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    if args.addr.is_none() {
+        usage_error("--addr is required");
+    }
+    if args.corpus.is_none() == args.mix.is_none() {
+        usage_error("exactly one of --corpus and --mix is required");
+    }
+    if args.quick {
+        args.requests = args.requests.min(24);
+        args.concurrency = args.concurrency.min(2);
+    }
+    args
+}
+
+/// Builds the chaos timeline from `--chaos kill-replica:MS,reconnect:MS`.
+fn parse_chaos(args: &Args) -> Vec<ChaosEvent> {
+    let Some(spec) = &args.chaos else {
+        return Vec::new();
+    };
+    let mut events = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((kind, at_raw)) = part.split_once(':') else {
+            usage_error(&format!("chaos event `{part}` is not KIND:OFFSET_MS"));
+        };
+        let at_ms: u64 = at_raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| usage_error(&format!("chaos offset `{at_raw}` is not an integer")));
+        let at = Duration::from_millis(at_ms);
+        match kind.trim() {
+            "kill-replica" => {
+                let addr = args.chaos_replica.clone().unwrap_or_else(|| {
+                    usage_error("--chaos kill-replica requires --chaos-replica ADDR")
+                });
+                events.push(ChaosEvent::kill_replica(at, addr));
+            }
+            "reconnect" => {
+                let cmdline = args.chaos_spawn.clone().unwrap_or_else(|| {
+                    usage_error("--chaos reconnect requires --chaos-spawn CMDLINE")
+                });
+                let argv: Vec<String> = cmdline.split_whitespace().map(str::to_string).collect();
+                if argv.is_empty() {
+                    usage_error("--chaos-spawn command line is empty");
+                }
+                events.push(ChaosEvent {
+                    at,
+                    label: format!("reconnect:{}", argv[0]),
+                    action: Box::new(move || {
+                        match std::process::Command::new(&argv[0]).args(&argv[1..]).spawn() {
+                            Ok(child) => {
+                                eprintln!("loadgen: chaos respawned `{}` (pid {})", argv[0], child.id());
+                            }
+                            Err(e) => eprintln!("loadgen: chaos respawn of `{}`: {e}", argv[0]),
+                        }
+                    }),
+                });
+            }
+            other => usage_error(&format!("unknown chaos event kind `{other}`")),
+        }
+    }
+    events
+}
+
+fn main() {
+    let args = parse_args();
+    let labels = match (&args.corpus, &args.mix) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage_error(&format!("--corpus {path}: {e}")));
+            corpus_from_export(&text)
+                .unwrap_or_else(|e| usage_error(&format!("--corpus {path}: {e}")))
+        }
+        (None, Some(spec)) => {
+            let mix = parse_mix(spec).unwrap_or_else(|e| usage_error(&format!("--mix: {e}")));
+            sample_mix(&mix, args.requests.max(1), args.seed)
+        }
+        _ => unreachable!("parse_args enforces exactly one source"),
+    };
+    let chaos = parse_chaos(&args);
+    let options = LoadOptions {
+        addr: args.addr.clone().expect("checked in parse_args"),
+        labels,
+        requests: args.requests,
+        concurrency: args.concurrency.max(1),
+        arrival: match args.open_rps {
+            None => Arrival::Closed,
+            Some(rps) => Arrival::Open { rps },
+        },
+        seed: args.seed,
+        sample_interval: (args.sample_ms > 0).then(|| Duration::from_millis(args.sample_ms)),
+        request_timeout: Duration::from_millis(args.timeout_ms.max(1)),
+        oracle: args.oracle.clone(),
+    };
+    eprintln!(
+        "loadgen: {} request(s), {} worker(s), {} arrival, {} chaos event(s) -> {}",
+        options.requests,
+        options.concurrency,
+        match options.arrival {
+            Arrival::Closed => "closed-loop".to_string(),
+            Arrival::Open { rps } => format!("open-loop {rps} rps"),
+        },
+        chaos.len(),
+        options.addr
+    );
+    let report = run_load(&options, chaos);
+
+    let mut doc = report.to_json();
+    if let Json::Obj(fields) = &mut doc {
+        fields.insert("quick".to_string(), Json::Bool(args.quick));
+    }
+    let text = doc.to_line();
+    match &args.report {
+        None => println!("{text}"),
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n"))
+                .unwrap_or_else(|e| usage_error(&format!("--report {path}: {e}")));
+            eprintln!("loadgen: report written to {path}");
+        }
+    }
+    eprintln!(
+        "loadgen: {}/{} completed ({} done, {} failed, {} errored), p50 {}us p99 {}us, {} lost, {} duplicate",
+        report.completed,
+        report.requests,
+        report.done,
+        report.failed,
+        report.errors.values().sum::<u64>(),
+        report.latency.quantile_us(0.50),
+        report.latency.quantile_us(0.99),
+        report.lost_streams,
+        report.duplicate_terminals,
+    );
+    if !report.invariants_hold() {
+        eprintln!("loadgen: INVARIANT VIOLATION: every stream must get exactly one terminal event");
+        std::process::exit(1);
+    }
+}

@@ -8,10 +8,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loadgen;
 pub mod methods;
 pub mod runner;
 pub mod tables;
 
+pub use loadgen::{
+    corpus_from_export, open_offsets, parse_mix, run_load, sample_mix, shuffled_indices,
+    Arrival, ChaosEvent, LatencyHistogram, LoadOptions, LoadReport, QueueSample, Rng,
+};
 pub use methods::{Method, MethodKind};
 pub use runner::{
     batch_json, query_for, run_batch_via_router, run_batch_via_server,

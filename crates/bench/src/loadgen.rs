@@ -1,0 +1,1096 @@
+//! Standing load generator for the serving tier.
+//!
+//! Replays a recorded request mix (a `store_tool export` corpus, or a
+//! synthetic weighted mix) against a live `lift_server` or
+//! `lift_router`, at a configurable concurrency under closed-loop
+//! (next request on completion) or open-loop (seeded Poisson arrivals,
+//! latency measured from the *scheduled* arrival so coordinated
+//! omission is visible) load, and produces a [`LoadReport`]:
+//! log-scale latency histograms with p50/p90/p99, throughput, client-
+//! and server-side cache hit rates, an error-code breakdown, queue
+//! depth samples polled from the server's stats gauges, and the two
+//! serving invariants the harness exists to check — **no lost and no
+//! duplicated terminal events**, even while a [`ChaosEvent`] kills and
+//! restarts replicas mid-run.
+//!
+//! The `loadgen` binary wraps [`run_load`] behind flags; integration
+//! tests drive it in-process against real TCP servers.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gtl_serve::{Event, Json, LiftClient, LiftRequest, Request, ServerStats};
+
+// ---------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------
+
+/// Values below this are counted in exact one-microsecond buckets.
+const LINEAR_MAX: u64 = 16;
+/// Log-scale buckets: 16 sub-buckets per power of two, exponents 4..=36.
+/// Everything at or above 2^36 µs (~19 hours) lands in the final
+/// overflow bucket.
+const NUM_BUCKETS: usize = 16 + 33 * 16;
+
+/// A fixed-bucket log-scale latency histogram over microseconds.
+///
+/// The bucket layout is *fixed* (independent of the data), so two
+/// histograms recorded by different workers — or different loadgen
+/// processes — merge exactly by element-wise addition, and merging is
+/// associative and commutative. Values under 16 µs get
+/// exact buckets; above that each power of two is split into 16
+/// sub-buckets, bounding the relative quantile error at 1/16 (6.25%).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+/// The bucket a microsecond value falls into.
+fn bucket_index(us: u64) -> usize {
+    if us < LINEAR_MAX {
+        return us as usize;
+    }
+    let exp = 63 - us.leading_zeros() as usize; // >= 4
+    let sub = ((us >> (exp - 4)) & 0xf) as usize;
+    let index = 16 + (exp - 4) * 16 + sub;
+    index.min(NUM_BUCKETS - 1)
+}
+
+/// The largest value the bucket can hold (inclusive); `u64::MAX` for
+/// the overflow bucket.
+fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        return index as u64;
+    }
+    if index >= NUM_BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let exp = (index - 16) / 16 + 4;
+    let sub = ((index - 16) % 16) as u64;
+    (1u64 << exp) + (sub << (exp - 4)) + ((1u64 << (exp - 4)) - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one latency in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Adds every sample of `other` into `self` (element-wise bucket
+    /// addition — associative and commutative because the layout is
+    /// fixed).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact maximum recorded value (µs).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The mean recorded value (µs); 0 when empty.
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0..=1.0`), reported as the
+    /// upper bound of the bucket holding that rank — so the result is
+    /// `>=` the exact sample quantile and overshoots it by at most
+    /// 1/16. Clamped to the exact maximum; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The histogram as report JSON: summary quantiles plus the
+    /// non-empty `[index, count]` bucket pairs (enough to re-merge
+    /// reports offline).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(index, n)| Json::Arr(vec![Json::u64(index as u64), Json::u64(*n)]))
+            .collect();
+        Json::obj([
+            ("count", Json::u64(self.count)),
+            ("mean_us", Json::u64(self.mean_us())),
+            ("p50_us", Json::u64(self.quantile_us(0.50))),
+            ("p90_us", Json::u64(self.quantile_us(0.90))),
+            ("p99_us", Json::u64(self.quantile_us(0.99))),
+            ("max_us", Json::u64(self.max_us)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic randomness and arrival schedules
+// ---------------------------------------------------------------------
+
+/// A small deterministic RNG (xorshift64*), so every schedule and mix
+/// draw is reproducible from `--seed`.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator; a zero seed is remapped (xorshift has a
+    /// zero fixed point).
+    pub fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform draw in `0..n` (`0` when `n == 0`).
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How requests arrive at the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Closed loop: each worker sends its next request the moment the
+    /// previous one terminates. Measures capacity.
+    Closed,
+    /// Open loop at `rps` requests per second: arrival times are drawn
+    /// up front from a seeded Poisson process, and latency is measured
+    /// from the *scheduled* arrival, so a stalled server shows up as
+    /// growing latency instead of silently throttling the generator.
+    Open {
+        /// Mean arrival rate, requests per second.
+        rps: f64,
+    },
+}
+
+/// The open-loop arrival offsets for `n` requests at mean rate `rps`:
+/// cumulative exponential inter-arrival gaps, deterministic under
+/// `seed`, non-decreasing.
+pub fn open_offsets(n: usize, rps: f64, seed: u64) -> Vec<Duration> {
+    let rps = if rps > 0.0 { rps } else { 1.0 };
+    let mut rng = Rng::new(seed);
+    let mut at = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64();
+            at += -(1.0 - u).ln() / rps;
+            Duration::from_secs_f64(at)
+        })
+        .collect()
+}
+
+/// A seeded Fisher–Yates permutation of `0..n`: the order requests are
+/// drawn from the corpus, deterministic under `seed`.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = Rng::new(seed);
+    for i in (1..n).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+// ---------------------------------------------------------------------
+// Corpus: what to replay
+// ---------------------------------------------------------------------
+
+/// The benchmark labels recorded in a `store_tool export` document —
+/// the replayable corpus of everything the serving tier has actually
+/// answered.
+///
+/// # Errors
+///
+/// The export text must parse as a lift-outcome export
+/// ([`gtl_store::parse_export`]).
+pub fn corpus_from_export(text: &str) -> Result<Vec<String>, String> {
+    let records = gtl_store::parse_export(text)?;
+    if records.is_empty() {
+        return Err("export holds no records".into());
+    }
+    Ok(records.into_iter().map(|r| r.label).collect())
+}
+
+/// Parses a synthetic mix spec `name:weight,name:weight,…` (weight
+/// defaults to 1).
+///
+/// # Errors
+///
+/// Empty specs, empty names and unparseable weights.
+pub fn parse_mix(spec: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut mix = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, weight) = match part.split_once(':') {
+            None => (part, 1),
+            Some((name, raw)) => (
+                name.trim(),
+                raw.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("mix weight `{raw}` in `{part}` is not an integer"))?,
+            ),
+        };
+        if name.is_empty() {
+            return Err(format!("mix entry `{part}` has an empty name"));
+        }
+        if weight == 0 {
+            return Err(format!("mix entry `{part}` has weight 0"));
+        }
+        mix.push((name.to_string(), weight));
+    }
+    if mix.is_empty() {
+        return Err("mix spec holds no entries".into());
+    }
+    Ok(mix)
+}
+
+/// Draws `n` labels from a weighted mix, deterministic under `seed`.
+pub fn sample_mix(mix: &[(String, u64)], n: usize, seed: u64) -> Vec<String> {
+    let total: u64 = mix.iter().map(|(_, w)| w).sum();
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut draw = rng.next_below(total);
+            for (name, weight) in mix {
+                if draw < *weight {
+                    return name.clone();
+                }
+                draw -= weight;
+            }
+            mix.last().expect("mix is non-empty").0.clone()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Chaos
+// ---------------------------------------------------------------------
+
+/// One scheduled fault injection: at offset `at` from run start, the
+/// chaos thread runs `action` (kill a replica, restart one, …) and the
+/// report records `{label, t_ms}`. Kill events (label starting with
+/// `kill`) additionally classify every request whose in-flight window
+/// spans them into the separate failover-latency histogram.
+pub struct ChaosEvent {
+    /// Offset from run start.
+    pub at: Duration,
+    /// Report label; `kill…` marks a replica kill for failover
+    /// classification.
+    pub label: String,
+    /// The injection itself, run on the chaos thread.
+    pub action: Box<dyn FnOnce() + Send>,
+}
+
+impl ChaosEvent {
+    /// A kill event: at `at`, send a `shutdown` request to `addr`
+    /// (takes the replica down exactly as an operator would).
+    pub fn kill_replica(at: Duration, addr: impl Into<String>) -> ChaosEvent {
+        let addr = addr.into();
+        let label = format!("kill-replica:{addr}");
+        ChaosEvent {
+            at,
+            label,
+            action: Box::new(move || {
+                match LiftClient::connect(&addr) {
+                    Ok(mut client) => {
+                        if let Err(e) = client.shutdown() {
+                            eprintln!("loadgen: chaos kill of {addr}: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("loadgen: chaos kill of {addr}: {e}"),
+                }
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Options, report
+// ---------------------------------------------------------------------
+
+/// What to run: target, corpus, load shape, observation cadence.
+pub struct LoadOptions {
+    /// The server or router address (`host:port`).
+    pub addr: String,
+    /// The corpus labels requests are drawn from (round-robin over a
+    /// seeded shuffle of the request sequence).
+    pub labels: Vec<String>,
+    /// Total requests to send.
+    pub requests: usize,
+    /// Concurrent client connections (workers).
+    pub concurrency: usize,
+    /// Closed- or open-loop arrival.
+    pub arrival: Arrival,
+    /// Seed for the shuffle and the open-loop schedule.
+    pub seed: u64,
+    /// Stats-gauge sampling cadence; `None` disables the sampler.
+    pub sample_interval: Option<Duration>,
+    /// Per-request stream deadline; a stream with no terminal event
+    /// within it counts as **lost** (the invariant the report gates
+    /// on).
+    pub request_timeout: Duration,
+    /// Oracle spec attached to every request (`None` = server base).
+    pub oracle: Option<String>,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            addr: String::new(),
+            labels: Vec::new(),
+            requests: 0,
+            concurrency: 1,
+            arrival: Arrival::Closed,
+            seed: 1,
+            sample_interval: Some(Duration::from_millis(100)),
+            request_timeout: Duration::from_secs(60),
+            oracle: None,
+        }
+    }
+}
+
+/// One poll of the server's live queue gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Milliseconds since run start.
+    pub t_ms: u64,
+    /// Jobs waiting in the bounded queue.
+    pub queued: u64,
+    /// Jobs running on workers.
+    pub active: u64,
+}
+
+/// Everything one load run produced.
+pub struct LoadReport {
+    /// Requests sent.
+    pub requests: usize,
+    /// Streams that reached exactly one terminal event.
+    pub completed: u64,
+    /// Terminal `done` events.
+    pub done: u64,
+    /// Terminal `failed` events.
+    pub failed: u64,
+    /// Terminal `error` events by wire code (`rate_limited`,
+    /// `queue_full`, `replica_unavailable`, …).
+    pub errors: BTreeMap<String, u64>,
+    /// `done` events answered from the result cache.
+    pub cached: u64,
+    /// Streams with **no** terminal event within the deadline (or cut
+    /// by a disconnect). Must be 0 — the invariant chaos runs gate on.
+    pub lost_streams: u64,
+    /// Terminal events received for already-terminated streams. Must
+    /// be 0.
+    pub duplicate_terminals: u64,
+    /// End-to-end latency of every completed request.
+    pub latency: LatencyHistogram,
+    /// Latency of completed requests whose in-flight window spanned a
+    /// replica kill — the price of a failover, kept out of the main
+    /// distribution.
+    pub failover_latency: LatencyHistogram,
+    /// Wall-clock of the whole run, milliseconds.
+    pub elapsed_ms: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Queue-gauge samples polled during the run.
+    pub samples: Vec<QueueSample>,
+    /// Chaos injections that ran: `(label, t_ms)`.
+    pub chaos: Vec<(String, u64)>,
+    /// The target's stats snapshot after the run (absent when the
+    /// final poll failed).
+    pub server: Option<ServerStats>,
+}
+
+impl LoadReport {
+    /// Whether the serving invariants held: every stream got exactly
+    /// one terminal event.
+    pub fn invariants_hold(&self) -> bool {
+        self.lost_streams == 0 && self.duplicate_terminals == 0
+    }
+
+    /// Server-reported cache hit rate over the whole server lifetime
+    /// (`None` without a final snapshot or without lookups).
+    pub fn server_cache_hit_rate(&self) -> Option<f64> {
+        let stats = self.server.as_ref()?;
+        let lookups = stats.cache_hits + stats.cache_misses;
+        if lookups == 0 {
+            None
+        } else {
+            Some(stats.cache_hits as f64 / lookups as f64)
+        }
+    }
+
+    /// The report as one JSON document (`docs/ARCHITECTURE.md`
+    /// documents the schema).
+    pub fn to_json(&self) -> Json {
+        let errors = Json::Obj(
+            self.errors
+                .iter()
+                .map(|(code, n)| (code.clone(), Json::u64(*n)))
+                .collect(),
+        );
+        let samples: Vec<Json> = self
+            .samples
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("t_ms", Json::u64(s.t_ms)),
+                    ("queued", Json::u64(s.queued)),
+                    ("active", Json::u64(s.active)),
+                ])
+            })
+            .collect();
+        let chaos: Vec<Json> = self
+            .chaos
+            .iter()
+            .map(|(label, t_ms)| {
+                Json::obj([("label", Json::str(label)), ("t_ms", Json::u64(*t_ms))])
+            })
+            .collect();
+        let client_hit_rate = if self.done == 0 {
+            0.0
+        } else {
+            self.cached as f64 / self.done as f64
+        };
+        let server = match &self.server {
+            None => Json::Null,
+            Some(s) => Json::obj([
+                ("received", Json::u64(s.received)),
+                ("completed", Json::u64(s.completed)),
+                ("failed", Json::u64(s.failed)),
+                ("rejected", Json::u64(s.rejected)),
+                ("cache_hits", Json::u64(s.cache_hits)),
+                ("cache_misses", Json::u64(s.cache_misses)),
+                ("peak_queued", Json::u64(s.peak_queued)),
+                ("done_events", Json::u64(s.done_events)),
+                ("failed_events", Json::u64(s.failed_events)),
+                ("error_events", Json::u64(s.error_events)),
+                ("shared_events", Json::u64(s.shared_events)),
+                (
+                    "replicas",
+                    Json::Obj(
+                        s.replicas
+                            .iter()
+                            .map(|r| {
+                                (
+                                    r.addr.clone(),
+                                    Json::obj([
+                                        ("forwards", Json::u64(r.forwards)),
+                                        ("failovers", Json::u64(r.failovers)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        Json::obj([
+            ("kind", Json::str("gtl_loadgen_report")),
+            ("requests", Json::u64(self.requests as u64)),
+            ("completed", Json::u64(self.completed)),
+            ("done", Json::u64(self.done)),
+            ("failed", Json::u64(self.failed)),
+            ("cached", Json::u64(self.cached)),
+            ("errors", errors),
+            ("lost_streams", Json::u64(self.lost_streams)),
+            ("duplicate_terminals", Json::u64(self.duplicate_terminals)),
+            ("elapsed_ms", Json::u64(self.elapsed_ms)),
+            ("throughput_rps", Json::num(self.throughput_rps)),
+            ("client_cache_hit_rate", Json::num(client_hit_rate)),
+            (
+                "server_cache_hit_rate",
+                self.server_cache_hit_rate().map_or(Json::Null, Json::num),
+            ),
+            ("latency", self.latency.to_json()),
+            ("failover_latency", self.failover_latency.to_json()),
+            ("samples", Json::Arr(samples)),
+            ("chaos", Json::Arr(chaos)),
+            ("server", server),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------
+
+/// One completed request's in-flight window, for failover
+/// classification after the kill timeline is known.
+struct Span {
+    start_ms: u64,
+    end_ms: u64,
+    latency_us: u64,
+}
+
+/// One worker's private tally, merged under a lock when it finishes.
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    done: u64,
+    failed: u64,
+    cached: u64,
+    lost: u64,
+    duplicates: u64,
+    errors: BTreeMap<String, u64>,
+    latency: LatencyHistogram,
+    spans: Vec<Span>,
+}
+
+fn connect_with_retry(addr: &str, attempts: usize) -> Option<LiftClient> {
+    for n in 0..attempts {
+        match LiftClient::connect(addr) {
+            Ok(client) => return Some(client),
+            Err(_) if n + 1 < attempts => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => eprintln!("loadgen: cannot reach {addr}: {e}"),
+        }
+    }
+    None
+}
+
+/// Runs one load session: workers replay the corpus against
+/// `options.addr`, the sampler polls queue gauges, the chaos thread
+/// fires every [`ChaosEvent`] at its offset (all of them — the run
+/// waits for the timeline even if traffic finishes early, so a
+/// scheduled restart always happens), and the merged [`LoadReport`]
+/// comes back with the invariant verdict.
+pub fn run_load(options: &LoadOptions, chaos: Vec<ChaosEvent>) -> LoadReport {
+    let n = options.requests;
+    let order = shuffled_indices(n, options.seed);
+    let offsets = match options.arrival {
+        Arrival::Closed => Vec::new(),
+        Arrival::Open { rps } => open_offsets(n, rps, options.seed ^ 0x6c6f_6164),
+    };
+    let start = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let stop_sampler = AtomicBool::new(false);
+    let tallies: Mutex<Vec<Tally>> = Mutex::new(Vec::new());
+    let samples: Mutex<Vec<QueueSample>> = Mutex::new(Vec::new());
+    let chaos_log: Mutex<Vec<(String, u64)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        // The chaos timeline: every event fires at its offset.
+        let chaos_log = &chaos_log;
+        scope.spawn(move || {
+            let mut events = chaos;
+            events.sort_by_key(|e| e.at);
+            for event in events {
+                if let Some(wait) = event.at.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                let t_ms = start.elapsed().as_millis() as u64;
+                (event.action)();
+                chaos_log
+                    .lock()
+                    .expect("chaos log poisoned")
+                    .push((event.label, t_ms));
+            }
+        });
+
+        // The gauge sampler.
+        if let Some(interval) = options.sample_interval {
+            let samples = &samples;
+            let stop = &stop_sampler;
+            let addr = options.addr.clone();
+            scope.spawn(move || {
+                let mut client: Option<LiftClient> = None;
+                while !stop.load(Ordering::Acquire) {
+                    if client.is_none() {
+                        client = LiftClient::connect(&addr).ok();
+                    }
+                    if let Some(c) = &mut client {
+                        match c.stats() {
+                            Ok(stats) => samples.lock().expect("samples poisoned").push(
+                                QueueSample {
+                                    t_ms: start.elapsed().as_millis() as u64,
+                                    queued: stats.queued,
+                                    active: stats.active,
+                                },
+                            ),
+                            Err(_) => client = None,
+                        }
+                    }
+                    std::thread::sleep(interval);
+                }
+            });
+        }
+
+        // The load workers.
+        let mut workers = Vec::new();
+        for _ in 0..options.concurrency.max(1) {
+            let cursor = &cursor;
+            let order = &order;
+            let offsets = &offsets;
+            let tallies = &tallies;
+            workers.push(scope.spawn(move || {
+                let mut tally = Tally::default();
+                let mut closed: HashSet<String> = HashSet::new();
+                let mut client = connect_with_retry(&options.addr, 20);
+                if let Some(c) = &mut client {
+                    let _ = c.set_read_timeout(Some(options.request_timeout));
+                }
+                loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    let label = &options.labels[order[k] % options.labels.len()];
+                    let id = format!("lg-{k}");
+                    // Open loop: wait for the scheduled arrival, and
+                    // measure from it.
+                    let t0 = match options.arrival {
+                        Arrival::Closed => Instant::now(),
+                        Arrival::Open { .. } => {
+                            let target = start + offsets[k];
+                            if let Some(wait) = offsets[k].checked_sub(start.elapsed()) {
+                                std::thread::sleep(wait);
+                            }
+                            target
+                        }
+                    };
+                    let start_ms = t0.saturating_duration_since(start).as_millis() as u64;
+                    let Some(c) = &mut client else {
+                        tally.lost += 1;
+                        continue;
+                    };
+                    let mut request = LiftRequest::benchmark(&id, label);
+                    request.oracle = options.oracle.clone();
+                    if c.send(&Request::Lift(request)).is_err() {
+                        tally.lost += 1;
+                        client = connect_with_retry(&options.addr, 20);
+                        if let Some(c) = &mut client {
+                            let _ = c.set_read_timeout(Some(options.request_timeout));
+                        }
+                        continue;
+                    }
+                    drive_stream(c, &id, &mut closed, &mut tally, t0, start_ms, start)
+                        .unwrap_or_else(|()| {
+                            // Timeout or disconnect: the stream is
+                            // lost; a fresh connection keeps later
+                            // streams from inheriting its events.
+                            tally.lost += 1;
+                            client = connect_with_retry(&options.addr, 20);
+                            if let Some(c) = &mut client {
+                                let _ = c.set_read_timeout(Some(options.request_timeout));
+                            }
+                        });
+                }
+                tallies.lock().expect("tallies poisoned").push(tally);
+            }));
+        }
+        // Stop the sampler once traffic is done — inside the scope,
+        // because the scope joins every spawned thread (the sampler
+        // would otherwise poll forever and deadlock the join).
+        for worker in workers {
+            let _ = worker.join();
+        }
+        stop_sampler.store(true, Ordering::Release);
+    });
+
+    let elapsed_ms = (start.elapsed().as_millis() as u64).max(1);
+    let chaos = chaos_log.into_inner().expect("chaos log poisoned");
+    let kills_ms: Vec<u64> = chaos
+        .iter()
+        .filter(|(label, _)| label.starts_with("kill"))
+        .map(|(_, t_ms)| *t_ms)
+        .collect();
+
+    let mut report = LoadReport {
+        requests: n,
+        completed: 0,
+        done: 0,
+        failed: 0,
+        errors: BTreeMap::new(),
+        cached: 0,
+        lost_streams: 0,
+        duplicate_terminals: 0,
+        latency: LatencyHistogram::new(),
+        failover_latency: LatencyHistogram::new(),
+        elapsed_ms,
+        throughput_rps: 0.0,
+        samples: samples.into_inner().expect("samples poisoned"),
+        chaos,
+        server: None,
+    };
+    for tally in tallies.into_inner().expect("tallies poisoned") {
+        report.completed += tally.completed;
+        report.done += tally.done;
+        report.failed += tally.failed;
+        report.cached += tally.cached;
+        report.lost_streams += tally.lost;
+        report.duplicate_terminals += tally.duplicates;
+        for (code, count) in tally.errors {
+            *report.errors.entry(code).or_default() += count;
+        }
+        report.latency.merge(&tally.latency);
+        for span in tally.spans {
+            if kills_ms
+                .iter()
+                .any(|kill| *kill >= span.start_ms && *kill <= span.end_ms)
+            {
+                report.failover_latency.record(span.latency_us);
+            }
+        }
+    }
+    report.throughput_rps = report.completed as f64 / (elapsed_ms as f64 / 1000.0);
+    report.server = LiftClient::connect(&options.addr)
+        .ok()
+        .and_then(|mut c| c.stats().ok());
+    report
+}
+
+/// Reads one request's stream to its terminal event, tallying it.
+/// `Err(())` means the stream was lost (disconnect, protocol error or
+/// deadline) and the connection must be replaced.
+fn drive_stream(
+    client: &mut LiftClient,
+    id: &str,
+    closed: &mut HashSet<String>,
+    tally: &mut Tally,
+    t0: Instant,
+    start_ms: u64,
+    run_start: Instant,
+) -> Result<(), ()> {
+    loop {
+        let event = match client.next_event() {
+            Ok(Some(event)) => event,
+            Ok(None) | Err(_) => return Err(()),
+        };
+        if matches!(event, Event::Stats { .. }) {
+            continue; // the sampler runs on its own connection, but stay safe
+        }
+        let terminal = event.is_terminal();
+        match event.id() {
+            Some(eid) if eid == id => {}
+            Some(eid) => {
+                // An event for another stream on this connection: only
+                // a terminal for an already-closed stream is possible,
+                // and it is exactly the duplicate the invariant bans.
+                if terminal && closed.contains(eid) {
+                    tally.duplicates += 1;
+                }
+                continue;
+            }
+            // An id-less error answers the request we just sent.
+            None => {}
+        }
+        if !terminal {
+            continue;
+        }
+        let latency_us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        closed.insert(id.to_string());
+        tally.completed += 1;
+        match &event {
+            Event::Done { cached, .. } => {
+                tally.done += 1;
+                if *cached {
+                    tally.cached += 1;
+                }
+            }
+            Event::Failed { .. } => tally.failed += 1,
+            Event::Error { code, .. } => {
+                *tally.errors.entry(code.wire_name().to_string()).or_default() += 1;
+            }
+            _ => {
+                *tally
+                    .errors
+                    .entry("unexpected_terminal".to_string())
+                    .or_default() += 1;
+            }
+        }
+        tally.latency.record(latency_us);
+        tally.spans.push(Span {
+            start_ms,
+            end_ms: run_start.elapsed().as_millis() as u64,
+            latency_us,
+        });
+        return Ok(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        let mut h = LatencyHistogram::new();
+        for us in 0..LINEAR_MAX {
+            h.record(us);
+        }
+        for us in 0..LINEAR_MAX {
+            assert_eq!(bucket_upper(bucket_index(us)), us);
+        }
+        assert_eq!(h.count(), LINEAR_MAX);
+        assert_eq!(h.quantile_us(0.0), 0);
+        assert_eq!(h.quantile_us(1.0), LINEAR_MAX - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_contain_their_values() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.next_u64() >> (rng.next_below(60) as u32);
+            let index = bucket_index(v);
+            assert!(bucket_upper(index) >= v, "upper({index}) < {v}");
+            if index > 0 && index < NUM_BUCKETS - 1 {
+                assert!(
+                    bucket_upper(index - 1) < v,
+                    "value {v} below its bucket's lower edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_exact_sorted_samples() {
+        // Values stay below the 2^36 µs overflow bucket, where the
+        // 1/16 relative-error bound is guaranteed.
+        let mut rng = Rng::new(42);
+        let mut values: Vec<u64> = (0..500)
+            .map(|_| rng.next_u64() >> (29 + rng.next_below(30) as u32))
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = h.quantile_us(q);
+            assert!(approx >= exact, "q{q}: {approx} < exact {exact}");
+            // Bucket width bounds the overshoot at 1/16 of the value.
+            assert!(
+                approx <= exact + exact / 16 + 1,
+                "q{q}: {approx} overshoots exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile_us(1.0), *values.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let build = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            let mut h = LatencyHistogram::new();
+            for _ in 0..200 {
+                h.record(rng.next_u64() >> (rng.next_below(50) as u32 + 8));
+            }
+            h
+        };
+        let (a, b, c) = (build(1), build(2), build(3));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge is not associative");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "merge is not commutative");
+        assert_eq!(ab.count(), a.count() + b.count());
+    }
+
+    #[test]
+    fn oversized_values_land_in_the_overflow_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 40);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 40), NUM_BUCKETS - 1);
+        assert_eq!(h.count(), 2);
+        // The overflow bucket's bound is the exact recorded max.
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn open_schedule_is_deterministic_and_monotone() {
+        let a = open_offsets(100, 200.0, 9);
+        let b = open_offsets(100, 200.0, 9);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        let c = open_offsets(100, 200.0, 10);
+        assert_ne!(a, c, "different seeds must differ");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets not monotone");
+        // Mean gap is 1/rps — allow a wide tolerance, the point is the
+        // rate is honoured, not the exact distribution.
+        let mean_gap = a.last().unwrap().as_secs_f64() / 100.0;
+        assert!(
+            (0.002..0.012).contains(&mean_gap),
+            "mean gap {mean_gap} far from 1/200s"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_deterministic_permutation() {
+        let a = shuffled_indices(50, 3);
+        let b = shuffled_indices(50, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, shuffled_indices(50, 4));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mix_parses_and_samples_by_weight() {
+        let mix = parse_mix("blas_dot:9, stencil_1d :1").unwrap();
+        assert_eq!(
+            mix,
+            vec![("blas_dot".to_string(), 9), ("stencil_1d".to_string(), 1)]
+        );
+        let draws = sample_mix(&mix, 1000, 5);
+        assert_eq!(draws, sample_mix(&mix, 1000, 5), "sampling must be seeded");
+        let heavy = draws.iter().filter(|l| *l == "blas_dot").count();
+        assert!(
+            heavy > 700,
+            "weight 9:1 drew the heavy label only {heavy}/1000 times"
+        );
+        assert!(heavy < 1000, "the light label never appeared");
+        assert!(parse_mix("").is_err());
+        assert!(parse_mix("a:x").is_err());
+        assert!(parse_mix("a:0").is_err());
+        assert!(parse_mix(":3").is_err());
+    }
+
+    #[test]
+    fn export_documents_become_corpora() {
+        let text = concat!(
+            "{\"kind\":\"lift_outcomes\",\"records\":[\n",
+            "{\"key\":\"00ff\",\"label\":\"blas_dot\",\"solution\":\"out = a(i)*b(i)\",",
+            "\"attempts\":3,\"nodes\":9,\"seconds\":0.1},\n",
+            "{\"key\":\"01aa\",\"label\":\"stencil_1d\",\"reason\":\"search_exhausted\",",
+            "\"attempts\":5,\"nodes\":11,\"seconds\":0.2}\n",
+            "]}"
+        );
+        assert_eq!(
+            corpus_from_export(text).unwrap(),
+            vec!["blas_dot".to_string(), "stencil_1d".to_string()]
+        );
+        assert!(corpus_from_export("{}").is_err());
+        assert!(corpus_from_export("{\"kind\":\"lift_outcomes\",\"records\":[]}").is_err());
+    }
+
+    #[test]
+    fn report_json_carries_the_schema_fields() {
+        let mut latency = LatencyHistogram::new();
+        latency.record(1_500);
+        latency.record(90_000);
+        let report = LoadReport {
+            requests: 2,
+            completed: 2,
+            done: 2,
+            failed: 0,
+            errors: BTreeMap::from([("rate_limited".to_string(), 1)]),
+            cached: 1,
+            lost_streams: 0,
+            duplicate_terminals: 0,
+            latency,
+            failover_latency: LatencyHistogram::new(),
+            elapsed_ms: 120,
+            throughput_rps: 16.6,
+            samples: vec![QueueSample {
+                t_ms: 50,
+                queued: 3,
+                active: 1,
+            }],
+            chaos: vec![("kill-replica:127.0.0.1:1".to_string(), 60)],
+            server: None,
+        };
+        assert!(report.invariants_hold());
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("gtl_loadgen_report")
+        );
+        assert_eq!(doc.get("completed").and_then(Json::as_u64), Some(2));
+        let latency = doc.get("latency").expect("latency section");
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(2));
+        assert!(latency.get("p50_us").and_then(Json::as_u64).unwrap() >= 1_500);
+        assert!(latency.get("p99_us").and_then(Json::as_u64).unwrap() >= 90_000);
+        let samples = doc.get("samples").and_then(Json::as_arr).unwrap();
+        assert_eq!(samples[0].get("queued").and_then(Json::as_u64), Some(3));
+        let errors = doc.get("errors").expect("errors section");
+        assert_eq!(errors.get("rate_limited").and_then(Json::as_u64), Some(1));
+        // The whole document round-trips through the JSON layer.
+        let line = doc.to_line();
+        let parsed = gtl_store::json::parse(&line).expect("report JSON parses");
+        assert_eq!(parsed.get("requests").and_then(Json::as_u64), Some(2));
+    }
+}

@@ -28,7 +28,8 @@
 //! segments once it exceeds N bytes, keeping append latency flat and
 //! letting compaction work on sealed segments only; once rotation
 //! leaves [`SEGMENT_MERGE_THRESHOLD`] sealed segments on disk, the
-//! append that crossed the line merges them into the snapshot.
+//! append that crossed the line signals a background merge thread —
+//! the write path never waits for the snapshot merge.
 //! `--max-inflight-per-client N` caps how many lifts one client may
 //! have queued or running at once (excess submissions are rejected
 //! with `rate_limited`).
@@ -62,7 +63,8 @@ struct Args {
 }
 
 /// Sealed segments a rotated store may accumulate before the next
-/// append (or startup stale-check) merges them into the snapshot.
+/// append signals the background merge (or the startup stale-check
+/// merges inline).
 const SEGMENT_MERGE_THRESHOLD: u64 = 8;
 
 const USAGE: &str = "usage: lift_server [--stdio | --listen ADDR] [--workers N] [--queue N] \

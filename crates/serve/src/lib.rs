@@ -71,8 +71,8 @@ pub use cache::{normalize_source, request_key, CachedOutcome, ResultCache};
 pub use client::{ClientError, LiftClient};
 pub use json::{Json, JsonError};
 pub use protocol::{
-    ConfigOverrides, ErrorCode, Event, KernelSpec, LiftRequest, OracleStat, Request,
-    ServerStats, WireError, WireParam, WireParamKind,
+    ConfigOverrides, ErrorCode, Event, KernelSpec, LiftRequest, OracleStat, ReplicaStat,
+    Request, ServerStats, WireError, WireParam, WireParamKind,
 };
 pub use router::{HashRing, LiftRouter, RouterConfig, RouterHandle};
 pub use server::{EventSink, LiftServer, LineAction, ServerConfig, ServerHandle};

@@ -330,6 +330,21 @@ pub struct OracleStat {
     pub lifts: u64,
 }
 
+/// Router-side accounting for one replica: how traffic and failures
+/// were distributed. Empty on plain servers — only `lift_router`
+/// populates it in the stats it serves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaStat {
+    /// The replica address as configured on the router.
+    pub addr: String,
+    /// Requests this replica served (streams finished, one-shot
+    /// exchanges answered).
+    pub forwards: u64,
+    /// Times this replica failed mid-request or at connect and the
+    /// router moved on to the next ring candidate.
+    pub failovers: u64,
+}
+
 /// A server statistics snapshot (the payload of [`Event::Stats`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -365,6 +380,26 @@ pub struct ServerStats {
     pub store_compactions: u64,
     /// Per-provider lift counts, sorted by spec.
     pub oracles: Vec<OracleStat>,
+    /// High-water mark of [`ServerStats::queued`] since startup
+    /// (monotone — drains never lower it).
+    pub peak_queued: u64,
+    /// Per-worker busy flags (`1` = a job is running on that worker),
+    /// indexed by worker number. Empty when decoded from a pre-gauge
+    /// server.
+    pub worker_inflight: Vec<u64>,
+    /// Terminal `done` events emitted since startup.
+    pub done_events: u64,
+    /// Terminal `failed` events emitted since startup.
+    pub failed_events: u64,
+    /// Terminal `error` events emitted since startup (admission
+    /// rejections, malformed requests, refused shares).
+    pub error_events: u64,
+    /// `shared` acknowledgements emitted since startup (accepted
+    /// `share_lift` pushes).
+    pub shared_events: u64,
+    /// Per-replica forward/failover counts, sorted by address. Empty
+    /// everywhere except in router-served stats.
+    pub replicas: Vec<ReplicaStat>,
 }
 
 /// A server → client message. Per request id, a stream is:
@@ -853,6 +888,32 @@ fn stats_to_json(s: &ServerStats) -> Json {
                     .collect(),
             ),
         ),
+        ("peak_queued", Json::u64(s.peak_queued)),
+        (
+            "worker_inflight",
+            Json::Arr(s.worker_inflight.iter().map(|n| Json::u64(*n)).collect()),
+        ),
+        ("done_events", Json::u64(s.done_events)),
+        ("failed_events", Json::u64(s.failed_events)),
+        ("error_events", Json::u64(s.error_events)),
+        ("shared_events", Json::u64(s.shared_events)),
+        (
+            "replicas",
+            Json::Obj(
+                s.replicas
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.addr.clone(),
+                            Json::obj([
+                                ("forwards", Json::u64(r.forwards)),
+                                ("failovers", Json::u64(r.failovers)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -886,6 +947,28 @@ fn stats_from_json(doc: &Json) -> Option<ServerStats> {
         store_appended: field("store_appended").unwrap_or(0),
         store_compactions: field("store_compactions").unwrap_or(0),
         oracles,
+        // Gauge fields postdate PR 3 wire stats: default when absent so
+        // newer clients still decode older servers.
+        peak_queued: field("peak_queued").unwrap_or(0),
+        worker_inflight: match doc.get("worker_inflight") {
+            Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
+            _ => Vec::new(),
+        },
+        done_events: field("done_events").unwrap_or(0),
+        failed_events: field("failed_events").unwrap_or(0),
+        error_events: field("error_events").unwrap_or(0),
+        shared_events: field("shared_events").unwrap_or(0),
+        replicas: match doc.get("replicas") {
+            Some(Json::Obj(map)) => map
+                .iter()
+                .map(|(addr, counts)| ReplicaStat {
+                    addr: addr.clone(),
+                    forwards: counts.get("forwards").and_then(Json::as_u64).unwrap_or(0),
+                    failovers: counts.get("failovers").and_then(Json::as_u64).unwrap_or(0),
+                })
+                .collect(),
+            _ => Vec::new(),
+        },
     })
 }
 
@@ -1262,6 +1345,24 @@ mod tests {
                             lifts: 5,
                         },
                     ],
+                    peak_queued: 6,
+                    worker_inflight: vec![1, 0, 1, 0],
+                    done_events: 7,
+                    failed_events: 1,
+                    error_events: 2,
+                    shared_events: 3,
+                    replicas: vec![
+                        ReplicaStat {
+                            addr: "127.0.0.1:7191".into(),
+                            forwards: 9,
+                            failovers: 1,
+                        },
+                        ReplicaStat {
+                            addr: "127.0.0.1:7192".into(),
+                            forwards: 4,
+                            failovers: 0,
+                        },
+                    ],
                 },
             },
             Event::Shared {
@@ -1292,6 +1393,20 @@ mod tests {
             let line = event.to_line();
             assert_eq!(Event::parse_line(&line).unwrap(), event, "line: {line}");
         }
+    }
+
+    #[test]
+    fn stats_from_pre_gauge_servers_decode_with_defaults() {
+        // A PR 3-era stats line: none of the gauge/counter fields.
+        let line = r#"{"event":"stats","stats":{"received":2,"completed":2,"failed":0,"cancelled":0,"rejected":0,"cache_hits":1,"cache_misses":1,"queued":0,"active":0,"workers":1}}"#;
+        let Event::Stats { stats } = Event::parse_line(line).unwrap() else {
+            panic!("not a stats event");
+        };
+        assert_eq!(stats.received, 2);
+        assert_eq!(stats.peak_queued, 0);
+        assert!(stats.worker_inflight.is_empty());
+        assert_eq!(stats.done_events, 0);
+        assert!(stats.replicas.is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use gtl::StaggConfig;
 
 use crate::cache::request_key;
 use crate::protocol::{
-    ErrorCode, Event, LiftRequest, OracleStat, Request, ServerStats, WireError,
+    ErrorCode, Event, LiftRequest, OracleStat, ReplicaStat, Request, ServerStats, WireError,
 };
 use crate::server::{resolve_query, EventSink, LineAction};
 use crate::transport::LineHandler;
@@ -141,6 +141,19 @@ struct Inflight {
     cancelled: bool,
 }
 
+/// Per-replica routing outcome counters, kept by the router itself
+/// (replicas cannot see their own failures — a dead replica reports
+/// nothing). Surfaced through the `stats` fan-out as
+/// [`ServerStats::replicas`].
+#[derive(Debug, Default)]
+struct ReplicaCounters {
+    /// Streams this replica carried to a proper terminal event.
+    forwards: AtomicU64,
+    /// Attempts this replica failed (connect refused, died mid-stream),
+    /// sending the router on to the next candidate.
+    failovers: AtomicU64,
+}
+
 /// Shared state of a running [`LiftRouter`].
 struct RouterState {
     config: RouterConfig,
@@ -148,6 +161,41 @@ struct RouterState {
     /// Forwarding threads still running; `drain` waits on it so the
     /// stdio batch idiom (EOF, then exit) flushes every stream.
     outstanding: AtomicU64,
+    /// Routing outcomes per replica address; the set is fixed at
+    /// construction, so plain atomics suffice.
+    counters: HashMap<String, ReplicaCounters>,
+}
+
+impl RouterState {
+    /// Bumps the forward (terminal stream delivered) counter for `addr`.
+    fn count_forward(&self, addr: &str) {
+        if let Some(c) = self.counters.get(addr) {
+            c.forwards.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bumps the failover (replica attempt failed) counter for `addr`.
+    fn count_failover(&self, addr: &str) {
+        if let Some(c) = self.counters.get(addr) {
+            c.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The counters as wire-format rows, sorted by address for stable
+    /// output.
+    fn replica_stats(&self) -> Vec<ReplicaStat> {
+        let mut rows: Vec<ReplicaStat> = self
+            .counters
+            .iter()
+            .map(|(addr, c)| ReplicaStat {
+                addr: addr.clone(),
+                forwards: c.forwards.load(Ordering::Relaxed),
+                failovers: c.failovers.load(Ordering::Relaxed),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.addr.cmp(&b.addr));
+        rows
+    }
 }
 
 /// The router itself: build once, then create one [`RouterHandle`] per
@@ -160,11 +208,17 @@ impl LiftRouter {
     /// Builds the ring and the shared state.
     pub fn new(config: RouterConfig) -> LiftRouter {
         let ring = HashRing::new(config.replicas.clone(), config.vnodes);
+        let counters = config
+            .replicas
+            .iter()
+            .map(|addr| (addr.clone(), ReplicaCounters::default()))
+            .collect();
         LiftRouter {
             state: Arc::new(RouterState {
                 config,
                 ring,
                 outstanding: AtomicU64::new(0),
+                counters,
             }),
         }
     }
@@ -331,8 +385,12 @@ impl RouterHandle {
                 return;
             }
             match self.stream_from(addr, id, &line, &mut queued_seen, sink) {
-                Attempt::Finished => return,
+                Attempt::Finished => {
+                    self.state.count_forward(addr);
+                    return;
+                }
                 Attempt::Failed(reason) => {
+                    self.state.count_failover(addr);
                     eprintln!("lift_router: replica {addr} failed for `{id}`: {reason}");
                     last_failure = format!("{addr}: {reason}");
                 }
@@ -452,7 +510,10 @@ impl RouterHandle {
 
     /// Fans a `stats` request out to every replica and sums the
     /// snapshots; unreachable replicas contribute nothing (the router
-    /// serves what the survivors report).
+    /// serves what the survivors report). The router attaches its own
+    /// per-replica forward/failover counters as
+    /// [`ServerStats::replicas`] — failures are visible only from the
+    /// routing side, since a dead replica reports nothing.
     fn fanout_stats(&self) -> ServerStats {
         let mut total = ServerStats::default();
         let mut oracles: HashMap<String, u64> = HashMap::new();
@@ -473,6 +534,12 @@ impl RouterHandle {
                     total.store_loaded += stats.store_loaded;
                     total.store_appended += stats.store_appended;
                     total.store_compactions += stats.store_compactions;
+                    total.peak_queued += stats.peak_queued;
+                    total.worker_inflight.extend(stats.worker_inflight);
+                    total.done_events += stats.done_events;
+                    total.failed_events += stats.failed_events;
+                    total.error_events += stats.error_events;
+                    total.shared_events += stats.shared_events;
                     for o in stats.oracles {
                         *oracles.entry(o.spec).or_default() += o.lifts;
                     }
@@ -486,6 +553,7 @@ impl RouterHandle {
             .collect();
         oracles.sort_by(|a, b| a.spec.cmp(&b.spec));
         total.oracles = oracles;
+        total.replicas = self.state.replica_stats();
         total
     }
 
@@ -511,11 +579,15 @@ impl RouterHandle {
                 for addr in &candidates {
                     match this.exchange(addr, &line) {
                         Ok(event) => {
+                            this.state.count_forward(addr);
                             sink(&event);
                             this.state.outstanding.fetch_sub(1, Ordering::AcqRel);
                             return;
                         }
-                        Err(e) => last_failure = format!("{addr}: {e}"),
+                        Err(e) => {
+                            this.state.count_failover(addr);
+                            last_failure = format!("{addr}: {e}");
+                        }
                     }
                 }
                 sink(&Event::Error {

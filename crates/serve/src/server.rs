@@ -153,6 +153,23 @@ struct JobState {
     /// decremented exactly once, after this job's terminal emission, so
     /// `drain` can wait for events to have actually reached sinks.
     outstanding: Arc<AtomicU64>,
+    /// Server-wide terminal-event counters, bumped inside the one-close
+    /// gate so they count events actually delivered (a lost race to
+    /// close never counts).
+    terminals: Arc<TerminalCounters>,
+}
+
+/// Counts of terminal (and share/error) events actually emitted on the
+/// wire — the ground truth loadgen's exactly-one-terminal invariant
+/// checks against. `done`/`failed` move strictly inside
+/// [`JobState::emit_terminal`]'s single-close gate, so a finish path
+/// that loses the close race is never counted.
+#[derive(Debug, Default)]
+struct TerminalCounters {
+    done: AtomicU64,
+    failed: AtomicU64,
+    error: AtomicU64,
+    shared: AtomicU64,
 }
 
 impl JobState {
@@ -190,6 +207,15 @@ impl JobState {
         *closed = true;
         for event in events {
             (self.sink)(event);
+            match event {
+                Event::Done { .. } => {
+                    self.terminals.done.fetch_add(1, Ordering::Relaxed);
+                }
+                Event::Failed { .. } => {
+                    self.terminals.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
         }
         self.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
@@ -275,6 +301,15 @@ struct Inner {
     providers_built: AtomicU64,
     shutdown: AtomicBool,
     next_client: AtomicU64,
+    /// High-water mark of the queue length, maxed under the queue lock
+    /// at every admission — monotone, never lowered by drains.
+    peak_queued: AtomicU64,
+    /// One busy flag per worker (`1` while a job runs on it), indexed
+    /// by worker number — the in-flight-per-worker gauge.
+    worker_busy: Vec<AtomicU64>,
+    /// Terminal/share/error event counts actually emitted (shared with
+    /// every [`JobState`]).
+    terminals: Arc<TerminalCounters>,
 }
 
 impl Inner {
@@ -313,6 +348,18 @@ impl Inner {
             store_appended: store.appended,
             store_compactions: store.compactions,
             oracles,
+            peak_queued: self.peak_queued.load(Ordering::Relaxed),
+            worker_inflight: self
+                .worker_busy
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            done_events: self.terminals.done.load(Ordering::Relaxed),
+            failed_events: self.terminals.failed.load(Ordering::Relaxed),
+            error_events: self.terminals.error.load(Ordering::Relaxed),
+            shared_events: self.terminals.shared.load(Ordering::Relaxed),
+            // Plain servers have no replica view; the router overrides.
+            replicas: Vec::new(),
         }
     }
 
@@ -532,7 +579,7 @@ fn wire_reason(failure: &FailureReason) -> (String, Option<String>) {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, worker: usize) {
     // One evaluation cache per worker, reused across every lift this
     // worker runs: recurring kernels never recompile. Oracle providers
     // are hoisted further still — one instance per spec per *server*
@@ -555,7 +602,9 @@ fn worker_loop(inner: &Inner) {
                     .expect("queue poisoned");
             }
         };
+        inner.worker_busy[worker].store(1, Ordering::Release);
         process(inner, job, &eval_cache);
+        inner.worker_busy[worker].store(0, Ordering::Release);
     }
 }
 
@@ -923,6 +972,7 @@ impl ServerHandle {
             deadline: Mutex::new(None),
             closed: Mutex::new(false),
             outstanding: Arc::clone(&inner.outstanding),
+            terminals: Arc::clone(&inner.terminals),
         });
 
         let key = (self.client, request.id.clone());
@@ -985,6 +1035,9 @@ impl ServerHandle {
                 cache_key,
             });
             let position = queue.len();
+            // Maxed under the queue lock, so the gauge can never miss a
+            // momentary high-water mark between push and sample.
+            inner.peak_queued.fetch_max(position as u64, Ordering::Relaxed);
             inner.counters.received.fetch_add(1, Ordering::Relaxed);
             inner.outstanding.fetch_add(1, Ordering::AcqRel);
             // Emit `queued` while still holding the queue lock: a worker
@@ -1160,11 +1213,16 @@ impl ServerHandle {
         if line.is_empty() {
             return LineAction::Continue;
         }
+        let terminals = &self.inner.terminals;
+        let emit_error = |event: &Event| {
+            terminals.error.fetch_add(1, Ordering::Relaxed);
+            sink(event);
+        };
         match Request::parse_line(line) {
-            Err(e) => sink(&e.to_event()),
+            Err(e) => emit_error(&e.to_event()),
             Ok(Request::Lift(request)) => {
                 if let Err(e) = self.submit(request, Arc::clone(sink)) {
-                    sink(&e.to_event());
+                    emit_error(&e.to_event());
                 }
             }
             Ok(Request::Cancel { id }) => {
@@ -1172,7 +1230,7 @@ impl ServerHandle {
                 // arriving on a fresh connection (scripted use) still
                 // reaches the lift it names.
                 if !self.cancel(&id) && !self.cancel_any_client(&id) {
-                    sink(&Event::Error {
+                    emit_error(&Event::Error {
                         id: Some(id.clone()),
                         code: ErrorCode::UnknownRequest,
                         message: format!("no queued or running lift `{id}`"),
@@ -1183,7 +1241,14 @@ impl ServerHandle {
                 stats: self.stats(),
             }),
             Ok(Request::ShareLift { id, record }) => {
-                sink(&self.share(&id, record));
+                let event = self.share(&id, record);
+                match &event {
+                    Event::Shared { .. } => {
+                        terminals.shared.fetch_add(1, Ordering::Relaxed);
+                        sink(&event);
+                    }
+                    _ => emit_error(&event),
+                }
             }
             Ok(Request::Shutdown) => return LineAction::Shutdown,
         }
@@ -1275,6 +1340,9 @@ impl LiftServer {
             providers_built: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             next_client: AtomicU64::new(0),
+            peak_queued: AtomicU64::new(0),
+            worker_busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            terminals: Arc::new(TerminalCounters::default()),
         });
         let mut threads = Vec::with_capacity(workers + 1);
         for worker in 0..workers {
@@ -1282,7 +1350,7 @@ impl LiftServer {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("gtl-serve-worker-{worker}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, worker))
                     .expect("spawn worker"),
             );
         }

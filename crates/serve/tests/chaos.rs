@@ -1,0 +1,176 @@
+//! Chaos integration test: the load generator drives a two-replica
+//! router set over real TCP while one replica is killed mid-run.
+//!
+//! The serving invariants under fault injection:
+//! - every request gets **exactly one** terminal event (none lost, none
+//!   duplicated), whether its stream finished on the victim, was cut
+//!   mid-stream, or failed over;
+//! - the router counts failovers per replica (the dead replica's
+//!   refusals are visible from the routing side);
+//! - warm reruns keep answering as zero-search cache hits, because
+//!   replica lift-sharing had already spread the victim's solutions.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use gtl::{LiftQuery, StaggConfig};
+use gtl_bench::loadgen::{run_load, Arrival, ChaosEvent, LoadOptions};
+use gtl_benchsuite::{all_benchmarks, by_name};
+use gtl_search::SearchBudget;
+use gtl_serve::{
+    request_key, serve_listener, HashRing, LiftRouter, LiftServer, RouterConfig, ServerConfig,
+};
+
+fn quick_base() -> StaggConfig {
+    StaggConfig::top_down().with_budget(SearchBudget {
+        time_limit: Duration::from_secs(30),
+        ..SearchBudget::default()
+    })
+}
+
+/// The routing key of a suite benchmark under `base` — the same value
+/// the router and the replicas compute.
+fn key_for(name: &str, base: &StaggConfig) -> u64 {
+    let b = by_name(name).expect("suite benchmark");
+    let query = LiftQuery {
+        label: b.name.to_string(),
+        source: b.source.to_string(),
+        task: b.lift_task(),
+        ground_truth: Some(b.parse_ground_truth()),
+    };
+    request_key(&query, base)
+}
+
+/// A quick-solving benchmark whose primary replica is `target`.
+fn benchmark_routed_to(ring: &HashRing, target: &str, base: &StaggConfig) -> String {
+    let preferred = ["blas_dot", "blas_axpy", "blas_scal", "sa_add_scalar", "blas_gemv"];
+    let rest = all_benchmarks()
+        .into_iter()
+        .map(|b| b.name.to_string())
+        .filter(|name| !preferred.contains(&name.as_str()));
+    preferred
+        .iter()
+        .map(|s| s.to_string())
+        .chain(rest)
+        .find(|name| ring.primary(key_for(name, base)) == Some(target))
+        .expect("some benchmark routes to the target replica")
+}
+
+#[test]
+fn replica_kill_under_load_loses_no_terminal_events() {
+    // Two replicas with mutual lift-sharing, bound before start so each
+    // knows its peer.
+    let listener_a = TcpListener::bind("127.0.0.1:0").expect("bind a");
+    let listener_b = TcpListener::bind("127.0.0.1:0").expect("bind b");
+    let addr_a = listener_a.local_addr().expect("addr").to_string();
+    let addr_b = listener_b.local_addr().expect("addr").to_string();
+    let replica = |listener: TcpListener, peer: String| {
+        std::thread::spawn(move || {
+            let server = LiftServer::start(ServerConfig {
+                workers: 2,
+                queue_capacity: 16,
+                base: quick_base(),
+                progress_interval: Duration::from_millis(20),
+                peers: vec![peer],
+                accept_shared_lifts: true,
+                ..ServerConfig::default()
+            });
+            serve_listener(listener, "chaos-replica", || server.handle());
+            server.shutdown();
+        })
+    };
+    let thread_a = replica(listener_a, addr_b.clone());
+    let thread_b = replica(listener_b, addr_a.clone());
+
+    // The router in front, on its own TCP address.
+    let router_listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let router_addr = router_listener.local_addr().expect("addr").to_string();
+    let router = LiftRouter::new(RouterConfig {
+        replicas: vec![addr_a.clone(), addr_b.clone()],
+        vnodes: 64,
+        connect_timeout: Duration::from_millis(1500),
+        base: quick_base(),
+    });
+    let router_thread = std::thread::spawn(move || {
+        serve_listener(router_listener, "chaos-router", || router.handle());
+    });
+
+    // A corpus with one benchmark owned by each replica, so the victim
+    // demonstrably carried traffic.
+    let base = quick_base();
+    let ring = HashRing::new(vec![addr_a.clone(), addr_b.clone()], 64);
+    let on_a = benchmark_routed_to(&ring, &addr_a, &base);
+    let on_b = benchmark_routed_to(&ring, &addr_b, &base);
+    let options = |requests: usize, seed: u64| LoadOptions {
+        addr: router_addr.clone(),
+        labels: vec![on_a.clone(), on_b.clone()],
+        requests,
+        concurrency: 2,
+        arrival: Arrival::Closed,
+        seed,
+        sample_interval: Some(Duration::from_millis(50)),
+        request_timeout: Duration::from_secs(60),
+        oracle: None,
+    };
+
+    // Phase 1: concurrent traffic, replica A killed 400ms in. Streams
+    // cut mid-flight must fail over or terminate — never vanish.
+    let chaos = vec![ChaosEvent::kill_replica(
+        Duration::from_millis(400),
+        addr_a.clone(),
+    )];
+    let under_fire = run_load(&options(16, 1), chaos);
+    assert!(
+        under_fire.invariants_hold(),
+        "lost {} / duplicated {} terminal events under a replica kill",
+        under_fire.lost_streams,
+        under_fire.duplicate_terminals
+    );
+    assert_eq!(under_fire.completed, 16, "every stream terminated exactly once");
+    assert_eq!(under_fire.latency.count(), 16, "every completion was measured");
+    assert_eq!(under_fire.chaos.len(), 1, "the kill fired");
+
+    // Phase 2: the victim stays dead; its keys must fail over, and the
+    // router's own counters must show it.
+    let failover_run = run_load(&options(8, 2), Vec::new());
+    assert!(failover_run.invariants_hold());
+    assert_eq!(failover_run.completed, 8);
+    assert_eq!(
+        failover_run.done, 8,
+        "the survivor answers everything: {:?}",
+        failover_run.errors
+    );
+    let stats = failover_run.server.expect("final stats through the router");
+    let victim = stats
+        .replicas
+        .iter()
+        .find(|r| r.addr == addr_a)
+        .expect("router reports the dead replica's counters");
+    assert!(
+        victim.failovers >= 1,
+        "requests owned by the dead replica must have failed over: {stats:?}"
+    );
+    let survivor = stats
+        .replicas
+        .iter()
+        .find(|r| r.addr == addr_b)
+        .expect("router reports the survivor's counters");
+    assert!(survivor.forwards >= 1, "the survivor carried streams: {stats:?}");
+
+    // Phase 3: by now the survivor has solved (or been handed) every
+    // label — a warm rerun is all zero-search cache hits.
+    let warm = run_load(&options(8, 3), Vec::new());
+    assert!(warm.invariants_hold());
+    assert_eq!(warm.done, 8, "warm rerun all done: {:?}", warm.errors);
+    assert_eq!(
+        warm.cached, warm.done,
+        "warm reruns must be served from the cache without search"
+    );
+
+    // Tear down: B and the router are still alive.
+    let mut client = gtl_serve::LiftClient::connect(&router_addr).expect("connect router");
+    client.shutdown().expect("shutdown broadcast");
+    router_thread.join().expect("router thread");
+    thread_a.join().expect("replica a thread");
+    thread_b.join().expect("replica b thread");
+}

@@ -1,0 +1,210 @@
+//! Integration tests of the live serving gauges added for the load
+//! harness: queue depth rising behind a stalled worker and draining
+//! back to zero, monotone peak-queue high-water marks, per-worker
+//! in-flight flags, per-terminal-event counters, and gauge release on
+//! TCP disconnect.
+
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gtl::StaggConfig;
+use gtl_search::SearchBudget;
+use gtl_serve::{
+    serve_listener, Event, EventSink, LiftClient, LiftRequest, LiftServer, Request,
+    ServerConfig, ServerStats,
+};
+
+fn quick_base() -> StaggConfig {
+    StaggConfig::top_down().with_budget(SearchBudget {
+        time_limit: Duration::from_secs(30),
+        ..SearchBudget::default()
+    })
+}
+
+fn single_worker_config() -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        base: quick_base(),
+        progress_interval: Duration::from_millis(20),
+        ..ServerConfig::default()
+    }
+}
+
+/// The unsolved 4-D kernel with an enormous budget: runs until
+/// cancelled, pinning the worker deterministically.
+fn stall_request(id: &str) -> LiftRequest {
+    let mut r = LiftRequest::benchmark(id, "sa_4d_add");
+    r.overrides.max_attempts = Some(50_000_000);
+    r.overrides.max_nodes = Some(u64::MAX / 2);
+    r.overrides.time_limit_ms = Some(120_000);
+    r
+}
+
+fn sink_channel() -> (EventSink, Receiver<Event>) {
+    let (tx, rx) = channel::<Event>();
+    let sink: EventSink = Arc::new(move |event: &Event| {
+        let _ = tx.send(event.clone());
+    });
+    (sink, rx)
+}
+
+/// Polls `stats` until `pred` holds (or panics after 30s).
+fn wait_for_stats(
+    handle: &gtl_serve::ServerHandle,
+    what: &str,
+    pred: impl Fn(&ServerStats) -> bool,
+) -> ServerStats {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = handle.stats();
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {stats:?}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn queue_depth_rises_behind_a_stalled_worker_and_drains_to_zero() {
+    let server = LiftServer::start(single_worker_config());
+    let handle = server.handle();
+    let (sink, rx) = sink_channel();
+
+    // Pin the only worker.
+    handle.handle_line(&Request::Lift(stall_request("stall")).to_line(), &sink);
+    let stalled = wait_for_stats(&handle, "the stall to occupy the worker", |s| {
+        s.active == 1 && s.queued == 0
+    });
+    assert_eq!(stalled.worker_inflight, vec![1], "the worker is busy");
+
+    // Three quick lifts pile up behind it; the worker cannot drain any.
+    for n in 0..3 {
+        handle.handle_line(
+            &Request::Lift(LiftRequest::benchmark(format!("q{n}"), "blas_dot")).to_line(),
+            &sink,
+        );
+    }
+    let piled = wait_for_stats(&handle, "the queue to fill", |s| s.queued == 3);
+    assert_eq!(piled.active, 1, "the stall still runs");
+    assert!(
+        piled.peak_queued >= 3,
+        "admission high-water mark must cover the pile: {piled:?}"
+    );
+    let peak_before = piled.peak_queued;
+
+    // Release the worker; everything drains.
+    handle.handle_line(&Request::Cancel { id: "stall".into() }.to_line(), &sink);
+    let mut terminals = 0;
+    while terminals < 4 {
+        let event = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("stream died before the queue drained");
+        if event.is_terminal() {
+            terminals += 1;
+        }
+    }
+    let drained = wait_for_stats(&handle, "the gauges to return to zero", |s| {
+        s.queued == 0 && s.active == 0 && s.worker_inflight == vec![0]
+    });
+    // The high-water mark is monotone: draining never lowers it.
+    assert!(
+        drained.peak_queued >= peak_before,
+        "peak_queued regressed: {} -> {}",
+        peak_before,
+        drained.peak_queued
+    );
+    // Terminal counters match the outcome invariants exactly.
+    assert_eq!(drained.done_events, drained.completed, "done terminals == completed");
+    assert_eq!(
+        drained.failed_events,
+        drained.failed + drained.cancelled,
+        "failed terminals == failed + cancelled"
+    );
+    assert_eq!(drained.done_events, 3, "the three queued lifts solved");
+    assert_eq!(drained.failed_events, 1, "the cancelled stall");
+    server.shutdown();
+}
+
+#[test]
+fn terminal_event_counters_cover_every_event_class() {
+    let server = LiftServer::start(ServerConfig {
+        workers: 2,
+        ..single_worker_config()
+    });
+    let handle = server.handle();
+
+    // done (uncached), then done (cached).
+    let first = handle.lift_blocking(LiftRequest::benchmark("a", "blas_dot"));
+    assert!(matches!(first.last(), Some(Event::Done { cached: false, .. })), "{first:?}");
+    let again = handle.lift_blocking(LiftRequest::benchmark("b", "blas_dot"));
+    assert!(matches!(again.last(), Some(Event::Done { cached: true, .. })), "{again:?}");
+
+    // error: an unknown benchmark terminates with a wire error.
+    let (sink, rx) = sink_channel();
+    handle.handle_line(
+        &Request::Lift(LiftRequest::benchmark("c", "no_such_kernel")).to_line(),
+        &sink,
+    );
+    match rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(Event::Error { .. }) => {}
+        other => panic!("expected an error terminal: {other:?}"),
+    }
+
+    let stats = wait_for_stats(&handle, "counters to settle", |s| s.done_events == 2);
+    assert_eq!(stats.done_events, stats.completed);
+    assert_eq!(stats.error_events, 1, "the rejected lift");
+    assert_eq!(stats.failed_events, 0);
+    assert_eq!(stats.shared_events, 0);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_disconnect_releases_the_gauges() {
+    // Over real TCP: a client pins the single worker and queues one
+    // more lift, then vanishes. The disconnect hook cancels its work,
+    // and every live gauge returns to zero.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = LiftServer::start(single_worker_config());
+    let observer_handle = server.handle();
+    let thread = std::thread::spawn(move || {
+        let server_for_conns = server;
+        serve_listener(listener, "gauge-replica", || server_for_conns.handle());
+        server_for_conns.shutdown();
+    });
+
+    let mut doomed = LiftClient::connect(&addr).expect("connect");
+    doomed.send(&Request::Lift(stall_request("pinned"))).expect("send stall");
+    match doomed.next_event().expect("queued") {
+        Some(Event::Queued { .. }) => {}
+        other => panic!("expected queued: {other:?}"),
+    }
+    doomed.send(&Request::Lift(LiftRequest::benchmark("waiting", "blas_dot"))).expect("send");
+    match doomed.next_event().expect("queued") {
+        Some(Event::Queued { .. }) => {}
+        other => panic!("expected queued: {other:?}"),
+    }
+    let busy = wait_for_stats(&observer_handle, "the stall to occupy the worker", |s| {
+        s.worker_inflight == vec![1] && s.queued >= 1
+    });
+    assert!(busy.peak_queued >= 1);
+    drop(doomed); // Disconnect without cancelling anything.
+
+    let released = wait_for_stats(&observer_handle, "gauges to release", |s| {
+        s.queued == 0 && s.active == 0 && s.worker_inflight == vec![0]
+    });
+    assert!(released.cancelled >= 1, "the disconnect cancelled the stall: {released:?}");
+    assert_eq!(
+        released.failed_events,
+        released.failed + released.cancelled,
+        "terminal accounting survives disconnect cleanup"
+    );
+
+    // Shut the listener down so the server thread joins.
+    let mut shutter = LiftClient::connect(&addr).expect("connect");
+    shutter.shutdown().expect("send shutdown");
+    thread.join().expect("server thread");
+}

@@ -56,7 +56,9 @@ pub mod lift;
 pub mod log;
 
 pub use json::{parse, Json, JsonError};
-pub use lift::{CompactionStats, LiftRecord, LiftStore, StoreCounters, LIFT_LOG_KIND};
+pub use lift::{
+    parse_export, CompactionStats, LiftRecord, LiftStore, StoreCounters, LIFT_LOG_KIND,
+};
 pub use log::{
     is_log_file, is_log_header, JsonlLog, LoadedLog, Recovery, SealedCompaction, StoreError,
     FIXTURE_LOG_KIND, STORE_VERSION,

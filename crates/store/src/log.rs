@@ -34,7 +34,9 @@
 //! sealed segments into a new snapshot via temp-file + rename and
 //! deletes the segments — the live file is **never rewritten**, so
 //! compaction cannot race an append and the single-writer crash
-//! contract holds unchanged.
+//! contract holds unchanged. The merge itself runs off the append
+//! path: it captures the immutable sealed set, releases the append
+//! lock, and merges while writes keep flowing.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -212,6 +214,11 @@ pub struct JsonlLog {
     /// disables rotation (the live file grows without bound).
     rotate_at: Option<u64>,
     live: Mutex<Live>,
+    /// Serializes [`JsonlLog::compact_sealed`] calls against each other
+    /// (they share one snapshot temp file) *without* blocking appends:
+    /// the merge holds this lock for its whole run but takes `live`
+    /// only for two short bookkeeping windows.
+    merge_guard: Mutex<()>,
 }
 
 /// The mutable half of a log: the live file handle plus the rotation
@@ -423,6 +430,7 @@ impl JsonlLog {
                     sealed,
                     segments: segments.len(),
                 }),
+                merge_guard: Mutex::new(()),
             };
             return Ok((
                 log,
@@ -472,6 +480,7 @@ impl JsonlLog {
                     sealed,
                     segments: segments.len(),
                 }),
+                merge_guard: Mutex::new(()),
             },
             LoadedLog {
                 records,
@@ -529,6 +538,7 @@ impl JsonlLog {
                 sealed: false,
                 segments: 0,
             }),
+            merge_guard: Mutex::new(()),
         })
     }
 
@@ -608,9 +618,15 @@ impl JsonlLog {
     /// live file is never touched, so records appended after the merge
     /// policy ran still supersede at the next replay.
     ///
-    /// Appends are held off for the duration (same lock), which is what
-    /// keeps a rotation from sealing a new segment between the read and
-    /// the delete.
+    /// Appends proceed concurrently: the merge captures the sealed
+    /// file set under the `live` lock, then releases it for the whole
+    /// read → merge → write span. Sealed files are immutable, so the
+    /// captured set cannot change underneath the merge; a rotation
+    /// that seals a *new* segment mid-merge is simply not part of this
+    /// compaction — it survives on disk (replaying after the snapshot,
+    /// so last-writer-wins ordering holds) and is picked up by the
+    /// next one. Concurrent `compact_sealed` calls serialize on a
+    /// dedicated merge lock, never on the append path.
     ///
     /// # Errors
     ///
@@ -620,8 +636,14 @@ impl JsonlLog {
         &self,
         merge: impl FnOnce(Vec<Json>) -> Vec<Json>,
     ) -> Result<SealedCompaction, StoreError> {
-        let mut live = self.live.lock().expect("log file poisoned");
-        let (snap, segments) = sealed_files(&self.path)?;
+        let _merging = self.merge_guard.lock().expect("merge guard poisoned");
+        // Capture the sealed set under the live lock so a concurrent
+        // rotation cannot rename the live file into a segment between
+        // the directory scan and the snapshot of `segments`.
+        let (snap, segments) = {
+            let _live = self.live.lock().expect("log file poisoned");
+            sealed_files(&self.path)?
+        };
         let mut records = Vec::new();
         let mut bytes_before = 0u64;
         for sealed in snap.iter().chain(segments.iter().map(|(_, p)| p)) {
@@ -659,8 +681,12 @@ impl JsonlLog {
             // dedup collapses the duplicates at the next open.
             let _ = std::fs::remove_file(seg);
         }
+        let mut live = self.live.lock().expect("log file poisoned");
         live.sealed = true;
-        live.segments = 0;
+        // Only the captured segments were merged; any sealed mid-merge
+        // are still on disk and still counted.
+        live.segments = live.segments.saturating_sub(segments.len());
+        drop(live);
         let bytes_after = std::fs::metadata(&snap).map_or(0, |m| m.len());
         Ok(SealedCompaction {
             records_before,
@@ -1206,5 +1232,65 @@ mod tests {
         assert!(!is_log_header("{\"version\":1,\"entries\":{}}"));
         assert!(!is_log_header("{"));
         assert!(!is_log_header(""));
+    }
+
+    #[test]
+    fn appends_proceed_during_sealed_merge() {
+        // The merge closure blocks mid-compaction while the main
+        // thread keeps appending — enough to rotate a brand-new
+        // segment. If compact_sealed held the append lock across the
+        // merge (the old behavior), the appends below would deadlock
+        // against the parked closure and the test would hang; with the
+        // narrowed locking they complete, the mid-merge segment
+        // survives the compaction, and a replay sees every record
+        // exactly once.
+        use std::sync::mpsc;
+        let path = tmp("merge-concurrent");
+        cleanup(&path);
+        let (log, _) = JsonlLog::open_rotating(&path, "test_kind", 64).unwrap();
+        for n in 0..20 {
+            log.append(&record(n)).unwrap();
+        }
+        assert!(log.sealed_segments() >= 2);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let merger = scope.spawn(|| {
+                log.compact_sealed(move |records| {
+                    started_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    records
+                })
+            });
+            started_rx.recv().unwrap();
+            // Merge is parked mid-flight: appends must flow freely,
+            // including a rotation that seals a new segment.
+            for n in 20..40 {
+                log.append(&record(n)).unwrap();
+            }
+            assert!(
+                log.sealed_segments() >= 1,
+                "appends during the merge sealed a fresh segment"
+            );
+            release_tx.send(()).unwrap();
+            let stats = merger.join().unwrap().unwrap();
+            assert!(stats.records_before >= 1);
+        });
+        // The segment sealed mid-merge was not part of the compaction:
+        // it is still on disk and still counted for the next merge.
+        assert!(log.sealed_segments() >= 1);
+        let (_, segments) = sealed_files(&path).unwrap();
+        assert_eq!(segments.len(), log.sealed_segments());
+        // Replay order (snapshot → surviving segments → live) yields
+        // every record exactly once — no loss, no duplication.
+        let (_, loaded) = JsonlLog::open(&path, "test_kind").unwrap();
+        let mut ns: Vec<u64> = loaded
+            .records
+            .iter()
+            .map(|r| r.get("n").and_then(Json::as_u64).unwrap())
+            .collect();
+        ns.sort_unstable();
+        assert_eq!(ns, (0..40).collect::<Vec<_>>());
+        cleanup(&path);
     }
 }
