@@ -176,6 +176,16 @@ struct RefRow {
     compiled_ns: f64,
 }
 
+struct SafeRow {
+    name: &'static str,
+    /// Per-candidate cost of one 64-lane pass on the checked rational
+    /// sweep (`evaluate_lanes_checked` — the overflow-proof-less path).
+    checked_ns: f64,
+    /// Per-candidate cost of the same pass with the interval overflow
+    /// proof admitted, so integer groups run the wrapping fast path.
+    unchecked_ns: f64,
+}
+
 fn main() {
     let quick = std::env::var("GTL_BENCH_QUICK").is_ok();
     let budget = if quick {
@@ -271,6 +281,45 @@ fn main() {
         });
     }
 
+    // The static-analysis tier: the same 64-lane batch passes with and
+    // without the interval overflow proof. Small-integer fixtures are
+    // provably safe, so `evaluate_lanes` takes the wrapping i64 path
+    // while `evaluate_lanes_checked` forces the rational sweeps the
+    // proof replaces.
+    let mut safe_rows: Vec<SafeRow> = Vec::new();
+    for m in microkernels() {
+        if m.name == "gemm_8x8_verify_points" {
+            continue; // same shape as gemm_8x8; only the value range differs
+        }
+        let (env, lanes, _) = filter_fixture(&m);
+        let kernel = BatchKernel::new(&m.program);
+        let mut stats = gtl_taco::BatchStats::default();
+        kernel.evaluate_lanes_with_stats(&lanes, &env, &mut stats);
+        assert!(
+            stats.unchecked_groups > 0,
+            "{}: small-int fixture must admit the overflow proof",
+            m.name
+        );
+        c.bench_function(&format!("batch_checked_{}", m.name), |b| {
+            b.iter(|| kernel.evaluate_lanes_checked(std::hint::black_box(&lanes), &env))
+        });
+        let checked_ns = c.last_mean_ns() / LANES as f64;
+        c.bench_function(&format!("batch_unchecked_{}", m.name), |b| {
+            b.iter(|| kernel.evaluate_lanes(std::hint::black_box(&lanes), &env))
+        });
+        let unchecked_ns = c.last_mean_ns() / LANES as f64;
+        println!(
+            "{:<28} speedup checked/unchecked {:>5.1}x",
+            m.name,
+            checked_ns / unchecked_ns
+        );
+        safe_rows.push(SafeRow {
+            name: m.name,
+            checked_ns,
+            unchecked_ns,
+        });
+    }
+
     // The reference side: a benchmark's C kernel tree-walked vs run as
     // compiled bytecode (what `run_reference` now executes).
     let mut ref_rows: Vec<RefRow> = Vec::new();
@@ -353,6 +402,19 @@ fn main() {
                 r.scalar_cold_ns / r.batch_ns,
                 r.scalar_warm_ns / r.batch_ns,
                 if i + 1 < filter_rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ],\n  \"unchecked_fastpath\": [\n");
+        for (i, r) in safe_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"lanes\": {}, \"checked_ns_per_candidate\": {:.1}, \
+                 \"unchecked_ns_per_candidate\": {:.1}, \"speedup\": {:.2}}}{}\n",
+                r.name,
+                LANES,
+                r.checked_ns,
+                r.unchecked_ns,
+                r.checked_ns / r.unchecked_ns,
+                if i + 1 < safe_rows.len() { "," } else { "" }
             ));
         }
         json.push_str("  ],\n  \"reference\": [\n");

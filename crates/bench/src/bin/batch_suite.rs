@@ -7,6 +7,7 @@
 //!             [--only name,name] [--skip name[,name]] [--method td|bu]
 //!             [--oracle SPEC] [--search-jobs N] [--json PATH]
 //!             [--compare-sequential] [--via-server] [--store PATH]
+//!             [--no-prune]
 //! ```
 //!
 //! `--jobs` parallelises *across benchmarks* (the embarrassingly
@@ -27,7 +28,11 @@
 //! wire endpoint (a `lift_router` fronting a replica set, or a single
 //! `lift_server --listen`) over `--jobs` TCP connections; the method
 //! and search-jobs ride as per-request overrides, and stores live on
-//! the replicas, so `--store` does not combine with it.
+//! the replicas, so `--store` does not combine with it. `--no-prune`
+//! disables the static-analysis candidate pruning (feasibility
+//! pre-checks + algebraic-equivalence dedup), the knob behind the
+//! pruning regression guard: a pruned run must solve exactly the same
+//! benchmarks as an unpruned one, just with fewer validations.
 
 use std::collections::BTreeMap;
 
@@ -55,11 +60,13 @@ struct Args {
     via_server: bool,
     via_router: Option<String>,
     store: Option<String>,
+    no_prune: bool,
 }
 
 const USAGE: &str = "usage: batch_suite [--jobs N] [--suites simple,artificial | --all | --real] \
 [--only name,name] [--skip name[,name]] [--method td|bu] [--oracle SPEC] [--search-jobs N] \
-[--json PATH] [--compare-sequential] [--via-server] [--via-router ADDR] [--store PATH]";
+[--json PATH] [--compare-sequential] [--via-server] [--via-router ADDR] [--store PATH] \
+[--no-prune]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("batch_suite: {message}\n{USAGE}");
@@ -81,6 +88,7 @@ fn parse_args() -> Args {
         via_server: false,
         via_router: None,
         store: None,
+        no_prune: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,6 +124,7 @@ fn parse_args() -> Args {
             "--via-server" => args.via_server = true,
             "--via-router" => args.via_router = Some(value("--via-router")),
             "--store" => args.store = Some(value("--store")),
+            "--no-prune" => args.no_prune = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -201,7 +210,8 @@ fn main() {
         "td" => StaggConfig::top_down(),
         other => usage_error(&format!("unknown method `{other}` (td|bu)")),
     }
-    .with_jobs(args.search_jobs);
+    .with_jobs(args.search_jobs)
+    .with_pruning(!args.no_prune);
     if let Some(raw) = &args.oracle {
         let spec = OracleSpec::from_cli_name(raw)
             .unwrap_or_else(|| usage_error(&format!("unparseable --oracle spec `{raw}`")));

@@ -218,6 +218,9 @@ impl Method {
                     attempts: report.attempts,
                     solution: report.solution.as_ref().map(ToString::to_string),
                     nodes: report.nodes_expanded,
+                    pruned_infeasible: report.pruned_infeasible,
+                    pruned_equivalent: report.pruned_equivalent,
+                    unchecked_kernels: report.unchecked_kernels,
                 }
             }
             MethodKind::C2Taco { heuristics } => {
@@ -250,6 +253,9 @@ impl Method {
                     attempts: report.attempts,
                     solution: report.solution.as_ref().map(ToString::to_string),
                     nodes: 0,
+                    pruned_infeasible: 0,
+                    pruned_equivalent: 0,
+                    unchecked_kernels: 0,
                 }
             }
             MethodKind::Tenspiler => {
@@ -261,6 +267,9 @@ impl Method {
                     attempts: report.attempts,
                     solution: report.solution.as_ref().map(ToString::to_string),
                     nodes: 0,
+                    pruned_infeasible: 0,
+                    pruned_equivalent: 0,
+                    unchecked_kernels: 0,
                 }
             }
             MethodKind::LlmOnly => {
@@ -277,6 +286,9 @@ impl Method {
                     attempts: report.attempts,
                     solution: report.solution.as_ref().map(ToString::to_string),
                     nodes: 0,
+                    pruned_infeasible: 0,
+                    pruned_equivalent: 0,
+                    unchecked_kernels: 0,
                 }
             }
         }

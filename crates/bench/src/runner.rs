@@ -46,6 +46,14 @@ pub struct MethodResult {
     pub solution: Option<String>,
     /// Search-queue pops (0 for baselines that report none).
     pub nodes: u64,
+    /// Templates skipped by feasibility pre-checks (0 for baselines).
+    pub pruned_infeasible: u64,
+    /// Templates skipped as algebraically equivalent to one already
+    /// checked (0 for baselines).
+    pub pruned_equivalent: u64,
+    /// Shape groups evaluated on the proven-safe unchecked integer
+    /// path (0 for baselines).
+    pub unchecked_kernels: u64,
 }
 
 /// Aggregated results of one method over a benchmark set.
@@ -269,6 +277,11 @@ pub fn run_method_batch_stored(
                 attempts: record.attempts,
                 solution: record.solution,
                 nodes: record.nodes,
+                // Store records predate the analysis counters; a warm
+                // hit did no pruning this run anyway.
+                pruned_infeasible: 0,
+                pruned_equivalent: 0,
+                unchecked_kernels: 0,
             })),
             _ => {
                 warm.push(None);
@@ -372,6 +385,9 @@ pub fn run_batch_via_server_stored(
                 attempts: record.attempts,
                 solution: record.solution,
                 nodes: record.nodes,
+                pruned_infeasible: 0,
+                pruned_equivalent: 0,
+                unchecked_kernels: 0,
             })),
             None => {
                 warm.push(None);
@@ -428,6 +444,11 @@ pub fn run_batch_via_server_stored(
                         attempts,
                         solution: Some(solution),
                         nodes,
+                        // Wire events carry no analysis counters; the
+                        // server's aggregate `stats` snapshot does.
+                        pruned_infeasible: 0,
+                        pruned_equivalent: 0,
+                        unchecked_kernels: 0,
                     }
                 }
                 Event::Failed {
@@ -443,6 +464,9 @@ pub fn run_batch_via_server_stored(
                         attempts,
                         solution: None,
                         nodes,
+                        pruned_infeasible: 0,
+                        pruned_equivalent: 0,
+                        unchecked_kernels: 0,
                     }
                 }
                 Event::Error { code, message, .. } => {
@@ -527,6 +551,9 @@ pub fn run_batch_via_router(
                             attempts: *attempts,
                             solution: Some(solution.clone()),
                             nodes: *nodes,
+                            pruned_infeasible: 0,
+                            pruned_equivalent: 0,
+                            unchecked_kernels: 0,
                         },
                         Some(Event::Failed {
                             attempts,
@@ -540,6 +567,9 @@ pub fn run_batch_via_router(
                             attempts: *attempts,
                             solution: None,
                             nodes: *nodes,
+                            pruned_infeasible: 0,
+                            pruned_equivalent: 0,
+                            unchecked_kernels: 0,
                         },
                         Some(Event::Error { code, message, .. }) => panic!(
                             "{}: request rejected ({}): {message}",
@@ -607,8 +637,11 @@ pub fn batch_json(
         .map(|s| format!("\"{}\"", json_escape(s)))
         .collect::<Vec<_>>()
         .join(", ");
+    let pruned_infeasible: u64 = batch.suite.results.iter().map(|r| r.pruned_infeasible).sum();
+    let pruned_equivalent: u64 = batch.suite.results.iter().map(|r| r.pruned_equivalent).sum();
+    let unchecked_kernels: u64 = batch.suite.results.iter().map(|r| r.unchecked_kernels).sum();
     out.push_str(&format!(
-        "  \"method\": \"{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.6},\n  \"cpu_seconds\": {:.6},\n  \"solved\": {},\n  \"total\": {},\n  \"skipped\": [{skipped_json}],\n",
+        "  \"method\": \"{}\",\n  \"jobs\": {},\n  \"wall_seconds\": {:.6},\n  \"cpu_seconds\": {:.6},\n  \"solved\": {},\n  \"total\": {},\n  \"pruned_infeasible\": {pruned_infeasible},\n  \"pruned_equivalent\": {pruned_equivalent},\n  \"unchecked_kernels\": {unchecked_kernels},\n  \"skipped\": [{skipped_json}],\n",
         json_escape(&batch.suite.method),
         batch.jobs,
         batch.wall.as_secs_f64(),

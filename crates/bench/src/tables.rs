@@ -80,6 +80,9 @@ mod tests {
                     attempts: 3,
                     solution: Some("a = b(i)".into()),
                     nodes: 10,
+                    pruned_infeasible: 2,
+                    pruned_equivalent: 1,
+                    unchecked_kernels: 4,
                 },
                 MethodResult {
                     name: "b".into(),
@@ -88,6 +91,9 @@ mod tests {
                     attempts: 100,
                     solution: None,
                     nodes: 500,
+                    pruned_infeasible: 0,
+                    pruned_equivalent: 0,
+                    unchecked_kernels: 0,
                 },
             ],
         }

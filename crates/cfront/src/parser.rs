@@ -598,7 +598,7 @@ mod tests {
     use super::*;
 
     /// The paper's Figure 2 kernel, verbatim modulo whitespace.
-    pub const FIGURE2: &str = r#"
+    const FIGURE2: &str = r#"
 void function(int N, int *Mat1, int *Mat2, int *Result) {
     int *p_m1;
     int *p_m2;

@@ -113,6 +113,14 @@ pub struct StaggConfig {
     /// an exact repeat of the accumulated pool) skips its search
     /// instead of re-running the identical one.
     pub oracle_rounds: usize,
+    /// Candidate pre-pruning (on by default): skip validation of
+    /// templates a feasibility pre-check proves unsatisfiable, and of
+    /// templates algebraically equivalent to one already validated.
+    /// Pruned candidates still count as attempts (they fail exactly as
+    /// validation would), so a pruned run solves the same queries with
+    /// the same classification — just cheaper. Disable to measure the
+    /// pruning win or to reproduce pre-pruning traces.
+    pub pruning: bool,
 }
 
 impl StaggConfig {
@@ -130,6 +138,7 @@ impl StaggConfig {
             jobs: 1,
             oracle: OracleSpec::default(),
             oracle_rounds: 1,
+            pruning: true,
         }
     }
 
@@ -198,6 +207,12 @@ impl StaggConfig {
     /// Sets the maximum oracle rounds per lift (`0` is treated as `1`).
     pub fn with_oracle_rounds(mut self, rounds: usize) -> StaggConfig {
         self.oracle_rounds = rounds.max(1);
+        self
+    }
+
+    /// Enables or disables candidate pre-pruning (builder style).
+    pub fn with_pruning(mut self, pruning: bool) -> StaggConfig {
+        self.pruning = pruning;
         self
     }
 }

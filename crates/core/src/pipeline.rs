@@ -170,6 +170,9 @@ impl Stagg {
             attempts: 0,
             nodes_expanded: 0,
             substitutions_tried: 0,
+            pruned_infeasible: 0,
+            pruned_equivalent: 0,
+            unchecked_kernels: 0,
             candidates_received: 0,
             candidates_parsed: 0,
             dim_list: Vec::new(),
@@ -272,6 +275,9 @@ impl Stagg {
             report.nodes_expanded += outcome.nodes_expanded;
             report.search_elapsed += outcome.elapsed;
             report.substitutions_tried += outcome.substitutions_tried;
+            report.pruned_infeasible += outcome.pruned_infeasible;
+            report.pruned_equivalent += outcome.pruned_equivalent;
+            report.unchecked_kernels += outcome.unchecked_kernels;
             report.dim_list = outcome.dim_list;
             report.template = outcome.template;
             report.failure = LiftReport::failure_from_stop(outcome.stop);
@@ -369,6 +375,24 @@ impl Stagg {
         let verify_cfg = self.config.verify;
         let observer = hooks.observer;
         let cancel = hooks.search.cancel.clone();
+        let pruning = self.config.pruning;
+        // Feasibility fact shared by every checker this round: whether a
+        // constant-filled output could even match the examples. A
+        // constant-only RHS produces one value everywhere, so any
+        // non-uniform example output refutes every such template at once.
+        let outputs_uniform = {
+            let mut vals = examples.iter().flat_map(|ex| ex.output.data().iter());
+            match vals.next() {
+                None => true,
+                Some(first) => vals.all(|v| v == first),
+            }
+        };
+        // Canonical fingerprints of templates already validated this
+        // round. The parallel engine dedups equivalence classes in its
+        // own seen-set before candidates reach a checker, so this set
+        // only fires on the sequential path — no double counting.
+        let seen_canonical: Mutex<std::collections::HashSet<u64>> =
+            Mutex::new(std::collections::HashSet::new());
         // A bounded sample of rejected candidates, collected only when
         // a later round could use it as feedback.
         let collect_rejected = self.config.oracle_rounds.max(1) > 1;
@@ -387,6 +411,36 @@ impl Stagg {
          -> CheckOutcome {
             if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                 return CheckOutcome::Failed;
+            }
+            if pruning {
+                // Feasibility pre-checks, sound per construction: an LHS
+                // index no RHS access mentions fails index analysis for
+                // every substitution, and a constant-only RHS cannot
+                // reproduce non-constant outputs. Either way validation
+                // would reject every substitution — skip it. Pruned
+                // templates fail exactly as validation would, so the
+                // run's outcome (and attempt count) is unchanged.
+                let rhs_accesses = template.rhs.accesses();
+                let unconstrained = template
+                    .lhs
+                    .indices
+                    .iter()
+                    .any(|ix| !rhs_accesses.iter().any(|acc| acc.indices.contains(ix)));
+                if unconstrained || (rhs_accesses.is_empty() && !outputs_uniform) {
+                    stats.pruned_infeasible += 1;
+                    return CheckOutcome::Failed;
+                }
+                // Equivalence: templates with equal canonical
+                // fingerprints enumerate identical substitution sets, so
+                // re-validating one is pure waste.
+                if !seen_canonical
+                    .lock()
+                    .expect("canonical set poisoned")
+                    .insert(gtl_taco::canonical_fingerprint(template))
+                {
+                    stats.pruned_equivalent += 1;
+                    return CheckOutcome::Failed;
+                }
             }
             match validate_template_cached(
                 template,
@@ -461,13 +515,19 @@ impl Stagg {
                 ),
             }
         };
-        let substitutions_tried = shared_stats.snapshot().substitutions_tried;
+        let snap = shared_stats.snapshot();
         (
             RoundOutcome {
                 attempts: outcome.attempts,
                 nodes_expanded: outcome.nodes_expanded,
                 elapsed: outcome.elapsed,
-                substitutions_tried,
+                substitutions_tried: snap.substitutions_tried,
+                pruned_infeasible: snap.pruned_infeasible,
+                // Equivalents are pruned at two disjoint layers: the
+                // parallel engine's seen-set (before a checker sees the
+                // candidate) and the checker-level set (sequential path).
+                pruned_equivalent: snap.pruned_equivalent + outcome.pruned_equivalent,
+                unchecked_kernels: snap.unchecked_kernels,
                 dim_list,
                 template: outcome.template,
                 solution: outcome.solution,
@@ -485,6 +545,9 @@ struct RoundOutcome {
     nodes_expanded: u64,
     elapsed: std::time::Duration,
     substitutions_tried: u64,
+    pruned_infeasible: u64,
+    pruned_equivalent: u64,
+    unchecked_kernels: u64,
     dim_list: Vec<usize>,
     template: Option<TacoProgram>,
     solution: Option<TacoProgram>,

@@ -68,6 +68,17 @@ pub struct LiftReport {
     pub nodes_expanded: u64,
     /// Substitutions instantiated across all validations.
     pub substitutions_tried: u64,
+    /// Templates skipped before evaluation by the feasibility
+    /// pre-checks (unconstrained output index, constant-only RHS
+    /// against non-constant outputs).
+    pub pruned_infeasible: u64,
+    /// Templates skipped because an algebraically equivalent one had
+    /// already been checked (canonical-fingerprint dedup, summed over
+    /// the search engine's seen-set and the validation-layer set).
+    pub pruned_equivalent: u64,
+    /// Batched-evaluation shape groups that ran the unchecked integer
+    /// fast path under an interval overflow proof.
+    pub unchecked_kernels: u64,
     /// Candidates returned by the oracle.
     pub candidates_received: usize,
     /// Candidates that survived preprocessing/parsing/templatisation.
@@ -107,6 +118,9 @@ impl LiftReport {
             && self.attempts == other.attempts
             && self.nodes_expanded == other.nodes_expanded
             && self.substitutions_tried == other.substitutions_tried
+            && self.pruned_infeasible == other.pruned_infeasible
+            && self.pruned_equivalent == other.pruned_equivalent
+            && self.unchecked_kernels == other.unchecked_kernels
             && self.candidates_received == other.candidates_received
             && self.candidates_parsed == other.candidates_parsed
             && self.dim_list == other.dim_list

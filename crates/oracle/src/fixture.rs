@@ -40,7 +40,7 @@ use crate::{Oracle, OracleFeedback, OracleProvider, OracleQuery};
 
 /// The `gtl_store` log kind under which fixture responses are recorded
 /// (defined in `gtl_store` so `store_tool` shares the spelling).
-pub use gtl_store::FIXTURE_LOG_KIND;
+pub(crate) use gtl_store::FIXTURE_LOG_KIND;
 
 /// A fixture parse/io failure.
 #[derive(Debug, Clone, PartialEq, Eq)]

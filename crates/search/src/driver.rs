@@ -188,6 +188,12 @@ pub struct SearchOutcome {
     pub template: Option<TacoProgram>,
     /// Complete templates sent to validation — Table 1/3's "attempts".
     pub attempts: u64,
+    /// Syntactically new candidates the engine skipped because an
+    /// algebraically equivalent template (equal canonical fingerprint)
+    /// had already been sent to a checker. Only the parallel engine's
+    /// seen-set prunes at this layer; sequential runs report `0` here
+    /// and prune equivalents at the validation layer instead.
+    pub pruned_equivalent: u64,
     /// Queue pops.
     pub nodes_expanded: u64,
     /// Wall-clock time of the search stage.
@@ -213,7 +219,7 @@ pub(crate) struct RunState {
 }
 
 impl RunState {
-    pub fn new(budget: SearchBudget) -> RunState {
+    pub(crate) fn new(budget: SearchBudget) -> RunState {
         RunState {
             started: Instant::now(),
             budget,
@@ -222,25 +228,26 @@ impl RunState {
         }
     }
 
-    pub fn over_budget(&self) -> bool {
+    pub(crate) fn over_budget(&self) -> bool {
         self.nodes >= self.budget.max_nodes
             || self.attempts >= self.budget.max_attempts
             || self.started.elapsed() >= self.budget.time_limit
     }
 
     /// The outcome of an externally cancelled run.
-    pub fn outcome_cancelled(self) -> SearchOutcome {
+    pub(crate) fn outcome_cancelled(self) -> SearchOutcome {
         SearchOutcome {
             solution: None,
             template: None,
             attempts: self.attempts,
+            pruned_equivalent: 0,
             nodes_expanded: self.nodes,
             elapsed: self.started.elapsed(),
             stop: StopReason::Cancelled,
         }
     }
 
-    pub fn outcome(
+    pub(crate) fn outcome(
         self,
         solution: Option<(TacoProgram, TacoProgram)>,
         exhausted: bool,
@@ -260,6 +267,7 @@ impl RunState {
             solution: concrete,
             template,
             attempts: self.attempts,
+            pruned_equivalent: 0,
             nodes_expanded: self.nodes,
             elapsed: self.started.elapsed(),
             stop,

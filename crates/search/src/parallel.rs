@@ -135,7 +135,7 @@ impl ShardedSeenSet {
     }
 
     /// Inserts a template by its canonical fingerprint; `true` iff no
-    /// equal template was inserted before.
+    /// algebraically equivalent template was inserted before.
     pub fn insert_program(&self, program: &TacoProgram) -> bool {
         self.insert(fingerprint_program(program))
     }
@@ -154,12 +154,26 @@ impl ShardedSeenSet {
     }
 }
 
-/// The canonical fingerprint of a template: a hash of its printed form
-/// (templates arriving from the search are already index- and
-/// name-canonicalised, so the printed form is a canonical key).
+/// The canonical fingerprint of a template:
+/// [`gtl_taco::canonical_fingerprint`], which canonicalizes the
+/// algebra (commutative sorting, constant folding, neutral elements)
+/// and α-renames slots, summation indices, and `Const` ids. Two
+/// templates with equal fingerprints enumerate identical substitution
+/// sets, so deduplicating on it never hides a solution. (Hashing the
+/// printed form — the previous key — missed commuted and renamed
+/// variants and burned attempts re-checking them.)
 pub fn fingerprint_program(program: &TacoProgram) -> u64 {
+    gtl_taco::canonical_fingerprint(program)
+}
+
+/// A purely syntactic fingerprint, used to tell "this exact template
+/// was generated twice" apart from "a distinct spelling of an
+/// already-seen equivalence class" when counting prunes. Hashes the
+/// `Debug` form: the printed form is ambiguous (`(x*y)/z` and `x*(y/z)`
+/// display identically).
+fn syntactic_fingerprint(program: &TacoProgram) -> u64 {
     let mut h = DefaultHasher::new();
-    program.to_string().hash(&mut h);
+    format!("{program:?}").hash(&mut h);
     h.finish()
 }
 
@@ -183,6 +197,11 @@ struct Shared {
     budget_hit: AtomicBool,
     solution: Mutex<Option<(TacoProgram, TacoProgram)>>,
     seen: ShardedSeenSet,
+    /// Exact-syntax fingerprints, kept alongside the canonical set so
+    /// equivalence prunes (new spelling, seen equivalence class) can be
+    /// counted separately from plain re-generations.
+    syntactic: ShardedSeenSet,
+    pruned_equivalent: AtomicU64,
 }
 
 impl Shared {
@@ -222,6 +241,8 @@ where
         budget_hit: AtomicBool::new(false),
         solution: Mutex::new(None),
         seen: ShardedSeenSet::new(opts.seen_shards),
+        syntactic: ShardedSeenSet::new(opts.seen_shards),
+        pruned_equivalent: AtomicU64::new(0),
     };
     shared
         .queue
@@ -267,6 +288,7 @@ where
         solution: concrete,
         template,
         attempts: shared.progress.attempts(),
+        pruned_equivalent: shared.pruned_equivalent.load(Ordering::Relaxed),
         nodes_expanded: shared.progress.nodes(),
         elapsed: started.elapsed(),
         stop,
@@ -425,10 +447,17 @@ fn worker_loop<E: Expand>(
         if !exp.skip(&entry.tree) {
             if let Some(template) = exp.candidate(&entry.tree) {
                 // Exactly-once collection per canonical template; the
-                // actual check runs in the next batch flush.
+                // actual check runs in the next batch flush. A template
+                // whose exact spelling is new but whose equivalence
+                // class is not was pruned by canonicalization — count
+                // it (plain re-generations of a seen spelling are not
+                // prunes, the grammar just revisited a derivation).
                 if shared.seen.insert_program(&template) {
+                    shared.syntactic.insert(syntactic_fingerprint(&template));
                     shared.progress.add_attempt();
                     pending.push(template);
+                } else if shared.syntactic.insert(syntactic_fingerprint(&template)) {
+                    shared.pruned_equivalent.fetch_add(1, Ordering::Relaxed);
                 }
             }
             let children = exp.children(&entry.tree, entry.cost);
@@ -664,6 +693,18 @@ mod tests {
     }
 
     #[test]
+    fn seen_set_merges_algebraically_equivalent_templates() {
+        let seen = ShardedSeenSet::new(4);
+        assert!(seen.insert_program(&parse_program("a(i) = b(i,j) * c(j)").unwrap()));
+        // Commuted operands and renamed summation indices are the same
+        // equivalence class — the old printed-form key missed both.
+        assert!(!seen.insert_program(&parse_program("a(i) = c(j) * b(i,j)").unwrap()));
+        assert!(!seen.insert_program(&parse_program("a(i) = b(i,k) * c(k)").unwrap()));
+        // A transpose is a genuinely different template.
+        assert!(seen.insert_program(&parse_program("a(i) = b(j,i) * c(j)").unwrap()));
+    }
+
+    #[test]
     fn fingerprints_distinguish_programs() {
         let a = parse_program("a(i) = b(i,j) * c(j)").unwrap();
         let b = parse_program("a(i) = b(j,i) * c(j)").unwrap();
@@ -721,7 +762,9 @@ mod tests {
     fn no_template_is_checked_twice_across_workers() {
         // Every checker invocation registers the template; the sharded
         // seen-set must make each canonical template reach a checker at
-        // most once even with 4 workers racing.
+        // most once even with 4 workers racing. Identity is the
+        // canonical key — the printed form is ambiguous (`(x*y)/z` and
+        // `x*(y/z)` display identically but are distinct templates).
         let g = grammar_with(&["r(i) = m(i,j) * v(j)"], vec![1, 2, 1], 2);
         let ctx = ctx_for(&g);
         let checked = Arc::new(Mutex::new(Vec::<String>::new()));
@@ -736,7 +779,7 @@ mod tests {
             |_worker| {
                 let checked = Arc::clone(&checked);
                 move |t: &TacoProgram| {
-                    checked.lock().unwrap().push(t.to_string());
+                    checked.lock().unwrap().push(gtl_taco::canonical_key(t));
                     CheckOutcome::Failed
                 }
             },
@@ -962,7 +1005,7 @@ mod tests {
                 parallel_top_down_search(&g, &ctx, budget, exp_opts, move |_worker| {
                     let checked = Arc::clone(&checked);
                     move |t: &TacoProgram| {
-                        checked.lock().unwrap().push(t.to_string());
+                        checked.lock().unwrap().push(gtl_taco::canonical_key(t));
                         CheckOutcome::Failed
                     }
                 })

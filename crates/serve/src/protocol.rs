@@ -400,6 +400,15 @@ pub struct ServerStats {
     /// Per-replica forward/failover counts, sorted by address. Empty
     /// everywhere except in router-served stats.
     pub replicas: Vec<ReplicaStat>,
+    /// Candidate templates skipped by the feasibility pre-checks,
+    /// summed over every lift served.
+    pub pruned_infeasible: u64,
+    /// Candidate templates skipped as algebraically equivalent to one
+    /// already checked, summed over every lift served.
+    pub pruned_equivalent: u64,
+    /// Shape groups evaluated on the unchecked integer fast path under
+    /// an interval overflow proof, summed over every lift served.
+    pub unchecked_kernels: u64,
 }
 
 /// A server → client message. Per request id, a stream is:
@@ -914,6 +923,9 @@ fn stats_to_json(s: &ServerStats) -> Json {
                     .collect(),
             ),
         ),
+        ("pruned_infeasible", Json::u64(s.pruned_infeasible)),
+        ("pruned_equivalent", Json::u64(s.pruned_equivalent)),
+        ("unchecked_kernels", Json::u64(s.unchecked_kernels)),
     ])
 }
 
@@ -969,6 +981,11 @@ fn stats_from_json(doc: &Json) -> Option<ServerStats> {
                 .collect(),
             _ => Vec::new(),
         },
+        // Static-analysis counters postdate PR 9 wire stats: default
+        // when absent so newer clients still decode older servers.
+        pruned_infeasible: field("pruned_infeasible").unwrap_or(0),
+        pruned_equivalent: field("pruned_equivalent").unwrap_or(0),
+        unchecked_kernels: field("unchecked_kernels").unwrap_or(0),
     })
 }
 
@@ -1363,6 +1380,9 @@ mod tests {
                             failovers: 0,
                         },
                     ],
+                    pruned_infeasible: 120,
+                    pruned_equivalent: 45,
+                    unchecked_kernels: 88,
                 },
             },
             Event::Shared {

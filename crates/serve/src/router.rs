@@ -540,6 +540,9 @@ impl RouterHandle {
                     total.failed_events += stats.failed_events;
                     total.error_events += stats.error_events;
                     total.shared_events += stats.shared_events;
+                    total.pruned_infeasible += stats.pruned_infeasible;
+                    total.pruned_equivalent += stats.pruned_equivalent;
+                    total.unchecked_kernels += stats.unchecked_kernels;
                     for o in stats.oracles {
                         *oracles.entry(o.spec).or_default() += o.lifts;
                     }

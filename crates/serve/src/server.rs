@@ -275,6 +275,11 @@ struct Counters {
     failed: AtomicU64,
     cancelled: AtomicU64,
     rejected: AtomicU64,
+    /// Static-analysis tier totals, summed over every lift driven by
+    /// this process (cache hits excluded — no search ran).
+    pruned_infeasible: AtomicU64,
+    pruned_equivalent: AtomicU64,
+    unchecked_kernels: AtomicU64,
 }
 
 struct Inner {
@@ -360,6 +365,9 @@ impl Inner {
             shared_events: self.terminals.shared.load(Ordering::Relaxed),
             // Plain servers have no replica view; the router overrides.
             replicas: Vec::new(),
+            pruned_infeasible: self.counters.pruned_infeasible.load(Ordering::Relaxed),
+            pruned_equivalent: self.counters.pruned_equivalent.load(Ordering::Relaxed),
+            unchecked_kernels: self.counters.unchecked_kernels.load(Ordering::Relaxed),
         }
     }
 
@@ -730,6 +738,21 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
     };
     let report = Stagg::new(provider, job.config.clone()).lift_with(&job.query, &hooks);
     let elapsed_ms = started.elapsed().as_millis() as u64;
+
+    // Static-analysis totals accumulate whatever the outcome — pruning
+    // work done on a failed lift is still work saved.
+    inner
+        .counters
+        .pruned_infeasible
+        .fetch_add(report.pruned_infeasible, Ordering::Relaxed);
+    inner
+        .counters
+        .pruned_equivalent
+        .fetch_add(report.pruned_equivalent, Ordering::Relaxed);
+    inner
+        .counters
+        .unchecked_kernels
+        .fetch_add(report.unchecked_kernels, Ordering::Relaxed);
 
     // An external cause (cancel / timeout / shutdown) overrides the
     // pipeline's own classification.

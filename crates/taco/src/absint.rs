@@ -1,0 +1,377 @@
+//! Interval abstract interpretation over the micro-ISA: overflow proofs
+//! for the batched integer fast path.
+//!
+//! The batched evaluator ([`crate::batch`]) runs every instruction of
+//! every lane with *checked* `i64` arithmetic so that an overflow can
+//! demote the affected lane to the exact-rational engine. That safety
+//! net costs a compare-and-branch per operation even though, for the
+//! value ranges candidate filtering actually sees (I/O examples drawn
+//! from a small window), no overflow is ever possible.
+//!
+//! This module proves that statically. Given the per-slot value ranges
+//! observed in the concrete tensors of a shape group (plus the constant
+//! pools and the summation trip count), [`analyze_kernel`] propagates
+//! [`Interval`]s through the lowered [`IsaProgram`] and returns an
+//! [`OverflowVerdict`]:
+//!
+//! - [`OverflowVerdict::Safe`] — **every** intermediate value of **every**
+//!   instruction, and every partial accumulator sum, provably fits in
+//!   `i64` for all inputs within the seeded ranges. The batch engine may
+//!   run plain wrapping arithmetic (no per-op checks, no demotion
+//!   bookkeeping) and is guaranteed bit-identical to the checked path.
+//! - [`OverflowVerdict::Unsafe`] — some instruction *may* overflow (or
+//!   the program divides, which the integer path never handles); the
+//!   engine keeps the checked path.
+//!
+//! Two proof rules are used, matching the two integer engines in
+//! [`crate::batch`]:
+//!
+//! 1. **Product kernels** (a pure multiplication tree, detected by
+//!    [`IsaProgram::product_loads`]): the engine may fold constants into
+//!    a coefficient and reassociate the multiply chain, so instruction-
+//!    order propagation would prove the wrong order. Instead we bound
+//!    `M = Π max(1, maxabs(leaf))` over *all* multiplicative leaves;
+//!    every partial product of any subset of leaves, in any association
+//!    order, has magnitude ≤ `M`, and every partial accumulator sum has
+//!    magnitude ≤ `M · sum_iters`.
+//! 2. **Generic kernels**: the engine executes instructions exactly in
+//!    ISA order, so intervals are propagated instruction by instruction
+//!    (each destination must fit `i64`), and the cell accumulator —
+//!    `sum_iters` additions of register 0 — is bounded by
+//!    `[min(0, lo·sum_iters), max(0, hi·sum_iters)]`.
+//!
+//! All interval arithmetic is performed in `i128` with checked
+//! operations; an `i128` overflow conservatively yields `Unsafe`.
+
+use crate::isa::{IsaProgram, Opcode};
+
+/// An inclusive `i64` value range `[lo, hi]`, the abstract domain of the
+/// overflow analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Least value.
+    pub lo: i64,
+    /// Greatest value.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The interval `[lo, hi]`; panics if `lo > hi` (caller bug).
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        assert!(lo <= hi, "interval bounds out of order");
+        Interval { lo, hi }
+    }
+
+    /// The smallest interval containing both `self` and `other`.
+    pub fn union(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// The smallest interval containing every value in `vals`;
+    /// `[0, 0]` for an empty slice (an empty tensor is never loaded —
+    /// its loop extent is zero).
+    pub fn of_values(vals: &[i64]) -> Interval {
+        let mut lo = 0i64;
+        let mut hi = 0i64;
+        let mut first = true;
+        for &v in vals {
+            if first {
+                lo = v;
+                hi = v;
+                first = false;
+            } else {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    fn maxabs(self) -> i128 {
+        (self.lo as i128).abs().max((self.hi as i128).abs())
+    }
+}
+
+/// A widened interval over `i128` used during propagation. `None` bounds
+/// mean "overflowed `i128`" and poison the verdict.
+#[derive(Debug, Clone, Copy)]
+struct Wide {
+    lo: i128,
+    hi: i128,
+}
+
+impl Wide {
+    fn from_interval(iv: Interval) -> Wide {
+        Wide {
+            lo: iv.lo as i128,
+            hi: iv.hi as i128,
+        }
+    }
+
+    fn fits_i64(self) -> bool {
+        self.lo >= i64::MIN as i128 && self.hi <= i64::MAX as i128
+    }
+
+    fn neg(self) -> Option<Wide> {
+        Some(Wide {
+            lo: self.hi.checked_neg()?,
+            hi: self.lo.checked_neg()?,
+        })
+    }
+
+    fn add(self, o: Wide) -> Option<Wide> {
+        Some(Wide {
+            lo: self.lo.checked_add(o.lo)?,
+            hi: self.hi.checked_add(o.hi)?,
+        })
+    }
+
+    fn sub(self, o: Wide) -> Option<Wide> {
+        Some(Wide {
+            lo: self.lo.checked_sub(o.hi)?,
+            hi: self.hi.checked_sub(o.lo)?,
+        })
+    }
+
+    fn mul(self, o: Wide) -> Option<Wide> {
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for a in [self.lo, self.hi] {
+            for b in [o.lo, o.hi] {
+                let p = a.checked_mul(b)?;
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        Some(Wide { lo, hi })
+    }
+}
+
+/// The outcome of the overflow analysis for one kernel × one shape
+/// group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowVerdict {
+    /// Every intermediate and every partial accumulator sum provably
+    /// fits `i64`; unchecked arithmetic is bit-identical to checked.
+    Safe,
+    /// Some operation may overflow (or the kernel divides); keep the
+    /// checked path.
+    Unsafe,
+}
+
+impl OverflowVerdict {
+    /// Whether the verdict licenses the unchecked fast path.
+    pub fn is_safe(self) -> bool {
+        matches!(self, OverflowVerdict::Safe)
+    }
+}
+
+/// Proves (or declines to prove) that evaluating `isa` is overflow-free
+/// for all inputs within the seeded ranges.
+///
+/// - `access_ranges` — one [`Interval`] per *access* (aligned with the
+///   `LoadSlot` operand), the union over all lanes of the bound tensor's
+///   value range;
+/// - `sym_ranges` — one [`Interval`] per symbolic-constant slot, the
+///   union over all lanes of the bound constants;
+/// - `sum_iters` — the summation trip count of the shared loop nest
+///   (the number of terms each output cell accumulates).
+///
+/// The proof covers both integer engines of [`crate::batch`]: the
+/// reassociation-tolerant product bound and the instruction-order
+/// propagation for generic kernels (see the module docs).
+pub fn analyze_kernel(
+    isa: &IsaProgram,
+    access_ranges: &[Interval],
+    sym_ranges: &[Interval],
+    sum_iters: usize,
+) -> OverflowVerdict {
+    if isa.has_div {
+        return OverflowVerdict::Unsafe;
+    }
+    let iters = sum_iters.max(1) as i128;
+
+    if isa.product_loads().is_some() {
+        // Product rule: any sub-product of the leaves, in any
+        // association order (including the folded constant coefficient),
+        // is bounded by the product of per-leaf max(1, maxabs).
+        let mut m = 1i128;
+        for inst in &isa.insts {
+            let leaf = match inst.op {
+                Opcode::LoadSlot => access_ranges[inst.a as usize].maxabs(),
+                Opcode::ConstImm => (isa.imms[inst.a as usize] as i128).abs(),
+                Opcode::ConstSym => sym_ranges[inst.a as usize].maxabs(),
+                _ => continue,
+            };
+            m = match m.checked_mul(leaf.max(1)) {
+                Some(v) => v,
+                None => return OverflowVerdict::Unsafe,
+            };
+        }
+        let acc = match m.checked_mul(iters) {
+            Some(v) => v,
+            None => return OverflowVerdict::Unsafe,
+        };
+        if m <= i64::MAX as i128 && acc <= i64::MAX as i128 {
+            return OverflowVerdict::Safe;
+        }
+        return OverflowVerdict::Unsafe;
+    }
+
+    // Generic rule: mirror the SoA sweep instruction by instruction.
+    let mut regs: Vec<Option<Wide>> = vec![None; isa.n_regs.max(1)];
+    for inst in &isa.insts {
+        let val = match inst.op {
+            Opcode::LoadSlot => Some(Wide::from_interval(access_ranges[inst.a as usize])),
+            Opcode::ConstImm => Some(Wide::from_interval(Interval::point(
+                isa.imms[inst.a as usize],
+            ))),
+            Opcode::ConstSym => Some(Wide::from_interval(sym_ranges[inst.a as usize])),
+            Opcode::Neg => regs[inst.a as usize].and_then(Wide::neg),
+            Opcode::Add | Opcode::Sub | Opcode::Mul => {
+                let (a, b) = (regs[inst.a as usize], regs[inst.b as usize]);
+                match (a, b) {
+                    (Some(a), Some(b)) => match inst.op {
+                        Opcode::Add => a.add(b),
+                        Opcode::Sub => a.sub(b),
+                        _ => a.mul(b),
+                    },
+                    _ => None,
+                }
+            }
+            Opcode::Div => return OverflowVerdict::Unsafe,
+        };
+        // Every destination register is a concrete i64 in the engine, so
+        // each instruction's result must itself fit i64.
+        match val {
+            Some(w) if w.fits_i64() => regs[inst.dst as usize] = Some(w),
+            _ => return OverflowVerdict::Unsafe,
+        }
+    }
+    // The cell accumulator adds register 0 once per summation iteration;
+    // every partial sum lies in [min(0, lo·iters), max(0, hi·iters)].
+    let Some(r0) = regs[0] else {
+        return OverflowVerdict::Unsafe;
+    };
+    let (Some(lo), Some(hi)) = (r0.lo.checked_mul(iters), r0.hi.checked_mul(iters)) else {
+        return OverflowVerdict::Unsafe;
+    };
+    let acc = Wide {
+        lo: lo.min(0),
+        hi: hi.max(0),
+    };
+    if acc.fits_i64() {
+        OverflowVerdict::Safe
+    } else {
+        OverflowVerdict::Unsafe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchKernel;
+    use crate::parser::parse_program;
+
+    fn kernel(src: &str) -> IsaProgram {
+        BatchKernel::new(&parse_program(src).unwrap()).isa().clone()
+    }
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn small_product_is_safe() {
+        // a(i) = b(i,j) * c(j) with |values| ≤ 5 over 8 summation steps.
+        let isa = kernel("a(i) = b(i,j) * c(j)");
+        let v = analyze_kernel(&isa, &[iv(-5, 5), iv(-5, 5)], &[], 8);
+        assert_eq!(v, OverflowVerdict::Safe);
+    }
+
+    #[test]
+    fn huge_product_is_unsafe() {
+        let isa = kernel("a(i) = b(i,j) * c(j)");
+        let big = iv(-(3_000_000_000i64), 3_000_000_000i64);
+        let v = analyze_kernel(&isa, &[big, big], &[], 8);
+        assert_eq!(v, OverflowVerdict::Unsafe);
+    }
+
+    #[test]
+    fn trip_count_tips_the_verdict() {
+        // Each term fits easily; 2^40 of them do not.
+        let isa = kernel("a(i) = b(i,j) * c(j)");
+        let r = iv(-1_000_000, 1_000_000);
+        assert_eq!(analyze_kernel(&isa, &[r, r], &[], 8), OverflowVerdict::Safe);
+        assert_eq!(
+            analyze_kernel(&isa, &[r, r], &[], 1 << 40),
+            OverflowVerdict::Unsafe
+        );
+    }
+
+    #[test]
+    fn generic_add_is_safe_within_bounds() {
+        let isa = kernel("a(i) = b(i,j) + c(j)");
+        let v = analyze_kernel(&isa, &[iv(-100, 100), iv(-100, 100)], &[], 16);
+        assert_eq!(v, OverflowVerdict::Safe);
+    }
+
+    #[test]
+    fn generic_near_limit_is_unsafe() {
+        // b + c where both ends touch i64::MAX/2 + 1: the Add overflows.
+        let isa = kernel("a(i) = b(i,j) + c(j)");
+        let half = iv(0, i64::MAX / 2 + 1);
+        let v = analyze_kernel(&isa, &[half, half], &[], 2);
+        assert_eq!(v, OverflowVerdict::Unsafe);
+    }
+
+    #[test]
+    fn accumulator_bound_counts_iterations() {
+        let isa = kernel("a(i) = b(i,j) + c(j)");
+        let r = iv(-(1 << 30), 1 << 30);
+        assert_eq!(analyze_kernel(&isa, &[r, r], &[], 4), OverflowVerdict::Safe);
+        assert_eq!(
+            analyze_kernel(&isa, &[r, r], &[], 1 << 35),
+            OverflowVerdict::Unsafe
+        );
+    }
+
+    #[test]
+    fn division_is_never_safe() {
+        let isa = kernel("a(i) = b(i,j) / c(j)");
+        assert_eq!(
+            analyze_kernel(&isa, &[iv(1, 2), iv(1, 2)], &[], 4),
+            OverflowVerdict::Unsafe
+        );
+    }
+
+    #[test]
+    fn const_syms_participate() {
+        let isa = kernel("a(i) = b(i,j) * c(j) * Const");
+        let small = iv(-5, 5);
+        assert_eq!(
+            analyze_kernel(&isa, &[small, small], &[iv(-3, 3)], 8),
+            OverflowVerdict::Safe
+        );
+        assert_eq!(
+            analyze_kernel(&isa, &[small, small], &[iv(0, i64::MAX / 2)], 8),
+            OverflowVerdict::Unsafe
+        );
+    }
+
+    #[test]
+    fn interval_helpers() {
+        assert_eq!(Interval::of_values(&[3, -7, 2]), iv(-7, 3));
+        assert_eq!(Interval::of_values(&[]), iv(0, 0));
+        assert_eq!(iv(-1, 4).union(iv(2, 9)), iv(-1, 9));
+        assert_eq!(Interval::point(5), iv(5, 5));
+    }
+}

@@ -33,9 +33,11 @@ use std::collections::{BTreeMap, HashMap};
 
 use gtl_tensor::{Rat, Shape, Tensor};
 
+use crate::absint::{analyze_kernel, Interval};
 use crate::ast::{Expr, IndexVar, TacoProgram};
 use crate::compile::{
-    access_strides, advance, inner_product1, inner_product2, inner_product3, LoopState,
+    access_strides, advance, inner_product1, inner_product2, inner_product3,
+    wrapping_inner_product1, wrapping_inner_product2, wrapping_inner_product3, LoopState,
 };
 use crate::eval::EvalError;
 use crate::isa::{Encoder, IsaProgram, Opcode};
@@ -50,6 +52,18 @@ pub struct Lane {
     /// Concrete constant values, aligned with
     /// [`BatchKernel::const_slots`].
     pub constants: Vec<i64>,
+}
+
+/// Engine-choice counters for one or more batched evaluation passes
+/// (see [`BatchKernel::evaluate_lanes_with_stats`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Shape groups whose [`crate::absint`] overflow proof licensed the
+    /// unchecked (wrapping) integer sweep.
+    pub unchecked_groups: u64,
+    /// Shape groups evaluated with the checked, per-lane-demoting
+    /// engines.
+    pub checked_groups: u64,
 }
 
 /// One template access: which tensor slot it reads and with which index
@@ -271,6 +285,39 @@ impl BatchKernel {
         lanes: &[Lane],
         env: &TensorEnv,
     ) -> Vec<Result<Tensor, EvalError>> {
+        self.evaluate_lanes_with_stats(lanes, env, &mut BatchStats::default())
+    }
+
+    /// [`BatchKernel::evaluate_lanes`], additionally accumulating
+    /// engine-choice counters (checked vs proven-overflow-free unchecked
+    /// shape groups) into `stats`.
+    pub fn evaluate_lanes_with_stats(
+        &self,
+        lanes: &[Lane],
+        env: &TensorEnv,
+        stats: &mut BatchStats,
+    ) -> Vec<Result<Tensor, EvalError>> {
+        self.evaluate_lanes_inner(lanes, env, false, stats)
+    }
+
+    /// [`BatchKernel::evaluate_lanes`] with the unchecked fast path
+    /// disabled even where the overflow proof would license it. The
+    /// differential tests pin the unchecked path against this.
+    pub fn evaluate_lanes_checked(
+        &self,
+        lanes: &[Lane],
+        env: &TensorEnv,
+    ) -> Vec<Result<Tensor, EvalError>> {
+        self.evaluate_lanes_inner(lanes, env, true, &mut BatchStats::default())
+    }
+
+    fn evaluate_lanes_inner(
+        &self,
+        lanes: &[Lane],
+        env: &TensorEnv,
+        force_checked: bool,
+        stats: &mut BatchStats,
+    ) -> Vec<Result<Tensor, EvalError>> {
         struct Group {
             key: Vec<Shape>,
             ids: Vec<usize>,
@@ -310,7 +357,7 @@ impl BatchKernel {
             }
         }
         for g in &groups {
-            self.run_group(lanes, &g.ids, &g.extents, env, &mut results);
+            self.run_group(lanes, &g.ids, &g.extents, env, &mut results, force_checked, stats);
         }
         results
             .into_iter()
@@ -320,6 +367,7 @@ impl BatchKernel {
 
     /// Evaluates the lanes of one shape group: shared odometer, shared
     /// strides, lane-major registers.
+    #[allow(clippy::too_many_arguments)]
     fn run_group(
         &self,
         lanes: &[Lane],
@@ -327,6 +375,8 @@ impl BatchKernel {
         extents: &BTreeMap<IndexVar, usize>,
         env: &TensorEnv,
         results: &mut [Option<Result<Tensor, EvalError>>],
+        force_checked: bool,
+        stats: &mut BatchStats,
     ) {
         // Loop structure: output loops first (later LHS occurrence wins,
         // matching the scalar compiler), then summation loops.
@@ -447,6 +497,59 @@ impl BatchKernel {
             })
             .collect();
 
+        // Static overflow proof: when every lane of the group is on the
+        // integer path, seed per-access value ranges from the concrete
+        // tensors (union over lanes) and ask the abstract interpreter
+        // whether any intermediate can leave i64. A `Safe` verdict swaps
+        // the checked sweeps below for plain wrapping arithmetic — bit-
+        // identical by the proof, branch-free in the inner loops.
+        let all_int =
+            int_eligible && modes.iter().all(|m| matches!(m, Mode::Int { .. }));
+        let unchecked = all_int && !force_checked && {
+            let range_by_name: HashMap<&str, Interval> = ints_by_name
+                .iter()
+                .filter_map(|(name, ints)| {
+                    ints.as_ref().map(|v| (*name, Interval::of_values(v)))
+                })
+                .collect();
+            let access_ranges: Vec<Interval> = self
+                .accesses
+                .iter()
+                .map(|acc| {
+                    ids.iter()
+                        .map(|&id| {
+                            range_by_name[lanes[id].tensors[acc.slot as usize].as_str()]
+                        })
+                        .reduce(Interval::union)
+                        .unwrap_or(Interval::point(0))
+                })
+                .collect();
+            let sym_ranges: Vec<Interval> = (0..self.const_syms.len())
+                .map(|k| {
+                    ids.iter()
+                        .map(|&id| Interval::point(lanes[id].constants[k]))
+                        .reduce(Interval::union)
+                        .unwrap_or(Interval::point(0))
+                })
+                .collect();
+            analyze_kernel(&self.isa, &access_ranges, &sym_ranges, sum_iters).is_safe()
+        };
+        if unchecked {
+            stats.unchecked_groups += 1;
+        } else {
+            stats.checked_groups += 1;
+        }
+        // Unwrapped per-lane integer data for the unchecked sweeps (all
+        // lanes are int-mode when `unchecked` holds).
+        let int_data: Vec<&[&[i64]]> = if unchecked {
+            acc_ints
+                .iter()
+                .map(|o| o.as_ref().expect("unchecked implies all-int").as_slice())
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         // Product fast-path plan: for every int-mode lane, the folded
         // coefficient and its per-load data slices, resolved once per
         // group. The cell loop below runs out_len × lanes iterations;
@@ -551,6 +654,54 @@ impl BatchKernel {
                                     let a = a as usize;
                                     offs[i] = state.base_off[a] + state.sum_off[a];
                                 }
+                                if unchecked {
+                                    // Proven overflow-free: wrapping
+                                    // multiply-accumulate, no demotion.
+                                    for &(pos, coeff, d) in &int_plan {
+                                        let part = match loads.len() {
+                                            1 => wrapping_inner_product1(
+                                                d[0],
+                                                offs[0],
+                                                inner_strides[0],
+                                                coeff,
+                                                inner,
+                                            ),
+                                            2 => wrapping_inner_product2(
+                                                d[0],
+                                                offs[0],
+                                                inner_strides[0],
+                                                d[1],
+                                                offs[1],
+                                                inner_strides[1],
+                                                coeff,
+                                                inner,
+                                            ),
+                                            _ => wrapping_inner_product3(
+                                                d[0],
+                                                offs[0],
+                                                inner_strides[0],
+                                                d[1],
+                                                offs[1],
+                                                inner_strides[1],
+                                                d[2],
+                                                offs[2],
+                                                inner_strides[2],
+                                                coeff,
+                                                inner,
+                                            ),
+                                        };
+                                        int_accs[pos] = int_accs[pos].wrapping_add(part);
+                                    }
+                                    if has_sum {
+                                        advance(
+                                            &mut state.counters[n_out..n_loops - 1],
+                                            &loop_extents[n_out..n_loops - 1],
+                                            &sum_updates[..sum_updates.len() - 1],
+                                            &mut state.sum_off,
+                                        );
+                                    }
+                                    continue;
+                                }
                                 for &(pos, coeff, d) in &int_plan {
                                     if !int_alive[pos] {
                                         continue;
@@ -609,6 +760,71 @@ impl BatchKernel {
                                     cell_vals[pos] = Rat::from(int_accs[pos]);
                                 }
                             }
+                        }
+                    }
+                    _ if unchecked => {
+                        // Generic sweep, proven overflow-free: wrapping
+                        // ops for every lane, no aliveness bookkeeping,
+                        // no rational fallback possible.
+                        for acc in int_accs.iter_mut() {
+                            *acc = 0;
+                        }
+                        for _ in 0..sum_iters {
+                            for inst in &self.isa.insts {
+                                let d = inst.dst as usize * nl;
+                                match inst.op {
+                                    Opcode::LoadSlot => {
+                                        let a = inst.a as usize;
+                                        let off = state.base_off[a] + state.sum_off[a];
+                                        for pos in 0..nl {
+                                            regs_i[d + pos] = int_data[pos][a][off];
+                                        }
+                                    }
+                                    Opcode::ConstImm => {
+                                        let v = self.isa.imms[inst.a as usize];
+                                        for pos in 0..nl {
+                                            regs_i[d + pos] = v;
+                                        }
+                                    }
+                                    Opcode::ConstSym => {
+                                        let sym = inst.a as usize;
+                                        for pos in 0..nl {
+                                            regs_i[d + pos] = lanes[ids[pos]].constants[sym];
+                                        }
+                                    }
+                                    Opcode::Neg => {
+                                        let s = inst.a as usize * nl;
+                                        for pos in 0..nl {
+                                            regs_i[d + pos] = regs_i[s + pos].wrapping_neg();
+                                        }
+                                    }
+                                    Opcode::Add | Opcode::Sub | Opcode::Mul => {
+                                        let a = inst.a as usize * nl;
+                                        let b = inst.b as usize * nl;
+                                        for pos in 0..nl {
+                                            let (x, y) = (regs_i[a + pos], regs_i[b + pos]);
+                                            regs_i[d + pos] = match inst.op {
+                                                Opcode::Add => x.wrapping_add(y),
+                                                Opcode::Sub => x.wrapping_sub(y),
+                                                _ => x.wrapping_mul(y),
+                                            };
+                                        }
+                                    }
+                                    Opcode::Div => unreachable!("i64 mode is division-free"),
+                                }
+                            }
+                            for pos in 0..nl {
+                                int_accs[pos] = int_accs[pos].wrapping_add(regs_i[pos]);
+                            }
+                            advance(
+                                &mut state.counters[n_out..],
+                                &loop_extents[n_out..],
+                                &sum_updates,
+                                &mut state.sum_off,
+                            );
+                        }
+                        for pos in 0..nl {
+                            cell_vals[pos] = Rat::from(int_accs[pos]);
                         }
                     }
                     _ => {
@@ -1092,5 +1308,68 @@ mod tests {
         let t = parse_program("a(i) = b(i)").unwrap();
         let k = BatchKernel::new(&t);
         assert!(k.evaluate_lanes(&[], &TensorEnv::new()).is_empty());
+    }
+
+    #[test]
+    fn safe_product_group_runs_unchecked() {
+        let e = env(&[
+            ("m", Shape::new(vec![2, 3]), &[1, 2, 3, 4, 5, 6]),
+            ("x", Shape::new(vec![3]), &[1, 0, -2]),
+        ]);
+        let t = parse_program("y(i) = m(i,j) * x(j)").unwrap();
+        let k = BatchKernel::new(&t);
+        let lanes = [lane(&["m", "x"]), lane(&["m", "x"])];
+        let mut stats = BatchStats::default();
+        let got = k.evaluate_lanes_with_stats(&lanes, &e, &mut stats);
+        assert_eq!(stats.unchecked_groups, 1, "small values must prove safe");
+        assert_eq!(stats.checked_groups, 0);
+        assert_eq!(got, k.evaluate_lanes_checked(&lanes, &e));
+    }
+
+    #[test]
+    fn safe_generic_group_runs_unchecked() {
+        let e = env(&[
+            ("b", Shape::new(vec![2, 3]), &[1, 2, 3, 4, 5, 6]),
+            ("c", Shape::new(vec![2, 3]), &[-1, 0, 2, 5, -4, 3]),
+        ]);
+        // Addition under summation: the generic register-machine sweep.
+        let t = parse_program("a(i) = b(i,j) + c(i,j)").unwrap();
+        let k = BatchKernel::new(&t);
+        let lanes = [lane(&["b", "c"])];
+        let mut stats = BatchStats::default();
+        let got = k.evaluate_lanes_with_stats(&lanes, &e, &mut stats);
+        assert_eq!(stats.unchecked_groups, 1);
+        assert_eq!(got, k.evaluate_lanes_checked(&lanes, &e));
+    }
+
+    #[test]
+    fn overflow_risk_keeps_the_checked_path() {
+        let big = 4_000_000_000_000_000_000i64;
+        let e = env(&[
+            ("m", Shape::new(vec![2, 3]), &[big, big, big, big, big, big]),
+            ("x", Shape::new(vec![3]), &[1, 1, 1]),
+        ]);
+        let t = parse_program("y(i) = m(i,j) * x(j)").unwrap();
+        let k = BatchKernel::new(&t);
+        let lanes = [lane(&["m", "x"])];
+        let mut stats = BatchStats::default();
+        let got = k.evaluate_lanes_with_stats(&lanes, &e, &mut stats);
+        assert_eq!(stats.unchecked_groups, 0, "big values must stay checked");
+        assert_eq!(stats.checked_groups, 1);
+        assert_eq!(got, k.evaluate_lanes_checked(&lanes, &e));
+        // And the checked path still matches scalar semantics.
+        assert_lanes_match_scalar("y(i) = m(i,j) * x(j)", &lanes, &e);
+    }
+
+    #[test]
+    fn forced_checked_never_reports_unchecked_groups() {
+        let e = env(&[("b", Shape::new(vec![3]), &[1, 2, 3])]);
+        let t = parse_program("a = b(i) * b(i)").unwrap();
+        let k = BatchKernel::new(&t);
+        let lanes = [lane(&["b"])];
+        let mut stats = BatchStats::default();
+        let auto = k.evaluate_lanes_with_stats(&lanes, &e, &mut stats);
+        assert_eq!(stats.unchecked_groups, 1);
+        assert_eq!(auto, k.evaluate_lanes_checked(&lanes, &e));
     }
 }

@@ -760,6 +760,98 @@ pub(crate) fn inner_product3(
     Some(acc)
 }
 
+/// [`inner_product1`] with wrapping arithmetic: used by the batched
+/// engine only after [`crate::absint`] proved every partial sum fits
+/// `i64`, where wrapping and checked arithmetic coincide bit for bit.
+#[inline]
+pub(crate) fn wrapping_inner_product1(d: &[i64], mut o: usize, s: usize, coeff: i64, n: usize) -> i64 {
+    let mut acc = 0i64;
+    if coeff == 1 {
+        for _ in 0..n {
+            acc = acc.wrapping_add(d[o]);
+            o += s;
+        }
+    } else {
+        for _ in 0..n {
+            acc = acc.wrapping_add(coeff.wrapping_mul(d[o]));
+            o += s;
+        }
+    }
+    acc
+}
+
+/// [`inner_product2`] with wrapping arithmetic (see
+/// [`wrapping_inner_product1`] for when this is sound).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn wrapping_inner_product2(
+    d0: &[i64],
+    mut o0: usize,
+    s0: usize,
+    d1: &[i64],
+    mut o1: usize,
+    s1: usize,
+    coeff: i64,
+    n: usize,
+) -> i64 {
+    let mut acc = 0i64;
+    if coeff == 1 {
+        for _ in 0..n {
+            acc = acc.wrapping_add(d0[o0].wrapping_mul(d1[o1]));
+            o0 += s0;
+            o1 += s1;
+        }
+    } else {
+        for _ in 0..n {
+            acc = acc.wrapping_add(coeff.wrapping_mul(d0[o0]).wrapping_mul(d1[o1]));
+            o0 += s0;
+            o1 += s1;
+        }
+    }
+    acc
+}
+
+/// [`inner_product3`] with wrapping arithmetic (see
+/// [`wrapping_inner_product1`] for when this is sound).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn wrapping_inner_product3(
+    d0: &[i64],
+    mut o0: usize,
+    s0: usize,
+    d1: &[i64],
+    mut o1: usize,
+    s1: usize,
+    d2: &[i64],
+    mut o2: usize,
+    s2: usize,
+    coeff: i64,
+    n: usize,
+) -> i64 {
+    let mut acc = 0i64;
+    if coeff == 1 {
+        for _ in 0..n {
+            acc = acc.wrapping_add(d0[o0].wrapping_mul(d1[o1]).wrapping_mul(d2[o2]));
+            o0 += s0;
+            o1 += s1;
+            o2 += s2;
+        }
+    } else {
+        for _ in 0..n {
+            acc = acc.wrapping_add(
+                coeff
+                    .wrapping_mul(d0[o0])
+                    .wrapping_mul(d1[o1])
+                    .wrapping_mul(d2[o2]),
+            );
+            o0 += s0;
+            o1 += s1;
+            o2 += s2;
+        }
+    }
+    acc
+}
+
 /// Advances a row-major odometer one step (rightmost fastest), applying
 /// each moved counter's stride deltas to the affected access offsets.
 #[inline]

@@ -15,7 +15,13 @@
 //!   evaluate many times, `i64` fast path with exact-rational fallback);
 //! - [`isa`] / [`batch`] — the batched native tier: a template is lowered
 //!   once into a fixed-width micro-ISA and evaluated for many
-//!   substitutions ([`Lane`]s) in a single pass over a shared loop nest.
+//!   substitutions ([`Lane`]s) in a single pass over a shared loop nest;
+//! - [`absint`] — interval abstract interpretation over the micro-ISA:
+//!   overflow proofs that let the batch tier run unchecked integer
+//!   arithmetic when every intermediate provably fits `i64`;
+//! - [`canon`] — algebraic canonicalization of candidates (commutative
+//!   sorting, constant folding, neutral-element elimination) and the
+//!   canonical fingerprint the search tier dedups on.
 //!
 //! # Example: parse, analyse, evaluate
 //!
@@ -37,8 +43,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod ast;
 pub mod batch;
+pub mod canon;
 pub mod codegen;
 pub mod compile;
 pub mod eval;
@@ -48,11 +56,13 @@ pub mod parser;
 mod printer;
 pub mod semantics;
 
+pub use absint::{analyze_kernel, Interval, OverflowVerdict};
 pub use ast::{
     canonical_tensor_name, Access, BinOp, Expr, Ident, IndexVar, Operand, TacoProgram,
     CANONICAL_INDICES,
 };
-pub use batch::{BatchKernel, Lane};
+pub use batch::{BatchKernel, BatchStats, Lane};
+pub use canon::{canonical_fingerprint, canonical_key, canonicalize, canonicalize_expr};
 pub use codegen::{generate_c, GeneratedKernel};
 pub use compile::{compile, CompiledKernel, EvalCache, EvalCacheStats};
 pub use isa::{Encoder, Inst, IsaProgram, Opcode};

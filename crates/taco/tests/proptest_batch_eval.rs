@@ -10,11 +10,18 @@
 //! hit division by zero, and non-integer rationals that defeat the
 //! fast path at conversion. Lanes also bind wrong-rank and missing
 //! tensors, so semantic-error classification is compared too.
+//!
+//! Each round additionally pins the default path (which may take the
+//! overflow-proof gated *wrapping* sweeps) against
+//! [`BatchKernel::evaluate_lanes_checked`]: the huge-integer profile
+//! forces `Unsafe` verdicts, the small-integer profile `Safe` ones, and
+//! both must agree bit-for-bit with the checked sweeps.
 
 use std::collections::HashMap;
 
 use gtl_taco::{
-    evaluate, Access, BatchKernel, BinOp, EvalError, Expr, Lane, TacoProgram, TensorEnv,
+    evaluate, Access, BatchKernel, BatchStats, BinOp, EvalError, Expr, Lane, TacoProgram,
+    TensorEnv,
 };
 use gtl_tensor::{Rat, Shape, TensorGen};
 use proptest::prelude::*;
@@ -224,7 +231,19 @@ fn assert_batch_matches_scalar(
     lanes: &[Lane],
 ) -> Result<(), TestCaseError> {
     let kernel = BatchKernel::new(template);
-    let got = kernel.evaluate_lanes(lanes, env);
+    let mut stats = BatchStats::default();
+    let got = kernel.evaluate_lanes_with_stats(lanes, env, &mut stats);
+    // The overflow-proof gated wrapping path must be bit-identical to
+    // the always-checked sweeps — values and error classification —
+    // whatever the verdict decided per shape group.
+    let checked = kernel.evaluate_lanes_checked(lanes, env);
+    prop_assert_eq!(
+        &got,
+        &checked,
+        "unchecked fast path diverged from checked sweeps for {} ({:?})",
+        template,
+        stats
+    );
     prop_assert_eq!(got.len(), lanes.len());
     for (lane, got) in lanes.iter().zip(&got) {
         let concrete = concretize(&kernel, template, lane);

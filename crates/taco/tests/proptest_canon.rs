@@ -1,0 +1,125 @@
+//! Differential property test for algebraic canonicalization: a
+//! canonicalized program must evaluate exactly like the original on
+//! the value window candidate filtering actually uses.
+//!
+//! Values are drawn from the validator's small-integer window (with
+//! zeros, so division errors occur), where the module-level caveat
+//! about reassociated overflow cannot trigger. Successful evaluations
+//! must agree bit-for-bit; on error, both sides must error (the rule
+//! set never erases an erroring subterm, though reassociation may
+//! change *which* error of several surfaces first).
+
+use gtl_taco::{
+    canonical_fingerprint, canonicalize, evaluate, Access, BinOp, Expr, TacoProgram, TensorEnv,
+};
+use gtl_tensor::{Shape, TensorGen};
+use proptest::prelude::*;
+
+/// Fixed, pairwise-distinct extents (as in the batch differential).
+fn extent_of(ix: &str) -> usize {
+    match ix {
+        "i" => 2,
+        "j" => 3,
+        _ => 4,
+    }
+}
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    let idx = prop::sample::select(vec!["i", "j", "k"]);
+    (
+        prop::sample::select(vec!["t0", "t1", "t2"]),
+        prop::collection::vec(idx, 0..4),
+    )
+        .prop_map(|(name, indices)| Access {
+            tensor: name.into(),
+            indices: indices.into_iter().map(Into::into).collect(),
+        })
+}
+
+fn arb_lhs() -> impl Strategy<Value = Access> {
+    prop::sample::select(vec![vec![], vec!["i"], vec!["j"], vec!["i", "j"]]).prop_map(|indices| {
+        Access {
+            tensor: "a".into(),
+            indices: indices.into_iter().map(Into::into).collect(),
+        }
+    })
+}
+
+/// Concrete programs only (no `ConstSym`): the scalar evaluator needs
+/// every constant bound. Constants include 0 and 1 so the neutral and
+/// folding rules actually fire, and negatives so sign normalization
+/// does too.
+fn arb_program() -> impl Strategy<Value = TacoProgram> {
+    let leaf = prop_oneof![
+        arb_access().prop_map(Expr::Access),
+        (-4i64..9).prop_map(Expr::Const),
+    ];
+    let rhs = leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(BinOp::ALL.to_vec()),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    });
+    (arb_lhs(), rhs).prop_map(|(lhs, rhs)| TacoProgram::new(lhs, rhs))
+}
+
+/// Binds every RHS tensor at its first-occurrence shape. A tensor
+/// reused at another rank rank-mismatches identically on both sides of
+/// the differential (canonicalization never changes an access).
+fn build_env(program: &TacoProgram, seed: u64) -> TensorEnv {
+    let mut gen = TensorGen::new(seed);
+    let mut env = TensorEnv::new();
+    for acc in program.rhs.accesses() {
+        if env.contains_key(acc.tensor.as_str()) {
+            continue;
+        }
+        let extents: Vec<usize> = acc.indices.iter().map(|ix| extent_of(ix.as_str())).collect();
+        // -2..2 is zero-rich: `/` draws hit division by zero often.
+        env.insert(
+            acc.tensor.to_string(),
+            gen.int_tensor(Shape::new(extents), -2, 2),
+        );
+    }
+    env
+}
+
+proptest! {
+    /// Canonicalization preserves evaluation: identical outputs on
+    /// success, an error exactly when the original errors. The
+    /// canonical form is also a fixpoint, so the fingerprint keying the
+    /// seen-sets is stable across re-canonicalization.
+    #[test]
+    fn canonicalized_program_evaluates_identically(
+        program in arb_program(),
+        seed in 0u64..100_000,
+    ) {
+        let canon = canonicalize(&program);
+        let env = build_env(&program, seed);
+        let original = evaluate(&program, &env);
+        let rewritten = evaluate(&canon, &env);
+        match (&original, &rewritten) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(
+                a, b, "values diverged: {} vs {}", program, canon
+            ),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(
+                false,
+                "error presence diverged for {} → {}: {:?} vs {:?}",
+                program, canon, original, rewritten
+            ),
+        }
+        let again = canonicalize(&canon);
+        prop_assert_eq!(&again, &canon, "canonicalize must be idempotent on {}", program);
+        prop_assert_eq!(
+            canonical_fingerprint(&program),
+            canonical_fingerprint(&canon),
+            "fingerprint must not distinguish a program from its canonical form: {}",
+            program
+        );
+    }
+}

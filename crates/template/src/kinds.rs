@@ -132,7 +132,7 @@ pub fn canonical_prefix(dim: usize) -> Vec<IndexVar> {
 }
 
 /// Convenience for building the `PROGRAM → TENSOR1 "=" EXPR` rule body.
-pub fn program_rhs(tensor1: NtId, expr: NtId) -> Vec<Sym> {
+pub(crate) fn program_rhs(tensor1: NtId, expr: NtId) -> Vec<Sym> {
     vec![
         Sym::Nt(tensor1),
         Sym::T(TemplateTok::Eq),
@@ -142,7 +142,7 @@ pub fn program_rhs(tensor1: NtId, expr: NtId) -> Vec<Sym> {
 
 /// Adds the four operator rules with zero initial weight (their
 /// probabilities come purely from the LLM candidates, Fig. 3).
-pub fn add_op_rules(pcfg: &mut Pcfg, op: NtId) {
+pub(crate) fn add_op_rules(pcfg: &mut Pcfg, op: NtId) {
     for o in gtl_taco::BinOp::ALL {
         pcfg.add_rule(op, vec![Sym::T(TemplateTok::Op(o))], 0.0);
     }

@@ -111,6 +111,17 @@ pub struct ValidationStats {
     /// Substitutions that passed all I/O examples (and were handed to the
     /// verifier).
     pub io_passes: u64,
+    /// Candidate templates skipped before any evaluation because a
+    /// feasibility pre-check proved no substitution could pass (an
+    /// output index no RHS access constrains, or a constant-only RHS
+    /// against non-constant outputs).
+    pub pruned_infeasible: u64,
+    /// Candidate templates skipped because an algebraically equivalent
+    /// template was already validated (equal canonical fingerprint).
+    pub pruned_equivalent: u64,
+    /// Shape groups of batched evaluation that ran the unchecked
+    /// integer fast path under an interval overflow proof.
+    pub unchecked_kernels: u64,
 }
 
 impl ValidationStats {
@@ -118,6 +129,9 @@ impl ValidationStats {
     pub fn merge(&mut self, other: &ValidationStats) {
         self.substitutions_tried += other.substitutions_tried;
         self.io_passes += other.io_passes;
+        self.pruned_infeasible += other.pruned_infeasible;
+        self.pruned_equivalent += other.pruned_equivalent;
+        self.unchecked_kernels += other.unchecked_kernels;
     }
 }
 
@@ -128,6 +142,9 @@ impl ValidationStats {
 pub struct SharedValidationStats {
     substitutions_tried: std::sync::atomic::AtomicU64,
     io_passes: std::sync::atomic::AtomicU64,
+    pruned_infeasible: std::sync::atomic::AtomicU64,
+    pruned_equivalent: std::sync::atomic::AtomicU64,
+    unchecked_kernels: std::sync::atomic::AtomicU64,
 }
 
 impl SharedValidationStats {
@@ -137,6 +154,12 @@ impl SharedValidationStats {
         self.substitutions_tried
             .fetch_add(stats.substitutions_tried, Ordering::Relaxed);
         self.io_passes.fetch_add(stats.io_passes, Ordering::Relaxed);
+        self.pruned_infeasible
+            .fetch_add(stats.pruned_infeasible, Ordering::Relaxed);
+        self.pruned_equivalent
+            .fetch_add(stats.pruned_equivalent, Ordering::Relaxed);
+        self.unchecked_kernels
+            .fetch_add(stats.unchecked_kernels, Ordering::Relaxed);
     }
 
     /// A consistent copy of the accumulated counters.
@@ -145,6 +168,9 @@ impl SharedValidationStats {
         ValidationStats {
             substitutions_tried: self.substitutions_tried.load(Ordering::Relaxed),
             io_passes: self.io_passes.load(Ordering::Relaxed),
+            pruned_infeasible: self.pruned_infeasible.load(Ordering::Relaxed),
+            pruned_equivalent: self.pruned_equivalent.load(Ordering::Relaxed),
+            unchecked_kernels: self.unchecked_kernels.load(Ordering::Relaxed),
         }
     }
 }
@@ -212,7 +238,10 @@ pub fn validate_template_cached(
                 .iter()
                 .map(|&i| lanes[i].clone().expect("alive lanes exist"))
                 .collect();
-            let results = kernel.evaluate_lanes(&batch, &ex.instance.env);
+            let mut batch_stats = gtl_taco::BatchStats::default();
+            let results =
+                kernel.evaluate_lanes_with_stats(&batch, &ex.instance.env, &mut batch_stats);
+            stats.unchecked_kernels += batch_stats.unchecked_groups;
             alive = alive
                 .into_iter()
                 .zip(results)
@@ -333,6 +362,9 @@ mod tests {
                         shared.add(&ValidationStats {
                             substitutions_tried: 2,
                             io_passes: 1,
+                            pruned_infeasible: 1,
+                            pruned_equivalent: 1,
+                            unchecked_kernels: 1,
                         });
                     }
                 });
@@ -343,6 +375,9 @@ mod tests {
             ValidationStats {
                 substitutions_tried: 800,
                 io_passes: 400,
+                pruned_infeasible: 400,
+                pruned_equivalent: 400,
+                unchecked_kernels: 400,
             }
         );
     }
