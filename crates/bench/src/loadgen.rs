@@ -23,156 +23,12 @@ use std::time::{Duration, Instant};
 
 use gtl_serve::{Event, Json, LiftClient, LiftRequest, Request, ServerStats};
 
-// ---------------------------------------------------------------------
-// Latency histogram
-// ---------------------------------------------------------------------
+use gtl_trace::PhaseTimes;
 
-/// Values below this are counted in exact one-microsecond buckets.
-const LINEAR_MAX: u64 = 16;
-/// Log-scale buckets: 16 sub-buckets per power of two, exponents 4..=36.
-/// Everything at or above 2^36 µs (~19 hours) lands in the final
-/// overflow bucket.
-const NUM_BUCKETS: usize = 16 + 33 * 16;
-
-/// A fixed-bucket log-scale latency histogram over microseconds.
-///
-/// The bucket layout is *fixed* (independent of the data), so two
-/// histograms recorded by different workers — or different loadgen
-/// processes — merge exactly by element-wise addition, and merging is
-/// associative and commutative. Values under 16 µs get
-/// exact buckets; above that each power of two is split into 16
-/// sub-buckets, bounding the relative quantile error at 1/16 (6.25%).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> LatencyHistogram {
-        LatencyHistogram::new()
-    }
-}
-
-/// The bucket a microsecond value falls into.
-fn bucket_index(us: u64) -> usize {
-    if us < LINEAR_MAX {
-        return us as usize;
-    }
-    let exp = 63 - us.leading_zeros() as usize; // >= 4
-    let sub = ((us >> (exp - 4)) & 0xf) as usize;
-    let index = 16 + (exp - 4) * 16 + sub;
-    index.min(NUM_BUCKETS - 1)
-}
-
-/// The largest value the bucket can hold (inclusive); `u64::MAX` for
-/// the overflow bucket.
-fn bucket_upper(index: usize) -> u64 {
-    if index < LINEAR_MAX as usize {
-        return index as u64;
-    }
-    if index >= NUM_BUCKETS - 1 {
-        return u64::MAX;
-    }
-    let exp = (index - 16) / 16 + 4;
-    let sub = ((index - 16) % 16) as u64;
-    (1u64 << exp) + (sub << (exp - 4)) + ((1u64 << (exp - 4)) - 1)
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: vec![0; NUM_BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-
-    /// Records one latency in microseconds.
-    pub fn record(&mut self, us: u64) {
-        self.buckets[bucket_index(us)] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Adds every sample of `other` into `self` (element-wise bucket
-    /// addition — associative and commutative because the layout is
-    /// fixed).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.sum_us = self.sum_us.saturating_add(other.sum_us);
-        self.max_us = self.max_us.max(other.max_us);
-    }
-
-    /// Recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Whether nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// The exact maximum recorded value (µs).
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// The mean recorded value (µs); 0 when empty.
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// The nearest-rank `q`-quantile (`0.0..=1.0`), reported as the
-    /// upper bound of the bucket holding that rank — so the result is
-    /// `>=` the exact sample quantile and overshoots it by at most
-    /// 1/16. Clamped to the exact maximum; 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (index, n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_upper(index).min(self.max_us);
-            }
-        }
-        self.max_us
-    }
-
-    /// The histogram as report JSON: summary quantiles plus the
-    /// non-empty `[index, count]` bucket pairs (enough to re-merge
-    /// reports offline).
-    pub fn to_json(&self) -> Json {
-        let buckets: Vec<Json> = self
-            .buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| **n > 0)
-            .map(|(index, n)| Json::Arr(vec![Json::u64(index as u64), Json::u64(*n)]))
-            .collect();
-        Json::obj([
-            ("count", Json::u64(self.count)),
-            ("mean_us", Json::u64(self.mean_us())),
-            ("p50_us", Json::u64(self.quantile_us(0.50))),
-            ("p90_us", Json::u64(self.quantile_us(0.90))),
-            ("p99_us", Json::u64(self.quantile_us(0.99))),
-            ("max_us", Json::u64(self.max_us)),
-            ("buckets", Json::Arr(buckets)),
-        ])
-    }
-}
+// The latency histogram now lives in the observability tier
+// (`gtl_trace`) so the serving layer can record into it too; the
+// re-export keeps this module's long-standing public path working.
+pub use gtl_trace::LatencyHistogram;
 
 // ---------------------------------------------------------------------
 // Deterministic randomness and arrival schedules
@@ -469,6 +325,27 @@ pub struct LoadReport {
     /// The target's stats snapshot after the run (absent when the
     /// final poll failed).
     pub server: Option<ServerStats>,
+    /// The server-side view of exactly this run's window: the
+    /// difference of the target's own service-time/queue-wait
+    /// histograms and per-phase totals between a scrape taken before
+    /// the first request and one taken after the last. Absent when
+    /// either scrape failed.
+    pub server_delta: Option<ServerWindow>,
+}
+
+/// The server-side delta of one load run — what the target's own
+/// instrumentation recorded while the generator was driving it. Unlike
+/// the client-side `latency` histogram, these exclude connection setup
+/// and generator scheduling, so comparing the two separates server time
+/// from harness time.
+#[derive(Debug, Clone, Default)]
+pub struct ServerWindow {
+    /// Admission-to-terminal service time over the window.
+    pub service_time: LatencyHistogram,
+    /// Admission-to-worker-pickup wait over the window.
+    pub queue_wait: LatencyHistogram,
+    /// Per-phase pipeline totals over the window.
+    pub phase_times: PhaseTimes,
 }
 
 impl LoadReport {
@@ -574,6 +451,17 @@ impl LoadReport {
             ),
             ("latency", self.latency.to_json()),
             ("failover_latency", self.failover_latency.to_json()),
+            (
+                "server_window",
+                match &self.server_delta {
+                    None => Json::Null,
+                    Some(w) => Json::obj([
+                        ("service_time", w.service_time.to_json()),
+                        ("queue_wait", w.queue_wait.to_json()),
+                        ("phase_times", w.phase_times.to_json()),
+                    ]),
+                },
+            ),
             ("samples", Json::Arr(samples)),
             ("chaos", Json::Arr(chaos)),
             ("server", server),
@@ -633,6 +521,10 @@ pub fn run_load(options: &LoadOptions, chaos: Vec<ChaosEvent>) -> LoadReport {
         Arrival::Closed => Vec::new(),
         Arrival::Open { rps } => open_offsets(n, rps, options.seed ^ 0x6c6f_6164),
     };
+    // The pre-run scrape: baseline for the server-side window delta.
+    let baseline_stats = LiftClient::connect(&options.addr)
+        .ok()
+        .and_then(|mut c| c.stats().ok());
     let start = Instant::now();
     let cursor = AtomicUsize::new(0);
     let stop_sampler = AtomicBool::new(false);
@@ -783,6 +675,7 @@ pub fn run_load(options: &LoadOptions, chaos: Vec<ChaosEvent>) -> LoadReport {
         samples: samples.into_inner().expect("samples poisoned"),
         chaos,
         server: None,
+        server_delta: None,
     };
     for tally in tallies.into_inner().expect("tallies poisoned") {
         report.completed += tally.completed;
@@ -808,6 +701,14 @@ pub fn run_load(options: &LoadOptions, chaos: Vec<ChaosEvent>) -> LoadReport {
     report.server = LiftClient::connect(&options.addr)
         .ok()
         .and_then(|mut c| c.stats().ok());
+    report.server_delta = match (&baseline_stats, &report.server) {
+        (Some(before), Some(after)) => Some(ServerWindow {
+            service_time: after.service_time.diff(&before.service_time),
+            queue_wait: after.queue_wait.diff(&before.queue_wait),
+            phase_times: after.phase_times.diff(&before.phase_times),
+        }),
+        _ => None,
+    };
     report
 }
 
@@ -883,102 +784,6 @@ fn drive_stream(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn small_values_get_exact_buckets() {
-        let mut h = LatencyHistogram::new();
-        for us in 0..LINEAR_MAX {
-            h.record(us);
-        }
-        for us in 0..LINEAR_MAX {
-            assert_eq!(bucket_upper(bucket_index(us)), us);
-        }
-        assert_eq!(h.count(), LINEAR_MAX);
-        assert_eq!(h.quantile_us(0.0), 0);
-        assert_eq!(h.quantile_us(1.0), LINEAR_MAX - 1);
-    }
-
-    #[test]
-    fn bucket_upper_bounds_contain_their_values() {
-        let mut rng = Rng::new(7);
-        for _ in 0..10_000 {
-            let v = rng.next_u64() >> (rng.next_below(60) as u32);
-            let index = bucket_index(v);
-            assert!(bucket_upper(index) >= v, "upper({index}) < {v}");
-            if index > 0 && index < NUM_BUCKETS - 1 {
-                assert!(
-                    bucket_upper(index - 1) < v,
-                    "value {v} below its bucket's lower edge"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn quantiles_bound_exact_sorted_samples() {
-        // Values stay below the 2^36 µs overflow bucket, where the
-        // 1/16 relative-error bound is guaranteed.
-        let mut rng = Rng::new(42);
-        let mut values: Vec<u64> = (0..500)
-            .map(|_| rng.next_u64() >> (29 + rng.next_below(30) as u32))
-            .collect();
-        let mut h = LatencyHistogram::new();
-        for v in &values {
-            h.record(*v);
-        }
-        values.sort_unstable();
-        for q in [0.5, 0.9, 0.99, 1.0] {
-            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
-            let exact = values[rank - 1];
-            let approx = h.quantile_us(q);
-            assert!(approx >= exact, "q{q}: {approx} < exact {exact}");
-            // Bucket width bounds the overshoot at 1/16 of the value.
-            assert!(
-                approx <= exact + exact / 16 + 1,
-                "q{q}: {approx} overshoots exact {exact}"
-            );
-        }
-        assert_eq!(h.quantile_us(1.0), *values.last().unwrap());
-    }
-
-    #[test]
-    fn merge_is_associative_and_commutative() {
-        let build = |seed: u64| {
-            let mut rng = Rng::new(seed);
-            let mut h = LatencyHistogram::new();
-            for _ in 0..200 {
-                h.record(rng.next_u64() >> (rng.next_below(50) as u32 + 8));
-            }
-            h
-        };
-        let (a, b, c) = (build(1), build(2), build(3));
-        let mut ab_c = a.clone();
-        ab_c.merge(&b);
-        ab_c.merge(&c);
-        let mut bc = b.clone();
-        bc.merge(&c);
-        let mut a_bc = a.clone();
-        a_bc.merge(&bc);
-        assert_eq!(ab_c, a_bc, "merge is not associative");
-        let mut ba = b.clone();
-        ba.merge(&a);
-        let mut ab = a.clone();
-        ab.merge(&b);
-        assert_eq!(ab, ba, "merge is not commutative");
-        assert_eq!(ab.count(), a.count() + b.count());
-    }
-
-    #[test]
-    fn oversized_values_land_in_the_overflow_bucket() {
-        let mut h = LatencyHistogram::new();
-        h.record(u64::MAX);
-        h.record(1u64 << 40);
-        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
-        assert_eq!(bucket_index(1u64 << 40), NUM_BUCKETS - 1);
-        assert_eq!(h.count(), 2);
-        // The overflow bucket's bound is the exact recorded max.
-        assert_eq!(h.quantile_us(1.0), u64::MAX);
-    }
 
     #[test]
     fn open_schedule_is_deterministic_and_monotone() {
@@ -1072,9 +877,30 @@ mod tests {
             }],
             chaos: vec![("kill-replica:127.0.0.1:1".to_string(), 60)],
             server: None,
+            server_delta: Some({
+                let mut window = ServerWindow::default();
+                window.service_time.record(2_000);
+                window.phase_times.record(gtl_trace::Phase::Search, 1_234);
+                window
+            }),
         };
         assert!(report.invariants_hold());
         let doc = report.to_json();
+        let window = doc.get("server_window").expect("server_window section");
+        assert_eq!(
+            window
+                .get("service_time")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            window
+                .get("phase_times")
+                .and_then(|p| p.get("search"))
+                .and_then(Json::as_u64),
+            Some(1_234)
+        );
         assert_eq!(
             doc.get("kind").and_then(Json::as_str),
             Some("gtl_loadgen_report")

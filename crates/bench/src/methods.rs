@@ -7,6 +7,7 @@ use gtl_baselines::{
     c2taco_lift, llm_only_lift, tenspiler_lift, C2TacoConfig, LlmOnlyConfig, TenspilerConfig,
 };
 use gtl_oracle::OracleProvider;
+use gtl_trace::PhaseTimes;
 
 use crate::runner::MethodResult;
 
@@ -221,6 +222,7 @@ impl Method {
                     pruned_infeasible: report.pruned_infeasible,
                     pruned_equivalent: report.pruned_equivalent,
                     unchecked_kernels: report.unchecked_kernels,
+                    phase_times: report.phase_times.clone(),
                 }
             }
             MethodKind::C2Taco { heuristics } => {
@@ -256,6 +258,7 @@ impl Method {
                     pruned_infeasible: 0,
                     pruned_equivalent: 0,
                     unchecked_kernels: 0,
+                    phase_times: PhaseTimes::new(),
                 }
             }
             MethodKind::Tenspiler => {
@@ -270,6 +273,7 @@ impl Method {
                     pruned_infeasible: 0,
                     pruned_equivalent: 0,
                     unchecked_kernels: 0,
+                    phase_times: PhaseTimes::new(),
                 }
             }
             MethodKind::LlmOnly => {
@@ -289,6 +293,7 @@ impl Method {
                     pruned_infeasible: 0,
                     pruned_equivalent: 0,
                     unchecked_kernels: 0,
+                    phase_times: PhaseTimes::new(),
                 }
             }
         }

@@ -16,6 +16,7 @@ use gtl::{LiftQuery, StaggConfig};
 use gtl_benchsuite::Benchmark;
 use gtl_serve::{request_key, Event, EventSink, LiftRequest, LiftServer, ServerConfig};
 use gtl_store::{LiftRecord, LiftStore};
+use gtl_trace::PhaseTimes;
 
 use crate::methods::Method;
 
@@ -54,6 +55,9 @@ pub struct MethodResult {
     /// Shape groups evaluated on the proven-safe unchecked integer
     /// path (0 for baselines).
     pub unchecked_kernels: u64,
+    /// Per-phase wall-time breakdown of the lift (all-zero for
+    /// baselines and warm-started answers, which run no pipeline).
+    pub phase_times: PhaseTimes,
 }
 
 /// Aggregated results of one method over a benchmark set.
@@ -282,6 +286,7 @@ pub fn run_method_batch_stored(
                 pruned_infeasible: 0,
                 pruned_equivalent: 0,
                 unchecked_kernels: 0,
+                phase_times: PhaseTimes::new(),
             })),
             _ => {
                 warm.push(None);
@@ -388,6 +393,7 @@ pub fn run_batch_via_server_stored(
                 pruned_infeasible: 0,
                 pruned_equivalent: 0,
                 unchecked_kernels: 0,
+                phase_times: PhaseTimes::new(),
             })),
             None => {
                 warm.push(None);
@@ -449,6 +455,7 @@ pub fn run_batch_via_server_stored(
                         pruned_infeasible: 0,
                         pruned_equivalent: 0,
                         unchecked_kernels: 0,
+                        phase_times: PhaseTimes::new(),
                     }
                 }
                 Event::Failed {
@@ -467,6 +474,7 @@ pub fn run_batch_via_server_stored(
                         pruned_infeasible: 0,
                         pruned_equivalent: 0,
                         unchecked_kernels: 0,
+                        phase_times: PhaseTimes::new(),
                     }
                 }
                 Event::Error { code, message, .. } => {
@@ -554,6 +562,7 @@ pub fn run_batch_via_router(
                             pruned_infeasible: 0,
                             pruned_equivalent: 0,
                             unchecked_kernels: 0,
+                            phase_times: PhaseTimes::new(),
                         },
                         Some(Event::Failed {
                             attempts,
@@ -570,6 +579,7 @@ pub fn run_batch_via_router(
                             pruned_infeasible: 0,
                             pruned_equivalent: 0,
                             unchecked_kernels: 0,
+                            phase_times: PhaseTimes::new(),
                         },
                         Some(Event::Error { code, message, .. }) => panic!(
                             "{}: request rejected ({}): {message}",
@@ -655,16 +665,30 @@ pub fn batch_json(
     if let Some(warm) = notes.warm_hits {
         out.push_str(&format!("  \"warm_hits\": {warm},\n"));
     }
+    // Whole-batch per-phase totals, microseconds — where the suite's
+    // wall time actually went (all-zero rows contribute nothing, so a
+    // baseline batch reports an honest all-zero breakdown).
+    let mut phase_totals = PhaseTimes::new();
+    for r in &batch.suite.results {
+        phase_totals.merge(&r.phase_times);
+    }
+    let phases = phase_totals
+        .iter()
+        .map(|(phase, us)| format!("\"{}\": {us}", phase.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!("  \"phase_times\": {{{phases}}},\n"));
     out.push_str("  \"results\": [\n");
     for (n, (r, b)) in batch.suite.results.iter().zip(benchmarks).enumerate() {
         let comma = if n + 1 < batch.suite.results.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"benchmark\": \"{}\", \"suite\": \"{}\", \"solved\": {}, \"seconds\": {:.6}, \"attempts\": {}}}{comma}\n",
+            "    {{\"benchmark\": \"{}\", \"suite\": \"{}\", \"solved\": {}, \"seconds\": {:.6}, \"attempts\": {}, \"phase_us\": {}}}{comma}\n",
             json_escape(&r.name),
             b.suite.cli_name(),
             r.solved,
             r.seconds,
             r.attempts,
+            r.phase_times.total_us(),
         ));
     }
     out.push_str("  ]\n}\n");

@@ -83,6 +83,7 @@ mod tests {
                     pruned_infeasible: 2,
                     pruned_equivalent: 1,
                     unchecked_kernels: 4,
+                    phase_times: gtl_trace::PhaseTimes::new(),
                 },
                 MethodResult {
                     name: "b".into(),
@@ -94,6 +95,7 @@ mod tests {
                     pruned_infeasible: 0,
                     pruned_equivalent: 0,
                     unchecked_kernels: 0,
+                    phase_times: gtl_trace::PhaseTimes::new(),
                 },
             ],
         }

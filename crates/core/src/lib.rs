@@ -68,5 +68,6 @@ mod report;
 
 pub use config::{GrammarMode, SearchMode, StaggConfig};
 pub use gtl_oracle::OracleSpec;
+pub use gtl_trace::{Phase, PhaseTimes};
 pub use pipeline::{LiftHooks, LiftObserver, LiftQuery, Stagg};
 pub use report::{FailureReason, LiftReport, OracleRoundStats};

@@ -20,6 +20,7 @@ use gtl_search::{
     ParallelOptions, PenaltyContext, SearchHooks, SearchOutcome,
 };
 use gtl_taco::{parse_program, preprocess_candidate, EvalCache, TacoProgram};
+use gtl_trace::{Phase, PhaseCollector, PhaseSpan, PhaseTimes};
 use gtl_template::{
     any_const, any_repeated_index, generate_bu_full_grammar, generate_bu_grammar,
     generate_td_full_grammar, generate_td_grammar, index_variable_count, learn_weights,
@@ -179,7 +180,11 @@ impl Stagg {
             rounds: Vec::new(),
             elapsed: started.elapsed(),
             search_elapsed: std::time::Duration::ZERO,
+            phase_times: PhaseTimes::new(),
         };
+        // Every stage below records its wall time here; the snapshot
+        // lands on `report.phase_times` at both exit points.
+        let phases = PhaseCollector::new();
 
         let mut oracle = self.provider.oracle();
         let rounds = self.config.oracle_rounds.max(1);
@@ -192,7 +197,10 @@ impl Stagg {
 
         for round in 0..rounds {
             // ① Ask the oracle for candidate solutions (with feedback
-            // about the previous round's failure, if any).
+            // about the previous round's failure, if any). The Oracle
+            // phase covers the round trip plus preprocessing, parsing
+            // and templatisation of the answers.
+            let oracle_span = PhaseSpan::start(Some(&phases), Phase::Oracle);
             let raw = oracle.candidates_round(
                 &OracleQuery {
                     label: &query.label,
@@ -217,6 +225,7 @@ impl Stagg {
                 .filter_map(|s| parse_program(&s).ok())
                 .filter_map(|p| templatize(&p).ok())
                 .collect();
+            oracle_span.stop();
             round_stats.parsed = fresh.len();
             report.candidates_parsed += fresh.len();
             if let Some(observer) = hooks.observer {
@@ -253,13 +262,20 @@ impl Stagg {
                 continue;
             }
 
-            // ④'s prerequisite, generated once per lift: I/O examples.
+            // ④'s prerequisite, generated once per lift: I/O examples
+            // (attributed to Validate — they exist only to be validated
+            // against).
             if examples.is_none() {
-                match generate_examples(&query.task, &self.config.examples) {
+                let generated = {
+                    let _span = PhaseSpan::start(Some(&phases), Phase::Validate);
+                    generate_examples(&query.task, &self.config.examples)
+                };
+                match generated {
                     Ok(e) => examples = Some(e),
                     Err(e) => {
                         report.failure = Some(FailureReason::BadQuery(e.to_string()));
                         report.rounds.push(round_stats);
+                        report.phase_times = phases.snapshot();
                         report.elapsed = started.elapsed();
                         return report;
                     }
@@ -267,7 +283,7 @@ impl Stagg {
             }
             let examples = examples.as_ref().expect("examples generated above");
 
-            let (outcome, rejected) = self.search_round(query, &pool, examples, hooks);
+            let (outcome, rejected) = self.search_round(query, &pool, examples, hooks, &phases);
             searched = true;
             round_stats.attempts = outcome.attempts;
             round_stats.nodes_expanded = outcome.nodes_expanded;
@@ -303,6 +319,7 @@ impl Stagg {
                     .to_string(),
             });
         }
+        report.phase_times = phases.snapshot();
         report.elapsed = started.elapsed();
         report
     }
@@ -318,9 +335,12 @@ impl Stagg {
         pool: &[Template],
         examples: &[IoExample],
         hooks: &LiftHooks<'_>,
+        phases: &PhaseCollector,
     ) -> (RoundOutcome, Vec<String>) {
         // ② Dimension prediction: LLM vote + static analysis for the
-        // LHS.
+        // LHS. The GrammarLearn phase spans analysis, grammar
+        // construction and probability learning.
+        let grammar_span = PhaseSpan::start(Some(phases), Phase::GrammarLearn);
         let facts = analyze_kernel(&query.task.func);
         let voted = predict_dimension_list(pool).unwrap_or_default();
         let dim_list = overlay_lhs_dimension(voted, facts.lhs_dim);
@@ -362,6 +382,7 @@ impl Stagg {
                 grammar.pcfg.equalize_weights();
             }
         }
+        grammar_span.stop();
 
         let ctx = PenaltyContext {
             dim_list: dim_list.clone(),
@@ -409,6 +430,14 @@ impl Stagg {
                               stats: &mut ValidationStats,
                               cache: &EvalCache|
          -> CheckOutcome {
+            // Phase accounting: the whole check is Validate time except
+            // the slice spent inside the bounded verifier, which the
+            // callback below measures into `verify_us`. Each worker
+            // records wall time, so with `jobs > 1` these phases sum
+            // CPU time across workers.
+            let check_started = Instant::now();
+            let verify_us = std::cell::Cell::new(0u64);
+            let outcome = (|| -> CheckOutcome {
             if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
                 return CheckOutcome::Failed;
             }
@@ -450,7 +479,12 @@ impl Stagg {
                     if let Some(observer) = observer {
                         observer.validated(concrete);
                     }
-                    verify_candidate_cached(task, concrete, &verify_cfg, cache).is_equivalent()
+                    let verify_started = Instant::now();
+                    let equivalent =
+                        verify_candidate_cached(task, concrete, &verify_cfg, cache).is_equivalent();
+                    let us = verify_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    verify_us.set(verify_us.get().saturating_add(us));
+                    equivalent
                 },
                 stats,
                 cache,
@@ -466,6 +500,13 @@ impl Stagg {
                     CheckOutcome::Failed
                 }
             }
+            })();
+            let check_us = check_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            if verify_us.get() > 0 {
+                phases.add(Phase::Verify, verify_us.get());
+            }
+            phases.add(Phase::Validate, check_us.saturating_sub(verify_us.get()));
+            outcome
         };
 
         // ③ Search. `jobs = 1` (the default) delegates to the hooked
@@ -476,6 +517,12 @@ impl Stagg {
         // caller's cancellation/progress hooks.
         let opts = ParallelOptions::with_jobs(self.config.jobs);
         let shared_stats = SharedValidationStats::default();
+        // Search time is the engine's wall clock minus whatever the
+        // checkers attributed to validation/verification meanwhile —
+        // exact with `jobs = 1`, a saturating lower bound with parallel
+        // workers (whose check time is CPU time, not wall time).
+        let inner_before =
+            phases.micros(Phase::Validate).saturating_add(phases.micros(Phase::Verify));
         let outcome: SearchOutcome = {
             let shared = &shared_stats;
             let check_template = &check_template;
@@ -515,6 +562,12 @@ impl Stagg {
                 ),
             }
         };
+        let inner_during = phases
+            .micros(Phase::Validate)
+            .saturating_add(phases.micros(Phase::Verify))
+            .saturating_sub(inner_before);
+        let engine_us = outcome.elapsed.as_micros().min(u64::MAX as u128) as u64;
+        phases.add(Phase::Search, engine_us.saturating_sub(inner_during));
         let snap = shared_stats.snapshot();
         (
             RoundOutcome {
@@ -897,6 +950,48 @@ mod tests {
         let report = stagg.lift(&query);
         assert!(!report.solved());
         assert_eq!(report.failure, Some(FailureReason::NoUsableCandidates));
+    }
+
+    #[test]
+    fn phase_times_partition_the_lift() {
+        // With `jobs = 1` the phases partition the wall clock: no phase
+        // can exceed `elapsed`, the sum stays within it, and the
+        // pipeline phases together account for (nearly) all of it — the
+        // observability tier's ≥90 % coverage contract.
+        let query = figure2_query();
+        let report = Stagg::new(paper_provider(), StaggConfig::top_down()).lift(&query);
+        assert!(report.solved(), "failure: {:?}", report.failure);
+        let wall_us = report.elapsed.as_micros() as u64;
+        let times = &report.phase_times;
+        assert!(!times.is_empty(), "phases must be recorded");
+        assert!(times.get(Phase::Search) > 0, "search must be attributed");
+        assert!(times.get(Phase::Validate) > 0, "validation must be attributed");
+        assert_eq!(times.get(Phase::StoreAppend), 0, "no store below the serving tier");
+        assert!(
+            times.total_us() <= wall_us,
+            "phases over-count: {} us attributed, {wall_us} us measured",
+            times.total_us()
+        );
+        assert!(
+            times.total_us() * 10 >= wall_us * 9,
+            "phases account for <90% of the lift: {} of {wall_us} us",
+            times.total_us()
+        );
+    }
+
+    #[test]
+    fn bad_query_snapshot_still_carries_phase_times() {
+        // The early-return path (example generation fails) must not
+        // lose the oracle time already spent.
+        let mut query = figure2_query();
+        // An array dimension with no size binding fails instantiation.
+        query.task.params[1].kind = TaskParamKind::ArrayIn {
+            dims: vec!["M".into()],
+            nonzero: false,
+        };
+        let report = Stagg::new(paper_provider(), StaggConfig::top_down()).lift(&query);
+        assert!(matches!(report.failure, Some(FailureReason::BadQuery(_))));
+        assert!(report.phase_times.get(Phase::Oracle) > 0 || report.elapsed.is_zero());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use gtl_search::StopReason;
 use gtl_taco::TacoProgram;
+use gtl_trace::PhaseTimes;
 
 /// Why a lift produced no solution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +94,14 @@ pub struct LiftReport {
     pub elapsed: Duration,
     /// Time inside the search stage alone.
     pub search_elapsed: Duration,
+    /// Per-phase time attribution (oracle, grammar learning, search,
+    /// validation, verification; the serving layer adds store appends).
+    /// With `jobs = 1` the pipeline phases partition `elapsed`; with
+    /// parallel search, validation/verification report CPU time summed
+    /// across workers, so the total can exceed wall clock. A wall-clock
+    /// measurement, excluded from [`LiftReport::deterministic_eq`] like
+    /// the other durations.
+    pub phase_times: PhaseTimes,
 }
 
 impl LiftReport {

@@ -6,6 +6,8 @@
 //! lift_client --connect ADDR --source FILE --params JSON [--ground-truth PROG] [--label L]
 //! lift_client --connect ADDR --cancel ID
 //! lift_client --connect ADDR --stats
+//! lift_client --connect ADDR --metrics
+//! lift_client --connect ADDR --trace TRACE_ID
 //! lift_client --connect ADDR --shutdown
 //! ```
 //!
@@ -13,7 +15,11 @@
 //! `record:PATH[:INNER]` — subject to the server's allowlist),
 //! `--oracle-rounds N`, `--mode td|bu`, `--grammar NAME`,
 //! `--search-jobs N`, `--max-attempts N`, `--max-nodes N`,
-//! `--time-limit-ms N`, `--timeout-ms N`. `--ground-truth` is the
+//! `--time-limit-ms N`, `--timeout-ms N`, `--trace-id ID` (attach an
+//! explicit trace ID to the lift; the default lets the server mint
+//! one). `--metrics` prints the Prometheus text exposition; `--trace`
+//! prints the recorded spans of one trace ID, one JSON line each.
+//! `--ground-truth` is the
 //! synthetic oracle's hint and optional (replay-backed lifts don't
 //! need it). `--params` takes the JSON array of the protocol's
 //! `params` member, e.g.
@@ -29,7 +35,8 @@ use gtl_serve::{ConfigOverrides, Event, KernelSpec, LiftClient, LiftRequest, Req
 
 const USAGE: &str = "usage: lift_client --connect ADDR \
 (--benchmark NAME | --source FILE --params JSON [--ground-truth PROG] [--label L] \
-| --cancel ID | --stats | --shutdown) [--id ID] [--oracle SPEC] [--oracle-rounds N] \
+| --cancel ID | --stats | --metrics | --trace TRACE_ID | --shutdown) [--id ID] \
+[--trace-id ID] [--oracle SPEC] [--oracle-rounds N] \
 [--mode td|bu] [--grammar NAME] [--search-jobs N] [--max-attempts N] [--max-nodes N] \
 [--time-limit-ms N] [--timeout-ms N]";
 
@@ -47,9 +54,12 @@ struct Args {
     ground_truth: Option<String>,
     label: Option<String>,
     id: Option<String>,
+    trace_id: Option<String>,
     cancel: Option<String>,
+    trace: Option<String>,
     oracle: Option<String>,
     stats: bool,
+    metrics: bool,
     shutdown: bool,
     overrides: ConfigOverrides,
 }
@@ -75,9 +85,12 @@ fn parse_args() -> Args {
             "--ground-truth" => args.ground_truth = Some(value("--ground-truth")),
             "--label" => args.label = Some(value("--label")),
             "--id" => args.id = Some(value("--id")),
+            "--trace-id" => args.trace_id = Some(value("--trace-id")),
             "--cancel" => args.cancel = Some(value("--cancel")),
+            "--trace" => args.trace = Some(value("--trace")),
             "--oracle" => args.oracle = Some(value("--oracle")),
             "--stats" => args.stats = true,
+            "--metrics" => args.metrics = true,
             "--shutdown" => args.shutdown = true,
             "--mode" => {
                 let raw = value("--mode");
@@ -191,6 +204,22 @@ fn main() {
         println!("{}", Event::Stats { stats }.to_line());
         return;
     }
+    if args.metrics {
+        let text = client
+            .metrics()
+            .unwrap_or_else(|e| usage_error(&format!("metrics failed: {e}")));
+        print!("{text}");
+        return;
+    }
+    if let Some(trace_id) = &args.trace {
+        let spans = client
+            .trace(trace_id.clone())
+            .unwrap_or_else(|e| usage_error(&format!("trace failed: {e}")));
+        for span in &spans {
+            println!("{}", span.to_json().to_line());
+        }
+        return;
+    }
     if args.shutdown {
         client
             .send(&Request::Shutdown)
@@ -229,6 +258,7 @@ fn main() {
         kernel,
         oracle: args.oracle.clone(),
         overrides: args.overrides.clone(),
+        trace_id: args.trace_id.clone(),
     };
     let events = client
         .lift(request)

@@ -8,6 +8,7 @@
 //!             [--store PATH] [--rotate-store-bytes N]
 //!             [--max-inflight-per-client N]
 //!             [--peers ADDR,ADDR] [--accept-shares]
+//!             [--slow-lift-ms N] [--journal-capacity N]
 //! ```
 //!
 //! `--stdio` (the default) serves one client on stdin/stdout; EOF means
@@ -38,6 +39,13 @@
 //! replicas to push every locally solved lift to (best-effort
 //! `share_lift` requests, so any replica answers any repeat as a warm
 //! cache hit), and `--accept-shares` opts in to receiving such pushes.
+//!
+//! `--slow-lift-ms N` logs any lift slower than N milliseconds to
+//! stderr with its trace ID and per-phase breakdown — the first place
+//! to look when the `metrics` histograms show a fat tail.
+//! `--journal-capacity N` bounds the in-memory span journal behind the
+//! `trace` request (total spans across all trace IDs, oldest evicted
+//! first; default 4096).
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -60,6 +68,8 @@ struct Args {
     max_inflight_per_client: usize,
     peers: Vec<String>,
     accept_shares: bool,
+    slow_lift_ms: Option<u64>,
+    journal_capacity: Option<usize>,
 }
 
 /// Sealed segments a rotated store may accumulate before the next
@@ -70,7 +80,7 @@ const SEGMENT_MERGE_THRESHOLD: u64 = 8;
 const USAGE: &str = "usage: lift_server [--stdio | --listen ADDR] [--workers N] [--queue N] \
 [--search-jobs N] [--progress-ms N] [--timeout-ms N] [--oracle SPEC] [--oracles KIND,KIND] \
 [--store PATH] [--rotate-store-bytes N] [--max-inflight-per-client N] \
-[--peers ADDR,ADDR] [--accept-shares]";
+[--peers ADDR,ADDR] [--accept-shares] [--slow-lift-ms N] [--journal-capacity N]";
 
 fn usage_error(message: &str) -> ! {
     eprintln!("lift_server: {message}\n{USAGE}");
@@ -92,6 +102,8 @@ fn parse_args() -> Args {
         max_inflight_per_client: 0,
         peers: Vec::new(),
         accept_shares: false,
+        slow_lift_ms: None,
+        journal_capacity: None,
     };
     let mut stdio = false;
     let mut it = std::env::args().skip(1);
@@ -143,6 +155,13 @@ fn parse_args() -> Args {
                     .collect()
             }
             "--accept-shares" => args.accept_shares = true,
+            "--slow-lift-ms" => {
+                args.slow_lift_ms = Some(int_value("--slow-lift-ms", value("--slow-lift-ms")))
+            }
+            "--journal-capacity" => {
+                args.journal_capacity =
+                    Some(int_value("--journal-capacity", value("--journal-capacity")) as usize)
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -223,6 +242,10 @@ fn main() {
         max_inflight_per_client: args.max_inflight_per_client,
         peers: args.peers.clone(),
         accept_shared_lifts: args.accept_shares,
+        slow_lift_threshold: args.slow_lift_ms.map(Duration::from_millis),
+        journal_capacity: args
+            .journal_capacity
+            .unwrap_or(ServerConfig::default().journal_capacity),
         ..ServerConfig::default()
     });
 

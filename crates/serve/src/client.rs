@@ -4,6 +4,8 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use gtl_trace::SpanRecord;
+
 use crate::protocol::{Event, LiftRequest, Request, ServerStats, WireError};
 
 /// A connected client: sends [`Request`]s, reads [`Event`]s.
@@ -148,6 +150,46 @@ impl LiftClient {
             match self.next_event()? {
                 None => return Err(ClientError::Disconnected),
                 Some(Event::Stats { stats }) => return Ok(stats),
+                Some(_) => continue, // stale events of finished lifts
+            }
+        }
+    }
+
+    /// Fetches the Prometheus text-format metrics exposition. Same
+    /// interleaving caveat as [`LiftClient::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or disconnection before the answer.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Metrics)?;
+        loop {
+            match self.next_event()? {
+                None => return Err(ClientError::Disconnected),
+                Some(Event::Metrics { text }) => return Ok(text),
+                Some(_) => continue, // stale events of finished lifts
+            }
+        }
+    }
+
+    /// Fetches the recent spans recorded under one trace ID (through a
+    /// router, the concatenation over every replica). Same interleaving
+    /// caveat as [`LiftClient::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or disconnection before the answer.
+    pub fn trace(&mut self, trace_id: impl Into<String>) -> Result<Vec<SpanRecord>, ClientError> {
+        let trace_id = trace_id.into();
+        self.send(&Request::Trace {
+            trace_id: trace_id.clone(),
+        })?;
+        loop {
+            match self.next_event()? {
+                None => return Err(ClientError::Disconnected),
+                Some(Event::Trace { trace_id: got, spans }) if got == trace_id => {
+                    return Ok(spans)
+                }
                 Some(_) => continue, // stale events of finished lifts
             }
         }

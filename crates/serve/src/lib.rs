@@ -70,9 +70,10 @@ pub use gtl_store::json;
 pub use cache::{normalize_source, request_key, CachedOutcome, ResultCache};
 pub use client::{ClientError, LiftClient};
 pub use json::{Json, JsonError};
+pub use gtl_trace::{LatencyHistogram, Phase, PhaseTimes, SpanRecord};
 pub use protocol::{
-    ConfigOverrides, ErrorCode, Event, KernelSpec, LiftRequest, OracleStat, ReplicaStat,
-    Request, ServerStats, WireError, WireParam, WireParamKind,
+    merge_stats, render_prometheus, ConfigOverrides, ErrorCode, Event, KernelSpec, LiftRequest,
+    OracleStat, ReplicaStat, Request, ServerStats, WireError, WireParam, WireParamKind,
 };
 pub use router::{HashRing, LiftRouter, RouterConfig, RouterHandle};
 pub use server::{EventSink, LiftServer, LineAction, ServerConfig, ServerHandle};

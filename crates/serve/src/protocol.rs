@@ -10,6 +10,7 @@
 use std::fmt;
 
 use gtl::{GrammarMode, SearchMode, StaggConfig};
+use gtl_trace::{LatencyHistogram, Phase, PhaseTimes, SpanRecord};
 
 use crate::json::{parse, Json};
 
@@ -114,6 +115,7 @@ impl WireError {
             id: self.id.clone(),
             code: self.code,
             message: self.message.clone(),
+            trace_id: None,
         }
     }
 }
@@ -268,6 +270,11 @@ pub struct LiftRequest {
     pub oracle: Option<String>,
     /// Per-request configuration overrides.
     pub overrides: ConfigOverrides,
+    /// Distributed trace ID for this lift. Absent means the admission
+    /// point (server, or router — which stamps it before forwarding so
+    /// the ID stays stable across failover) mints one; every event of
+    /// the stream then carries it.
+    pub trace_id: Option<String>,
 }
 
 impl LiftRequest {
@@ -278,12 +285,19 @@ impl LiftRequest {
             kernel: KernelSpec::Benchmark { name: name.into() },
             oracle: None,
             overrides: ConfigOverrides::default(),
+            trace_id: None,
         }
     }
 
     /// Selects an oracle spec (builder style).
     pub fn with_oracle(mut self, spec: impl Into<String>) -> LiftRequest {
         self.oracle = Some(spec.into());
+        self
+    }
+
+    /// Supplies a client-chosen trace ID (builder style).
+    pub fn with_trace_id(mut self, trace_id: impl Into<String>) -> LiftRequest {
+        self.trace_id = Some(trace_id.into());
         self
     }
 }
@@ -314,6 +328,18 @@ pub enum Request {
         id: String,
         /// The completed lift, in the store's record encoding.
         record: gtl_store::LiftRecord,
+    },
+    /// Ask for the server's metrics in Prometheus text exposition
+    /// format; the answer is one [`Event::Metrics`]. Routers answer by
+    /// scraping every replica, merging the structured stats, and
+    /// rendering the merged view.
+    Metrics,
+    /// Ask for the retained spans of one trace from the server's span
+    /// journal; the answer is one [`Event::Trace`]. Routers fan out to
+    /// every replica and concatenate the dumps.
+    Trace {
+        /// The trace ID to dump.
+        trace_id: String,
     },
     /// Ask the server to shut down gracefully.
     Shutdown,
@@ -409,12 +435,28 @@ pub struct ServerStats {
     /// Shape groups evaluated on the unchecked integer fast path under
     /// an interval overflow proof, summed over every lift served.
     pub unchecked_kernels: u64,
+    /// Service-time distribution in microseconds (admission → terminal
+    /// event) of every finished lift. Routers merge replica histograms
+    /// element-wise, so the merged view equals a single process seeing
+    /// all the traffic.
+    pub service_time: LatencyHistogram,
+    /// Queue-wait distribution in microseconds (admission → worker
+    /// pickup) of every lift a worker started.
+    pub queue_wait: LatencyHistogram,
+    /// Per-phase pipeline time totals (µs), summed over every lift
+    /// served and merged across replicas by routers.
+    pub phase_times: PhaseTimes,
 }
 
 /// A server → client message. Per request id, a stream is:
 /// `queued`, then any number of `search_progress` / `candidate_found`,
 /// then optionally `verified`, then exactly one terminal `done`,
 /// `failed` or `error`.
+// `Stats` embeds `ServerStats` with its inline histogram buckets; events
+// are produced one at a time per request, never bulk-queued, so boxing
+// the stats payload would complicate every construction site for no
+// practical memory win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// The lift was admitted to the job queue.
@@ -423,6 +465,8 @@ pub enum Event {
         id: String,
         /// Jobs in the queue at admission, this one included.
         position: usize,
+        /// The request's trace ID (stamped at admission).
+        trace_id: Option<String>,
     },
     /// Periodic search progress (emitted while the lift runs).
     SearchProgress {
@@ -434,6 +478,8 @@ pub enum Event {
         attempts: u64,
         /// Milliseconds since the lift started.
         elapsed_ms: u64,
+        /// The request's trace ID.
+        trace_id: Option<String>,
     },
     /// A concrete candidate passed every I/O example and entered
     /// bounded verification. May fire several times per lift.
@@ -442,6 +488,8 @@ pub enum Event {
         id: String,
         /// The candidate TACO program.
         candidate: String,
+        /// The request's trace ID.
+        trace_id: Option<String>,
     },
     /// The search produced a verified solution (a `done` follows).
     Verified {
@@ -449,6 +497,8 @@ pub enum Event {
         id: String,
         /// The verified concrete TACO program.
         solution: String,
+        /// The request's trace ID.
+        trace_id: Option<String>,
     },
     /// Terminal: the lift succeeded.
     Done {
@@ -464,6 +514,8 @@ pub enum Event {
         elapsed_ms: u64,
         /// Whether the answer came from the result cache.
         cached: bool,
+        /// The request's trace ID.
+        trace_id: Option<String>,
     },
     /// Terminal: the lift produced no solution.
     Failed {
@@ -484,11 +536,26 @@ pub enum Event {
         elapsed_ms: u64,
         /// Whether the answer came from the result cache.
         cached: bool,
+        /// The request's trace ID.
+        trace_id: Option<String>,
     },
     /// A statistics snapshot (answer to a `stats` request).
     Stats {
         /// The snapshot.
         stats: ServerStats,
+    },
+    /// The Prometheus text-format exposition (answer to a `metrics`
+    /// request).
+    Metrics {
+        /// The rendered exposition text.
+        text: String,
+    },
+    /// A span-journal dump (answer to a `trace` request).
+    Trace {
+        /// The trace ID that was dumped.
+        trace_id: String,
+        /// The retained spans of that trace, in recording order.
+        spans: Vec<SpanRecord>,
     },
     /// Terminal ack of a `share_lift`: the record was accepted.
     Shared {
@@ -506,6 +573,10 @@ pub enum Event {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// The request's trace ID, when the rejection happened after
+        /// one was assigned (routers stamp it so clients can correlate
+        /// failover errors).
+        trace_id: Option<String>,
     },
 }
 
@@ -522,7 +593,7 @@ impl Event {
             | Event::Failed { id, .. }
             | Event::Shared { id, .. } => Some(id),
             Event::Error { id, .. } => id.as_deref(),
-            Event::Stats { .. } => None,
+            Event::Stats { .. } | Event::Metrics { .. } | Event::Trace { .. } => None,
         }
     }
 
@@ -535,6 +606,46 @@ impl Event {
                 | Event::Error { .. }
                 | Event::Shared { .. }
         )
+    }
+
+    /// The trace ID stamped on this event, when its variant carries
+    /// one and the serving layer filled it in.
+    pub fn trace_id(&self) -> Option<&str> {
+        match self {
+            Event::Queued { trace_id, .. }
+            | Event::SearchProgress { trace_id, .. }
+            | Event::CandidateFound { trace_id, .. }
+            | Event::Verified { trace_id, .. }
+            | Event::Done { trace_id, .. }
+            | Event::Failed { trace_id, .. }
+            | Event::Error { trace_id, .. } => trace_id.as_deref(),
+            Event::Stats { .. } | Event::Shared { .. } | Event::Metrics { .. } => None,
+            Event::Trace { trace_id, .. } => Some(trace_id),
+        }
+    }
+
+    /// Stamps `trace_id` onto the event when its variant carries one
+    /// and none is set yet; events already attributed keep their ID.
+    /// The servers' emit funnels call this so no per-request event
+    /// leaves a server unattributed.
+    pub fn set_trace_id(&mut self, value: &str) {
+        match self {
+            Event::Queued { trace_id, .. }
+            | Event::SearchProgress { trace_id, .. }
+            | Event::CandidateFound { trace_id, .. }
+            | Event::Verified { trace_id, .. }
+            | Event::Done { trace_id, .. }
+            | Event::Failed { trace_id, .. }
+            | Event::Error { trace_id, .. } => {
+                if trace_id.is_none() {
+                    *trace_id = Some(value.to_string());
+                }
+            }
+            Event::Stats { .. }
+            | Event::Shared { .. }
+            | Event::Metrics { .. }
+            | Event::Trace { .. } => {}
+        }
     }
 }
 
@@ -631,6 +742,9 @@ impl Request {
                 if !lift.overrides.is_empty() {
                     fields.push(("config", overrides_to_json(&lift.overrides)));
                 }
+                if let Some(trace_id) = &lift.trace_id {
+                    fields.push(("trace_id", Json::str(trace_id)));
+                }
                 Json::obj(fields)
             }
             Request::Cancel { id } => Json::obj([
@@ -638,6 +752,11 @@ impl Request {
                 ("id", Json::str(id)),
             ]),
             Request::Stats => Json::obj([("type", Json::str("stats"))]),
+            Request::Metrics => Json::obj([("type", Json::str("metrics"))]),
+            Request::Trace { trace_id } => Json::obj([
+                ("type", Json::str("trace")),
+                ("trace_id", Json::str(trace_id)),
+            ]),
             Request::ShareLift { id, record } => Json::obj([
                 ("type", Json::str("share_lift")),
                 ("id", Json::str(id)),
@@ -688,6 +807,20 @@ impl Request {
                 Ok(Request::Cancel { id })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "trace" => {
+                let trace_id = doc
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        attach(WireError::new(
+                            ErrorCode::BadRequest,
+                            "trace requires string `trace_id`",
+                        ))
+                    })?
+                    .to_string();
+                Ok(Request::Trace { trace_id })
+            }
             "share_lift" => {
                 let id = id.ok_or_else(|| {
                     WireError::new(ErrorCode::BadRequest, "share_lift requires `id`")
@@ -775,11 +908,16 @@ fn parse_lift(doc: &Json) -> Result<LiftRequest, WireError> {
         None => ConfigOverrides::default(),
         Some(cfg) => parse_overrides(cfg)?,
     };
+    let trace_id = doc
+        .get("trace_id")
+        .and_then(Json::as_str)
+        .map(str::to_string);
     Ok(LiftRequest {
         id,
         kernel,
         oracle,
         overrides,
+        trace_id,
     })
 }
 
@@ -872,65 +1010,116 @@ fn parse_overrides(cfg: &Json) -> Result<ConfigOverrides, WireError> {
     Ok(o)
 }
 
+/// How a scalar [`ServerStats`] field renders in Prometheus output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    /// Monotone since server start (`_total` convention).
+    Counter,
+    /// A point-in-time level (queue depth, worker count, …).
+    Gauge,
+}
+
+/// One scalar field of [`ServerStats`] in the field registry: its wire
+/// name, accessors, whether decoding requires it, and how it renders.
+///
+/// Encoding, decoding, cross-replica merging and the Prometheus surface
+/// all iterate this one table, so adding a counter means adding one row
+/// — a field that exists on the struct but is missing here cannot be
+/// half-plumbed (see `registry_covers_every_scalar_field` below, which
+/// pins the row count to the struct).
+struct StatField {
+    name: &'static str,
+    /// Required on decode. The original ten fields predate every other
+    /// counter and are emitted by all server generations; later fields
+    /// default to zero so newer clients still decode older servers.
+    required: bool,
+    kind: MetricKind,
+    help: &'static str,
+    get: fn(&ServerStats) -> u64,
+    set: fn(&mut ServerStats, u64),
+}
+
+macro_rules! stat_fields {
+    ($(($field:ident, $required:expr, $kind:ident, $help:expr)),* $(,)?) => {
+        &[$(StatField {
+            name: stringify!($field),
+            required: $required,
+            kind: MetricKind::$kind,
+            help: $help,
+            get: |s: &ServerStats| s.$field,
+            set: |s: &mut ServerStats, v: u64| s.$field = v,
+        }),*]
+    };
+}
+
+/// Every scalar counter/gauge of [`ServerStats`], in wire order.
+static STAT_FIELDS: &[StatField] = stat_fields![
+    (received, true, Counter, "Lift requests admitted to the queue."),
+    (completed, true, Counter, "Lifts that finished with a done event."),
+    (failed, true, Counter, "Lifts that finished with a failed event."),
+    (cancelled, true, Counter, "Lifts cancelled by clients, timeouts, or shutdown."),
+    (rejected, true, Counter, "Lift requests rejected at admission."),
+    (cache_hits, true, Counter, "Result-cache hits."),
+    (cache_misses, true, Counter, "Result-cache misses."),
+    (queued, true, Gauge, "Jobs waiting in the queue right now."),
+    (active, true, Gauge, "Jobs running on workers right now."),
+    (workers, true, Gauge, "Worker threads serving the queue."),
+    (providers_built, false, Counter, "Oracle provider instances built since start."),
+    (store_loaded, false, Counter, "Outcomes loaded from the persistent store at startup."),
+    (store_appended, false, Counter, "Outcomes appended to the persistent store."),
+    (store_compactions, false, Counter, "Store compactions performed."),
+    (peak_queued, false, Gauge, "High-water mark of the queue depth."),
+    (done_events, false, Counter, "Terminal done events emitted."),
+    (failed_events, false, Counter, "Terminal failed events emitted."),
+    (error_events, false, Counter, "Terminal error events emitted."),
+    (shared_events, false, Counter, "Accepted share_lift pushes."),
+    (pruned_infeasible, false, Counter, "Candidate templates skipped by feasibility pre-checks."),
+    (pruned_equivalent, false, Counter, "Candidate templates skipped as algebraically equivalent."),
+    (unchecked_kernels, false, Counter, "Shape groups evaluated on the unchecked fast path."),
+];
+
 fn stats_to_json(s: &ServerStats) -> Json {
-    Json::obj([
-        ("received", Json::u64(s.received)),
-        ("completed", Json::u64(s.completed)),
-        ("failed", Json::u64(s.failed)),
-        ("cancelled", Json::u64(s.cancelled)),
-        ("rejected", Json::u64(s.rejected)),
-        ("cache_hits", Json::u64(s.cache_hits)),
-        ("cache_misses", Json::u64(s.cache_misses)),
-        ("queued", Json::u64(s.queued)),
-        ("active", Json::u64(s.active)),
-        ("workers", Json::u64(s.workers)),
-        ("providers_built", Json::u64(s.providers_built)),
-        ("store_loaded", Json::u64(s.store_loaded)),
-        ("store_appended", Json::u64(s.store_appended)),
-        ("store_compactions", Json::u64(s.store_compactions)),
-        (
-            "oracles",
-            Json::Obj(
-                s.oracles
-                    .iter()
-                    .map(|o| (o.spec.clone(), Json::u64(o.lifts)))
-                    .collect(),
-            ),
+    let mut fields: Vec<(String, Json)> = STAT_FIELDS
+        .iter()
+        .map(|f| (f.name.to_string(), Json::u64((f.get)(s))))
+        .collect();
+    fields.push((
+        "oracles".into(),
+        Json::Obj(
+            s.oracles
+                .iter()
+                .map(|o| (o.spec.clone(), Json::u64(o.lifts)))
+                .collect(),
         ),
-        ("peak_queued", Json::u64(s.peak_queued)),
-        (
-            "worker_inflight",
-            Json::Arr(s.worker_inflight.iter().map(|n| Json::u64(*n)).collect()),
+    ));
+    fields.push((
+        "worker_inflight".into(),
+        Json::Arr(s.worker_inflight.iter().map(|n| Json::u64(*n)).collect()),
+    ));
+    fields.push((
+        "replicas".into(),
+        Json::Obj(
+            s.replicas
+                .iter()
+                .map(|r| {
+                    (
+                        r.addr.clone(),
+                        Json::obj([
+                            ("forwards", Json::u64(r.forwards)),
+                            ("failovers", Json::u64(r.failovers)),
+                        ]),
+                    )
+                })
+                .collect(),
         ),
-        ("done_events", Json::u64(s.done_events)),
-        ("failed_events", Json::u64(s.failed_events)),
-        ("error_events", Json::u64(s.error_events)),
-        ("shared_events", Json::u64(s.shared_events)),
-        (
-            "replicas",
-            Json::Obj(
-                s.replicas
-                    .iter()
-                    .map(|r| {
-                        (
-                            r.addr.clone(),
-                            Json::obj([
-                                ("forwards", Json::u64(r.forwards)),
-                                ("failovers", Json::u64(r.failovers)),
-                            ]),
-                        )
-                    })
-                    .collect(),
-            ),
-        ),
-        ("pruned_infeasible", Json::u64(s.pruned_infeasible)),
-        ("pruned_equivalent", Json::u64(s.pruned_equivalent)),
-        ("unchecked_kernels", Json::u64(s.unchecked_kernels)),
-    ])
+    ));
+    fields.push(("service_time".into(), s.service_time.to_json()));
+    fields.push(("queue_wait".into(), s.queue_wait.to_json()));
+    fields.push(("phase_times".into(), s.phase_times.to_json()));
+    Json::Obj(fields.into_iter().collect())
 }
 
 fn stats_from_json(doc: &Json) -> Option<ServerStats> {
-    let field = |k: &str| doc.get(k).and_then(Json::as_u64);
     let oracles = match doc.get("oracles") {
         Some(Json::Obj(map)) => map
             .iter()
@@ -943,83 +1132,235 @@ fn stats_from_json(doc: &Json) -> Option<ServerStats> {
             .collect::<Option<Vec<_>>>()?,
         _ => Vec::new(),
     };
-    Some(ServerStats {
-        received: field("received")?,
-        completed: field("completed")?,
-        failed: field("failed")?,
-        cancelled: field("cancelled")?,
-        rejected: field("rejected")?,
-        cache_hits: field("cache_hits")?,
-        cache_misses: field("cache_misses")?,
-        queued: field("queued")?,
-        active: field("active")?,
-        workers: field("workers")?,
-        providers_built: field("providers_built").unwrap_or(0),
-        store_loaded: field("store_loaded").unwrap_or(0),
-        store_appended: field("store_appended").unwrap_or(0),
-        store_compactions: field("store_compactions").unwrap_or(0),
-        oracles,
-        // Gauge fields postdate PR 3 wire stats: default when absent so
-        // newer clients still decode older servers.
-        peak_queued: field("peak_queued").unwrap_or(0),
-        worker_inflight: match doc.get("worker_inflight") {
-            Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
-            _ => Vec::new(),
-        },
-        done_events: field("done_events").unwrap_or(0),
-        failed_events: field("failed_events").unwrap_or(0),
-        error_events: field("error_events").unwrap_or(0),
-        shared_events: field("shared_events").unwrap_or(0),
-        replicas: match doc.get("replicas") {
-            Some(Json::Obj(map)) => map
-                .iter()
-                .map(|(addr, counts)| ReplicaStat {
-                    addr: addr.clone(),
-                    forwards: counts.get("forwards").and_then(Json::as_u64).unwrap_or(0),
-                    failovers: counts.get("failovers").and_then(Json::as_u64).unwrap_or(0),
-                })
-                .collect(),
-            _ => Vec::new(),
-        },
-        // Static-analysis counters postdate PR 9 wire stats: default
-        // when absent so newer clients still decode older servers.
-        pruned_infeasible: field("pruned_infeasible").unwrap_or(0),
-        pruned_equivalent: field("pruned_equivalent").unwrap_or(0),
-        unchecked_kernels: field("unchecked_kernels").unwrap_or(0),
-    })
+    let mut stats = ServerStats::default();
+    for f in STAT_FIELDS {
+        match doc.get(f.name).and_then(Json::as_u64) {
+            Some(value) => (f.set)(&mut stats, value),
+            // Optional fields postdate older server generations:
+            // default to zero so newer clients still decode them.
+            None if !f.required => {}
+            None => return None,
+        }
+    }
+    stats.oracles = oracles;
+    stats.worker_inflight = match doc.get("worker_inflight") {
+        Some(Json::Arr(items)) => items.iter().filter_map(Json::as_u64).collect(),
+        _ => Vec::new(),
+    };
+    stats.replicas = match doc.get("replicas") {
+        Some(Json::Obj(map)) => map
+            .iter()
+            .map(|(addr, counts)| ReplicaStat {
+                addr: addr.clone(),
+                forwards: counts.get("forwards").and_then(Json::as_u64).unwrap_or(0),
+                failovers: counts.get("failovers").and_then(Json::as_u64).unwrap_or(0),
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    stats.service_time = doc
+        .get("service_time")
+        .and_then(LatencyHistogram::from_json)
+        .unwrap_or_default();
+    stats.queue_wait = doc
+        .get("queue_wait")
+        .and_then(LatencyHistogram::from_json)
+        .unwrap_or_default();
+    stats.phase_times = doc
+        .get("phase_times")
+        .and_then(PhaseTimes::from_json)
+        .unwrap_or_default();
+    Some(stats)
+}
+
+/// Adds every counter, distribution and per-key breakdown of `part`
+/// into `total` — the cross-replica aggregation routers run when
+/// answering `stats` and `metrics`.
+///
+/// Scalars come from the field registry, so a counter added to
+/// [`ServerStats`] (and its registry row) merges without touching the
+/// router; histograms and phase times merge by their own element-wise
+/// algebra; `oracles` and `replicas` merge per key and stay sorted.
+pub fn merge_stats(total: &mut ServerStats, part: &ServerStats) {
+    for f in STAT_FIELDS {
+        let sum = (f.get)(total).saturating_add((f.get)(part));
+        (f.set)(total, sum);
+    }
+    for oracle in &part.oracles {
+        match total.oracles.iter_mut().find(|o| o.spec == oracle.spec) {
+            Some(existing) => existing.lifts += oracle.lifts,
+            None => total.oracles.push(oracle.clone()),
+        }
+    }
+    total.oracles.sort_by(|a, b| a.spec.cmp(&b.spec));
+    total
+        .worker_inflight
+        .extend(part.worker_inflight.iter().copied());
+    for replica in &part.replicas {
+        match total.replicas.iter_mut().find(|r| r.addr == replica.addr) {
+            Some(existing) => {
+                existing.forwards += replica.forwards;
+                existing.failovers += replica.failovers;
+            }
+            None => total.replicas.push(replica.clone()),
+        }
+    }
+    total.replicas.sort_by(|a, b| a.addr.cmp(&b.addr));
+    total.service_time.merge(&part.service_time);
+    total.queue_wait.merge(&part.queue_wait);
+    total.phase_times.merge(&part.phase_times);
+}
+
+/// Renders a [`ServerStats`] snapshot in the Prometheus text exposition
+/// format — the payload of [`Event::Metrics`]. Scalars render from the
+/// field registry (counters get the `_total` suffix), phase times and
+/// per-oracle counts as labelled series, and the service-time and
+/// queue-wait distributions as histograms.
+pub fn render_prometheus(stats: &ServerStats) -> String {
+    use gtl_trace::prom;
+
+    let mut out = String::new();
+    for f in STAT_FIELDS {
+        match f.kind {
+            MetricKind::Counter => prom::counter(
+                &mut out,
+                &format!("gtl_{}_total", f.name),
+                f.help,
+                (f.get)(stats),
+            ),
+            MetricKind::Gauge => {
+                prom::gauge(&mut out, &format!("gtl_{}", f.name), f.help, (f.get)(stats))
+            }
+        }
+    }
+    let phase_series: Vec<(&str, u64)> = Phase::ALL
+        .iter()
+        .map(|p| (p.name(), stats.phase_times.get(*p)))
+        .collect();
+    prom::labelled_counter(
+        &mut out,
+        "gtl_phase_us_total",
+        "Pipeline time per phase, microseconds.",
+        "phase",
+        &phase_series,
+    );
+    let oracle_series: Vec<(&str, u64)> = stats
+        .oracles
+        .iter()
+        .map(|o| (o.spec.as_str(), o.lifts))
+        .collect();
+    prom::labelled_counter(
+        &mut out,
+        "gtl_oracle_lifts_total",
+        "Lifts driven per oracle spec.",
+        "spec",
+        &oracle_series,
+    );
+    let forward_series: Vec<(&str, u64)> = stats
+        .replicas
+        .iter()
+        .map(|r| (r.addr.as_str(), r.forwards))
+        .collect();
+    let failover_series: Vec<(&str, u64)> = stats
+        .replicas
+        .iter()
+        .map(|r| (r.addr.as_str(), r.failovers))
+        .collect();
+    if !stats.replicas.is_empty() {
+        prom::labelled_counter(
+            &mut out,
+            "gtl_replica_forwards_total",
+            "Requests served per replica.",
+            "replica",
+            &forward_series,
+        );
+        prom::labelled_counter(
+            &mut out,
+            "gtl_replica_failovers_total",
+            "Mid-request failovers per replica.",
+            "replica",
+            &failover_series,
+        );
+    }
+    prom::histogram(
+        &mut out,
+        "gtl_service_time_us",
+        "Lift service time (admission to terminal event), microseconds.",
+        &stats.service_time,
+    );
+    prom::histogram(
+        &mut out,
+        "gtl_queue_wait_us",
+        "Lift queue wait (admission to worker pickup), microseconds.",
+        &stats.queue_wait,
+    );
+    out
 }
 
 impl Event {
     /// Encodes as a JSON object.
     pub fn to_json(&self) -> Json {
+        // `trace_id` is appended only when present, so streams from
+        // servers predating the observability tier stay byte-identical.
+        let with_trace = |mut fields: Vec<(&'static str, Json)>, trace_id: &Option<String>| {
+            if let Some(trace_id) = trace_id {
+                fields.push(("trace_id", Json::str(trace_id)));
+            }
+            Json::obj(fields)
+        };
         match self {
-            Event::Queued { id, position } => Json::obj([
-                ("event", Json::str("queued")),
-                ("id", Json::str(id)),
-                ("position", Json::u64(*position as u64)),
-            ]),
+            Event::Queued {
+                id,
+                position,
+                trace_id,
+            } => with_trace(
+                vec![
+                    ("event", Json::str("queued")),
+                    ("id", Json::str(id)),
+                    ("position", Json::u64(*position as u64)),
+                ],
+                trace_id,
+            ),
             Event::SearchProgress {
                 id,
                 nodes,
                 attempts,
                 elapsed_ms,
-            } => Json::obj([
-                ("event", Json::str("search_progress")),
-                ("id", Json::str(id)),
-                ("nodes", Json::u64(*nodes)),
-                ("attempts", Json::u64(*attempts)),
-                ("elapsed_ms", Json::u64(*elapsed_ms)),
-            ]),
-            Event::CandidateFound { id, candidate } => Json::obj([
-                ("event", Json::str("candidate_found")),
-                ("id", Json::str(id)),
-                ("candidate", Json::str(candidate)),
-            ]),
-            Event::Verified { id, solution } => Json::obj([
-                ("event", Json::str("verified")),
-                ("id", Json::str(id)),
-                ("solution", Json::str(solution)),
-            ]),
+                trace_id,
+            } => with_trace(
+                vec![
+                    ("event", Json::str("search_progress")),
+                    ("id", Json::str(id)),
+                    ("nodes", Json::u64(*nodes)),
+                    ("attempts", Json::u64(*attempts)),
+                    ("elapsed_ms", Json::u64(*elapsed_ms)),
+                ],
+                trace_id,
+            ),
+            Event::CandidateFound {
+                id,
+                candidate,
+                trace_id,
+            } => with_trace(
+                vec![
+                    ("event", Json::str("candidate_found")),
+                    ("id", Json::str(id)),
+                    ("candidate", Json::str(candidate)),
+                ],
+                trace_id,
+            ),
+            Event::Verified {
+                id,
+                solution,
+                trace_id,
+            } => with_trace(
+                vec![
+                    ("event", Json::str("verified")),
+                    ("id", Json::str(id)),
+                    ("solution", Json::str(solution)),
+                ],
+                trace_id,
+            ),
             Event::Done {
                 id,
                 solution,
@@ -1027,15 +1368,19 @@ impl Event {
                 nodes,
                 elapsed_ms,
                 cached,
-            } => Json::obj([
-                ("event", Json::str("done")),
-                ("id", Json::str(id)),
-                ("solution", Json::str(solution)),
-                ("attempts", Json::u64(*attempts)),
-                ("nodes", Json::u64(*nodes)),
-                ("elapsed_ms", Json::u64(*elapsed_ms)),
-                ("cached", Json::Bool(*cached)),
-            ]),
+                trace_id,
+            } => with_trace(
+                vec![
+                    ("event", Json::str("done")),
+                    ("id", Json::str(id)),
+                    ("solution", Json::str(solution)),
+                    ("attempts", Json::u64(*attempts)),
+                    ("nodes", Json::u64(*nodes)),
+                    ("elapsed_ms", Json::u64(*elapsed_ms)),
+                    ("cached", Json::Bool(*cached)),
+                ],
+                trace_id,
+            ),
             Event::Failed {
                 id,
                 reason,
@@ -1044,6 +1389,7 @@ impl Event {
                 nodes,
                 elapsed_ms,
                 cached,
+                trace_id,
             } => {
                 let mut fields = vec![
                     ("event", Json::str("failed")),
@@ -1057,18 +1403,35 @@ impl Event {
                 if let Some(detail) = detail {
                     fields.push(("detail", Json::str(detail)));
                 }
-                Json::obj(fields)
+                with_trace(fields, trace_id)
             }
             Event::Stats { stats } => Json::obj([
                 ("event", Json::str("stats")),
                 ("stats", stats_to_json(stats)),
+            ]),
+            Event::Metrics { text } => Json::obj([
+                ("event", Json::str("metrics")),
+                ("text", Json::str(text)),
+            ]),
+            Event::Trace { trace_id, spans } => Json::obj([
+                ("event", Json::str("trace")),
+                ("trace_id", Json::str(trace_id)),
+                (
+                    "spans",
+                    Json::Arr(spans.iter().map(SpanRecord::to_json).collect()),
+                ),
             ]),
             Event::Shared { id, stored } => Json::obj([
                 ("event", Json::str("shared")),
                 ("id", Json::str(id)),
                 ("stored", Json::Bool(*stored)),
             ]),
-            Event::Error { id, code, message } => {
+            Event::Error {
+                id,
+                code,
+                message,
+                trace_id,
+            } => {
                 let mut fields = vec![
                     ("event", Json::str("error")),
                     ("code", Json::str(code.wire_name())),
@@ -1077,7 +1440,7 @@ impl Event {
                 if let Some(id) = id {
                     fields.push(("id", Json::str(id)));
                 }
-                Json::obj(fields)
+                with_trace(fields, trace_id)
             }
         }
     }
@@ -1118,24 +1481,35 @@ impl Event {
                 .map(str::to_string)
                 .ok_or_else(|| bad(format!("`{kind}` requires string `{k}`")))
         };
+        // Optional on every per-request event: absent lines (from
+        // pre-observability servers) decode as `None`.
+        let trace_id = || {
+            doc.get("trace_id")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
         Ok(match kind {
             "queued" => Event::Queued {
                 id: id()?,
                 position: num("position")? as usize,
+                trace_id: trace_id(),
             },
             "search_progress" => Event::SearchProgress {
                 id: id()?,
                 nodes: num("nodes")?,
                 attempts: num("attempts")?,
                 elapsed_ms: num("elapsed_ms")?,
+                trace_id: trace_id(),
             },
             "candidate_found" => Event::CandidateFound {
                 id: id()?,
                 candidate: string("candidate")?,
+                trace_id: trace_id(),
             },
             "verified" => Event::Verified {
                 id: id()?,
                 solution: string("solution")?,
+                trace_id: trace_id(),
             },
             "done" => Event::Done {
                 id: id()?,
@@ -1144,6 +1518,7 @@ impl Event {
                 nodes: num("nodes")?,
                 elapsed_ms: num("elapsed_ms")?,
                 cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                trace_id: trace_id(),
             },
             "failed" => Event::Failed {
                 id: id()?,
@@ -1156,12 +1531,27 @@ impl Event {
                 nodes: doc.get("nodes").and_then(Json::as_u64).unwrap_or(0),
                 elapsed_ms: doc.get("elapsed_ms").and_then(Json::as_u64).unwrap_or(0),
                 cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                trace_id: trace_id(),
             },
             "stats" => Event::Stats {
                 stats: doc
                     .get("stats")
                     .and_then(stats_from_json)
                     .ok_or_else(|| bad("`stats` requires a `stats` object".into()))?,
+            },
+            "metrics" => Event::Metrics {
+                text: string("text")?,
+            },
+            "trace" => Event::Trace {
+                trace_id: string("trace_id")?,
+                spans: doc
+                    .get("spans")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("`trace` requires a `spans` array".into()))?
+                    .iter()
+                    .map(SpanRecord::from_json)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| bad("`trace` contains a malformed span".into()))?,
             },
             "shared" => Event::Shared {
                 id: id()?,
@@ -1178,6 +1568,7 @@ impl Event {
                     .and_then(ErrorCode::from_wire_name)
                     .ok_or_else(|| bad("`error` requires a known `code`".into()))?,
                 message: string("message")?,
+                trace_id: trace_id(),
             },
             other => return Err(bad(format!("unknown event `{other}`"))),
         })
@@ -1193,6 +1584,9 @@ mod tests {
         let requests = [
             Request::Lift(LiftRequest::benchmark("r1", "blas_gemv")),
             Request::Lift(LiftRequest::benchmark("r1b", "blas_gemv").with_oracle("synthetic:42")),
+            Request::Lift(
+                LiftRequest::benchmark("r1t", "blas_gemv").with_trace_id("deadbeef01234567"),
+            ),
             Request::Lift(LiftRequest {
                 id: "r1c".into(),
                 kernel: KernelSpec::Source {
@@ -1216,6 +1610,7 @@ mod tests {
                 },
                 oracle: Some("replay:fx.json".into()),
                 overrides: ConfigOverrides::default(),
+                trace_id: None,
             }),
             Request::Lift(LiftRequest {
                 id: "r2".into(),
@@ -1261,9 +1656,14 @@ mod tests {
                     time_limit_ms: Some(2000),
                     timeout_ms: Some(5000),
                 },
+                trace_id: None,
             }),
             Request::Cancel { id: "r1".into() },
             Request::Stats,
+            Request::Metrics,
+            Request::Trace {
+                trace_id: "deadbeef01234567".into(),
+            },
             Request::ShareLift {
                 id: "s1".into(),
                 record: gtl_store::LiftRecord {
@@ -1291,24 +1691,36 @@ mod tests {
 
     #[test]
     fn events_roundtrip() {
+        let mut service_time = LatencyHistogram::new();
+        service_time.record(1_500);
+        service_time.record(92_000);
+        let mut queue_wait = LatencyHistogram::new();
+        queue_wait.record(40);
+        let mut phase_times = PhaseTimes::new();
+        phase_times.record(Phase::Search, 61_000);
+        phase_times.record(Phase::Validate, 9_000);
         let events = [
             Event::Queued {
                 id: "r1".into(),
                 position: 3,
+                trace_id: Some("deadbeef01234567".into()),
             },
             Event::SearchProgress {
                 id: "r1".into(),
                 nodes: 1200,
                 attempts: 57,
                 elapsed_ms: 40,
+                trace_id: Some("deadbeef01234567".into()),
             },
             Event::CandidateFound {
                 id: "r1".into(),
                 candidate: "a(i) = b(i,j) * c(j)".into(),
+                trace_id: None,
             },
             Event::Verified {
                 id: "r1".into(),
                 solution: "a(i) = b(i,j) * c(j)".into(),
+                trace_id: Some("deadbeef01234567".into()),
             },
             Event::Done {
                 id: "r1".into(),
@@ -1317,6 +1729,7 @@ mod tests {
                 nodes: 1250,
                 elapsed_ms: 90,
                 cached: true,
+                trace_id: Some("deadbeef01234567".into()),
             },
             Event::Failed {
                 id: "r2".into(),
@@ -1326,6 +1739,7 @@ mod tests {
                 nodes: 412_007,
                 elapsed_ms: 9_800,
                 cached: false,
+                trace_id: None,
             },
             Event::Failed {
                 id: "r3".into(),
@@ -1335,6 +1749,33 @@ mod tests {
                 nodes: 0,
                 elapsed_ms: 2,
                 cached: false,
+                trace_id: Some("cafe000000000001".into()),
+            },
+            Event::Metrics {
+                text: "# HELP gtl_received_total x\ngtl_received_total 2\n".into(),
+            },
+            Event::Trace {
+                trace_id: "deadbeef01234567".into(),
+                spans: vec![
+                    SpanRecord {
+                        trace_id: "deadbeef01234567".into(),
+                        request_id: "r1".into(),
+                        name: "queue_wait".into(),
+                        start_ms: 12,
+                        dur_us: 830,
+                    },
+                    SpanRecord {
+                        trace_id: "deadbeef01234567".into(),
+                        request_id: "r1".into(),
+                        name: "search".into(),
+                        start_ms: 13,
+                        dur_us: 61_000,
+                    },
+                ],
+            },
+            Event::Trace {
+                trace_id: "unknown".into(),
+                spans: Vec::new(),
             },
             Event::Stats {
                 stats: ServerStats {
@@ -1383,6 +1824,9 @@ mod tests {
                     pruned_infeasible: 120,
                     pruned_equivalent: 45,
                     unchecked_kernels: 88,
+                    service_time,
+                    queue_wait,
+                    phase_times,
                 },
             },
             Event::Shared {
@@ -1397,16 +1841,19 @@ mod tests {
                 id: Some("r9".into()),
                 code: ErrorCode::QueueFull,
                 message: "queue is at capacity (64)".into(),
+                trace_id: None,
             },
             Event::Error {
                 id: Some("r10".into()),
                 code: ErrorCode::ReplicaUnavailable,
                 message: "all 2 replicas unavailable".into(),
+                trace_id: Some("deadbeef01234567".into()),
             },
             Event::Error {
                 id: None,
                 code: ErrorCode::BadJson,
                 message: "invalid JSON at byte 0: unexpected `x`".into(),
+                trace_id: None,
             },
         ];
         for event in events {
@@ -1427,6 +1874,150 @@ mod tests {
         assert!(stats.worker_inflight.is_empty());
         assert_eq!(stats.done_events, 0);
         assert!(stats.replicas.is_empty());
+        // Observability fields postdate PR 10: empty, not an error.
+        assert!(stats.service_time.is_empty());
+        assert!(stats.queue_wait.is_empty());
+        assert!(stats.phase_times.is_empty());
+    }
+
+    #[test]
+    fn registry_covers_every_scalar_field() {
+        // A scalar field added to `ServerStats` without a registry row
+        // would silently vanish from encode/decode/merge/Prometheus.
+        // `Json::Obj` keeps insertion order and the registry drives
+        // encoding, so the encoded key set pins the registry: this
+        // fails (count mismatch) until the new field gets its row.
+        let encoded = stats_to_json(&ServerStats::default());
+        let Json::Obj(fields) = &encoded else {
+            panic!("stats must encode as an object");
+        };
+        let composite = ["oracles", "worker_inflight", "replicas", "service_time", "queue_wait", "phase_times"];
+        let scalars: Vec<&str> = fields
+            .keys()
+            .map(|k| k.as_str())
+            .filter(|k| !composite.contains(k))
+            .collect();
+        assert_eq!(scalars.len(), STAT_FIELDS.len());
+        for f in STAT_FIELDS {
+            assert!(scalars.contains(&f.name), "field {} missing", f.name);
+        }
+        // Setting through the registry round-trips through the getter.
+        let mut stats = ServerStats::default();
+        for (n, f) in STAT_FIELDS.iter().enumerate() {
+            (f.set)(&mut stats, n as u64 + 1);
+        }
+        for (n, f) in STAT_FIELDS.iter().enumerate() {
+            assert_eq!((f.get)(&stats), n as u64 + 1, "field {}", f.name);
+        }
+    }
+
+    #[test]
+    fn merge_stats_sums_every_field_and_breakdown() {
+        let mut a = ServerStats::default();
+        for f in STAT_FIELDS {
+            (f.set)(&mut a, 10);
+        }
+        a.oracles = vec![OracleStat {
+            spec: "synthetic".into(),
+            lifts: 3,
+        }];
+        a.replicas = vec![ReplicaStat {
+            addr: "h:1".into(),
+            forwards: 2,
+            failovers: 1,
+        }];
+        a.worker_inflight = vec![1];
+        a.service_time.record(100);
+        a.queue_wait.record(5);
+        a.phase_times.record(Phase::Oracle, 40);
+
+        let mut b = ServerStats::default();
+        for f in STAT_FIELDS {
+            (f.set)(&mut b, 7);
+        }
+        b.oracles = vec![
+            OracleStat {
+                spec: "replay:fx".into(),
+                lifts: 1,
+            },
+            OracleStat {
+                spec: "synthetic".into(),
+                lifts: 4,
+            },
+        ];
+        b.replicas = vec![ReplicaStat {
+            addr: "h:2".into(),
+            forwards: 9,
+            failovers: 0,
+        }];
+        b.worker_inflight = vec![0, 1];
+        b.service_time.record(900);
+        b.phase_times.record(Phase::Oracle, 2);
+        b.phase_times.record(Phase::Search, 11);
+
+        let mut merged = a.clone();
+        merge_stats(&mut merged, &b);
+        for f in STAT_FIELDS {
+            assert_eq!((f.get)(&merged), 17, "field {} not summed", f.name);
+        }
+        assert_eq!(
+            merged.oracles,
+            vec![
+                OracleStat {
+                    spec: "replay:fx".into(),
+                    lifts: 1
+                },
+                OracleStat {
+                    spec: "synthetic".into(),
+                    lifts: 7
+                },
+            ]
+        );
+        assert_eq!(merged.replicas.len(), 2);
+        assert_eq!(merged.worker_inflight, vec![1, 0, 1]);
+        assert_eq!(merged.service_time.count(), 2);
+        assert_eq!(merged.service_time.sum_us(), 1_000);
+        assert_eq!(merged.queue_wait.count(), 1);
+        assert_eq!(merged.phase_times.get(Phase::Oracle), 42);
+        assert_eq!(merged.phase_times.get(Phase::Search), 11);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_the_registry() {
+        let mut stats = ServerStats {
+            received: 5,
+            queued: 2,
+            oracles: vec![OracleStat {
+                spec: "synthetic".into(),
+                lifts: 5,
+            }],
+            ..ServerStats::default()
+        };
+        stats.service_time.record(1_000);
+        stats.queue_wait.record(30);
+        stats.phase_times.record(Phase::Search, 800);
+        let text = render_prometheus(&stats);
+        // Counters get the _total convention, gauges keep their name.
+        assert!(text.contains("# TYPE gtl_received_total counter\n"));
+        assert!(text.contains("gtl_received_total 5\n"));
+        assert!(text.contains("# TYPE gtl_queued gauge\n"));
+        assert!(text.contains("gtl_queued 2\n"));
+        // Every registry row renders.
+        for f in STAT_FIELDS {
+            let name = match f.kind {
+                MetricKind::Counter => format!("gtl_{}_total", f.name),
+                MetricKind::Gauge => format!("gtl_{}", f.name),
+            };
+            assert!(text.contains(&format!("# HELP {name} ")), "{name} missing");
+        }
+        // Labelled and histogram series.
+        assert!(text.contains("gtl_phase_us_total{phase=\"search\"} 800\n"));
+        assert!(text.contains("gtl_phase_us_total{phase=\"oracle\"} 0\n"));
+        assert!(text.contains("gtl_oracle_lifts_total{spec=\"synthetic\"} 5\n"));
+        assert!(text.contains("gtl_service_time_us_count 1\n"));
+        assert!(text.contains("gtl_queue_wait_us_sum 30\n"));
+        // No replicas configured: the per-replica series are absent.
+        assert!(!text.contains("gtl_replica_forwards_total"));
     }
 
     #[test]
@@ -1437,20 +2028,53 @@ mod tests {
             attempts: 0,
             nodes: 0,
             elapsed_ms: 0,
-            cached: false
+            cached: false,
+            trace_id: None
         }
         .is_terminal());
         assert!(Event::Error {
             id: None,
             code: ErrorCode::BadJson,
-            message: String::new()
+            message: String::new(),
+            trace_id: None
         }
         .is_terminal());
         assert!(!Event::Queued {
             id: "a".into(),
-            position: 1
+            position: 1,
+            trace_id: None
         }
         .is_terminal());
+        // The metrics/trace answers never close a lift stream.
+        assert!(!Event::Metrics {
+            text: String::new()
+        }
+        .is_terminal());
+        assert!(!Event::Trace {
+            trace_id: "t".into(),
+            spans: Vec::new()
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn trace_id_stamping_fills_only_unset_events() {
+        let mut event = Event::Queued {
+            id: "a".into(),
+            position: 1,
+            trace_id: None,
+        };
+        event.set_trace_id("cafe000000000001");
+        assert_eq!(event.trace_id(), Some("cafe000000000001"));
+        // An already-attributed event keeps its ID.
+        event.set_trace_id("0000000000000000");
+        assert_eq!(event.trace_id(), Some("cafe000000000001"));
+        // Variants without the field are a no-op.
+        let mut stats = Event::Stats {
+            stats: ServerStats::default(),
+        };
+        stats.set_trace_id("cafe000000000001");
+        assert_eq!(stats.trace_id(), None);
     }
 
     #[test]

@@ -31,10 +31,12 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use gtl::StaggConfig;
+use gtl_trace::{new_trace_id, SpanRecord};
 
 use crate::cache::request_key;
 use crate::protocol::{
-    ErrorCode, Event, LiftRequest, OracleStat, ReplicaStat, Request, ServerStats, WireError,
+    merge_stats, render_prometheus, ErrorCode, Event, LiftRequest, ReplicaStat, Request,
+    ServerStats, WireError,
 };
 use crate::server::{resolve_query, EventSink, LineAction};
 use crate::transport::LineHandler;
@@ -276,6 +278,15 @@ impl RouterHandle {
             Ok(Request::Stats) => sink(&Event::Stats {
                 stats: self.fanout_stats(),
             }),
+            Ok(Request::Metrics) => sink(&Event::Metrics {
+                // Rendered over the merged snapshot, so one scrape of
+                // the router covers the whole replica set.
+                text: render_prometheus(&self.fanout_stats()),
+            }),
+            Ok(Request::Trace { trace_id }) => sink(&Event::Trace {
+                spans: self.fanout_trace(&trace_id),
+                trace_id,
+            }),
             Ok(Request::ShareLift { id, record }) => {
                 // Routed like a lift of the same key, so the record
                 // lands on the replica that would serve its repeats.
@@ -297,7 +308,13 @@ impl RouterHandle {
     /// Routes one lift: resolve the query locally (resolution errors
     /// never need a replica), hash it, and forward in the background so
     /// the connection keeps accepting lines while the lift streams.
-    fn submit(&self, request: LiftRequest, sink: &EventSink) {
+    fn submit(&self, mut request: LiftRequest, sink: &EventSink) {
+        // The trace ID is stamped here, before the request line is
+        // built, so every failover attempt re-sends the same ID and the
+        // stream keeps one identity across replicas.
+        if request.trace_id.is_none() {
+            request.trace_id = Some(new_trace_id());
+        }
         let id = request.id.clone();
         let query = match resolve_query(&request) {
             Ok(query) => query,
@@ -349,6 +366,7 @@ impl RouterHandle {
                 id: Some(id),
                 code: ErrorCode::ReplicaUnavailable,
                 message: format!("could not spawn forwarding thread: {e}"),
+                trace_id: None,
             });
         }
     }
@@ -381,6 +399,7 @@ impl RouterHandle {
                     nodes: 0,
                     elapsed_ms: 0,
                     cached: false,
+                    trace_id: request.trace_id.clone(),
                 });
                 return;
             }
@@ -403,6 +422,7 @@ impl RouterHandle {
                 "all {} candidate replica(s) failed (last: {last_failure})",
                 candidates.len()
             ),
+            trace_id: request.trace_id.clone(),
         });
     }
 
@@ -487,6 +507,7 @@ impl RouterHandle {
                         id: Some(id.to_string()),
                         code: ErrorCode::UnknownRequest,
                         message: format!("no queued or running lift `{id}`"),
+                        trace_id: None,
                     });
                     return;
                 }
@@ -516,48 +537,39 @@ impl RouterHandle {
     /// routing side, since a dead replica reports nothing.
     fn fanout_stats(&self) -> ServerStats {
         let mut total = ServerStats::default();
-        let mut oracles: HashMap<String, u64> = HashMap::new();
         for addr in self.state.ring.replicas() {
             match self.request_stats(addr) {
-                Ok(stats) => {
-                    total.received += stats.received;
-                    total.completed += stats.completed;
-                    total.failed += stats.failed;
-                    total.cancelled += stats.cancelled;
-                    total.rejected += stats.rejected;
-                    total.cache_hits += stats.cache_hits;
-                    total.cache_misses += stats.cache_misses;
-                    total.queued += stats.queued;
-                    total.active += stats.active;
-                    total.workers += stats.workers;
-                    total.providers_built += stats.providers_built;
-                    total.store_loaded += stats.store_loaded;
-                    total.store_appended += stats.store_appended;
-                    total.store_compactions += stats.store_compactions;
-                    total.peak_queued += stats.peak_queued;
-                    total.worker_inflight.extend(stats.worker_inflight);
-                    total.done_events += stats.done_events;
-                    total.failed_events += stats.failed_events;
-                    total.error_events += stats.error_events;
-                    total.shared_events += stats.shared_events;
-                    total.pruned_infeasible += stats.pruned_infeasible;
-                    total.pruned_equivalent += stats.pruned_equivalent;
-                    total.unchecked_kernels += stats.unchecked_kernels;
-                    for o in stats.oracles {
-                        *oracles.entry(o.spec).or_default() += o.lifts;
-                    }
-                }
+                // The registry-driven merge sums every scalar, oracle
+                // row, histogram bucket and phase total — a metric
+                // added to `ServerStats` cannot silently vanish here.
+                Ok(stats) => merge_stats(&mut total, &stats),
                 Err(e) => eprintln!("lift_router: stats from {addr} failed: {e}"),
             }
         }
-        let mut oracles: Vec<OracleStat> = oracles
-            .into_iter()
-            .map(|(spec, lifts)| OracleStat { spec, lifts })
-            .collect();
-        oracles.sort_by(|a, b| a.spec.cmp(&b.spec));
-        total.oracles = oracles;
         total.replicas = self.state.replica_stats();
         total
+    }
+
+    /// Fans a `trace` request out to every replica and concatenates the
+    /// spans — a failed-over lift leaves spans on more than one replica,
+    /// and the client should see all of them under the one trace ID.
+    fn fanout_trace(&self, trace_id: &str) -> Vec<SpanRecord> {
+        let line = Request::Trace {
+            trace_id: trace_id.to_string(),
+        }
+        .to_line();
+        let mut spans = Vec::new();
+        for addr in self.state.ring.replicas() {
+            match self.exchange(addr, &line) {
+                Ok(Event::Trace { spans: replica, .. }) => spans.extend(replica),
+                Ok(other) => eprintln!(
+                    "lift_router: trace from {addr}: expected a trace event, got {}",
+                    other.to_line()
+                ),
+                Err(e) => eprintln!("lift_router: trace from {addr} failed: {e}"),
+            }
+        }
+        spans
     }
 
     /// Forwards a single request/single ack exchange (`share_lift`)
@@ -600,6 +612,7 @@ impl RouterHandle {
                         "all {} candidate replica(s) failed (last: {last_failure})",
                         candidates.len()
                     ),
+                    trace_id: None,
                 });
                 this.state.outstanding.fetch_sub(1, Ordering::AcqRel);
             });
@@ -609,6 +622,7 @@ impl RouterHandle {
                 id: None,
                 code: ErrorCode::ReplicaUnavailable,
                 message: format!("could not spawn forwarding thread: {e}"),
+                trace_id: None,
             });
         }
     }

@@ -31,6 +31,9 @@ use gtl_oracle::OracleProvider;
 use gtl_search::{CancelFlag, SearchHooks, SearchProgress};
 use gtl_store::{LiftRecord, LiftStore};
 use gtl_taco::{parse_program, EvalCache, TacoProgram};
+use gtl_trace::{
+    new_trace_id, LatencyHistogram, Phase, PhaseCollector, SpanJournal, SpanRecord,
+};
 use gtl_validate::{LiftTask, TaskParam, TaskParamKind};
 
 use crate::cache::{request_key, CachedOutcome, ResultCache};
@@ -91,6 +94,14 @@ pub struct ServerConfig {
     /// a local search, so an operator opts in explicitly
     /// (`lift_server --accept-shares`).
     pub accept_shared_lifts: bool,
+    /// Slow-request log threshold: a lift whose pipeline run takes at
+    /// least this long is logged to stderr with its trace ID and
+    /// per-phase breakdown (`lift_server --slow-lift-ms`). `None`
+    /// disables the log.
+    pub slow_lift_threshold: Option<Duration>,
+    /// Bound on the span journal behind the `trace` request (total
+    /// retained spans across all traces; the oldest are evicted).
+    pub journal_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +118,8 @@ impl Default for ServerConfig {
             max_inflight_per_client: 0,
             peers: Vec::new(),
             accept_shared_lifts: false,
+            slow_lift_threshold: None,
+            journal_capacity: 4096,
         }
     }
 }
@@ -132,9 +145,27 @@ impl TerminalCause {
 const PHASE_QUEUED: u8 = 0;
 const PHASE_RUNNING: u8 = 1;
 
+/// Server-wide observability state shared by every job: the latency
+/// histograms and per-phase totals that surface in `stats` and the
+/// Prometheus `metrics` exposition.
+#[derive(Default)]
+struct ServingMetrics {
+    /// Admission → terminal-event latency of every closed stream.
+    service_time: Mutex<LatencyHistogram>,
+    /// Admission → worker-pickup latency of every started job.
+    queue_wait: Mutex<LatencyHistogram>,
+    /// Per-phase pipeline totals summed over every lift served.
+    phases: PhaseCollector,
+}
+
 /// Shared, externally visible state of one admitted job.
 struct JobState {
     id: String,
+    /// The request's trace ID: client-supplied or minted at admission.
+    /// Stamped onto every event through the emit funnels below.
+    trace_id: String,
+    /// When the job was admitted (service-time / queue-wait baseline).
+    admitted: Instant,
     /// The owning client (half of the active-registry key).
     client: u64,
     sink: EventSink,
@@ -157,6 +188,9 @@ struct JobState {
     /// gate so they count events actually delivered (a lost race to
     /// close never counts).
     terminals: Arc<TerminalCounters>,
+    /// Server-wide histograms; service time is recorded inside the
+    /// one-close gate so every stream is counted exactly once.
+    metrics: Arc<ServingMetrics>,
 }
 
 /// Counts of terminal (and share/error) events actually emitted on the
@@ -187,26 +221,43 @@ impl JobState {
         *self.cause.lock().expect("cause poisoned")
     }
 
-    /// Emits a non-terminal event unless the stream is already closed.
-    fn emit(&self, event: &Event) {
+    /// Emits a non-terminal event unless the stream is already closed,
+    /// stamping the job's trace ID. Every per-request event funnels
+    /// through here or [`JobState::emit_terminal`], so no event of an
+    /// admitted lift leaves the server unattributed.
+    fn emit(&self, mut event: Event) {
+        event.set_trace_id(&self.trace_id);
         let closed = self.closed.lock().expect("stream poisoned");
         if !*closed {
-            (self.sink)(event);
+            (self.sink)(&event);
         }
     }
 
     /// Closes the stream with `events` (the last must be terminal);
-    /// exactly one close wins, later attempts are dropped. The
+    /// exactly one close wins, later attempts are dropped. The trace ID
+    /// is stamped on every event, and the stream's service time is
+    /// recorded inside the gate — exactly once per admitted job. The
     /// server-wide outstanding count drops only after the events have
     /// been handed to the sink.
-    fn emit_terminal(&self, events: &[Event]) {
+    fn emit_terminal(&self, events: Vec<Event>) {
         let mut closed = self.closed.lock().expect("stream poisoned");
         if *closed {
             return;
         }
         *closed = true;
-        for event in events {
-            (self.sink)(event);
+        let service_us = self
+            .admitted
+            .elapsed()
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        self.metrics
+            .service_time
+            .lock()
+            .expect("service histogram poisoned")
+            .record(service_us);
+        for mut event in events {
+            event.set_trace_id(&self.trace_id);
+            (self.sink)(&event);
             match event {
                 Event::Done { .. } => {
                     self.terminals.done.fetch_add(1, Ordering::Relaxed);
@@ -315,6 +366,10 @@ struct Inner {
     /// Terminal/share/error event counts actually emitted (shared with
     /// every [`JobState`]).
     terminals: Arc<TerminalCounters>,
+    /// Histograms + per-phase totals (shared with every [`JobState`]).
+    metrics: Arc<ServingMetrics>,
+    /// Bounded ring buffer of recent spans behind the `trace` request.
+    journal: SpanJournal,
 }
 
 impl Inner {
@@ -368,6 +423,19 @@ impl Inner {
             pruned_infeasible: self.counters.pruned_infeasible.load(Ordering::Relaxed),
             pruned_equivalent: self.counters.pruned_equivalent.load(Ordering::Relaxed),
             unchecked_kernels: self.counters.unchecked_kernels.load(Ordering::Relaxed),
+            service_time: self
+                .metrics
+                .service_time
+                .lock()
+                .expect("service histogram poisoned")
+                .clone(),
+            queue_wait: self
+                .metrics
+                .queue_wait
+                .lock()
+                .expect("queue-wait histogram poisoned")
+                .clone(),
+            phase_times: self.metrics.phases.snapshot(),
         }
     }
 
@@ -381,16 +449,36 @@ impl Inner {
     /// rule the warm-started batch runner applies). Persistence is
     /// best-effort: the in-memory answer is already correct, and the
     /// next identical outcome supersedes cleanly.
-    fn remember(&self, key: u64, label: &str, outcome: CachedOutcome, elapsed_ms: u64) {
+    fn remember(
+        &self,
+        key: u64,
+        label: &str,
+        outcome: CachedOutcome,
+        elapsed_ms: u64,
+        trace: (&str, &str), // (trace_id, request_id) for the append span
+    ) {
         self.results.insert(key, outcome.clone());
         if outcome.solution.is_none() {
             return;
         }
         let record = outcome.to_record(key, label, elapsed_ms as f64 / 1000.0);
         if let Some(store) = &self.config.store {
+            let append_started = Instant::now();
             if let Err(e) = store.append(record.clone()) {
                 eprintln!("lift_server: store append failed: {e}");
             }
+            let append_us = append_started
+                .elapsed()
+                .as_micros()
+                .min(u64::MAX as u128) as u64;
+            self.metrics.phases.add(Phase::StoreAppend, append_us);
+            self.journal.record(SpanRecord {
+                trace_id: trace.0.to_string(),
+                request_id: trace.1.to_string(),
+                name: Phase::StoreAppend.name().to_string(),
+                start_ms: self.journal.now_ms(),
+                dur_us: append_us,
+            });
         }
         self.push_to_peers(&record);
     }
@@ -564,6 +652,7 @@ pub(crate) fn resolve_query(request: &LiftRequest) -> Result<LiftQuery, WireErro
 /// Streams `candidate_found` events from inside the pipeline.
 struct SinkObserver<'a> {
     id: &'a str,
+    trace_id: &'a str,
     sink: &'a EventSink,
 }
 
@@ -572,6 +661,7 @@ impl LiftObserver for SinkObserver<'_> {
         (self.sink)(&Event::CandidateFound {
             id: self.id.to_string(),
             candidate: concrete.to_string(),
+            trace_id: Some(self.trace_id.to_string()),
         });
     }
 }
@@ -642,6 +732,27 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
     let client = state.client;
     state.phase.store(PHASE_RUNNING, Ordering::Release);
 
+    // Queue wait: admission → this pickup. Recorded whatever happens
+    // next (a job cancelled while queued still waited).
+    let queue_us = state
+        .admitted
+        .elapsed()
+        .as_micros()
+        .min(u64::MAX as u128) as u64;
+    inner
+        .metrics
+        .queue_wait
+        .lock()
+        .expect("queue-wait histogram poisoned")
+        .record(queue_us);
+    inner.journal.record(SpanRecord {
+        trace_id: state.trace_id.clone(),
+        request_id: id.clone(),
+        name: "queue_wait".to_string(),
+        start_ms: inner.journal.now_ms(),
+        dur_us: queue_us,
+    });
+
     // Cancelled (or shut down) while still queued?
     if let Some(cause) = state.cause() {
         inner.release(client, &id);
@@ -658,10 +769,11 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
         match cached.solution {
             Some(solution) => {
                 inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-                state.emit_terminal(&[
+                state.emit_terminal(vec![
                     Event::Verified {
                         id: id.clone(),
                         solution: solution.clone(),
+                        trace_id: None,
                     },
                     Event::Done {
                         id: id.clone(),
@@ -670,6 +782,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                         nodes: cached.nodes,
                         elapsed_ms: 0,
                         cached: true,
+                        trace_id: None,
                     },
                 ]);
             }
@@ -678,7 +791,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                     .reason
                     .unwrap_or_else(|| "search_exhausted".to_string());
                 inner.counters.failed.fetch_add(1, Ordering::Relaxed);
-                state.emit_terminal(&[Event::Failed {
+                state.emit_terminal(vec![Event::Failed {
                     id: id.clone(),
                     reason,
                     detail: cached.detail,
@@ -686,6 +799,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                     nodes: cached.nodes,
                     elapsed_ms: 0,
                     cached: true,
+                    trace_id: None,
                 }]);
             }
         }
@@ -726,6 +840,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
 
     let observer = SinkObserver {
         id: &id,
+        trace_id: &state.trace_id,
         sink: &state.sink,
     };
     let hooks = LiftHooks {
@@ -738,6 +853,47 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
     };
     let report = Stagg::new(provider, job.config.clone()).lift_with(&job.query, &hooks);
     let elapsed_ms = started.elapsed().as_millis() as u64;
+
+    // Fold the lift's per-phase breakdown into the server totals and
+    // journal one span per non-empty phase (plus the whole-lift span),
+    // so a `trace` request replays where this request's time went.
+    inner.metrics.phases.merge_times(&report.phase_times);
+    let lift_end_ms = inner.journal.now_ms();
+    for (phase, us) in report.phase_times.iter() {
+        if us > 0 {
+            inner.journal.record(SpanRecord {
+                trace_id: state.trace_id.clone(),
+                request_id: id.clone(),
+                name: phase.name().to_string(),
+                start_ms: lift_end_ms,
+                dur_us: us,
+            });
+        }
+    }
+    inner.journal.record(SpanRecord {
+        trace_id: state.trace_id.clone(),
+        request_id: id.clone(),
+        name: "lift".to_string(),
+        start_ms: lift_end_ms,
+        dur_us: started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+    });
+    if let Some(threshold) = inner.config.slow_lift_threshold {
+        if started.elapsed() >= threshold {
+            eprintln!(
+                "lift_server: slow lift `{}` (trace {}): {}ms, phases {}",
+                job.query.label,
+                state.trace_id,
+                elapsed_ms,
+                report
+                    .phase_times
+                    .iter()
+                    .filter(|(_, us)| *us > 0)
+                    .map(|(p, us)| format!("{}={}us", p.name(), us))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+        }
+    }
 
     // Static-analysis totals accumulate whatever the outcome — pruning
     // work done on a failed lift is still work saved.
@@ -786,13 +942,15 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                     nodes: report.nodes_expanded,
                 },
                 elapsed_ms,
+                (&state.trace_id, &id),
             );
             inner.release(client, &id);
             inner.counters.completed.fetch_add(1, Ordering::Relaxed);
-            state.emit_terminal(&[
+            state.emit_terminal(vec![
                 Event::Verified {
                     id: id.clone(),
                     solution: solution.clone(),
+                    trace_id: None,
                 },
                 Event::Done {
                     id: id.clone(),
@@ -801,6 +959,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                     nodes: report.nodes_expanded,
                     elapsed_ms,
                     cached: false,
+                    trace_id: None,
                 },
             ]);
         }
@@ -824,6 +983,7 @@ fn process(inner: &Inner, job: Job, eval_cache: &EvalCache) {
                         nodes: report.nodes_expanded,
                     },
                     elapsed_ms,
+                    (&state.trace_id, &id),
                 );
             }
             inner.release(client, &id);
@@ -852,7 +1012,7 @@ fn finish_failed(
         _ => &inner.counters.failed,
     };
     counter.fetch_add(1, Ordering::Relaxed);
-    state.emit_terminal(&[Event::Failed {
+    state.emit_terminal(vec![Event::Failed {
         id: state.id.clone(),
         reason,
         detail,
@@ -860,6 +1020,7 @@ fn finish_failed(
         nodes: stats.1,
         elapsed_ms: stats.2,
         cached,
+        trace_id: None,
     }]);
 }
 
@@ -889,11 +1050,12 @@ fn monitor_loop(inner: &Inner) {
                 state.terminate(TerminalCause::Timeout);
                 continue;
             }
-            state.emit(&Event::SearchProgress {
+            state.emit(Event::SearchProgress {
                 id: state.id.clone(),
                 nodes: state.progress.nodes(),
                 attempts: state.progress.attempts(),
                 elapsed_ms: started.elapsed().as_millis() as u64,
+                trace_id: None,
             });
         }
     }
@@ -983,8 +1145,13 @@ impl ServerHandle {
             .map(Duration::from_millis)
             .or(inner.config.default_timeout);
         let cache_key = request_key(&query, &config);
+        // The trace ID: client-supplied (or router-stamped), else
+        // minted here at admission.
+        let trace_id = request.trace_id.clone().unwrap_or_else(new_trace_id);
         let state = Arc::new(JobState {
             id: request.id.clone(),
+            trace_id,
+            admitted: Instant::now(),
             client: self.client,
             sink,
             cancel: Arc::new(CancelFlag::new()),
@@ -996,6 +1163,7 @@ impl ServerHandle {
             closed: Mutex::new(false),
             outstanding: Arc::clone(&inner.outstanding),
             terminals: Arc::clone(&inner.terminals),
+            metrics: Arc::clone(&inner.metrics),
         });
 
         let key = (self.client, request.id.clone());
@@ -1069,6 +1237,7 @@ impl ServerHandle {
             (state.sink)(&Event::Queued {
                 id: request.id,
                 position,
+                trace_id: Some(state.trace_id.clone()),
             });
             drop(queue);
             drop(active);
@@ -1131,7 +1300,7 @@ impl ServerHandle {
                 .counters
                 .cancelled
                 .fetch_add(1, Ordering::Relaxed);
-            state.emit_terminal(&[Event::Failed {
+            state.emit_terminal(vec![Event::Failed {
                 id: state.id.clone(),
                 reason: "cancelled".into(),
                 detail: None,
@@ -1139,6 +1308,7 @@ impl ServerHandle {
                 nodes: 0,
                 elapsed_ms: 0,
                 cached: false,
+                trace_id: None,
             }]);
         }
         true
@@ -1186,6 +1356,7 @@ impl ServerHandle {
                 id: Some(id.to_string()),
                 code: ErrorCode::BadRequest,
                 message,
+                trace_id: None,
             }
         };
         if !inner.config.accept_shared_lifts {
@@ -1257,11 +1428,19 @@ impl ServerHandle {
                         id: Some(id.clone()),
                         code: ErrorCode::UnknownRequest,
                         message: format!("no queued or running lift `{id}`"),
+                        trace_id: None,
                     });
                 }
             }
             Ok(Request::Stats) => sink(&Event::Stats {
                 stats: self.stats(),
+            }),
+            Ok(Request::Metrics) => sink(&Event::Metrics {
+                text: crate::protocol::render_prometheus(&self.stats()),
+            }),
+            Ok(Request::Trace { trace_id }) => sink(&Event::Trace {
+                spans: self.inner.journal.dump(&trace_id),
+                trace_id,
             }),
             Ok(Request::ShareLift { id, record }) => {
                 let event = self.share(&id, record);
@@ -1350,6 +1529,7 @@ impl LiftServer {
                 }
             }
         }
+        let journal = SpanJournal::new(config.journal_capacity.max(1));
         let inner = Arc::new(Inner {
             results,
             config: ServerConfig { workers, ..config },
@@ -1366,6 +1546,8 @@ impl LiftServer {
             peak_queued: AtomicU64::new(0),
             worker_busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             terminals: Arc::new(TerminalCounters::default()),
+            metrics: Arc::new(ServingMetrics::default()),
+            journal,
         });
         let mut threads = Vec::with_capacity(workers + 1);
         for worker in 0..workers {

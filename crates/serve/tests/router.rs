@@ -90,7 +90,12 @@ fn spawn_flaky_replica() -> (String, std::thread::JoinHandle<()>) {
                 _ => String::from("?"),
             };
             let mut writer = stream;
-            let _ = writeln!(writer, "{}", Event::Queued { id, position: 1 }.to_line());
+            let event = Event::Queued {
+                id,
+                position: 1,
+                trace_id: None,
+            };
+            let _ = writeln!(writer, "{}", event.to_line());
             let _ = writer.flush();
             // Dropping the stream here is the mid-stream death.
         }
@@ -273,7 +278,7 @@ fn exhausting_every_replica_yields_replica_unavailable() {
     let handle = router.handle();
     let events = lift_via(&handle, &LiftRequest::benchmark("doomed", "blas_dot"));
     match events.as_slice() {
-        [Event::Error { id, code, message }] => {
+        [Event::Error { id, code, message, .. }] => {
             assert_eq!(id.as_deref(), Some("doomed"), "error must carry the id");
             assert_eq!(*code, ErrorCode::ReplicaUnavailable);
             assert!(

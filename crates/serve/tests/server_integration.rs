@@ -190,6 +190,7 @@ fn repeated_request_is_answered_from_the_result_cache() {
             max_attempts: Some(7777),
             ..ConfigOverrides::default()
         },
+        trace_id: None,
     });
     match overridden.last().unwrap() {
         Event::Done { cached, .. } => assert!(!cached, "override must miss the cache"),
@@ -213,6 +214,7 @@ fn long_request(id: &str) -> LiftRequest {
             time_limit_ms: Some(120_000),
             ..ConfigOverrides::default()
         },
+        trace_id: None,
     }
 }
 

@@ -1,0 +1,356 @@
+//! End-to-end tests of the observability tier: trace IDs riding every
+//! event of a lift (including across an injected mid-stream replica
+//! failover), the span journal answering `trace` requests, and the
+//! router's `metrics` fan-out merging per-replica histograms exactly
+//! like a single process would have recorded them.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gtl::{LiftQuery, StaggConfig};
+use gtl_benchsuite::{all_benchmarks, by_name};
+use gtl_search::SearchBudget;
+use gtl_serve::protocol::merge_stats;
+use gtl_serve::{
+    request_key, serve_listener, Event, EventSink, HashRing, LiftClient, LiftRequest,
+    LiftRouter, LiftServer, Phase, Request, RouterConfig, RouterHandle, ServerConfig,
+    ServerStats,
+};
+
+fn quick_base() -> StaggConfig {
+    StaggConfig::top_down().with_budget(SearchBudget {
+        time_limit: Duration::from_secs(30),
+        ..SearchBudget::default()
+    })
+}
+
+fn replica_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        base: quick_base(),
+        progress_interval: Duration::from_millis(20),
+        result_cache_capacity: 128,
+        ..ServerConfig::default()
+    }
+}
+
+struct Replica {
+    addr: String,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+fn spawn_replica(config: ServerConfig) -> Replica {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind replica");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let thread = std::thread::spawn(move || {
+        let server = LiftServer::start(config);
+        serve_listener(listener, "trace-test-replica", || server.handle());
+        server.shutdown();
+    });
+    Replica {
+        addr,
+        thread: Some(thread),
+    }
+}
+
+impl Replica {
+    fn stop(mut self) {
+        if let Ok(mut stream) = TcpStream::connect(&self.addr) {
+            let _ = writeln!(stream, "{}", Request::Shutdown.to_line());
+            let _ = stream.flush();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A replica that admits one lift (echoing its trace ID on the
+/// `queued` event, as a real server would) and then drops the
+/// connection — the mid-stream death that forces a failover.
+fn spawn_flaky_replica() -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind flaky");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let thread = std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            let _ = reader.read_line(&mut line);
+            let (id, trace_id) = match Request::parse_line(line.trim()) {
+                Ok(Request::Lift(request)) => (request.id, request.trace_id),
+                _ => (String::from("?"), None),
+            };
+            let event = Event::Queued {
+                id,
+                position: 1,
+                trace_id,
+            };
+            let mut writer = stream;
+            let _ = writeln!(writer, "{}", event.to_line());
+            let _ = writer.flush();
+        }
+    });
+    (addr, thread)
+}
+
+fn router_config(replicas: Vec<String>) -> RouterConfig {
+    RouterConfig {
+        replicas,
+        vnodes: 64,
+        connect_timeout: Duration::from_millis(1500),
+        base: quick_base(),
+    }
+}
+
+fn key_for(name: &str, base: &StaggConfig) -> u64 {
+    let b = by_name(name).expect("suite benchmark");
+    let query = LiftQuery {
+        label: b.name.to_string(),
+        source: b.source.to_string(),
+        task: b.lift_task(),
+        ground_truth: Some(b.parse_ground_truth()),
+    };
+    request_key(&query, base)
+}
+
+/// A fast-solving benchmark whose hash makes `target` the primary.
+fn benchmark_routed_to(ring: &HashRing, target: &str, base: &StaggConfig) -> String {
+    let preferred = ["blas_dot", "blas_axpy", "blas_scal", "sa_add_scalar", "blas_gemv"];
+    let rest = all_benchmarks()
+        .into_iter()
+        .map(|b| b.name.to_string())
+        .filter(|name| !preferred.contains(&name.as_str()));
+    preferred
+        .iter()
+        .map(|s| s.to_string())
+        .chain(rest)
+        .find(|name| ring.primary(key_for(name, base)) == Some(target))
+        .expect("some benchmark routes to the target replica")
+}
+
+fn sink_channel() -> (EventSink, Receiver<Event>) {
+    let (tx, rx) = channel::<Event>();
+    let sink: EventSink = Arc::new(move |event: &Event| {
+        let _ = tx.send(event.clone());
+    });
+    (sink, rx)
+}
+
+fn collect_stream(rx: &Receiver<Event>) -> Vec<Event> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut events = Vec::new();
+    loop {
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .expect("stream did not terminate within 60s");
+        match rx.recv_timeout(remaining) {
+            Ok(event) => {
+                let terminal = event.is_terminal();
+                events.push(event);
+                if terminal {
+                    return events;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                panic!("stream did not terminate; got so far: {events:?}")
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("sink dropped before terminal event; got: {events:?}")
+            }
+        }
+    }
+}
+
+fn lift_via(handle: &RouterHandle, request: &LiftRequest) -> Vec<Event> {
+    let (sink, rx) = sink_channel();
+    let line = Request::Lift(request.clone()).to_line();
+    handle.handle_line(&line, &sink);
+    collect_stream(&rx)
+}
+
+/// One non-lift request through the router handle, answered by a
+/// single event (`stats`, `metrics`, `trace`).
+fn ask_router(handle: &RouterHandle, request: &Request) -> Event {
+    let (sink, rx) = sink_channel();
+    handle.handle_line(&request.to_line(), &sink);
+    rx.recv_timeout(Duration::from_secs(30))
+        .expect("router answered")
+}
+
+#[test]
+fn client_supplied_trace_id_rides_every_event_and_fills_the_journal() {
+    let replica = spawn_replica(replica_config());
+    let mut client = LiftClient::connect(&replica.addr).expect("connect");
+    let trace_id = "feedface00c0ffee";
+    let events = client
+        .lift(LiftRequest::benchmark("t1", "blas_dot").with_trace_id(trace_id))
+        .expect("lift");
+    assert!(
+        matches!(events.last(), Some(Event::Done { .. })),
+        "lift must solve: {events:?}"
+    );
+    for event in &events {
+        assert_eq!(
+            event.trace_id(),
+            Some(trace_id),
+            "every event must carry the client's trace ID: {event:?}"
+        );
+    }
+
+    // The journal has the lift's spans under exactly that ID: the
+    // queue-wait span, per-phase spans, and the whole-lift span.
+    let spans = client.trace(trace_id).expect("trace dump");
+    assert!(!spans.is_empty(), "the journal must have spans");
+    for span in &spans {
+        assert_eq!(span.trace_id, trace_id);
+        assert_eq!(span.request_id, "t1");
+    }
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"lift"), "whole-lift span expected: {names:?}");
+    assert!(
+        names.contains(&"queue_wait"),
+        "queue-wait span expected: {names:?}"
+    );
+    assert!(
+        Phase::ALL.iter().any(|p| names.contains(&p.name())),
+        "at least one pipeline phase span expected: {names:?}"
+    );
+
+    // An unknown trace ID dumps nothing rather than failing.
+    assert!(client.trace("0000000000000000").expect("empty dump").is_empty());
+    replica.stop();
+}
+
+#[test]
+fn server_mints_one_trace_id_per_admitted_lift() {
+    let replica = spawn_replica(replica_config());
+    let mut client = LiftClient::connect(&replica.addr).expect("connect");
+    let events = client
+        .lift(LiftRequest::benchmark("minted", "blas_axpy"))
+        .expect("lift");
+    let first = events
+        .first()
+        .and_then(Event::trace_id)
+        .expect("the server must mint a trace ID at admission")
+        .to_string();
+    assert_eq!(first.len(), 16, "16 lowercase hex chars: {first}");
+    assert!(first.chars().all(|c| c.is_ascii_hexdigit()));
+    for event in &events {
+        assert_eq!(event.trace_id(), Some(first.as_str()));
+    }
+    replica.stop();
+}
+
+#[test]
+fn trace_id_survives_midstream_failover_and_the_survivor_has_the_spans() {
+    let live = spawn_replica(replica_config());
+    let (flaky, flaky_thread) = spawn_flaky_replica();
+    let base = quick_base();
+    // The flaky replica must be the primary so the lift starts there,
+    // dies mid-stream, and fails over to the live one.
+    let ring = HashRing::new(vec![flaky.clone(), live.addr.clone()], 64);
+    let name = benchmark_routed_to(&ring, &flaky, &base);
+
+    let router = LiftRouter::new(router_config(vec![flaky, live.addr.clone()]));
+    let handle = router.handle();
+    let trace_id = "deadbeef12345678";
+    let request = LiftRequest::benchmark("chaos", &name).with_trace_id(trace_id);
+    let events = lift_via(&handle, &request);
+    assert!(
+        matches!(events.last(), Some(Event::Done { .. })),
+        "the lift must finish on the surviving replica: {events:?}"
+    );
+    // The first queued comes from the replica that then died; the rest
+    // from the survivor. One trace ID, no seams.
+    for event in &events {
+        assert_eq!(
+            event.trace_id(),
+            Some(trace_id),
+            "trace ID must survive the failover: {event:?}"
+        );
+    }
+
+    // The trace fan-out reaches the survivor (the dead replica simply
+    // contributes nothing) and returns the spans of this very lift.
+    let answer = ask_router(
+        &handle,
+        &Request::Trace {
+            trace_id: trace_id.to_string(),
+        },
+    );
+    let Event::Trace { trace_id: echoed, spans } = answer else {
+        panic!("expected a trace event, got {answer:?}");
+    };
+    assert_eq!(echoed, trace_id);
+    assert!(
+        spans.iter().any(|s| s.name == "lift"),
+        "the surviving replica's journal must hold the lift span: {spans:?}"
+    );
+    assert!(spans.iter().all(|s| s.trace_id == trace_id));
+
+    let _ = flaky_thread.join();
+    router.drain();
+    live.stop();
+}
+
+#[test]
+fn router_metrics_merge_equals_the_per_replica_histograms() {
+    let a = spawn_replica(replica_config());
+    let b = spawn_replica(replica_config());
+    let router = LiftRouter::new(router_config(vec![a.addr.clone(), b.addr.clone()]));
+    let handle = router.handle();
+
+    // One solved lift per replica so both record service time.
+    let base = quick_base();
+    let ring = HashRing::new(vec![a.addr.clone(), b.addr.clone()], 64);
+    for (n, addr) in [&a.addr, &b.addr].into_iter().enumerate() {
+        let name = benchmark_routed_to(&ring, addr, &base);
+        let events = lift_via(&handle, &LiftRequest::benchmark(format!("m-{n}"), &name));
+        assert!(matches!(events.last(), Some(Event::Done { .. })), "{events:?}");
+    }
+
+    // Merging the two replicas' own snapshots by hand must equal what
+    // the router's stats fan-out reports — the histogram and phase-map
+    // merge algebra is associative, so "merge at the router" and "one
+    // big process" are indistinguishable.
+    let mut expected = ServerStats::default();
+    for addr in [&a.addr, &b.addr] {
+        let stats = LiftClient::connect(addr)
+            .expect("connect replica")
+            .stats()
+            .expect("replica stats");
+        merge_stats(&mut expected, &stats);
+    }
+    let answer = ask_router(&handle, &Request::Stats);
+    let Event::Stats { stats: merged } = answer else {
+        panic!("expected stats, got {answer:?}");
+    };
+    assert_eq!(merged.service_time, expected.service_time);
+    assert_eq!(merged.queue_wait, expected.queue_wait);
+    assert_eq!(merged.phase_times, expected.phase_times);
+    assert_eq!(merged.service_time.count(), 2, "one admitted lift per replica");
+
+    // The Prometheus exposition through the router covers the merged
+    // registry, the histograms and the per-phase series.
+    let answer = ask_router(&handle, &Request::Metrics);
+    let Event::Metrics { text } = answer else {
+        panic!("expected metrics, got {answer:?}");
+    };
+    for series in [
+        "gtl_received_total 2",
+        "gtl_service_time_us_count 2",
+        "gtl_queue_wait_us_count 2",
+        "gtl_phase_us_total{phase=\"search\"}",
+        "gtl_workers",
+    ] {
+        assert!(text.contains(series), "metrics must carry `{series}`:\n{text}");
+    }
+
+    router.drain();
+    a.stop();
+    b.stop();
+}

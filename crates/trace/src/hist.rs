@@ -1,0 +1,369 @@
+//! The mergeable fixed-bucket log-scale latency histogram.
+//!
+//! Hoisted from `gtl_bench::loadgen` (PR 8) so the serving tier can
+//! record server-side distributions with the identical bucket layout —
+//! client histograms, server histograms and cross-replica router
+//! merges all share one algebra.
+
+use gtl_store::json::Json;
+
+/// Values below this are counted in exact one-microsecond buckets.
+const LINEAR_MAX: u64 = 16;
+/// Log-scale buckets: 16 sub-buckets per power of two, exponents 4..=36.
+/// Everything at or above 2^36 µs (~19 hours) lands in the final
+/// overflow bucket.
+const NUM_BUCKETS: usize = 16 + 33 * 16;
+
+/// A fixed-bucket log-scale latency histogram over microseconds.
+///
+/// The bucket layout is *fixed* (independent of the data), so two
+/// histograms recorded by different workers — or different processes,
+/// or different replicas behind a router — merge exactly by
+/// element-wise addition, and merging is associative and commutative.
+/// Values under 16 µs get exact buckets; above that each power of two
+/// is split into 16 sub-buckets, bounding the relative quantile error
+/// at 1/16 (6.25%).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+/// The bucket a microsecond value falls into.
+fn bucket_index(us: u64) -> usize {
+    if us < LINEAR_MAX {
+        return us as usize;
+    }
+    let exp = 63 - us.leading_zeros() as usize; // >= 4
+    let sub = ((us >> (exp - 4)) & 0xf) as usize;
+    let index = 16 + (exp - 4) * 16 + sub;
+    index.min(NUM_BUCKETS - 1)
+}
+
+/// The largest value the bucket can hold (inclusive); `u64::MAX` for
+/// the overflow bucket.
+fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        return index as u64;
+    }
+    if index >= NUM_BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let exp = (index - 16) / 16 + 4;
+    let sub = ((index - 16) % 16) as u64;
+    (1u64 << exp) + (sub << (exp - 4)) + ((1u64 << (exp - 4)) - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one latency in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Adds every sample of `other` into `self` (element-wise bucket
+    /// addition — associative and commutative because the layout is
+    /// fixed).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The samples recorded since `baseline` was snapshotted, assuming
+    /// `baseline` is an earlier state of this histogram (element-wise
+    /// saturating subtraction). `max_us` cannot be un-merged, so the
+    /// difference keeps the later maximum — exact whenever the window
+    /// contains the overall maximum, an upper bound otherwise.
+    pub fn diff(&self, baseline: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = self.clone();
+        for (mine, theirs) in out.buckets.iter_mut().zip(&baseline.buckets) {
+            *mine = mine.saturating_sub(*theirs);
+        }
+        out.count = out.count.saturating_sub(baseline.count);
+        out.sum_us = out.sum_us.saturating_sub(baseline.sum_us);
+        out
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact maximum recorded value (µs).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Sum of every recorded value (µs, saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// The mean recorded value (µs); 0 when empty.
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The nearest-rank `q`-quantile (`0.0..=1.0`), reported as the
+    /// upper bound of the bucket holding that rank — so the result is
+    /// `>=` the exact sample quantile and overshoots it by at most
+    /// 1/16. Clamped to the exact maximum; 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The non-empty buckets as `(upper_bound_us, count)` pairs in
+    /// ascending order — the feed for Prometheus exposition.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(index, n)| (bucket_upper(index), *n))
+    }
+
+    /// The histogram as report JSON: summary quantiles plus the
+    /// non-empty `[index, count]` bucket pairs (enough to re-merge
+    /// reports offline, see [`LatencyHistogram::from_json`]).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(index, n)| Json::Arr(vec![Json::u64(index as u64), Json::u64(*n)]))
+            .collect();
+        Json::obj([
+            ("count", Json::u64(self.count)),
+            ("sum_us", Json::u64(self.sum_us)),
+            ("mean_us", Json::u64(self.mean_us())),
+            ("p50_us", Json::u64(self.quantile_us(0.50))),
+            ("p90_us", Json::u64(self.quantile_us(0.90))),
+            ("p99_us", Json::u64(self.quantile_us(0.99))),
+            ("max_us", Json::u64(self.max_us)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+
+    /// Rebuilds a histogram from [`LatencyHistogram::to_json`] output —
+    /// the wire decode the router's cross-replica merge runs on.
+    /// Returns `None` when the value is not a histogram object;
+    /// `sum_us` defaults to `mean_us * count` for documents written
+    /// before the field existed.
+    pub fn from_json(value: &Json) -> Option<LatencyHistogram> {
+        let mut out = LatencyHistogram::new();
+        out.count = value.get("count")?.as_u64()?;
+        out.max_us = value.get("max_us").and_then(Json::as_u64).unwrap_or(0);
+        out.sum_us = match value.get("sum_us").and_then(Json::as_u64) {
+            Some(sum) => sum,
+            None => value
+                .get("mean_us")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                .saturating_mul(out.count),
+        };
+        for pair in value.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            let index = pair.first()?.as_u64()? as usize;
+            let n = pair.get(1)?.as_u64()?;
+            if index >= NUM_BUCKETS {
+                return None;
+            }
+            out.buckets[index] += n;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Local xorshift64* so the tests stay deterministic without
+    /// depending on the bench crate's `Rng`.
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        fn next_below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        let mut h = LatencyHistogram::new();
+        for us in 0..LINEAR_MAX {
+            h.record(us);
+        }
+        for us in 0..LINEAR_MAX {
+            assert_eq!(bucket_upper(bucket_index(us)), us);
+        }
+        assert_eq!(h.count(), LINEAR_MAX);
+        assert_eq!(h.quantile_us(0.0), 0);
+        assert_eq!(h.quantile_us(1.0), LINEAR_MAX - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_contain_their_values() {
+        let mut rng = TestRng(7);
+        for _ in 0..10_000 {
+            let v = rng.next_u64() >> (rng.next_below(60) as u32);
+            let index = bucket_index(v);
+            assert!(bucket_upper(index) >= v, "upper({index}) < {v}");
+            if index > 0 && index < NUM_BUCKETS - 1 {
+                assert!(
+                    bucket_upper(index - 1) < v,
+                    "value {v} below its bucket's lower edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_exact_sorted_samples() {
+        // Values stay below the 2^36 µs overflow bucket, where the
+        // 1/16 relative-error bound is guaranteed.
+        let mut rng = TestRng(42);
+        let mut values: Vec<u64> = (0..500)
+            .map(|_| rng.next_u64() >> (29 + rng.next_below(30) as u32))
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = h.quantile_us(q);
+            assert!(approx >= exact, "q{q}: {approx} < exact {exact}");
+            // Bucket width bounds the overshoot at 1/16 of the value.
+            assert!(
+                approx <= exact + exact / 16 + 1,
+                "q{q}: {approx} overshoots exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile_us(1.0), *values.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let build = |seed: u64| {
+            let mut rng = TestRng(seed);
+            let mut h = LatencyHistogram::new();
+            for _ in 0..200 {
+                h.record(rng.next_u64() >> (rng.next_below(50) as u32 + 8));
+            }
+            h
+        };
+        let (a, b, c) = (build(1), build(2), build(3));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge is not associative");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "merge is not commutative");
+        assert_eq!(ab.count(), a.count() + b.count());
+    }
+
+    #[test]
+    fn oversized_values_land_in_the_overflow_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 40);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(1u64 << 40), NUM_BUCKETS - 1);
+        assert_eq!(h.count(), 2);
+        // The overflow bucket's bound is the exact recorded max.
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn json_round_trips_for_remerging() {
+        let mut h = LatencyHistogram::new();
+        for v in [3, 1_500, 90_000, 90_001, 7] {
+            h.record(v);
+        }
+        let decoded = LatencyHistogram::from_json(&h.to_json()).expect("histogram decodes");
+        assert_eq!(decoded, h);
+        // Decoded histograms keep merging exactly.
+        let mut doubled = decoded.clone();
+        doubled.merge(&h);
+        assert_eq!(doubled.count(), 10);
+        assert_eq!(LatencyHistogram::from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn diff_recovers_a_window() {
+        let mut before = LatencyHistogram::new();
+        before.record(100);
+        before.record(2_000);
+        let mut after = before.clone();
+        after.record(500);
+        after.record(70_000);
+        let window = after.diff(&before);
+        assert_eq!(window.count(), 2);
+        assert_eq!(window.sum_us(), 70_500);
+        assert_eq!(window.max_us(), 70_000);
+        let mut rebuilt = before.clone();
+        rebuilt.merge(&window);
+        assert_eq!(rebuilt.count(), after.count());
+        assert_eq!(rebuilt.sum_us(), after.sum_us());
+    }
+}

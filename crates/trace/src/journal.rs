@@ -1,0 +1,184 @@
+//! The bounded, lock-sharded span journal behind the `trace` request.
+
+use std::collections::VecDeque;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gtl_store::json::Json;
+
+/// One completed span: which trace and request it belongs to, which
+/// phase it measured, when it started (milliseconds since the journal
+/// was created — i.e. since server start) and how long it ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request-scoped trace ID the span belongs to.
+    pub trace_id: String,
+    /// The wire request id (`lift` correlation id).
+    pub request_id: String,
+    /// Span name: a [`crate::Phase`] name, or a server-side span such
+    /// as `queue_wait` or `lift`.
+    pub name: String,
+    /// Start offset in milliseconds since the journal's epoch.
+    pub start_ms: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+impl SpanRecord {
+    /// The record as a wire JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trace_id", Json::str(&self.trace_id)),
+            ("id", Json::str(&self.request_id)),
+            ("name", Json::str(&self.name)),
+            ("start_ms", Json::u64(self.start_ms)),
+            ("dur_us", Json::u64(self.dur_us)),
+        ])
+    }
+
+    /// Decodes [`SpanRecord::to_json`].
+    pub fn from_json(value: &Json) -> Option<SpanRecord> {
+        Some(SpanRecord {
+            trace_id: value.get("trace_id")?.as_str()?.to_string(),
+            request_id: value.get("id")?.as_str()?.to_string(),
+            name: value.get("name")?.as_str()?.to_string(),
+            start_ms: value.get("start_ms")?.as_u64()?,
+            dur_us: value.get("dur_us")?.as_u64()?,
+        })
+    }
+}
+
+/// How many shards the journal spreads its locks over. Spans shard by
+/// trace ID, so every span of one trace lands in one shard and a dump
+/// scans exactly one lock.
+const SHARDS: usize = 16;
+
+/// A bounded ring buffer of recent [`SpanRecord`]s, lock-sharded by
+/// trace ID.
+///
+/// Each shard holds at most `capacity / SHARDS` spans (at least one);
+/// recording past the bound evicts that shard's oldest span, so the
+/// journal's memory is fixed for the life of the server and recording
+/// never blocks on readers of other shards.
+#[derive(Debug)]
+pub struct SpanJournal {
+    shards: Vec<Mutex<VecDeque<SpanRecord>>>,
+    shard_capacity: usize,
+    epoch: Instant,
+}
+
+impl SpanJournal {
+    /// A journal bounded at roughly `capacity` spans overall.
+    pub fn new(capacity: usize) -> SpanJournal {
+        SpanJournal {
+            shards: (0..SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shard_capacity: (capacity / SHARDS).max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since the journal's epoch — the `start_ms`
+    /// timebase callers stamp spans with.
+    pub fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    fn shard(&self, trace_id: &str) -> &Mutex<VecDeque<SpanRecord>> {
+        let mut hasher = DefaultHasher::new();
+        trace_id.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % SHARDS]
+    }
+
+    /// Appends a span, evicting the shard's oldest when full.
+    pub fn record(&self, span: SpanRecord) {
+        let mut shard = self.shard(&span.trace_id).lock().expect("journal shard poisoned");
+        if shard.len() >= self.shard_capacity {
+            shard.pop_front();
+        }
+        shard.push_back(span);
+    }
+
+    /// Every retained span of one trace, in recording order.
+    pub fn dump(&self, trace_id: &str) -> Vec<SpanRecord> {
+        self.shard(trace_id)
+            .lock()
+            .expect("journal shard poisoned")
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Total spans currently retained across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("journal shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the journal holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: &str, name: &str, dur_us: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace.to_string(),
+            request_id: format!("req-{trace}"),
+            name: name.to_string(),
+            start_ms: 1,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn dump_returns_only_the_named_trace_in_order() {
+        let journal = SpanJournal::new(64);
+        journal.record(span("aa", "oracle", 10));
+        journal.record(span("bb", "oracle", 20));
+        journal.record(span("aa", "search", 30));
+        let dumped = journal.dump("aa");
+        assert_eq!(
+            dumped.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["oracle", "search"]
+        );
+        assert!(dumped.iter().all(|s| s.trace_id == "aa"));
+        assert_eq!(journal.dump("cc"), Vec::new());
+        assert_eq!(journal.len(), 3);
+    }
+
+    #[test]
+    fn journal_is_bounded_and_evicts_oldest() {
+        let journal = SpanJournal::new(SHARDS); // one span per shard
+        for n in 0..50 {
+            journal.record(span("same-trace", &format!("s{n}"), n));
+        }
+        assert!(journal.len() <= SHARDS, "journal grew past its bound");
+        let dumped = journal.dump("same-trace");
+        assert_eq!(dumped.len(), 1, "shard kept more than its capacity");
+        assert_eq!(dumped[0].name, "s49", "eviction did not drop the oldest");
+    }
+
+    #[test]
+    fn span_record_json_round_trips() {
+        let record = span("deadbeefdeadbeef", "store_append", 123);
+        let decoded = SpanRecord::from_json(&record.to_json()).expect("span decodes");
+        assert_eq!(decoded, record);
+        assert_eq!(SpanRecord::from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn now_ms_is_monotone_from_epoch(){
+        let journal = SpanJournal::new(8);
+        let a = journal.now_ms();
+        let b = journal.now_ms();
+        assert!(b >= a);
+    }
+}

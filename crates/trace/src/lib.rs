@@ -1,0 +1,80 @@
+//! Observability tier for the Guided Tensor Lifting stack.
+//!
+//! Everything the serving and pipeline layers need to answer "where
+//! did this lift spend its time?" without paying for it when nobody is
+//! looking:
+//!
+//! - [`Phase`] / [`PhaseTimes`] / [`PhaseCollector`] / [`PhaseSpan`] —
+//!   cheap RAII spans over the pipeline's phases (oracle round →
+//!   grammar learn → search → validate → verify → store append),
+//!   accumulated into lock-free atomic counters. A span started
+//!   without a collector never reads the clock and never allocates.
+//! - [`LatencyHistogram`] — the mergeable fixed-bucket log-scale
+//!   histogram (hoisted from the load generator so the server can
+//!   record service-time and queue-wait distributions with the same
+//!   merge algebra the report pipeline already trusts).
+//! - [`SpanJournal`] / [`SpanRecord`] — a bounded lock-sharded ring
+//!   buffer of recent spans, keyed by trace ID, behind the serving
+//!   tier's `trace` request.
+//! - [`new_trace_id`] — request-scoped trace-ID generation for
+//!   admission points (server and router).
+//! - [`prom`] — Prometheus text-format exposition helpers rendering
+//!   counters, gauges and [`LatencyHistogram`]s.
+//!
+//! The crate is std-only and sits below both `gtl` (core) and
+//! `gtl_serve`, so the same phase vocabulary flows from the pipeline's
+//! [`PhaseTimes`] report field through the wire protocol to the
+//! Prometheus surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod journal;
+mod phase;
+pub mod prom;
+
+pub use hist::LatencyHistogram;
+pub use journal::{SpanJournal, SpanRecord};
+pub use phase::{Phase, PhaseCollector, PhaseSpan, PhaseTimes};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A fresh request-scoped trace ID: 16 lowercase hex digits, unique
+/// within a process (a monotone counter) and across processes with
+/// overwhelming probability (wall-clock nanoseconds and the process's
+/// random hasher seed are mixed in). Admission points call this when a
+/// request arrives without a client-supplied `trace_id`.
+pub fn new_trace_id() -> String {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    // RandomState seeds differ per process, so two replicas admitting
+    // in the same nanosecond still diverge.
+    let mut hasher = RandomState::new().build_hasher();
+    hasher.write_u64(nanos);
+    hasher.write_u64(count);
+    format!("{:016x}", hasher.finish() ^ nanos.rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::new_trace_id;
+
+    #[test]
+    fn trace_ids_are_well_formed_and_unique() {
+        let ids: Vec<String> = (0..1000).map(|_| new_trace_id()).collect();
+        for id in &ids {
+            assert_eq!(id.len(), 16, "{id} is not 16 hex digits");
+            assert!(id.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+        let distinct: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(distinct.len(), ids.len(), "trace IDs collided");
+    }
+}

@@ -1,0 +1,137 @@
+//! Prometheus text-format exposition helpers.
+//!
+//! Renders the observability tier's counters, gauges and
+//! [`LatencyHistogram`]s in the Prometheus exposition format
+//! (`# HELP` / `# TYPE` comments followed by sample lines). Metric
+//! values stay in microseconds with a `_us` suffix, so every sample is
+//! an integer and the fixed bucket bounds are exact.
+
+use crate::LatencyHistogram;
+
+/// Appends one `counter` metric.
+pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+/// Appends one `gauge` metric.
+pub fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Appends one labelled `counter` sample series: one line per
+/// `(label_value, value)` pair under a shared HELP/TYPE header.
+pub fn labelled_counter(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: &str,
+    series: &[(&str, u64)],
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+    for (value_label, value) in series {
+        out.push_str(&format!(
+            "{name}{{{label}=\"{}\"}} {value}\n",
+            escape_label(value_label)
+        ));
+    }
+}
+
+/// Appends one `histogram` metric from a [`LatencyHistogram`]:
+/// cumulative `_bucket{le="…"}` lines over the non-empty buckets (the
+/// layout is fixed, so merged scrapes remain consistent), the `+Inf`
+/// bucket, `_sum` and `_count`. Bounds are microseconds.
+pub fn histogram(out: &mut String, name: &str, help: &str, h: &LatencyHistogram) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (upper, count) in h.nonzero_buckets() {
+        cumulative += count;
+        // The overflow bucket has no finite bound; it is covered by +Inf.
+        if upper != u64::MAX {
+            out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum_us()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Escapes a label value per the exposition format (backslash, quote
+/// and newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render_headers_and_values() {
+        let mut out = String::new();
+        counter(&mut out, "gtl_lifts_received_total", "Lifts admitted.", 7);
+        gauge(&mut out, "gtl_queue_depth", "Jobs queued.", 3);
+        assert!(out.contains("# TYPE gtl_lifts_received_total counter\n"));
+        assert!(out.contains("gtl_lifts_received_total 7\n"));
+        assert!(out.contains("# TYPE gtl_queue_depth gauge\n"));
+        assert!(out.contains("gtl_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn labelled_counter_escapes_label_values() {
+        let mut out = String::new();
+        labelled_counter(
+            &mut out,
+            "gtl_phase_us_total",
+            "Per-phase time.",
+            "phase",
+            &[("oracle", 12), ("we\"ird\\", 1)],
+        );
+        assert!(out.contains("gtl_phase_us_total{phase=\"oracle\"} 12\n"));
+        assert!(out.contains("gtl_phase_us_total{phase=\"we\\\"ird\\\\\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(1_000);
+        let mut out = String::new();
+        histogram(&mut out, "gtl_service_time_us", "Service time.", &h);
+        assert!(out.contains("# TYPE gtl_service_time_us histogram\n"));
+        assert!(out.contains("gtl_service_time_us_bucket{le=\"3\"} 2\n"));
+        assert!(out.contains("gtl_service_time_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("gtl_service_time_us_sum 1006\n"));
+        assert!(out.contains("gtl_service_time_us_count 3\n"));
+        // Cumulative counts are monotone.
+        let mut last = 0u64;
+        for line in out.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "bucket counts not cumulative: {line}");
+            last = value;
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_folds_into_inf() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        let mut out = String::new();
+        histogram(&mut out, "m", "overflow.", &h);
+        assert!(!out.contains(&format!("le=\"{}\"", u64::MAX)));
+        assert!(out.contains("m_bucket{le=\"+Inf\"} 1\n"));
+    }
+}
